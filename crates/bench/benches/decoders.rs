@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks of the three decoders on a surface-code
+//! detector error model.
+
+use asynd_circuit::{DetectorErrorModel, NoiseModel, ObservableDecoder, Sampler, Schedule};
+use asynd_codes::rotated_surface_code;
+use asynd_decode::{BpOsdDecoder, MwpmDecoder, UnionFindDecoder};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_decoders(c: &mut Criterion) {
+    let code = rotated_surface_code(5);
+    let schedule = Schedule::trivial(&code);
+    let dem = DetectorErrorModel::build(&code, &schedule, &NoiseModel::brisbane()).unwrap();
+    let sampler = Sampler::new(&dem);
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let shots = sampler.sample(64, &mut rng);
+
+    let mwpm = MwpmDecoder::new(&dem);
+    let bposd = BpOsdDecoder::new(&dem, 30, 0);
+    let unionfind = UnionFindDecoder::new(&dem);
+
+    let mut group = c.benchmark_group("decode-64-shots-surface-d5");
+    group.sample_size(10);
+    group.bench_function("mwpm", |b| {
+        b.iter(|| {
+            for shot in &shots {
+                black_box(mwpm.decode(&shot.detectors));
+            }
+        })
+    });
+    group.bench_function("bp-osd", |b| {
+        b.iter(|| {
+            for shot in &shots {
+                black_box(bposd.decode(&shot.detectors));
+            }
+        })
+    });
+    group.bench_function("unionfind", |b| {
+        b.iter(|| {
+            for shot in &shots {
+                black_box(unionfind.decode(&shot.detectors));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decoders);
+criterion_main!(benches);

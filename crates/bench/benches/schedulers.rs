@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks of the schedulers, including a small-budget
+//! AlphaSyndrome MCTS synthesis.
+
+use asynd_circuit::NoiseModel;
+use asynd_codes::{rotated_surface_code, steane_code};
+use asynd_core::industry::google_surface_schedule;
+use asynd_core::{LowestDepthScheduler, MctsConfig, MctsScheduler, Scheduler, TrivialScheduler};
+use asynd_decode::BpOsdFactory;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_baseline_schedulers(c: &mut Criterion) {
+    let code = rotated_surface_code(5);
+    let mut group = c.benchmark_group("baseline-schedulers-surface-d5");
+    group.sample_size(20);
+    group.bench_function("trivial", |b| {
+        b.iter(|| black_box(TrivialScheduler::new().schedule(&code).unwrap()))
+    });
+    group.bench_function("lowest-depth", |b| {
+        b.iter(|| black_box(LowestDepthScheduler::new().schedule(&code).unwrap()))
+    });
+    group.bench_function("google-zigzag", |b| {
+        b.iter(|| black_box(google_surface_schedule(&code).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_mcts_small_budget(c: &mut Criterion) {
+    let code = steane_code();
+    let factory = BpOsdFactory::new();
+    let config = MctsConfig { iterations_per_step: 4, shots_per_evaluation: 100, ..MctsConfig::quick() };
+    let mut group = c.benchmark_group("mcts");
+    group.sample_size(10);
+    group.bench_function("steane-4-iters", |b| {
+        b.iter(|| {
+            let scheduler = MctsScheduler::new(NoiseModel::paper(), &factory, config.clone());
+            black_box(scheduler.schedule(&code).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline_schedulers, bench_mcts_small_budget);
+criterion_main!(benches);

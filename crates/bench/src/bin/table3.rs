@@ -1,0 +1,92 @@
+//! Regenerates Table 3: space-time volume comparison at comparable logical
+//! error rates.
+//!
+//! For each code family the smallest AlphaSyndrome-scheduled instance is
+//! compared against the larger lowest-depth-scheduled instance the paper
+//! pairs it with, using the paper's cost model
+//! (`T_round = depth * 600 ns + 4000 ns`, `volume = T_round * n`).
+//!
+//! Run with `cargo run -p asynd-bench --release --bin table3 [-- --full]`.
+
+use asynd_bench::{
+    alphasyndrome_schedule, lowest_depth_schedule, measure, reduction_percent, rule, sci, RunMode,
+};
+use asynd_circuit::NoiseModel;
+use asynd_codes::catalog::RecommendedDecoder;
+use asynd_codes::{concatenated_steane_code, generalized_shor_code, steane_code, toric_code};
+use asynd_core::spacetime::{round_cost, volume_reduction};
+
+fn main() {
+    let mode = RunMode::from_args();
+    let noise = NoiseModel::paper();
+    let shots = mode.evaluation_shots();
+
+    // (family label, AlphaSyndrome instance, lowest-depth comparison instance, decoder)
+    let pairs = vec![
+        (
+            "Hexagonal Color Code (substituted family), BP-OSD",
+            steane_code(),
+            generalized_shor_code(if mode == RunMode::Full { 9 } else { 5 }),
+            RecommendedDecoder::BpOsd,
+        ),
+        (
+            "Square-Octagonal Color Code (substituted family), BP-OSD",
+            steane_code(),
+            concatenated_steane_code(),
+            RecommendedDecoder::BpOsd,
+        ),
+        (
+            "Hyperbolic Surface Code (substituted family), MWPM",
+            toric_code(3),
+            toric_code(if mode == RunMode::Full { 5 } else { 4 }),
+            RecommendedDecoder::Mwpm,
+        ),
+    ];
+
+    println!("Table 3: space-time volume at comparable logical error rates");
+    println!(
+        "{:<58} {:>14} {:>9} {:>11} {:>11} {:>12}",
+        "configuration", "[[n,k,d]],dep", "err", "time/us", "volume", "reduction"
+    );
+    rule(120);
+    for (index, (label, ours_code, baseline_code, decoder)) in pairs.into_iter().enumerate() {
+        let factory = asynd_bench::decoder_factory(decoder);
+        let seed = 3000 + index as u64;
+
+        let ours_schedule = alphasyndrome_schedule(&ours_code, &noise, decoder, mode, seed);
+        let ours_measurement =
+            measure(&ours_code, &ours_schedule, &noise, factory.as_ref(), shots, seed);
+        let ours_cost = round_cost(&ours_code, &ours_schedule);
+
+        let baseline_schedule = lowest_depth_schedule(&baseline_code);
+        let baseline_measurement =
+            measure(&baseline_code, &baseline_schedule, &noise, factory.as_ref(), shots, seed);
+        let baseline_cost = round_cost(&baseline_code, &baseline_schedule);
+
+        println!("{label}");
+        println!(
+            "  {:<56} {:>10},{:>3} {:>9} {:>11.1} {:>11.1} {:>12}",
+            "AlphaSyndrome",
+            ours_code.parameters(),
+            ours_cost.depth,
+            sci(ours_measurement.p_overall),
+            ours_cost.round_time_us,
+            ours_cost.volume,
+            ""
+        );
+        println!(
+            "  {:<56} {:>10},{:>3} {:>9} {:>11.1} {:>11.1} {:>11.1}%",
+            "Lowest Depth",
+            baseline_code.parameters(),
+            baseline_cost.depth,
+            sci(baseline_measurement.p_overall),
+            baseline_cost.round_time_us,
+            baseline_cost.volume,
+            100.0 * volume_reduction(&ours_cost, &baseline_cost)
+        );
+        let _ = reduction_percent(ours_measurement.p_overall, baseline_measurement.p_overall);
+    }
+    rule(120);
+    println!("paper reductions: 89.0% / 87.0% / 18.4%");
+    println!("mode: {mode:?} — rerun with --full for paper-scale instances");
+}

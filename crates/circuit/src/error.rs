@@ -1,0 +1,95 @@
+//! Error type for schedule construction and circuit analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or validating syndrome-measurement
+/// schedules and the circuits derived from them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// Two checks in the same tick share a qubit.
+    QubitConflict {
+        /// The tick at which the conflict occurs.
+        tick: usize,
+        /// The shared qubit (data index, or `data-count + stabilizer` for an
+        /// ancilla).
+        qubit: usize,
+    },
+    /// A check references a data qubit that is not in the stabilizer's
+    /// support, or uses the wrong Pauli for it.
+    CheckMismatch {
+        /// Stabilizer index.
+        stabilizer: usize,
+        /// Data qubit index.
+        data: usize,
+    },
+    /// A stabilizer's support is not fully covered by the schedule, or a
+    /// check is duplicated.
+    IncompleteStabilizer {
+        /// Stabilizer index.
+        stabilizer: usize,
+        /// Number of checks expected (the stabilizer weight).
+        expected: usize,
+        /// Number of checks present.
+        found: usize,
+    },
+    /// The anticommutation crossing-parity condition between two overlapping
+    /// stabilizers is violated, so the circuit does not measure the intended
+    /// operators.
+    CrossingParityViolated {
+        /// First stabilizer index.
+        first: usize,
+        /// Second stabilizer index.
+        second: usize,
+    },
+    /// A tick of zero was used (ticks are 1-based).
+    ZeroTick,
+    /// A noise or evaluation parameter was out of range.
+    InvalidParameter {
+        /// Description of the violated requirement.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitConflict { tick, qubit } => {
+                write!(f, "qubit {qubit} is used by two checks in tick {tick}")
+            }
+            CircuitError::CheckMismatch { stabilizer, data } => {
+                write!(f, "check on data qubit {data} does not match stabilizer {stabilizer}")
+            }
+            CircuitError::IncompleteStabilizer { stabilizer, expected, found } => {
+                write!(
+                    f,
+                    "stabilizer {stabilizer} has {found} scheduled checks but weight {expected}"
+                )
+            }
+            CircuitError::CrossingParityViolated { first, second } => {
+                write!(
+                    f,
+                    "stabilizers {first} and {second} interleave with odd anticommuting crossings"
+                )
+            }
+            CircuitError::ZeroTick => write!(f, "ticks are 1-based; tick 0 is not allowed"),
+            CircuitError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(CircuitError::ZeroTick.to_string().contains("1-based"));
+        assert!(CircuitError::QubitConflict { tick: 3, qubit: 7 }.to_string().contains("tick 3"));
+        assert!(CircuitError::CrossingParityViolated { first: 0, second: 1 }
+            .to_string()
+            .contains("crossings"));
+    }
+}

@@ -1,0 +1,202 @@
+//! The paper's Fig. 10 evaluation loop: sample a noisy scheduled round,
+//! decode it, and estimate logical error rates.
+
+use asynd_codes::StabilizerCode;
+use asynd_pauli::BitVec;
+use rand::Rng;
+
+use crate::{CircuitError, DetectorErrorModel, NoiseModel, Sampler, Schedule};
+
+/// A decoder that predicts which logical observables flipped from a set of
+/// detection events.
+///
+/// The concrete decoders (MWPM, hypergraph union-find, BP-OSD) live in the
+/// `asynd-decode` crate and implement this trait; the trait lives here so
+/// the evaluation loop — and through it the MCTS scheduler — can be generic
+/// over decoders without a dependency cycle.
+pub trait ObservableDecoder {
+    /// Predicts the observable flips for one shot's detector outcomes.
+    ///
+    /// The returned vector must have length equal to the DEM's observable
+    /// count.
+    fn decode(&self, detectors: &BitVec) -> BitVec;
+}
+
+/// A factory that builds a decoder for a given detector error model.
+///
+/// The MCTS scheduler re-builds the decoder for every candidate schedule
+/// (each schedule induces a different DEM), so decoders are constructed
+/// through this factory rather than passed in directly.
+pub trait DecoderFactory {
+    /// Human-readable name of the decoder family (used in reports).
+    fn name(&self) -> &str;
+
+    /// Builds a decoder specialised to `dem`.
+    fn build(&self, dem: &DetectorErrorModel) -> Box<dyn ObservableDecoder + Send + Sync>;
+}
+
+/// Monte-Carlo estimate of the logical error rates of one scheduled round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogicalErrorEstimate {
+    /// Probability that at least one logical X error is mispredicted
+    /// (a logical-Z readout flip the decoder failed to predict).
+    pub p_x: f64,
+    /// Probability that at least one logical Z error is mispredicted.
+    pub p_z: f64,
+    /// Probability that any observable is mispredicted.
+    pub p_overall: f64,
+    /// Number of Monte-Carlo shots used.
+    pub shots: usize,
+}
+
+impl LogicalErrorEstimate {
+    /// The paper's MCTS evaluation score `1 / p_overall`
+    /// (§4.4, with the convention that a perfect round scores `shots + 1`
+    /// to stay finite).
+    pub fn score(&self) -> f64 {
+        if self.p_overall <= 0.0 {
+            (self.shots + 1) as f64
+        } else {
+            1.0 / self.p_overall
+        }
+    }
+}
+
+/// Estimates logical error rates of a scheduled round with a decoder in the
+/// loop (the paper's Fig. 10 sampling circuit).
+///
+/// The round's detector error model is built once, the decoder is built from
+/// it via `factory`, and `shots` samples are decoded. A shot counts towards
+/// `p_x` when any of the first `k` observables (logical-Z readouts) is
+/// mispredicted, towards `p_z` when any of the last `k` is mispredicted, and
+/// towards `p_overall` when anything is mispredicted.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidParameter`] if `shots == 0` or the noise
+/// model is invalid.
+pub fn estimate_logical_error<R: Rng + ?Sized>(
+    code: &StabilizerCode,
+    schedule: &Schedule,
+    noise: &NoiseModel,
+    factory: &dyn DecoderFactory,
+    shots: usize,
+    rng: &mut R,
+) -> Result<LogicalErrorEstimate, CircuitError> {
+    if shots == 0 {
+        return Err(CircuitError::InvalidParameter { reason: "shots must be positive".into() });
+    }
+    let dem = DetectorErrorModel::build(code, schedule, noise)?;
+    let decoder = factory.build(&dem);
+    let sampler = Sampler::new(&dem);
+    let k = code.num_logicals();
+
+    let mut x_failures = 0usize;
+    let mut z_failures = 0usize;
+    let mut any_failures = 0usize;
+    for _ in 0..shots {
+        let shot = sampler.sample_one(rng);
+        let prediction = decoder.decode(&shot.detectors);
+        debug_assert_eq!(prediction.len(), dem.num_observables());
+        let mut x_bad = false;
+        let mut z_bad = false;
+        for i in 0..dem.num_observables() {
+            if prediction.get(i) != shot.observables.get(i) {
+                if i < k {
+                    x_bad = true;
+                } else {
+                    z_bad = true;
+                }
+            }
+        }
+        if x_bad {
+            x_failures += 1;
+        }
+        if z_bad {
+            z_failures += 1;
+        }
+        if x_bad || z_bad {
+            any_failures += 1;
+        }
+    }
+    Ok(LogicalErrorEstimate {
+        p_x: x_failures as f64 / shots as f64,
+        p_z: z_failures as f64 / shots as f64,
+        p_overall: any_failures as f64 / shots as f64,
+        shots,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asynd_codes::steane_code;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// A decoder that always predicts "no observable flipped".
+    struct NullDecoder {
+        observables: usize,
+    }
+
+    impl ObservableDecoder for NullDecoder {
+        fn decode(&self, _detectors: &BitVec) -> BitVec {
+            BitVec::zeros(self.observables)
+        }
+    }
+
+    struct NullFactory;
+
+    impl DecoderFactory for NullFactory {
+        fn name(&self) -> &str {
+            "null"
+        }
+
+        fn build(&self, dem: &DetectorErrorModel) -> Box<dyn ObservableDecoder + Send + Sync> {
+            Box::new(NullDecoder { observables: dem.num_observables() })
+        }
+    }
+
+    #[test]
+    fn zero_noise_gives_zero_error() {
+        let code = steane_code();
+        let schedule = Schedule::trivial(&code);
+        let noise = NoiseModel::uniform(0.0, 0.0, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let estimate =
+            estimate_logical_error(&code, &schedule, &noise, &NullFactory, 200, &mut rng).unwrap();
+        assert_eq!(estimate.p_overall, 0.0);
+        assert_eq!(estimate.p_x, 0.0);
+        assert_eq!(estimate.p_z, 0.0);
+        assert!(estimate.score() > 200.0);
+    }
+
+    #[test]
+    fn null_decoder_fails_under_noise() {
+        let code = steane_code();
+        let schedule = Schedule::trivial(&code);
+        let noise = NoiseModel::uniform(0.05, 0.02, 0.05);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let estimate =
+            estimate_logical_error(&code, &schedule, &noise, &NullFactory, 500, &mut rng).unwrap();
+        assert!(estimate.p_overall > 0.0, "heavy noise must produce logical errors");
+        assert!(estimate.p_overall >= estimate.p_x.max(estimate.p_z));
+        assert!(estimate.score() <= 1.0 / estimate.p_overall + 1e-9);
+    }
+
+    #[test]
+    fn zero_shots_is_an_error() {
+        let code = steane_code();
+        let schedule = Schedule::trivial(&code);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        assert!(estimate_logical_error(
+            &code,
+            &schedule,
+            &NoiseModel::brisbane(),
+            &NullFactory,
+            0,
+            &mut rng
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! Syndrome-measurement circuit representation, circuit-level noise, fault
+//! propagation and detector-error-model (DEM) sampling.
+//!
+//! This crate is the reproduction's replacement for the `stim` simulation
+//! pipeline used by the AlphaSyndrome paper:
+//!
+//! * [`Schedule`] / [`Check`] — the paper's tick-based circuit
+//!   representation (§4.1): every Pauli check `(data, ancilla, σ)` is
+//!   assigned a tick, no qubit may be used twice per tick, and the
+//!   anticommutation crossing-parity condition between overlapping
+//!   stabilizers must hold.
+//! * [`NoiseModel`] — circuit-level noise: two-qubit depolarizing noise
+//!   after every check, idling depolarizing noise on every idle qubit per
+//!   tick and ancilla readout flips, with optional per-qubit non-uniform
+//!   scaling (§5.1.2 and §5.7).
+//! * [`DetectorErrorModel`] — built by enumerating every elementary fault of
+//!   the noisy round, propagating it through the remaining Clifford circuit
+//!   and recording which detectors (round-1 readouts, round-1 ⊕ round-2
+//!   syndrome comparisons) and which logical observables it flips. This is
+//!   the same object stim hands to decoders.
+//! * [`Sampler`] — Monte-Carlo sampling of shots from a DEM.
+//! * [`estimate_logical_error`] — the paper's Fig. 10 evaluation circuit:
+//!   noisy scheduled round, ideal round, decoder correction, logical
+//!   comparison, yielding logical X / Z / overall error rates.
+//!
+//! # Example
+//!
+//! ```
+//! use asynd_codes::rotated_surface_code;
+//! use asynd_circuit::{NoiseModel, Schedule, DetectorErrorModel};
+//!
+//! let code = rotated_surface_code(3);
+//! let schedule = Schedule::trivial(&code);
+//! schedule.validate(&code).unwrap();
+//!
+//! let noise = NoiseModel::uniform(1e-3, 5e-4, 1e-3);
+//! let dem = DetectorErrorModel::build(&code, &schedule, &noise).unwrap();
+//! assert_eq!(dem.num_detectors(), 2 * code.stabilizers().len());
+//! assert_eq!(dem.num_observables(), 2 * code.num_logicals());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dem;
+mod error;
+mod evaluate;
+mod noise;
+mod propagate;
+mod sampler;
+mod schedule;
+
+pub use dem::{DemError, DetectorErrorModel};
+pub use error::CircuitError;
+pub use evaluate::{
+    estimate_logical_error, DecoderFactory, LogicalErrorEstimate, ObservableDecoder,
+};
+pub use noise::NoiseModel;
+pub use propagate::{propagate_fault, FaultSite, RoundCircuit};
+pub use sampler::{Sampler, Shot};
+pub use schedule::{Check, Schedule, ScheduleBuilder};

@@ -1,0 +1,259 @@
+//! Circuit-level noise models for syndrome-measurement rounds.
+
+use serde::{Deserialize, Serialize};
+
+use crate::CircuitError;
+
+/// A circuit-level Pauli noise model for one syndrome-measurement round.
+///
+/// The model follows the paper's §5.1.2 setup (adapted from IBM Brisbane):
+///
+/// * every two-qubit check gate is followed by a two-qubit depolarizing
+///   channel of strength `p_two_qubit` (each of the 15 non-identity
+///   two-qubit Paulis with probability `p_two_qubit / 15`);
+/// * every qubit that is idle during a tick suffers single-qubit
+///   depolarizing noise of strength `p_idle` (each Pauli with probability
+///   `p_idle / 3`); data qubits idle whenever they have no check in a tick,
+///   ancilla qubits idle between their first and last check;
+/// * every ancilla readout flips with probability `p_measurement`.
+///
+/// Non-uniform devices (§5.7) are modelled with per-qubit multipliers: the
+/// effective two-qubit and idle error rates of a gate or idle location are
+/// scaled by the multiplier of the qubits involved (for a two-qubit gate,
+/// the maximum of the two multipliers is used).
+///
+/// # Example
+///
+/// ```
+/// use asynd_circuit::NoiseModel;
+///
+/// let noise = NoiseModel::brisbane();
+/// assert!((noise.p_two_qubit() - 0.0074).abs() < 1e-12);
+/// let scaled = noise.with_ancilla_multipliers(vec![1.0, 2.0, 1.0]);
+/// assert_eq!(scaled.ancilla_multiplier(1), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    p_two_qubit: f64,
+    p_idle: f64,
+    p_measurement: f64,
+    data_idling: bool,
+    data_multipliers: Vec<f64>,
+    ancilla_multipliers: Vec<f64>,
+}
+
+impl NoiseModel {
+    /// Two-qubit gate depolarizing probability of the IBM Brisbane-adapted
+    /// model used throughout the paper's evaluation.
+    pub const BRISBANE_TWO_QUBIT: f64 = 0.0074;
+    /// Idle depolarizing probability per tick of the Brisbane-adapted model.
+    pub const BRISBANE_IDLE: f64 = 0.0052;
+    /// Readout flip probability used alongside the Brisbane-adapted model.
+    pub const BRISBANE_MEASUREMENT: f64 = 0.0074;
+
+    /// A uniform noise model with the given two-qubit, idle and measurement
+    /// error probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    pub fn uniform(p_two_qubit: f64, p_idle: f64, p_measurement: f64) -> Self {
+        for (name, p) in
+            [("p_two_qubit", p_two_qubit), ("p_idle", p_idle), ("p_measurement", p_measurement)]
+        {
+            assert!((0.0..=1.0).contains(&p), "{name} must be a probability, got {p}");
+        }
+        NoiseModel {
+            p_two_qubit,
+            p_idle,
+            p_measurement,
+            data_idling: true,
+            data_multipliers: Vec::new(),
+            ancilla_multipliers: Vec::new(),
+        }
+    }
+
+    /// The IBM Brisbane-adapted uniform model of the paper (§5.1.2).
+    pub fn brisbane() -> Self {
+        NoiseModel::uniform(
+            Self::BRISBANE_TWO_QUBIT,
+            Self::BRISBANE_IDLE,
+            Self::BRISBANE_MEASUREMENT,
+        )
+    }
+
+    /// The evaluation model the paper's §4.1 describes most literally:
+    /// Brisbane-adapted rates with idling noise applied to the ancilla
+    /// qubits only (the paper appends per-tick errors "to the ancilla
+    /// qubits"). The benchmark harness uses this model so that the depth /
+    /// hook-error trade-off matches the paper's; `brisbane()` keeps the more
+    /// pessimistic variant with data-qubit idling as well.
+    pub fn paper() -> Self {
+        NoiseModel::brisbane().with_data_idling(false)
+    }
+
+    /// Enables or disables idling noise on data qubits (builder style).
+    pub fn with_data_idling(mut self, enabled: bool) -> Self {
+        self.data_idling = enabled;
+        self
+    }
+
+    /// Whether idling noise is applied to data qubits.
+    pub fn data_idling(&self) -> bool {
+        self.data_idling
+    }
+
+    /// A uniform depolarizing model where all three error mechanisms share a
+    /// single physical error rate `p` (used by the error-scaling study of
+    /// Figure 14).
+    pub fn scaled(p: f64) -> Self {
+        NoiseModel::uniform(p, p, p)
+    }
+
+    /// Attaches per-data-qubit error-rate multipliers (builder style).
+    pub fn with_data_multipliers(mut self, multipliers: Vec<f64>) -> Self {
+        self.data_multipliers = multipliers;
+        self
+    }
+
+    /// Attaches per-ancilla error-rate multipliers (builder style), indexed
+    /// by stabilizer.
+    pub fn with_ancilla_multipliers(mut self, multipliers: Vec<f64>) -> Self {
+        self.ancilla_multipliers = multipliers;
+        self
+    }
+
+    /// The base two-qubit depolarizing probability.
+    pub fn p_two_qubit(&self) -> f64 {
+        self.p_two_qubit
+    }
+
+    /// The base idle depolarizing probability per tick.
+    pub fn p_idle(&self) -> f64 {
+        self.p_idle
+    }
+
+    /// The readout flip probability.
+    pub fn p_measurement(&self) -> f64 {
+        self.p_measurement
+    }
+
+    /// The error-rate multiplier of a data qubit (1.0 when unset).
+    pub fn data_multiplier(&self, data: usize) -> f64 {
+        self.data_multipliers.get(data).copied().unwrap_or(1.0)
+    }
+
+    /// The error-rate multiplier of an ancilla (1.0 when unset), indexed by
+    /// stabilizer.
+    pub fn ancilla_multiplier(&self, stabilizer: usize) -> f64 {
+        self.ancilla_multipliers.get(stabilizer).copied().unwrap_or(1.0)
+    }
+
+    /// Effective two-qubit error probability of a check between `data` and
+    /// the ancilla of `stabilizer`.
+    pub fn check_error_probability(&self, data: usize, stabilizer: usize) -> f64 {
+        let scale = self.data_multiplier(data).max(self.ancilla_multiplier(stabilizer));
+        (self.p_two_qubit * scale).min(1.0)
+    }
+
+    /// Effective idle error probability of a data qubit for one tick
+    /// (zero when data idling is disabled, see [`NoiseModel::paper`]).
+    pub fn data_idle_probability(&self, data: usize) -> f64 {
+        if !self.data_idling {
+            return 0.0;
+        }
+        (self.p_idle * self.data_multiplier(data)).min(1.0)
+    }
+
+    /// Effective idle error probability of an ancilla for one tick.
+    pub fn ancilla_idle_probability(&self, stabilizer: usize) -> f64 {
+        (self.p_idle * self.ancilla_multiplier(stabilizer)).min(1.0)
+    }
+
+    /// Effective readout flip probability of an ancilla.
+    pub fn measurement_probability(&self, stabilizer: usize) -> f64 {
+        (self.p_measurement * self.ancilla_multiplier(stabilizer)).min(1.0)
+    }
+
+    /// Whether any multiplier makes the model non-uniform.
+    pub fn is_non_uniform(&self) -> bool {
+        self.data_multipliers.iter().chain(&self.ancilla_multipliers).any(|&m| m != 1.0)
+    }
+
+    /// Validates that every derived probability stays within `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] when a multiplier is
+    /// negative.
+    pub fn validate(&self) -> Result<(), CircuitError> {
+        if self.data_multipliers.iter().chain(&self.ancilla_multipliers).any(|&m| m < 0.0) {
+            return Err(CircuitError::InvalidParameter {
+                reason: "noise multipliers must be non-negative".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for NoiseModel {
+    /// The Brisbane-adapted model.
+    fn default() -> Self {
+        NoiseModel::brisbane()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brisbane_constants() {
+        let noise = NoiseModel::brisbane();
+        assert_eq!(noise.p_two_qubit(), 0.0074);
+        assert_eq!(noise.p_idle(), 0.0052);
+        assert!(!noise.is_non_uniform());
+        noise.validate().unwrap();
+    }
+
+    #[test]
+    fn multipliers_scale_probabilities() {
+        let noise = NoiseModel::uniform(0.01, 0.001, 0.02)
+            .with_data_multipliers(vec![1.0, 3.0])
+            .with_ancilla_multipliers(vec![2.0]);
+        assert!(noise.is_non_uniform());
+        assert!((noise.check_error_probability(1, 0) - 0.03).abs() < 1e-12);
+        assert!((noise.check_error_probability(0, 0) - 0.02).abs() < 1e-12);
+        assert!((noise.data_idle_probability(1) - 0.003).abs() < 1e-12);
+        assert!((noise.measurement_probability(0) - 0.04).abs() < 1e-12);
+        // Out-of-range indices default to multiplier 1.
+        assert!((noise.check_error_probability(5, 9) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_model_disables_data_idling_only() {
+        let noise = NoiseModel::paper();
+        assert_eq!(noise.data_idle_probability(0), 0.0);
+        assert!(noise.ancilla_idle_probability(0) > 0.0);
+        assert!(noise.p_two_qubit() > 0.0);
+        assert!(NoiseModel::brisbane().data_idle_probability(0) > 0.0);
+    }
+
+    #[test]
+    fn probabilities_are_clamped() {
+        let noise = NoiseModel::uniform(0.4, 0.4, 0.4).with_data_multipliers(vec![10.0]);
+        assert_eq!(noise.data_idle_probability(0), 1.0);
+    }
+
+    #[test]
+    fn negative_multiplier_rejected() {
+        let noise = NoiseModel::brisbane().with_data_multipliers(vec![-1.0]);
+        assert!(noise.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        let _ = NoiseModel::uniform(1.5, 0.0, 0.0);
+    }
+}

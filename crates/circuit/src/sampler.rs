@@ -1,0 +1,126 @@
+//! Monte-Carlo sampling of detector/observable shots from a detector error
+//! model.
+
+use asynd_pauli::BitVec;
+use rand::Rng;
+
+use crate::DetectorErrorModel;
+
+/// One sampled shot: the detector outcomes handed to a decoder and the true
+/// observable flips the decoder is asked to predict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shot {
+    /// Detector outcomes (true = detection event).
+    pub detectors: BitVec,
+    /// Actual logical observable flips of the sampled error.
+    pub observables: BitVec,
+}
+
+/// Samples independent shots from a [`DetectorErrorModel`].
+///
+/// Every error mechanism fires independently with its probability; the shot
+/// is the XOR of the signatures of the mechanisms that fired — exactly the
+/// sampling semantics of stim's `DetectorErrorModel` sampler.
+///
+/// # Example
+///
+/// ```
+/// use asynd_codes::steane_code;
+/// use asynd_circuit::{DetectorErrorModel, NoiseModel, Sampler, Schedule};
+/// use rand::SeedableRng;
+///
+/// let code = steane_code();
+/// let schedule = Schedule::trivial(&code);
+/// let dem = DetectorErrorModel::build(&code, &schedule, &NoiseModel::brisbane()).unwrap();
+/// let sampler = Sampler::new(&dem);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let shots = sampler.sample(100, &mut rng);
+/// assert_eq!(shots.len(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sampler<'a> {
+    dem: &'a DetectorErrorModel,
+}
+
+impl<'a> Sampler<'a> {
+    /// Creates a sampler over the given DEM.
+    pub fn new(dem: &'a DetectorErrorModel) -> Self {
+        Sampler { dem }
+    }
+
+    /// Samples a single shot.
+    pub fn sample_one<R: Rng + ?Sized>(&self, rng: &mut R) -> Shot {
+        let mut detectors = BitVec::zeros(self.dem.num_detectors());
+        let mut observables = BitVec::zeros(self.dem.num_observables());
+        for error in self.dem.errors() {
+            if rng.gen::<f64>() < error.probability {
+                for &d in &error.detectors {
+                    detectors.flip(d);
+                }
+                for &o in &error.observables {
+                    observables.flip(o);
+                }
+            }
+        }
+        Shot { detectors, observables }
+    }
+
+    /// Samples `shots` independent shots.
+    pub fn sample<R: Rng + ?Sized>(&self, shots: usize, rng: &mut R) -> Vec<Shot> {
+        (0..shots).map(|_| self.sample_one(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DemError;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn toy_dem() -> DetectorErrorModel {
+        DetectorErrorModel::from_parts(
+            3,
+            1,
+            vec![
+                DemError { probability: 0.5, detectors: vec![0, 1], observables: vec![] },
+                DemError { probability: 0.0, detectors: vec![2], observables: vec![0] },
+            ],
+        )
+    }
+
+    #[test]
+    fn zero_probability_mechanisms_never_fire() {
+        let dem = toy_dem();
+        let sampler = Sampler::new(&dem);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for shot in sampler.sample(200, &mut rng) {
+            assert!(!shot.detectors.get(2));
+            assert!(!shot.observables.get(0));
+        }
+    }
+
+    #[test]
+    fn firing_rate_matches_probability() {
+        let dem = toy_dem();
+        let sampler = Sampler::new(&dem);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let shots = sampler.sample(4000, &mut rng);
+        let fired = shots.iter().filter(|s| s.detectors.get(0)).count();
+        let rate = fired as f64 / 4000.0;
+        assert!((rate - 0.5).abs() < 0.05, "empirical rate {rate} too far from 0.5");
+        // Detectors 0 and 1 always fire together for this mechanism.
+        for shot in &shots {
+            assert_eq!(shot.detectors.get(0), shot.detectors.get(1));
+        }
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let dem = toy_dem();
+        let sampler = Sampler::new(&dem);
+        let a = sampler.sample(50, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = sampler.sample(50, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,403 @@
+//! Tick-based representation of a syndrome-measurement schedule.
+
+use std::collections::HashMap;
+
+use asynd_codes::StabilizerCode;
+use asynd_pauli::Pauli;
+use serde::{Deserialize, Serialize};
+
+use crate::CircuitError;
+
+/// One Pauli check of a syndrome-measurement round: the paper's triplet
+/// `(data, ancilla, σ) ↦ tick`.
+///
+/// The ancilla is identified by the stabilizer it measures (`stabilizer`);
+/// the circuit builder assigns ancilla qubit index `num_data + stabilizer`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Check {
+    /// Data qubit index.
+    pub data: usize,
+    /// Index of the stabilizer (and therefore of the ancilla) being measured.
+    pub stabilizer: usize,
+    /// The Pauli type of the partial check (X, Y or Z).
+    pub pauli: Pauli,
+    /// The 1-based tick at which the two-qubit gate executes.
+    pub tick: usize,
+}
+
+/// A complete assignment of every Pauli check of a syndrome-measurement
+/// round to a tick.
+///
+/// Schedules are produced by the schedulers in `asynd-core` (trivial,
+/// lowest-depth, industry hand-crafted, MCTS) and consumed by the circuit /
+/// DEM builder in this crate.
+///
+/// # Example
+///
+/// ```
+/// use asynd_codes::steane_code;
+/// use asynd_circuit::Schedule;
+///
+/// let code = steane_code();
+/// let schedule = Schedule::trivial(&code);
+/// assert_eq!(schedule.checks().len(), 6 * 4);
+/// schedule.validate(&code).unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    num_data: usize,
+    num_stabilizers: usize,
+    checks: Vec<Check>,
+}
+
+impl Schedule {
+    /// Creates a schedule from an explicit check list.
+    pub fn new(num_data: usize, num_stabilizers: usize, checks: Vec<Check>) -> Self {
+        Schedule { num_data, num_stabilizers, checks }
+    }
+
+    /// The *trivial* schedule of the paper's baselines: stabilizers are
+    /// processed in index order, each stabilizer's checks in data-qubit
+    /// order, and every check is placed at the earliest tick that respects
+    /// the non-conflict condition.
+    pub fn trivial(code: &StabilizerCode) -> Self {
+        let mut builder = ScheduleBuilder::new(code);
+        for (s, stab) in code.stabilizers().iter().enumerate() {
+            for &(q, p) in stab.entries() {
+                builder.push_earliest(q, s, p);
+            }
+        }
+        builder.finish()
+    }
+
+    /// Number of data qubits of the underlying code.
+    pub fn num_data(&self) -> usize {
+        self.num_data
+    }
+
+    /// Number of stabilizers (= ancilla qubits) of the underlying code.
+    pub fn num_stabilizers(&self) -> usize {
+        self.num_stabilizers
+    }
+
+    /// The scheduled checks, in insertion order.
+    pub fn checks(&self) -> &[Check] {
+        &self.checks
+    }
+
+    /// The circuit depth in two-qubit-gate ticks (the largest assigned tick).
+    pub fn depth(&self) -> usize {
+        self.checks.iter().map(|c| c.tick).max().unwrap_or(0)
+    }
+
+    /// The checks executing at a given tick.
+    pub fn checks_at(&self, tick: usize) -> Vec<&Check> {
+        self.checks.iter().filter(|c| c.tick == tick).collect()
+    }
+
+    /// The tick of the check between `stabilizer` and `data`, if scheduled.
+    pub fn tick_of(&self, stabilizer: usize, data: usize) -> Option<usize> {
+        self.checks
+            .iter()
+            .find(|c| c.stabilizer == stabilizer && c.data == data)
+            .map(|c| c.tick)
+    }
+
+    /// First and last tick at which each stabilizer's ancilla is active.
+    ///
+    /// Returns `(first, last)` per stabilizer; stabilizers with no checks get
+    /// `(0, 0)`.
+    pub fn ancilla_windows(&self) -> Vec<(usize, usize)> {
+        let mut windows = vec![(usize::MAX, 0usize); self.num_stabilizers];
+        for c in &self.checks {
+            let w = &mut windows[c.stabilizer];
+            w.0 = w.0.min(c.tick);
+            w.1 = w.1.max(c.tick);
+        }
+        windows
+            .into_iter()
+            .map(|(first, last)| if first == usize::MAX { (0, 0) } else { (first, last) })
+            .collect()
+    }
+
+    /// Checks the schedule against its code.
+    ///
+    /// Verifies that ticks are positive, that every stabilizer's support is
+    /// covered exactly once with the correct Pauli, that no qubit (data or
+    /// ancilla) is used twice in a tick, and that every pair of overlapping
+    /// stabilizers with anticommuting checks satisfies the crossing-parity
+    /// condition (an even number of shared qubits on which their relative
+    /// order is inverted), so the round measures the intended operators.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`CircuitError`].
+    pub fn validate(&self, code: &StabilizerCode) -> Result<(), CircuitError> {
+        if self.checks.iter().any(|c| c.tick == 0) {
+            return Err(CircuitError::ZeroTick);
+        }
+        // Coverage and Pauli consistency.
+        let mut per_stab: HashMap<usize, HashMap<usize, (Pauli, usize)>> = HashMap::new();
+        for c in &self.checks {
+            if c.stabilizer >= code.stabilizers().len() || c.data >= code.num_qubits() {
+                return Err(CircuitError::CheckMismatch { stabilizer: c.stabilizer, data: c.data });
+            }
+            let expected = code.stabilizers()[c.stabilizer].get(c.data);
+            if expected != c.pauli || expected == Pauli::I {
+                return Err(CircuitError::CheckMismatch { stabilizer: c.stabilizer, data: c.data });
+            }
+            if per_stab.entry(c.stabilizer).or_default().insert(c.data, (c.pauli, c.tick)).is_some()
+            {
+                return Err(CircuitError::IncompleteStabilizer {
+                    stabilizer: c.stabilizer,
+                    expected: code.stabilizers()[c.stabilizer].weight(),
+                    found: per_stab[&c.stabilizer].len() + 1,
+                });
+            }
+        }
+        for (s, stab) in code.stabilizers().iter().enumerate() {
+            let found = per_stab.get(&s).map(|m| m.len()).unwrap_or(0);
+            if found != stab.weight() {
+                return Err(CircuitError::IncompleteStabilizer {
+                    stabilizer: s,
+                    expected: stab.weight(),
+                    found,
+                });
+            }
+        }
+        // Non-conflict condition.
+        let mut tick_usage: HashMap<(usize, usize), ()> = HashMap::new();
+        for c in &self.checks {
+            let ancilla = self.num_data + c.stabilizer;
+            for qubit in [c.data, ancilla] {
+                if tick_usage.insert((c.tick, qubit), ()).is_some() {
+                    return Err(CircuitError::QubitConflict { tick: c.tick, qubit });
+                }
+            }
+        }
+        // Crossing-parity condition between overlapping stabilizers.
+        for (s1, stab1) in code.stabilizers().iter().enumerate() {
+            for (s2, stab2) in code.stabilizers().iter().enumerate().skip(s1 + 1) {
+                let mut inverted = 0usize;
+                let mut overlapping = false;
+                for &(q, p1) in stab1.entries() {
+                    let p2 = stab2.get(q);
+                    if p2 != Pauli::I && p1.anticommutes_with(p2) {
+                        overlapping = true;
+                        let t1 = per_stab[&s1][&q].1;
+                        let t2 = per_stab[&s2][&q].1;
+                        if t1 > t2 {
+                            inverted += 1;
+                        }
+                    }
+                }
+                if overlapping && inverted % 2 != 0 {
+                    return Err(CircuitError::CrossingParityViolated { first: s1, second: s2 });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder that keeps the non-conflict condition satisfied by
+/// construction, assigning each new check the earliest legal tick
+/// (the paper's §4.3 state-transition rule).
+#[derive(Debug, Clone)]
+pub struct ScheduleBuilder {
+    num_data: usize,
+    num_stabilizers: usize,
+    checks: Vec<Check>,
+    /// Last tick at which each data qubit is busy.
+    data_busy: Vec<usize>,
+    /// Last tick at which each ancilla is busy.
+    ancilla_busy: Vec<usize>,
+}
+
+impl ScheduleBuilder {
+    /// Creates an empty builder for the given code.
+    pub fn new(code: &StabilizerCode) -> Self {
+        ScheduleBuilder {
+            num_data: code.num_qubits(),
+            num_stabilizers: code.stabilizers().len(),
+            checks: Vec::new(),
+            data_busy: vec![0; code.num_qubits()],
+            ancilla_busy: vec![0; code.stabilizers().len()],
+        }
+    }
+
+    /// Appends a check at the earliest tick that keeps the schedule
+    /// conflict-free (`max(busy(data), busy(ancilla)) + 1`), returning the
+    /// assigned tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data or stabilizer index is out of range.
+    pub fn push_earliest(&mut self, data: usize, stabilizer: usize, pauli: Pauli) -> usize {
+        let tick = self.data_busy[data].max(self.ancilla_busy[stabilizer]) + 1;
+        self.push_at(data, stabilizer, pauli, tick);
+        tick
+    }
+
+    /// Appends a check at an explicit tick, updating the busy trackers.
+    ///
+    /// The caller is responsible for not creating conflicts when bypassing
+    /// [`ScheduleBuilder::push_earliest`]; [`Schedule::validate`] will catch
+    /// any violation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data or stabilizer index is out of range or the tick is
+    /// zero.
+    pub fn push_at(&mut self, data: usize, stabilizer: usize, pauli: Pauli, tick: usize) {
+        assert!(tick >= 1, "ticks are 1-based");
+        assert!(data < self.num_data, "data qubit out of range");
+        assert!(stabilizer < self.num_stabilizers, "stabilizer out of range");
+        self.data_busy[data] = self.data_busy[data].max(tick);
+        self.ancilla_busy[stabilizer] = self.ancilla_busy[stabilizer].max(tick);
+        self.checks.push(Check { data, stabilizer, pauli, tick });
+    }
+
+    /// Number of checks currently scheduled.
+    pub fn len(&self) -> usize {
+        self.checks.len()
+    }
+
+    /// Whether no check has been scheduled yet.
+    pub fn is_empty(&self) -> bool {
+        self.checks.is_empty()
+    }
+
+    /// Finishes the builder into a [`Schedule`].
+    pub fn finish(self) -> Schedule {
+        Schedule { num_data: self.num_data, num_stabilizers: self.num_stabilizers, checks: self.checks }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asynd_codes::{rotated_surface_code, steane_code, xzzx_code};
+
+    #[test]
+    fn trivial_schedule_is_valid() {
+        for code in [steane_code(), rotated_surface_code(3), xzzx_code(3)] {
+            let schedule = Schedule::trivial(&code);
+            schedule.validate(&code).unwrap();
+            let total_weight: usize = code.stabilizers().iter().map(|s| s.weight()).sum();
+            assert_eq!(schedule.checks().len(), total_weight);
+            assert!(schedule.depth() >= code.max_stabilizer_weight());
+        }
+    }
+
+    #[test]
+    fn builder_respects_conflicts() {
+        let code = steane_code();
+        let mut builder = ScheduleBuilder::new(&code);
+        let t1 = builder.push_earliest(0, 0, Pauli::X);
+        let t2 = builder.push_earliest(0, 1, Pauli::X);
+        assert_eq!(t1, 1);
+        assert_eq!(t2, 2, "same data qubit must move to the next tick");
+        let t3 = builder.push_earliest(2, 0, Pauli::X);
+        assert_eq!(t3, 2, "same ancilla must move past its previous check");
+    }
+
+    #[test]
+    fn validate_rejects_conflicts() {
+        let code = steane_code();
+        // Two checks of different stabilizers on the same data qubit at tick 1.
+        let checks = vec![
+            Check { data: 2, stabilizer: 0, pauli: Pauli::X, tick: 1 },
+            Check { data: 2, stabilizer: 1, pauli: Pauli::X, tick: 1 },
+        ];
+        let schedule = Schedule::new(7, 6, checks);
+        assert!(matches!(
+            schedule.validate(&code),
+            Err(CircuitError::QubitConflict { .. }) | Err(CircuitError::IncompleteStabilizer { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_incomplete_coverage() {
+        let code = steane_code();
+        let schedule = Schedule::new(
+            7,
+            6,
+            vec![Check { data: 0, stabilizer: 0, pauli: Pauli::X, tick: 1 }],
+        );
+        assert!(matches!(
+            schedule.validate(&code),
+            Err(CircuitError::IncompleteStabilizer { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_pauli() {
+        let code = steane_code();
+        let mut schedule = Schedule::trivial(&code);
+        schedule.checks[0].pauli = Pauli::Y;
+        assert!(matches!(schedule.validate(&code), Err(CircuitError::CheckMismatch { .. })));
+    }
+
+    #[test]
+    fn crossing_parity_detects_bad_interleaving() {
+        // XZZX code: neighbouring stabilizers share qubits with anticommuting
+        // checks, so an adversarial interleaving must be rejected.
+        let code = xzzx_code(3);
+        let mut schedule = Schedule::trivial(&code);
+        schedule.validate(&code).unwrap();
+        // Find two stabilizers with anticommuting overlap and swap the order
+        // on exactly one shared qubit by pushing one check to a late tick.
+        let stabs = code.stabilizers();
+        let mut target = None;
+        'outer: for s1 in 0..stabs.len() {
+            for s2 in s1 + 1..stabs.len() {
+                let shared: Vec<usize> = stabs[s1]
+                    .entries()
+                    .iter()
+                    .filter(|(q, p)| {
+                        let p2 = stabs[s2].get(*q);
+                        p2 != Pauli::I && p.anticommutes_with(p2)
+                    })
+                    .map(|&(q, _)| q)
+                    .collect();
+                if shared.len() >= 2 {
+                    target = Some((s1, shared[0]));
+                    break 'outer;
+                }
+            }
+        }
+        let (s1, q) = target.expect("xzzx has anticommuting overlaps");
+        let depth = schedule.depth();
+        for c in &mut schedule.checks {
+            if c.stabilizer == s1 && c.data == q {
+                c.tick = depth + 5;
+            }
+        }
+        assert!(matches!(
+            schedule.validate(&code),
+            Err(CircuitError::CrossingParityViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn ancilla_windows_track_activity() {
+        let code = steane_code();
+        let schedule = Schedule::trivial(&code);
+        let windows = schedule.ancilla_windows();
+        assert_eq!(windows.len(), 6);
+        for (first, last) in windows {
+            assert!(first >= 1);
+            assert!(last >= first);
+        }
+    }
+
+    #[test]
+    fn tick_of_lookup() {
+        let code = steane_code();
+        let schedule = Schedule::trivial(&code);
+        let c = schedule.checks()[0];
+        assert_eq!(schedule.tick_of(c.stabilizer, c.data), Some(c.tick));
+        assert_eq!(schedule.tick_of(0, 5), None);
+    }
+}

@@ -1,0 +1,421 @@
+//! The general stabilizer-code object used throughout the workspace.
+
+use std::fmt;
+
+use asynd_pauli::{BinMatrix, BitVec, Pauli, SparsePauli};
+use serde::{Deserialize, Serialize};
+
+use crate::CodeError;
+
+/// Whether a stabilizer generator is an X-type check, a Z-type check or a
+/// mixed-type check (e.g. the `XZZX` code's generators).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StabilizerKind {
+    /// All non-identity sites are Pauli X.
+    XType,
+    /// All non-identity sites are Pauli Z.
+    ZType,
+    /// The generator mixes X, Y and Z sites.
+    Mixed,
+}
+
+/// Optional planar layout information attached to a code.
+///
+/// Geometric layouts are used by the industry hand-crafted schedules
+/// (Google's zig-zag ordering needs to know which corner of a plaquette each
+/// data qubit occupies) and by non-uniform noise models that vary with
+/// position.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct CodeLayout {
+    /// One `(row, col)` coordinate per data qubit, in doubled coordinates so
+    /// that stabilizer (plaquette) centres also have integer coordinates.
+    pub data_coords: Vec<(i32, i32)>,
+    /// One `(row, col)` coordinate per stabilizer generator.
+    pub stab_coords: Vec<(i32, i32)>,
+}
+
+/// A stabilizer quantum error-correcting code.
+///
+/// The struct stores the generating set of the stabilizer group, one
+/// symplectically paired set of logical X/Z representatives, the nominal
+/// `[[n, k, d]]` parameters and optional layout metadata.
+///
+/// Instances are normally produced by the constructors in this crate
+/// ([`crate::rotated_surface_code`], [`crate::bb_code_72_12_6`], …) or by
+/// [`crate::CssCode`]; [`StabilizerCode::new`] is available for custom codes.
+///
+/// # Example
+///
+/// ```
+/// use asynd_codes::steane_code;
+///
+/// let code = steane_code();
+/// assert_eq!((code.num_qubits(), code.num_logicals(), code.distance()), (7, 1, 3));
+/// assert_eq!(code.stabilizers().len(), 6);
+/// code.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StabilizerCode {
+    name: String,
+    family: String,
+    num_qubits: usize,
+    distance: usize,
+    stabilizers: Vec<SparsePauli>,
+    logical_x: Vec<SparsePauli>,
+    logical_z: Vec<SparsePauli>,
+    layout: Option<CodeLayout>,
+}
+
+impl StabilizerCode {
+    /// Creates a code from explicit generators and logical operators.
+    ///
+    /// The nominal `distance` is metadata (used for reporting); it is not
+    /// re-derived. Use [`StabilizerCode::validate`] to check group-theoretic
+    /// consistency.
+    pub fn new(
+        name: impl Into<String>,
+        family: impl Into<String>,
+        num_qubits: usize,
+        distance: usize,
+        stabilizers: Vec<SparsePauli>,
+        logical_x: Vec<SparsePauli>,
+        logical_z: Vec<SparsePauli>,
+    ) -> Self {
+        StabilizerCode {
+            name: name.into(),
+            family: family.into(),
+            num_qubits,
+            distance,
+            stabilizers,
+            logical_x,
+            logical_z,
+            layout: None,
+        }
+    }
+
+    /// Attaches planar layout metadata (builder style).
+    pub fn with_layout(mut self, layout: CodeLayout) -> Self {
+        self.layout = Some(layout);
+        self
+    }
+
+    /// Overrides the human-readable name (builder style).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Human-readable instance name, e.g. `"rotated surface [[9,1,3]]"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Code family name, e.g. `"rotated-surface"`.
+    pub fn family(&self) -> &str {
+        &self.family
+    }
+
+    /// Number of physical data qubits `n`.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of logical qubits `k`.
+    pub fn num_logicals(&self) -> usize {
+        self.logical_x.len()
+    }
+
+    /// Nominal code distance `d`.
+    pub fn distance(&self) -> usize {
+        self.distance
+    }
+
+    /// The stabilizer generators.
+    pub fn stabilizers(&self) -> &[SparsePauli] {
+        &self.stabilizers
+    }
+
+    /// Logical X operator representatives, one per logical qubit.
+    pub fn logical_x(&self) -> &[SparsePauli] {
+        &self.logical_x
+    }
+
+    /// Logical Z operator representatives, one per logical qubit.
+    pub fn logical_z(&self) -> &[SparsePauli] {
+        &self.logical_z
+    }
+
+    /// The optional planar layout.
+    pub fn layout(&self) -> Option<&CodeLayout> {
+        self.layout.as_ref()
+    }
+
+    /// The `[[n, k, d]]` notation string.
+    pub fn parameters(&self) -> String {
+        format!("[[{},{},{}]]", self.num_qubits, self.num_logicals(), self.distance)
+    }
+
+    /// Classifies one stabilizer generator as X-type, Z-type or mixed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn stabilizer_kind(&self, index: usize) -> StabilizerKind {
+        let s = &self.stabilizers[index];
+        let mut has_x = false;
+        let mut has_z = false;
+        for &(_, p) in s.entries() {
+            match p {
+                Pauli::X => has_x = true,
+                Pauli::Z => has_z = true,
+                Pauli::Y => {
+                    has_x = true;
+                    has_z = true;
+                }
+                Pauli::I => {}
+            }
+        }
+        match (has_x, has_z) {
+            (true, false) => StabilizerKind::XType,
+            (false, true) => StabilizerKind::ZType,
+            _ => StabilizerKind::Mixed,
+        }
+    }
+
+    /// Whether the code is CSS: every generator is purely X-type or Z-type.
+    pub fn is_css(&self) -> bool {
+        (0..self.stabilizers.len()).all(|i| self.stabilizer_kind(i) != StabilizerKind::Mixed)
+    }
+
+    /// The maximum stabilizer weight.
+    pub fn max_stabilizer_weight(&self) -> usize {
+        self.stabilizers.iter().map(|s| s.weight()).max().unwrap_or(0)
+    }
+
+    /// The symplectic GF(2) matrix of the stabilizer generators (rows are
+    /// `(x | z)` vectors of length `2n`).
+    pub fn stabilizer_matrix(&self) -> BinMatrix {
+        let n = self.num_qubits;
+        let rows: Vec<BitVec> = self
+            .stabilizers
+            .iter()
+            .map(|s| {
+                let mut v = BitVec::zeros(2 * n);
+                for &(q, p) in s.entries() {
+                    let (x, z) = p.xz();
+                    if x {
+                        v.set(q, true);
+                    }
+                    if z {
+                        v.set(n + q, true);
+                    }
+                }
+                v
+            })
+            .collect();
+        BinMatrix::from_rows(rows)
+    }
+
+    /// The syndrome of a data-qubit error: bit `i` is set when the error
+    /// anticommutes with stabilizer `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the error acts on a different number of qubits.
+    pub fn syndrome_of(&self, error: &asynd_pauli::PauliString) -> BitVec {
+        assert_eq!(error.num_qubits(), self.num_qubits, "error acts on wrong register size");
+        BitVec::from_bools(
+            self.stabilizers.iter().map(|s| s.to_dense(self.num_qubits).anticommutes_with(error)),
+        )
+    }
+
+    /// Which logical X / Z observables an error flips.
+    ///
+    /// Returns `(x_flips, z_flips)` where `x_flips[i]` is set when the error
+    /// anticommutes with logical X_i (i.e. the error contains a logical-Z
+    /// component on qubit `i`), and symmetrically for `z_flips`.
+    pub fn logical_flips(&self, error: &asynd_pauli::PauliString) -> (BitVec, BitVec) {
+        let x_flips = BitVec::from_bools(
+            self.logical_x.iter().map(|l| l.to_dense(self.num_qubits).anticommutes_with(error)),
+        );
+        let z_flips = BitVec::from_bools(
+            self.logical_z.iter().map(|l| l.to_dense(self.num_qubits).anticommutes_with(error)),
+        );
+        (x_flips, z_flips)
+    }
+
+    /// Checks group-theoretic consistency of the code.
+    ///
+    /// Verifies that all generators act within range and mutually commute,
+    /// that logical operators commute with every generator, that logical
+    /// X_i / Z_j anticommute exactly when `i == j`, and that the number of
+    /// logical pairs equals `n - rank(S)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`CodeError`].
+    pub fn validate(&self) -> Result<(), CodeError> {
+        let n = self.num_qubits;
+        for s in &self.stabilizers {
+            if let Some(q) = s.max_qubit() {
+                if q >= n {
+                    return Err(CodeError::QubitOutOfRange { qubit: q, num_qubits: n });
+                }
+            }
+        }
+        for (i, a) in self.stabilizers.iter().enumerate() {
+            for (j, b) in self.stabilizers.iter().enumerate().skip(i + 1) {
+                if a.anticommutes_with(b) {
+                    return Err(CodeError::AnticommutingStabilizers { first: i, second: j });
+                }
+            }
+        }
+        for (li, l) in self.logical_x.iter().chain(self.logical_z.iter()).enumerate() {
+            for (si, s) in self.stabilizers.iter().enumerate() {
+                if l.anticommutes_with(s) {
+                    return Err(CodeError::LogicalNotInCentralizer {
+                        logical: li,
+                        stabilizer: si,
+                    });
+                }
+            }
+        }
+        for (i, lx) in self.logical_x.iter().enumerate() {
+            for (j, lz) in self.logical_z.iter().enumerate() {
+                let anti = lx.anticommutes_with(lz);
+                if anti != (i == j) {
+                    return Err(CodeError::BadLogicalPairing { x_index: i, z_index: j });
+                }
+            }
+        }
+        for (i, lx) in self.logical_x.iter().enumerate() {
+            for (j, lx2) in self.logical_x.iter().enumerate().skip(i + 1) {
+                if lx.anticommutes_with(lx2) {
+                    return Err(CodeError::BadLogicalPairing { x_index: i, z_index: j });
+                }
+            }
+        }
+        for (i, lz) in self.logical_z.iter().enumerate() {
+            for (j, lz2) in self.logical_z.iter().enumerate().skip(i + 1) {
+                if lz.anticommutes_with(lz2) {
+                    return Err(CodeError::BadLogicalPairing { x_index: i, z_index: j });
+                }
+            }
+        }
+        // k = n - rank(S) in the symplectic representation.
+        let rank = self.stabilizer_matrix().rank();
+        let expected_k = n - rank;
+        if expected_k != self.num_logicals() {
+            return Err(CodeError::WrongLogicalCount {
+                expected: expected_k,
+                found: self.num_logicals(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for StabilizerCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.name, self.parameters())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asynd_pauli::PauliString;
+
+    fn bit_flip_code() -> StabilizerCode {
+        // [[3,1,1]]-style bit-flip repetition code (protects X errors only;
+        // nominal distance recorded as 1 because Z errors are unprotected).
+        StabilizerCode::new(
+            "bit-flip repetition",
+            "repetition",
+            3,
+            1,
+            vec![
+                SparsePauli::uniform(&[0, 1], Pauli::Z),
+                SparsePauli::uniform(&[1, 2], Pauli::Z),
+            ],
+            vec![SparsePauli::uniform(&[0, 1, 2], Pauli::X)],
+            vec![SparsePauli::uniform(&[0], Pauli::Z)],
+        )
+    }
+
+    #[test]
+    fn repetition_code_is_valid() {
+        let code = bit_flip_code();
+        code.validate().unwrap();
+        assert!(code.is_css());
+        assert_eq!(code.parameters(), "[[3,1,1]]");
+        assert_eq!(code.stabilizer_kind(0), StabilizerKind::ZType);
+        assert_eq!(code.max_stabilizer_weight(), 2);
+    }
+
+    #[test]
+    fn syndrome_of_single_x_error() {
+        let code = bit_flip_code();
+        let err = PauliString::single(3, 1, Pauli::X);
+        let syn = code.syndrome_of(&err);
+        assert_eq!(syn.to_bools(), vec![true, true]);
+        let err = PauliString::single(3, 0, Pauli::X);
+        assert_eq!(code.syndrome_of(&err).to_bools(), vec![true, false]);
+    }
+
+    #[test]
+    fn logical_flips_detects_logical_error() {
+        let code = bit_flip_code();
+        let logical_x_error = PauliString::from_str("XXX").unwrap();
+        let (x_flips, z_flips) = code.logical_flips(&logical_x_error);
+        // An X-type error flips the logical Z observable, not logical X.
+        assert!(!x_flips.get(0));
+        assert!(z_flips.get(0));
+    }
+
+    #[test]
+    fn validate_catches_anticommuting_stabilizers() {
+        let bad = StabilizerCode::new(
+            "bad",
+            "bad",
+            2,
+            1,
+            vec![SparsePauli::uniform(&[0], Pauli::X), SparsePauli::uniform(&[0], Pauli::Z)],
+            vec![],
+            vec![],
+        );
+        assert!(matches!(bad.validate(), Err(CodeError::AnticommutingStabilizers { .. })));
+    }
+
+    #[test]
+    fn validate_catches_wrong_logical_count() {
+        let bad = StabilizerCode::new(
+            "bad",
+            "bad",
+            3,
+            1,
+            vec![SparsePauli::uniform(&[0, 1], Pauli::Z)],
+            vec![],
+            vec![],
+        );
+        assert!(matches!(bad.validate(), Err(CodeError::WrongLogicalCount { .. })));
+    }
+
+    #[test]
+    fn validate_catches_bad_pairing() {
+        let mut code = bit_flip_code();
+        // Replace logical Z with something commuting with logical X.
+        code.logical_z = vec![SparsePauli::uniform(&[0, 1], Pauli::Z)];
+        assert!(matches!(code.validate(), Err(CodeError::BadLogicalPairing { .. })));
+    }
+
+    #[test]
+    fn display_and_layout() {
+        let code = bit_flip_code().with_layout(CodeLayout {
+            data_coords: vec![(0, 0), (0, 2), (0, 4)],
+            stab_coords: vec![(0, 1), (0, 3)],
+        });
+        assert!(code.layout().is_some());
+        assert_eq!(code.to_string(), "bit-flip repetition [[3,1,1]]");
+    }
+}

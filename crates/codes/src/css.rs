@@ -1,0 +1,237 @@
+//! CSS code construction from a pair of GF(2) parity-check matrices.
+
+use asynd_pauli::{BinMatrix, BitVec, Pauli, SparsePauli};
+
+use crate::{CodeError, StabilizerCode};
+
+/// A CSS (Calderbank-Shor-Steane) code described by two parity-check
+/// matrices `Hx` (X-type checks) and `Hz` (Z-type checks) satisfying
+/// `Hx · Hzᵀ = 0`.
+///
+/// [`CssCode::build`] turns the pair into a [`StabilizerCode`]: it verifies
+/// the orthogonality condition, extracts a complete set of logical X and Z
+/// operators (kernel-modulo-row-space construction) and symplectically pairs
+/// them so that `X̄_i` anticommutes exactly with `Z̄_i`.
+///
+/// # Example
+///
+/// ```
+/// use asynd_pauli::BinMatrix;
+/// use asynd_codes::CssCode;
+///
+/// // The Steane code: Hx = Hz = Hamming(7,4) parity checks.
+/// let h = BinMatrix::from_dense(&[
+///     &[1, 0, 1, 0, 1, 0, 1],
+///     &[0, 1, 1, 0, 0, 1, 1],
+///     &[0, 0, 0, 1, 1, 1, 1],
+/// ]);
+/// let code = CssCode::new(h.clone(), h).build("steane", "color-666", 3).unwrap();
+/// assert_eq!(code.num_logicals(), 1);
+/// code.validate().unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct CssCode {
+    hx: BinMatrix,
+    hz: BinMatrix,
+}
+
+impl CssCode {
+    /// Wraps the two parity-check matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrices have different numbers of columns.
+    pub fn new(hx: BinMatrix, hz: BinMatrix) -> Self {
+        assert_eq!(
+            hx.num_cols(),
+            hz.num_cols(),
+            "Hx and Hz must act on the same number of qubits"
+        );
+        CssCode { hx, hz }
+    }
+
+    /// The X-type parity-check matrix.
+    pub fn hx(&self) -> &BinMatrix {
+        &self.hx
+    }
+
+    /// The Z-type parity-check matrix.
+    pub fn hz(&self) -> &BinMatrix {
+        &self.hz
+    }
+
+    /// Number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.hx.num_cols()
+    }
+
+    /// Number of logical qubits `k = n - rank(Hx) - rank(Hz)`.
+    pub fn num_logicals(&self) -> usize {
+        self.num_qubits() - self.hx.rank() - self.hz.rank()
+    }
+
+    /// Checks the CSS orthogonality condition `Hx Hzᵀ = 0`.
+    pub fn is_orthogonal(&self) -> bool {
+        let prod = self.hx.mul(&self.hz.transpose());
+        (0..prod.num_rows()).all(|i| !prod.row(i).any())
+    }
+
+    /// Computes paired logical X and Z operator representatives.
+    ///
+    /// Logical X operators span `ker(Hz) / rowspace(Hx)` and logical Z
+    /// operators span `ker(Hx) / rowspace(Hz)`; the X representatives are
+    /// then re-mixed so that `X̄_i · Z̄_jᵀ = δ_{ij}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::CssOrthogonalityViolated`] if `Hx Hzᵀ ≠ 0`.
+    pub fn logical_operators(&self) -> Result<(Vec<BitVec>, Vec<BitVec>), CodeError> {
+        if !self.is_orthogonal() {
+            return Err(CodeError::CssOrthogonalityViolated);
+        }
+        let lx = quotient_basis(&self.hz, &self.hx);
+        let lz = quotient_basis(&self.hx, &self.hz);
+        if lx.len() != lz.len() {
+            return Err(CodeError::WrongLogicalCount { expected: lx.len(), found: lz.len() });
+        }
+        let k = lx.len();
+        if k == 0 {
+            return Ok((lx, lz));
+        }
+        // Pair: build M with M[i][j] = <lx_i, lz_j>; replace Lx by M^{-1} Lx.
+        let mut m = BinMatrix::zeros(k, k);
+        for (i, x) in lx.iter().enumerate() {
+            for (j, z) in lz.iter().enumerate() {
+                if x.dot(z) {
+                    m.set(i, j, true);
+                }
+            }
+        }
+        let m_inv = m.inverse().map_err(|_| CodeError::BadLogicalPairing { x_index: 0, z_index: 0 })?;
+        let n = self.num_qubits();
+        let mut paired_x = Vec::with_capacity(k);
+        for i in 0..k {
+            let mut acc = BitVec::zeros(n);
+            for j in 0..k {
+                if m_inv.get(i, j) {
+                    acc.xor_with(&lx[j]);
+                }
+            }
+            paired_x.push(acc);
+        }
+        Ok((paired_x, lz))
+    }
+
+    /// Builds a full [`StabilizerCode`], with X-type generators listed before
+    /// Z-type generators.
+    ///
+    /// The `distance` argument is recorded as the nominal distance (this
+    /// constructor does not search for minimum-weight logicals).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::CssOrthogonalityViolated`] if `Hx Hzᵀ ≠ 0` or a
+    /// pairing error if the logical extraction fails.
+    pub fn build(
+        &self,
+        name: impl Into<String>,
+        family: impl Into<String>,
+        distance: usize,
+    ) -> Result<StabilizerCode, CodeError> {
+        let (lx, lz) = self.logical_operators()?;
+        let n = self.num_qubits();
+        let mut stabilizers = Vec::new();
+        for row in self.hx.rows() {
+            stabilizers.push(SparsePauli::uniform(&row.ones().collect::<Vec<_>>(), Pauli::X));
+        }
+        for row in self.hz.rows() {
+            stabilizers.push(SparsePauli::uniform(&row.ones().collect::<Vec<_>>(), Pauli::Z));
+        }
+        let logical_x: Vec<SparsePauli> = lx
+            .iter()
+            .map(|v| SparsePauli::uniform(&v.ones().collect::<Vec<_>>(), Pauli::X))
+            .collect();
+        let logical_z: Vec<SparsePauli> = lz
+            .iter()
+            .map(|v| SparsePauli::uniform(&v.ones().collect::<Vec<_>>(), Pauli::Z))
+            .collect();
+        let code =
+            StabilizerCode::new(name, family, n, distance, stabilizers, logical_x, logical_z);
+        Ok(code)
+    }
+}
+
+/// Basis of `ker(annihilator) / rowspace(quotient)`.
+///
+/// Used with (annihilator=Hz, quotient=Hx) to obtain logical X operators and
+/// with the roles swapped for logical Z operators.
+fn quotient_basis(annihilator: &BinMatrix, quotient: &BinMatrix) -> Vec<BitVec> {
+    let kernel = annihilator.kernel_basis();
+    let mut reducer = quotient.clone();
+    let mut basis = Vec::new();
+    for v in kernel {
+        let reduced = reducer.reduce_vector(&v);
+        if reduced.any() {
+            basis.push(reduced.clone());
+            reducer.push_row(reduced);
+        }
+    }
+    basis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hamming() -> BinMatrix {
+        BinMatrix::from_dense(&[
+            &[1, 0, 1, 0, 1, 0, 1],
+            &[0, 1, 1, 0, 0, 1, 1],
+            &[0, 0, 0, 1, 1, 1, 1],
+        ])
+    }
+
+    #[test]
+    fn steane_from_css() {
+        let css = CssCode::new(hamming(), hamming());
+        assert!(css.is_orthogonal());
+        assert_eq!(css.num_logicals(), 1);
+        let code = css.build("steane", "color", 3).unwrap();
+        code.validate().unwrap();
+        assert_eq!(code.num_logicals(), 1);
+        assert!(code.is_css());
+    }
+
+    #[test]
+    fn toric_like_small_code() {
+        // Two-qubit "code" with a single Z check: 1 logical qubit.
+        let hz = BinMatrix::from_dense(&[&[1, 1]]);
+        let hx = BinMatrix::zeros(0, 2);
+        let css = CssCode::new(hx, hz);
+        let code = css.build("zz", "toy", 1).unwrap();
+        code.validate().unwrap();
+        assert_eq!(code.num_logicals(), 1);
+    }
+
+    #[test]
+    fn orthogonality_violation_detected() {
+        let hx = BinMatrix::from_dense(&[&[1, 1, 0]]);
+        let hz = BinMatrix::from_dense(&[&[1, 0, 0]]);
+        let css = CssCode::new(hx, hz);
+        assert!(!css.is_orthogonal());
+        assert_eq!(
+            css.build("bad", "bad", 1).unwrap_err(),
+            CodeError::CssOrthogonalityViolated
+        );
+    }
+
+    #[test]
+    fn multi_logical_pairing() {
+        // Hx = Hz = single row of weight 4 on 4 qubits → k = 4 - 2 = 2.
+        let h = BinMatrix::from_dense(&[&[1, 1, 1, 1]]);
+        let css = CssCode::new(h.clone(), h);
+        let code = css.build("422", "toy", 2).unwrap();
+        code.validate().unwrap();
+        assert_eq!(code.num_logicals(), 2);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type for code construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing or validating a stabilizer code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodeError {
+    /// Two stabilizer generators anticommute.
+    AnticommutingStabilizers {
+        /// Index of the first generator.
+        first: usize,
+        /// Index of the second generator.
+        second: usize,
+    },
+    /// A logical operator anticommutes with a stabilizer generator.
+    LogicalNotInCentralizer {
+        /// Index of the logical operator (within its X/Z list).
+        logical: usize,
+        /// Index of the offending stabilizer.
+        stabilizer: usize,
+    },
+    /// The logical X/Z operators are not correctly symplectically paired.
+    BadLogicalPairing {
+        /// Index of the logical X operator.
+        x_index: usize,
+        /// Index of the logical Z operator.
+        z_index: usize,
+    },
+    /// The number of logical operators does not equal `n - rank(S)`.
+    WrongLogicalCount {
+        /// Expected number of logical qubits.
+        expected: usize,
+        /// Number found.
+        found: usize,
+    },
+    /// CSS construction failed because `Hx Hzᵀ ≠ 0`.
+    CssOrthogonalityViolated,
+    /// A construction parameter was invalid (e.g. even distance for an
+    /// odd-distance-only family).
+    InvalidParameter {
+        /// Description of the failed requirement.
+        reason: String,
+    },
+    /// A qubit index referenced by a stabilizer was out of range.
+    QubitOutOfRange {
+        /// Offending qubit index.
+        qubit: usize,
+        /// Number of qubits in the code.
+        num_qubits: usize,
+    },
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::AnticommutingStabilizers { first, second } => {
+                write!(f, "stabilizer generators {first} and {second} anticommute")
+            }
+            CodeError::LogicalNotInCentralizer { logical, stabilizer } => {
+                write!(f, "logical operator {logical} anticommutes with stabilizer {stabilizer}")
+            }
+            CodeError::BadLogicalPairing { x_index, z_index } => {
+                write!(f, "logical X {x_index} and logical Z {z_index} violate the symplectic pairing")
+            }
+            CodeError::WrongLogicalCount { expected, found } => {
+                write!(f, "expected {expected} logical qubits but found {found}")
+            }
+            CodeError::CssOrthogonalityViolated => {
+                write!(f, "CSS condition violated: Hx * Hz^T is non-zero")
+            }
+            CodeError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            CodeError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for a {num_qubits}-qubit code")
+            }
+        }
+    }
+}
+
+impl Error for CodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CodeError::CssOrthogonalityViolated;
+        assert!(e.to_string().contains("CSS"));
+        let e = CodeError::InvalidParameter { reason: "distance must be odd".into() };
+        assert!(e.to_string().contains("odd"));
+    }
+}

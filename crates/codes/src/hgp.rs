@@ -1,0 +1,172 @@
+//! Hypergraph-product (HGP) codes and the small classical seed codes used to
+//! build them.
+//!
+//! HGP codes provide the multi-logical-qubit LDPC instances that substitute
+//! for the paper's hyperbolic surface / hyperbolic colour codes (see
+//! DESIGN.md §3).
+
+use asynd_pauli::BinMatrix;
+
+use crate::{CodeError, CssCode, StabilizerCode};
+
+/// Parity-check matrix of the classical length-`n` repetition code
+/// (`n-1` chain checks, distance `n`).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn repetition_checks(n: usize) -> BinMatrix {
+    assert!(n >= 2, "repetition code needs n >= 2");
+    let rows: Vec<Vec<usize>> = (0..n - 1).map(|i| vec![i, i + 1]).collect();
+    BinMatrix::from_row_supports(n, &rows)
+}
+
+/// Parity-check matrix of the classical length-`n` ring (cyclic repetition)
+/// code: `n` checks of weight 2 with one redundancy.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn ring_checks(n: usize) -> BinMatrix {
+    assert!(n >= 2, "ring code needs n >= 2");
+    let rows: Vec<Vec<usize>> = (0..n).map(|i| vec![i, (i + 1) % n]).collect();
+    BinMatrix::from_row_supports(n, &rows)
+}
+
+/// Parity-check matrix of the classical Hamming `[7, 4, 3]` code.
+pub fn hamming_7_4_checks() -> BinMatrix {
+    BinMatrix::from_row_supports(7, &[vec![0, 2, 4, 6], vec![1, 2, 5, 6], vec![3, 4, 5, 6]])
+}
+
+/// The hypergraph product of two classical codes with parity-check matrices
+/// `h1` (`r1 x n1`) and `h2` (`r2 x n2`).
+///
+/// The resulting CSS code has `n = n1 n2 + r1 r2` qubits,
+/// `Hx = [h1 ⊗ I_{n2} | I_{r1} ⊗ h2ᵀ]` and
+/// `Hz = [I_{n1} ⊗ h2 | h1ᵀ ⊗ I_{r2}]`, and
+/// `k = k1 k2 + k1ᵀ k2ᵀ` logical qubits, where `kᵀ` counts the redundancies
+/// of the classical checks.
+///
+/// # Errors
+///
+/// Returns [`CodeError::InvalidParameter`] if either matrix is empty.
+///
+/// # Example
+///
+/// ```
+/// use asynd_codes::{hypergraph_product_code, repetition_checks};
+/// // HGP of two length-3 repetition codes = the distance-3 planar surface code.
+/// let code = hypergraph_product_code(&repetition_checks(3), &repetition_checks(3), 3).unwrap();
+/// assert_eq!(code.num_qubits(), 13);
+/// assert_eq!(code.num_logicals(), 1);
+/// ```
+pub fn hypergraph_product_code(
+    h1: &BinMatrix,
+    h2: &BinMatrix,
+    distance: usize,
+) -> Result<StabilizerCode, CodeError> {
+    if h1.num_cols() == 0 || h2.num_cols() == 0 || h1.num_rows() == 0 || h2.num_rows() == 0 {
+        return Err(CodeError::InvalidParameter {
+            reason: "hypergraph product needs non-empty check matrices".into(),
+        });
+    }
+    let (r1, n1) = (h1.num_rows(), h1.num_cols());
+    let (r2, n2) = (h2.num_rows(), h2.num_cols());
+    let n = n1 * n2 + r1 * r2;
+
+    // Left block indices: (i, j) with i < n1, j < n2 → i*n2 + j.
+    // Right block indices: (a, b) with a < r1, b < r2 → n1*n2 + a*r2 + b.
+    let left = |i: usize, j: usize| i * n2 + j;
+    let right = |a: usize, b: usize| n1 * n2 + a * r2 + b;
+
+    // Hx rows: indexed by (a, j) with a < r1, j < n2:
+    //   h1[a, i] on left(i, j)  and  h2[b, j] on right(a, b).
+    let mut x_rows = Vec::with_capacity(r1 * n2);
+    for a in 0..r1 {
+        for j in 0..n2 {
+            let mut row = Vec::new();
+            for i in 0..n1 {
+                if h1.get(a, i) {
+                    row.push(left(i, j));
+                }
+            }
+            for b in 0..r2 {
+                if h2.get(b, j) {
+                    row.push(right(a, b));
+                }
+            }
+            x_rows.push(row);
+        }
+    }
+    // Hz rows: indexed by (i, b) with i < n1, b < r2:
+    //   h2[b, j] on left(i, j)  and  h1[a, i] on right(a, b).
+    let mut z_rows = Vec::with_capacity(n1 * r2);
+    for i in 0..n1 {
+        for b in 0..r2 {
+            let mut row = Vec::new();
+            for j in 0..n2 {
+                if h2.get(b, j) {
+                    row.push(left(i, j));
+                }
+            }
+            for a in 0..r1 {
+                if h1.get(a, i) {
+                    row.push(right(a, b));
+                }
+            }
+            z_rows.push(row);
+        }
+    }
+    let hx = BinMatrix::from_row_supports(n, &x_rows);
+    let hz = BinMatrix::from_row_supports(n, &z_rows);
+    CssCode::new(hx, hz).build(
+        format!("hypergraph product ({r1}x{n1})x({r2}x{n2})"),
+        "hypergraph-product",
+        distance,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repetition_and_ring_checks() {
+        assert_eq!(repetition_checks(5).num_rows(), 4);
+        assert_eq!(repetition_checks(5).rank(), 4);
+        assert_eq!(ring_checks(5).num_rows(), 5);
+        assert_eq!(ring_checks(5).rank(), 4);
+    }
+
+    #[test]
+    fn hgp_of_repetition_codes_is_planar_surface_code() {
+        let code =
+            hypergraph_product_code(&repetition_checks(3), &repetition_checks(3), 3).unwrap();
+        assert_eq!(code.num_qubits(), 13);
+        assert_eq!(code.num_logicals(), 1);
+        code.validate().unwrap();
+    }
+
+    #[test]
+    fn hgp_of_ring_codes_is_toric_like() {
+        let code = hypergraph_product_code(&ring_checks(3), &ring_checks(3), 3).unwrap();
+        assert_eq!(code.num_qubits(), 18);
+        assert_eq!(code.num_logicals(), 2);
+        code.validate().unwrap();
+    }
+
+    #[test]
+    fn hgp_of_hamming_codes_has_many_logicals() {
+        let code =
+            hypergraph_product_code(&hamming_7_4_checks(), &hamming_7_4_checks(), 3).unwrap();
+        assert_eq!(code.num_qubits(), 58);
+        assert_eq!(code.num_logicals(), 16);
+        code.validate().unwrap();
+    }
+
+    #[test]
+    fn hgp_rejects_empty_input() {
+        let empty = BinMatrix::zeros(0, 0);
+        assert!(hypergraph_product_code(&empty, &repetition_checks(3), 1).is_err());
+    }
+}

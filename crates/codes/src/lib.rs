@@ -1,0 +1,54 @@
+//! Stabilizer / CSS quantum error-correcting code constructions for the
+//! AlphaSyndrome reproduction.
+//!
+//! The crate provides:
+//!
+//! * [`StabilizerCode`] — the general code object consumed by the scheduler,
+//!   circuit builder and decoders: stabilizer generators, paired logical
+//!   operators, nominal parameters and an optional planar layout.
+//! * [`CssCode`] — a builder that turns a pair of GF(2) parity-check
+//!   matrices `(Hx, Hz)` into a validated [`StabilizerCode`] with
+//!   automatically extracted, symplectically paired logical operators.
+//! * Generators for every code family used in the paper's evaluation
+//!   (surface codes, XZZX codes, defect codes, toric codes, Shor-type codes,
+//!   Steane and concatenated Steane codes, bivariate-bicycle codes,
+//!   hypergraph-product codes) plus a [`catalog`] of named benchmark
+//!   instances.
+//!
+//! # Example
+//!
+//! ```
+//! use asynd_codes::rotated_surface_code;
+//!
+//! let code = rotated_surface_code(3);
+//! assert_eq!(code.num_qubits(), 9);
+//! assert_eq!(code.num_logicals(), 1);
+//! assert_eq!(code.distance(), 3);
+//! code.validate().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bb;
+pub mod catalog;
+mod code;
+mod css;
+mod error;
+mod hgp;
+mod shor;
+mod steane;
+mod surface;
+mod xzzx;
+
+pub use bb::{bb_code_72_12_6, bivariate_bicycle_code};
+pub use code::{CodeLayout, StabilizerCode, StabilizerKind};
+pub use css::CssCode;
+pub use error::CodeError;
+pub use hgp::{hamming_7_4_checks, hypergraph_product_code, repetition_checks, ring_checks};
+pub use shor::{generalized_shor_code, shor_code};
+pub use steane::{concatenated_steane_code, steane_code};
+pub use surface::{
+    defect_surface_code, rotated_surface_code, rotated_surface_code_rect, toric_code,
+};
+pub use xzzx::xzzx_code;

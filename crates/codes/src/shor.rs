@@ -1,0 +1,80 @@
+//! Shor-type repetition-of-repetition codes `[[d², 1, d]]`.
+
+use asynd_pauli::BinMatrix;
+
+use crate::{CssCode, StabilizerCode};
+
+/// The generalized Shor code `[[d², 1, d]]`: `d` blocks of `d` qubits, with
+/// weight-2 Z checks inside each block and weight-`2d` X checks between
+/// adjacent blocks.
+///
+/// This family stands in for the triangular colour-code scaling series of
+/// the paper (see DESIGN.md §3): it is an exactly constructible, `k = 1`
+/// CSS family with odd distances 3, 5, 7, 9 whose high-weight X checks make
+/// hook-error scheduling highly consequential.
+///
+/// # Panics
+///
+/// Panics if `d < 2`.
+///
+/// # Example
+///
+/// ```
+/// use asynd_codes::generalized_shor_code;
+/// let code = generalized_shor_code(3);
+/// assert_eq!(code.parameters(), "[[9,1,3]]");
+/// ```
+pub fn generalized_shor_code(d: usize) -> StabilizerCode {
+    assert!(d >= 2, "generalized Shor code needs d >= 2");
+    let n = d * d;
+    // Z checks: Z_i Z_{i+1} within each block.
+    let mut z_rows = Vec::new();
+    for block in 0..d {
+        for i in 0..d - 1 {
+            z_rows.push(vec![block * d + i, block * d + i + 1]);
+        }
+    }
+    // X checks: X on every qubit of two adjacent blocks.
+    let mut x_rows = Vec::new();
+    for block in 0..d - 1 {
+        let mut row: Vec<usize> = (0..d).map(|i| block * d + i).collect();
+        row.extend((0..d).map(|i| (block + 1) * d + i));
+        x_rows.push(row);
+    }
+    let hx = BinMatrix::from_row_supports(n, &x_rows);
+    let hz = BinMatrix::from_row_supports(n, &z_rows);
+    CssCode::new(hx, hz)
+        .build(format!("generalized Shor d={d}"), "shor", d)
+        .expect("Shor construction always satisfies the CSS condition")
+}
+
+/// The original Shor code `[[9, 1, 3]]`.
+pub fn shor_code() -> StabilizerCode {
+    generalized_shor_code(3).with_name("shor")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shor_code_parameters() {
+        let code = shor_code();
+        assert_eq!(code.num_qubits(), 9);
+        assert_eq!(code.num_logicals(), 1);
+        assert_eq!(code.stabilizers().len(), 8);
+        code.validate().unwrap();
+    }
+
+    #[test]
+    fn generalized_family() {
+        for d in [2, 3, 5, 7] {
+            let code = generalized_shor_code(d);
+            assert_eq!(code.num_qubits(), d * d);
+            assert_eq!(code.num_logicals(), 1);
+            assert_eq!(code.stabilizers().len(), d * d - 1);
+            assert_eq!(code.max_stabilizer_weight(), 2 * d);
+            code.validate().unwrap();
+        }
+    }
+}

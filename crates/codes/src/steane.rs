@@ -1,0 +1,109 @@
+//! The Steane `[[7,1,3]]` colour code and its self-concatenation
+//! `[[49,1,9]]`.
+
+use asynd_pauli::BinMatrix;
+
+use crate::{CssCode, StabilizerCode};
+
+/// Parity-check matrix of the classical Hamming `[7,4,3]` code.
+fn hamming_rows() -> Vec<Vec<usize>> {
+    vec![vec![0, 2, 4, 6], vec![1, 2, 5, 6], vec![3, 4, 5, 6]]
+}
+
+/// Minimum-weight logical representative of the Steane code on one block:
+/// `{0, 1, 2}` commutes with every Hamming check and is not a check itself.
+const STEANE_LOGICAL: [usize; 3] = [0, 1, 2];
+
+/// The Steane code `[[7, 1, 3]]` — the distance-3 triangular colour code
+/// (both the hexagonal 6.6.6 and square-octagonal 4.8.8 families coincide
+/// with it at distance 3).
+///
+/// # Example
+///
+/// ```
+/// use asynd_codes::steane_code;
+/// let code = steane_code();
+/// assert_eq!(code.parameters(), "[[7,1,3]]");
+/// assert!(code.is_css());
+/// ```
+pub fn steane_code() -> StabilizerCode {
+    let h = BinMatrix::from_row_supports(7, &hamming_rows());
+    CssCode::new(h.clone(), h)
+        .build("steane", "color-666", 3)
+        .expect("Steane construction always satisfies the CSS condition")
+}
+
+/// The Steane code concatenated with itself: `[[49, 1, 9]]`.
+///
+/// Seven inner Steane blocks carry the 42 inner stabilizers; the outer
+/// Steane code's checks act through weight-3 logical representatives of the
+/// inner blocks, giving six additional weight-12 stabilizers. Used as the
+/// largest instance of the colour-code-substitute family (DESIGN.md §3).
+///
+/// # Example
+///
+/// ```
+/// use asynd_codes::concatenated_steane_code;
+/// let code = concatenated_steane_code();
+/// assert_eq!(code.parameters(), "[[49,1,9]]");
+/// ```
+pub fn concatenated_steane_code() -> StabilizerCode {
+    let n = 49;
+    let mut x_rows: Vec<Vec<usize>> = Vec::new();
+    let mut z_rows: Vec<Vec<usize>> = Vec::new();
+    // Inner stabilizers: one copy of the Steane checks per block.
+    for block in 0..7usize {
+        for row in hamming_rows() {
+            let shifted: Vec<usize> = row.iter().map(|&q| block * 7 + q).collect();
+            x_rows.push(shifted.clone());
+            z_rows.push(shifted);
+        }
+    }
+    // Outer stabilizers: the Hamming checks acting via the inner logical
+    // representatives.
+    for row in hamming_rows() {
+        let support: Vec<usize> = row
+            .iter()
+            .flat_map(|&block| STEANE_LOGICAL.iter().map(move |&q| block * 7 + q))
+            .collect();
+        x_rows.push(support.clone());
+        z_rows.push(support);
+    }
+    let hx = BinMatrix::from_row_supports(n, &x_rows);
+    let hz = BinMatrix::from_row_supports(n, &z_rows);
+    CssCode::new(hx, hz)
+        .build("steane^2", "color-666-concatenated", 9)
+        .expect("concatenated Steane construction always satisfies the CSS condition")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steane_parameters() {
+        let code = steane_code();
+        assert_eq!(code.num_qubits(), 7);
+        assert_eq!(code.num_logicals(), 1);
+        assert_eq!(code.stabilizers().len(), 6);
+        assert!(code.stabilizers().iter().all(|s| s.weight() == 4));
+        code.validate().unwrap();
+    }
+
+    #[test]
+    fn concatenated_steane_parameters() {
+        let code = concatenated_steane_code();
+        assert_eq!(code.num_qubits(), 49);
+        assert_eq!(code.num_logicals(), 1);
+        assert_eq!(code.stabilizers().len(), 48);
+        assert_eq!(code.max_stabilizer_weight(), 12);
+        code.validate().unwrap();
+    }
+
+    #[test]
+    fn steane_logical_weight_is_three() {
+        let code = steane_code();
+        assert!(code.logical_x()[0].weight() >= 3);
+        assert!(code.logical_z()[0].weight() >= 3);
+    }
+}

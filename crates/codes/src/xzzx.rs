@@ -1,0 +1,110 @@
+//! The XZZX surface code: a Hadamard-twisted rotated surface code whose
+//! stabilizers mix X and Z on the same plaquette.
+
+use asynd_pauli::{Pauli, SparsePauli};
+
+use crate::{rotated_surface_code, StabilizerCode};
+
+/// Applies the single-qubit Hadamard conjugation (X ↔ Z, Y ↦ Y) on the
+/// selected qubits of a sparse Pauli operator.
+fn hadamard_twist(op: &SparsePauli, twisted: &[bool]) -> SparsePauli {
+    SparsePauli::new(
+        op.entries()
+            .iter()
+            .map(|&(q, p)| {
+                let p = if twisted[q] {
+                    match p {
+                        Pauli::X => Pauli::Z,
+                        Pauli::Z => Pauli::X,
+                        other => other,
+                    }
+                } else {
+                    p
+                };
+                (q, p)
+            })
+            .collect(),
+    )
+}
+
+/// The distance-`d` XZZX code `[[d², 1, d]]`.
+///
+/// Constructed by conjugating the rotated surface code with Hadamards on the
+/// data qubits of odd checkerboard parity, so every plaquette stabilizer
+/// becomes an `XZZX`-pattern mixed check. This is the non-CSS code family
+/// the paper mentions in §5.3.1 and exercises the general (non-CSS) paths of
+/// the scheduler: its stabilizers cannot be split into an X partition and a
+/// Z partition.
+///
+/// # Panics
+///
+/// Panics if `d < 2`.
+///
+/// # Example
+///
+/// ```
+/// use asynd_codes::xzzx_code;
+/// let code = xzzx_code(3);
+/// assert_eq!(code.parameters(), "[[9,1,3]]");
+/// assert!(!code.is_css());
+/// ```
+pub fn xzzx_code(d: usize) -> StabilizerCode {
+    let base = rotated_surface_code(d);
+    let n = base.num_qubits();
+    // Twist the qubits with odd (row + col) parity; with the base layout the
+    // data qubit at grid position (r, c) has index r*d + c.
+    let twisted: Vec<bool> = (0..n).map(|q| (q / d + q % d) % 2 == 1).collect();
+    let stabilizers = base.stabilizers().iter().map(|s| hadamard_twist(s, &twisted)).collect();
+    let logical_x = base.logical_x().iter().map(|s| hadamard_twist(s, &twisted)).collect();
+    let logical_z = base.logical_z().iter().map(|s| hadamard_twist(s, &twisted)).collect();
+    let mut code = StabilizerCode::new(
+        format!("xzzx d={d}"),
+        "xzzx",
+        n,
+        d,
+        stabilizers,
+        logical_x,
+        logical_z,
+    );
+    if let Some(layout) = base.layout() {
+        code = code.with_layout(layout.clone());
+    }
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StabilizerKind;
+
+    #[test]
+    fn xzzx_parameters_and_validity() {
+        for d in [2, 3, 5] {
+            let code = xzzx_code(d);
+            assert_eq!(code.num_qubits(), d * d);
+            assert_eq!(code.num_logicals(), 1);
+            code.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn bulk_stabilizers_are_mixed() {
+        let code = xzzx_code(3);
+        assert!(!code.is_css());
+        let mixed = (0..code.stabilizers().len())
+            .filter(|&i| code.stabilizer_kind(i) == StabilizerKind::Mixed)
+            .count();
+        // Every weight-4 bulk plaquette becomes an XZZX-type mixed check.
+        assert!(mixed >= 4);
+    }
+
+    #[test]
+    fn hadamard_twist_preserves_weight() {
+        let base = rotated_surface_code(3);
+        let code = xzzx_code(3);
+        for (a, b) in base.stabilizers().iter().zip(code.stabilizers()) {
+            assert_eq!(a.weight(), b.weight());
+            assert_eq!(a.support(), b.support());
+        }
+    }
+}

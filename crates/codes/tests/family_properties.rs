@@ -1,0 +1,151 @@
+//! Property-style tests over whole code families: every constructor must
+//! produce commuting stabilizers, correctly paired logicals and the expected
+//! parameters, and the small instances must have the claimed distance.
+
+use asynd_codes::{
+    bivariate_bicycle_code, concatenated_steane_code, defect_surface_code, generalized_shor_code,
+    hamming_7_4_checks, hypergraph_product_code, repetition_checks, ring_checks,
+    rotated_surface_code, rotated_surface_code_rect, shor_code, steane_code, toric_code,
+    xzzx_code, StabilizerCode,
+};
+use asynd_pauli::{Pauli, PauliString};
+use proptest::prelude::*;
+
+/// All `k`-element subsets of `0..n`.
+fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    fn recurse(start: usize, n: usize, k: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if current.len() == k {
+            out.push(current.clone());
+            return;
+        }
+        for q in start..n {
+            current.push(q);
+            recurse(q + 1, n, k, current, out);
+            current.pop();
+        }
+    }
+    recurse(0, n, k, &mut current, &mut out);
+    out
+}
+
+/// Exhaustively computes the minimum weight of a non-trivial logical
+/// operator up to `max_weight`.
+///
+/// Only feasible for small codes; returns `None` if no logical operator of
+/// weight `<= max_weight` exists.
+fn min_logical_weight(code: &StabilizerCode, max_weight: usize) -> Option<usize> {
+    let n = code.num_qubits();
+    let stabs: Vec<PauliString> = code.stabilizers().iter().map(|s| s.to_dense(n)).collect();
+    let logicals: Vec<PauliString> =
+        code.logical_x().iter().chain(code.logical_z()).map(|l| l.to_dense(n)).collect();
+    for weight in 1..=max_weight {
+        for support in combinations(n, weight) {
+            // Enumerate the 3^weight Pauli assignments on this support.
+            for assignment in 0..3usize.pow(weight as u32) {
+                let mut value = assignment;
+                let entries: Vec<(usize, Pauli)> = support
+                    .iter()
+                    .map(|&q| {
+                        let p = [Pauli::X, Pauli::Y, Pauli::Z][value % 3];
+                        value /= 3;
+                        (q, p)
+                    })
+                    .collect();
+                let error = PauliString::from_sparse(n, &entries);
+                let commutes_with_all = stabs.iter().all(|s| s.commutes_with(&error));
+                if commutes_with_all && logicals.iter().any(|l| l.anticommutes_with(&error)) {
+                    return Some(weight);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[test]
+fn small_code_distances_are_exact() {
+    // Exhaustive distance verification for the smallest instances.
+    assert_eq!(min_logical_weight(&steane_code(), 3), Some(3));
+    assert_eq!(min_logical_weight(&rotated_surface_code(3), 3), Some(3));
+    assert_eq!(min_logical_weight(&xzzx_code(3), 3), Some(3));
+    assert_eq!(min_logical_weight(&shor_code(), 3), Some(3));
+    assert_eq!(min_logical_weight(&toric_code(2), 2), Some(2));
+    // None of the distance-3 codes above has a weight-2 logical operator.
+    assert_eq!(min_logical_weight(&steane_code(), 2), None);
+    assert_eq!(min_logical_weight(&rotated_surface_code(3), 2), None);
+    assert_eq!(min_logical_weight(&xzzx_code(3), 2), None);
+}
+
+#[test]
+fn every_family_instance_validates() {
+    let instances: Vec<StabilizerCode> = vec![
+        steane_code(),
+        concatenated_steane_code(),
+        shor_code(),
+        generalized_shor_code(5),
+        rotated_surface_code(4),
+        rotated_surface_code_rect(3, 7),
+        defect_surface_code(5),
+        toric_code(4),
+        xzzx_code(4),
+        bivariate_bicycle_code(6, 6, &[(3, 0), (0, 1), (0, 2)], &[(0, 3), (1, 0), (2, 0)], 6)
+            .unwrap(),
+        hypergraph_product_code(&repetition_checks(4), &ring_checks(3), 3).unwrap(),
+        hypergraph_product_code(&hamming_7_4_checks(), &repetition_checks(2), 2).unwrap(),
+    ];
+    for code in instances {
+        code.validate().unwrap_or_else(|e| panic!("{} failed validation: {e}", code.name()));
+        // Logical operators must be non-trivial and within the register.
+        for l in code.logical_x().iter().chain(code.logical_z()) {
+            assert!(!l.is_identity());
+            assert!(l.max_qubit().unwrap() < code.num_qubits());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Rotated surface codes of arbitrary rectangular shape are valid and
+    /// have the expected parameter scaling.
+    #[test]
+    fn rectangular_surface_codes_scale(rows in 2usize..6, cols in 2usize..6) {
+        let code = rotated_surface_code_rect(rows, cols);
+        prop_assert_eq!(code.num_qubits(), rows * cols);
+        prop_assert_eq!(code.num_logicals(), 1);
+        prop_assert_eq!(code.stabilizers().len(), rows * cols - 1);
+        prop_assert_eq!(code.distance(), rows.min(cols));
+        prop_assert!(code.validate().is_ok());
+    }
+
+    /// Generalized Shor codes are valid for every distance.
+    #[test]
+    fn shor_family_scales(d in 2usize..8) {
+        let code = generalized_shor_code(d);
+        prop_assert_eq!(code.num_qubits(), d * d);
+        prop_assert_eq!(code.num_logicals(), 1);
+        prop_assert!(code.validate().is_ok());
+    }
+
+    /// Hypergraph products of repetition/ring seed matrices satisfy the CSS
+    /// condition and the HGP parameter formula.
+    #[test]
+    fn hypergraph_products_are_valid(n1 in 2usize..5, n2 in 2usize..5) {
+        let h1 = repetition_checks(n1);
+        let h2 = ring_checks(n2);
+        let code = hypergraph_product_code(&h1, &h2, 2).unwrap();
+        prop_assert_eq!(code.num_qubits(), n1 * n2 + (n1 - 1) * n2);
+        prop_assert!(code.validate().is_ok());
+    }
+
+    /// Toric codes always encode two logical qubits with weight-4 checks.
+    #[test]
+    fn toric_family_scales(l in 2usize..6) {
+        let code = toric_code(l);
+        prop_assert_eq!(code.num_logicals(), 2);
+        prop_assert!(code.stabilizers().iter().all(|s| s.weight() == 4));
+        prop_assert!(code.validate().is_ok());
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type shared by the schedulers.
+
+use std::error::Error;
+use std::fmt;
+
+use asynd_circuit::CircuitError;
+
+/// Errors raised by schedule synthesizers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedulerError {
+    /// The scheduler requires geometric layout metadata that the code does
+    /// not carry (e.g. Google's zig-zag schedule on a code without
+    /// coordinates).
+    MissingLayout {
+        /// Name of the scheduler that needs the layout.
+        scheduler: String,
+    },
+    /// The scheduler only supports a specific code family.
+    UnsupportedCode {
+        /// Name of the scheduler.
+        scheduler: String,
+        /// Why the code is unsupported.
+        reason: String,
+    },
+    /// The produced schedule failed validation (a bug or an unsupported
+    /// corner case); the underlying cause is attached.
+    InvalidSchedule(CircuitError),
+    /// Evaluation of a candidate schedule failed.
+    Evaluation(CircuitError),
+    /// A configuration parameter was out of range.
+    InvalidConfig {
+        /// Description of the violated requirement.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SchedulerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulerError::MissingLayout { scheduler } => {
+                write!(f, "{scheduler} requires a code with layout coordinates")
+            }
+            SchedulerError::UnsupportedCode { scheduler, reason } => {
+                write!(f, "{scheduler} does not support this code: {reason}")
+            }
+            SchedulerError::InvalidSchedule(e) => write!(f, "synthesized schedule is invalid: {e}"),
+            SchedulerError::Evaluation(e) => write!(f, "schedule evaluation failed: {e}"),
+            SchedulerError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for SchedulerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SchedulerError::InvalidSchedule(e) | SchedulerError::Evaluation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for SchedulerError {
+    fn from(e: CircuitError) -> Self {
+        SchedulerError::InvalidSchedule(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SchedulerError::MissingLayout { scheduler: "google".into() };
+        assert!(e.to_string().contains("layout"));
+        let e: SchedulerError = CircuitError::ZeroTick.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,462 @@
+//! The AlphaSyndrome MCTS scheduler: Monte-Carlo Tree Search over Pauli-check
+//! orderings with decoder-in-the-loop noisy rollouts (paper §4).
+
+use asynd_circuit::{
+    estimate_logical_error, Check, DecoderFactory, NoiseModel, Schedule, ScheduleBuilder,
+};
+use asynd_codes::StabilizerCode;
+use asynd_pauli::Pauli;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{partition_stabilizers, LowestDepthScheduler, Scheduler, SchedulerError};
+
+/// Configuration of the MCTS scheduler.
+///
+/// The defaults are sized for interactive use and tests; the paper's setup
+/// (4000–8000 iterations per step, tens of thousands of stim shots) is
+/// reached by raising `iterations_per_step` and `shots_per_evaluation`
+/// (the bench harness exposes `--full` for this).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MctsConfig {
+    /// MCTS iterations per scheduling step (paper: 4000–8000).
+    pub iterations_per_step: usize,
+    /// Monte-Carlo shots per leaf evaluation.
+    pub shots_per_evaluation: usize,
+    /// UCT exploration constant (paper: √2).
+    pub exploration: f64,
+    /// Random seed (tree search, rollouts and noisy sampling).
+    pub seed: u64,
+}
+
+impl Default for MctsConfig {
+    fn default() -> Self {
+        MctsConfig {
+            iterations_per_step: 48,
+            shots_per_evaluation: 1500,
+            exploration: std::f64::consts::SQRT_2,
+            seed: 0,
+        }
+    }
+}
+
+impl MctsConfig {
+    /// A small-budget configuration for unit tests and quick demos.
+    pub fn quick() -> Self {
+        MctsConfig { iterations_per_step: 12, shots_per_evaluation: 300, ..Default::default() }
+    }
+
+    /// A configuration sized like the paper's experiments.
+    pub fn paper_scale() -> Self {
+        MctsConfig {
+            iterations_per_step: 4000,
+            shots_per_evaluation: 20_000,
+            ..Default::default()
+        }
+    }
+}
+
+/// Progress information for one committed scheduling step (one Pauli check
+/// fixed by the continuous search).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MctsStepReport {
+    /// Index of the partition being scheduled.
+    pub partition: usize,
+    /// Number of checks already fixed in this partition (including this one).
+    pub fixed_checks: usize,
+    /// Total number of checks of this partition.
+    pub total_checks: usize,
+    /// Mean normalised reward of the committed child.
+    pub mean_reward: f64,
+    /// Number of iterations the committed child had accumulated.
+    pub visits: usize,
+}
+
+/// One node of the search tree.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Move (index into the partition's check list) that led to this node.
+    incoming_move: Option<usize>,
+    children: Vec<usize>,
+    /// Moves not yet expanded from this node.
+    untried: Vec<usize>,
+    visits: f64,
+    total_reward: f64,
+}
+
+impl Node {
+    fn new(incoming_move: Option<usize>, untried: Vec<usize>) -> Self {
+        Node { incoming_move, children: Vec::new(), untried, visits: 0.0, total_reward: 0.0 }
+    }
+
+    fn mean(&self) -> f64 {
+        if self.visits == 0.0 {
+            0.0
+        } else {
+            self.total_reward / self.visits
+        }
+    }
+}
+
+/// The AlphaSyndrome scheduler.
+///
+/// Scheduling proceeds partition by partition (paper Alg. 1 + §4.2). Within
+/// a partition the search state is the ordered list of already-fixed checks;
+/// a move appends one unscheduled check at its earliest conflict-free tick
+/// (§4.3). Leaves are complete partition schedules; they are evaluated by
+/// building the full round (already-optimised partitions + this candidate +
+/// lowest-depth placeholders for the remaining partitions), sampling the
+/// noisy round and decoding it with the configured decoder, and scoring the
+/// resulting overall logical error rate (§4.4). The committed move after
+/// each batch of iterations keeps its subtree (continuous search, §4.5).
+///
+/// Rewards are normalised to `(0, 1)` as `p_ref / (p_ref + p_candidate)`,
+/// where `p_ref` is the lowest-depth baseline's logical error rate, so the
+/// UCT exploration constant keeps its usual scale.
+pub struct MctsScheduler<'a> {
+    noise: NoiseModel,
+    factory: &'a (dyn DecoderFactory + Sync),
+    config: MctsConfig,
+}
+
+impl<'a> MctsScheduler<'a> {
+    /// Creates a scheduler for the given noise model and decoder family.
+    pub fn new(
+        noise: NoiseModel,
+        factory: &'a (dyn DecoderFactory + Sync),
+        config: MctsConfig,
+    ) -> Self {
+        MctsScheduler { noise, factory, config }
+    }
+
+    /// Synthesizes a schedule and reports per-step progress through
+    /// `on_step` (pass `|_| {}` to ignore).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchedulerError`] if the configuration is invalid or a
+    /// candidate evaluation fails.
+    pub fn schedule_with_progress(
+        &self,
+        code: &StabilizerCode,
+        mut on_step: impl FnMut(&MctsStepReport),
+    ) -> Result<Schedule, SchedulerError> {
+        if self.config.iterations_per_step == 0 || self.config.shots_per_evaluation == 0 {
+            return Err(SchedulerError::InvalidConfig {
+                reason: "iterations_per_step and shots_per_evaluation must be positive".into(),
+            });
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let partitions = partition_stabilizers(code);
+
+        // Placeholder sub-schedules for partitions not yet optimised.
+        let placeholder = LowestDepthScheduler::new();
+        let placeholder_schedule = placeholder.schedule(code)?;
+        let mut partition_checks: Vec<Vec<Check>> = Vec::new();
+        for partition in &partitions {
+            let checks: Vec<Check> = placeholder_schedule
+                .checks()
+                .iter()
+                .filter(|c| partition.contains(&c.stabilizer))
+                .copied()
+                .collect();
+            partition_checks.push(checks);
+        }
+
+        // Reference error rate for reward normalisation.
+        let reference = estimate_logical_error(
+            code,
+            &placeholder_schedule,
+            &self.noise,
+            self.factory,
+            self.config.shots_per_evaluation,
+            &mut rng,
+        )
+        .map_err(SchedulerError::Evaluation)?;
+        let p_reference = reference.p_overall.max(1.0 / self.config.shots_per_evaluation as f64);
+
+        // The committed (data, stabilizer, pauli) orderings per partition.
+        let mut committed: Vec<Vec<(usize, usize, Pauli)>> = vec![Vec::new(); partitions.len()];
+
+        for (partition_index, partition) in partitions.iter().enumerate() {
+            // The move universe of this partition: all its Pauli checks.
+            let moves: Vec<(usize, usize, Pauli)> = partition
+                .iter()
+                .flat_map(|&s| {
+                    code.stabilizers()[s].entries().iter().map(move |&(q, p)| (q, s, p))
+                })
+                .collect();
+            let total_checks = moves.len();
+
+            // Search tree with continuous reuse across steps.
+            let mut nodes = vec![Node::new(None, (0..moves.len()).collect())];
+            let mut root = 0usize;
+            let mut prefix: Vec<usize> = Vec::new();
+
+            while prefix.len() < total_checks {
+                // Top up the root's iteration count (§4.5: reuse the subtree,
+                // only add the missing iterations).
+                let already = nodes[root].visits as usize;
+                let missing = self.config.iterations_per_step.saturating_sub(already);
+                for _ in 0..missing {
+                    self.iterate(
+                        code,
+                        &partitions,
+                        &partition_checks,
+                        &committed,
+                        partition_index,
+                        &moves,
+                        &mut nodes,
+                        root,
+                        &prefix,
+                        p_reference,
+                        &mut rng,
+                    )?;
+                }
+                // Commit the best child by mean reward.
+                let best_child = nodes[root]
+                    .children
+                    .iter()
+                    .copied()
+                    .max_by(|&a, &b| {
+                        nodes[a]
+                            .mean()
+                            .partial_cmp(&nodes[b].mean())
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("root has at least one child after iterating");
+                let committed_move =
+                    nodes[best_child].incoming_move.expect("non-root nodes carry a move");
+                prefix.push(committed_move);
+                on_step(&MctsStepReport {
+                    partition: partition_index,
+                    fixed_checks: prefix.len(),
+                    total_checks,
+                    mean_reward: nodes[best_child].mean(),
+                    visits: nodes[best_child].visits as usize,
+                });
+                root = best_child;
+            }
+
+            committed[partition_index] = prefix.iter().map(|&m| moves[m]).collect();
+        }
+
+        let schedule = assemble_schedule(code, &partitions, &committed, &partition_checks, true);
+        schedule.validate(code)?;
+        Ok(schedule)
+    }
+
+    /// One MCTS iteration: selection, expansion, rollout, backpropagation.
+    #[allow(clippy::too_many_arguments)]
+    fn iterate(
+        &self,
+        code: &StabilizerCode,
+        partitions: &[Vec<usize>],
+        partition_checks: &[Vec<Check>],
+        committed: &[Vec<(usize, usize, Pauli)>],
+        partition_index: usize,
+        moves: &[(usize, usize, Pauli)],
+        nodes: &mut Vec<Node>,
+        root: usize,
+        prefix: &[usize],
+        p_reference: f64,
+        rng: &mut ChaCha8Rng,
+    ) -> Result<(), SchedulerError> {
+        // Selection.
+        let mut path = vec![root];
+        let mut current = root;
+        let mut sequence: Vec<usize> = prefix.to_vec();
+        loop {
+            let node = &nodes[current];
+            if !node.untried.is_empty() || node.children.is_empty() {
+                break;
+            }
+            let ln_parent = (node.visits.max(1.0)).ln();
+            let exploration = self.config.exploration;
+            let next = node
+                .children
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    let uct = |i: usize| {
+                        nodes[i].mean() + exploration * (ln_parent / nodes[i].visits.max(1.0)).sqrt()
+                    };
+                    uct(a).partial_cmp(&uct(b)).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("children is non-empty");
+            sequence.push(nodes[next].incoming_move.expect("child has a move"));
+            path.push(next);
+            current = next;
+        }
+        // Expansion.
+        if !nodes[current].untried.is_empty() {
+            let pick = rng.gen_range(0..nodes[current].untried.len());
+            let mv = nodes[current].untried.swap_remove(pick);
+            let remaining: Vec<usize> =
+                (0..moves.len()).filter(|m| !sequence.contains(m) && *m != mv).collect();
+            let child = Node::new(Some(mv), remaining);
+            nodes.push(child);
+            let child_index = nodes.len() - 1;
+            nodes[current].children.push(child_index);
+            sequence.push(mv);
+            path.push(child_index);
+        }
+
+        // Rollout: random completion of the partition order.
+        let mut rollout = sequence.clone();
+        let mut rest: Vec<usize> = (0..moves.len()).filter(|m| !rollout.contains(m)).collect();
+        rest.shuffle(rng);
+        rollout.extend(rest);
+
+        // Evaluate the complete candidate round.
+        let ordering: Vec<(usize, usize, Pauli)> = rollout.iter().map(|&m| moves[m]).collect();
+        let mut candidate_committed = committed.to_vec();
+        candidate_committed[partition_index] = ordering;
+        let schedule =
+            assemble_schedule(code, partitions, &candidate_committed, partition_checks, false);
+        let estimate = estimate_logical_error(
+            code,
+            &schedule,
+            &self.noise,
+            self.factory,
+            self.config.shots_per_evaluation,
+            rng,
+        )
+        .map_err(SchedulerError::Evaluation)?;
+        let p = estimate.p_overall.max(1.0 / (2.0 * self.config.shots_per_evaluation as f64));
+        let reward = p_reference / (p_reference + p);
+
+        // Backpropagation.
+        for &node in &path {
+            nodes[node].visits += 1.0;
+            nodes[node].total_reward += reward;
+        }
+        Ok(())
+    }
+}
+
+/// Assembles a full-round schedule from per-partition orderings.
+///
+/// Partitions are concatenated in order. Partitions with a committed (or
+/// candidate) ordering place each check greedily at its earliest
+/// conflict-free tick following that ordering; partitions without one fall
+/// back to their lowest-depth placeholder checks. When `only_committed` is
+/// true the placeholder is used for any partition whose ordering is still
+/// empty.
+fn assemble_schedule(
+    code: &StabilizerCode,
+    partitions: &[Vec<usize>],
+    orderings: &[Vec<(usize, usize, Pauli)>],
+    placeholder_checks: &[Vec<Check>],
+    _only_committed: bool,
+) -> Schedule {
+    let mut builder = ScheduleBuilder::new(code);
+    let mut offset = 0usize;
+    for (index, _partition) in partitions.iter().enumerate() {
+        let mut partition_depth = 0usize;
+        if orderings[index].is_empty() {
+            // Placeholder: reuse the lowest-depth sub-schedule, shifted.
+            let base = placeholder_checks[index]
+                .iter()
+                .map(|c| c.tick)
+                .min()
+                .unwrap_or(1);
+            for check in &placeholder_checks[index] {
+                let tick = offset + (check.tick - base) + 1;
+                builder.push_at(check.data, check.stabilizer, check.pauli, tick);
+                partition_depth = partition_depth.max(check.tick - base + 1);
+            }
+        } else {
+            let mut data_busy: std::collections::HashMap<usize, usize> =
+                std::collections::HashMap::new();
+            let mut ancilla_busy: std::collections::HashMap<usize, usize> =
+                std::collections::HashMap::new();
+            for &(q, s, p) in &orderings[index] {
+                let tick = data_busy
+                    .get(&q)
+                    .copied()
+                    .unwrap_or(0)
+                    .max(ancilla_busy.get(&s).copied().unwrap_or(0))
+                    + 1;
+                data_busy.insert(q, tick);
+                ancilla_busy.insert(s, tick);
+                builder.push_at(q, s, p, offset + tick);
+                partition_depth = partition_depth.max(tick);
+            }
+        }
+        offset += partition_depth;
+    }
+    builder.finish()
+}
+
+impl Scheduler for MctsScheduler<'_> {
+    fn name(&self) -> &str {
+        "alphasyndrome-mcts"
+    }
+
+    fn schedule(&self, code: &StabilizerCode) -> Result<Schedule, SchedulerError> {
+        self.schedule_with_progress(code, |_| {})
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asynd_codes::steane_code;
+    use asynd_decode::BpOsdFactory;
+
+    #[test]
+    fn quick_mcts_produces_valid_schedule() {
+        let code = steane_code();
+        let factory = BpOsdFactory::new();
+        let scheduler = MctsScheduler::new(
+            NoiseModel::uniform(0.01, 0.005, 0.01),
+            &factory,
+            MctsConfig { iterations_per_step: 6, shots_per_evaluation: 120, ..MctsConfig::quick() },
+        );
+        let mut steps = 0usize;
+        let schedule = scheduler
+            .schedule_with_progress(&code, |report| {
+                steps += 1;
+                assert!(report.fixed_checks <= report.total_checks);
+                assert!(report.mean_reward >= 0.0 && report.mean_reward <= 1.0);
+            })
+            .unwrap();
+        schedule.validate(&code).unwrap();
+        assert_eq!(schedule.checks().len(), 24);
+        assert_eq!(steps, 24, "one committed step per Pauli check");
+        assert_eq!(scheduler.name(), "alphasyndrome-mcts");
+    }
+
+    #[test]
+    fn mcts_is_deterministic_for_a_fixed_seed() {
+        let code = steane_code();
+        let factory = BpOsdFactory::new();
+        let config =
+            MctsConfig { iterations_per_step: 5, shots_per_evaluation: 80, ..MctsConfig::quick() };
+        let a = MctsScheduler::new(NoiseModel::brisbane(), &factory, config.clone())
+            .schedule(&code)
+            .unwrap();
+        let b = MctsScheduler::new(NoiseModel::brisbane(), &factory, config)
+            .schedule(&code)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let code = steane_code();
+        let factory = BpOsdFactory::new();
+        let scheduler = MctsScheduler::new(
+            NoiseModel::brisbane(),
+            &factory,
+            MctsConfig { iterations_per_step: 0, ..MctsConfig::quick() },
+        );
+        assert!(matches!(
+            scheduler.schedule(&code),
+            Err(SchedulerError::InvalidConfig { .. })
+        ));
+    }
+}

@@ -1,0 +1,357 @@
+//! Hypergraph union-find decoder.
+
+use asynd_circuit::{DecoderFactory, DetectorErrorModel, ObservableDecoder};
+use asynd_pauli::{BinMatrix, BitVec};
+
+use crate::common::{CachedDecoder, DecodeMatrix};
+
+/// Hypergraph union-find decoder.
+///
+/// Clusters grow on the DEM's Tanner graph starting from the detection
+/// events: in each growth round every invalid cluster absorbs all error
+/// mechanisms adjacent to its detectors together with those mechanisms'
+/// other detectors, merging clusters that touch (tracked with a union-find
+/// structure). A cluster is *valid* when the error mechanisms fully
+/// contained in it can reproduce the cluster's internal syndrome, which is
+/// checked (and later solved) by GF(2) elimination on the cluster-local
+/// matrix — the standard generalisation of union-find to hypergraph error
+/// models used for LDPC codes.
+///
+/// # Example
+///
+/// ```
+/// use asynd_codes::steane_code;
+/// use asynd_circuit::{DetectorErrorModel, NoiseModel, ObservableDecoder, Schedule};
+/// use asynd_decode::UnionFindDecoder;
+/// use asynd_pauli::BitVec;
+///
+/// let code = steane_code();
+/// let schedule = Schedule::trivial(&code);
+/// let dem = DetectorErrorModel::build(&code, &schedule, &NoiseModel::brisbane()).unwrap();
+/// let decoder = UnionFindDecoder::new(&dem);
+/// assert!(!decoder.decode(&BitVec::zeros(dem.num_detectors())).any());
+/// ```
+pub struct UnionFindDecoder {
+    matrix: DecodeMatrix,
+}
+
+/// Plain union-find over detector indices.
+struct DisjointSet {
+    parent: Vec<usize>,
+}
+
+impl DisjointSet {
+    fn new(n: usize) -> Self {
+        DisjointSet { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+impl UnionFindDecoder {
+    /// Builds the decoder from a DEM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DEM has more than 64 observables.
+    pub fn new(dem: &DetectorErrorModel) -> Self {
+        let matrix = DecodeMatrix::new(dem).expect("observable count exceeds decoder support");
+        UnionFindDecoder { matrix }
+    }
+
+    /// Solves one cluster: finds a set of contained mechanisms reproducing
+    /// the cluster-internal syndrome, returning their combined observable
+    /// mask, or `None` if the cluster is still invalid.
+    fn solve_cluster(
+        &self,
+        cluster_detectors: &[usize],
+        cluster_errors: &[usize],
+        syndrome: &BitVec,
+    ) -> Option<u64> {
+        if cluster_errors.is_empty() {
+            // Valid only if no detection event sits inside.
+            return if cluster_detectors.iter().any(|&d| syndrome.get(d)) { None } else { Some(0) };
+        }
+        // Local system: rows = cluster detectors, columns = cluster errors.
+        let detector_position: std::collections::HashMap<usize, usize> =
+            cluster_detectors.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+        let mut rows = vec![Vec::new(); cluster_detectors.len()];
+        for (col, &j) in cluster_errors.iter().enumerate() {
+            for &d in self.matrix.column(j) {
+                if let Some(&row) = detector_position.get(&d) {
+                    rows[row].push(col);
+                }
+            }
+        }
+        let llrs: Vec<f64> =
+            cluster_errors.iter().map(|&j| self.matrix.prior_llr(j).max(1e-3)).collect();
+        // Reliability-ordered local solve (local OSD-0): place the most
+        // likely columns first so the particular solution prefers them.
+        let mut order: Vec<usize> = (0..cluster_errors.len()).collect();
+        order.sort_by(|&a, &b| llrs[a].partial_cmp(&llrs[b]).unwrap_or(std::cmp::Ordering::Equal));
+        let mut inverse = vec![0usize; order.len()];
+        for (pos, &col) in order.iter().enumerate() {
+            inverse[col] = pos;
+        }
+        let permuted_rows: Vec<Vec<usize>> =
+            rows.iter().map(|r| r.iter().map(|&c| inverse[c]).collect()).collect();
+        let local = BinMatrix::from_row_supports(cluster_errors.len(), &permuted_rows);
+        let rhs = BitVec::from_bools(cluster_detectors.iter().map(|&d| syndrome.get(d)));
+        let particular_permuted = local.solve(&rhs).ok()?;
+        let mut particular = BitVec::zeros(cluster_errors.len());
+        for pos in particular_permuted.ones() {
+            particular.set(order[pos], true);
+        }
+        // Among the consistent explanations inside the cluster, refine
+        // towards the most likely one: exhaustively for small kernels,
+        // greedily otherwise.
+        let kernel: Vec<BitVec> = local
+            .kernel_basis()
+            .into_iter()
+            .map(|k| {
+                let mut unpermuted = BitVec::zeros(cluster_errors.len());
+                for pos in k.ones() {
+                    unpermuted.set(order[pos], true);
+                }
+                unpermuted
+            })
+            .collect();
+        let cost = |x: &BitVec| -> f64 { x.ones().map(|col| llrs[col]).sum() };
+        let mut best = particular.clone();
+        let mut best_cost = cost(&best);
+        if kernel.len() <= 12 {
+            for bits in 1usize..(1 << kernel.len()) {
+                let mut candidate = particular.clone();
+                for (i, k) in kernel.iter().enumerate() {
+                    if bits & (1 << i) != 0 {
+                        candidate.xor_with(k);
+                    }
+                }
+                let c = cost(&candidate);
+                if c < best_cost {
+                    best_cost = c;
+                    best = candidate;
+                }
+            }
+        } else {
+            for _sweep in 0..3 {
+                let mut improved = false;
+                for k in &kernel {
+                    let mut candidate = best.clone();
+                    candidate.xor_with(k);
+                    let c = cost(&candidate);
+                    if c < best_cost {
+                        best_cost = c;
+                        best = candidate;
+                        improved = true;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+        let chosen: Vec<usize> = best.ones().map(|col| cluster_errors[col]).collect();
+        Some(self.matrix.observables_of(&chosen))
+    }
+}
+
+impl ObservableDecoder for UnionFindDecoder {
+    fn decode(&self, detectors: &BitVec) -> BitVec {
+        let m = &self.matrix;
+        if !detectors.any() || m.num_errors() == 0 {
+            return BitVec::zeros(m.num_observables());
+        }
+        let num_detectors = m.num_detectors();
+        let mut dsu = DisjointSet::new(num_detectors);
+        // in_cluster[d]: whether detector d currently belongs to any cluster.
+        let mut in_cluster = vec![false; num_detectors];
+        for d in detectors.ones() {
+            in_cluster[d] = true;
+        }
+        // error_in[j]: whether error j has been absorbed into the clusters.
+        let mut error_absorbed = vec![false; m.num_errors()];
+
+        let mut result_mask = 0u64;
+        for _round in 0..=num_detectors {
+            // Collect current clusters.
+            let mut clusters: std::collections::HashMap<usize, (Vec<usize>, Vec<usize>)> =
+                std::collections::HashMap::new();
+            for d in 0..num_detectors {
+                if in_cluster[d] {
+                    let root = dsu.find(d);
+                    clusters.entry(root).or_default().0.push(d);
+                }
+            }
+            for j in 0..m.num_errors() {
+                if error_absorbed[j] {
+                    // An absorbed error's detectors are all in one cluster.
+                    let root = dsu.find(m.column(j)[0]);
+                    clusters.entry(root).or_default().1.push(j);
+                }
+            }
+            // Check validity of every cluster that contains a detection event.
+            let mut all_valid = true;
+            result_mask = 0;
+            for (cluster_detectors, cluster_errors) in clusters.values() {
+                if let Some(mask) =
+                    self.solve_cluster(cluster_detectors, cluster_errors, detectors)
+                {
+                    result_mask ^= mask;
+                } else {
+                    all_valid = false;
+                }
+            }
+            if all_valid {
+                break;
+            }
+            // Growth: absorb every error adjacent to an in-cluster detector,
+            // merging the clusters it touches.
+            let mut grew = false;
+            for j in 0..m.num_errors() {
+                if error_absorbed[j] {
+                    continue;
+                }
+                let column = m.column(j);
+                if column.is_empty() {
+                    continue;
+                }
+                if column.iter().any(|&d| in_cluster[d]) {
+                    error_absorbed[j] = true;
+                    grew = true;
+                    let first = column[0];
+                    for &d in column {
+                        in_cluster[d] = true;
+                        dsu.union(first, d);
+                    }
+                }
+            }
+            if !grew {
+                // Nothing left to absorb; give up with the best effort so far.
+                break;
+            }
+        }
+        m.mask_to_bitvec(result_mask)
+    }
+}
+
+/// Factory for [`UnionFindDecoder`] (wrapped in a memoisation cache).
+#[derive(Debug, Clone, Default)]
+pub struct UnionFindFactory {
+    _private: (),
+}
+
+impl UnionFindFactory {
+    /// Creates the factory.
+    pub fn new() -> Self {
+        UnionFindFactory { _private: () }
+    }
+}
+
+impl DecoderFactory for UnionFindFactory {
+    fn name(&self) -> &str {
+        "unionfind"
+    }
+
+    fn build(&self, dem: &DetectorErrorModel) -> Box<dyn ObservableDecoder + Send + Sync> {
+        Box::new(CachedDecoder::new(UnionFindDecoder::new(dem)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asynd_circuit::DemError;
+
+    fn chain_dem() -> DetectorErrorModel {
+        DetectorErrorModel::from_parts(
+            3,
+            1,
+            vec![
+                DemError { probability: 0.01, detectors: vec![0], observables: vec![] },
+                DemError { probability: 0.01, detectors: vec![0, 1], observables: vec![] },
+                DemError { probability: 0.01, detectors: vec![1, 2], observables: vec![] },
+                DemError { probability: 0.01, detectors: vec![2], observables: vec![0] },
+            ],
+        )
+    }
+
+    #[test]
+    fn quiet_syndrome_is_trivial() {
+        let decoder = UnionFindDecoder::new(&chain_dem());
+        assert!(!decoder.decode(&BitVec::zeros(3)).any());
+    }
+
+    #[test]
+    fn single_mechanism_syndromes_are_consistent() {
+        // Union-find must return *some* consistent explanation; for the
+        // unambiguous signatures below the explanation is unique.
+        let dem = chain_dem();
+        let decoder = UnionFindDecoder::new(&dem);
+        // Defects {0,1}: the only explanation inside the first growth
+        // neighbourhood is mechanism 1, which flips nothing.
+        assert!(!decoder.decode(&BitVec::from_indices(3, &[0, 1])).any());
+        // Defects {1,2}: mechanism 2, no observable.
+        assert!(!decoder.decode(&BitVec::from_indices(3, &[1, 2])).any());
+    }
+
+    #[test]
+    fn cluster_growth_reaches_a_valid_explanation() {
+        let dem = chain_dem();
+        let decoder = UnionFindDecoder::new(&dem);
+        for error in dem.errors() {
+            let detectors = BitVec::from_indices(3, &error.detectors);
+            let prediction = decoder.decode(&detectors);
+            // The prediction must correspond to *a* valid explanation of the
+            // syndrome; verify consistency by re-projecting through the DEM:
+            // any explanation of a weight-1-mechanism syndrome within this
+            // chain differs from the truth only by a detector-trivial cycle,
+            // which does not exist here, so the observables must match.
+            assert_eq!(
+                prediction,
+                BitVec::from_indices(1, &error.observables),
+                "failed for {:?}",
+                error.detectors
+            );
+        }
+    }
+
+    #[test]
+    fn hyperedge_cluster_is_solved() {
+        let dem = DetectorErrorModel::from_parts(
+            4,
+            1,
+            vec![DemError { probability: 0.01, detectors: vec![0, 1, 2, 3], observables: vec![0] }],
+        );
+        let decoder = UnionFindDecoder::new(&dem);
+        let prediction = decoder.decode(&BitVec::from_indices(4, &[0, 1, 2, 3]));
+        assert!(prediction.get(0));
+    }
+
+    #[test]
+    fn unexplainable_syndrome_does_not_loop_forever() {
+        // A detector with no incident error cannot be explained; the decoder
+        // must terminate and return something.
+        let dem = DetectorErrorModel::from_parts(
+            2,
+            1,
+            vec![DemError { probability: 0.01, detectors: vec![0], observables: vec![0] }],
+        );
+        let decoder = UnionFindDecoder::new(&dem);
+        let _ = decoder.decode(&BitVec::from_indices(2, &[1]));
+    }
+}

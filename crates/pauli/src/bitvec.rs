@@ -1,0 +1,289 @@
+//! A compact bit vector used for syndromes, detector samples and GF(2) rows.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+const WORD_BITS: usize = 64;
+
+/// A growable, bit-packed vector of booleans over `u64` words.
+///
+/// `BitVec` is the workhorse container for syndromes, detector samples,
+/// observable masks and GF(2) matrix rows. All bitwise operations are
+/// word-parallel.
+///
+/// # Example
+///
+/// ```
+/// use asynd_pauli::BitVec;
+///
+/// let mut v = BitVec::zeros(10);
+/// v.set(3, true);
+/// v.set(7, true);
+/// assert_eq!(v.count_ones(), 2);
+/// assert!(v.get(3));
+///
+/// let mut w = BitVec::zeros(10);
+/// w.set(3, true);
+/// v.xor_with(&w);
+/// assert_eq!(v.ones().collect::<Vec<_>>(), vec![7]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates a bit vector of `len` zeros.
+    pub fn zeros(len: usize) -> Self {
+        BitVec { words: vec![0u64; len.div_ceil(WORD_BITS)], len }
+    }
+
+    /// Creates a bit vector from an iterator of booleans.
+    pub fn from_bools<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut v = BitVec::zeros(0);
+        for b in iter {
+            v.push(b);
+        }
+        v
+    }
+
+    /// Creates a bit vector of length `len` with ones at `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is `>= len`.
+    pub fn from_indices(len: usize, indices: &[usize]) -> Self {
+        let mut v = BitVec::zeros(len);
+        for &i in indices {
+            v.set(i, true);
+        }
+        v
+    }
+
+    /// The number of bits stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector holds zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a bit.
+    pub fn push(&mut self, bit: bool) {
+        let idx = self.len;
+        self.len += 1;
+        if self.words.len() * WORD_BITS < self.len {
+            self.words.push(0);
+        }
+        self.set(idx, bit);
+    }
+
+    /// Reads the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "bit index {index} out of range for length {}", self.len);
+        (self.words[index / WORD_BITS] >> (index % WORD_BITS)) & 1 == 1
+    }
+
+    /// Writes the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn set(&mut self, index: usize, value: bool) {
+        assert!(index < self.len, "bit index {index} out of range for length {}", self.len);
+        let word = &mut self.words[index / WORD_BITS];
+        let mask = 1u64 << (index % WORD_BITS);
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    /// Flips the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn flip(&mut self, index: usize) {
+        assert!(index < self.len, "bit index {index} out of range for length {}", self.len);
+        self.words[index / WORD_BITS] ^= 1u64 << (index % WORD_BITS);
+    }
+
+    /// Sets every bit to zero, keeping the length.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether any bit is set.
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// XORs `other` into `self` element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn xor_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch in BitVec::xor_with");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// ANDs `other` into `self` element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn and_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch in BitVec::and_with");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Parity (mod-2 sum) of the AND of two bit vectors — i.e. the GF(2)
+    /// inner product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn dot(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "length mismatch in BitVec::dot");
+        let mut acc = 0u64;
+        for (a, b) in self.words.iter().zip(&other.words) {
+            acc ^= a & b;
+        }
+        acc.count_ones() % 2 == 1
+    }
+
+    /// Iterator over the indices of set bits, ascending.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * WORD_BITS + tz)
+                }
+            })
+        })
+    }
+
+    /// Iterator over all bits as booleans.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Converts into a `Vec<bool>`.
+    pub fn to_bools(&self) -> Vec<bool> {
+        self.iter().collect()
+    }
+
+    /// Raw word access (low-level; trailing bits beyond `len` are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[")?;
+        for i in 0..self.len {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        BitVec::from_bools(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_set() {
+        let mut v = BitVec::zeros(0);
+        for i in 0..130 {
+            v.push(i % 3 == 0);
+        }
+        assert_eq!(v.len(), 130);
+        for i in 0..130 {
+            assert_eq!(v.get(i), i % 3 == 0, "bit {i}");
+        }
+        v.set(129, true);
+        assert!(v.get(129));
+        v.flip(129);
+        assert!(!v.get(129));
+    }
+
+    #[test]
+    fn ones_iterator() {
+        let v = BitVec::from_indices(200, &[0, 63, 64, 65, 199]);
+        assert_eq!(v.ones().collect::<Vec<_>>(), vec![0, 63, 64, 65, 199]);
+        assert_eq!(v.count_ones(), 5);
+    }
+
+    #[test]
+    fn xor_and_dot() {
+        let a = BitVec::from_indices(70, &[1, 5, 69]);
+        let b = BitVec::from_indices(70, &[5, 6, 69]);
+        let mut c = a.clone();
+        c.xor_with(&b);
+        assert_eq!(c.ones().collect::<Vec<_>>(), vec![1, 6]);
+        // dot = |{5, 69}| mod 2 = 0
+        assert!(!a.dot(&b));
+        let d = BitVec::from_indices(70, &[5]);
+        assert!(a.dot(&d));
+    }
+
+    #[test]
+    fn from_bools_roundtrip() {
+        let bools = vec![true, false, true, true, false];
+        let v: BitVec = bools.iter().copied().collect();
+        assert_eq!(v.to_bools(), bools);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let v = BitVec::zeros(3);
+        let _ = v.get(3);
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        let v = BitVec::zeros(2);
+        assert_eq!(format!("{v:?}"), "BitVec[00]");
+    }
+}

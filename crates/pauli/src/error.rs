@@ -1,0 +1,87 @@
+//! Error types for the Pauli algebra substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by constructors and operations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PauliError {
+    /// A textual Pauli string contained a character outside `I`, `X`, `Y`, `Z`
+    /// (case-insensitive) and `_` (treated as identity).
+    InvalidCharacter {
+        /// The offending character.
+        character: char,
+        /// Byte position inside the input string.
+        position: usize,
+    },
+    /// Two operands act on a different number of qubits.
+    LengthMismatch {
+        /// Length of the left operand.
+        left: usize,
+        /// Length of the right operand.
+        right: usize,
+    },
+    /// A qubit index was outside the operator's support range.
+    QubitOutOfRange {
+        /// The requested qubit.
+        qubit: usize,
+        /// The number of qubits of the operator.
+        len: usize,
+    },
+    /// Matrix dimensions are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the expectation that failed.
+        context: String,
+    },
+    /// A linear system had no solution.
+    NoSolution,
+}
+
+impl fmt::Display for PauliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PauliError::InvalidCharacter { character, position } => {
+                write!(f, "invalid pauli character {character:?} at position {position}")
+            }
+            PauliError::LengthMismatch { left, right } => {
+                write!(f, "operand lengths differ: {left} vs {right}")
+            }
+            PauliError::QubitOutOfRange { qubit, len } => {
+                write!(f, "qubit index {qubit} out of range for {len}-qubit operator")
+            }
+            PauliError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            PauliError::NoSolution => write!(f, "linear system has no solution"),
+        }
+    }
+}
+
+impl Error for PauliError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errs = [
+            PauliError::InvalidCharacter { character: 'q', position: 3 },
+            PauliError::LengthMismatch { left: 2, right: 4 },
+            PauliError::QubitOutOfRange { qubit: 9, len: 4 },
+            PauliError::DimensionMismatch { context: "rows".into() },
+            PauliError::NoSolution,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PauliError>();
+    }
+}

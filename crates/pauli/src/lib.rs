@@ -1,0 +1,50 @@
+//! Pauli-string and GF(2) linear-algebra substrate for the AlphaSyndrome
+//! reproduction.
+//!
+//! This crate provides the low-level algebra every other crate in the
+//! workspace is built on:
+//!
+//! * [`Pauli`] — the single-qubit Pauli group modulo phase (`I`, `X`, `Y`,
+//!   `Z`), with multiplication and commutation.
+//! * [`PauliString`] — a dense, bit-packed n-qubit Pauli operator (two bit
+//!   planes, X and Z), with O(n/64) multiplication and symplectic
+//!   commutation tests.
+//! * [`SparsePauli`] — a sparse list-of-(qubit, Pauli) representation used
+//!   when defining stabilizer codes.
+//! * [`BitVec`] — a plain bit vector used for syndromes and samples.
+//! * [`BinMatrix`] — a GF(2) matrix with bit-packed rows supporting row
+//!   reduction, rank, solving linear systems, kernel bases and products.
+//!
+//! # Example
+//!
+//! ```
+//! use asynd_pauli::{Pauli, PauliString};
+//!
+//! // Stabilizers of the 2-qubit repetition code.
+//! let zz = PauliString::from_str("ZZ").unwrap();
+//! let xx = PauliString::from_str("XX").unwrap();
+//! let xi = PauliString::from_str("XI").unwrap();
+//!
+//! assert!(zz.commutes_with(&xx));
+//! assert!(!zz.commutes_with(&xi));
+//! assert_eq!(zz.get(0), Pauli::Z);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binmat;
+mod bitvec;
+mod error;
+mod pauli;
+mod sparse;
+mod string;
+mod symplectic;
+
+pub use binmat::BinMatrix;
+pub use bitvec::BitVec;
+pub use error::PauliError;
+pub use pauli::Pauli;
+pub use sparse::SparsePauli;
+pub use string::PauliString;
+pub use symplectic::{symplectic_complement_pairs, SymplecticPairing};

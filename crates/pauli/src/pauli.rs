@@ -1,0 +1,201 @@
+//! Single-qubit Pauli operators modulo global phase.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::PauliError;
+
+/// A single-qubit Pauli operator, ignoring global phase.
+///
+/// The group structure used throughout the workspace is the projective Pauli
+/// group `{I, X, Y, Z}` under multiplication with phases discarded, which is
+/// what matters for error propagation, syndrome extraction and decoding.
+///
+/// # Example
+///
+/// ```
+/// use asynd_pauli::Pauli;
+///
+/// assert_eq!(Pauli::X * Pauli::Z, Pauli::Y);
+/// assert!(Pauli::X.anticommutes_with(Pauli::Z));
+/// assert!(Pauli::X.commutes_with(Pauli::I));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub enum Pauli {
+    /// The identity.
+    #[default]
+    I,
+    /// Pauli X (bit flip).
+    X,
+    /// Pauli Y (= iXZ, both bit and phase flip).
+    Y,
+    /// Pauli Z (phase flip).
+    Z,
+}
+
+impl Pauli {
+    /// All four Pauli operators in canonical order.
+    pub const ALL: [Pauli; 4] = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// The three non-identity Pauli operators.
+    pub const ERRORS: [Pauli; 3] = [Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// Returns the (x, z) symplectic component pair of this Pauli.
+    ///
+    /// `X ↦ (true, false)`, `Z ↦ (false, true)`, `Y ↦ (true, true)`,
+    /// `I ↦ (false, false)`.
+    #[inline]
+    pub fn xz(self) -> (bool, bool) {
+        match self {
+            Pauli::I => (false, false),
+            Pauli::X => (true, false),
+            Pauli::Y => (true, true),
+            Pauli::Z => (false, true),
+        }
+    }
+
+    /// Builds a Pauli from its symplectic components.
+    #[inline]
+    pub fn from_xz(x: bool, z: bool) -> Pauli {
+        match (x, z) {
+            (false, false) => Pauli::I,
+            (true, false) => Pauli::X,
+            (true, true) => Pauli::Y,
+            (false, true) => Pauli::Z,
+        }
+    }
+
+    /// Whether this Pauli has an X component (i.e. is `X` or `Y`).
+    #[inline]
+    pub fn has_x(self) -> bool {
+        self.xz().0
+    }
+
+    /// Whether this Pauli has a Z component (i.e. is `Z` or `Y`).
+    #[inline]
+    pub fn has_z(self) -> bool {
+        self.xz().1
+    }
+
+    /// Whether this is the identity.
+    #[inline]
+    pub fn is_identity(self) -> bool {
+        self == Pauli::I
+    }
+
+    /// Whether two single-qubit Paulis commute.
+    ///
+    /// Two non-identity Paulis commute exactly when they are equal.
+    #[inline]
+    pub fn commutes_with(self, other: Pauli) -> bool {
+        let (x1, z1) = self.xz();
+        let (x2, z2) = other.xz();
+        // Symplectic form: <P, Q> = x1 z2 + z1 x2 (mod 2); commute iff 0.
+        (x1 & z2) == (z1 & x2)
+    }
+
+    /// Whether two single-qubit Paulis anticommute.
+    #[inline]
+    pub fn anticommutes_with(self, other: Pauli) -> bool {
+        let (x1, z1) = self.xz();
+        let (x2, z2) = other.xz();
+        (x1 & z2) ^ (z1 & x2)
+    }
+
+    /// Parses a single character into a Pauli. Accepts upper/lower case and
+    /// `_` as an alias of identity.
+    pub fn from_char(c: char) -> Result<Pauli, PauliError> {
+        match c.to_ascii_uppercase() {
+            'I' | '_' => Ok(Pauli::I),
+            'X' => Ok(Pauli::X),
+            'Y' => Ok(Pauli::Y),
+            'Z' => Ok(Pauli::Z),
+            other => Err(PauliError::InvalidCharacter { character: other, position: 0 }),
+        }
+    }
+
+    /// Returns the canonical uppercase character of the Pauli.
+    pub fn to_char(self) -> char {
+        match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        }
+    }
+}
+
+impl std::ops::Mul for Pauli {
+    type Output = Pauli;
+
+    /// Multiplication in the projective Pauli group (phases discarded).
+    fn mul(self, rhs: Pauli) -> Pauli {
+        let (x1, z1) = self.xz();
+        let (x2, z2) = rhs.xz();
+        Pauli::from_xz(x1 ^ x2, z1 ^ z2)
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplication_table() {
+        use Pauli::*;
+        assert_eq!(X * X, I);
+        assert_eq!(Y * Y, I);
+        assert_eq!(Z * Z, I);
+        assert_eq!(X * Z, Y);
+        assert_eq!(Z * X, Y);
+        assert_eq!(X * Y, Z);
+        assert_eq!(Y * Z, X);
+        for p in Pauli::ALL {
+            assert_eq!(p * I, p);
+            assert_eq!(I * p, p);
+        }
+    }
+
+    #[test]
+    fn commutation() {
+        use Pauli::*;
+        assert!(X.commutes_with(X));
+        assert!(X.anticommutes_with(Z));
+        assert!(X.anticommutes_with(Y));
+        assert!(Y.anticommutes_with(Z));
+        for p in Pauli::ALL {
+            assert!(p.commutes_with(I));
+            assert!(p.commutes_with(p));
+        }
+    }
+
+    #[test]
+    fn char_roundtrip() {
+        for p in Pauli::ALL {
+            assert_eq!(Pauli::from_char(p.to_char()).unwrap(), p);
+            assert_eq!(Pauli::from_char(p.to_char().to_ascii_lowercase()).unwrap(), p);
+        }
+        assert_eq!(Pauli::from_char('_').unwrap(), Pauli::I);
+        assert!(Pauli::from_char('Q').is_err());
+    }
+
+    #[test]
+    fn xz_roundtrip() {
+        for p in Pauli::ALL {
+            let (x, z) = p.xz();
+            assert_eq!(Pauli::from_xz(x, z), p);
+        }
+    }
+
+    #[test]
+    fn display_matches_char() {
+        assert_eq!(Pauli::Y.to_string(), "Y");
+    }
+}

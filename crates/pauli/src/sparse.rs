@@ -1,0 +1,216 @@
+//! Sparse Pauli operators (list of non-identity sites).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Pauli, PauliString};
+
+/// A sparse Pauli operator: a sorted list of `(qubit, Pauli)` pairs with no
+/// identity entries and no duplicate qubits.
+///
+/// Sparse operators are the natural representation for stabilizer
+/// generators of LDPC codes, whose weight is constant while the block length
+/// grows.
+///
+/// # Example
+///
+/// ```
+/// use asynd_pauli::{Pauli, SparsePauli};
+///
+/// let s = SparsePauli::new(vec![(4, Pauli::Z), (1, Pauli::X)]);
+/// assert_eq!(s.weight(), 2);
+/// assert_eq!(s.entries(), &[(1, Pauli::X), (4, Pauli::Z)]);
+/// assert_eq!(s.to_dense(6).to_string(), "IXIIZI");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct SparsePauli {
+    entries: Vec<(usize, Pauli)>,
+}
+
+impl SparsePauli {
+    /// Builds a sparse Pauli from arbitrary `(qubit, Pauli)` pairs.
+    ///
+    /// Entries are multiplied together per qubit (so duplicates compose),
+    /// identities are dropped, and the result is sorted by qubit.
+    pub fn new(entries: Vec<(usize, Pauli)>) -> Self {
+        let mut merged: Vec<(usize, Pauli)> = Vec::with_capacity(entries.len());
+        let mut sorted = entries;
+        sorted.sort_by_key(|&(q, _)| q);
+        for (q, p) in sorted {
+            match merged.last_mut() {
+                Some((lq, lp)) if *lq == q => *lp = *lp * p,
+                _ => merged.push((q, p)),
+            }
+        }
+        merged.retain(|&(_, p)| !p.is_identity());
+        SparsePauli { entries: merged }
+    }
+
+    /// An empty (identity) sparse operator.
+    pub fn identity() -> Self {
+        SparsePauli { entries: Vec::new() }
+    }
+
+    /// Builds an all-`pauli` operator on the given qubits.
+    pub fn uniform(qubits: &[usize], pauli: Pauli) -> Self {
+        SparsePauli::new(qubits.iter().map(|&q| (q, pauli)).collect())
+    }
+
+    /// The canonical (sorted, de-duplicated, identity-free) entry list.
+    pub fn entries(&self) -> &[(usize, Pauli)] {
+        &self.entries
+    }
+
+    /// The Pauli acting on `qubit` (identity if absent).
+    pub fn get(&self, qubit: usize) -> Pauli {
+        self.entries
+            .binary_search_by_key(&qubit, |&(q, _)| q)
+            .map(|i| self.entries[i].1)
+            .unwrap_or(Pauli::I)
+    }
+
+    /// Number of non-identity sites.
+    pub fn weight(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the operator is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The qubits on which the operator acts non-trivially, ascending.
+    pub fn support(&self) -> Vec<usize> {
+        self.entries.iter().map(|&(q, _)| q).collect()
+    }
+
+    /// The largest qubit index touched, if any.
+    pub fn max_qubit(&self) -> Option<usize> {
+        self.entries.last().map(|&(q, _)| q)
+    }
+
+    /// Whether two sparse operators commute.
+    pub fn commutes_with(&self, other: &SparsePauli) -> bool {
+        let mut anticommuting_overlaps = 0usize;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (qa, pa) = self.entries[i];
+            let (qb, pb) = other.entries[j];
+            match qa.cmp(&qb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if pa.anticommutes_with(pb) {
+                        anticommuting_overlaps += 1;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        anticommuting_overlaps % 2 == 0
+    }
+
+    /// Whether two sparse operators anticommute.
+    pub fn anticommutes_with(&self, other: &SparsePauli) -> bool {
+        !self.commutes_with(other)
+    }
+
+    /// The product of two sparse operators (phases discarded).
+    pub fn product(&self, other: &SparsePauli) -> SparsePauli {
+        let mut entries = self.entries.clone();
+        entries.extend_from_slice(&other.entries);
+        SparsePauli::new(entries)
+    }
+
+    /// Densifies onto a register of `num_qubits` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is out of range.
+    pub fn to_dense(&self, num_qubits: usize) -> PauliString {
+        PauliString::from_sparse(num_qubits, &self.entries)
+    }
+}
+
+impl fmt::Debug for SparsePauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SparsePauli{{")?;
+        for (i, (q, p)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{p}{q}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for SparsePauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.entries.is_empty() {
+            return write!(f, "I");
+        }
+        for (i, (q, p)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, "*")?;
+            }
+            write!(f, "{p}{q}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<&PauliString> for SparsePauli {
+    fn from(dense: &PauliString) -> Self {
+        dense.to_sparse()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_merges_and_sorts() {
+        let s = SparsePauli::new(vec![(3, Pauli::X), (1, Pauli::Z), (3, Pauli::Z), (2, Pauli::I)]);
+        assert_eq!(s.entries(), &[(1, Pauli::Z), (3, Pauli::Y)]);
+        assert_eq!(s.get(3), Pauli::Y);
+        assert_eq!(s.get(0), Pauli::I);
+    }
+
+    #[test]
+    fn duplicate_cancellation() {
+        let s = SparsePauli::new(vec![(0, Pauli::X), (0, Pauli::X)]);
+        assert!(s.is_identity());
+        assert_eq!(s.to_string(), "I");
+    }
+
+    #[test]
+    fn commutation_matches_dense() {
+        let a = SparsePauli::new(vec![(0, Pauli::X), (2, Pauli::Z)]);
+        let b = SparsePauli::new(vec![(0, Pauli::Z), (2, Pauli::X)]);
+        let c = SparsePauli::new(vec![(0, Pauli::Z)]);
+        assert!(a.commutes_with(&b));
+        assert!(a.anticommutes_with(&c));
+        assert_eq!(a.commutes_with(&b), a.to_dense(3).commutes_with(&b.to_dense(3)));
+        assert_eq!(a.commutes_with(&c), a.to_dense(3).commutes_with(&c.to_dense(3)));
+    }
+
+    #[test]
+    fn uniform_and_product() {
+        let zz = SparsePauli::uniform(&[0, 1], Pauli::Z);
+        let xx = SparsePauli::uniform(&[1, 2], Pauli::X);
+        let prod = zz.product(&xx);
+        assert_eq!(prod.entries(), &[(0, Pauli::Z), (1, Pauli::Y), (2, Pauli::X)]);
+        assert_eq!(prod.max_qubit(), Some(2));
+    }
+
+    #[test]
+    fn dense_sparse_roundtrip() {
+        let dense = PauliString::from_str("IXZYI").unwrap();
+        let sparse: SparsePauli = (&dense).into();
+        assert_eq!(sparse.to_dense(5), dense);
+    }
+}

@@ -1,0 +1,331 @@
+//! Dense bit-packed n-qubit Pauli operators.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BitVec, Pauli, PauliError, SparsePauli};
+
+/// A dense n-qubit Pauli operator modulo global phase.
+///
+/// Internally the operator is stored as two bit planes (`x` and `z`), so
+/// multiplication and commutation checks are word-parallel. Phases are
+/// deliberately not tracked: for syndrome extraction, error propagation and
+/// decoding only the projective Pauli group matters.
+///
+/// # Example
+///
+/// ```
+/// use asynd_pauli::{Pauli, PauliString};
+///
+/// let s = PauliString::from_str("XZZX").unwrap();
+/// assert_eq!(s.weight(), 4);
+/// assert_eq!(s.get(1), Pauli::Z);
+///
+/// let t = PauliString::from_sparse(4, &[(0, Pauli::Z)]);
+/// assert!(!s.commutes_with(&t));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PauliString {
+    num_qubits: usize,
+    x: BitVec,
+    z: BitVec,
+}
+
+impl PauliString {
+    /// The identity operator on `num_qubits` qubits.
+    pub fn identity(num_qubits: usize) -> Self {
+        PauliString { num_qubits, x: BitVec::zeros(num_qubits), z: BitVec::zeros(num_qubits) }
+    }
+
+    /// Builds a Pauli string from explicit X and Z bit planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two planes have different lengths.
+    pub fn from_xz_planes(x: BitVec, z: BitVec) -> Self {
+        assert_eq!(x.len(), z.len(), "X and Z planes must have equal length");
+        let num_qubits = x.len();
+        PauliString { num_qubits, x, z }
+    }
+
+    /// Parses a textual Pauli string such as `"XIZZY"`.
+    ///
+    /// Accepts upper/lower case and `_` for identity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PauliError::InvalidCharacter`] on any other character.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(text: &str) -> Result<Self, PauliError> {
+        let mut s = PauliString::identity(text.chars().count());
+        for (i, c) in text.chars().enumerate() {
+            let p = Pauli::from_char(c)
+                .map_err(|_| PauliError::InvalidCharacter { character: c, position: i })?;
+            s.set(i, p);
+        }
+        Ok(s)
+    }
+
+    /// Builds an operator of `num_qubits` qubits from sparse (qubit, Pauli)
+    /// pairs. Later entries on the same qubit are multiplied in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit index is out of range.
+    pub fn from_sparse(num_qubits: usize, entries: &[(usize, Pauli)]) -> Self {
+        let mut s = PauliString::identity(num_qubits);
+        for &(q, p) in entries {
+            assert!(q < num_qubits, "qubit {q} out of range for {num_qubits}-qubit operator");
+            s.set(q, s.get(q) * p);
+        }
+        s
+    }
+
+    /// A single-qubit Pauli embedded in an `num_qubits`-qubit register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit >= num_qubits`.
+    pub fn single(num_qubits: usize, qubit: usize, pauli: Pauli) -> Self {
+        Self::from_sparse(num_qubits, &[(qubit, pauli)])
+    }
+
+    /// Number of qubits the operator is defined on.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The Pauli acting on `qubit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range.
+    #[inline]
+    pub fn get(&self, qubit: usize) -> Pauli {
+        Pauli::from_xz(self.x.get(qubit), self.z.get(qubit))
+    }
+
+    /// Sets the Pauli acting on `qubit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range.
+    #[inline]
+    pub fn set(&mut self, qubit: usize, pauli: Pauli) {
+        let (x, z) = pauli.xz();
+        self.x.set(qubit, x);
+        self.z.set(qubit, z);
+    }
+
+    /// Multiplies `pauli` onto the given qubit (in place, phases discarded).
+    #[inline]
+    pub fn mul_assign_single(&mut self, qubit: usize, pauli: Pauli) {
+        self.set(qubit, self.get(qubit) * pauli);
+    }
+
+    /// Whether the operator is the identity.
+    pub fn is_identity(&self) -> bool {
+        !self.x.any() && !self.z.any()
+    }
+
+    /// Number of qubits on which the operator acts non-trivially.
+    pub fn weight(&self) -> usize {
+        // weight = |support(x) ∪ support(z)|
+        self.x
+            .words()
+            .iter()
+            .zip(self.z.words())
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum()
+    }
+
+    /// The qubits on which the operator acts non-trivially, ascending.
+    pub fn support(&self) -> Vec<usize> {
+        (0..self.num_qubits).filter(|&q| !self.get(q).is_identity()).collect()
+    }
+
+    /// Whether two operators commute (symplectic inner product is zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operators act on different numbers of qubits.
+    pub fn commutes_with(&self, other: &PauliString) -> bool {
+        assert_eq!(
+            self.num_qubits, other.num_qubits,
+            "cannot compare Pauli operators on different register sizes"
+        );
+        // <P,Q> = x_P · z_Q + z_P · x_Q (mod 2)
+        !(self.x.dot(&other.z) ^ self.z.dot(&other.x))
+    }
+
+    /// Whether two operators anticommute.
+    pub fn anticommutes_with(&self, other: &PauliString) -> bool {
+        !self.commutes_with(other)
+    }
+
+    /// Multiplies `other` into `self` (phases discarded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn mul_assign(&mut self, other: &PauliString) {
+        assert_eq!(self.num_qubits, other.num_qubits, "length mismatch in PauliString::mul_assign");
+        self.x.xor_with(&other.x);
+        self.z.xor_with(&other.z);
+    }
+
+    /// Returns the product `self * other` (phases discarded).
+    pub fn product(&self, other: &PauliString) -> PauliString {
+        let mut out = self.clone();
+        out.mul_assign(other);
+        out
+    }
+
+    /// The X bit plane (bit q set iff qubit q carries `X` or `Y`).
+    pub fn x_plane(&self) -> &BitVec {
+        &self.x
+    }
+
+    /// The Z bit plane (bit q set iff qubit q carries `Z` or `Y`).
+    pub fn z_plane(&self) -> &BitVec {
+        &self.z
+    }
+
+    /// Restriction of the operator to the first `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > num_qubits()`.
+    pub fn truncated(&self, n: usize) -> PauliString {
+        assert!(n <= self.num_qubits);
+        let mut out = PauliString::identity(n);
+        for q in 0..n {
+            out.set(q, self.get(q));
+        }
+        out
+    }
+
+    /// Embeds the operator into a larger register, occupying qubits
+    /// `[offset, offset + num_qubits())`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded operator does not fit.
+    pub fn embedded(&self, total_qubits: usize, offset: usize) -> PauliString {
+        assert!(offset + self.num_qubits <= total_qubits, "embedded operator does not fit");
+        let mut out = PauliString::identity(total_qubits);
+        for q in 0..self.num_qubits {
+            out.set(offset + q, self.get(q));
+        }
+        out
+    }
+
+    /// Converts to a sparse representation.
+    pub fn to_sparse(&self) -> SparsePauli {
+        SparsePauli::new(
+            (0..self.num_qubits)
+                .filter_map(|q| {
+                    let p = self.get(q);
+                    (!p.is_identity()).then_some((q, p))
+                })
+                .collect(),
+        )
+    }
+
+    /// Iterator over `(qubit, Pauli)` for all qubits (including identities).
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Pauli)> + '_ {
+        (0..self.num_qubits).map(move |q| (q, self.get(q)))
+    }
+}
+
+impl fmt::Debug for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PauliString(\"{self}\")")
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for q in 0..self.num_qubits {
+            write!(f, "{}", self.get(q).to_char())?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for PauliString {
+    type Err = PauliError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        PauliString::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_roundtrip() {
+        let s = PauliString::from_str("XIZY_x").unwrap();
+        assert_eq!(s.to_string(), "XIZYIX");
+        assert_eq!(s.num_qubits(), 6);
+        assert_eq!(s.weight(), 4);
+        assert_eq!(s.support(), vec![0, 2, 3, 5]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let err = PauliString::from_str("XQ").unwrap_err();
+        assert_eq!(err, PauliError::InvalidCharacter { character: 'Q', position: 1 });
+    }
+
+    #[test]
+    fn commutation_examples() {
+        let zz = PauliString::from_str("ZZI").unwrap();
+        let xx = PauliString::from_str("XXI").unwrap();
+        let xi = PauliString::from_str("XII").unwrap();
+        let yy = PauliString::from_str("YYI").unwrap();
+        assert!(zz.commutes_with(&xx));
+        assert!(zz.anticommutes_with(&xi));
+        assert!(zz.commutes_with(&yy));
+        assert!(xx.commutes_with(&yy));
+    }
+
+    #[test]
+    fn product_discards_phase() {
+        let x = PauliString::from_str("X").unwrap();
+        let z = PauliString::from_str("Z").unwrap();
+        assert_eq!(x.product(&z).to_string(), "Y");
+        assert_eq!(z.product(&x).to_string(), "Y");
+        assert_eq!(x.product(&x).to_string(), "I");
+    }
+
+    #[test]
+    fn sparse_roundtrip() {
+        let s = PauliString::from_sparse(5, &[(1, Pauli::X), (4, Pauli::Z), (1, Pauli::Z)]);
+        assert_eq!(s.to_string(), "IYIIZ");
+        let sp = s.to_sparse();
+        assert_eq!(sp.entries(), &[(1, Pauli::Y), (4, Pauli::Z)]);
+        assert_eq!(sp.to_dense(5), s);
+    }
+
+    #[test]
+    fn embed_and_truncate() {
+        let s = PauliString::from_str("XZ").unwrap();
+        let e = s.embedded(5, 2);
+        assert_eq!(e.to_string(), "IIXZI");
+        assert_eq!(e.truncated(3).to_string(), "IIX");
+    }
+
+    #[test]
+    #[should_panic(expected = "different register sizes")]
+    fn commute_length_mismatch_panics() {
+        let a = PauliString::identity(2);
+        let b = PauliString::identity(3);
+        let _ = a.commutes_with(&b);
+    }
+}

@@ -1,0 +1,261 @@
+//! Symplectic linear algebra over GF(2): extracting logical operator pairs
+//! from a set of commuting stabilizer generators.
+
+use crate::{BinMatrix, BitVec, PauliError, PauliString};
+
+/// The paired logical operators of a stabilizer code, as computed by
+/// [`symplectic_complement_pairs`].
+///
+/// `logical_x[i]` anticommutes with `logical_z[i]`, commutes with every
+/// other logical operator in the struct, and commutes with every stabilizer
+/// generator it was derived from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymplecticPairing {
+    /// Representatives of the logical X operators, one per logical qubit.
+    pub logical_x: Vec<PauliString>,
+    /// Representatives of the logical Z operators, one per logical qubit.
+    pub logical_z: Vec<PauliString>,
+}
+
+impl SymplecticPairing {
+    /// Number of logical qubits in the pairing.
+    pub fn num_logicals(&self) -> usize {
+        self.logical_x.len()
+    }
+}
+
+/// Converts a Pauli operator to its `(x | z)` symplectic vector of length
+/// `2n`.
+fn to_symplectic_vec(p: &PauliString) -> BitVec {
+    let n = p.num_qubits();
+    let mut v = BitVec::zeros(2 * n);
+    for q in 0..n {
+        let (x, z) = p.get(q).xz();
+        if x {
+            v.set(q, true);
+        }
+        if z {
+            v.set(n + q, true);
+        }
+    }
+    v
+}
+
+/// Converts a `(x | z)` symplectic vector back to a Pauli operator.
+fn from_symplectic_vec(v: &BitVec) -> PauliString {
+    let n = v.len() / 2;
+    let mut p = PauliString::identity(n);
+    for q in 0..n {
+        p.set(q, crate::Pauli::from_xz(v.get(q), v.get(n + q)));
+    }
+    p
+}
+
+/// Symplectic inner product of two `(x | z)` vectors: `x_a·z_b + z_a·x_b`.
+fn symplectic_product(a: &BitVec, b: &BitVec) -> bool {
+    let n = a.len() / 2;
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = false;
+    for q in 0..n {
+        acc ^= a.get(q) & b.get(n + q);
+        acc ^= a.get(n + q) & b.get(q);
+    }
+    acc
+}
+
+/// Computes paired logical X/Z operators for a set of mutually commuting
+/// stabilizer generators on `n` qubits.
+///
+/// The generators need not be independent; the function works with the span.
+/// If the span has rank `r`, the code encodes `k = n - r` logical qubits and
+/// the result contains `k` symplectically paired logical operators.
+///
+/// This is the fully general construction (it does not assume a CSS code),
+/// used for codes like XZZX whose stabilizers mix X and Z on the same qubit.
+///
+/// # Errors
+///
+/// Returns [`PauliError::DimensionMismatch`] if the generators act on
+/// different register sizes or any pair of generators anticommutes.
+///
+/// # Example
+///
+/// ```
+/// use asynd_pauli::{symplectic_complement_pairs, PauliString};
+///
+/// // The [[2, 1]] repetition-style code stabilized by ZZ.
+/// let stabs = vec![PauliString::from_str("ZZ").unwrap()];
+/// let pairing = symplectic_complement_pairs(&stabs).unwrap();
+/// assert_eq!(pairing.num_logicals(), 1);
+/// assert!(pairing.logical_x[0].anticommutes_with(&pairing.logical_z[0]));
+/// for s in &stabs {
+///     assert!(pairing.logical_x[0].commutes_with(s));
+///     assert!(pairing.logical_z[0].commutes_with(s));
+/// }
+/// ```
+pub fn symplectic_complement_pairs(
+    stabilizers: &[PauliString],
+) -> Result<SymplecticPairing, PauliError> {
+    let Some(first) = stabilizers.first() else {
+        return Ok(SymplecticPairing { logical_x: Vec::new(), logical_z: Vec::new() });
+    };
+    let n = first.num_qubits();
+    for s in stabilizers {
+        if s.num_qubits() != n {
+            return Err(PauliError::LengthMismatch { left: n, right: s.num_qubits() });
+        }
+    }
+    for (i, a) in stabilizers.iter().enumerate() {
+        for b in &stabilizers[i + 1..] {
+            if a.anticommutes_with(b) {
+                return Err(PauliError::DimensionMismatch {
+                    context: "stabilizer generators must mutually commute".to_string(),
+                });
+            }
+        }
+    }
+
+    // Stabilizer matrix S (rows are (x|z) vectors).
+    let s_rows: Vec<BitVec> = stabilizers.iter().map(to_symplectic_vec).collect();
+    let s_mat = BinMatrix::from_rows(s_rows);
+
+    // Centralizer of S: vectors v with symplectic product zero against every
+    // row, i.e. kernel of the "twisted" matrix whose rows are (z|x).
+    let twisted_rows: Vec<BitVec> = stabilizers
+        .iter()
+        .map(|p| {
+            let v = to_symplectic_vec(p);
+            let mut t = BitVec::zeros(2 * n);
+            for q in 0..n {
+                if v.get(n + q) {
+                    t.set(q, true);
+                }
+                if v.get(q) {
+                    t.set(n + q, true);
+                }
+            }
+            t
+        })
+        .collect();
+    let twisted = BinMatrix::from_rows(twisted_rows);
+    let centralizer = twisted.kernel_basis();
+
+    // Quotient the centralizer by the stabilizer row space: keep vectors that
+    // remain independent after reducing by S and by previously kept vectors.
+    let mut quotient_basis: Vec<BitVec> = Vec::new();
+    let mut reducer = s_mat.clone();
+    for v in centralizer {
+        let reduced = reducer.reduce_vector(&v);
+        if reduced.any() {
+            quotient_basis.push(reduced.clone());
+            reducer.push_row(reduced);
+        }
+    }
+
+    // Symplectic Gram-Schmidt pairing of the 2k quotient representatives.
+    let mut pool = quotient_basis;
+    let mut logical_x = Vec::new();
+    let mut logical_z = Vec::new();
+    while let Some(a) = pool.pop() {
+        let partner_idx = pool.iter().position(|b| symplectic_product(&a, b));
+        let Some(idx) = partner_idx else {
+            // `a` commutes with everything left: it must be in the span of the
+            // stabilizers together with already-paired logicals; drop it.
+            continue;
+        };
+        let b = pool.swap_remove(idx);
+        // Make every remaining vector commute with both a and b.
+        for c in pool.iter_mut() {
+            if symplectic_product(c, &b) {
+                c.xor_with(&a);
+            }
+            if symplectic_product(c, &a) {
+                c.xor_with(&b);
+            }
+        }
+        logical_x.push(from_symplectic_vec(&a));
+        logical_z.push(from_symplectic_vec(&b));
+    }
+
+    Ok(SymplecticPairing { logical_x, logical_z })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_pairing(stabs: &[PauliString], expected_k: usize) -> SymplecticPairing {
+        let pairing = symplectic_complement_pairs(stabs).unwrap();
+        assert_eq!(pairing.num_logicals(), expected_k, "wrong number of logical qubits");
+        for (i, lx) in pairing.logical_x.iter().enumerate() {
+            for s in stabs {
+                assert!(lx.commutes_with(s), "logical X{i} anticommutes with a stabilizer");
+                assert!(
+                    pairing.logical_z[i].commutes_with(s),
+                    "logical Z{i} anticommutes with a stabilizer"
+                );
+            }
+            for (j, lz) in pairing.logical_z.iter().enumerate() {
+                let anti = lx.anticommutes_with(lz);
+                assert_eq!(anti, i == j, "pairing structure violated at ({i},{j})");
+            }
+            for (j, lx2) in pairing.logical_x.iter().enumerate() {
+                if i != j {
+                    assert!(lx.commutes_with(lx2));
+                }
+            }
+        }
+        pairing
+    }
+
+    #[test]
+    fn five_qubit_code() {
+        // The [[5,1,3]] perfect code.
+        let stabs: Vec<PauliString> = ["XZZXI", "IXZZX", "XIXZZ", "ZXIXZ"]
+            .iter()
+            .map(|s| PauliString::from_str(s).unwrap())
+            .collect();
+        check_pairing(&stabs, 1);
+    }
+
+    #[test]
+    fn steane_code() {
+        let stabs: Vec<PauliString> = [
+            "XXXXIII", "XXIIXXI", "XIXIXIX", "ZZZZIII", "ZZIIZZI", "ZIZIZIZ",
+        ]
+        .iter()
+        .map(|s| PauliString::from_str(s).unwrap())
+        .collect();
+        check_pairing(&stabs, 1);
+    }
+
+    #[test]
+    fn bell_pair_code() {
+        // Two qubits, one stabilizer: one logical qubit.
+        let stabs = vec![PauliString::from_str("XX").unwrap()];
+        check_pairing(&stabs, 1);
+    }
+
+    #[test]
+    fn redundant_generators_are_handled() {
+        // ZZI, IZZ and their product ZIZ: rank 2 on 3 qubits → k = 1.
+        let stabs: Vec<PauliString> =
+            ["ZZI", "IZZ", "ZIZ"].iter().map(|s| PauliString::from_str(s).unwrap()).collect();
+        check_pairing(&stabs, 1);
+    }
+
+    #[test]
+    fn anticommuting_generators_rejected() {
+        let stabs = vec![
+            PauliString::from_str("XI").unwrap(),
+            PauliString::from_str("ZI").unwrap(),
+        ];
+        assert!(symplectic_complement_pairs(&stabs).is_err());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_pairing() {
+        let pairing = symplectic_complement_pairs(&[]).unwrap();
+        assert_eq!(pairing.num_logicals(), 0);
+    }
+}

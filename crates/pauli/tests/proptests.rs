@@ -1,0 +1,108 @@
+//! Property-based tests for the Pauli and GF(2) algebra substrate.
+
+use asynd_pauli::{BinMatrix, BitVec, Pauli, PauliString, SparsePauli};
+use proptest::prelude::*;
+
+fn arb_pauli() -> impl Strategy<Value = Pauli> {
+    prop_oneof![Just(Pauli::I), Just(Pauli::X), Just(Pauli::Y), Just(Pauli::Z)]
+}
+
+fn arb_pauli_string(n: usize) -> impl Strategy<Value = PauliString> {
+    prop::collection::vec(arb_pauli(), n).prop_map(move |ps| {
+        let mut s = PauliString::identity(ps.len());
+        for (i, p) in ps.into_iter().enumerate() {
+            s.set(i, p);
+        }
+        s
+    })
+}
+
+fn arb_binmatrix(rows: usize, cols: usize) -> impl Strategy<Value = BinMatrix> {
+    prop::collection::vec(prop::collection::vec(any::<bool>(), cols), rows).prop_map(move |m| {
+        let rows: Vec<BitVec> = m.into_iter().map(BitVec::from_bools).collect();
+        BinMatrix::from_rows(rows)
+    })
+}
+
+proptest! {
+    #[test]
+    fn single_pauli_group_axioms(a in arb_pauli(), b in arb_pauli(), c in arb_pauli()) {
+        // Associativity, identity, self-inverse.
+        prop_assert_eq!((a * b) * c, a * (b * c));
+        prop_assert_eq!(a * Pauli::I, a);
+        prop_assert_eq!(a * a, Pauli::I);
+        // Commutation is symmetric.
+        prop_assert_eq!(a.commutes_with(b), b.commutes_with(a));
+    }
+
+    #[test]
+    fn pauli_string_multiplication_is_abelian_mod_phase(
+        a in arb_pauli_string(24),
+        b in arb_pauli_string(24),
+    ) {
+        prop_assert_eq!(a.product(&b), b.product(&a));
+        prop_assert!(a.product(&a).is_identity());
+    }
+
+    #[test]
+    fn commutation_matches_sitewise_count(a in arb_pauli_string(16), b in arb_pauli_string(16)) {
+        let anti_sites = (0..16).filter(|&q| a.get(q).anticommutes_with(b.get(q))).count();
+        prop_assert_eq!(a.commutes_with(&b), anti_sites % 2 == 0);
+    }
+
+    #[test]
+    fn sparse_and_dense_agree(a in arb_pauli_string(20), b in arb_pauli_string(20)) {
+        let sa: SparsePauli = (&a).into();
+        let sb: SparsePauli = (&b).into();
+        prop_assert_eq!(sa.commutes_with(&sb), a.commutes_with(&b));
+        prop_assert_eq!(sa.product(&sb).to_dense(20), a.product(&b));
+        prop_assert_eq!(sa.weight(), a.weight());
+    }
+
+    #[test]
+    fn display_parse_roundtrip(a in arb_pauli_string(15)) {
+        let text = a.to_string();
+        let parsed = PauliString::from_str(&text).unwrap();
+        prop_assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn bitvec_xor_is_involutive(bits in prop::collection::vec(any::<bool>(), 1..200),
+                                other in prop::collection::vec(any::<bool>(), 1..200)) {
+        let len = bits.len().min(other.len());
+        let a = BitVec::from_bools(bits[..len].iter().copied());
+        let b = BitVec::from_bools(other[..len].iter().copied());
+        let mut c = a.clone();
+        c.xor_with(&b);
+        c.xor_with(&b);
+        prop_assert_eq!(c, a);
+    }
+
+    #[test]
+    fn kernel_vectors_are_annihilated(m in arb_binmatrix(6, 10)) {
+        for v in m.kernel_basis() {
+            prop_assert!(!m.mul_vec(&v).any());
+        }
+        // rank-nullity
+        prop_assert_eq!(m.rank() + m.kernel_basis().len(), 10);
+    }
+
+    #[test]
+    fn solve_returns_valid_solutions(m in arb_binmatrix(7, 9), xs in prop::collection::vec(any::<bool>(), 9)) {
+        // Construct a consistent rhs from a known solution.
+        let x = BitVec::from_bools(xs);
+        let b = m.mul_vec(&x);
+        let solved = m.solve(&b).expect("consistent system must be solvable");
+        prop_assert_eq!(m.mul_vec(&solved), b);
+    }
+
+    #[test]
+    fn transpose_is_involutive(m in arb_binmatrix(5, 8)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn rank_invariant_under_transpose(m in arb_binmatrix(6, 6)) {
+        prop_assert_eq!(m.rank(), m.transpose().rank());
+    }
+}

@@ -1,0 +1,52 @@
+//! Reproduces the paper's motivating examples (Fig. 1 and Fig. 7): the same
+//! distance-3 rotated surface code, measured with different schedules, has
+//! very different logical error rates under MWPM decoding.
+//!
+//! Run with: `cargo run --release --example surface_code_schedules`
+
+use asyndrome::circuit::{estimate_logical_error, NoiseModel, Schedule};
+use asyndrome::codes::rotated_surface_code;
+use asyndrome::core::industry::{google_surface_schedule, rotational_surface_schedule};
+use asyndrome::core::{LowestDepthScheduler, Scheduler};
+use asyndrome::decode::MwpmFactory;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let code = rotated_surface_code(3);
+    let noise = NoiseModel::brisbane();
+    let factory = MwpmFactory::new();
+    let shots = 20_000;
+
+    let schedules: Vec<(&str, Schedule)> = vec![
+        ("trivial (index order)", Schedule::trivial(&code)),
+        ("lowest depth", LowestDepthScheduler::new().schedule(&code)?),
+        ("clockwise (Fig. 7a)", rotational_surface_schedule(&code, true)?),
+        ("anti-clockwise (Fig. 7b)", rotational_surface_schedule(&code, false)?),
+        ("Google zig-zag (Fig. 1)", google_surface_schedule(&code)?),
+    ];
+
+    println!("distance-3 rotated surface code, IBM-Brisbane-like noise, MWPM decoder");
+    println!("{:<26} {:>6} {:>12} {:>12} {:>12}", "schedule", "depth", "logical X", "logical Z", "overall");
+    for (name, schedule) in &schedules {
+        schedule.validate(&code)?;
+        let mut rng = ChaCha8Rng::seed_from_u64(2024);
+        let estimate = estimate_logical_error(&code, schedule, &noise, &factory, shots, &mut rng)?;
+        println!(
+            "{:<26} {:>6} {:>12.2e} {:>12.2e} {:>12.2e}",
+            name,
+            schedule.depth(),
+            estimate.p_x,
+            estimate.p_z,
+            estimate.p_overall
+        );
+    }
+    println!();
+    println!(
+        "The hand-crafted zig-zag order steers hook errors perpendicular to the logical"
+    );
+    println!(
+        "operators, which is why it beats the trivial and purely rotational orders (paper Fig. 1/7)."
+    );
+    Ok(())
+}

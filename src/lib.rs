@@ -1,0 +1,32 @@
+//! # asyndrome — AlphaSyndrome reproduction facade
+//!
+//! This crate re-exports the whole AlphaSyndrome workspace behind a single
+//! dependency, which is what the examples and integration tests use.
+//!
+//! * [`pauli`] — Pauli strings and GF(2) linear algebra.
+//! * [`codes`] — stabilizer / CSS code constructions and the benchmark
+//!   catalog.
+//! * [`circuit`] — syndrome-measurement schedules, circuit-level noise,
+//!   detector error models and Monte-Carlo sampling.
+//! * [`decode`] — MWPM, hypergraph union-find and BP-OSD decoders.
+//! * [`core`] — stabilizer partitioning, baseline and industry schedulers,
+//!   and the AlphaSyndrome MCTS scheduler.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use asyndrome::codes::rotated_surface_code;
+//! use asyndrome::core::{LowestDepthScheduler, Scheduler};
+//!
+//! let code = rotated_surface_code(3);
+//! let schedule = LowestDepthScheduler::new().schedule(&code).unwrap();
+//! assert!(schedule.depth() >= 4);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use asynd_circuit as circuit;
+pub use asynd_codes as codes;
+pub use asynd_core as core;
+pub use asynd_decode as decode;
+pub use asynd_pauli as pauli;

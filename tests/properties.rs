@@ -1,0 +1,109 @@
+//! Cross-crate property-based tests: invariants of schedules, DEMs and
+//! decoders under randomised inputs.
+
+use asyndrome::circuit::{
+    DetectorErrorModel, NoiseModel, ObservableDecoder, Sampler, Schedule, ScheduleBuilder,
+};
+use asyndrome::codes::{rotated_surface_code, steane_code, StabilizerCode};
+use asyndrome::decode::{BpOsdDecoder, MwpmDecoder, UnionFindDecoder};
+use asyndrome::pauli::BitVec;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Builds a random (but always legal) schedule by inserting the code's
+/// checks in a random order at their earliest conflict-free ticks.
+fn random_schedule(code: &StabilizerCode, order_seed: u64) -> Schedule {
+    let mut checks: Vec<(usize, usize, asyndrome::pauli::Pauli)> = code
+        .stabilizers()
+        .iter()
+        .enumerate()
+        .flat_map(|(s, stab)| stab.entries().iter().map(move |&(q, p)| (q, s, p)))
+        .collect();
+    // Deterministic Fisher-Yates driven by the seed.
+    let mut rng = ChaCha8Rng::seed_from_u64(order_seed);
+    use rand::seq::SliceRandom;
+    checks.shuffle(&mut rng);
+    let mut builder = ScheduleBuilder::new(code);
+    // Group by partition type to respect the anticommutation condition:
+    // X-type checks first, then Z-type (Steane and surface codes are CSS).
+    checks.sort_by_key(|&(_, s, _)| code.stabilizer_kind(s) as usize);
+    for (q, s, p) in checks {
+        builder.push_earliest(q, s, p);
+    }
+    builder.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any insertion order produces a valid schedule covering every check.
+    #[test]
+    fn random_orderings_always_yield_valid_schedules(seed in 0u64..5000) {
+        let code = steane_code();
+        let schedule = random_schedule(&code, seed);
+        prop_assert!(schedule.validate(&code).is_ok());
+        let total: usize = code.stabilizers().iter().map(|s| s.weight()).sum();
+        prop_assert_eq!(schedule.checks().len(), total);
+    }
+
+    /// DEM construction is deterministic and independent of noise-free
+    /// mechanisms: scaling all probabilities preserves the signature set.
+    #[test]
+    fn dem_signatures_do_not_depend_on_noise_strength(seed in 0u64..1000) {
+        let code = steane_code();
+        let schedule = random_schedule(&code, seed);
+        let dem_a = DetectorErrorModel::build(&code, &schedule, &NoiseModel::uniform(0.01, 0.005, 0.01)).unwrap();
+        let dem_b = DetectorErrorModel::build(&code, &schedule, &NoiseModel::uniform(0.002, 0.001, 0.002)).unwrap();
+        let sig = |dem: &DetectorErrorModel| {
+            let mut v: Vec<(Vec<usize>, Vec<usize>)> = dem
+                .errors()
+                .iter()
+                .map(|e| (e.detectors.clone(), e.observables.clone()))
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(sig(&dem_a), sig(&dem_b));
+    }
+
+    /// Every decoder returns a prediction of the right length for arbitrary
+    /// detector patterns (robustness, not correctness).
+    #[test]
+    fn decoders_tolerate_arbitrary_detector_patterns(bits in prop::collection::vec(any::<bool>(), 12)) {
+        let code = steane_code();
+        let schedule = Schedule::trivial(&code);
+        let dem = DetectorErrorModel::build(&code, &schedule, &NoiseModel::brisbane()).unwrap();
+        let detectors = BitVec::from_bools(bits.into_iter());
+        for decoder in [
+            Box::new(MwpmDecoder::new(&dem)) as Box<dyn ObservableDecoder>,
+            Box::new(BpOsdDecoder::new(&dem, 10, 0)),
+            Box::new(UnionFindDecoder::new(&dem)),
+        ] {
+            let prediction = decoder.decode(&detectors);
+            prop_assert_eq!(prediction.len(), dem.num_observables());
+        }
+    }
+
+    /// Sampled shots only ever flip detectors/observables that some DEM
+    /// mechanism actually touches.
+    #[test]
+    fn samples_stay_within_the_dem_support(seed in 0u64..500) {
+        let code = rotated_surface_code(3);
+        let schedule = Schedule::trivial(&code);
+        let dem = DetectorErrorModel::build(&code, &schedule, &NoiseModel::brisbane()).unwrap();
+        let mut touchable_detectors = BitVec::zeros(dem.num_detectors());
+        for e in dem.errors() {
+            for &d in &e.detectors {
+                touchable_detectors.set(d, true);
+            }
+        }
+        let sampler = Sampler::new(&dem);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for shot in sampler.sample(20, &mut rng) {
+            for d in shot.detectors.ones() {
+                prop_assert!(touchable_detectors.get(d), "detector {} fired without support", d);
+            }
+        }
+    }
+}
