@@ -28,7 +28,8 @@ fn bench_baseline_schedulers(c: &mut Criterion) {
 fn bench_mcts_small_budget(c: &mut Criterion) {
     let code = steane_code();
     let factory = BpOsdFactory::new();
-    let config = MctsConfig { iterations_per_step: 4, shots_per_evaluation: 100, ..MctsConfig::quick() };
+    let config =
+        MctsConfig { iterations_per_step: 4, shots_per_evaluation: 100, ..MctsConfig::quick() };
     let mut group = c.benchmark_group("mcts");
     group.sample_size(10);
     group.bench_function("steane-4-iters", |b| {

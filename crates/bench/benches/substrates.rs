@@ -20,7 +20,10 @@ fn bench_schedule_validation(c: &mut Criterion) {
     let mut group = c.benchmark_group("schedule");
     group.sample_size(20);
     group.bench_function("validate-surface-d5", |b| {
-        b.iter(|| black_box(schedule.validate(&code).unwrap()))
+        b.iter(|| {
+            schedule.validate(&code).unwrap();
+            black_box(())
+        })
     });
     group.finish();
 }
@@ -38,5 +41,10 @@ fn bench_dem_construction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_code_construction, bench_schedule_validation, bench_dem_construction);
+criterion_group!(
+    benches,
+    bench_code_construction,
+    bench_schedule_validation,
+    bench_dem_construction
+);
 criterion_main!(benches);

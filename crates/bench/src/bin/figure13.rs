@@ -33,9 +33,8 @@ fn main() {
         "decoder", "schedule", "depth", "logical X", "logical Z", "overall", "reduction"
     );
     rule(90);
-    for (index, decoder) in [RecommendedDecoder::BpOsd, RecommendedDecoder::UnionFind]
-        .into_iter()
-        .enumerate()
+    for (index, decoder) in
+        [RecommendedDecoder::BpOsd, RecommendedDecoder::UnionFind].into_iter().enumerate()
     {
         let factory = asynd_bench::decoder_factory(decoder);
         let seed = 13_000 + index as u64;

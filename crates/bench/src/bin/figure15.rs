@@ -27,7 +27,9 @@ fn main() {
 
     let distances: Vec<usize> = if mode == RunMode::Full { vec![3, 5, 7] } else { vec![3] };
 
-    println!("Figure 15: non-uniform error model (per-ancilla variance), rotated surface codes, MWPM");
+    println!(
+        "Figure 15: non-uniform error model (per-ancilla variance), rotated surface codes, MWPM"
+    );
     println!(
         "{:<14} {:<16} {:>6} {:>12} {:>12} {:>12} {:>10}",
         "code", "schedule", "depth", "logical X", "logical Z", "overall", "reduction"

@@ -17,13 +17,7 @@ fn main() {
     println!("Table 4: cross-testing schedules compiled under BP-OSD and union-find");
     println!(
         "{:<46} | {:>10} {:>10} {:>9} | {:>10} {:>10} {:>9}",
-        "code (paper row)",
-        "BP/BP",
-        "UF/BP",
-        "<-redu",
-        "BP/UF",
-        "UF/UF",
-        "redu->"
+        "code (paper row)", "BP/BP", "UF/BP", "<-redu", "BP/UF", "UF/UF", "redu->"
     );
     println!("{:<46} | {:^31} | {:^31}", "", "tested with BP-OSD", "tested with Unionfind");
     rule(130);

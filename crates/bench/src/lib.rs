@@ -188,8 +188,10 @@ mod tests {
     fn quick_mode_is_the_default() {
         assert_eq!(RunMode::from_args(), RunMode::Quick);
         assert!(RunMode::Quick.evaluation_shots() < RunMode::Full.evaluation_shots());
-        assert!(RunMode::Quick.mcts_config(0).iterations_per_step
-            < RunMode::Full.mcts_config(0).iterations_per_step);
+        assert!(
+            RunMode::Quick.mcts_config(0).iterations_per_step
+                < RunMode::Full.mcts_config(0).iterations_per_step
+        );
     }
 
     #[test]

@@ -52,11 +52,7 @@ pub struct DetectorErrorModel {
 
 impl DetectorErrorModel {
     /// Creates a DEM from raw parts (used by tests and decoder unit tests).
-    pub fn from_parts(
-        num_detectors: usize,
-        num_observables: usize,
-        errors: Vec<DemError>,
-    ) -> Self {
+    pub fn from_parts(num_detectors: usize, num_observables: usize, errors: Vec<DemError>) -> Self {
         DetectorErrorModel { num_detectors, num_observables, errors }
     }
 
@@ -129,10 +125,7 @@ impl DetectorErrorModel {
                         for pauli in Pauli::ERRORS {
                             let effect = propagate_fault(
                                 &circuit,
-                                &FaultSite {
-                                    tick,
-                                    error: SparsePauli::new(vec![(data, pauli)]),
-                                },
+                                &FaultSite { tick, error: SparsePauli::new(vec![(data, pauli)]) },
                             );
                             add(effect.detectors, effect.observables, p / 3.0);
                         }
@@ -197,6 +190,40 @@ impl DetectorErrorModel {
     /// The independent error mechanisms.
     pub fn errors(&self) -> &[DemError] {
         &self.errors
+    }
+
+    /// Converts the DEM into the simulator's [`FrameErrorModel`] view,
+    /// feeding the bit-packed batch sampling pipeline in `asynd-sim`.
+    ///
+    /// [`DetectorErrorModel::build`] only produces probabilities in
+    /// `(0, 1)`, but hand-built DEMs ([`DetectorErrorModel::from_parts`]
+    /// validates nothing) may not; out-of-range probabilities are mapped to
+    /// what the scalar sampler's `rng.gen::<f64>() < p` test did with them
+    /// (`p ≤ 0` or NaN never fires, `p ≥ 1` always fires).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mechanism references a detector or observable index out
+    /// of range (the scalar path also panicked on such DEMs, at sample
+    /// time).
+    pub fn to_frame_model(&self) -> asynd_sim::FrameErrorModel {
+        let mechanisms = self
+            .errors
+            .iter()
+            .map(|e| asynd_sim::Mechanism {
+                probability: if e.probability.is_finite() {
+                    e.probability.clamp(0.0, 1.0)
+                } else if e.probability == f64::INFINITY {
+                    1.0
+                } else {
+                    0.0
+                },
+                detectors: e.detectors.clone(),
+                observables: e.observables.clone(),
+            })
+            .collect();
+        asynd_sim::FrameErrorModel::new(self.num_detectors, self.num_observables, mechanisms)
+            .expect("mechanism indices must lie within the DEM's detector/observable counts")
     }
 
     /// The largest number of detectors any single mechanism flips.

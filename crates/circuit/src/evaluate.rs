@@ -1,8 +1,19 @@
 //! The paper's Fig. 10 evaluation loop: sample a noisy scheduled round,
 //! decode it, and estimate logical error rates.
+//!
+//! Estimation now runs on the `asynd-sim` batch pipeline: the DEM is
+//! converted to a [`FrameErrorModel`](asynd_sim::FrameErrorModel), shots
+//! are sampled 64-per-word by the bit-packed
+//! [`BatchSampler`](asynd_sim::BatchSampler), decoded through
+//! [`BatchDecoder`](asynd_sim::BatchDecoder), and scored with word-parallel
+//! reductions, streamed in bounded-memory chunks across worker threads by
+//! the [`ParallelEstimator`](asynd_sim::ParallelEstimator). The historical
+//! one-shot-at-a-time loop survives as [`estimate_logical_error_scalar`]
+//! for statistical cross-checks and benchmarking.
 
 use asynd_codes::StabilizerCode;
 use asynd_pauli::BitVec;
+use asynd_sim::{BatchDecoder, EstimatorConfig, ParallelEstimator};
 use rand::Rng;
 
 use crate::{CircuitError, DetectorErrorModel, NoiseModel, Sampler, Schedule};
@@ -35,6 +46,16 @@ pub trait DecoderFactory {
     fn build(&self, dem: &DetectorErrorModel) -> Box<dyn ObservableDecoder + Send + Sync>;
 }
 
+/// Adapts any [`ObservableDecoder`] to the simulator's batch interface
+/// (per-shot unpack via the default `decode_batch`).
+struct ShotwiseAdapter<'a>(&'a (dyn ObservableDecoder + Send + Sync));
+
+impl BatchDecoder for ShotwiseAdapter<'_> {
+    fn decode_shot(&self, detectors: &BitVec) -> BitVec {
+        self.0.decode(detectors)
+    }
+}
+
 /// Monte-Carlo estimate of the logical error rates of one scheduled round.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LogicalErrorEstimate {
@@ -60,10 +81,40 @@ impl LogicalErrorEstimate {
             1.0 / self.p_overall
         }
     }
+
+    /// 95% Wilson confidence interval of `p_overall`.
+    pub fn wilson_overall(&self) -> (f64, f64) {
+        let failures = (self.p_overall * self.shots as f64).round() as usize;
+        asynd_sim::wilson_interval(failures, self.shots, 1.96)
+    }
+}
+
+/// Tuning knobs of the batch estimation pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateOptions {
+    /// Shots per streamed chunk (bounds peak memory).
+    pub chunk_shots: usize,
+    /// Optional early stop: end at a wave boundary once the Wilson
+    /// half-width of `p_overall` is at most this fraction of the estimate
+    /// (see [`EstimatorConfig::relative_half_width`]).
+    pub relative_half_width: Option<f64>,
+    /// Upper bound on worker threads (`None`: the machine's parallelism).
+    pub max_threads: Option<usize>,
+}
+
+impl Default for EstimateOptions {
+    fn default() -> Self {
+        let defaults = EstimatorConfig::default();
+        EstimateOptions {
+            chunk_shots: defaults.chunk_shots,
+            relative_half_width: None,
+            max_threads: None,
+        }
+    }
 }
 
 /// Estimates logical error rates of a scheduled round with a decoder in the
-/// loop (the paper's Fig. 10 sampling circuit).
+/// loop (the paper's Fig. 10 sampling circuit), on the batch pipeline.
 ///
 /// The round's detector error model is built once, the decoder is built from
 /// it via `factory`, and `shots` samples are decoded. A shot counts towards
@@ -71,11 +122,94 @@ impl LogicalErrorEstimate {
 /// mispredicted, towards `p_z` when any of the last `k` is mispredicted, and
 /// towards `p_overall` when anything is mispredicted.
 ///
+/// One `u64` is drawn from `rng` as the master seed of the chunked
+/// estimator, so results are deterministic given the caller's RNG state and
+/// identical for any thread count.
+///
 /// # Errors
 ///
 /// Returns [`CircuitError::InvalidParameter`] if `shots == 0` or the noise
 /// model is invalid.
 pub fn estimate_logical_error<R: Rng + ?Sized>(
+    code: &StabilizerCode,
+    schedule: &Schedule,
+    noise: &NoiseModel,
+    factory: &dyn DecoderFactory,
+    shots: usize,
+    rng: &mut R,
+) -> Result<LogicalErrorEstimate, CircuitError> {
+    estimate_logical_error_with(
+        code,
+        schedule,
+        noise,
+        factory,
+        shots,
+        &EstimateOptions::default(),
+        rng,
+    )
+}
+
+/// [`estimate_logical_error`] with explicit pipeline options (chunk size,
+/// early stopping, thread cap).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidParameter`] if `shots == 0` or the noise
+/// model is invalid.
+pub fn estimate_logical_error_with<R: Rng + ?Sized>(
+    code: &StabilizerCode,
+    schedule: &Schedule,
+    noise: &NoiseModel,
+    factory: &dyn DecoderFactory,
+    shots: usize,
+    options: &EstimateOptions,
+    rng: &mut R,
+) -> Result<LogicalErrorEstimate, CircuitError> {
+    if shots == 0 {
+        return Err(CircuitError::InvalidParameter { reason: "shots must be positive".into() });
+    }
+    if options.chunk_shots == 0 {
+        return Err(CircuitError::InvalidParameter {
+            reason: "chunk_shots must be positive".into(),
+        });
+    }
+    let dem = DetectorErrorModel::build(code, schedule, noise)?;
+    let decoder = factory.build(&dem);
+    let model = dem.to_frame_model();
+    let estimator = ParallelEstimator::new(EstimatorConfig {
+        chunk_shots: options.chunk_shots,
+        relative_half_width: options.relative_half_width,
+        max_threads: options.max_threads,
+        ..EstimatorConfig::default()
+    });
+    let estimate = estimator.estimate(
+        &model,
+        &ShotwiseAdapter(decoder.as_ref()),
+        code.num_logicals(),
+        shots,
+        rng.gen::<u64>(),
+    );
+    Ok(LogicalErrorEstimate {
+        p_x: estimate.p_x(),
+        p_z: estimate.p_z(),
+        p_overall: estimate.p_overall(),
+        shots: estimate.shots,
+    })
+}
+
+/// The historical scalar estimation loop: samples and decodes one shot at a
+/// time.
+///
+/// Statistically equivalent to [`estimate_logical_error`] (the batch
+/// pipeline is cross-checked against it in the test suite); kept as the
+/// reference implementation and as the baseline of the `samplers`
+/// benchmark.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidParameter`] if `shots == 0` or the noise
+/// model is invalid.
+pub fn estimate_logical_error_scalar<R: Rng + ?Sized>(
     code: &StabilizerCode,
     schedule: &Schedule,
     noise: &NoiseModel,
@@ -95,7 +229,7 @@ pub fn estimate_logical_error<R: Rng + ?Sized>(
     let mut z_failures = 0usize;
     let mut any_failures = 0usize;
     for _ in 0..shots {
-        let shot = sampler.sample_one(rng);
+        let shot = sampler.sample_one_scalar(rng);
         let prediction = decoder.decode(&shot.detectors);
         debug_assert_eq!(prediction.len(), dem.num_observables());
         let mut x_bad = false;
@@ -182,6 +316,8 @@ mod tests {
         assert!(estimate.p_overall > 0.0, "heavy noise must produce logical errors");
         assert!(estimate.p_overall >= estimate.p_x.max(estimate.p_z));
         assert!(estimate.score() <= 1.0 / estimate.p_overall + 1e-9);
+        let (lo, hi) = estimate.wilson_overall();
+        assert!(lo <= estimate.p_overall && estimate.p_overall <= hi);
     }
 
     #[test]
@@ -198,5 +334,83 @@ mod tests {
             &mut rng
         )
         .is_err());
+        assert!(estimate_logical_error_scalar(
+            &code,
+            &schedule,
+            &NoiseModel::brisbane(),
+            &NullFactory,
+            0,
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn zero_chunk_shots_is_an_error_not_a_panic() {
+        let code = steane_code();
+        let schedule = Schedule::trivial(&code);
+        let options = EstimateOptions { chunk_shots: 0, ..EstimateOptions::default() };
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        assert!(estimate_logical_error_with(
+            &code,
+            &schedule,
+            &NoiseModel::brisbane(),
+            &NullFactory,
+            100,
+            &options,
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn batch_pipeline_is_deterministic_and_thread_independent() {
+        let code = steane_code();
+        let schedule = Schedule::trivial(&code);
+        let noise = NoiseModel::brisbane();
+        let serial = EstimateOptions { max_threads: Some(1), ..EstimateOptions::default() };
+        let threaded = EstimateOptions { max_threads: Some(4), ..EstimateOptions::default() };
+        let run = |options: &EstimateOptions| {
+            let mut rng = ChaCha8Rng::seed_from_u64(6);
+            estimate_logical_error_with(
+                &code,
+                &schedule,
+                &noise,
+                &NullFactory,
+                5000,
+                options,
+                &mut rng,
+            )
+            .unwrap()
+        };
+        assert_eq!(run(&serial), run(&serial));
+        assert_eq!(run(&serial), run(&threaded));
+    }
+
+    #[test]
+    fn early_stop_uses_fewer_shots() {
+        let code = steane_code();
+        let schedule = Schedule::trivial(&code);
+        // Null decoder under heavy noise: p_overall is large, so a loose
+        // relative interval is reached quickly.
+        let noise = NoiseModel::uniform(0.05, 0.02, 0.05);
+        let options = EstimateOptions {
+            chunk_shots: 256,
+            relative_half_width: Some(0.25),
+            ..EstimateOptions::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let estimate = estimate_logical_error_with(
+            &code,
+            &schedule,
+            &noise,
+            &NullFactory,
+            1_000_000,
+            &options,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(estimate.shots < 1_000_000, "early stop never triggered");
+        assert!(estimate.p_overall > 0.0);
     }
 }

@@ -18,10 +18,15 @@
 //!   and recording which detectors (round-1 readouts, round-1 ⊕ round-2
 //!   syndrome comparisons) and which logical observables it flips. This is
 //!   the same object stim hands to decoders.
-//! * [`Sampler`] — Monte-Carlo sampling of shots from a DEM.
+//! * [`Sampler`] — Monte-Carlo sampling of shots from a DEM, backed by the
+//!   bit-packed `asynd-sim` batch sampler (64 shots per machine word).
 //! * [`estimate_logical_error`] — the paper's Fig. 10 evaluation circuit:
 //!   noisy scheduled round, ideal round, decoder correction, logical
-//!   comparison, yielding logical X / Z / overall error rates.
+//!   comparison, yielding logical X / Z / overall error rates. Runs on the
+//!   chunked, thread-parallel `asynd-sim` pipeline with Wilson confidence
+//!   intervals and optional early stopping
+//!   ([`estimate_logical_error_with`]); the historical per-shot loop is
+//!   [`estimate_logical_error_scalar`].
 //!
 //! # Example
 //!
@@ -53,7 +58,8 @@ mod schedule;
 pub use dem::{DemError, DetectorErrorModel};
 pub use error::CircuitError;
 pub use evaluate::{
-    estimate_logical_error, DecoderFactory, LogicalErrorEstimate, ObservableDecoder,
+    estimate_logical_error, estimate_logical_error_scalar, estimate_logical_error_with,
+    DecoderFactory, EstimateOptions, LogicalErrorEstimate, ObservableDecoder,
 };
 pub use noise::NoiseModel;
 pub use propagate::{propagate_fault, FaultSite, RoundCircuit};

@@ -199,9 +199,9 @@ pub fn propagate_fault(circuit: &RoundCircuit, site: &FaultSite) -> FaultEffect 
     let r = circuit.num_stabilizers();
     let mut detectors = Vec::new();
     let mut measurement_flip = vec![false; r];
-    for s in 0..r {
+    for (s, flip) in measurement_flip.iter_mut().enumerate() {
         if error.get(circuit.ancilla_qubit(s)).has_z() {
-            measurement_flip[s] = true;
+            *flip = true;
             detectors.push(s);
         }
     }

@@ -97,10 +97,7 @@ impl Schedule {
 
     /// The tick of the check between `stabilizer` and `data`, if scheduled.
     pub fn tick_of(&self, stabilizer: usize, data: usize) -> Option<usize> {
-        self.checks
-            .iter()
-            .find(|c| c.stabilizer == stabilizer && c.data == data)
-            .map(|c| c.tick)
+        self.checks.iter().find(|c| c.stabilizer == stabilizer && c.data == data).map(|c| c.tick)
     }
 
     /// First and last tick at which each stabilizer's ancilla is active.
@@ -191,7 +188,7 @@ impl Schedule {
                         }
                     }
                 }
-                if overlapping && inverted % 2 != 0 {
+                if overlapping && !inverted.is_multiple_of(2) {
                     return Err(CircuitError::CrossingParityViolated { first: s1, second: s2 });
                 }
             }
@@ -270,7 +267,11 @@ impl ScheduleBuilder {
 
     /// Finishes the builder into a [`Schedule`].
     pub fn finish(self) -> Schedule {
-        Schedule { num_data: self.num_data, num_stabilizers: self.num_stabilizers, checks: self.checks }
+        Schedule {
+            num_data: self.num_data,
+            num_stabilizers: self.num_stabilizers,
+            checks: self.checks,
+        }
     }
 }
 
@@ -313,22 +314,17 @@ mod tests {
         let schedule = Schedule::new(7, 6, checks);
         assert!(matches!(
             schedule.validate(&code),
-            Err(CircuitError::QubitConflict { .. }) | Err(CircuitError::IncompleteStabilizer { .. })
+            Err(CircuitError::QubitConflict { .. })
+                | Err(CircuitError::IncompleteStabilizer { .. })
         ));
     }
 
     #[test]
     fn validate_rejects_incomplete_coverage() {
         let code = steane_code();
-        let schedule = Schedule::new(
-            7,
-            6,
-            vec![Check { data: 0, stabilizer: 0, pauli: Pauli::X, tick: 1 }],
-        );
-        assert!(matches!(
-            schedule.validate(&code),
-            Err(CircuitError::IncompleteStabilizer { .. })
-        ));
+        let schedule =
+            Schedule::new(7, 6, vec![Check { data: 0, stabilizer: 0, pauli: Pauli::X, tick: 1 }]);
+        assert!(matches!(schedule.validate(&code), Err(CircuitError::IncompleteStabilizer { .. })));
     }
 
     #[test]

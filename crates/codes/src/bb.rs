@@ -72,7 +72,11 @@ pub fn bivariate_bicycle_code(
     let b = polynomial_matrix(l, m, b_terms);
     let hx = a.hstack(&b);
     let hz = b.transpose().hstack(&a.transpose());
-    CssCode::new(hx, hz).build(format!("bivariate bicycle l={l} m={m}"), "bivariate-bicycle", distance)
+    CssCode::new(hx, hz).build(
+        format!("bivariate bicycle l={l} m={m}"),
+        "bivariate-bicycle",
+        distance,
+    )
 }
 
 /// IBM's `[[72, 12, 6]]` bivariate-bicycle code
@@ -108,8 +112,7 @@ mod tests {
     #[test]
     fn smaller_bb_instance_is_valid() {
         // The [[18, 4, 4]]-ish toy instance A = 1 + x, B = 1 + y on a 3x3 torus.
-        let code =
-            bivariate_bicycle_code(3, 3, &[(0, 0), (1, 0)], &[(0, 0), (0, 1)], 2).unwrap();
+        let code = bivariate_bicycle_code(3, 3, &[(0, 0), (1, 0)], &[(0, 0), (0, 1)], 2).unwrap();
         assert_eq!(code.num_qubits(), 18);
         code.validate().unwrap();
     }

@@ -273,10 +273,7 @@ impl StabilizerCode {
         for (li, l) in self.logical_x.iter().chain(self.logical_z.iter()).enumerate() {
             for (si, s) in self.stabilizers.iter().enumerate() {
                 if l.anticommutes_with(s) {
-                    return Err(CodeError::LogicalNotInCentralizer {
-                        logical: li,
-                        stabilizer: si,
-                    });
+                    return Err(CodeError::LogicalNotInCentralizer { logical: li, stabilizer: si });
                 }
             }
         }
@@ -334,10 +331,7 @@ mod tests {
             "repetition",
             3,
             1,
-            vec![
-                SparsePauli::uniform(&[0, 1], Pauli::Z),
-                SparsePauli::uniform(&[1, 2], Pauli::Z),
-            ],
+            vec![SparsePauli::uniform(&[0, 1], Pauli::Z), SparsePauli::uniform(&[1, 2], Pauli::Z)],
             vec![SparsePauli::uniform(&[0, 1, 2], Pauli::X)],
             vec![SparsePauli::uniform(&[0], Pauli::Z)],
         )

@@ -42,11 +42,7 @@ impl CssCode {
     ///
     /// Panics if the matrices have different numbers of columns.
     pub fn new(hx: BinMatrix, hz: BinMatrix) -> Self {
-        assert_eq!(
-            hx.num_cols(),
-            hz.num_cols(),
-            "Hx and Hz must act on the same number of qubits"
-        );
+        assert_eq!(hx.num_cols(), hz.num_cols(), "Hx and Hz must act on the same number of qubits");
         CssCode { hx, hz }
     }
 
@@ -107,14 +103,15 @@ impl CssCode {
                 }
             }
         }
-        let m_inv = m.inverse().map_err(|_| CodeError::BadLogicalPairing { x_index: 0, z_index: 0 })?;
+        let m_inv =
+            m.inverse().map_err(|_| CodeError::BadLogicalPairing { x_index: 0, z_index: 0 })?;
         let n = self.num_qubits();
         let mut paired_x = Vec::with_capacity(k);
         for i in 0..k {
             let mut acc = BitVec::zeros(n);
-            for j in 0..k {
+            for (j, row) in lx.iter().enumerate() {
                 if m_inv.get(i, j) {
-                    acc.xor_with(&lx[j]);
+                    acc.xor_with(row);
                 }
             }
             paired_x.push(acc);
@@ -219,10 +216,7 @@ mod tests {
         let hz = BinMatrix::from_dense(&[&[1, 0, 0]]);
         let css = CssCode::new(hx, hz);
         assert!(!css.is_orthogonal());
-        assert_eq!(
-            css.build("bad", "bad", 1).unwrap_err(),
-            CodeError::CssOrthogonalityViolated
-        );
+        assert_eq!(css.build("bad", "bad", 1).unwrap_err(), CodeError::CssOrthogonalityViolated);
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl fmt::Display for CodeError {
                 write!(f, "logical operator {logical} anticommutes with stabilizer {stabilizer}")
             }
             CodeError::BadLogicalPairing { x_index, z_index } => {
-                write!(f, "logical X {x_index} and logical Z {z_index} violate the symplectic pairing")
+                write!(
+                    f,
+                    "logical X {x_index} and logical Z {z_index} violate the symplectic pairing"
+                )
             }
             CodeError::WrongLogicalCount { expected, found } => {
                 write!(f, "expected {expected} logical qubits but found {found}")

@@ -88,11 +88,8 @@ fn build_rotated(rows: usize, cols: usize, skip: Option<usize>, name: String) ->
             data_coords.push((2 * r as i32, 2 * c as i32));
         }
     }
-    let stab_coords: Vec<(i32, i32)> = x_plaquettes
-        .iter()
-        .map(|p| p.coord)
-        .chain(z_plaquettes.iter().map(|p| p.coord))
-        .collect();
+    let stab_coords: Vec<(i32, i32)> =
+        x_plaquettes.iter().map(|p| p.coord).chain(z_plaquettes.iter().map(|p| p.coord)).collect();
     code.with_layout(CodeLayout { data_coords, stab_coords })
 }
 
@@ -189,7 +186,12 @@ pub fn toric_code(l: usize) -> StabilizerCode {
     for r in 0..l {
         for c in 0..l {
             // Vertex (r, c): the four incident edges.
-            x_rows.push(vec![h_edge(r, c), h_edge(r, c + l - 1), v_edge(r, c), v_edge(r + l - 1, c)]);
+            x_rows.push(vec![
+                h_edge(r, c),
+                h_edge(r, c + l - 1),
+                v_edge(r, c),
+                v_edge(r + l - 1, c),
+            ]);
             // Plaquette (r, c): the four surrounding edges.
             z_rows.push(vec![h_edge(r, c), h_edge(r + 1, c), v_edge(r, c), v_edge(r, c + 1)]);
         }

@@ -57,15 +57,8 @@ pub fn xzzx_code(d: usize) -> StabilizerCode {
     let stabilizers = base.stabilizers().iter().map(|s| hadamard_twist(s, &twisted)).collect();
     let logical_x = base.logical_x().iter().map(|s| hadamard_twist(s, &twisted)).collect();
     let logical_z = base.logical_z().iter().map(|s| hadamard_twist(s, &twisted)).collect();
-    let mut code = StabilizerCode::new(
-        format!("xzzx d={d}"),
-        "xzzx",
-        n,
-        d,
-        stabilizers,
-        logical_x,
-        logical_z,
-    );
+    let mut code =
+        StabilizerCode::new(format!("xzzx d={d}"), "xzzx", n, d, stabilizers, logical_x, logical_z);
     if let Some(layout) = base.layout() {
         code = code.with_layout(layout.clone());
     }

@@ -5,8 +5,8 @@
 use asynd_codes::{
     bivariate_bicycle_code, concatenated_steane_code, defect_surface_code, generalized_shor_code,
     hamming_7_4_checks, hypergraph_product_code, repetition_checks, ring_checks,
-    rotated_surface_code, rotated_surface_code_rect, shor_code, steane_code, toric_code,
-    xzzx_code, StabilizerCode,
+    rotated_surface_code, rotated_surface_code_rect, shor_code, steane_code, toric_code, xzzx_code,
+    StabilizerCode,
 };
 use asynd_pauli::{Pauli, PauliString};
 use proptest::prelude::*;
@@ -15,7 +15,13 @@ use proptest::prelude::*;
 fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
     let mut current = Vec::new();
-    fn recurse(start: usize, n: usize, k: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn recurse(
+        start: usize,
+        n: usize,
+        k: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if current.len() == k {
             out.push(current.clone());
             return;

@@ -45,7 +45,9 @@ impl fmt::Display for SchedulerError {
             }
             SchedulerError::InvalidSchedule(e) => write!(f, "synthesized schedule is invalid: {e}"),
             SchedulerError::Evaluation(e) => write!(f, "schedule evaluation failed: {e}"),
-            SchedulerError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            SchedulerError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
         }
     }
 }

@@ -32,9 +32,9 @@ use crate::{LowestDepthScheduler, Scheduler, SchedulerError};
 /// assert_eq!(schedule.depth(), 4);
 /// ```
 pub fn google_surface_schedule(code: &StabilizerCode) -> Result<Schedule, SchedulerError> {
-    let layout = code.layout().ok_or_else(|| SchedulerError::MissingLayout {
-        scheduler: "google zig-zag".to_string(),
-    })?;
+    let layout = code
+        .layout()
+        .ok_or_else(|| SchedulerError::MissingLayout { scheduler: "google zig-zag".to_string() })?;
     let mut builder = ScheduleBuilder::new(code);
     for (s, stab) in code.stabilizers().iter().enumerate() {
         let (pr, pc) = layout.stab_coords[s];
@@ -159,9 +159,9 @@ pub fn rotational_surface_schedule(
     code: &StabilizerCode,
     clockwise: bool,
 ) -> Result<Schedule, SchedulerError> {
-    let layout = code.layout().ok_or_else(|| SchedulerError::MissingLayout {
-        scheduler: "rotational".to_string(),
-    })?;
+    let layout = code
+        .layout()
+        .ok_or_else(|| SchedulerError::MissingLayout { scheduler: "rotational".to_string() })?;
     // Clockwise from NW: NW, NE, SE, SW. Anti-clockwise: NW, SW, SE, NE.
     let order: [(i32, i32); 4] = if clockwise {
         [(-1, -1), (-1, 1), (1, 1), (1, -1)]

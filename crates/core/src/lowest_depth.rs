@@ -173,12 +173,7 @@ mod tests {
                         *degree.entry(q).or_insert(0usize) += 1;
                     }
                 }
-                degree
-                    .values()
-                    .chain(anc_degree.values())
-                    .copied()
-                    .max()
-                    .unwrap_or(0)
+                degree.values().chain(anc_degree.values()).copied().max().unwrap_or(0)
             })
             .sum()
     }

@@ -2,7 +2,8 @@
 //! orderings with decoder-in-the-loop noisy rollouts (paper §4).
 
 use asynd_circuit::{
-    estimate_logical_error, Check, DecoderFactory, NoiseModel, Schedule, ScheduleBuilder,
+    estimate_logical_error_with, Check, DecoderFactory, EstimateOptions, NoiseModel, Schedule,
+    ScheduleBuilder,
 };
 use asynd_codes::StabilizerCode;
 use asynd_pauli::Pauli;
@@ -29,6 +30,14 @@ pub struct MctsConfig {
     pub exploration: f64,
     /// Random seed (tree search, rollouts and noisy sampling).
     pub seed: u64,
+    /// Optional early stop for rollout evaluations: end a leaf evaluation
+    /// once the Wilson half-width of `p_overall` is at most this fraction
+    /// of the estimate (see
+    /// [`EstimateOptions::relative_half_width`]). `None` always runs the
+    /// full `shots_per_evaluation`. Early stopping is deterministic (wave
+    /// boundaries are thread-count independent), so seeded searches stay
+    /// reproducible.
+    pub rollout_half_width: Option<f64>,
 }
 
 impl Default for MctsConfig {
@@ -38,6 +47,7 @@ impl Default for MctsConfig {
             shots_per_evaluation: 1500,
             exploration: std::f64::consts::SQRT_2,
             seed: 0,
+            rollout_half_width: None,
         }
     }
 }
@@ -48,12 +58,25 @@ impl MctsConfig {
         MctsConfig { iterations_per_step: 12, shots_per_evaluation: 300, ..Default::default() }
     }
 
-    /// A configuration sized like the paper's experiments.
+    /// A configuration sized like the paper's experiments. Rollouts early
+    /// stop at a 20% relative Wilson half-width: clearly bad candidates
+    /// are rejected after a fraction of the shot budget while close calls
+    /// still get the full 20k shots.
     pub fn paper_scale() -> Self {
         MctsConfig {
             iterations_per_step: 4000,
             shots_per_evaluation: 20_000,
+            rollout_half_width: Some(0.2),
             ..Default::default()
+        }
+    }
+
+    /// The [`EstimateOptions`] this configuration induces for rollout
+    /// evaluations.
+    fn estimate_options(&self) -> EstimateOptions {
+        EstimateOptions {
+            relative_half_width: self.rollout_half_width,
+            ..EstimateOptions::default()
         }
     }
 }
@@ -109,7 +132,10 @@ impl Node {
 /// building the full round (already-optimised partitions + this candidate +
 /// lowest-depth placeholders for the remaining partitions), sampling the
 /// noisy round and decoding it with the configured decoder, and scoring the
-/// resulting overall logical error rate (§4.4). The committed move after
+/// resulting overall logical error rate (§4.4). Rollout evaluations run on
+/// the bit-packed batch pipeline (`asynd-sim`), with optional
+/// Wilson-interval early stopping
+/// ([`MctsConfig::rollout_half_width`]). The committed move after
 /// each batch of iterations keeps its subtree (continuous search, §4.5).
 ///
 /// Rewards are normalised to `(0, 1)` as `p_ref / (p_ref + p_candidate)`,
@@ -166,12 +192,13 @@ impl<'a> MctsScheduler<'a> {
         }
 
         // Reference error rate for reward normalisation.
-        let reference = estimate_logical_error(
+        let reference = estimate_logical_error_with(
             code,
             &placeholder_schedule,
             &self.noise,
             self.factory,
             self.config.shots_per_evaluation,
+            &self.config.estimate_options(),
             &mut rng,
         )
         .map_err(SchedulerError::Evaluation)?;
@@ -184,9 +211,7 @@ impl<'a> MctsScheduler<'a> {
             // The move universe of this partition: all its Pauli checks.
             let moves: Vec<(usize, usize, Pauli)> = partition
                 .iter()
-                .flat_map(|&s| {
-                    code.stabilizers()[s].entries().iter().map(move |&(q, p)| (q, s, p))
-                })
+                .flat_map(|&s| code.stabilizers()[s].entries().iter().map(move |&(q, p)| (q, s, p)))
                 .collect();
             let total_checks = moves.len();
 
@@ -281,7 +306,8 @@ impl<'a> MctsScheduler<'a> {
                 .copied()
                 .max_by(|&a, &b| {
                     let uct = |i: usize| {
-                        nodes[i].mean() + exploration * (ln_parent / nodes[i].visits.max(1.0)).sqrt()
+                        nodes[i].mean()
+                            + exploration * (ln_parent / nodes[i].visits.max(1.0)).sqrt()
                     };
                     uct(a).partial_cmp(&uct(b)).unwrap_or(std::cmp::Ordering::Equal)
                 })
@@ -316,12 +342,13 @@ impl<'a> MctsScheduler<'a> {
         candidate_committed[partition_index] = ordering;
         let schedule =
             assemble_schedule(code, partitions, &candidate_committed, partition_checks, false);
-        let estimate = estimate_logical_error(
+        let estimate = estimate_logical_error_with(
             code,
             &schedule,
             &self.noise,
             self.factory,
             self.config.shots_per_evaluation,
+            &self.config.estimate_options(),
             rng,
         )
         .map_err(SchedulerError::Evaluation)?;
@@ -358,11 +385,7 @@ fn assemble_schedule(
         let mut partition_depth = 0usize;
         if orderings[index].is_empty() {
             // Placeholder: reuse the lowest-depth sub-schedule, shifted.
-            let base = placeholder_checks[index]
-                .iter()
-                .map(|c| c.tick)
-                .min()
-                .unwrap_or(1);
+            let base = placeholder_checks[index].iter().map(|c| c.tick).min().unwrap_or(1);
             for check in &placeholder_checks[index] {
                 let tick = offset + (check.tick - base) + 1;
                 builder.push_at(check.data, check.stabilizer, check.pauli, tick);
@@ -439,9 +462,8 @@ mod tests {
         let a = MctsScheduler::new(NoiseModel::brisbane(), &factory, config.clone())
             .schedule(&code)
             .unwrap();
-        let b = MctsScheduler::new(NoiseModel::brisbane(), &factory, config)
-            .schedule(&code)
-            .unwrap();
+        let b =
+            MctsScheduler::new(NoiseModel::brisbane(), &factory, config).schedule(&code).unwrap();
         assert_eq!(a, b);
     }
 
@@ -454,9 +476,6 @@ mod tests {
             &factory,
             MctsConfig { iterations_per_step: 0, ..MctsConfig::quick() },
         );
-        assert!(matches!(
-            scheduler.schedule(&code),
-            Err(SchedulerError::InvalidConfig { .. })
-        ));
+        assert!(matches!(scheduler.schedule(&code), Err(SchedulerError::InvalidConfig { .. })));
     }
 }

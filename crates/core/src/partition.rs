@@ -70,7 +70,9 @@ mod tests {
 
     #[test]
     fn css_codes_split_into_x_and_z_groups() {
-        for code in [steane_code(), rotated_surface_code(5), bb_code_72_12_6(), generalized_shor_code(3)] {
+        for code in
+            [steane_code(), rotated_surface_code(5), bb_code_72_12_6(), generalized_shor_code(3)]
+        {
             let partitions = partition_stabilizers(&code);
             assert_eq!(partitions.len(), 2, "{} should partition into X and Z groups", code.name());
             for group in &partitions {

@@ -1,0 +1,90 @@
+//! Batch entry points: every decoder in this crate implements
+//! [`asynd_sim::BatchDecoder`], so it plugs directly into the bit-packed
+//! evaluation pipeline (`BatchSampler` → `decode_batch` → word-parallel
+//! scoring in the `ParallelEstimator`).
+//!
+//! All three decoder families currently use the provided shot-wise
+//! `decode_batch` (unpack one word-column per shot); the trait is the seam
+//! where a word-parallel implementation — e.g. a BP message pass whose
+//! per-edge loop runs over 64 shots per word — can be dropped in without
+//! touching the pipeline.
+
+use asynd_circuit::ObservableDecoder;
+use asynd_pauli::BitVec;
+use asynd_sim::BatchDecoder;
+
+use crate::{BpOsdDecoder, CachedDecoder, MwpmDecoder, UnionFindDecoder};
+
+macro_rules! impl_batch_via_scalar {
+    ($($decoder:ty),* $(,)?) => {$(
+        impl BatchDecoder for $decoder {
+            fn decode_shot(&self, detectors: &BitVec) -> BitVec {
+                ObservableDecoder::decode(self, detectors)
+            }
+        }
+    )*};
+}
+
+impl_batch_via_scalar!(MwpmDecoder, UnionFindDecoder, BpOsdDecoder);
+
+impl<D: ObservableDecoder> BatchDecoder for CachedDecoder<D> {
+    fn decode_shot(&self, detectors: &BitVec) -> BitVec {
+        ObservableDecoder::decode(self, detectors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asynd_circuit::{DemError, DetectorErrorModel};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn toy_dem() -> DetectorErrorModel {
+        DetectorErrorModel::from_parts(
+            3,
+            2,
+            vec![
+                DemError { probability: 0.05, detectors: vec![0], observables: vec![0] },
+                DemError { probability: 0.08, detectors: vec![0, 1], observables: vec![] },
+                DemError { probability: 0.03, detectors: vec![1, 2], observables: vec![1] },
+            ],
+        )
+    }
+
+    #[test]
+    fn batch_decoding_matches_scalar_decoding() {
+        let dem = toy_dem();
+        let model = dem.to_frame_model();
+        let sampler = asynd_sim::BatchSampler::new(&model);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let batch = sampler.sample(200, &mut rng);
+
+        let decoders: Vec<Box<dyn BatchDecoder>> = vec![
+            Box::new(MwpmDecoder::new(&dem)),
+            Box::new(UnionFindDecoder::new(&dem)),
+            Box::new(BpOsdDecoder::new(&dem, 10, 0)),
+        ];
+        for decoder in &decoders {
+            let predictions = decoder.decode_batch(&batch);
+            assert_eq!(predictions.rows(), dem.num_observables());
+            assert_eq!(predictions.cols(), 200);
+            for s in 0..200 {
+                let scalar = decoder.decode_shot(&batch.shot_detectors(s));
+                assert_eq!(predictions.column(s), scalar, "shot {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_decoder_is_batch_capable() {
+        let dem = toy_dem();
+        let cached = CachedDecoder::new(MwpmDecoder::new(&dem));
+        let model = dem.to_frame_model();
+        let sampler = asynd_sim::BatchSampler::new(&model);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let batch = sampler.sample(100, &mut rng);
+        let predictions = BatchDecoder::decode_batch(&cached, &batch);
+        assert_eq!(predictions.cols(), 100);
+    }
+}

@@ -60,19 +60,17 @@ impl BpOsdDecoder {
             return (priors, Some(Vec::new()));
         }
         // Messages indexed by (detector, position-in-row).
-        let mut var_to_check: Vec<Vec<f64>> = (0..m.num_detectors())
-            .map(|d| m.row(d).iter().map(|&j| priors[j]).collect())
-            .collect();
+        let mut var_to_check: Vec<Vec<f64>> =
+            (0..m.num_detectors()).map(|d| m.row(d).iter().map(|&j| priors[j]).collect()).collect();
         let mut check_to_var: Vec<Vec<f64>> =
             (0..m.num_detectors()).map(|d| vec![0.0; m.row(d).len()]).collect();
         let mut posteriors = priors.clone();
 
         for _ in 0..self.max_iterations {
             // Check update (normalized min-sum).
-            for d in 0..m.num_detectors() {
+            for (d, outgoing) in check_to_var.iter_mut().enumerate() {
                 let incoming = &var_to_check[d];
-                let row_len = incoming.len();
-                for i in 0..row_len {
+                for (i, out) in outgoing.iter_mut().enumerate() {
                     let mut sign = if syndrome.get(d) { -1.0 } else { 1.0 };
                     let mut min_abs = f64::INFINITY;
                     for (i2, &msg) in incoming.iter().enumerate() {
@@ -87,16 +85,16 @@ impl BpOsdDecoder {
                     if min_abs.is_infinite() {
                         min_abs = 0.0;
                     }
-                    check_to_var[d][i] = sign * self.scale * min_abs;
+                    *out = sign * self.scale * min_abs;
                 }
             }
             // Variable update and posteriors.
             for p in posteriors.iter_mut() {
                 *p = 0.0;
             }
-            for d in 0..m.num_detectors() {
-                for (i, &j) in m.row(d).iter().enumerate() {
-                    posteriors[j] += check_to_var[d][i];
+            for (d, outgoing) in check_to_var.iter().enumerate() {
+                for (&j, &msg) in m.row(d).iter().zip(outgoing) {
+                    posteriors[j] += msg;
                 }
             }
             for (j, p) in posteriors.iter_mut().enumerate() {
@@ -108,8 +106,7 @@ impl BpOsdDecoder {
                 }
             }
             // Hard decision.
-            let decision: Vec<usize> =
-                (0..num_errors).filter(|&j| posteriors[j] < 0.0).collect();
+            let decision: Vec<usize> = (0..num_errors).filter(|&j| posteriors[j] < 0.0).collect();
             if self.matrix.syndrome_of(&decision) == *syndrome {
                 return (posteriors, Some(decision));
             }
@@ -144,7 +141,8 @@ impl BpOsdDecoder {
         );
         // Reduced solve on the permuted system: columns earlier in `order`
         // are preferred as pivots by the left-to-right sweep of row_reduce.
-        let mut augmented = permuted.hstack(&BinMatrix::from_rows(vec![syndrome.clone()]).transpose());
+        let mut augmented =
+            permuted.hstack(&BinMatrix::from_rows(vec![syndrome.clone()]).transpose());
         let pivots = augmented.row_reduce();
         // If the syndrome column became a pivot the system is inconsistent
         // (should not happen for a DEM-generated syndrome); return BP's best

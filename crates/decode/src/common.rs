@@ -29,10 +29,16 @@ impl fmt::Display for DecoderError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecoderError::TooManyObservables { found } => {
-                write!(f, "detector error model has {found} observables, more than the supported 64")
+                write!(
+                    f,
+                    "detector error model has {found} observables, more than the supported 64"
+                )
             }
             DecoderError::UnsupportedHyperedge { detectors } => {
-                write!(f, "error mechanism touches {detectors} detectors, unsupported by this decoder")
+                write!(
+                    f,
+                    "error mechanism touches {detectors} detectors, unsupported by this decoder"
+                )
             }
         }
     }

@@ -2,9 +2,10 @@
 //! hypergraph union-find and BP-OSD.
 //!
 //! All decoders are constructed from an [`asynd_circuit::DetectorErrorModel`]
-//! and implement [`asynd_circuit::ObservableDecoder`], so they plug directly
-//! into the evaluation loop (`estimate_logical_error`) and into the MCTS
-//! scheduler's decoder-in-the-loop rollouts. Each decoder also provides a
+//! and implement [`asynd_circuit::ObservableDecoder`] as well as the batch
+//! interface [`asynd_sim::BatchDecoder`], so they plug directly into the
+//! evaluation loop (`estimate_logical_error`), the bit-packed batch
+//! pipeline and the MCTS scheduler's decoder-in-the-loop rollouts. Each decoder also provides a
 //! [`asynd_circuit::DecoderFactory`] so callers can be generic over the
 //! decoder family, mirroring the paper's cross-decoder experiments.
 //!
@@ -40,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod bposd;
 mod common;
 mod mwpm;

@@ -245,7 +245,13 @@ impl MwpmDecoder {
 
 /// Merges an edge into the accumulating edge map, combining parallel edges
 /// as independent mechanisms and keeping the dominant observable mask.
-fn add_edge(edges: &mut HashMap<(usize, usize), (f64, u64)>, a: usize, b: usize, p: f64, mask: u64) {
+fn add_edge(
+    edges: &mut HashMap<(usize, usize), (f64, u64)>,
+    a: usize,
+    b: usize,
+    p: f64,
+    mask: u64,
+) {
     let key = if a <= b { (a, b) } else { (b, a) };
     let entry = edges.entry(key).or_insert((0.0, mask));
     let combined = entry.0 * (1.0 - p) + p * (1.0 - entry.0);
@@ -274,8 +280,11 @@ fn decompose(
     };
     if detectors.len() == 4 {
         let d = detectors;
-        let partitions =
-            [[(d[0], d[1]), (d[2], d[3])], [(d[0], d[2]), (d[1], d[3])], [(d[0], d[3]), (d[1], d[2])]];
+        let partitions = [
+            [(d[0], d[1]), (d[2], d[3])],
+            [(d[0], d[2]), (d[1], d[3])],
+            [(d[0], d[3]), (d[1], d[2])],
+        ];
         for partition in partitions {
             if partition.iter().all(|&(a, b)| has(a, b)) {
                 return partition.to_vec();

@@ -191,14 +191,14 @@ impl ObservableDecoder for UnionFindDecoder {
             // Collect current clusters.
             let mut clusters: std::collections::HashMap<usize, (Vec<usize>, Vec<usize>)> =
                 std::collections::HashMap::new();
-            for d in 0..num_detectors {
-                if in_cluster[d] {
+            for (d, &in_c) in in_cluster.iter().enumerate() {
+                if in_c {
                     let root = dsu.find(d);
                     clusters.entry(root).or_default().0.push(d);
                 }
             }
-            for j in 0..m.num_errors() {
-                if error_absorbed[j] {
+            for (j, &absorbed) in error_absorbed.iter().enumerate() {
+                if absorbed {
                     // An absorbed error's detectors are all in one cluster.
                     let root = dsu.find(m.column(j)[0]);
                     clusters.entry(root).or_default().1.push(j);
@@ -208,8 +208,7 @@ impl ObservableDecoder for UnionFindDecoder {
             let mut all_valid = true;
             result_mask = 0;
             for (cluster_detectors, cluster_errors) in clusters.values() {
-                if let Some(mask) =
-                    self.solve_cluster(cluster_detectors, cluster_errors, detectors)
+                if let Some(mask) = self.solve_cluster(cluster_detectors, cluster_errors, detectors)
                 {
                     result_mask ^= mask;
                 } else {
@@ -222,8 +221,8 @@ impl ObservableDecoder for UnionFindDecoder {
             // Growth: absorb every error adjacent to an in-cluster detector,
             // merging the clusters it touches.
             let mut grew = false;
-            for j in 0..m.num_errors() {
-                if error_absorbed[j] {
+            for (j, absorbed) in error_absorbed.iter_mut().enumerate() {
+                if *absorbed {
                     continue;
                 }
                 let column = m.column(j);
@@ -231,7 +230,7 @@ impl ObservableDecoder for UnionFindDecoder {
                     continue;
                 }
                 if column.iter().any(|&d| in_cluster[d]) {
-                    error_absorbed[j] = true;
+                    *absorbed = true;
                     grew = true;
                     let first = column[0];
                     for &d in column {

@@ -64,10 +64,7 @@ fn mwpm_error_rate_drops_with_physical_error_rate() {
     let code = rotated_surface_code(3);
     let high = run(&code, &MwpmFactory::new(), &NoiseModel::scaled(1e-2), 2000, 5);
     let low = run(&code, &MwpmFactory::new(), &NoiseModel::scaled(1e-3), 2000, 5);
-    assert!(
-        low < high,
-        "logical error rate must fall with physical error rate: {low} !< {high}"
-    );
+    assert!(low < high, "logical error rate must fall with physical error rate: {low} !< {high}");
     assert!(low < 0.05, "low-noise logical error rate unexpectedly high: {low}");
 }
 

@@ -259,8 +259,7 @@ impl BinMatrix {
         let mut reduced = self.clone();
         let pivots = reduced.row_reduce();
         let pivot_set: std::collections::HashSet<usize> = pivots.iter().copied().collect();
-        let free_cols: Vec<usize> =
-            (0..self.num_cols).filter(|c| !pivot_set.contains(c)).collect();
+        let free_cols: Vec<usize> = (0..self.num_cols).filter(|c| !pivot_set.contains(c)).collect();
         let mut basis = Vec::with_capacity(free_cols.len());
         for &free in &free_cols {
             let mut v = BitVec::zeros(self.num_cols);

@@ -21,7 +21,9 @@ use crate::PauliError;
 /// assert!(Pauli::X.anticommutes_with(Pauli::Z));
 /// assert!(Pauli::X.commutes_with(Pauli::I));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub enum Pauli {
     /// The identity.
     #[default]

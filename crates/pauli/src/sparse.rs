@@ -109,7 +109,7 @@ impl SparsePauli {
                 }
             }
         }
-        anticommuting_overlaps % 2 == 0
+        anticommuting_overlaps.is_multiple_of(2)
     }
 
     /// Whether two sparse operators anticommute.

@@ -134,12 +134,7 @@ impl PauliString {
     /// Number of qubits on which the operator acts non-trivially.
     pub fn weight(&self) -> usize {
         // weight = |support(x) ∪ support(z)|
-        self.x
-            .words()
-            .iter()
-            .zip(self.z.words())
-            .map(|(a, b)| (a | b).count_ones() as usize)
-            .sum()
+        self.x.words().iter().zip(self.z.words()).map(|(a, b)| (a | b).count_ones() as usize).sum()
     }
 
     /// The qubits on which the operator acts non-trivially, ascending.

@@ -220,12 +220,11 @@ mod tests {
 
     #[test]
     fn steane_code() {
-        let stabs: Vec<PauliString> = [
-            "XXXXIII", "XXIIXXI", "XIXIXIX", "ZZZZIII", "ZZIIZZI", "ZIZIZIZ",
-        ]
-        .iter()
-        .map(|s| PauliString::from_str(s).unwrap())
-        .collect();
+        let stabs: Vec<PauliString> =
+            ["XXXXIII", "XXIIXXI", "XIXIXIX", "ZZZZIII", "ZZIIZZI", "ZIZIZIZ"]
+                .iter()
+                .map(|s| PauliString::from_str(s).unwrap())
+                .collect();
         check_pairing(&stabs, 1);
     }
 
@@ -246,10 +245,8 @@ mod tests {
 
     #[test]
     fn anticommuting_generators_rejected() {
-        let stabs = vec![
-            PauliString::from_str("XI").unwrap(),
-            PauliString::from_str("ZI").unwrap(),
-        ];
+        let stabs =
+            vec![PauliString::from_str("XI").unwrap(), PauliString::from_str("ZI").unwrap()];
         assert!(symplectic_complement_pairs(&stabs).is_err());
     }
 

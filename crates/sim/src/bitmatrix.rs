@@ -1,0 +1,222 @@
+//! A dense bit matrix whose columns are shots packed across `u64` words.
+
+use asynd_pauli::BitVec;
+
+/// Bits per machine word.
+pub const WORD_BITS: usize = 64;
+
+/// A `rows × cols` bit matrix stored row-major with 64 columns per word.
+///
+/// This is the transposed, batched layout of the frame simulator: one row
+/// per detector (or observable), one *bit-column* per shot, so flipping a
+/// detector for 64 shots at once is a single XOR of a word. Padding bits
+/// past `cols` in the last word of each row are kept zero, so
+/// `count_ones_row` and word-wise reductions need no masking.
+///
+/// # Example
+///
+/// ```
+/// use asynd_sim::BitMatrix;
+///
+/// let mut m = BitMatrix::zeros(2, 100);
+/// m.xor_row_word(0, 1, 0b1010);
+/// assert!(m.get(0, 65));
+/// assert!(!m.get(0, 64));
+/// assert_eq!(m.count_ones_row(0), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(WORD_BITS);
+        BitMatrix { rows, cols, words_per_row, words: vec![0u64; rows * words_per_row] }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (bits per row).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of `u64` words in each row.
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The mask of valid bits in the last word of a row (all ones when
+    /// `cols` is a multiple of 64).
+    #[inline]
+    pub fn tail_mask(&self) -> u64 {
+        let rem = self.cols % WORD_BITS;
+        if rem == 0 {
+            u64::MAX
+        } else {
+            (1u64 << rem) - 1
+        }
+    }
+
+    /// The packed words of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows()`.
+    #[inline]
+    pub fn row_words(&self, r: usize) -> &[u64] {
+        assert!(r < self.rows, "row {r} out of range for {} rows", self.rows);
+        &self.words[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// Mutable access to the packed words of row `r`.
+    ///
+    /// Callers must keep the padding bits past `cols` zero (mask with
+    /// [`Self::tail_mask`] when writing the last word).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows()`.
+    #[inline]
+    pub fn row_words_mut(&mut self, r: usize) -> &mut [u64] {
+        assert!(r < self.rows, "row {r} out of range for {} rows", self.rows);
+        &mut self.words[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// XORs `mask` into word `w` of row `r` — the frame simulator's core
+    /// operation: one call flips up to 64 shots of one detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the mask would set padding bits of the
+    /// last word; panics if `r` or `w` is out of range.
+    #[inline]
+    pub fn xor_row_word(&mut self, r: usize, w: usize, mask: u64) {
+        debug_assert!(
+            w + 1 < self.words_per_row || mask & !self.tail_mask() == 0,
+            "mask sets padding bits past column {}",
+            self.cols
+        );
+        let words_per_row = self.words_per_row;
+        assert!(w < words_per_row, "word {w} out of range for {words_per_row} words per row");
+        self.words[r * words_per_row + w] ^= mask;
+    }
+
+    /// Reads the bit at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        assert!(c < self.cols, "column {c} out of range for {} columns", self.cols);
+        (self.row_words(r)[c / WORD_BITS] >> (c % WORD_BITS)) & 1 == 1
+    }
+
+    /// Writes the bit at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, value: bool) {
+        assert!(c < self.cols, "column {c} out of range for {} columns", self.cols);
+        let word = &mut self.row_words_mut(r)[c / WORD_BITS];
+        let mask = 1u64 << (c % WORD_BITS);
+        if value {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    /// Number of set bits in row `r`.
+    pub fn count_ones_row(&self, r: usize) -> usize {
+        self.row_words(r).iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Extracts column `c` (one shot) as a [`BitVec`] of length `rows()`.
+    pub fn column(&self, c: usize) -> BitVec {
+        assert!(c < self.cols, "column {c} out of range for {} columns", self.cols);
+        let word = c / WORD_BITS;
+        let bit = c % WORD_BITS;
+        BitVec::from_bools(
+            (0..self.rows).map(|r| (self.words[r * self.words_per_row + word] >> bit) & 1 == 1),
+        )
+    }
+
+    /// Packs a [`BitVec`] into column `c` (inverse of [`Self::column`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != rows()` or `c` is out of range.
+    pub fn set_column(&mut self, c: usize, v: &BitVec) {
+        assert_eq!(v.len(), self.rows, "column length mismatch");
+        for (r, bit) in v.iter().enumerate() {
+            self.set(r, c, bit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_get_set() {
+        let mut m = BitMatrix::zeros(3, 130);
+        m.set(2, 129, true);
+        m.set(0, 0, true);
+        assert!(m.get(2, 129));
+        assert!(m.get(0, 0));
+        assert!(!m.get(1, 64));
+        m.set(2, 129, false);
+        assert_eq!(m.count_ones_row(2), 0);
+    }
+
+    #[test]
+    fn column_gathers_across_rows() {
+        let mut m = BitMatrix::zeros(4, 70);
+        m.set(1, 65, true);
+        m.set(3, 65, true);
+        let col = m.column(65);
+        assert_eq!(col.ones().collect::<Vec<_>>(), vec![1, 3]);
+        let mut other = BitMatrix::zeros(4, 70);
+        other.set_column(65, &col);
+        assert_eq!(m, other);
+    }
+
+    #[test]
+    fn xor_word_flips_shots() {
+        let mut m = BitMatrix::zeros(2, 128);
+        m.xor_row_word(1, 1, u64::MAX);
+        assert_eq!(m.count_ones_row(1), 64);
+        m.xor_row_word(1, 1, u64::MAX);
+        assert_eq!(m.count_ones_row(1), 0);
+    }
+
+    #[test]
+    fn tail_mask_matches_columns() {
+        assert_eq!(BitMatrix::zeros(1, 64).tail_mask(), u64::MAX);
+        assert_eq!(BitMatrix::zeros(1, 65).tail_mask(), 1);
+        assert_eq!(BitMatrix::zeros(1, 3).tail_mask(), 0b111);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let m = BitMatrix::zeros(2, 10);
+        let _ = m.get(0, 10);
+    }
+}

@@ -1,0 +1,94 @@
+//! Decoding batches of packed shots.
+
+use asynd_pauli::BitVec;
+
+use crate::{BatchShots, BitMatrix};
+
+/// A decoder that can process a whole packed batch of shots.
+///
+/// The provided [`decode_batch`](Self::decode_batch) unpacks each shot,
+/// calls [`decode_shot`](Self::decode_shot) and re-packs the prediction —
+/// correct for every decoder, with only the unpack/re-pack overhead on top
+/// of scalar decoding. Decoders whose inner loops vectorise over shots
+/// (e.g. a batch BP message pass) should override `decode_batch`.
+pub trait BatchDecoder {
+    /// Predicts the observable flips of a single shot's detector outcomes.
+    ///
+    /// The returned vector's length is the model's observable count.
+    fn decode_shot(&self, detectors: &BitVec) -> BitVec;
+
+    /// Predicts observable flips for every shot in the batch.
+    ///
+    /// Returns a `num_observables × num_shots` matrix whose column `s` is
+    /// the prediction for shot `s`.
+    fn decode_batch(&self, shots: &BatchShots) -> BitMatrix {
+        let num_observables = shots.observables.rows();
+        let mut predictions = BitMatrix::zeros(num_observables, shots.num_shots());
+        for s in 0..shots.num_shots() {
+            let prediction = self.decode_shot(&shots.shot_detectors(s));
+            debug_assert_eq!(prediction.len(), num_observables, "prediction length mismatch");
+            for o in prediction.ones() {
+                predictions.set(o, s, true);
+            }
+        }
+        predictions
+    }
+}
+
+impl<D: BatchDecoder + ?Sized> BatchDecoder for &D {
+    fn decode_shot(&self, detectors: &BitVec) -> BitVec {
+        (**self).decode_shot(detectors)
+    }
+
+    fn decode_batch(&self, shots: &BatchShots) -> BitMatrix {
+        (**self).decode_batch(shots)
+    }
+}
+
+impl<D: BatchDecoder + ?Sized> BatchDecoder for Box<D> {
+    fn decode_shot(&self, detectors: &BitVec) -> BitVec {
+        (**self).decode_shot(detectors)
+    }
+
+    fn decode_batch(&self, shots: &BatchShots) -> BitMatrix {
+        (**self).decode_batch(shots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BatchSampler, FrameErrorModel, Mechanism};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Predicts observable 0 flipped exactly when detector 0 fired.
+    struct MirrorDecoder;
+
+    impl BatchDecoder for MirrorDecoder {
+        fn decode_shot(&self, detectors: &BitVec) -> BitVec {
+            BitVec::from_bools([detectors.get(0)])
+        }
+    }
+
+    #[test]
+    fn default_batch_impl_matches_scalar() {
+        let model = FrameErrorModel::new(
+            1,
+            1,
+            vec![Mechanism { probability: 0.4, detectors: vec![0], observables: vec![0] }],
+        )
+        .unwrap();
+        let sampler = BatchSampler::new(&model);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let batch = sampler.sample(200, &mut rng);
+        let predictions = MirrorDecoder.decode_batch(&batch);
+        assert_eq!(predictions.rows(), 1);
+        assert_eq!(predictions.cols(), 200);
+        for s in 0..200 {
+            assert_eq!(predictions.get(0, s), batch.detectors.get(0, s), "shot {s}");
+        }
+        // This decoder is perfect for this model: predictions equal truth.
+        assert_eq!(predictions.row_words(0), batch.observables.row_words(0));
+    }
+}

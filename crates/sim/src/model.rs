@@ -1,0 +1,162 @@
+//! The simulator-facing view of a detector error model.
+
+/// One independent error mechanism: with probability `probability` it flips
+/// the listed detector and observable rows of every shot in which it fires.
+///
+/// This mirrors `asynd_circuit::DemError`, but lives here so the simulator
+/// does not depend on the circuit layer (the circuit crate converts its DEM
+/// into a [`FrameErrorModel`] and hands it down).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mechanism {
+    /// Probability that the mechanism fires in one shot.
+    pub probability: f64,
+    /// Indices of the detectors the mechanism flips.
+    pub detectors: Vec<usize>,
+    /// Indices of the logical observables the mechanism flips.
+    pub observables: Vec<usize>,
+}
+
+/// A validated set of independent error mechanisms over fixed detector and
+/// observable counts — the input of the batch frame simulator.
+///
+/// # Example
+///
+/// ```
+/// use asynd_sim::{FrameErrorModel, Mechanism};
+///
+/// let model = FrameErrorModel::new(
+///     3,
+///     1,
+///     vec![Mechanism { probability: 0.25, detectors: vec![0, 2], observables: vec![0] }],
+/// )
+/// .unwrap();
+/// assert_eq!(model.num_detectors(), 3);
+/// assert_eq!(model.mechanisms().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameErrorModel {
+    num_detectors: usize,
+    num_observables: usize,
+    mechanisms: Vec<Mechanism>,
+}
+
+/// Why a [`FrameErrorModel`] was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A mechanism probability was not a finite value in `[0, 1]`.
+    InvalidProbability {
+        /// Index of the offending mechanism.
+        mechanism: usize,
+    },
+    /// A detector or observable index was out of range.
+    IndexOutOfRange {
+        /// Index of the offending mechanism.
+        mechanism: usize,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::InvalidProbability { mechanism } => {
+                write!(f, "mechanism {mechanism} has a probability outside [0, 1]")
+            }
+            ModelError::IndexOutOfRange { mechanism } => {
+                write!(f, "mechanism {mechanism} references an out-of-range detector/observable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl FrameErrorModel {
+    /// Creates a model, validating probabilities and indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] if any probability is outside `[0, 1]` or
+    /// any index is out of range.
+    pub fn new(
+        num_detectors: usize,
+        num_observables: usize,
+        mechanisms: Vec<Mechanism>,
+    ) -> Result<Self, ModelError> {
+        for (i, m) in mechanisms.iter().enumerate() {
+            if !m.probability.is_finite() || !(0.0..=1.0).contains(&m.probability) {
+                return Err(ModelError::InvalidProbability { mechanism: i });
+            }
+            if m.detectors.iter().any(|&d| d >= num_detectors)
+                || m.observables.iter().any(|&o| o >= num_observables)
+            {
+                return Err(ModelError::IndexOutOfRange { mechanism: i });
+            }
+        }
+        Ok(FrameErrorModel { num_detectors, num_observables, mechanisms })
+    }
+
+    /// Number of detector rows.
+    pub fn num_detectors(&self) -> usize {
+        self.num_detectors
+    }
+
+    /// Number of observable rows.
+    pub fn num_observables(&self) -> usize {
+        self.num_observables
+    }
+
+    /// The error mechanisms.
+    pub fn mechanisms(&self) -> &[Mechanism] {
+        &self.mechanisms
+    }
+
+    /// Expected number of mechanism firings per shot.
+    pub fn expected_error_weight(&self) -> f64 {
+        self.mechanisms.iter().map(|m| m.probability).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_probability() {
+        let err = FrameErrorModel::new(
+            1,
+            0,
+            vec![Mechanism { probability: 1.5, detectors: vec![0], observables: vec![] }],
+        )
+        .unwrap_err();
+        assert_eq!(err, ModelError::InvalidProbability { mechanism: 0 });
+        assert!(err.to_string().contains("probability"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_indices() {
+        let err = FrameErrorModel::new(
+            2,
+            1,
+            vec![
+                Mechanism { probability: 0.1, detectors: vec![1], observables: vec![] },
+                Mechanism { probability: 0.1, detectors: vec![2], observables: vec![] },
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err, ModelError::IndexOutOfRange { mechanism: 1 });
+    }
+
+    #[test]
+    fn accepts_boundary_probabilities() {
+        let model = FrameErrorModel::new(
+            1,
+            1,
+            vec![
+                Mechanism { probability: 0.0, detectors: vec![0], observables: vec![] },
+                Mechanism { probability: 1.0, detectors: vec![], observables: vec![0] },
+            ],
+        )
+        .unwrap();
+        assert_eq!(model.expected_error_weight(), 1.0);
+    }
+}

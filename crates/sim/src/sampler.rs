@@ -1,0 +1,385 @@
+//! The bit-packed batch frame sampler.
+//!
+//! Shots are packed across the bits of `u64` words (one word = 64 shots).
+//! For every error mechanism the sampler draws a *fire mask* per word — one
+//! bit per shot in which the mechanism fires — and XORs the mechanism's
+//! detector/observable signature into the affected word-columns of the
+//! output matrices. This replaces the scalar path's one-`f64`-per-shot-
+//! per-mechanism loop with two word-level strategies:
+//!
+//! * **Geometric skip sampling** (rare mechanisms, `p ≤ 0.25`): the gap
+//!   between consecutive firing shots is geometric, so the sampler jumps
+//!   directly from fire to fire with one uniform draw each. Cost is
+//!   `O(p · shots)` RNG work instead of `O(shots)` — for circuit-level
+//!   noise (`p ~ 1e-3`) that is a ~1000× reduction in random-number draws.
+//! * **Binary-expansion Bernoulli masks** (common mechanisms, `p > 0.25`):
+//!   a word whose bits are each set with probability `p` is built from
+//!   [`BERNOULLI_BITS`] uniform words by Horner-evaluating the binary
+//!   expansion of `p` with AND/OR (with probability ½ a fresh coin decides
+//!   "use this expansion bit", halving the remaining expansion each step).
+//!   Cost is a constant ~48 draws per 64 shots regardless of `p`.
+
+use rand::Rng;
+
+use crate::{BitMatrix, FrameErrorModel, WORD_BITS};
+
+/// Mechanisms at or below this probability use geometric skip sampling;
+/// denser mechanisms use binary-expansion Bernoulli masks (whose fixed cost
+/// of [`BERNOULLI_BITS`] draws per word wins once `p · 64` exceeds it).
+pub const GEOMETRIC_THRESHOLD: f64 = 0.25;
+
+/// Bits of the probability's binary expansion used by the mask generator.
+/// The truncation bias is `≤ 2⁻⁴⁸ ≈ 3.6e-15` absolute — far below the
+/// Monte-Carlo resolution of any realistic shot budget.
+pub const BERNOULLI_BITS: u32 = 48;
+
+/// One batch of sampled shots in packed form.
+///
+/// `detectors` has one row per detector and one bit-column per shot;
+/// `observables` likewise. Column `s` of both matrices together is shot `s`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchShots {
+    /// Detector outcomes: `num_detectors × shots` bits.
+    pub detectors: BitMatrix,
+    /// True observable flips: `num_observables × shots` bits.
+    pub observables: BitMatrix,
+}
+
+impl BatchShots {
+    /// Number of shots in the batch.
+    pub fn num_shots(&self) -> usize {
+        self.detectors.cols()
+    }
+
+    /// Unpacks shot `s`'s detector outcomes.
+    pub fn shot_detectors(&self, s: usize) -> asynd_pauli::BitVec {
+        self.detectors.column(s)
+    }
+
+    /// Unpacks shot `s`'s true observable flips.
+    pub fn shot_observables(&self, s: usize) -> asynd_pauli::BitVec {
+        self.observables.column(s)
+    }
+}
+
+/// Per-mechanism sampling plan, precomputed once per model.
+#[derive(Debug, Clone)]
+enum FirePlan {
+    /// Never fires (`p ≤ 0`).
+    Never,
+    /// Fires every shot (`p ≥ 1`).
+    Always,
+    /// Geometric skip sampling; caches `1 / ln(1 - p)`.
+    Geometric { inv_ln_one_minus_p: f64 },
+    /// Binary-expansion mask; caches the expansion of `p`, bit `k` of the
+    /// word holding expansion bit `b_{k+1}` (weight `2^-(k+1)`).
+    Bernoulli { expansion: u64 },
+}
+
+#[derive(Debug, Clone)]
+struct MechanismPlan {
+    plan: FirePlan,
+    detectors: Vec<usize>,
+    observables: Vec<usize>,
+}
+
+/// Samples batches of shots from a [`FrameErrorModel`].
+///
+/// Construction precomputes a per-mechanism plan; `sample` may then be
+/// called many times (and from many threads — the sampler is `Sync`) with
+/// independent RNGs.
+///
+/// # Determinism
+///
+/// For a fixed RNG state, `sample(shots, rng)` is a pure function: the RNG
+/// is consumed mechanism by mechanism in model order, so equal seeds give
+/// equal batches. Batches of different sizes consume different streams and
+/// are *not* prefixes of one another.
+///
+/// # Example
+///
+/// ```
+/// use asynd_sim::{BatchSampler, FrameErrorModel, Mechanism};
+/// use rand::SeedableRng;
+///
+/// let model = FrameErrorModel::new(
+///     2,
+///     1,
+///     vec![Mechanism { probability: 0.5, detectors: vec![0, 1], observables: vec![0] }],
+/// )
+/// .unwrap();
+/// let sampler = BatchSampler::new(&model);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let batch = sampler.sample(1000, &mut rng);
+/// // The mechanism flips detectors 0 and 1 together in every firing shot.
+/// assert_eq!(batch.detectors.row_words(0), batch.detectors.row_words(1));
+/// assert_eq!(batch.detectors.row_words(0), batch.observables.row_words(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchSampler {
+    num_detectors: usize,
+    num_observables: usize,
+    plans: Vec<MechanismPlan>,
+}
+
+impl BatchSampler {
+    /// Builds the sampling plans for `model`.
+    pub fn new(model: &FrameErrorModel) -> Self {
+        let plans = model
+            .mechanisms()
+            .iter()
+            .map(|m| {
+                let p = m.probability;
+                let plan = if p <= 0.0 {
+                    FirePlan::Never
+                } else if p >= 1.0 {
+                    FirePlan::Always
+                } else if p <= GEOMETRIC_THRESHOLD {
+                    FirePlan::Geometric { inv_ln_one_minus_p: 1.0 / (1.0 - p).ln() }
+                } else {
+                    FirePlan::Bernoulli { expansion: probability_expansion(p) }
+                };
+                MechanismPlan {
+                    plan,
+                    detectors: m.detectors.clone(),
+                    observables: m.observables.clone(),
+                }
+            })
+            .collect();
+        BatchSampler {
+            num_detectors: model.num_detectors(),
+            num_observables: model.num_observables(),
+            plans,
+        }
+    }
+
+    /// Samples `shots` independent shots into packed matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots == 0`.
+    pub fn sample<R: Rng + ?Sized>(&self, shots: usize, rng: &mut R) -> BatchShots {
+        assert!(shots > 0, "cannot sample an empty batch");
+        let mut detectors = BitMatrix::zeros(self.num_detectors, shots);
+        let mut observables = BitMatrix::zeros(self.num_observables, shots);
+        let words = shots.div_ceil(WORD_BITS);
+        let tail = detectors.tail_mask();
+
+        for plan in &self.plans {
+            match plan.plan {
+                FirePlan::Never => {}
+                FirePlan::Always => {
+                    for w in 0..words {
+                        let mask = if w + 1 == words { tail } else { u64::MAX };
+                        apply_mask(&mut detectors, &mut observables, plan, w, mask);
+                    }
+                }
+                FirePlan::Geometric { inv_ln_one_minus_p } => {
+                    let mut shot = geometric_skip(rng, inv_ln_one_minus_p);
+                    let mut word = usize::MAX;
+                    let mut mask = 0u64;
+                    while shot < shots {
+                        let w = shot / WORD_BITS;
+                        if w != word {
+                            if mask != 0 {
+                                apply_mask(&mut detectors, &mut observables, plan, word, mask);
+                            }
+                            word = w;
+                            mask = 0;
+                        }
+                        mask |= 1u64 << (shot % WORD_BITS);
+                        shot = shot
+                            .saturating_add(1)
+                            .saturating_add(geometric_skip(rng, inv_ln_one_minus_p));
+                    }
+                    if mask != 0 {
+                        apply_mask(&mut detectors, &mut observables, plan, word, mask);
+                    }
+                }
+                FirePlan::Bernoulli { expansion } => {
+                    for w in 0..words {
+                        let mut mask = bernoulli_mask(rng, expansion);
+                        if w + 1 == words {
+                            mask &= tail;
+                        }
+                        if mask != 0 {
+                            apply_mask(&mut detectors, &mut observables, plan, w, mask);
+                        }
+                    }
+                }
+            }
+        }
+        BatchShots { detectors, observables }
+    }
+}
+
+/// XORs one fire mask into every signature row of the mechanism.
+#[inline]
+fn apply_mask(
+    detectors: &mut BitMatrix,
+    observables: &mut BitMatrix,
+    plan: &MechanismPlan,
+    word: usize,
+    mask: u64,
+) {
+    for &d in &plan.detectors {
+        detectors.xor_row_word(d, word, mask);
+    }
+    for &o in &plan.observables {
+        observables.xor_row_word(o, word, mask);
+    }
+}
+
+/// Number of non-firing shots before the next fire: `Geometric(p)` via
+/// inversion, using a cached `1 / ln(1 - p)`.
+#[inline]
+fn geometric_skip<R: Rng + ?Sized>(rng: &mut R, inv_ln_one_minus_p: f64) -> usize {
+    let u: f64 = rng.gen();
+    // 1 - u is in (0, 1], so the log is finite and ≤ 0; the product is ≥ 0.
+    // Casting truncates toward zero and saturates on overflow.
+    ((1.0 - u).ln() * inv_ln_one_minus_p) as usize
+}
+
+/// The first [`BERNOULLI_BITS`] bits of `p`'s binary expansion, bit `k`
+/// holding `b_{k+1}` (the coefficient of `2^-(k+1)`).
+fn probability_expansion(p: f64) -> u64 {
+    let mut expansion = 0u64;
+    let mut frac = p;
+    for k in 0..BERNOULLI_BITS {
+        frac *= 2.0;
+        if frac >= 1.0 {
+            expansion |= 1u64 << k;
+            frac -= 1.0;
+        }
+    }
+    expansion
+}
+
+/// Draws a word whose 64 bits are each set independently with probability
+/// `p` (given by its binary expansion), from `BERNOULLI_BITS` uniform words.
+///
+/// Processing the expansion from its least significant retained bit upward,
+/// each step replaces every lane with the current expansion bit where a
+/// fresh coin flips heads: `P(bit) = ½·b_k + ½·P(rest)`, which telescopes to
+/// exactly the truncated expansion of `p`.
+#[inline]
+fn bernoulli_mask<R: Rng + ?Sized>(rng: &mut R, expansion: u64) -> u64 {
+    let mut mask = 0u64;
+    for k in (0..BERNOULLI_BITS).rev() {
+        let coin = rng.gen::<u64>();
+        if expansion >> k & 1 == 1 {
+            mask |= coin;
+        } else {
+            mask &= coin;
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mechanism;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn model(p: f64) -> FrameErrorModel {
+        FrameErrorModel::new(
+            2,
+            1,
+            vec![Mechanism { probability: p, detectors: vec![0, 1], observables: vec![0] }],
+        )
+        .unwrap()
+    }
+
+    fn firing_rate(p: f64, shots: usize, seed: u64) -> f64 {
+        let model = model(p);
+        let sampler = BatchSampler::new(&model);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let batch = sampler.sample(shots, &mut rng);
+        batch.detectors.count_ones_row(0) as f64 / shots as f64
+    }
+
+    #[test]
+    fn zero_and_one_probabilities_are_exact() {
+        assert_eq!(firing_rate(0.0, 1000, 1), 0.0);
+        assert_eq!(firing_rate(1.0, 1000, 1), 1.0);
+        // p = 1 with a non-word-aligned batch must not set padding bits.
+        let sampler = BatchSampler::new(&model(1.0));
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let batch = sampler.sample(70, &mut rng);
+        assert_eq!(batch.detectors.count_ones_row(0), 70);
+    }
+
+    #[test]
+    fn geometric_path_rate_matches_probability() {
+        // p below GEOMETRIC_THRESHOLD exercises the skip sampler.
+        let rate = firing_rate(0.01, 200_000, 3);
+        assert!((rate - 0.01).abs() < 0.002, "rate {rate} vs p = 0.01");
+    }
+
+    #[test]
+    fn bernoulli_path_rate_matches_probability() {
+        // p above GEOMETRIC_THRESHOLD exercises the expansion masks.
+        let rate = firing_rate(0.37, 200_000, 4);
+        assert!((rate - 0.37).abs() < 0.01, "rate {rate} vs p = 0.37");
+    }
+
+    #[test]
+    fn signature_rows_flip_together() {
+        let sampler = BatchSampler::new(&model(0.3));
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let batch = sampler.sample(500, &mut rng);
+        assert_eq!(batch.detectors.row_words(0), batch.detectors.row_words(1));
+        assert_eq!(batch.detectors.row_words(0), batch.observables.row_words(0));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let sampler = BatchSampler::new(&model(0.05));
+        let a = sampler.sample(300, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = sampler.sample(300, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let c = sampler.sample(300, &mut ChaCha8Rng::seed_from_u64(10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn expansion_reconstructs_probability() {
+        for p in [0.3, 0.5, 0.75, 0.999] {
+            let e = probability_expansion(p);
+            let mut value = 0.0;
+            for k in 0..BERNOULLI_BITS {
+                if e >> k & 1 == 1 {
+                    value += (0.5f64).powi(k as i32 + 1);
+                }
+            }
+            assert!((value - p).abs() < 1e-12, "expansion of {p} reconstructs {value}");
+        }
+    }
+
+    #[test]
+    fn unpacked_shots_are_consistent() {
+        let model = FrameErrorModel::new(
+            3,
+            2,
+            vec![
+                Mechanism { probability: 0.2, detectors: vec![0, 2], observables: vec![1] },
+                Mechanism { probability: 0.4, detectors: vec![1], observables: vec![0] },
+            ],
+        )
+        .unwrap();
+        let sampler = BatchSampler::new(&model);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let batch = sampler.sample(130, &mut rng);
+        for s in 0..batch.num_shots() {
+            let det = batch.shot_detectors(s);
+            let obs = batch.shot_observables(s);
+            // Mechanism 1 is the only way detector 1 or observable 0 flips.
+            assert_eq!(det.get(1), obs.get(0), "shot {s}");
+            // Mechanism 0 is the only way detectors 0/2 or observable 1 flip.
+            assert_eq!(det.get(0), det.get(2), "shot {s}");
+            assert_eq!(det.get(0), obs.get(1), "shot {s}");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Statistical equivalence tests of the batch frame sampler: empirical
+//! firing rates must match the analytic marginals of the model within
+//! Wilson confidence bounds, on both word-level RNG paths (geometric skip
+//! and binary-expansion Bernoulli masks), and everything must be
+//! deterministic under a fixed seed.
+
+use asynd_sim::{wilson_interval, BatchSampler, FrameErrorModel, Mechanism};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Analytic probability that detector `d` fires: an odd number of the
+/// mechanisms touching it fire, i.e. `(1 - Π(1 - 2pᵢ)) / 2`.
+fn detector_marginal(model: &FrameErrorModel, d: usize) -> f64 {
+    let product: f64 = model
+        .mechanisms()
+        .iter()
+        .filter(|m| m.detectors.contains(&d))
+        .map(|m| 1.0 - 2.0 * m.probability)
+        .product();
+    (1.0 - product) / 2.0
+}
+
+/// A model mixing rare (geometric-path) and common (Bernoulli-path)
+/// mechanisms with overlapping signatures.
+fn mixed_model() -> FrameErrorModel {
+    FrameErrorModel::new(
+        4,
+        2,
+        vec![
+            Mechanism { probability: 0.001, detectors: vec![0, 1], observables: vec![0] },
+            Mechanism { probability: 0.02, detectors: vec![1, 2], observables: vec![] },
+            Mechanism { probability: 0.35, detectors: vec![2, 3], observables: vec![1] },
+            Mechanism { probability: 0.6, detectors: vec![0, 3], observables: vec![] },
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn empirical_detector_rates_match_analytic_marginals() {
+    let model = mixed_model();
+    let sampler = BatchSampler::new(&model);
+    let shots = 400_000;
+    let mut rng = ChaCha8Rng::seed_from_u64(1234);
+    let batch = sampler.sample(shots, &mut rng);
+    for d in 0..model.num_detectors() {
+        let fired = batch.detectors.count_ones_row(d);
+        let expected = detector_marginal(&model, d);
+        // z = 4.4: chance of a false alarm per detector below 1e-5.
+        let (lo, hi) = wilson_interval(fired, shots, 4.417);
+        assert!(
+            lo <= expected && expected <= hi,
+            "detector {d}: analytic {expected:.5} outside Wilson [{lo:.5}, {hi:.5}] \
+             (observed {:.5})",
+            fired as f64 / shots as f64
+        );
+    }
+}
+
+#[test]
+fn rare_mechanism_rate_is_right_on_the_geometric_path() {
+    // A single p = 1e-3 mechanism over many shots: the skip sampler must
+    // neither drop nor double-count fires at word boundaries.
+    let model = FrameErrorModel::new(
+        1,
+        0,
+        vec![Mechanism { probability: 1e-3, detectors: vec![0], observables: vec![] }],
+    )
+    .unwrap();
+    let sampler = BatchSampler::new(&model);
+    let shots = 1_000_000;
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let batch = sampler.sample(shots, &mut rng);
+    let fired = batch.detectors.count_ones_row(0);
+    let (lo, hi) = wilson_interval(fired, shots, 4.417);
+    assert!(lo <= 1e-3 && 1e-3 <= hi, "rate {} for p = 1e-3", fired as f64 / shots as f64);
+}
+
+#[test]
+fn batches_are_deterministic_and_seed_sensitive() {
+    let model = mixed_model();
+    let sampler = BatchSampler::new(&model);
+    for shots in [1usize, 63, 64, 65, 4096] {
+        let a = sampler.sample(shots, &mut ChaCha8Rng::seed_from_u64(7));
+        let b = sampler.sample(shots, &mut ChaCha8Rng::seed_from_u64(7));
+        assert_eq!(a, b, "batch of {shots} shots not reproducible");
+    }
+    let a = sampler.sample(4096, &mut ChaCha8Rng::seed_from_u64(7));
+    let c = sampler.sample(4096, &mut ChaCha8Rng::seed_from_u64(8));
+    assert_ne!(a, c, "different seeds must differ");
+}
+
+#[test]
+fn padding_bits_stay_zero_for_ragged_batches() {
+    let model = mixed_model();
+    let sampler = BatchSampler::new(&model);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    for shots in [1usize, 13, 63, 65, 127] {
+        let batch = sampler.sample(shots, &mut rng);
+        let tail = batch.detectors.tail_mask();
+        for d in 0..model.num_detectors() {
+            let last = *batch.detectors.row_words(d).last().unwrap();
+            assert_eq!(last & !tail, 0, "padding bits set for {shots} shots, detector {d}");
+        }
+    }
+}

@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     } else {
         bivariate_bicycle_code(3, 3, &[(0, 0), (1, 0)], &[(0, 0), (0, 1)], 2)?
     };
-    println!("code: {code} ({} stabilizers of weight {})", code.stabilizers().len(), code.max_stabilizer_weight());
+    println!(
+        "code: {code} ({} stabilizers of weight {})",
+        code.stabilizers().len(),
+        code.max_stabilizer_weight()
+    );
 
     let noise = NoiseModel::paper();
     let factory = BpOsdFactory::new();
@@ -37,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .schedule(&code)?;
 
     let shots = 30_000;
-    println!("{:<16} {:>6} {:>12} {:>12} {:>12}", "schedule", "depth", "logical X", "logical Z", "overall");
+    println!(
+        "{:<16} {:>6} {:>12} {:>12} {:>12}",
+        "schedule", "depth", "logical X", "logical Z", "overall"
+    );
     for (name, schedule) in [("trivial", &trivial), ("IBM-style", &ibm), ("AlphaSyndrome", &mcts)] {
         schedule.validate(&code)?;
         let mut rng = ChaCha8Rng::seed_from_u64(7);

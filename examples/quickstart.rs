@@ -21,7 +21,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let baseline = LowestDepthScheduler::new().schedule(&code)?;
 
     // 3. AlphaSyndrome: MCTS with the decoder in the loop.
-    let config = MctsConfig { iterations_per_step: 64, shots_per_evaluation: 3000, ..Default::default() };
+    let config =
+        MctsConfig { iterations_per_step: 64, shots_per_evaluation: 3000, ..Default::default() };
     let scheduler = MctsScheduler::new(noise.clone(), &factory, config);
     let mcts = scheduler.schedule_with_progress(&code, |step| {
         if step.fixed_checks == step.total_checks {
@@ -40,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ours = estimate_logical_error(&code, &mcts, &noise, &factory, shots, &mut rng)?;
 
     println!();
-    println!("{:<22} {:>6} {:>12} {:>12} {:>12}", "schedule", "depth", "logical X", "logical Z", "overall");
+    println!(
+        "{:<22} {:>6} {:>12} {:>12} {:>12}",
+        "schedule", "depth", "logical X", "logical Z", "overall"
+    );
     println!(
         "{:<22} {:>6} {:>12.2e} {:>12.2e} {:>12.2e}",
         "lowest depth",

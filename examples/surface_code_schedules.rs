@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     println!("distance-3 rotated surface code, IBM-Brisbane-like noise, MWPM decoder");
-    println!("{:<26} {:>6} {:>12} {:>12} {:>12}", "schedule", "depth", "logical X", "logical Z", "overall");
+    println!(
+        "{:<26} {:>6} {:>12} {:>12} {:>12}",
+        "schedule", "depth", "logical X", "logical Z", "overall"
+    );
     for (name, schedule) in &schedules {
         schedule.validate(&code)?;
         let mut rng = ChaCha8Rng::seed_from_u64(2024);
@@ -42,9 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!();
-    println!(
-        "The hand-crafted zig-zag order steers hook errors perpendicular to the logical"
-    );
+    println!("The hand-crafted zig-zag order steers hook errors perpendicular to the logical");
     println!(
         "operators, which is why it beats the trivial and purely rotational orders (paper Fig. 1/7)."
     );

@@ -8,6 +8,8 @@
 //!   catalog.
 //! * [`circuit`] — syndrome-measurement schedules, circuit-level noise,
 //!   detector error models and Monte-Carlo sampling.
+//! * [`sim`] — the bit-packed batch frame simulator and the chunked
+//!   parallel logical-error estimation pipeline.
 //! * [`decode`] — MWPM, hypergraph union-find and BP-OSD decoders.
 //! * [`core`] — stabilizer partitioning, baseline and industry schedulers,
 //!   and the AlphaSyndrome MCTS scheduler.
@@ -30,3 +32,4 @@ pub use asynd_codes as codes;
 pub use asynd_core as core;
 pub use asynd_decode as decode;
 pub use asynd_pauli as pauli;
+pub use asynd_sim as sim;

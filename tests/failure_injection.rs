@@ -34,15 +34,9 @@ fn custom_codes_with_anticommuting_generators_fail_validation() {
 fn schedules_with_missing_or_duplicated_checks_are_rejected() {
     let code = steane_code();
     // Missing checks.
-    let incomplete = Schedule::new(
-        7,
-        6,
-        vec![Check { data: 0, stabilizer: 0, pauli: Pauli::X, tick: 1 }],
-    );
-    assert!(matches!(
-        incomplete.validate(&code),
-        Err(CircuitError::IncompleteStabilizer { .. })
-    ));
+    let incomplete =
+        Schedule::new(7, 6, vec![Check { data: 0, stabilizer: 0, pauli: Pauli::X, tick: 1 }]);
+    assert!(matches!(incomplete.validate(&code), Err(CircuitError::IncompleteStabilizer { .. })));
 
     // Duplicated check.
     let mut checks: Vec<Check> = Schedule::trivial(&code).checks().to_vec();
@@ -91,10 +85,7 @@ fn mcts_rejects_degenerate_configurations() {
         MctsConfig { shots_per_evaluation: 0, ..MctsConfig::quick() },
     ] {
         let scheduler = MctsScheduler::new(NoiseModel::paper(), &factory, config);
-        assert!(matches!(
-            scheduler.schedule(&code),
-            Err(SchedulerError::InvalidConfig { .. })
-        ));
+        assert!(matches!(scheduler.schedule(&code), Err(SchedulerError::InvalidConfig { .. })));
     }
 }
 

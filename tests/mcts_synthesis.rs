@@ -16,7 +16,8 @@ fn mcts_schedules_are_valid_for_multiple_decoders() {
         MctsConfig { iterations_per_step: 8, shots_per_evaluation: 200, ..MctsConfig::quick() };
 
     let bposd = BpOsdFactory::new();
-    let schedule = MctsScheduler::new(noise.clone(), &bposd, config.clone()).schedule(&code).unwrap();
+    let schedule =
+        MctsScheduler::new(noise.clone(), &bposd, config.clone()).schedule(&code).unwrap();
     schedule.validate(&code).unwrap();
 
     let unionfind = UnionFindFactory::new();
@@ -46,7 +47,12 @@ fn mcts_is_competitive_with_the_lowest_depth_baseline() {
     let code = steane_code();
     let noise = NoiseModel::paper();
     let factory = BpOsdFactory::new();
-    let config = MctsConfig { iterations_per_step: 32, shots_per_evaluation: 1500, seed: 3, ..Default::default() };
+    let config = MctsConfig {
+        iterations_per_step: 32,
+        shots_per_evaluation: 1500,
+        seed: 3,
+        ..Default::default()
+    };
     let mcts = MctsScheduler::new(noise.clone(), &factory, config).schedule(&code).unwrap();
     let baseline = LowestDepthScheduler::new().schedule(&code).unwrap();
 
@@ -73,7 +79,12 @@ fn mcts_strictly_improves_with_a_larger_budget() {
     let code = steane_code();
     let noise = NoiseModel::paper();
     let factory = BpOsdFactory::new();
-    let config = MctsConfig { iterations_per_step: 128, shots_per_evaluation: 6000, seed: 5, ..Default::default() };
+    let config = MctsConfig {
+        iterations_per_step: 128,
+        shots_per_evaluation: 6000,
+        seed: 5,
+        ..Default::default()
+    };
     let mcts = MctsScheduler::new(noise.clone(), &factory, config).schedule(&code).unwrap();
     let baseline = LowestDepthScheduler::new().schedule(&code).unwrap();
 

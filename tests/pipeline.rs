@@ -4,7 +4,9 @@
 use asyndrome::circuit::{estimate_logical_error, DetectorErrorModel, NoiseModel, Schedule};
 use asyndrome::codes::catalog::{table2_entries, RecommendedDecoder};
 use asyndrome::codes::{rotated_surface_code, steane_code, xzzx_code};
-use asyndrome::core::industry::{google_surface_schedule, ibm_bb_schedule, rotational_surface_schedule};
+use asyndrome::core::industry::{
+    google_surface_schedule, ibm_bb_schedule, rotational_surface_schedule,
+};
 use asyndrome::core::{LowestDepthScheduler, Scheduler, TrivialScheduler};
 use asyndrome::decode::{factory_for, MwpmFactory};
 use rand::SeedableRng;

@@ -1,0 +1,246 @@
+//! Minimal offline stand-in for the subset of `criterion` this workspace's
+//! benches use: `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function`, `finish` and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Methodology (simplified from the real crate): each benchmark is warmed
+//! up for ~0.5 s to pick an iteration count whose batch takes roughly
+//! `measurement_time / sample_size`, then `sample_size` timed batches are
+//! collected and the per-iteration mean, median and min/max are printed.
+//! There is no HTML report, outlier analysis or regression detection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a value away
+/// (re-export of [`std::hint::black_box`] under criterion's name).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver handed to registered bench functions.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as the first free
+        // argument; harness flags cargo itself adds (`--bench`) are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), sample_size: None }
+    }
+
+    /// Registers a stand-alone benchmark (group of one).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group(id);
+        group.bench_function("", f);
+        group.finish();
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark of the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = if id.is_empty() { self.name.clone() } else { format!("{}/{id}", self.name) };
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let report = run_benchmark(
+            &mut f,
+            samples,
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+        );
+        println!(
+            "{full:<44} time: [{} {} {}]  ({} samples × {} iters)",
+            format_time(report.min),
+            format_time(report.median),
+            format_time(report.max),
+            report.samples,
+            report.iters_per_sample,
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing).
+    pub fn finish(self) {}
+}
+
+/// Times batches of iterations of one benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs the routine for the harness-chosen number of iterations and
+    /// records the total wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct Report {
+    min: f64,
+    median: f64,
+    max: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+fn time_batch<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    bencher.elapsed
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    f: &mut F,
+    samples: usize,
+    warm_up: Duration,
+    measurement: Duration,
+) -> Report {
+    // Warm-up: double the iteration count until the batch fills the window.
+    let mut iters = 1u64;
+    let warm_start = Instant::now();
+    let mut per_iter = loop {
+        let elapsed = time_batch(f, iters);
+        if warm_start.elapsed() >= warm_up || elapsed >= warm_up {
+            break elapsed.as_secs_f64() / iters as f64;
+        }
+        iters = iters.saturating_mul(2);
+    };
+    if per_iter <= 0.0 {
+        per_iter = 1e-9;
+    }
+    let budget = measurement.as_secs_f64() / samples as f64;
+    let iters_per_sample = ((budget / per_iter) as u64).max(1);
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| time_batch(f, iters_per_sample).as_secs_f64() / iters_per_sample as f64)
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Report {
+        min: times[0],
+        median: times[times.len() / 2],
+        max: times[times.len() - 1],
+        samples,
+        iters_per_sample,
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.2} s")
+    }
+}
+
+/// Registers benchmark functions under a group name, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups, like criterion's.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut criterion = Criterion {
+            sample_size: 5,
+            measurement_time: Duration::from_millis(50),
+            warm_up_time: Duration::from_millis(10),
+            filter: None,
+        };
+        let mut group = criterion.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs > 0, "benchmark body never executed");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut criterion = Criterion {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(10),
+            warm_up_time: Duration::from_millis(5),
+            filter: Some("nomatch".to_string()),
+        };
+        let mut group = criterion.benchmark_group("smoke");
+        let mut runs = 0u64;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 0, "filtered benchmark must not run");
+    }
+}

@@ -1,0 +1,108 @@
+//! Minimal offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! Unlike the serde stub this is not a no-op: [`scope`] and [`join`] run
+//! closures on real OS threads via `std::thread::scope`, so the parallel
+//! estimator genuinely fans out across cores. What is missing compared to
+//! the real crate is the work-stealing pool (threads are spawned per scope,
+//! not pooled) and the parallel-iterator combinators; callers here use the
+//! worker-loop pattern (N workers pulling chunk indices from an atomic
+//! counter), which needs only `scope` + `spawn`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Number of threads the pool would use: the machine's available
+/// parallelism (the real rayon defaults to the same).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// A scope in which borrowed-data tasks can be spawned
+/// (wrapper over [`std::thread::Scope`] with rayon's closure signature).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that may borrow from outside the scope; the scope
+    /// joins it before returning. The closure receives the scope so it can
+    /// spawn further tasks, like rayon's.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Runs `f` with a [`Scope`]; returns once every spawned task finished.
+///
+/// # Panics
+///
+/// Propagates a panic from any spawned task (matching rayon).
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let handle = s.spawn(b);
+        let ra = a();
+        (ra, handle.join().expect("rayon::join task panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s| {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn at_least_one_thread() {
+        assert!(current_num_threads() >= 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its data types so
+//! they are ready for serialization once the real `serde` is available, but
+//! no code path actually serializes anything (there is no data format crate
+//! in the container). The traits here are therefore markers with the same
+//! names and arities as the real ones; the derive macros emit empty
+//! implementations. Swapping in the real `serde` requires no source change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker with the same name and role as `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker with the same name and role as `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker with the same name and role as `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+macro_rules! impl_primitives {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_primitives!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, char, String);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

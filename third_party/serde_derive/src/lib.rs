@@ -1,0 +1,53 @@
+//! Derive macros for the offline `serde` stub.
+//!
+//! The derives emit empty implementations of the stub's marker traits. Only
+//! plain (non-generic) structs and enums are supported, which covers every
+//! derive site in this workspace; a generic type triggers a compile error
+//! pointing here rather than silently mis-expanding.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct` / `enum` keyword, skipping
+/// attributes, doc comments and visibility modifiers.
+fn type_name(input: &TokenStream) -> Result<String, String> {
+    let mut tokens = input.clone().into_iter().peekable();
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = &token {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<')
+                        {
+                            return Err(format!(
+                                "serde stub derive does not support generic type `{name}`"
+                            ));
+                        }
+                        return Ok(name.to_string());
+                    }
+                    other => return Err(format!("expected type name, found {other:?}")),
+                }
+            }
+        }
+    }
+    Err("no `struct` or `enum` keyword in derive input".to_string())
+}
+
+fn marker_impl(input: TokenStream, template: &str) -> TokenStream {
+    match type_name(&input) {
+        Ok(name) => template.replace("__NAME__", &name).parse().unwrap(),
+        Err(message) => format!("compile_error!({message:?});").parse().unwrap(),
+    }
+}
+
+/// Derives the stub `serde::Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "impl ::serde::Serialize for __NAME__ {}")
+}
+
+/// Derives the stub `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "impl<'de> ::serde::Deserialize<'de> for __NAME__ {}")
+}
