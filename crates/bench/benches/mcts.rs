@@ -1,0 +1,77 @@
+//! Criterion benchmarks of the MCTS scheduler: serial search without the
+//! evaluation cache (the pre-evaluation-service baseline) vs the memoised
+//! serial search vs leaf-parallel waves.
+//!
+//! All three variants synthesize the *identical* schedule for a fixed seed
+//! (asserted in `crates/core/tests/leaf_parallel.rs`); only wall-clock and
+//! cache behaviour differ. Cache hit rates for each configuration are
+//! printed once before the timing loops.
+
+use asynd_circuit::NoiseModel;
+use asynd_codes::{rotated_surface_code, steane_code, StabilizerCode};
+use asynd_core::{MctsConfig, MctsScheduler, Scheduler};
+use asynd_decode::UnionFindFactory;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn config(leaf_batch: usize, cache_capacity: usize) -> MctsConfig {
+    MctsConfig {
+        iterations_per_step: 12,
+        shots_per_evaluation: 150,
+        seed: 7,
+        leaf_batch,
+        eval_cache_capacity: cache_capacity,
+        ..MctsConfig::quick()
+    }
+}
+
+fn report_cache_behaviour(name: &str, code: &StabilizerCode, cfg: &MctsConfig) {
+    let factory = UnionFindFactory::new();
+    let scheduler = MctsScheduler::new(NoiseModel::brisbane(), &factory, cfg.clone());
+    let (_, stats) = scheduler.schedule_with_stats(code, |_| {}).unwrap();
+    println!(
+        "{name}: {} iterations in {} waves, cache hit rate {:.1}% \
+         ({} hits / {} misses, {} speculative hits, {} model builds)",
+        stats.iterations,
+        stats.waves,
+        100.0 * stats.evaluator.hit_rate(),
+        stats.evaluator.hits,
+        stats.evaluator.misses,
+        stats.evaluator.speculative_hits,
+        stats.evaluator.model_builds,
+    );
+}
+
+fn bench_code(c: &mut Criterion, group_name: &str, code: &StabilizerCode) {
+    let variants: [(&str, MctsConfig); 3] = [
+        ("serial-uncached", config(1, 0)),
+        ("serial-cached", config(1, 1024)),
+        ("leaf-parallel-8", config(8, 1024)),
+    ];
+    for (name, cfg) in &variants {
+        report_cache_behaviour(&format!("{group_name}/{name}"), code, cfg);
+    }
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for (name, cfg) in variants {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let factory = UnionFindFactory::new();
+                let scheduler = MctsScheduler::new(NoiseModel::brisbane(), &factory, cfg.clone());
+                black_box(scheduler.schedule(code).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mcts_steane(c: &mut Criterion) {
+    bench_code(c, "mcts-steane", &steane_code());
+}
+
+fn bench_mcts_surface_d3(c: &mut Criterion) {
+    bench_code(c, "mcts-surface-d3", &rotated_surface_code(3));
+}
+
+criterion_group!(benches, bench_mcts_steane, bench_mcts_surface_d3);
+criterion_main!(benches);

@@ -109,9 +109,9 @@ pub fn measure(
     let estimate = estimate_logical_error(code, schedule, noise, factory, shots, &mut rng)
         .expect("benchmark evaluation failed");
     Measurement {
-        p_x: estimate.p_x,
-        p_z: estimate.p_z,
-        p_overall: estimate.p_overall,
+        p_x: estimate.p_x(),
+        p_z: estimate.p_z(),
+        p_overall: estimate.p_overall(),
         depth: schedule.depth(),
     }
 }

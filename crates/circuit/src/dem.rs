@@ -192,7 +192,8 @@ impl DetectorErrorModel {
         &self.errors
     }
 
-    /// Converts the DEM into the simulator's [`FrameErrorModel`] view,
+    /// Converts the DEM into the simulator's
+    /// [`FrameErrorModel`](asynd_sim::FrameErrorModel) view,
     /// feeding the bit-packed batch sampling pipeline in `asynd-sim`.
     ///
     /// [`DetectorErrorModel::build`] only produces probabilities in

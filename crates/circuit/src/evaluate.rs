@@ -57,35 +57,60 @@ impl BatchDecoder for ShotwiseAdapter<'_> {
 }
 
 /// Monte-Carlo estimate of the logical error rates of one scheduled round.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// The struct stores the *exact* failure counts observed by the pipeline;
+/// the rates ([`p_x`](LogicalErrorEstimate::p_x),
+/// [`p_z`](LogicalErrorEstimate::p_z),
+/// [`p_overall`](LogicalErrorEstimate::p_overall)) are derived on demand,
+/// so Wilson intervals are computed from the true counts (never from a
+/// rounded `rate × shots` reconstruction) and estimates round-trip without
+/// loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LogicalErrorEstimate {
-    /// Probability that at least one logical X error is mispredicted
+    /// Shots in which at least one logical X error was mispredicted
     /// (a logical-Z readout flip the decoder failed to predict).
-    pub p_x: f64,
-    /// Probability that at least one logical Z error is mispredicted.
-    pub p_z: f64,
-    /// Probability that any observable is mispredicted.
-    pub p_overall: f64,
+    pub x_failures: usize,
+    /// Shots in which at least one logical Z error was mispredicted.
+    pub z_failures: usize,
+    /// Shots in which any observable was mispredicted.
+    pub any_failures: usize,
     /// Number of Monte-Carlo shots used.
     pub shots: usize,
 }
 
 impl LogicalErrorEstimate {
+    /// Empirical probability that at least one logical X error is
+    /// mispredicted.
+    pub fn p_x(&self) -> f64 {
+        self.x_failures as f64 / self.shots as f64
+    }
+
+    /// Empirical probability that at least one logical Z error is
+    /// mispredicted.
+    pub fn p_z(&self) -> f64 {
+        self.z_failures as f64 / self.shots as f64
+    }
+
+    /// Empirical probability that any observable is mispredicted.
+    pub fn p_overall(&self) -> f64 {
+        self.any_failures as f64 / self.shots as f64
+    }
+
     /// The paper's MCTS evaluation score `1 / p_overall`
     /// (§4.4, with the convention that a perfect round scores `shots + 1`
     /// to stay finite).
     pub fn score(&self) -> f64 {
-        if self.p_overall <= 0.0 {
+        if self.any_failures == 0 {
             (self.shots + 1) as f64
         } else {
-            1.0 / self.p_overall
+            1.0 / self.p_overall()
         }
     }
 
-    /// 95% Wilson confidence interval of `p_overall`.
+    /// 95% Wilson confidence interval of `p_overall`, computed from the
+    /// exact failure count.
     pub fn wilson_overall(&self) -> (f64, f64) {
-        let failures = (self.p_overall * self.shots as f64).round() as usize;
-        asynd_sim::wilson_interval(failures, self.shots, 1.96)
+        asynd_sim::wilson_interval(self.any_failures, self.shots, 1.96)
     }
 }
 
@@ -165,6 +190,25 @@ pub fn estimate_logical_error_with<R: Rng + ?Sized>(
     options: &EstimateOptions,
     rng: &mut R,
 ) -> Result<LogicalErrorEstimate, CircuitError> {
+    let dem = DetectorErrorModel::build(code, schedule, noise)?;
+    let decoder = factory.build(&dem);
+    let model = dem.to_frame_model();
+    run_estimate(&model, decoder.as_ref(), code.num_logicals(), shots, options, rng.gen::<u64>())
+}
+
+/// The shared batch-pipeline core: runs `shots` samples of `frame` through
+/// `decoder` and counts logical failures. Used by
+/// [`estimate_logical_error_with`] and by the memoising
+/// [`Evaluator`](crate::Evaluator), which both reduce to this pure function
+/// of `(frame, decoder, master_seed)`.
+pub(crate) fn run_estimate(
+    frame: &asynd_sim::FrameErrorModel,
+    decoder: &(dyn ObservableDecoder + Send + Sync),
+    split_x: usize,
+    shots: usize,
+    options: &EstimateOptions,
+    master_seed: u64,
+) -> Result<LogicalErrorEstimate, CircuitError> {
     if shots == 0 {
         return Err(CircuitError::InvalidParameter { reason: "shots must be positive".into() });
     }
@@ -173,26 +217,18 @@ pub fn estimate_logical_error_with<R: Rng + ?Sized>(
             reason: "chunk_shots must be positive".into(),
         });
     }
-    let dem = DetectorErrorModel::build(code, schedule, noise)?;
-    let decoder = factory.build(&dem);
-    let model = dem.to_frame_model();
     let estimator = ParallelEstimator::new(EstimatorConfig {
         chunk_shots: options.chunk_shots,
         relative_half_width: options.relative_half_width,
         max_threads: options.max_threads,
         ..EstimatorConfig::default()
     });
-    let estimate = estimator.estimate(
-        &model,
-        &ShotwiseAdapter(decoder.as_ref()),
-        code.num_logicals(),
-        shots,
-        rng.gen::<u64>(),
-    );
+    let estimate =
+        estimator.estimate(frame, &ShotwiseAdapter(decoder), split_x, shots, master_seed);
     Ok(LogicalErrorEstimate {
-        p_x: estimate.p_x(),
-        p_z: estimate.p_z(),
-        p_overall: estimate.p_overall(),
+        x_failures: estimate.x_failures,
+        z_failures: estimate.z_failures,
+        any_failures: estimate.any_failures,
         shots: estimate.shots,
     })
 }
@@ -253,12 +289,7 @@ pub fn estimate_logical_error_scalar<R: Rng + ?Sized>(
             any_failures += 1;
         }
     }
-    Ok(LogicalErrorEstimate {
-        p_x: x_failures as f64 / shots as f64,
-        p_z: z_failures as f64 / shots as f64,
-        p_overall: any_failures as f64 / shots as f64,
-        shots,
-    })
+    Ok(LogicalErrorEstimate { x_failures, z_failures, any_failures, shots })
 }
 
 #[cfg(test)]
@@ -299,9 +330,9 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let estimate =
             estimate_logical_error(&code, &schedule, &noise, &NullFactory, 200, &mut rng).unwrap();
-        assert_eq!(estimate.p_overall, 0.0);
-        assert_eq!(estimate.p_x, 0.0);
-        assert_eq!(estimate.p_z, 0.0);
+        assert_eq!(estimate.p_overall(), 0.0);
+        assert_eq!(estimate.p_x(), 0.0);
+        assert_eq!(estimate.p_z(), 0.0);
         assert!(estimate.score() > 200.0);
     }
 
@@ -313,11 +344,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let estimate =
             estimate_logical_error(&code, &schedule, &noise, &NullFactory, 500, &mut rng).unwrap();
-        assert!(estimate.p_overall > 0.0, "heavy noise must produce logical errors");
-        assert!(estimate.p_overall >= estimate.p_x.max(estimate.p_z));
-        assert!(estimate.score() <= 1.0 / estimate.p_overall + 1e-9);
+        assert!(estimate.p_overall() > 0.0, "heavy noise must produce logical errors");
+        assert!(estimate.p_overall() >= estimate.p_x().max(estimate.p_z()));
+        assert!(estimate.score() <= 1.0 / estimate.p_overall() + 1e-9);
         let (lo, hi) = estimate.wilson_overall();
-        assert!(lo <= estimate.p_overall && estimate.p_overall <= hi);
+        assert!(lo <= estimate.p_overall() && estimate.p_overall() <= hi);
     }
 
     #[test]
@@ -411,6 +442,6 @@ mod tests {
         )
         .unwrap();
         assert!(estimate.shots < 1_000_000, "early stop never triggered");
-        assert!(estimate.p_overall > 0.0);
+        assert!(estimate.p_overall() > 0.0);
     }
 }

@@ -27,6 +27,11 @@
 //!   intervals and optional early stopping
 //!   ([`estimate_logical_error_with`]); the historical per-shot loop is
 //!   [`estimate_logical_error_scalar`].
+//! * [`Evaluator`] — the memoising evaluation service used by search
+//!   workloads: owns noise model + decoder factory and caches
+//!   [`ScheduleKey`] → (DEM, built decoder, estimate) in a bounded LRU, so
+//!   re-evaluating a previously seen schedule costs a hash lookup instead
+//!   of a DEM rebuild and a decode run.
 //!
 //! # Example
 //!
@@ -50,6 +55,7 @@
 mod dem;
 mod error;
 mod evaluate;
+mod evaluator;
 mod noise;
 mod propagate;
 mod sampler;
@@ -61,7 +67,8 @@ pub use evaluate::{
     estimate_logical_error, estimate_logical_error_scalar, estimate_logical_error_with,
     DecoderFactory, EstimateOptions, LogicalErrorEstimate, ObservableDecoder,
 };
+pub use evaluator::{Evaluation, Evaluator, EvaluatorStats, DEFAULT_CACHE_CAPACITY};
 pub use noise::NoiseModel;
 pub use propagate::{propagate_fault, FaultSite, RoundCircuit};
 pub use sampler::{Sampler, Shot};
-pub use schedule::{Check, Schedule, ScheduleBuilder};
+pub use schedule::{Check, Schedule, ScheduleBuilder, ScheduleKey};

@@ -25,6 +25,49 @@ pub struct Check {
     pub tick: usize,
 }
 
+/// A 128-bit canonical fingerprint of a [`Schedule`].
+///
+/// Two schedules that assign the same set of `(data, stabilizer, pauli,
+/// tick)` checks — regardless of the order the checks were pushed in — hash
+/// to the same key, because the fingerprint is computed over the check list
+/// sorted into canonical `(tick, stabilizer, data)` order. The MCTS
+/// evaluation service ([`Evaluator`](crate::Evaluator)) uses this as its
+/// memoisation key: a rollout that re-produces an already-evaluated circuit
+/// costs a hash lookup instead of a DEM rebuild and a decode run.
+///
+/// The hash is two decorrelated 64-bit FNV-1a streams (not cryptographic;
+/// 128 bits keeps accidental collisions out of reach for any realistic
+/// search).
+///
+/// # Example
+///
+/// ```
+/// use asynd_codes::steane_code;
+/// use asynd_circuit::Schedule;
+///
+/// let code = steane_code();
+/// let a = Schedule::trivial(&code);
+/// let mut shuffled = a.checks().to_vec();
+/// shuffled.reverse(); // same circuit, different insertion order
+/// let b = Schedule::new(a.num_data(), a.num_stabilizers(), shuffled);
+/// assert_eq!(a.key(), b.key());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ScheduleKey([u64; 2]);
+
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Feeds one little-endian `u64` into an FNV-1a stream (shared with the
+/// evaluator's code fingerprint).
+pub(crate) fn fnv_word(mut hash: u64, value: u64) -> u64 {
+    for byte in value.to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
 /// A complete assignment of every Pauli check of a syndrome-measurement
 /// round to a tick.
 ///
@@ -83,6 +126,32 @@ impl Schedule {
     /// The scheduled checks, in insertion order.
     pub fn checks(&self) -> &[Check] {
         &self.checks
+    }
+
+    /// The canonical fingerprint of this schedule (see [`ScheduleKey`]).
+    ///
+    /// Cost is one sort of the check list plus a linear hash pass.
+    pub fn key(&self) -> ScheduleKey {
+        let mut checks: Vec<&Check> = self.checks.iter().collect();
+        checks.sort_unstable_by_key(|c| (c.tick, c.stabilizer, c.data, c.pauli as u8));
+        // Two FNV-1a streams over the same words, decorrelated by distinct
+        // initial states.
+        let mut lo = FNV_OFFSET;
+        let mut hi = fnv_word(FNV_OFFSET, 0x7363_6865_6475_6c65); // "schedule": domain-separates the high stream
+        let mut feed = |value: u64| {
+            lo = fnv_word(lo, value);
+            hi = fnv_word(hi, value ^ 0xa5a5_a5a5_a5a5_a5a5);
+        };
+        feed(self.num_data as u64);
+        feed(self.num_stabilizers as u64);
+        feed(self.checks.len() as u64);
+        for c in checks {
+            feed(c.tick as u64);
+            feed(c.stabilizer as u64);
+            feed(c.data as u64);
+            feed(c.pauli as u64);
+        }
+        ScheduleKey([lo, hi])
     }
 
     /// The circuit depth in two-qubit-gate ticks (the largest assigned tick).
@@ -386,6 +455,26 @@ mod tests {
             assert!(first >= 1);
             assert!(last >= first);
         }
+    }
+
+    #[test]
+    fn schedule_key_is_canonical_and_discriminating() {
+        let code = steane_code();
+        let a = Schedule::trivial(&code);
+        // Insertion order does not matter.
+        let mut reversed = a.checks().to_vec();
+        reversed.reverse();
+        let b = Schedule::new(a.num_data(), a.num_stabilizers(), reversed);
+        assert_eq!(a.key(), b.key());
+        assert_eq!(a.key(), a.key(), "key is a pure function");
+        // Moving one check to a different tick changes the key.
+        let mut moved = a.checks().to_vec();
+        moved[0].tick += 17;
+        let c = Schedule::new(a.num_data(), a.num_stabilizers(), moved);
+        assert_ne!(a.key(), c.key());
+        // Different codes produce different keys.
+        let other = Schedule::trivial(&rotated_surface_code(3));
+        assert_ne!(a.key(), other.key());
     }
 
     #[test]

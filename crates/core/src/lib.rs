@@ -17,7 +17,11 @@
 //!   reconstructed IBM-style bivariate-bicycle schedule.
 //! * [`MctsScheduler`] — AlphaSyndrome itself: Monte-Carlo Tree Search over
 //!   check orderings with decoder-in-the-loop noisy rollouts and continuous
-//!   subtree reuse (§4).
+//!   subtree reuse (§4), restructured into leaf-parallel
+//!   plan → evaluate → replay waves on top of the memoising
+//!   `asynd_circuit::Evaluator` service. For a fixed seed the synthesized
+//!   schedule is bit-identical for every leaf-batch size and thread count
+//!   (see the [`mcts`](MctsScheduler) docs).
 //! * [`spacetime`] — the space–time volume accounting of Table 3.
 //!
 //! # Example
@@ -45,6 +49,6 @@ pub mod spacetime;
 
 pub use error::SchedulerError;
 pub use lowest_depth::LowestDepthScheduler;
-pub use mcts::{MctsConfig, MctsScheduler, MctsStepReport};
+pub use mcts::{MctsConfig, MctsRunStats, MctsScheduler, MctsStepReport};
 pub use partition::partition_stabilizers;
 pub use scheduler::{Scheduler, TrivialScheduler};

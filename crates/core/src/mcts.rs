@@ -1,16 +1,46 @@
 //! The AlphaSyndrome MCTS scheduler: Monte-Carlo Tree Search over Pauli-check
-//! orderings with decoder-in-the-loop noisy rollouts (paper §4).
+//! orderings with decoder-in-the-loop noisy rollouts (paper §4), run
+//! leaf-parallel on top of the memoising evaluation service
+//! ([`Evaluator`]).
+//!
+//! # Leaf-parallel waves
+//!
+//! Each search step runs in *waves* of up to [`MctsConfig::leaf_batch`]
+//! iterations with three explicit phases:
+//!
+//! 1. **Plan** — up to `B` leaves are selected and expanded sequentially,
+//!    applying a virtual loss along each selected path so consecutive
+//!    plans diversify; every tree mutation made while planning is recorded
+//!    and undone before the next phase.
+//! 2. **Evaluate** — the planned candidate schedules are evaluated
+//!    concurrently through the [`Evaluator`]'s speculative path, which
+//!    never mutates the shared cache.
+//! 3. **Replay** — the *serial* algorithm re-runs each iteration in order
+//!    against the real tree, consuming a speculative result as a hint only
+//!    when its schedule key **and** seed match what the serial run would
+//!    have computed; mismatches are recomputed inline.
+//!
+//! Because phase 3 is exactly the serial search (per-iteration RNG streams
+//! are derived from `(seed, global iteration index)` via
+//! [`mix_seed`], never from thread identity or batch position), the
+//! synthesized schedule is **bit-identical for every leaf-batch size and
+//! thread count**; `leaf_batch = 1` skips phases 1–2 entirely. Speculation
+//! only changes how much of the work was already done in parallel by the
+//! time the replay asks for it.
 
 use asynd_circuit::{
-    estimate_logical_error_with, Check, DecoderFactory, EstimateOptions, NoiseModel, Schedule,
-    ScheduleBuilder,
+    Check, DecoderFactory, EstimateOptions, Evaluation, Evaluator, EvaluatorStats, NoiseModel,
+    Schedule, ScheduleBuilder,
 };
 use asynd_codes::StabilizerCode;
-use asynd_pauli::Pauli;
+use asynd_pauli::{BitVec, Pauli};
+use asynd_sim::mix_seed;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crate::{partition_stabilizers, LowestDepthScheduler, Scheduler, SchedulerError};
 
@@ -26,18 +56,28 @@ pub struct MctsConfig {
     pub iterations_per_step: usize,
     /// Monte-Carlo shots per leaf evaluation.
     pub shots_per_evaluation: usize,
-    /// UCT exploration constant (paper: √2).
+    /// UCT exploration constant (paper: √2). Must be finite and `≥ 0`.
     pub exploration: f64,
     /// Random seed (tree search, rollouts and noisy sampling).
     pub seed: u64,
     /// Optional early stop for rollout evaluations: end a leaf evaluation
     /// once the Wilson half-width of `p_overall` is at most this fraction
     /// of the estimate (see
-    /// [`EstimateOptions::relative_half_width`]). `None` always runs the
-    /// full `shots_per_evaluation`. Early stopping is deterministic (wave
-    /// boundaries are thread-count independent), so seeded searches stay
-    /// reproducible.
+    /// [`EstimateOptions::relative_half_width`]). Must lie in `(0, 1)`
+    /// when set; `None` always runs the full `shots_per_evaluation`.
+    /// Early stopping is deterministic (wave boundaries are thread-count
+    /// independent), so seeded searches stay reproducible.
     pub rollout_half_width: Option<f64>,
+    /// Number of leaves selected, expanded and evaluated per search wave
+    /// (`B`). `1` is the fully serial search; larger values overlap leaf
+    /// evaluations across worker threads. The synthesized schedule is
+    /// bit-identical for every value (see the notes on leaf-parallel
+    /// waves in this module's source header).
+    pub leaf_batch: usize,
+    /// Capacity (in schedules) of the [`Evaluator`]'s memoisation cache.
+    /// `0` disables caching — every rollout rebuilds its DEM and decoder,
+    /// which reproduces the pre-evaluation-service behaviour.
+    pub eval_cache_capacity: usize,
 }
 
 impl Default for MctsConfig {
@@ -48,6 +88,8 @@ impl Default for MctsConfig {
             exploration: std::f64::consts::SQRT_2,
             seed: 0,
             rollout_half_width: None,
+            leaf_batch: 1,
+            eval_cache_capacity: asynd_circuit::DEFAULT_CACHE_CAPACITY,
         }
     }
 }
@@ -61,21 +103,68 @@ impl MctsConfig {
     /// A configuration sized like the paper's experiments. Rollouts early
     /// stop at a 20% relative Wilson half-width: clearly bad candidates
     /// are rejected after a fraction of the shot budget while close calls
-    /// still get the full 20k shots.
+    /// still get the full 20k shots. Leaves are evaluated eight per wave.
     pub fn paper_scale() -> Self {
         MctsConfig {
             iterations_per_step: 4000,
             shots_per_evaluation: 20_000,
             rollout_half_width: Some(0.2),
+            leaf_batch: 8,
             ..Default::default()
         }
     }
 
+    /// Validates every configuration parameter in one place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedulerError::InvalidConfig`] when `iterations_per_step`,
+    /// `shots_per_evaluation` or `leaf_batch` is zero, when `exploration`
+    /// is not a finite non-negative number, or when `rollout_half_width`
+    /// is set outside the open interval `(0, 1)`.
+    pub fn validate(&self) -> Result<(), SchedulerError> {
+        if self.iterations_per_step == 0 {
+            return Err(SchedulerError::InvalidConfig {
+                reason: "iterations_per_step must be positive".into(),
+            });
+        }
+        if self.shots_per_evaluation == 0 {
+            return Err(SchedulerError::InvalidConfig {
+                reason: "shots_per_evaluation must be positive".into(),
+            });
+        }
+        if self.leaf_batch == 0 {
+            return Err(SchedulerError::InvalidConfig {
+                reason: "leaf_batch must be positive".into(),
+            });
+        }
+        if !self.exploration.is_finite() || self.exploration < 0.0 {
+            return Err(SchedulerError::InvalidConfig {
+                reason: format!(
+                    "exploration must be finite and non-negative, got {}",
+                    self.exploration
+                ),
+            });
+        }
+        if let Some(width) = self.rollout_half_width {
+            if !width.is_finite() || width <= 0.0 || width >= 1.0 {
+                return Err(SchedulerError::InvalidConfig {
+                    reason: format!("rollout_half_width must lie in (0, 1), got {width}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// The [`EstimateOptions`] this configuration induces for rollout
-    /// evaluations.
+    /// evaluations. With `leaf_batch > 1` each evaluation is capped to one
+    /// thread — parallelism comes from evaluating leaves concurrently, not
+    /// from splitting one evaluation (results are identical either way;
+    /// only scheduling differs).
     fn estimate_options(&self) -> EstimateOptions {
         EstimateOptions {
             relative_half_width: self.rollout_half_width,
+            max_threads: if self.leaf_batch > 1 { Some(1) } else { None },
             ..EstimateOptions::default()
         }
     }
@@ -97,6 +186,18 @@ pub struct MctsStepReport {
     pub visits: usize,
 }
 
+/// Aggregate statistics of one synthesis run
+/// ([`MctsScheduler::schedule_with_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MctsRunStats {
+    /// Total MCTS iterations executed.
+    pub iterations: u64,
+    /// Number of plan → evaluate → replay waves.
+    pub waves: u64,
+    /// Cache counters of the run's [`Evaluator`].
+    pub evaluator: EvaluatorStats,
+}
+
 /// One node of the search tree.
 #[derive(Debug, Clone)]
 struct Node {
@@ -107,20 +208,61 @@ struct Node {
     untried: Vec<usize>,
     visits: f64,
     total_reward: f64,
+    /// Pending-leaf discouragement applied while planning a wave; always
+    /// zero outside the plan phase.
+    virtual_loss: f64,
 }
 
 impl Node {
     fn new(incoming_move: Option<usize>, untried: Vec<usize>) -> Self {
-        Node { incoming_move, children: Vec::new(), untried, visits: 0.0, total_reward: 0.0 }
-    }
-
-    fn mean(&self) -> f64 {
-        if self.visits == 0.0 {
-            0.0
-        } else {
-            self.total_reward / self.visits
+        Node {
+            incoming_move,
+            children: Vec::new(),
+            untried,
+            visits: 0.0,
+            total_reward: 0.0,
+            virtual_loss: 0.0,
         }
     }
+
+    /// Visits including pending virtual losses (equals `visits` outside
+    /// the plan phase).
+    fn effective_visits(&self) -> f64 {
+        self.visits + self.virtual_loss
+    }
+
+    /// Mean reward, counting each pending virtual loss as a zero-reward
+    /// visit.
+    fn mean(&self) -> f64 {
+        let visits = self.effective_visits();
+        if visits == 0.0 {
+            0.0
+        } else {
+            self.total_reward / visits
+        }
+    }
+}
+
+/// The selection/expansion/rollout outcome of one iteration, before
+/// evaluation and backpropagation.
+struct LeafPlan {
+    /// Node indices from the root to the evaluated leaf.
+    path: Vec<usize>,
+    /// Complete move ordering of the partition (prefix + tree walk +
+    /// random completion).
+    rollout: Vec<usize>,
+    /// Master seed of the leaf evaluation, drawn from the iteration's RNG
+    /// stream.
+    eval_seed: u64,
+}
+
+/// Record of one speculative tree expansion, kept so the plan phase can be
+/// undone exactly.
+struct Expansion {
+    parent: usize,
+    /// Index the move was drawn from within `parent.untried`.
+    pick: usize,
+    mv: usize,
 }
 
 /// The AlphaSyndrome scheduler.
@@ -130,13 +272,15 @@ impl Node {
 /// a move appends one unscheduled check at its earliest conflict-free tick
 /// (§4.3). Leaves are complete partition schedules; they are evaluated by
 /// building the full round (already-optimised partitions + this candidate +
-/// lowest-depth placeholders for the remaining partitions), sampling the
-/// noisy round and decoding it with the configured decoder, and scoring the
-/// resulting overall logical error rate (§4.4). Rollout evaluations run on
-/// the bit-packed batch pipeline (`asynd-sim`), with optional
-/// Wilson-interval early stopping
-/// ([`MctsConfig::rollout_half_width`]). The committed move after
-/// each batch of iterations keeps its subtree (continuous search, §4.5).
+/// lowest-depth placeholders for the remaining partitions) and scoring the
+/// resulting overall logical error rate (§4.4). Evaluations run through the
+/// memoising [`Evaluator`]: a rollout that re-produces an already-scored
+/// circuit costs a hash lookup instead of a DEM rebuild and a decode run,
+/// and waves of [`MctsConfig::leaf_batch`] leaves are evaluated
+/// concurrently — bit-identically for every leaf-batch size and thread
+/// count (the determinism contract is laid out in this module's source
+/// header). The committed move after each batch of iterations keeps its
+/// subtree (continuous search, §4.5).
 ///
 /// Rewards are normalised to `(0, 1)` as `p_ref / (p_ref + p_candidate)`,
 /// where `p_ref` is the lowest-depth baseline's logical error rate, so the
@@ -167,14 +311,25 @@ impl<'a> MctsScheduler<'a> {
     pub fn schedule_with_progress(
         &self,
         code: &StabilizerCode,
-        mut on_step: impl FnMut(&MctsStepReport),
+        on_step: impl FnMut(&MctsStepReport),
     ) -> Result<Schedule, SchedulerError> {
-        if self.config.iterations_per_step == 0 || self.config.shots_per_evaluation == 0 {
-            return Err(SchedulerError::InvalidConfig {
-                reason: "iterations_per_step and shots_per_evaluation must be positive".into(),
-            });
-        }
-        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        self.schedule_with_stats(code, on_step).map(|(schedule, _)| schedule)
+    }
+
+    /// [`MctsScheduler::schedule_with_progress`], additionally returning
+    /// run statistics (iteration/wave counts and evaluation-cache
+    /// behaviour).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchedulerError`] if the configuration is invalid or a
+    /// candidate evaluation fails.
+    pub fn schedule_with_stats(
+        &self,
+        code: &StabilizerCode,
+        mut on_step: impl FnMut(&MctsStepReport),
+    ) -> Result<(Schedule, MctsRunStats), SchedulerError> {
+        self.config.validate()?;
         let partitions = partition_stabilizers(code);
 
         // Placeholder sub-schedules for partitions not yet optimised.
@@ -191,21 +346,25 @@ impl<'a> MctsScheduler<'a> {
             partition_checks.push(checks);
         }
 
-        // Reference error rate for reward normalisation.
-        let reference = estimate_logical_error_with(
-            code,
-            &placeholder_schedule,
-            &self.noise,
+        let evaluator = Evaluator::with_capacity(
+            self.noise.clone(),
             self.factory,
             self.config.shots_per_evaluation,
-            &self.config.estimate_options(),
-            &mut rng,
-        )
-        .map_err(SchedulerError::Evaluation)?;
-        let p_reference = reference.p_overall.max(1.0 / self.config.shots_per_evaluation as f64);
+            self.config.estimate_options(),
+            self.config.eval_cache_capacity,
+        );
+
+        // Reference error rate for reward normalisation (its seed lives in
+        // a reserved slot of the iteration-seed space).
+        let reference = evaluator
+            .evaluate(code, &placeholder_schedule, mix_seed(self.config.seed, u64::MAX))
+            .map_err(SchedulerError::Evaluation)?;
+        let p_reference = reference.p_overall().max(1.0 / self.config.shots_per_evaluation as f64);
 
         // The committed (data, stabilizer, pauli) orderings per partition.
         let mut committed: Vec<Vec<(usize, usize, Pauli)>> = vec![Vec::new(); partitions.len()];
+        let mut stats = MctsRunStats::default();
+        let mut global_iteration: u64 = 0;
 
         for (partition_index, partition) in partitions.iter().enumerate() {
             // The move universe of this partition: all its Pauli checks.
@@ -219,14 +378,16 @@ impl<'a> MctsScheduler<'a> {
             let mut nodes = vec![Node::new(None, (0..moves.len()).collect())];
             let mut root = 0usize;
             let mut prefix: Vec<usize> = Vec::new();
+            let mut prefix_mask = BitVec::zeros(moves.len());
 
             while prefix.len() < total_checks {
                 // Top up the root's iteration count (§4.5: reuse the subtree,
-                // only add the missing iterations).
+                // only add the missing iterations), in leaf-parallel waves.
                 let already = nodes[root].visits as usize;
-                let missing = self.config.iterations_per_step.saturating_sub(already);
-                for _ in 0..missing {
-                    self.iterate(
+                let mut missing = self.config.iterations_per_step.saturating_sub(already);
+                while missing > 0 {
+                    let batch = missing.min(self.config.leaf_batch);
+                    self.run_wave(
                         code,
                         &partitions,
                         &partition_checks,
@@ -236,9 +397,16 @@ impl<'a> MctsScheduler<'a> {
                         &mut nodes,
                         root,
                         &prefix,
+                        &prefix_mask,
                         p_reference,
-                        &mut rng,
+                        &evaluator,
+                        global_iteration,
+                        batch,
                     )?;
+                    global_iteration += batch as u64;
+                    stats.iterations += batch as u64;
+                    stats.waves += 1;
+                    missing -= batch;
                 }
                 // Commit the best child by mean reward.
                 let best_child = nodes[root]
@@ -255,6 +423,7 @@ impl<'a> MctsScheduler<'a> {
                 let committed_move =
                     nodes[best_child].incoming_move.expect("non-root nodes carry a move");
                 prefix.push(committed_move);
+                prefix_mask.set(committed_move, true);
                 on_step(&MctsStepReport {
                     partition: partition_index,
                     fixed_checks: prefix.len(),
@@ -268,14 +437,16 @@ impl<'a> MctsScheduler<'a> {
             committed[partition_index] = prefix.iter().map(|&m| moves[m]).collect();
         }
 
-        let schedule = assemble_schedule(code, &partitions, &committed, &partition_checks, true);
+        let schedule = assemble_schedule(code, &partitions, &committed, &partition_checks);
         schedule.validate(code)?;
-        Ok(schedule)
+        stats.evaluator = evaluator.stats();
+        Ok((schedule, stats))
     }
 
-    /// One MCTS iteration: selection, expansion, rollout, backpropagation.
+    /// One plan → evaluate → replay wave of `batch` iterations starting at
+    /// global iteration `start`.
     #[allow(clippy::too_many_arguments)]
-    fn iterate(
+    fn run_wave(
         &self,
         code: &StabilizerCode,
         partitions: &[Vec<usize>],
@@ -286,98 +457,204 @@ impl<'a> MctsScheduler<'a> {
         nodes: &mut Vec<Node>,
         root: usize,
         prefix: &[usize],
+        prefix_mask: &BitVec,
         p_reference: f64,
-        rng: &mut ChaCha8Rng,
+        evaluator: &Evaluator<'_>,
+        start: u64,
+        batch: usize,
     ) -> Result<(), SchedulerError> {
-        // Selection.
-        let mut path = vec![root];
-        let mut current = root;
-        let mut sequence: Vec<usize> = prefix.to_vec();
-        loop {
-            let node = &nodes[current];
-            if !node.untried.is_empty() || node.children.is_empty() {
-                break;
+        let assemble = |rollout: &[usize]| -> Schedule {
+            let ordering: Vec<(usize, usize, Pauli)> = rollout.iter().map(|&m| moves[m]).collect();
+            let mut candidate = committed.to_vec();
+            candidate[partition_index] = ordering;
+            assemble_schedule(code, partitions, &candidate, partition_checks)
+        };
+
+        // Phases 1 + 2 only matter when there is something to overlap.
+        let hints: Vec<Option<Evaluation>> = if batch > 1 {
+            // Phase 1: plan `batch` leaves with virtual loss, then undo
+            // every speculative tree mutation.
+            let base_len = nodes.len();
+            let mut plans: Vec<LeafPlan> = Vec::with_capacity(batch);
+            let mut expansions: Vec<Expansion> = Vec::new();
+            for k in 0..batch {
+                let mut rng =
+                    ChaCha8Rng::seed_from_u64(mix_seed(self.config.seed, start + k as u64));
+                let (plan, expansion) = advance(
+                    nodes,
+                    root,
+                    prefix,
+                    prefix_mask,
+                    moves.len(),
+                    self.config.exploration,
+                    &mut rng,
+                );
+                for &node in &plan.path {
+                    nodes[node].virtual_loss += 1.0;
+                }
+                if let Some(e) = expansion {
+                    expansions.push(e);
+                }
+                plans.push(plan);
             }
-            let ln_parent = (node.visits.max(1.0)).ln();
-            let exploration = self.config.exploration;
-            let next = node
-                .children
-                .iter()
-                .copied()
-                .max_by(|&a, &b| {
-                    let uct = |i: usize| {
-                        nodes[i].mean()
-                            + exploration * (ln_parent / nodes[i].visits.max(1.0)).sqrt()
-                    };
-                    uct(a).partial_cmp(&uct(b)).unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .expect("children is non-empty");
-            sequence.push(nodes[next].incoming_move.expect("child has a move"));
-            path.push(next);
-            current = next;
-        }
-        // Expansion.
-        if !nodes[current].untried.is_empty() {
-            let pick = rng.gen_range(0..nodes[current].untried.len());
-            let mv = nodes[current].untried.swap_remove(pick);
-            let remaining: Vec<usize> =
-                (0..moves.len()).filter(|m| !sequence.contains(m) && *m != mv).collect();
-            let child = Node::new(Some(mv), remaining);
-            nodes.push(child);
-            let child_index = nodes.len() - 1;
-            nodes[current].children.push(child_index);
-            sequence.push(mv);
-            path.push(child_index);
-        }
+            let jobs: Vec<(Schedule, u64)> =
+                plans.iter().map(|p| (assemble(&p.rollout), p.eval_seed)).collect();
+            for plan in &plans {
+                for &node in &plan.path {
+                    nodes[node].virtual_loss = 0.0;
+                }
+            }
+            for expansion in expansions.iter().rev() {
+                nodes[expansion.parent].children.pop();
+                let untried = &mut nodes[expansion.parent].untried;
+                untried.push(expansion.mv);
+                let last = untried.len() - 1;
+                untried.swap(expansion.pick, last);
+            }
+            nodes.truncate(base_len);
 
-        // Rollout: random completion of the partition order.
-        let mut rollout = sequence.clone();
-        let mut rest: Vec<usize> = (0..moves.len()).filter(|m| !rollout.contains(m)).collect();
-        rest.shuffle(rng);
-        rollout.extend(rest);
+            // Phase 2: evaluate the planned leaves concurrently through the
+            // cache-neutral speculative path.
+            evaluate_jobs(evaluator, code, &jobs)
+        } else {
+            vec![None]
+        };
 
-        // Evaluate the complete candidate round.
-        let ordering: Vec<(usize, usize, Pauli)> = rollout.iter().map(|&m| moves[m]).collect();
-        let mut candidate_committed = committed.to_vec();
-        candidate_committed[partition_index] = ordering;
-        let schedule =
-            assemble_schedule(code, partitions, &candidate_committed, partition_checks, false);
-        let estimate = estimate_logical_error_with(
-            code,
-            &schedule,
-            &self.noise,
-            self.factory,
-            self.config.shots_per_evaluation,
-            &self.config.estimate_options(),
-            rng,
-        )
-        .map_err(SchedulerError::Evaluation)?;
-        let p = estimate.p_overall.max(1.0 / (2.0 * self.config.shots_per_evaluation as f64));
-        let reward = p_reference / (p_reference + p);
-
-        // Backpropagation.
-        for &node in &path {
-            nodes[node].visits += 1.0;
-            nodes[node].total_reward += reward;
+        // Phase 3: replay the serial algorithm, consuming matching hints.
+        for (k, hint) in hints.iter().enumerate() {
+            let mut rng = ChaCha8Rng::seed_from_u64(mix_seed(self.config.seed, start + k as u64));
+            let (plan, _) = advance(
+                nodes,
+                root,
+                prefix,
+                prefix_mask,
+                moves.len(),
+                self.config.exploration,
+                &mut rng,
+            );
+            let schedule = assemble(&plan.rollout);
+            let estimate = evaluator
+                .evaluate_with_hint(code, &schedule, plan.eval_seed, hint.as_ref())
+                .map_err(SchedulerError::Evaluation)?;
+            let p = estimate.p_overall().max(1.0 / (2.0 * self.config.shots_per_evaluation as f64));
+            let reward = p_reference / (p_reference + p);
+            for &node in &plan.path {
+                nodes[node].visits += 1.0;
+                nodes[node].total_reward += reward;
+            }
         }
         Ok(())
     }
 }
 
+/// Selection, expansion and rollout of one iteration against the current
+/// tree. Mutates `nodes` (consuming an untried move and appending a child
+/// node) exactly the way the serial search does; the plan phase records and
+/// undoes this mutation, the replay phase keeps it.
+fn advance(
+    nodes: &mut Vec<Node>,
+    root: usize,
+    prefix: &[usize],
+    prefix_mask: &BitVec,
+    num_moves: usize,
+    exploration: f64,
+    rng: &mut ChaCha8Rng,
+) -> (LeafPlan, Option<Expansion>) {
+    // Selection.
+    let mut path = vec![root];
+    let mut current = root;
+    let mut sequence: Vec<usize> = prefix.to_vec();
+    let mut mask = prefix_mask.clone();
+    loop {
+        let node = &nodes[current];
+        if !node.untried.is_empty() || node.children.is_empty() {
+            break;
+        }
+        let ln_parent = node.effective_visits().max(1.0).ln();
+        let next = node
+            .children
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                let uct = |i: usize| {
+                    nodes[i].mean()
+                        + exploration * (ln_parent / nodes[i].effective_visits().max(1.0)).sqrt()
+                };
+                uct(a).partial_cmp(&uct(b)).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("children is non-empty");
+        let mv = nodes[next].incoming_move.expect("child has a move");
+        sequence.push(mv);
+        mask.set(mv, true);
+        path.push(next);
+        current = next;
+    }
+    // Expansion.
+    let mut expansion = None;
+    if !nodes[current].untried.is_empty() {
+        let pick = rng.gen_range(0..nodes[current].untried.len());
+        let mv = nodes[current].untried.swap_remove(pick);
+        let remaining: Vec<usize> = (0..num_moves).filter(|&m| !mask.get(m) && m != mv).collect();
+        nodes.push(Node::new(Some(mv), remaining));
+        let child_index = nodes.len() - 1;
+        nodes[current].children.push(child_index);
+        expansion = Some(Expansion { parent: current, pick, mv });
+        sequence.push(mv);
+        mask.set(mv, true);
+        path.push(child_index);
+    }
+
+    // Rollout: random completion of the partition order.
+    let mut rollout = sequence;
+    let mut rest: Vec<usize> = (0..num_moves).filter(|&m| !mask.get(m)).collect();
+    rest.shuffle(rng);
+    rollout.extend(rest);
+    let eval_seed = rng.gen::<u64>();
+
+    (LeafPlan { path, rollout, eval_seed }, expansion)
+}
+
+/// Evaluates the wave's candidate schedules concurrently through the
+/// evaluator's speculative path. Evaluation failures surface as `None`
+/// hints (the replay re-raises them through the authoritative path). Even
+/// on a single-core host at least two workers are used so the concurrent
+/// path stays exercised.
+fn evaluate_jobs(
+    evaluator: &Evaluator<'_>,
+    code: &StabilizerCode,
+    jobs: &[(Schedule, u64)],
+) -> Vec<Option<Evaluation>> {
+    let workers = jobs.len().min(rayon::current_num_threads().max(2));
+    let slots: Vec<Mutex<Option<Evaluation>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    rayon::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= jobs.len() {
+                    break;
+                }
+                let (schedule, seed) = &jobs[index];
+                let result = evaluator.evaluate_fresh(code, schedule, *seed).ok();
+                *slots[index].lock().expect("wave result slot poisoned") = result;
+            });
+        }
+    });
+    slots.into_iter().map(|slot| slot.into_inner().expect("wave result slot poisoned")).collect()
+}
+
 /// Assembles a full-round schedule from per-partition orderings.
 ///
-/// Partitions are concatenated in order. Partitions with a committed (or
-/// candidate) ordering place each check greedily at its earliest
-/// conflict-free tick following that ordering; partitions without one fall
-/// back to their lowest-depth placeholder checks. When `only_committed` is
-/// true the placeholder is used for any partition whose ordering is still
-/// empty.
+/// Partitions are concatenated in order. A partition with a non-empty
+/// (committed or candidate) ordering places each check greedily at its
+/// earliest conflict-free tick following that ordering; a partition whose
+/// ordering is still empty falls back to its lowest-depth placeholder
+/// checks, shifted to the partition's tick offset.
 fn assemble_schedule(
     code: &StabilizerCode,
     partitions: &[Vec<usize>],
     orderings: &[Vec<(usize, usize, Pauli)>],
     placeholder_checks: &[Vec<Check>],
-    _only_committed: bool,
 ) -> Schedule {
     let mut builder = ScheduleBuilder::new(code);
     let mut offset = 0usize;
@@ -468,7 +745,56 @@ mod tests {
     }
 
     #[test]
-    fn invalid_config_is_rejected() {
+    fn run_stats_count_iterations_and_cache_traffic() {
+        let code = steane_code();
+        let factory = BpOsdFactory::new();
+        let config = MctsConfig {
+            iterations_per_step: 6,
+            shots_per_evaluation: 100,
+            leaf_batch: 3,
+            ..MctsConfig::quick()
+        };
+        let scheduler = MctsScheduler::new(NoiseModel::brisbane(), &factory, config);
+        let (schedule, stats) = scheduler.schedule_with_stats(&code, |_| {}).unwrap();
+        schedule.validate(&code).unwrap();
+        assert!(stats.iterations > 0);
+        assert!(stats.waves > 0);
+        assert!(stats.waves <= stats.iterations);
+        let cache = stats.evaluator;
+        assert_eq!(
+            cache.hits + cache.misses,
+            stats.iterations + 1,
+            "one authoritative evaluation per iteration plus the reference"
+        );
+        assert!(cache.hits > 0, "terminal re-visits must hit the memo");
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_by_validate() {
+        let base = MctsConfig::quick();
+        assert!(base.validate().is_ok());
+        let cases = [
+            MctsConfig { iterations_per_step: 0, ..base.clone() },
+            MctsConfig { shots_per_evaluation: 0, ..base.clone() },
+            MctsConfig { leaf_batch: 0, ..base.clone() },
+            MctsConfig { exploration: -0.5, ..base.clone() },
+            MctsConfig { exploration: f64::NAN, ..base.clone() },
+            MctsConfig { exploration: f64::INFINITY, ..base.clone() },
+            MctsConfig { rollout_half_width: Some(0.0), ..base.clone() },
+            MctsConfig { rollout_half_width: Some(1.0), ..base.clone() },
+            MctsConfig { rollout_half_width: Some(-0.2), ..base.clone() },
+            MctsConfig { rollout_half_width: Some(f64::NAN), ..base.clone() },
+        ];
+        for bad in cases {
+            assert!(
+                matches!(bad.validate(), Err(SchedulerError::InvalidConfig { .. })),
+                "expected rejection of {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_by_schedule() {
         let code = steane_code();
         let factory = BpOsdFactory::new();
         let scheduler = MctsScheduler::new(

@@ -1,0 +1,88 @@
+//! Leaf-parallel MCTS determinism: for a fixed seed the synthesized
+//! schedule must be bit-identical for every leaf-batch size (and therefore
+//! for every worker-thread count — waves of `B > 1` leaves are evaluated
+//! on at least two OS threads even on a single-core host).
+
+use asynd_circuit::NoiseModel;
+use asynd_codes::{rotated_surface_code, steane_code};
+use asynd_core::{MctsConfig, MctsRunStats, MctsScheduler};
+use asynd_decode::UnionFindFactory;
+
+fn synthesize(
+    code: &asynd_codes::StabilizerCode,
+    leaf_batch: usize,
+    cache_capacity: usize,
+) -> (asynd_circuit::Schedule, MctsRunStats) {
+    let factory = UnionFindFactory::new();
+    let config = MctsConfig {
+        iterations_per_step: 8,
+        shots_per_evaluation: 120,
+        seed: 2026,
+        leaf_batch,
+        eval_cache_capacity: cache_capacity,
+        ..MctsConfig::quick()
+    };
+    let scheduler = MctsScheduler::new(NoiseModel::brisbane(), &factory, config);
+    scheduler.schedule_with_stats(code, |_| {}).expect("synthesis succeeds")
+}
+
+#[test]
+fn leaf_parallel_search_is_bit_identical_to_serial() {
+    let code = steane_code();
+    let (serial, serial_stats) = synthesize(&code, 1, 1024);
+    // Batch sizes straddling the per-step budget, including a non-divisor.
+    for batch in [2, 3, 8] {
+        let (parallel, parallel_stats) = synthesize(&code, batch, 1024);
+        assert_eq!(
+            serial, parallel,
+            "leaf_batch = {batch} must reproduce the serial schedule bit-for-bit"
+        );
+        assert_eq!(
+            serial_stats.iterations, parallel_stats.iterations,
+            "the replay executes the same iteration stream"
+        );
+        assert!(
+            parallel_stats.waves < parallel_stats.iterations,
+            "leaf_batch = {batch} must actually batch iterations into waves"
+        );
+    }
+    assert_eq!(
+        serial_stats.waves, serial_stats.iterations,
+        "serial search runs one iteration per wave"
+    );
+}
+
+#[test]
+fn leaf_parallel_search_is_bit_identical_on_a_larger_code() {
+    let code = rotated_surface_code(3);
+    let (serial, _) = synthesize(&code, 1, 1024);
+    let (parallel, stats) = synthesize(&code, 4, 1024);
+    assert_eq!(serial, parallel);
+    serial.validate(&code).unwrap();
+    assert!(stats.evaluator.hits > 0, "repeated orderings must hit the evaluation cache");
+}
+
+#[test]
+fn caching_does_not_change_the_search_result() {
+    // The canonical (authoritative) memo is part of the search semantics:
+    // with enough capacity results are identical whether speculation runs
+    // or not, and disabling the cache entirely changes only the cost — the
+    // serial-vs-parallel equivalence must hold there too.
+    let code = steane_code();
+    let (uncached_serial, stats) = synthesize(&code, 1, 0);
+    let (uncached_parallel, _) = synthesize(&code, 6, 0);
+    assert_eq!(uncached_serial, uncached_parallel);
+    assert_eq!(stats.evaluator.hits, 0, "capacity 0 disables memoisation");
+    uncached_serial.validate(&code).unwrap();
+}
+
+#[test]
+fn speculation_produces_useful_hints() {
+    let code = steane_code();
+    let (_, stats) = synthesize(&code, 8, 1024);
+    assert!(
+        stats.evaluator.speculative_hits > 0,
+        "at least the first leaf of every wave is speculated correctly: {stats:?}"
+    );
+    assert!(stats.evaluator.hit_rate() > 0.0);
+}

@@ -35,7 +35,7 @@
 //!     &mut rng,
 //! )
 //! .unwrap();
-//! assert!(estimate.p_overall < 0.5);
+//! assert!(estimate.p_overall() < 0.5);
 //! ```
 
 #![forbid(unsafe_code)]

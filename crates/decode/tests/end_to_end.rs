@@ -43,7 +43,7 @@ fn run(
     let schedule = Schedule::trivial(code);
     schedule.validate(code).unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    estimate_logical_error(code, &schedule, noise, factory, shots, &mut rng).unwrap().p_overall
+    estimate_logical_error(code, &schedule, noise, factory, shots, &mut rng).unwrap().p_overall()
 }
 
 #[test]

@@ -206,7 +206,7 @@ impl ParallelEstimator {
 
         let run_chunk = |chunk: usize| -> ChunkCounts {
             let chunk_shots = if chunk + 1 == num_chunks { last_chunk_shots } else { chunk_shots };
-            let mut rng = ChaCha8Rng::seed_from_u64(chunk_seed(seed, chunk));
+            let mut rng = ChaCha8Rng::seed_from_u64(mix_seed(seed, chunk as u64));
             let batch = sampler.sample(chunk_shots, &mut rng);
             let predictions = decoder.decode_batch(&batch);
             score_chunk(&batch, &predictions, split_x, chunk_shots)
@@ -243,9 +243,26 @@ impl ParallelEstimator {
     }
 }
 
-/// Derives a decorrelated per-chunk seed (SplitMix64 over seed ⊕ index).
-fn chunk_seed(seed: u64, chunk: usize) -> u64 {
-    let mut z = seed ^ (chunk as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+/// Derives a decorrelated sub-seed from a master seed and an index
+/// (SplitMix64 finalizer over `seed ⊕ index·φ`).
+///
+/// This is the workspace's one seed-derivation function: the
+/// [`ParallelEstimator`] derives per-chunk RNGs from `(seed, chunk index)`
+/// and the MCTS scheduler derives per-iteration RNGs from
+/// `(seed, global iteration index)`. Deriving from indices — never from
+/// thread identity — is what makes every parallel pipeline in the
+/// workspace bit-identical for any thread count.
+///
+/// # Example
+///
+/// ```
+/// let a = asynd_sim::mix_seed(7, 0);
+/// let b = asynd_sim::mix_seed(7, 1);
+/// assert_ne!(a, b, "consecutive indices decorrelate");
+/// assert_eq!(a, asynd_sim::mix_seed(7, 0), "pure function of (seed, index)");
+/// ```
+pub fn mix_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

@@ -53,9 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:<16} {:>6} {:>12.2e} {:>12.2e} {:>12.2e}",
             name,
             schedule.depth(),
-            estimate.p_x,
-            estimate.p_z,
-            estimate.p_overall
+            estimate.p_x(),
+            estimate.p_z(),
+            estimate.p_overall()
         );
     }
     Ok(())

@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, schedule) in [("lowest depth", &baseline), ("AlphaSyndrome (MCTS)", &mcts)] {
         let mut rng = ChaCha8Rng::seed_from_u64(21);
         let estimate = estimate_logical_error(&code, schedule, &noise, &factory, shots, &mut rng)?;
-        println!("{:<22} {:>6} {:>12.2e}", name, schedule.depth(), estimate.p_overall);
+        println!("{:<22} {:>6} {:>12.2e}", name, schedule.depth(), estimate.p_overall());
     }
 
     println!();

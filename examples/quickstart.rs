@@ -49,22 +49,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<22} {:>6} {:>12.2e} {:>12.2e} {:>12.2e}",
         "lowest depth",
         baseline.depth(),
-        base.p_x,
-        base.p_z,
-        base.p_overall
+        base.p_x(),
+        base.p_z(),
+        base.p_overall()
     );
     println!(
         "{:<22} {:>6} {:>12.2e} {:>12.2e} {:>12.2e}",
         "AlphaSyndrome (MCTS)",
         mcts.depth(),
-        ours.p_x,
-        ours.p_z,
-        ours.p_overall
+        ours.p_x(),
+        ours.p_z(),
+        ours.p_overall()
     );
-    if ours.p_overall < base.p_overall {
+    if ours.p_overall() < base.p_overall() {
         println!(
             "\nAlphaSyndrome reduced the overall logical error rate by {:.1}%",
-            100.0 * (1.0 - ours.p_overall / base.p_overall)
+            100.0 * (1.0 - ours.p_overall() / base.p_overall())
         );
     } else {
         println!("\nAlphaSyndrome did not improve on the baseline at this search budget; raise iterations_per_step / shots_per_evaluation.");

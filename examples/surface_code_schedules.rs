@@ -39,9 +39,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:<26} {:>6} {:>12.2e} {:>12.2e} {:>12.2e}",
             name,
             schedule.depth(),
-            estimate.p_x,
-            estimate.p_z,
-            estimate.p_overall
+            estimate.p_x(),
+            estimate.p_z(),
+            estimate.p_overall()
         );
     }
     println!();

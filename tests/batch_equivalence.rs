@@ -48,9 +48,9 @@ fn cross_check(code: &StabilizerCode, shots: usize) {
     )
     .unwrap();
     assert_eq!(batch.shots, shots, "no early stop configured, full budget expected");
-    assert_statistically_equal("p_overall", scalar.p_overall, batch.p_overall, shots);
-    assert_statistically_equal("p_x", scalar.p_x, batch.p_x, shots);
-    assert_statistically_equal("p_z", scalar.p_z, batch.p_z, shots);
+    assert_statistically_equal("p_overall", scalar.p_overall(), batch.p_overall(), shots);
+    assert_statistically_equal("p_x", scalar.p_x(), batch.p_x(), shots);
+    assert_statistically_equal("p_z", scalar.p_z(), batch.p_z(), shots);
 }
 
 #[test]

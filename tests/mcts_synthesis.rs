@@ -63,10 +63,10 @@ fn mcts_is_competitive_with_the_lowest_depth_baseline() {
     let base = estimate_logical_error(&code, &baseline, &noise, &factory, shots, &mut rng).unwrap();
 
     assert!(
-        ours.p_overall <= base.p_overall * 1.10,
+        ours.p_overall() <= base.p_overall() * 1.10,
         "MCTS schedule ({}) is much worse than the lowest-depth baseline ({})",
-        ours.p_overall,
-        base.p_overall
+        ours.p_overall(),
+        base.p_overall()
     );
 }
 
@@ -94,10 +94,10 @@ fn mcts_strictly_improves_with_a_larger_budget() {
     let mut rng = ChaCha8Rng::seed_from_u64(123);
     let base = estimate_logical_error(&code, &baseline, &noise, &factory, shots, &mut rng).unwrap();
     assert!(
-        ours.p_overall < base.p_overall,
+        ours.p_overall() < base.p_overall(),
         "expected a strict improvement: {} !< {}",
-        ours.p_overall,
-        base.p_overall
+        ours.p_overall(),
+        base.p_overall()
     );
 }
 

@@ -71,10 +71,10 @@ fn google_schedule_beats_trivial_on_surface_code() {
         estimate_logical_error(&code, &google, &noise, &factory, shots, &mut rng).unwrap();
 
     assert!(
-        google_est.p_overall < 0.7 * trivial_est.p_overall,
+        google_est.p_overall() < 0.7 * trivial_est.p_overall(),
         "google ({}) must clearly beat trivial ({})",
-        google_est.p_overall,
-        trivial_est.p_overall
+        google_est.p_overall(),
+        trivial_est.p_overall()
     );
 }
 
@@ -97,15 +97,15 @@ fn rotational_orders_show_the_fig7_bias() {
         estimate_logical_error(&code, &anticlockwise, &noise, &factory, shots, &mut rng).unwrap();
 
     // The two orders are mirror images: their X/Z biases must be opposite.
-    let cw_bias = cw.p_z - cw.p_x;
-    let acw_bias = acw.p_z - acw.p_x;
+    let cw_bias = cw.p_z() - cw.p_x();
+    let acw_bias = acw.p_z() - acw.p_x();
     assert!(
         cw_bias * acw_bias < 0.0,
         "expected opposite logical X/Z biases, got cw ({}, {}) acw ({}, {})",
-        cw.p_x,
-        cw.p_z,
-        acw.p_x,
-        acw.p_z
+        cw.p_x(),
+        cw.p_z(),
+        acw.p_x(),
+        acw.p_z()
     );
 }
 
@@ -139,7 +139,7 @@ fn non_css_codes_run_end_to_end() {
         &mut rng,
     )
     .unwrap();
-    assert!(estimate.p_overall < 0.5);
+    assert!(estimate.p_overall() < 0.5);
 
     assert!(ibm_bb_schedule(&code).is_err(), "the IBM schedule requires a CSS code");
 }
@@ -159,10 +159,10 @@ fn logical_error_rate_is_monotone_in_physical_noise() {
             estimate_logical_error(&code, &schedule, &noise, factory.as_ref(), 6000, &mut rng)
                 .unwrap();
         assert!(
-            estimate.p_overall <= previous,
+            estimate.p_overall() <= previous,
             "p_overall should not increase as p decreases (p={p}): {} > {previous}",
-            estimate.p_overall
+            estimate.p_overall()
         );
-        previous = estimate.p_overall;
+        previous = estimate.p_overall();
     }
 }
