@@ -13,6 +13,7 @@ use asynd_core::{MctsConfig, MctsScheduler, Scheduler};
 use asynd_decode::UnionFindFactory;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn config(leaf_batch: usize, cache_capacity: usize) -> MctsConfig {
     MctsConfig {
@@ -26,8 +27,8 @@ fn config(leaf_batch: usize, cache_capacity: usize) -> MctsConfig {
 }
 
 fn report_cache_behaviour(name: &str, code: &StabilizerCode, cfg: &MctsConfig) {
-    let factory = UnionFindFactory::new();
-    let scheduler = MctsScheduler::new(NoiseModel::brisbane(), &factory, cfg.clone());
+    let scheduler =
+        MctsScheduler::new(NoiseModel::brisbane(), Arc::new(UnionFindFactory::new()), cfg.clone());
     let (_, stats) = scheduler.schedule_with_stats(code, |_| {}).unwrap();
     println!(
         "{name}: {} iterations in {} waves, cache hit rate {:.1}% \
@@ -56,8 +57,11 @@ fn bench_code(c: &mut Criterion, group_name: &str, code: &StabilizerCode) {
     for (name, cfg) in variants {
         group.bench_function(name, |b| {
             b.iter(|| {
-                let factory = UnionFindFactory::new();
-                let scheduler = MctsScheduler::new(NoiseModel::brisbane(), &factory, cfg.clone());
+                let scheduler = MctsScheduler::new(
+                    NoiseModel::brisbane(),
+                    Arc::new(UnionFindFactory::new()),
+                    cfg.clone(),
+                );
                 black_box(scheduler.schedule(code).unwrap())
             })
         });

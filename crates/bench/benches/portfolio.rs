@@ -1,0 +1,168 @@
+//! Portfolio synthesis benchmarks.
+//!
+//! Beyond the human-readable criterion timings this bench writes a
+//! machine-readable trajectory file, `BENCH_portfolio.json`, at the
+//! repository root: one record per `(code, strategy)` solo run plus one
+//! per shared race, each carrying the strategy name, code, wall-clock
+//! time, achieved `p_overall` and the evaluation-cache hit rate. CI and
+//! notebook tooling can diff these without scraping bench stdout.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use asynd_circuit::NoiseModel;
+use asynd_codes::{rotated_surface_code, steane_code, StabilizerCode};
+use asynd_decode::UnionFindFactory;
+use asynd_portfolio::{
+    AnnealingSynthesizer, BeamSearchSynthesizer, LowestDepthSynthesizer, MctsSynthesizer,
+    Portfolio, PortfolioConfig, Synthesizer,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn config() -> PortfolioConfig {
+    PortfolioConfig {
+        seed: 7,
+        budget_per_strategy: 64,
+        shots_per_evaluation: 400,
+        ..PortfolioConfig::default()
+    }
+}
+
+fn strategies() -> Vec<Box<dyn Synthesizer>> {
+    vec![
+        Box::new(MctsSynthesizer::default()),
+        Box::new(AnnealingSynthesizer::default()),
+        Box::new(BeamSearchSynthesizer::default()),
+        Box::new(LowestDepthSynthesizer::new()),
+    ]
+}
+
+/// One row of `BENCH_portfolio.json`.
+struct Record {
+    code: String,
+    strategy: String,
+    mode: &'static str,
+    wall_ms: f64,
+    p_overall: f64,
+    cache_hit_rate: f64,
+    evaluations: u64,
+    winner: bool,
+}
+
+impl Record {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"code\": \"{}\", \"strategy\": \"{}\", \"mode\": \"{}\", \
+             \"wall_ms\": {:.3}, \"p_overall\": {:.6e}, \"cache_hit_rate\": {:.4}, \
+             \"evaluations\": {}, \"winner\": {}}}",
+            self.code,
+            self.strategy,
+            self.mode,
+            self.wall_ms,
+            self.p_overall,
+            self.cache_hit_rate,
+            self.evaluations,
+            self.winner,
+        )
+    }
+}
+
+/// Runs every strategy solo (own evaluator: true per-strategy cache
+/// behaviour) and once as a shared race, appending records.
+fn collect_records(code: &StabilizerCode, label: &str, records: &mut Vec<Record>) {
+    let noise = NoiseModel::brisbane();
+    for strategy in strategies() {
+        let name = strategy.name().to_string();
+        let solo = Portfolio::new(config()).with_strategy(strategy);
+        let report =
+            solo.run(code, &noise, Arc::new(UnionFindFactory::new())).expect("solo run failed");
+        let s = &report.strategies[0];
+        records.push(Record {
+            code: label.to_string(),
+            strategy: name,
+            mode: "solo",
+            wall_ms: s.wall.as_secs_f64() * 1e3,
+            p_overall: s.outcome.estimate.p_overall(),
+            cache_hit_rate: report.evaluator.hit_rate(),
+            evaluations: s.outcome.stats.evaluations,
+            winner: false,
+        });
+    }
+
+    let race = Portfolio::standard(config());
+    let report =
+        race.run(code, &noise, Arc::new(UnionFindFactory::new())).expect("shared race failed");
+    for (index, s) in report.strategies.iter().enumerate() {
+        records.push(Record {
+            code: label.to_string(),
+            strategy: s.name.clone(),
+            mode: "shared-race",
+            wall_ms: s.wall.as_secs_f64() * 1e3,
+            p_overall: s.outcome.estimate.p_overall(),
+            cache_hit_rate: report.evaluator.hit_rate(),
+            evaluations: s.outcome.stats.evaluations,
+            winner: index == report.winner,
+        });
+    }
+    println!(
+        "{label}: race winner {} (p_overall {:.3e}), shared cache hit rate {:.1}%",
+        report.winning().name,
+        report.winning().outcome.estimate.p_overall(),
+        100.0 * report.evaluator.hit_rate(),
+    );
+}
+
+fn write_trajectory(records: &[Record]) {
+    let mut json = String::from("{\n  \"generated_by\": \"cargo bench -p asynd-bench --bench portfolio\",\n  \"records\": [\n");
+    for (i, record) in records.iter().enumerate() {
+        let _ = write!(json, "    {}", record.to_json());
+        json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_portfolio.json");
+    std::fs::write(&path, json).expect("write BENCH_portfolio.json");
+    println!("wrote {}", path.display());
+}
+
+fn bench_portfolio(c: &mut Criterion) {
+    let mut records = Vec::new();
+    collect_records(&steane_code(), "steane", &mut records);
+    collect_records(&rotated_surface_code(3), "surface-d3", &mut records);
+    write_trajectory(&records);
+
+    let mut group = c.benchmark_group("portfolio-steane");
+    group.sample_size(10);
+    let code = steane_code();
+    group.bench_function("standard-race", |b| {
+        b.iter(|| {
+            let portfolio = Portfolio::standard(config());
+            black_box(
+                portfolio
+                    .run(&code, &NoiseModel::brisbane(), Arc::new(UnionFindFactory::new()))
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("mcts-only-equal-budget", |b| {
+        b.iter(|| {
+            // The MCTS-only baseline at the race's *total* budget
+            // (4 strategies x per-strategy budget).
+            let portfolio = Portfolio::new(PortfolioConfig {
+                budget_per_strategy: 4 * config().budget_per_strategy,
+                ..config()
+            })
+            .with_strategy(Box::new(MctsSynthesizer::default()));
+            black_box(
+                portfolio
+                    .run(&code, &NoiseModel::brisbane(), Arc::new(UnionFindFactory::new()))
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_portfolio);
+criterion_main!(benches);

@@ -8,6 +8,7 @@ use asynd_core::{LowestDepthScheduler, MctsConfig, MctsScheduler, Scheduler, Tri
 use asynd_decode::BpOsdFactory;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn bench_baseline_schedulers(c: &mut Criterion) {
     let code = rotated_surface_code(5);
@@ -27,14 +28,16 @@ fn bench_baseline_schedulers(c: &mut Criterion) {
 
 fn bench_mcts_small_budget(c: &mut Criterion) {
     let code = steane_code();
-    let factory = BpOsdFactory::new();
+    let factory: Arc<dyn asynd_circuit::DecoderFactory + Send + Sync> =
+        Arc::new(BpOsdFactory::new());
     let config =
         MctsConfig { iterations_per_step: 4, shots_per_evaluation: 100, ..MctsConfig::quick() };
     let mut group = c.benchmark_group("mcts");
     group.sample_size(10);
     group.bench_function("steane-4-iters", |b| {
         b.iter(|| {
-            let scheduler = MctsScheduler::new(NoiseModel::paper(), &factory, config.clone());
+            let scheduler =
+                MctsScheduler::new(NoiseModel::paper(), factory.clone(), config.clone());
             black_box(scheduler.schedule(&code).unwrap())
         })
     });

@@ -23,6 +23,7 @@ use asynd_core::{LowestDepthScheduler, MctsConfig, MctsScheduler, Scheduler};
 use asynd_decode::factory_for;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 
 /// How much compute a benchmark binary is allowed to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,7 +139,7 @@ pub fn alphasyndrome_schedule(
         let total_checks: usize = code.stabilizers().iter().map(|s| s.weight()).sum();
         config.iterations_per_step = (768 / total_checks.max(1)).clamp(6, 24);
     }
-    let scheduler = MctsScheduler::new(noise.clone(), factory.as_ref(), config);
+    let scheduler = MctsScheduler::new(noise.clone(), factory, config);
     scheduler.schedule(code).expect("MCTS synthesis failed")
 }
 
@@ -161,7 +162,7 @@ pub fn reduction_percent(ours: f64, baseline: f64) -> f64 {
 }
 
 /// Builds the decoder factory paired with a catalog decoder label.
-pub fn decoder_factory(decoder: RecommendedDecoder) -> Box<dyn DecoderFactory + Send + Sync> {
+pub fn decoder_factory(decoder: RecommendedDecoder) -> Arc<dyn DecoderFactory + Send + Sync> {
     factory_for(decoder)
 }
 

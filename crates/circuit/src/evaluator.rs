@@ -30,6 +30,7 @@
 //!   authoritative path would have computed.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use asynd_codes::StabilizerCode;
@@ -83,6 +84,40 @@ impl EvaluatorStats {
             self.hits as f64 / total as f64
         }
     }
+}
+
+/// The counters behind [`EvaluatorStats`], kept as atomics *outside* the
+/// cache mutex so concurrent workers (the portfolio racer's progress
+/// reporting, the leaf-parallel speculative path) can read them without
+/// contending on the cache lock.
+#[derive(Debug, Default)]
+struct AtomicStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    speculative_hits: AtomicU64,
+    model_reuses: AtomicU64,
+    model_builds: AtomicU64,
+    speculative_short_circuits: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> EvaluatorStats {
+        EvaluatorStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            speculative_hits: self.speculative_hits.load(Ordering::Relaxed),
+            model_reuses: self.model_reuses.load(Ordering::Relaxed),
+            model_builds: self.model_builds.load(Ordering::Relaxed),
+            speculative_short_circuits: self.speculative_short_circuits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Relaxed increment helper for the stats counters.
+fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
 }
 
 /// The immutable, shareable artifacts of one schedule: its detector error
@@ -167,7 +202,6 @@ impl Evaluation {
 struct Cache {
     entries: HashMap<CacheKey, Entry>,
     clock: u64,
-    stats: EvaluatorStats,
 }
 
 /// A memoising evaluation service: owns noise model, decoder factory and
@@ -195,10 +229,9 @@ struct Cache {
 /// #     }
 /// # }
 /// let code = asynd_codes::steane_code();
-/// let factory = Null;
 /// let evaluator = Evaluator::new(
 ///     NoiseModel::brisbane(),
-///     &factory,
+///     std::sync::Arc::new(Null),
 ///     2000,
 ///     EstimateOptions::default(),
 /// );
@@ -208,21 +241,26 @@ struct Cache {
 /// assert_eq!(first, again, "second request is a memo hit");
 /// assert_eq!(evaluator.stats().hits, 1);
 /// ```
-pub struct Evaluator<'a> {
+pub struct Evaluator {
     noise: NoiseModel,
-    factory: &'a (dyn DecoderFactory + Sync),
+    factory: Arc<dyn DecoderFactory + Send + Sync>,
     shots: usize,
     options: EstimateOptions,
     capacity: usize,
     cache: Mutex<Cache>,
+    stats: AtomicStats,
 }
 
-impl<'a> Evaluator<'a> {
+impl Evaluator {
     /// Creates an evaluator with the default cache capacity
     /// ([`DEFAULT_CACHE_CAPACITY`]).
+    ///
+    /// The decoder factory is owned via `Arc` so the evaluator itself can
+    /// be shared (`Arc<Evaluator>`) across worker threads — the portfolio
+    /// racer hands one evaluator to every strategy.
     pub fn new(
         noise: NoiseModel,
-        factory: &'a (dyn DecoderFactory + Sync),
+        factory: Arc<dyn DecoderFactory + Send + Sync>,
         shots: usize,
         options: EstimateOptions,
     ) -> Self {
@@ -235,7 +273,7 @@ impl<'a> Evaluator<'a> {
     /// rebuilds and resamples) — useful as an ablation baseline.
     pub fn with_capacity(
         noise: NoiseModel,
-        factory: &'a (dyn DecoderFactory + Sync),
+        factory: Arc<dyn DecoderFactory + Send + Sync>,
         shots: usize,
         options: EstimateOptions,
         capacity: usize,
@@ -246,11 +284,8 @@ impl<'a> Evaluator<'a> {
             shots,
             options,
             capacity,
-            cache: Mutex::new(Cache {
-                entries: HashMap::new(),
-                clock: 0,
-                stats: EvaluatorStats::default(),
-            }),
+            cache: Mutex::new(Cache { entries: HashMap::new(), clock: 0 }),
+            stats: AtomicStats::default(),
         }
     }
 
@@ -280,8 +315,23 @@ impl<'a> Evaluator<'a> {
     }
 
     /// A snapshot of the cache counters.
+    ///
+    /// Alias of [`Evaluator::stats_snapshot`]; kept for callers that
+    /// predate the lock-free counters.
     pub fn stats(&self) -> EvaluatorStats {
-        self.cache.lock().expect("evaluator cache poisoned").stats
+        self.stats_snapshot()
+    }
+
+    /// A lock-free snapshot of the cache counters.
+    ///
+    /// The counters live in atomics outside the cache mutex, so concurrent
+    /// workers (portfolio strategies reporting progress mid-race) can read
+    /// them without contending on the cache lock. Each counter is exact
+    /// and monotonic; a snapshot taken while writers are active may be
+    /// torn *across* counters (e.g. a miss counted whose model build is
+    /// not yet).
+    pub fn stats_snapshot(&self) -> EvaluatorStats {
+        self.stats.snapshot()
     }
 
     /// Authoritative evaluation: returns the memoised estimate for this
@@ -292,6 +342,12 @@ impl<'a> Evaluator<'a> {
     /// function of that sequence, so single-threaded callers issuing
     /// requests in a deterministic order get bit-identical results — the
     /// property the leaf-parallel MCTS replay loop builds on.
+    ///
+    /// Concurrent callers are safe (misses compute outside the cache
+    /// lock and commit afterwards) but only *deterministic* when every
+    /// caller derives `seed` from the schedule's key, as the portfolio
+    /// racer does: the memoised estimate is then independent of which
+    /// thread computed it first.
     ///
     /// # Errors
     ///
@@ -325,30 +381,42 @@ impl<'a> Evaluator<'a> {
         hint: Option<&Evaluation>,
     ) -> Result<LogicalErrorEstimate, CircuitError> {
         let key = (code_fingerprint(code), schedule.key());
-        let mut guard = self.cache.lock().expect("evaluator cache poisoned");
-        let cache = &mut *guard;
-        cache.clock += 1;
-        let clock = cache.clock;
-
-        if let Some(entry) = cache.entries.get_mut(&key) {
-            entry.last_used = clock;
-            cache.stats.hits += 1;
-            return Ok(entry.estimate);
+        {
+            let mut guard = self.cache.lock().expect("evaluator cache poisoned");
+            let cache = &mut *guard;
+            cache.clock += 1;
+            let clock = cache.clock;
+            if let Some(entry) = cache.entries.get_mut(&key) {
+                entry.last_used = clock;
+                bump(&self.stats.hits);
+                return Ok(entry.estimate);
+            }
         }
 
-        cache.stats.misses += 1;
+        // Miss: build and sample *outside* the lock, so concurrent
+        // authoritative callers (the portfolio race's worker threads)
+        // overlap their expensive evaluations instead of serialising on
+        // the cache mutex. Two racers missing the same key both compute —
+        // with key-derived seeds both compute the identical estimate, so
+        // whichever commits last changes nothing (single-threaded cache
+        // evolution is untouched either way).
+        bump(&self.stats.misses);
         let model = match hint {
             Some(h) if h.cache_key == key => {
-                cache.stats.model_reuses += 1;
+                bump(&self.stats.model_reuses);
                 h.model.clone()
             }
             _ => {
-                cache.stats.model_builds += 1;
+                bump(&self.stats.model_builds);
                 self.build_model(code, schedule)?
             }
         };
-        let estimate = self.produce_estimate(code, &model, seed, hint, key, &mut cache.stats)?;
+        let estimate = self.produce_estimate(code, &model, seed, hint, key)?;
         if self.capacity > 0 {
+            let mut guard = self.cache.lock().expect("evaluator cache poisoned");
+            let cache = &mut *guard;
+            cache.clock += 1;
+            let clock = cache.clock;
             cache.entries.insert(key, Entry { model, estimate, last_used: clock });
             while cache.entries.len() > self.capacity {
                 let victim = cache
@@ -358,7 +426,7 @@ impl<'a> Evaluator<'a> {
                     .map(|(k, _)| *k)
                     .expect("cache is non-empty above capacity");
                 cache.entries.remove(&victim);
-                cache.stats.evictions += 1;
+                bump(&self.stats.evictions);
             }
         }
         Ok(estimate)
@@ -388,16 +456,11 @@ impl<'a> Evaluator<'a> {
             cache.entries.get(&key).map(|e| (e.model.clone(), e.estimate))
         };
         if let Some((model, estimate)) = peeked {
-            let mut cache = self.cache.lock().expect("evaluator cache poisoned");
-            cache.stats.speculative_short_circuits += 1;
-            drop(cache);
+            bump(&self.stats.speculative_short_circuits);
             return Ok(Evaluation { cache_key: key, seed, computed: false, model, estimate });
         }
         let model = self.build_model(code, schedule)?;
-        {
-            let mut cache = self.cache.lock().expect("evaluator cache poisoned");
-            cache.stats.model_builds += 1;
-        }
+        bump(&self.stats.model_builds);
         let estimate = run_estimate(
             &model.frame,
             model.decoder.as_ref(),
@@ -431,11 +494,10 @@ impl<'a> Evaluator<'a> {
         seed: u64,
         hint: Option<&Evaluation>,
         key: CacheKey,
-        stats: &mut EvaluatorStats,
     ) -> Result<LogicalErrorEstimate, CircuitError> {
         if let Some(h) = hint {
             if h.computed && h.cache_key == key && h.seed == seed {
-                stats.speculative_hits += 1;
+                bump(&self.stats.speculative_hits);
                 return Ok(h.estimate);
             }
         }
@@ -505,10 +567,10 @@ mod tests {
         }
     }
 
-    fn make_evaluator(capacity: usize) -> Evaluator<'static> {
+    fn make_evaluator(capacity: usize) -> Evaluator {
         Evaluator::with_capacity(
             NoiseModel::brisbane(),
-            &EchoFactory,
+            Arc::new(EchoFactory),
             500,
             EstimateOptions::default(),
             capacity,

@@ -55,6 +55,19 @@ pub struct Check {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ScheduleKey([u64; 2]);
 
+impl ScheduleKey {
+    /// The two 64-bit words of the fingerprint, low stream first.
+    ///
+    /// Exposed so callers can fold the key into other deterministic
+    /// derivations — the portfolio subsystem derives per-schedule
+    /// evaluation seeds from these words, which is what makes a shared
+    /// evaluation cache safe to race on (any worker computing a schedule's
+    /// estimate computes the *same* estimate).
+    pub fn words(self) -> [u64; 2] {
+        self.0
+    }
+}
+
 pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 

@@ -1,0 +1,91 @@
+//! Property tests of the canonical schedule fingerprint
+//! ([`Schedule::key`]): the key must be invariant under permutation of the
+//! check *insertion order* (same circuit, different construction history)
+//! and must discriminate schedules that differ in a single tick
+//! assignment — the two properties the memoising evaluation service and
+//! the portfolio's shared-cache seed derivation rely on.
+
+use asynd_circuit::Schedule;
+use asynd_codes::{rotated_surface_code, steane_code, xzzx_code, StabilizerCode};
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The base schedules the properties are exercised on: one CSS code, one
+/// surface code, one non-CSS (mixed-stabilizer) code.
+fn base_codes() -> Vec<StabilizerCode> {
+    vec![steane_code(), rotated_surface_code(3), xzzx_code(3)]
+}
+
+/// Rebuilds `schedule` with its checks pushed in an order drawn from
+/// `shuffle_seed`.
+fn permuted(schedule: &Schedule, shuffle_seed: u64) -> Schedule {
+    let mut checks = schedule.checks().to_vec();
+    let mut rng = ChaCha8Rng::seed_from_u64(shuffle_seed);
+    checks.shuffle(&mut rng);
+    Schedule::new(schedule.num_data(), schedule.num_stabilizers(), checks)
+}
+
+proptest! {
+    #[test]
+    fn key_is_invariant_under_insertion_order_permutation(
+        code_pick in 0usize..3,
+        shuffle_seed in any::<u64>(),
+        second_seed in any::<u64>(),
+    ) {
+        let code = &base_codes()[code_pick];
+        let schedule = Schedule::trivial(code);
+        let a = permuted(&schedule, shuffle_seed);
+        let b = permuted(&schedule, second_seed);
+        prop_assert_eq!(a.key(), schedule.key());
+        prop_assert_eq!(a.key(), b.key());
+        // The permuted check list is a different Vec but the same circuit.
+        prop_assert_eq!(a.checks().len(), schedule.checks().len());
+    }
+
+    #[test]
+    fn key_discriminates_single_tick_mutations(
+        code_pick in 0usize..3,
+        check_index_seed in any::<u64>(),
+        tick_shift in 1usize..48,
+        shuffle_seed in any::<u64>(),
+    ) {
+        let code = &base_codes()[code_pick];
+        let schedule = Schedule::trivial(code);
+        let mut mutated = schedule.checks().to_vec();
+        let index = (check_index_seed % mutated.len() as u64) as usize;
+        mutated[index].tick += tick_shift;
+        let mutated = Schedule::new(
+            schedule.num_data(),
+            schedule.num_stabilizers(),
+            mutated,
+        );
+        // Each (stabilizer, data) pair appears exactly once in a valid
+        // schedule, so moving one check's tick always changes the canonical
+        // check multiset — the fingerprint must change with it, even when
+        // the mutated schedule is reconstructed in a different order.
+        prop_assert!(mutated.key() != schedule.key());
+        prop_assert_eq!(permuted(&mutated, shuffle_seed).key(), mutated.key());
+    }
+
+    #[test]
+    fn key_words_are_decorrelated(
+        code_pick in 0usize..3,
+        tick_shift in 1usize..48,
+    ) {
+        let code = &base_codes()[code_pick];
+        let schedule = Schedule::trivial(code);
+        let mut mutated = schedule.checks().to_vec();
+        mutated[0].tick += tick_shift;
+        let mutated =
+            Schedule::new(schedule.num_data(), schedule.num_stabilizers(), mutated);
+        let [a_lo, a_hi] = schedule.key().words();
+        let [b_lo, b_hi] = mutated.key().words();
+        // Both 64-bit streams must react to the mutation (they are
+        // decorrelated FNV streams over the same words, so a change that
+        // flips only one stream would indicate a hashing bug).
+        prop_assert!(a_lo != b_lo);
+        prop_assert!(a_hi != b_hi);
+    }
+}

@@ -247,6 +247,84 @@ pub fn table4_entries() -> Vec<CatalogEntry> {
     entries
 }
 
+/// The XZZX code scaling family (distances 3, 5, 7) as a first-class
+/// catalog family.
+///
+/// Previously the XZZX codes only appeared as substitutes inside the
+/// colour-code rows; registering them under their own name lets sweep
+/// drivers (the portfolio racer in particular) address the family
+/// directly. Decoded with hypergraph union-find, which handles their
+/// mixed (non-CSS) stabilizers.
+pub fn xzzx_family() -> Vec<CatalogEntry> {
+    [3usize, 5, 7]
+        .iter()
+        .map(|&d| {
+            let code = xzzx_code(d);
+            let label = format!("XZZX Code {}", code.parameters());
+            CatalogEntry::exact(label, code, RecommendedDecoder::UnionFind)
+        })
+        .collect()
+}
+
+/// The hypergraph-product code family as a first-class catalog family
+/// (same three instances the hyperbolic-colour rows substitute with, but
+/// under their own name and without the substitution flag).
+pub fn hgp_family() -> Vec<CatalogEntry> {
+    let instances = [
+        hypergraph_product_code(&hamming_7_4_checks(), &repetition_checks(3), 3)
+            .expect("valid HGP parameters"),
+        hypergraph_product_code(&ring_checks(4), &hamming_7_4_checks(), 3)
+            .expect("valid HGP parameters"),
+        hypergraph_product_code(&hamming_7_4_checks(), &hamming_7_4_checks(), 3)
+            .expect("valid HGP parameters"),
+    ];
+    instances
+        .into_iter()
+        .map(|code| {
+            let label = format!("Hypergraph Product {}", code.parameters());
+            CatalogEntry::exact(label, code, RecommendedDecoder::UnionFind)
+        })
+        .collect()
+}
+
+/// Every named code family of the catalog, in registry order.
+///
+/// Sweep drivers iterate this list (or resolve a single family with
+/// [`family_by_name`]) so a new family registered here is automatically
+/// picked up by every by-name workload.
+pub fn family_names() -> Vec<&'static str> {
+    vec![
+        "hexagonal-color",
+        "square-octagonal-color",
+        "hyperbolic-color",
+        "hyperbolic-surface",
+        "defect-surface",
+        "rotated-surface",
+        "bb",
+        "xzzx",
+        "hgp",
+    ]
+}
+
+/// Resolves a catalog family by its registry name (see [`family_names`]).
+///
+/// Families the paper parameterises by decoder resolve with the decoder
+/// the paper's headline tables use (BP-OSD).
+pub fn family_by_name(name: &str) -> Option<Vec<CatalogEntry>> {
+    match name {
+        "hexagonal-color" => Some(hexagonal_color_family(RecommendedDecoder::BpOsd)),
+        "square-octagonal-color" => Some(square_octagonal_color_family(RecommendedDecoder::BpOsd)),
+        "hyperbolic-color" => Some(hyperbolic_color_family()),
+        "hyperbolic-surface" => Some(hyperbolic_surface_family()),
+        "defect-surface" => Some(defect_surface_family()),
+        "rotated-surface" => Some(figure12_surface_codes()),
+        "bb" => Some(figure13_bb_codes()),
+        "xzzx" => Some(xzzx_family()),
+        "hgp" => Some(hgp_family()),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +363,38 @@ mod tests {
         let exact = &hexagonal_color_family(RecommendedDecoder::BpOsd)[0];
         assert!(!exact.substituted);
         assert_eq!(exact.display_label(), exact.paper_label);
+    }
+
+    #[test]
+    fn every_family_name_resolves_to_validating_codes() {
+        for name in family_names() {
+            let entries = family_by_name(name)
+                .unwrap_or_else(|| panic!("family {name} is registered but does not resolve"));
+            assert!(!entries.is_empty(), "family {name} is empty");
+            for entry in entries {
+                entry
+                    .code
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{name}/{}: {e}", entry.paper_label));
+            }
+        }
+        assert!(family_by_name("no-such-family").is_none());
+    }
+
+    #[test]
+    fn xzzx_and_hgp_are_first_class_families() {
+        let xzzx = xzzx_family();
+        assert_eq!(xzzx.len(), 3);
+        assert!(xzzx.iter().all(|e| !e.substituted), "xzzx entries are exact");
+        assert!(xzzx.iter().all(|e| e.paper_label.contains("XZZX")));
+
+        let hgp = hgp_family();
+        assert_eq!(hgp.len(), 3);
+        assert!(hgp.iter().all(|e| !e.substituted), "hgp entries are exact");
+        assert!(hgp.iter().all(|e| e.decoder == RecommendedDecoder::UnionFind));
+
+        assert!(family_names().contains(&"xzzx"));
+        assert!(family_names().contains(&"hgp"));
     }
 
     #[test]

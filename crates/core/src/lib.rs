@@ -43,12 +43,17 @@ mod error;
 pub mod industry;
 mod lowest_depth;
 mod mcts;
+mod moves;
 mod partition;
 mod scheduler;
 pub mod spacetime;
 
 pub use error::SchedulerError;
 pub use lowest_depth::LowestDepthScheduler;
-pub use mcts::{MctsConfig, MctsRunStats, MctsScheduler, MctsStepReport};
+pub use mcts::{
+    assemble_schedule, eval_seed_for, synthesize_with_evaluator, MctsConfig, MctsRunStats,
+    MctsScheduler, MctsStepReport,
+};
+pub use moves::MoveSpace;
 pub use partition::partition_stabilizers;
 pub use scheduler::{Scheduler, TrivialScheduler};

@@ -30,7 +30,7 @@
 
 use asynd_circuit::{
     Check, DecoderFactory, EstimateOptions, Evaluation, Evaluator, EvaluatorStats, NoiseModel,
-    Schedule, ScheduleBuilder,
+    Schedule, ScheduleBuilder, ScheduleKey,
 };
 use asynd_codes::StabilizerCode;
 use asynd_pauli::{BitVec, Pauli};
@@ -40,9 +40,9 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-use crate::{partition_stabilizers, LowestDepthScheduler, Scheduler, SchedulerError};
+use crate::{MoveSpace, Scheduler, SchedulerError};
 
 /// Configuration of the MCTS scheduler.
 ///
@@ -78,6 +78,18 @@ pub struct MctsConfig {
     /// `0` disables caching — every rollout rebuilds its DEM and decoder,
     /// which reproduces the pre-evaluation-service behaviour.
     pub eval_cache_capacity: usize,
+    /// When set, every evaluation seed (rollouts *and* the reward
+    /// reference) is derived from the evaluated schedule's canonical key
+    /// via [`eval_seed_for`] with this salt instead of being drawn from
+    /// the per-iteration RNG stream.
+    ///
+    /// Key-derived seeds make the estimate of a schedule a pure function
+    /// of the schedule itself, which is what lets several searchers
+    /// *share* one [`Evaluator`] cache deterministically: whichever
+    /// portfolio worker scores a schedule first, it computes exactly the
+    /// estimate every other worker would have computed. `None` (the
+    /// default) keeps the historical per-iteration seed stream.
+    pub eval_seed_salt: Option<u64>,
 }
 
 impl Default for MctsConfig {
@@ -90,6 +102,7 @@ impl Default for MctsConfig {
             rollout_half_width: None,
             leaf_batch: 1,
             eval_cache_capacity: asynd_circuit::DEFAULT_CACHE_CAPACITY,
+            eval_seed_salt: None,
         }
     }
 }
@@ -285,17 +298,20 @@ struct Expansion {
 /// Rewards are normalised to `(0, 1)` as `p_ref / (p_ref + p_candidate)`,
 /// where `p_ref` is the lowest-depth baseline's logical error rate, so the
 /// UCT exploration constant keeps its usual scale.
-pub struct MctsScheduler<'a> {
+pub struct MctsScheduler {
     noise: NoiseModel,
-    factory: &'a (dyn DecoderFactory + Sync),
+    factory: Arc<dyn DecoderFactory + Send + Sync>,
     config: MctsConfig,
 }
 
-impl<'a> MctsScheduler<'a> {
+impl MctsScheduler {
     /// Creates a scheduler for the given noise model and decoder family.
+    ///
+    /// The factory is taken by `Arc` so the internally constructed
+    /// [`Evaluator`] can own (and share) it across worker threads.
     pub fn new(
         noise: NoiseModel,
-        factory: &'a (dyn DecoderFactory + Sync),
+        factory: Arc<dyn DecoderFactory + Send + Sync>,
         config: MctsConfig,
     ) -> Self {
         MctsScheduler { noise, factory, config }
@@ -327,224 +343,280 @@ impl<'a> MctsScheduler<'a> {
     pub fn schedule_with_stats(
         &self,
         code: &StabilizerCode,
-        mut on_step: impl FnMut(&MctsStepReport),
+        on_step: impl FnMut(&MctsStepReport),
     ) -> Result<(Schedule, MctsRunStats), SchedulerError> {
         self.config.validate()?;
-        let partitions = partition_stabilizers(code);
-
-        // Placeholder sub-schedules for partitions not yet optimised.
-        let placeholder = LowestDepthScheduler::new();
-        let placeholder_schedule = placeholder.schedule(code)?;
-        let mut partition_checks: Vec<Vec<Check>> = Vec::new();
-        for partition in &partitions {
-            let checks: Vec<Check> = placeholder_schedule
-                .checks()
-                .iter()
-                .filter(|c| partition.contains(&c.stabilizer))
-                .copied()
-                .collect();
-            partition_checks.push(checks);
-        }
-
         let evaluator = Evaluator::with_capacity(
             self.noise.clone(),
-            self.factory,
+            self.factory.clone(),
             self.config.shots_per_evaluation,
             self.config.estimate_options(),
             self.config.eval_cache_capacity,
         );
+        synthesize_with_evaluator(&self.config, code, &evaluator, on_step)
+    }
+}
 
-        // Reference error rate for reward normalisation (its seed lives in
-        // a reserved slot of the iteration-seed space).
-        let reference = evaluator
-            .evaluate(code, &placeholder_schedule, mix_seed(self.config.seed, u64::MAX))
-            .map_err(SchedulerError::Evaluation)?;
-        let p_reference = reference.p_overall().max(1.0 / self.config.shots_per_evaluation as f64);
+/// Derives the evaluation seed of a schedule from a salt and the
+/// schedule's canonical key.
+///
+/// Used by [`MctsConfig::eval_seed_salt`] and by the portfolio subsystem's
+/// shared scoring context: with key-derived seeds the estimate of a
+/// schedule is a pure function of the schedule, so any number of workers
+/// can race on one shared [`Evaluator`] cache and still observe
+/// bit-identical estimates regardless of who computed an entry first.
+pub fn eval_seed_for(salt: u64, key: ScheduleKey) -> u64 {
+    let [lo, hi] = key.words();
+    mix_seed(mix_seed(salt, lo), hi)
+}
 
-        // The committed (data, stabilizer, pauli) orderings per partition.
-        let mut committed: Vec<Vec<(usize, usize, Pauli)>> = vec![Vec::new(); partitions.len()];
-        let mut stats = MctsRunStats::default();
-        let mut global_iteration: u64 = 0;
+/// The seed a wave evaluation runs under: key-derived when
+/// [`MctsConfig::eval_seed_salt`] is set, the iteration stream's draw
+/// otherwise.
+fn wave_eval_seed(config: &MctsConfig, drawn: u64, schedule: &Schedule) -> u64 {
+    match config.eval_seed_salt {
+        Some(salt) => eval_seed_for(salt, schedule.key()),
+        None => drawn,
+    }
+}
 
-        for (partition_index, partition) in partitions.iter().enumerate() {
-            // The move universe of this partition: all its Pauli checks.
-            let moves: Vec<(usize, usize, Pauli)> = partition
-                .iter()
-                .flat_map(|&s| code.stabilizers()[s].entries().iter().map(move |&(q, p)| (q, s, p)))
-                .collect();
-            let total_checks = moves.len();
+/// Runs the full AlphaSyndrome search against an externally owned
+/// [`Evaluator`] (the [`MctsScheduler`] methods build a private one and
+/// delegate here).
+///
+/// The evaluator supplies the shot budget and estimation options; the
+/// config's `shots_per_evaluation`, `rollout_half_width` and
+/// `eval_cache_capacity` are ignored on this path. When the evaluator is
+/// shared with other searchers (the portfolio racer), set
+/// [`MctsConfig::eval_seed_salt`] so all parties derive evaluation seeds
+/// from schedule keys — otherwise memo entries populated by one searcher
+/// under a foreign seed would leak into this search's estimates in a
+/// timing-dependent way.
+///
+/// The returned [`MctsRunStats::evaluator`] field is a snapshot of the
+/// (possibly shared) evaluator's global counters at the end of the run.
+///
+/// # Errors
+///
+/// Returns a [`SchedulerError`] if the configuration is invalid or a
+/// candidate evaluation fails.
+pub fn synthesize_with_evaluator(
+    config: &MctsConfig,
+    code: &StabilizerCode,
+    evaluator: &Evaluator,
+    mut on_step: impl FnMut(&MctsStepReport),
+) -> Result<(Schedule, MctsRunStats), SchedulerError> {
+    config.validate()?;
+    // The shared ordering search space: partitions, per-partition move
+    // lists and lowest-depth placeholders. Built through [`MoveSpace`] so
+    // every ordering-space synthesizer (this search, the portfolio's
+    // annealing and beam strategies) derives candidates — and therefore
+    // shared-cache keys — from the same construction.
+    let space = MoveSpace::new(code)?;
+    let partitions = space.partitions();
+    let partition_checks = space.placeholder_checks();
+    let placeholder_schedule = space.placeholder_schedule();
 
-            // Search tree with continuous reuse across steps.
-            let mut nodes = vec![Node::new(None, (0..moves.len()).collect())];
-            let mut root = 0usize;
-            let mut prefix: Vec<usize> = Vec::new();
-            let mut prefix_mask = BitVec::zeros(moves.len());
+    // Reference error rate for reward normalisation. Without a salt its
+    // seed lives in a reserved slot of the iteration-seed space; with one
+    // it is key-derived like every other evaluation, so searchers sharing
+    // a cache agree on the reference estimate too.
+    let reference_seed = match config.eval_seed_salt {
+        Some(salt) => eval_seed_for(salt, placeholder_schedule.key()),
+        None => mix_seed(config.seed, u64::MAX),
+    };
+    let reference = evaluator
+        .evaluate(code, placeholder_schedule, reference_seed)
+        .map_err(SchedulerError::Evaluation)?;
+    let p_reference = reference.p_overall().max(1.0 / evaluator.shots() as f64);
 
-            while prefix.len() < total_checks {
-                // Top up the root's iteration count (§4.5: reuse the subtree,
-                // only add the missing iterations), in leaf-parallel waves.
-                let already = nodes[root].visits as usize;
-                let mut missing = self.config.iterations_per_step.saturating_sub(already);
-                while missing > 0 {
-                    let batch = missing.min(self.config.leaf_batch);
-                    self.run_wave(
-                        code,
-                        &partitions,
-                        &partition_checks,
-                        &committed,
-                        partition_index,
-                        &moves,
-                        &mut nodes,
-                        root,
-                        &prefix,
-                        &prefix_mask,
-                        p_reference,
-                        &evaluator,
-                        global_iteration,
-                        batch,
-                    )?;
-                    global_iteration += batch as u64;
-                    stats.iterations += batch as u64;
-                    stats.waves += 1;
-                    missing -= batch;
-                }
-                // Commit the best child by mean reward.
-                let best_child = nodes[root]
-                    .children
-                    .iter()
-                    .copied()
-                    .max_by(|&a, &b| {
-                        nodes[a]
-                            .mean()
-                            .partial_cmp(&nodes[b].mean())
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    })
-                    .expect("root has at least one child after iterating");
-                let committed_move =
-                    nodes[best_child].incoming_move.expect("non-root nodes carry a move");
-                prefix.push(committed_move);
-                prefix_mask.set(committed_move, true);
-                on_step(&MctsStepReport {
-                    partition: partition_index,
-                    fixed_checks: prefix.len(),
-                    total_checks,
-                    mean_reward: nodes[best_child].mean(),
-                    visits: nodes[best_child].visits as usize,
-                });
-                root = best_child;
+    // The committed (data, stabilizer, pauli) orderings per partition.
+    let mut committed: Vec<Vec<(usize, usize, Pauli)>> = vec![Vec::new(); partitions.len()];
+    let mut stats = MctsRunStats::default();
+    let mut global_iteration: u64 = 0;
+
+    for partition_index in 0..space.num_partitions() {
+        // The move universe of this partition: all its Pauli checks.
+        let moves = space.move_list(partition_index);
+        let total_checks = moves.len();
+
+        // Search tree with continuous reuse across steps.
+        let mut nodes = vec![Node::new(None, (0..moves.len()).collect())];
+        let mut root = 0usize;
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut prefix_mask = BitVec::zeros(moves.len());
+
+        while prefix.len() < total_checks {
+            // Top up the root's iteration count (§4.5: reuse the subtree,
+            // only add the missing iterations), in leaf-parallel waves.
+            let already = nodes[root].visits as usize;
+            let mut missing = config.iterations_per_step.saturating_sub(already);
+            if missing == 0 && nodes[root].children.is_empty() {
+                // A reused root can carry enough visits from its time as a
+                // leaf while having no expanded child yet (reachable at
+                // very small per-step budgets); one extra iteration
+                // guarantees a committable child.
+                missing = 1;
             }
-
-            committed[partition_index] = prefix.iter().map(|&m| moves[m]).collect();
+            while missing > 0 {
+                let batch = missing.min(config.leaf_batch);
+                run_wave(
+                    config,
+                    code,
+                    partitions,
+                    partition_checks,
+                    &committed,
+                    partition_index,
+                    moves,
+                    &mut nodes,
+                    root,
+                    &prefix,
+                    &prefix_mask,
+                    p_reference,
+                    evaluator,
+                    global_iteration,
+                    batch,
+                )?;
+                global_iteration += batch as u64;
+                stats.iterations += batch as u64;
+                stats.waves += 1;
+                missing -= batch;
+            }
+            // Commit the best child by mean reward.
+            let best_child = nodes[root]
+                .children
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    nodes[a]
+                        .mean()
+                        .partial_cmp(&nodes[b].mean())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("root has at least one child after iterating");
+            let committed_move =
+                nodes[best_child].incoming_move.expect("non-root nodes carry a move");
+            prefix.push(committed_move);
+            prefix_mask.set(committed_move, true);
+            on_step(&MctsStepReport {
+                partition: partition_index,
+                fixed_checks: prefix.len(),
+                total_checks,
+                mean_reward: nodes[best_child].mean(),
+                visits: nodes[best_child].visits as usize,
+            });
+            root = best_child;
         }
 
-        let schedule = assemble_schedule(code, &partitions, &committed, &partition_checks);
-        schedule.validate(code)?;
-        stats.evaluator = evaluator.stats();
-        Ok((schedule, stats))
+        committed[partition_index] = prefix.iter().map(|&m| moves[m]).collect();
     }
 
-    /// One plan → evaluate → replay wave of `batch` iterations starting at
-    /// global iteration `start`.
-    #[allow(clippy::too_many_arguments)]
-    fn run_wave(
-        &self,
-        code: &StabilizerCode,
-        partitions: &[Vec<usize>],
-        partition_checks: &[Vec<Check>],
-        committed: &[Vec<(usize, usize, Pauli)>],
-        partition_index: usize,
-        moves: &[(usize, usize, Pauli)],
-        nodes: &mut Vec<Node>,
-        root: usize,
-        prefix: &[usize],
-        prefix_mask: &BitVec,
-        p_reference: f64,
-        evaluator: &Evaluator<'_>,
-        start: u64,
-        batch: usize,
-    ) -> Result<(), SchedulerError> {
-        let assemble = |rollout: &[usize]| -> Schedule {
-            let ordering: Vec<(usize, usize, Pauli)> = rollout.iter().map(|&m| moves[m]).collect();
-            let mut candidate = committed.to_vec();
-            candidate[partition_index] = ordering;
-            assemble_schedule(code, partitions, &candidate, partition_checks)
-        };
+    let schedule = assemble_schedule(code, partitions, &committed, partition_checks);
+    schedule.validate(code)?;
+    stats.evaluator = evaluator.stats_snapshot();
+    Ok((schedule, stats))
+}
 
-        // Phases 1 + 2 only matter when there is something to overlap.
-        let hints: Vec<Option<Evaluation>> = if batch > 1 {
-            // Phase 1: plan `batch` leaves with virtual loss, then undo
-            // every speculative tree mutation.
-            let base_len = nodes.len();
-            let mut plans: Vec<LeafPlan> = Vec::with_capacity(batch);
-            let mut expansions: Vec<Expansion> = Vec::new();
-            for k in 0..batch {
-                let mut rng =
-                    ChaCha8Rng::seed_from_u64(mix_seed(self.config.seed, start + k as u64));
-                let (plan, expansion) = advance(
-                    nodes,
-                    root,
-                    prefix,
-                    prefix_mask,
-                    moves.len(),
-                    self.config.exploration,
-                    &mut rng,
-                );
-                for &node in &plan.path {
-                    nodes[node].virtual_loss += 1.0;
-                }
-                if let Some(e) = expansion {
-                    expansions.push(e);
-                }
-                plans.push(plan);
-            }
-            let jobs: Vec<(Schedule, u64)> =
-                plans.iter().map(|p| (assemble(&p.rollout), p.eval_seed)).collect();
-            for plan in &plans {
-                for &node in &plan.path {
-                    nodes[node].virtual_loss = 0.0;
-                }
-            }
-            for expansion in expansions.iter().rev() {
-                nodes[expansion.parent].children.pop();
-                let untried = &mut nodes[expansion.parent].untried;
-                untried.push(expansion.mv);
-                let last = untried.len() - 1;
-                untried.swap(expansion.pick, last);
-            }
-            nodes.truncate(base_len);
+/// One plan → evaluate → replay wave of `batch` iterations starting at
+/// global iteration `start`.
+#[allow(clippy::too_many_arguments)]
+fn run_wave(
+    config: &MctsConfig,
+    code: &StabilizerCode,
+    partitions: &[Vec<usize>],
+    partition_checks: &[Vec<Check>],
+    committed: &[Vec<(usize, usize, Pauli)>],
+    partition_index: usize,
+    moves: &[(usize, usize, Pauli)],
+    nodes: &mut Vec<Node>,
+    root: usize,
+    prefix: &[usize],
+    prefix_mask: &BitVec,
+    p_reference: f64,
+    evaluator: &Evaluator,
+    start: u64,
+    batch: usize,
+) -> Result<(), SchedulerError> {
+    let assemble = |rollout: &[usize]| -> Schedule {
+        let ordering: Vec<(usize, usize, Pauli)> = rollout.iter().map(|&m| moves[m]).collect();
+        let mut candidate = committed.to_vec();
+        candidate[partition_index] = ordering;
+        assemble_schedule(code, partitions, &candidate, partition_checks)
+    };
 
-            // Phase 2: evaluate the planned leaves concurrently through the
-            // cache-neutral speculative path.
-            evaluate_jobs(evaluator, code, &jobs)
-        } else {
-            vec![None]
-        };
-
-        // Phase 3: replay the serial algorithm, consuming matching hints.
-        for (k, hint) in hints.iter().enumerate() {
-            let mut rng = ChaCha8Rng::seed_from_u64(mix_seed(self.config.seed, start + k as u64));
-            let (plan, _) = advance(
+    // Phases 1 + 2 only matter when there is something to overlap.
+    let hints: Vec<Option<Evaluation>> = if batch > 1 {
+        // Phase 1: plan `batch` leaves with virtual loss, then undo
+        // every speculative tree mutation.
+        let base_len = nodes.len();
+        let mut plans: Vec<LeafPlan> = Vec::with_capacity(batch);
+        let mut expansions: Vec<Expansion> = Vec::new();
+        for k in 0..batch {
+            let mut rng = ChaCha8Rng::seed_from_u64(mix_seed(config.seed, start + k as u64));
+            let (plan, expansion) = advance(
                 nodes,
                 root,
                 prefix,
                 prefix_mask,
                 moves.len(),
-                self.config.exploration,
+                config.exploration,
                 &mut rng,
             );
-            let schedule = assemble(&plan.rollout);
-            let estimate = evaluator
-                .evaluate_with_hint(code, &schedule, plan.eval_seed, hint.as_ref())
-                .map_err(SchedulerError::Evaluation)?;
-            let p = estimate.p_overall().max(1.0 / (2.0 * self.config.shots_per_evaluation as f64));
-            let reward = p_reference / (p_reference + p);
             for &node in &plan.path {
-                nodes[node].visits += 1.0;
-                nodes[node].total_reward += reward;
+                nodes[node].virtual_loss += 1.0;
+            }
+            if let Some(e) = expansion {
+                expansions.push(e);
+            }
+            plans.push(plan);
+        }
+        let jobs: Vec<(Schedule, u64)> = plans
+            .iter()
+            .map(|p| {
+                let schedule = assemble(&p.rollout);
+                let seed = wave_eval_seed(config, p.eval_seed, &schedule);
+                (schedule, seed)
+            })
+            .collect();
+        for plan in &plans {
+            for &node in &plan.path {
+                nodes[node].virtual_loss = 0.0;
             }
         }
-        Ok(())
+        for expansion in expansions.iter().rev() {
+            nodes[expansion.parent].children.pop();
+            let untried = &mut nodes[expansion.parent].untried;
+            untried.push(expansion.mv);
+            let last = untried.len() - 1;
+            untried.swap(expansion.pick, last);
+        }
+        nodes.truncate(base_len);
+
+        // Phase 2: evaluate the planned leaves concurrently through the
+        // cache-neutral speculative path.
+        evaluate_jobs(evaluator, code, &jobs)
+    } else {
+        vec![None]
+    };
+
+    // Phase 3: replay the serial algorithm, consuming matching hints.
+    for (k, hint) in hints.iter().enumerate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(mix_seed(config.seed, start + k as u64));
+        let (plan, _) =
+            advance(nodes, root, prefix, prefix_mask, moves.len(), config.exploration, &mut rng);
+        let schedule = assemble(&plan.rollout);
+        let seed = wave_eval_seed(config, plan.eval_seed, &schedule);
+        let estimate = evaluator
+            .evaluate_with_hint(code, &schedule, seed, hint.as_ref())
+            .map_err(SchedulerError::Evaluation)?;
+        let p = estimate.p_overall().max(1.0 / (2.0 * evaluator.shots() as f64));
+        let reward = p_reference / (p_reference + p);
+        for &node in &plan.path {
+            nodes[node].visits += 1.0;
+            nodes[node].total_reward += reward;
+        }
     }
+    Ok(())
 }
 
 /// Selection, expansion and rollout of one iteration against the current
@@ -620,7 +692,7 @@ fn advance(
 /// on a single-core host at least two workers are used so the concurrent
 /// path stays exercised.
 fn evaluate_jobs(
-    evaluator: &Evaluator<'_>,
+    evaluator: &Evaluator,
     code: &StabilizerCode,
     jobs: &[(Schedule, u64)],
 ) -> Vec<Option<Evaluation>> {
@@ -648,9 +720,14 @@ fn evaluate_jobs(
 /// Partitions are concatenated in order. A partition with a non-empty
 /// (committed or candidate) ordering places each check greedily at its
 /// earliest conflict-free tick following that ordering; a partition whose
-/// ordering is still empty falls back to its lowest-depth placeholder
-/// checks, shifted to the partition's tick offset.
-fn assemble_schedule(
+/// ordering is still empty falls back to its placeholder checks (usually a
+/// lowest-depth sub-schedule), shifted to the partition's tick offset.
+///
+/// Public because every synthesizer searching the per-partition ordering
+/// space (MCTS here, the portfolio's annealing and beam strategies) must
+/// map orderings to circuits *identically* for their evaluations — and
+/// therefore their shared-cache keys — to be comparable.
+pub fn assemble_schedule(
     code: &StabilizerCode,
     partitions: &[Vec<usize>],
     orderings: &[Vec<(usize, usize, Pauli)>],
@@ -691,7 +768,7 @@ fn assemble_schedule(
     builder.finish()
 }
 
-impl Scheduler for MctsScheduler<'_> {
+impl Scheduler for MctsScheduler {
     fn name(&self) -> &str {
         "alphasyndrome-mcts"
     }
@@ -710,10 +787,9 @@ mod tests {
     #[test]
     fn quick_mcts_produces_valid_schedule() {
         let code = steane_code();
-        let factory = BpOsdFactory::new();
         let scheduler = MctsScheduler::new(
             NoiseModel::uniform(0.01, 0.005, 0.01),
-            &factory,
+            Arc::new(BpOsdFactory::new()),
             MctsConfig { iterations_per_step: 6, shots_per_evaluation: 120, ..MctsConfig::quick() },
         );
         let mut steps = 0usize;
@@ -733,28 +809,65 @@ mod tests {
     #[test]
     fn mcts_is_deterministic_for_a_fixed_seed() {
         let code = steane_code();
-        let factory = BpOsdFactory::new();
+        let factory: Arc<dyn DecoderFactory + Send + Sync> = Arc::new(BpOsdFactory::new());
         let config =
             MctsConfig { iterations_per_step: 5, shots_per_evaluation: 80, ..MctsConfig::quick() };
-        let a = MctsScheduler::new(NoiseModel::brisbane(), &factory, config.clone())
+        let a = MctsScheduler::new(NoiseModel::brisbane(), factory.clone(), config.clone())
             .schedule(&code)
             .unwrap();
         let b =
-            MctsScheduler::new(NoiseModel::brisbane(), &factory, config).schedule(&code).unwrap();
+            MctsScheduler::new(NoiseModel::brisbane(), factory, config).schedule(&code).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn salted_eval_seeds_stay_deterministic_across_leaf_batches() {
+        let code = steane_code();
+        let factory: Arc<dyn DecoderFactory + Send + Sync> = Arc::new(BpOsdFactory::new());
+        let base = MctsConfig {
+            iterations_per_step: 5,
+            shots_per_evaluation: 80,
+            eval_seed_salt: Some(0xABCD),
+            ..MctsConfig::quick()
+        };
+        let serial = MctsScheduler::new(
+            NoiseModel::brisbane(),
+            factory.clone(),
+            MctsConfig { leaf_batch: 1, ..base.clone() },
+        )
+        .schedule(&code)
+        .unwrap();
+        let batched = MctsScheduler::new(
+            NoiseModel::brisbane(),
+            factory.clone(),
+            MctsConfig { leaf_batch: 4, ..base.clone() },
+        )
+        .schedule(&code)
+        .unwrap();
+        assert_eq!(serial, batched, "key-derived seeds keep leaf-parallel replay exact");
+        // A different salt is a different search trajectory in general —
+        // but always a valid schedule.
+        let other = MctsScheduler::new(
+            NoiseModel::brisbane(),
+            factory,
+            MctsConfig { eval_seed_salt: Some(77), ..base },
+        )
+        .schedule(&code)
+        .unwrap();
+        other.validate(&code).unwrap();
     }
 
     #[test]
     fn run_stats_count_iterations_and_cache_traffic() {
         let code = steane_code();
-        let factory = BpOsdFactory::new();
         let config = MctsConfig {
             iterations_per_step: 6,
             shots_per_evaluation: 100,
             leaf_batch: 3,
             ..MctsConfig::quick()
         };
-        let scheduler = MctsScheduler::new(NoiseModel::brisbane(), &factory, config);
+        let scheduler =
+            MctsScheduler::new(NoiseModel::brisbane(), Arc::new(BpOsdFactory::new()), config);
         let (schedule, stats) = scheduler.schedule_with_stats(&code, |_| {}).unwrap();
         schedule.validate(&code).unwrap();
         assert!(stats.iterations > 0);
@@ -796,10 +909,9 @@ mod tests {
     #[test]
     fn invalid_config_is_rejected_by_schedule() {
         let code = steane_code();
-        let factory = BpOsdFactory::new();
         let scheduler = MctsScheduler::new(
             NoiseModel::brisbane(),
-            &factory,
+            Arc::new(BpOsdFactory::new()),
             MctsConfig { iterations_per_step: 0, ..MctsConfig::quick() },
         );
         assert!(matches!(scheduler.schedule(&code), Err(SchedulerError::InvalidConfig { .. })));

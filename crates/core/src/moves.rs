@@ -1,0 +1,171 @@
+//! The shared ordering search space: per-partition move lists, the
+//! lowest-depth placeholder sub-schedules and the deterministic
+//! ordering → schedule assembly.
+//!
+//! Every synthesizer that searches per-partition check orderings — the
+//! MCTS scheduler here in `asynd-core`, the annealing and beam-search
+//! strategies in `asynd-portfolio` — derives its space from this one
+//! type, so candidates from different strategies map to *identical*
+//! circuits (and therefore identical
+//! [`ScheduleKey`](asynd_circuit::ScheduleKey)s) whenever they denote the
+//! same ordering. That single-source-of-truth property is what makes the
+//! portfolio's shared evaluation cache coherent across strategies.
+
+use asynd_circuit::{Check, Schedule};
+use asynd_codes::StabilizerCode;
+use asynd_pauli::Pauli;
+
+use crate::mcts::assemble_schedule;
+use crate::{partition_stabilizers, LowestDepthScheduler, Scheduler, SchedulerError};
+
+/// The per-partition move universe of a code.
+///
+/// A *move* is one Pauli check `(data, stabilizer, pauli)` of a
+/// partition; an *ordering* is a permutation of a partition's moves. Any
+/// per-partition ordering assembles into a valid schedule: within a
+/// partition all interleavings are legal (that is what the partitioning
+/// guarantees) and the greedy earliest-tick assembly keeps the
+/// non-conflict condition by construction. Partitions whose ordering is
+/// left empty fall back to their lowest-depth placeholder sub-schedule —
+/// exactly the semantics of [`assemble_schedule`].
+pub struct MoveSpace {
+    partitions: Vec<Vec<usize>>,
+    moves: Vec<Vec<(usize, usize, Pauli)>>,
+    placeholder: Schedule,
+    placeholder_checks: Vec<Vec<Check>>,
+}
+
+impl MoveSpace {
+    /// Builds the move space of a code (partitioning plus lowest-depth
+    /// placeholders).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchedulerError`] if the lowest-depth placeholder
+    /// synthesis fails.
+    pub fn new(code: &StabilizerCode) -> Result<Self, SchedulerError> {
+        let partitions = partition_stabilizers(code);
+        let placeholder = LowestDepthScheduler::new().schedule(code)?;
+        let placeholder_checks: Vec<Vec<Check>> = partitions
+            .iter()
+            .map(|partition| {
+                placeholder
+                    .checks()
+                    .iter()
+                    .filter(|c| partition.contains(&c.stabilizer))
+                    .copied()
+                    .collect()
+            })
+            .collect();
+        let moves: Vec<Vec<(usize, usize, Pauli)>> = partitions
+            .iter()
+            .map(|partition| {
+                partition
+                    .iter()
+                    .flat_map(|&s| {
+                        code.stabilizers()[s].entries().iter().map(move |&(q, p)| (q, s, p))
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(MoveSpace { partitions, moves, placeholder, placeholder_checks })
+    }
+
+    /// The scheduling partitions (stabilizer index groups).
+    pub fn partitions(&self) -> &[Vec<usize>] {
+        &self.partitions
+    }
+
+    /// Number of scheduling partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The move list of one partition.
+    pub fn move_list(&self, partition: usize) -> &[(usize, usize, Pauli)] {
+        &self.moves[partition]
+    }
+
+    /// Number of moves (Pauli checks) of one partition.
+    pub fn moves_in(&self, partition: usize) -> usize {
+        self.moves[partition].len()
+    }
+
+    /// Total number of moves across all partitions.
+    pub fn total_moves(&self) -> usize {
+        self.moves.iter().map(Vec::len).sum()
+    }
+
+    /// The full lowest-depth placeholder schedule (the reward reference
+    /// of the MCTS search, the fallback of unexplored partitions).
+    pub fn placeholder_schedule(&self) -> &Schedule {
+        &self.placeholder
+    }
+
+    /// The placeholder checks of each partition (the lowest-depth
+    /// sub-schedules consumed by [`assemble_schedule`]).
+    pub fn placeholder_checks(&self) -> &[Vec<Check>] {
+        &self.placeholder_checks
+    }
+
+    /// The identity orderings: every partition's moves in list order
+    /// (stabilizer-major, data-qubit order — the trivial baseline's
+    /// ordering).
+    pub fn identity_orderings(&self) -> Vec<Vec<usize>> {
+        self.moves.iter().map(|m| (0..m.len()).collect()).collect()
+    }
+
+    /// Assembles a full-round schedule from per-partition orderings
+    /// (indices into each partition's move list; empty orderings fall
+    /// back to the lowest-depth placeholder).
+    pub fn schedule_for(&self, code: &StabilizerCode, orderings: &[Vec<usize>]) -> Schedule {
+        let tuples: Vec<Vec<(usize, usize, Pauli)>> = orderings
+            .iter()
+            .enumerate()
+            .map(|(p, ordering)| ordering.iter().map(|&m| self.moves[p][m]).collect())
+            .collect();
+        assemble_schedule(code, &self.partitions, &tuples, &self.placeholder_checks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asynd_codes::{steane_code, xzzx_code};
+
+    #[test]
+    fn identity_orderings_assemble_to_valid_schedules() {
+        for code in [steane_code(), xzzx_code(3)] {
+            let space = MoveSpace::new(&code).unwrap();
+            assert!(space.num_partitions() >= 1);
+            let total: usize = code.stabilizers().iter().map(|s| s.weight()).sum();
+            assert_eq!(space.total_moves(), total);
+            let schedule = space.schedule_for(&code, &space.identity_orderings());
+            schedule.validate(&code).unwrap();
+        }
+    }
+
+    #[test]
+    fn reversed_orderings_are_also_valid_and_distinct() {
+        let code = steane_code();
+        let space = MoveSpace::new(&code).unwrap();
+        let mut orderings = space.identity_orderings();
+        for ordering in &mut orderings {
+            ordering.reverse();
+        }
+        let reversed = space.schedule_for(&code, &orderings);
+        reversed.validate(&code).unwrap();
+        let identity = space.schedule_for(&code, &space.identity_orderings());
+        assert_ne!(reversed.key(), identity.key());
+    }
+
+    #[test]
+    fn empty_orderings_fall_back_to_placeholder() {
+        let code = steane_code();
+        let space = MoveSpace::new(&code).unwrap();
+        let empties: Vec<Vec<usize>> = vec![Vec::new(); space.num_partitions()];
+        let schedule = space.schedule_for(&code, &empties);
+        schedule.validate(&code).unwrap();
+        assert_eq!(schedule.depth(), space.placeholder_schedule().depth());
+    }
+}

@@ -7,13 +7,13 @@ use asynd_circuit::NoiseModel;
 use asynd_codes::{rotated_surface_code, steane_code};
 use asynd_core::{MctsConfig, MctsRunStats, MctsScheduler};
 use asynd_decode::UnionFindFactory;
+use std::sync::Arc;
 
 fn synthesize(
     code: &asynd_codes::StabilizerCode,
     leaf_batch: usize,
     cache_capacity: usize,
 ) -> (asynd_circuit::Schedule, MctsRunStats) {
-    let factory = UnionFindFactory::new();
     let config = MctsConfig {
         iterations_per_step: 8,
         shots_per_evaluation: 120,
@@ -22,7 +22,8 @@ fn synthesize(
         eval_cache_capacity: cache_capacity,
         ..MctsConfig::quick()
     };
-    let scheduler = MctsScheduler::new(NoiseModel::brisbane(), &factory, config);
+    let scheduler =
+        MctsScheduler::new(NoiseModel::brisbane(), Arc::new(UnionFindFactory::new()), config);
     scheduler.schedule_with_stats(code, |_| {}).expect("synthesis succeeds")
 }
 

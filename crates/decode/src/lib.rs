@@ -54,8 +54,12 @@ pub use unionfind::{UnionFindDecoder, UnionFindFactory};
 
 use asynd_circuit::DecoderFactory;
 use asynd_codes::catalog::RecommendedDecoder;
+use std::sync::Arc;
 
 /// Builds the decoder factory the paper pairs with a catalog entry.
+///
+/// Returned as `Arc` so it can be handed directly to the shared
+/// [`asynd_circuit::Evaluator`] and cloned across portfolio workers.
 ///
 /// # Example
 ///
@@ -66,10 +70,10 @@ use asynd_codes::catalog::RecommendedDecoder;
 /// let factory = factory_for(RecommendedDecoder::BpOsd);
 /// assert_eq!(factory.name(), "bp-osd");
 /// ```
-pub fn factory_for(decoder: RecommendedDecoder) -> Box<dyn DecoderFactory + Send + Sync> {
+pub fn factory_for(decoder: RecommendedDecoder) -> Arc<dyn DecoderFactory + Send + Sync> {
     match decoder {
-        RecommendedDecoder::Mwpm => Box::new(MwpmFactory::new()),
-        RecommendedDecoder::BpOsd => Box::new(BpOsdFactory::new()),
-        RecommendedDecoder::UnionFind => Box::new(UnionFindFactory::new()),
+        RecommendedDecoder::Mwpm => Arc::new(MwpmFactory::new()),
+        RecommendedDecoder::BpOsd => Arc::new(BpOsdFactory::new()),
+        RecommendedDecoder::UnionFind => Arc::new(UnionFindFactory::new()),
     }
 }

@@ -1,0 +1,282 @@
+//! Simulated-annealing schedule synthesis.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use asynd_codes::StabilizerCode;
+use asynd_core::SchedulerError;
+
+use crate::{
+    candidate_order, require_budget, ScoreContext, SynthesisBudget, SynthesisOutcome,
+    SynthesisStats, Synthesizer,
+};
+use asynd_core::MoveSpace;
+
+/// Tuning of the annealing synthesizer.
+///
+/// Temperatures self-scale to the problem: the initial temperature is
+/// `temperature_ratio` times the initial schedule's estimated logical
+/// error rate, and cooling is geometric so the temperature reaches
+/// `final_ratio` of its initial value exactly when the budget runs out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealConfig {
+    /// Initial temperature as a fraction of the initial energy
+    /// (`p_overall` of the starting schedule). Must be positive.
+    pub temperature_ratio: f64,
+    /// Final temperature as a fraction of the initial temperature; the
+    /// geometric cooling rate is derived from it and the budget. Must lie
+    /// in `(0, 1]`.
+    pub final_ratio: f64,
+    /// Largest segment length the *reassign* move reshuffles. Must be
+    /// at least 2.
+    pub segment_max: usize,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig { temperature_ratio: 0.5, final_ratio: 0.01, segment_max: 4 }
+    }
+}
+
+impl AnnealConfig {
+    fn validate(&self) -> Result<(), SchedulerError> {
+        if !self.temperature_ratio.is_finite() || self.temperature_ratio <= 0.0 {
+            return Err(SchedulerError::InvalidConfig {
+                reason: format!(
+                    "temperature_ratio must be finite and positive, got {}",
+                    self.temperature_ratio
+                ),
+            });
+        }
+        if !self.final_ratio.is_finite() || self.final_ratio <= 0.0 || self.final_ratio > 1.0 {
+            return Err(SchedulerError::InvalidConfig {
+                reason: format!("final_ratio must lie in (0, 1], got {}", self.final_ratio),
+            });
+        }
+        if self.segment_max < 2 {
+            return Err(SchedulerError::InvalidConfig {
+                reason: format!("segment_max must be at least 2, got {}", self.segment_max),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Simulated annealing over valid schedules.
+///
+/// The state is the per-partition ordering vector of the [`MoveSpace`]
+/// (every state assembles to a valid schedule by construction); the
+/// neighbourhood is three move kinds drawn uniformly:
+///
+/// * **tick-shift** — remove one check from its position and reinsert it
+///   at another, shifting the ticks of everything in between;
+/// * **swap** — exchange two positions of one partition's ordering;
+/// * **reassign** — reshuffle a short contiguous segment (up to
+///   [`AnnealConfig::segment_max`] checks), a compound re-dealing of a
+///   local neighbourhood.
+///
+/// Energy is the estimated overall logical error rate from the shared
+/// [`ScoreContext`]; acceptance is Metropolis
+/// (`exp(-ΔE / T)`) under geometric cooling. The best schedule ever
+/// visited is returned, not the final state.
+#[derive(Debug, Clone, Default)]
+pub struct AnnealingSynthesizer {
+    /// Annealing parameters.
+    pub config: AnnealConfig,
+}
+
+impl AnnealingSynthesizer {
+    /// Creates the synthesizer with explicit parameters.
+    pub fn new(config: AnnealConfig) -> Self {
+        AnnealingSynthesizer { config }
+    }
+}
+
+impl Synthesizer for AnnealingSynthesizer {
+    fn name(&self) -> &str {
+        "anneal"
+    }
+
+    fn synthesize(
+        &self,
+        code: &StabilizerCode,
+        ctx: &ScoreContext,
+        budget: SynthesisBudget,
+        seed: u64,
+    ) -> Result<SynthesisOutcome, SchedulerError> {
+        self.config.validate()?;
+        require_budget(budget)?;
+        let space = MoveSpace::new(code)?;
+        let mut orderings = space.identity_orderings();
+        let mut stats = SynthesisStats::default();
+
+        let mut current_schedule = space.schedule_for(code, &orderings);
+        let mut current = ctx.score(code, &current_schedule)?;
+        stats.evaluations += 1;
+        stats.candidates += 1;
+        stats.improvements += 1;
+        let mut best_schedule = current_schedule.clone();
+        let mut best = current;
+
+        // Partitions with fewer than two moves have no neighbourhood.
+        let mutable: Vec<usize> =
+            (0..space.num_partitions()).filter(|&p| space.moves_in(p) >= 2).collect();
+        if mutable.is_empty() {
+            return Ok(SynthesisOutcome { schedule: best_schedule, estimate: best, stats });
+        }
+
+        let steps = budget.evaluations - 1;
+        // Energies are error rates; floor the scale so zero-failure
+        // estimates still anneal.
+        let scale = current.p_overall().max(1.0 / (2.0 * ctx.evaluator().shots().max(1) as f64));
+        let t_initial = self.config.temperature_ratio * scale;
+        let cooling =
+            if steps > 1 { self.config.final_ratio.powf(1.0 / (steps as f64 - 1.0)) } else { 1.0 };
+        let mut temperature = t_initial;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+        for _ in 0..steps {
+            // Pick a mutable partition weighted by its move count.
+            let weights: u64 = mutable.iter().map(|&p| space.moves_in(p) as u64).sum();
+            let mut pick = rng.gen_range(0..weights);
+            let mut partition = mutable[0];
+            for &p in &mutable {
+                let w = space.moves_in(p) as u64;
+                if pick < w {
+                    partition = p;
+                    break;
+                }
+                pick -= w;
+            }
+            let len = orderings[partition].len();
+            let mut proposal = orderings.clone();
+            match rng.gen_range(0..3u8) {
+                0 => {
+                    // Tick-shift: remove at `from`, reinsert at `to`.
+                    let from = rng.gen_range(0..len);
+                    let mut to = rng.gen_range(0..len - 1);
+                    if to >= from {
+                        to += 1;
+                    }
+                    let mv = proposal[partition].remove(from);
+                    proposal[partition].insert(to, mv);
+                }
+                1 => {
+                    // Swap two positions.
+                    let a = rng.gen_range(0..len);
+                    let mut b = rng.gen_range(0..len - 1);
+                    if b >= a {
+                        b += 1;
+                    }
+                    proposal[partition].swap(a, b);
+                }
+                _ => {
+                    // Reassign: reshuffle a short segment.
+                    let seg = rng.gen_range(2..=self.config.segment_max.min(len));
+                    let start = rng.gen_range(0..=len - seg);
+                    proposal[partition][start..start + seg].shuffle(&mut rng);
+                }
+            }
+
+            let schedule = space.schedule_for(code, &proposal);
+            let estimate = ctx.score(code, &schedule)?;
+            stats.evaluations += 1;
+            stats.candidates += 1;
+
+            let delta = estimate.p_overall() - current.p_overall();
+            let accept = delta <= 0.0
+                || (temperature > 0.0 && rng.gen::<f64>() < (-delta / temperature).exp());
+            if accept {
+                orderings = proposal;
+                current = estimate;
+                current_schedule = schedule;
+                if candidate_order((&current, &current_schedule), (&best, &best_schedule))
+                    == std::cmp::Ordering::Less
+                {
+                    best = current;
+                    best_schedule = current_schedule.clone();
+                    stats.improvements += 1;
+                }
+            }
+            temperature *= cooling;
+        }
+
+        Ok(SynthesisOutcome { schedule: best_schedule, estimate: best, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asynd_circuit::{EstimateOptions, Evaluator, NoiseModel};
+    use asynd_codes::steane_code;
+    use asynd_decode::UnionFindFactory;
+    use std::sync::Arc;
+
+    fn context() -> ScoreContext {
+        let evaluator = Evaluator::new(
+            NoiseModel::brisbane(),
+            Arc::new(UnionFindFactory::new()),
+            300,
+            EstimateOptions::default(),
+        );
+        ScoreContext::new(Arc::new(evaluator), 0xA11CE)
+    }
+
+    #[test]
+    fn annealing_is_deterministic_and_respects_budget() {
+        let code = steane_code();
+        let synthesizer = AnnealingSynthesizer::default();
+        let budget = SynthesisBudget::evaluations(20);
+        let a = synthesizer.synthesize(&code, &context(), budget, 5).unwrap();
+        let b = synthesizer.synthesize(&code, &context(), budget, 5).unwrap();
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.estimate, b.estimate);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.stats.evaluations, 20);
+        a.schedule.validate(&code).unwrap();
+    }
+
+    #[test]
+    fn different_seeds_may_take_different_paths_but_stay_valid() {
+        let code = steane_code();
+        let synthesizer = AnnealingSynthesizer::default();
+        let budget = SynthesisBudget::evaluations(12);
+        let ctx = context();
+        for seed in 0..3 {
+            let outcome = synthesizer.synthesize(&code, &ctx, budget, seed).unwrap();
+            outcome.schedule.validate(&code).unwrap();
+            assert!(outcome.stats.improvements >= 1);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let code = steane_code();
+        let ctx = context();
+        let budget = SynthesisBudget::evaluations(4);
+        let bad = [
+            AnnealConfig { temperature_ratio: 0.0, ..AnnealConfig::default() },
+            AnnealConfig { final_ratio: 0.0, ..AnnealConfig::default() },
+            AnnealConfig { final_ratio: 1.5, ..AnnealConfig::default() },
+            AnnealConfig { segment_max: 1, ..AnnealConfig::default() },
+        ];
+        for config in bad {
+            let synthesizer = AnnealingSynthesizer::new(config.clone());
+            assert!(
+                matches!(
+                    synthesizer.synthesize(&code, &ctx, budget, 0),
+                    Err(SchedulerError::InvalidConfig { .. })
+                ),
+                "expected rejection of {config:?}"
+            );
+        }
+        let synthesizer = AnnealingSynthesizer::default();
+        assert!(matches!(
+            synthesizer.synthesize(&code, &ctx, SynthesisBudget::evaluations(0), 0),
+            Err(SchedulerError::InvalidConfig { .. })
+        ));
+    }
+}

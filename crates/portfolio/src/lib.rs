@@ -1,0 +1,225 @@
+//! Portfolio schedule synthesis: interchangeable search strategies raced
+//! deterministically over one shared evaluation service.
+//!
+//! The AlphaSyndrome reproduction originally had exactly one synthesizer —
+//! the MCTS scheduler. No single search strategy dominates across code
+//! families and budgets (annealing refines good incumbents cheaply, beam
+//! search exploits strong greedy signals, MCTS explores broadly), so this
+//! crate turns synthesis into a *subsystem*:
+//!
+//! * [`Synthesizer`] — the common interface: seeded, budgeted, scoring
+//!   candidates through a [`ScoreContext`], returning the best schedule
+//!   plus [`SynthesisStats`].
+//! * [`MctsSynthesizer`] / [`LowestDepthSynthesizer`] — adapters putting
+//!   the existing searchers behind the trait.
+//! * [`AnnealingSynthesizer`] — simulated annealing over valid schedules:
+//!   tick-shift / swap / segment-reassign neighbourhood in the
+//!   per-partition ordering space, geometric cooling, Metropolis
+//!   acceptance on evaluator estimates.
+//! * [`BeamSearchSynthesizer`] — greedy beam search: a width-`K` frontier
+//!   of partial orderings, each candidate scored by completing it
+//!   deterministically and estimating the full circuit, pruned by
+//!   `(estimated logical error, depth)`.
+//! * [`Portfolio`] — races `N` strategies on worker threads sharing one
+//!   [`Evaluator`], with deterministic winner selection.
+//!
+//! # The shared-cache determinism discipline
+//!
+//! Racing searchers on one memoising cache is only reproducible if a
+//! cache entry's value does not depend on *who* computed it. The
+//! [`ScoreContext`] therefore derives every evaluation seed from the
+//! schedule's canonical key ([`asynd_core::eval_seed_for`]): the estimate
+//! of a schedule is a pure function of the schedule, so whichever worker
+//! pays for an entry first, every other worker observes bit-identical
+//! numbers. Combined with per-strategy RNG streams seeded from
+//! `(portfolio seed, strategy index)` and winner selection ordered by
+//! `(best estimate, strategy index, schedule key)`, the portfolio's
+//! output is **bit-identical for any worker-thread count** — the same
+//! discipline the leaf-parallel MCTS waves established.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use asynd_circuit::NoiseModel;
+//! use asynd_codes::steane_code;
+//! use asynd_portfolio::{Portfolio, PortfolioConfig};
+//! use std::sync::Arc;
+//!
+//! let portfolio = Portfolio::standard(PortfolioConfig {
+//!     budget_per_strategy: 64,
+//!     shots_per_evaluation: 500,
+//!     ..PortfolioConfig::default()
+//! });
+//! let report = portfolio
+//!     .run(
+//!         &steane_code(),
+//!         &NoiseModel::brisbane(),
+//!         Arc::new(asynd_decode::UnionFindFactory::new()),
+//!     )
+//!     .unwrap();
+//! println!("winner: {}", report.winning().name);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod anneal;
+mod beam;
+mod mcts_adapter;
+mod racer;
+
+pub use anneal::{AnnealConfig, AnnealingSynthesizer};
+pub use asynd_core::MoveSpace;
+pub use beam::{BeamConfig, BeamSearchSynthesizer};
+pub use mcts_adapter::{LowestDepthSynthesizer, MctsSynthesizer};
+pub use racer::{Portfolio, PortfolioConfig, PortfolioReport, StrategyReport};
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use asynd_circuit::{Evaluator, LogicalErrorEstimate, Schedule};
+use asynd_codes::StabilizerCode;
+use asynd_core::{eval_seed_for, SchedulerError};
+
+/// How much work a synthesizer may spend: the number of score requests it
+/// may issue through its [`ScoreContext`].
+///
+/// Cache hits count against the budget like fresh evaluations (the budget
+/// bounds *requests*, not samples), which keeps strategy comparisons
+/// budget-fair whether or not another racer already paid for an entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthesisBudget {
+    /// Maximum number of schedule evaluations.
+    pub evaluations: u64,
+}
+
+impl SynthesisBudget {
+    /// A budget of `evaluations` schedule evaluations.
+    pub fn evaluations(evaluations: u64) -> Self {
+        SynthesisBudget { evaluations }
+    }
+}
+
+/// Aggregate counters of one synthesis run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SynthesisStats {
+    /// Score requests issued (never more than the budget).
+    pub evaluations: u64,
+    /// Candidate schedules proposed (strategy-specific granularity:
+    /// annealing proposals, beam expansions, MCTS iterations).
+    pub candidates: u64,
+    /// Times the strategy's incumbent best improved.
+    pub improvements: u64,
+}
+
+/// The result of one synthesis run: the best schedule found, its
+/// estimate, and run statistics.
+#[derive(Debug, Clone)]
+pub struct SynthesisOutcome {
+    /// The best schedule the strategy found.
+    pub schedule: Schedule,
+    /// The shared-context estimate of that schedule.
+    pub estimate: LogicalErrorEstimate,
+    /// Run counters.
+    pub stats: SynthesisStats,
+}
+
+/// The scoring facade every synthesizer evaluates candidates through.
+///
+/// Wraps a shared [`Evaluator`] and a salt; [`ScoreContext::score`]
+/// derives the evaluation seed from the schedule's canonical key, which
+/// is the property that makes concurrent sharing of the memoisation cache
+/// deterministic (see the crate docs).
+#[derive(Clone)]
+pub struct ScoreContext {
+    evaluator: Arc<Evaluator>,
+    salt: u64,
+}
+
+impl ScoreContext {
+    /// Creates a context over a (possibly shared) evaluator.
+    pub fn new(evaluator: Arc<Evaluator>, salt: u64) -> Self {
+        ScoreContext { evaluator, salt }
+    }
+
+    /// The underlying evaluator (strategies needing richer access — the
+    /// MCTS adapter routes its whole search through it).
+    pub fn evaluator(&self) -> &Arc<Evaluator> {
+        &self.evaluator
+    }
+
+    /// The seed-derivation salt (shared by every strategy of a race).
+    pub fn salt(&self) -> u64 {
+        self.salt
+    }
+
+    /// Scores a schedule: evaluates it under its key-derived seed through
+    /// the shared cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedulerError::Evaluation`] when the underlying
+    /// evaluation fails (invalid schedule or options).
+    pub fn score(
+        &self,
+        code: &StabilizerCode,
+        schedule: &Schedule,
+    ) -> Result<LogicalErrorEstimate, SchedulerError> {
+        let seed = eval_seed_for(self.salt, schedule.key());
+        self.evaluator.evaluate(code, schedule, seed).map_err(SchedulerError::Evaluation)
+    }
+}
+
+/// A schedule-synthesis strategy: seeded, budgeted, racing-safe.
+///
+/// Implementations must be deterministic given `(code, budget, seed)` and
+/// the scoring context's salt — in particular they must draw all
+/// randomness from RNGs seeded on `seed` and must score exclusively
+/// through `ctx`, never from wall-clock, thread identity or ambient
+/// state. That contract is what lets the [`Portfolio`] racer guarantee
+/// bit-identical output for any worker-thread count.
+pub trait Synthesizer: Send + Sync {
+    /// Strategy name used in reports and benches.
+    fn name(&self) -> &str;
+
+    /// Synthesizes a schedule for `code` within `budget` evaluations.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchedulerError`] on invalid configuration or failed
+    /// evaluation.
+    fn synthesize(
+        &self,
+        code: &StabilizerCode,
+        ctx: &ScoreContext,
+        budget: SynthesisBudget,
+        seed: u64,
+    ) -> Result<SynthesisOutcome, SchedulerError>;
+}
+
+/// Total order on candidates used by every strategy and by the racer's
+/// winner selection: lower estimated logical error first, then lower
+/// depth, then the canonical schedule key (so exact estimate ties still
+/// resolve identically on every run).
+pub(crate) fn candidate_order(
+    a: (&LogicalErrorEstimate, &Schedule),
+    b: (&LogicalErrorEstimate, &Schedule),
+) -> Ordering {
+    let (ea, sa) = a;
+    let (eb, sb) = b;
+    ea.p_overall()
+        .partial_cmp(&eb.p_overall())
+        .unwrap_or(Ordering::Equal)
+        .then_with(|| sa.depth().cmp(&sb.depth()))
+        .then_with(|| sa.key().cmp(&sb.key()))
+}
+
+/// Rejects an empty evaluation budget with a uniform error message.
+pub(crate) fn require_budget(budget: SynthesisBudget) -> Result<(), SchedulerError> {
+    if budget.evaluations == 0 {
+        return Err(SchedulerError::InvalidConfig {
+            reason: "synthesis budget must allow at least one evaluation".into(),
+        });
+    }
+    Ok(())
+}

@@ -1,0 +1,226 @@
+//! Adapters putting the pre-existing searchers behind the
+//! [`Synthesizer`] trait.
+
+use asynd_codes::StabilizerCode;
+use asynd_core::{
+    synthesize_with_evaluator, LowestDepthScheduler, MctsConfig, Scheduler, SchedulerError,
+};
+use asynd_sim::mix_seed;
+
+use crate::{
+    candidate_order, require_budget, ScoreContext, SynthesisBudget, SynthesisOutcome,
+    SynthesisStats, Synthesizer,
+};
+
+/// The AlphaSyndrome MCTS scheduler as a portfolio strategy.
+///
+/// The adapter routes the whole search through the shared evaluator
+/// (`asynd_core::synthesize_with_evaluator`) with
+/// [`MctsConfig::eval_seed_salt`] set to the context's salt, so its
+/// evaluations use the same key-derived seeds as every other racer — the
+/// precondition for deterministic cache sharing.
+///
+/// # Budget translation
+///
+/// The search spends one authoritative evaluation per iteration plus the
+/// reward reference, and commits one check per scheduling step, so a run
+/// at `iterations_per_step = ips` costs at most
+/// `ips · total_checks + 2` evaluations (each step tops up at most `ips`
+/// iterations). Continuous subtree reuse usually makes later steps much
+/// cheaper than `ips`, so a single run would underspend a large grant;
+/// the adapter therefore runs deterministic *restarts* — each round
+/// re-derives `ips` from the remaining budget and a fresh round seed,
+/// and the best schedule across rounds (by estimate, then depth, then
+/// key) is returned. Total spend never exceeds the budget.
+#[derive(Debug, Clone, Default)]
+pub struct MctsSynthesizer {
+    /// The configuration template; `seed`, `eval_seed_salt`,
+    /// `shots_per_evaluation` and `iterations_per_step` are overridden per
+    /// round (the shared evaluator owns shots and estimation options).
+    pub template: MctsConfig,
+}
+
+impl MctsSynthesizer {
+    /// Creates the adapter from a configuration template.
+    pub fn new(template: MctsConfig) -> Self {
+        MctsSynthesizer { template }
+    }
+}
+
+impl Synthesizer for MctsSynthesizer {
+    fn name(&self) -> &str {
+        "mcts"
+    }
+
+    fn synthesize(
+        &self,
+        code: &StabilizerCode,
+        ctx: &ScoreContext,
+        budget: SynthesisBudget,
+        seed: u64,
+    ) -> Result<SynthesisOutcome, SchedulerError> {
+        require_budget(budget)?;
+        let total_checks =
+            code.stabilizers().iter().map(|s| s.weight()).sum::<usize>().max(1) as u64;
+        // One iteration per scheduling step, plus the reference and the
+        // final re-score, is the cheapest possible run.
+        let floor = total_checks + 2;
+        if budget.evaluations < floor {
+            return Err(SchedulerError::InvalidConfig {
+                reason: format!(
+                    "the MCTS strategy needs at least one evaluation per scheduling step \
+                     ({floor} total for this code), got a budget of {}",
+                    budget.evaluations
+                ),
+            });
+        }
+
+        let mut remaining = budget.evaluations;
+        let mut stats = SynthesisStats::default();
+        let mut best: Option<SynthesisOutcome> = None;
+        let mut round: u64 = 0;
+        while remaining >= floor {
+            let mut config = self.template.clone();
+            config.seed = mix_seed(seed, round);
+            config.eval_seed_salt = Some(ctx.salt());
+            config.shots_per_evaluation = ctx.evaluator().shots();
+            // Per step the search tops up at most `ips` iterations, so a
+            // round costs ≤ ips · total_checks + 2 ≤ remaining.
+            config.iterations_per_step = ((remaining - 2) / total_checks).max(1) as usize;
+            let (schedule, run) =
+                synthesize_with_evaluator(&config, code, ctx.evaluator(), |_| {})?;
+            let estimate = ctx.score(code, &schedule)?;
+            let spent = run.iterations + 2;
+            remaining = remaining.saturating_sub(spent);
+            stats.evaluations += spent;
+            stats.candidates += run.iterations;
+            let adopt = best.as_ref().is_none_or(|incumbent| {
+                candidate_order((&estimate, &schedule), (&incumbent.estimate, &incumbent.schedule))
+                    == std::cmp::Ordering::Less
+            });
+            if adopt {
+                stats.improvements += 1;
+                best = Some(SynthesisOutcome { schedule, estimate, stats });
+            }
+            round += 1;
+        }
+        let mut outcome = best.expect("the budget floor guarantees at least one round");
+        outcome.stats = stats;
+        Ok(outcome)
+    }
+}
+
+/// The lowest-depth baseline as a (single-candidate) portfolio strategy.
+///
+/// Racing it costs one evaluation and guarantees the portfolio never
+/// returns anything worse than the depth-optimal baseline — the winner
+/// selection takes the minimum over all strategies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LowestDepthSynthesizer {
+    _private: (),
+}
+
+impl LowestDepthSynthesizer {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        LowestDepthSynthesizer { _private: () }
+    }
+}
+
+impl Synthesizer for LowestDepthSynthesizer {
+    fn name(&self) -> &str {
+        "lowest-depth"
+    }
+
+    fn synthesize(
+        &self,
+        code: &StabilizerCode,
+        ctx: &ScoreContext,
+        budget: SynthesisBudget,
+        _seed: u64,
+    ) -> Result<SynthesisOutcome, SchedulerError> {
+        require_budget(budget)?;
+        let schedule = LowestDepthScheduler::new().schedule(code)?;
+        let estimate = ctx.score(code, &schedule)?;
+        Ok(SynthesisOutcome {
+            schedule,
+            estimate,
+            stats: SynthesisStats { evaluations: 1, candidates: 1, improvements: 1 },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asynd_circuit::{EstimateOptions, Evaluator, NoiseModel};
+    use asynd_codes::steane_code;
+    use asynd_decode::UnionFindFactory;
+    use std::sync::Arc;
+
+    fn context(shots: usize) -> ScoreContext {
+        let evaluator = Evaluator::new(
+            NoiseModel::brisbane(),
+            Arc::new(UnionFindFactory::new()),
+            shots,
+            EstimateOptions::default(),
+        );
+        ScoreContext::new(Arc::new(evaluator), 0x4D435453)
+    }
+
+    #[test]
+    fn mcts_adapter_is_deterministic_and_budgeted() {
+        let code = steane_code();
+        let synthesizer = MctsSynthesizer::default();
+        let budget = SynthesisBudget::evaluations(4 * 24 + 2);
+        let a = synthesizer.synthesize(&code, &context(200), budget, 11).unwrap();
+        let b = synthesizer.synthesize(&code, &context(200), budget, 11).unwrap();
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.estimate, b.estimate);
+        assert_eq!(a.stats, b.stats);
+        a.schedule.validate(&code).unwrap();
+        assert!(a.stats.candidates >= 24, "at least one iteration per step");
+        assert!(a.stats.improvements >= 1, "the first round adopts an incumbent");
+        assert!(
+            a.stats.evaluations <= budget.evaluations,
+            "budget contract violated: {} > {}",
+            a.stats.evaluations,
+            budget.evaluations
+        );
+        // Restarts spend the grant rather than stopping after one
+        // underspent run: a single round at this budget costs well under
+        // half of it (subtree reuse), so at least a second round ran.
+        assert!(
+            a.stats.evaluations > budget.evaluations / 2,
+            "restart rounds failed to spend the budget: {} of {}",
+            a.stats.evaluations,
+            budget.evaluations
+        );
+    }
+
+    #[test]
+    fn mcts_adapter_rejects_budgets_below_its_per_step_floor() {
+        let code = steane_code(); // 24 checks -> floor of 26 evaluations
+        let synthesizer = MctsSynthesizer::default();
+        let ctx = context(200);
+        assert!(matches!(
+            synthesizer.synthesize(&code, &ctx, SynthesisBudget::evaluations(25), 0),
+            Err(SchedulerError::InvalidConfig { .. })
+        ));
+        let ok = synthesizer.synthesize(&code, &ctx, SynthesisBudget::evaluations(26), 0).unwrap();
+        assert!(ok.stats.evaluations <= 26);
+    }
+
+    #[test]
+    fn lowest_depth_adapter_scores_the_baseline() {
+        let code = steane_code();
+        let ctx = context(200);
+        let outcome = LowestDepthSynthesizer::new()
+            .synthesize(&code, &ctx, SynthesisBudget::evaluations(1), 0)
+            .unwrap();
+        outcome.schedule.validate(&code).unwrap();
+        assert_eq!(outcome.stats.evaluations, 1);
+        let baseline = LowestDepthScheduler::new().schedule(&code).unwrap();
+        assert_eq!(outcome.schedule, baseline);
+    }
+}

@@ -1,0 +1,314 @@
+//! The portfolio runner: race `N` strategies on worker threads over one
+//! shared evaluator, pick the winner deterministically.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use asynd_circuit::{DecoderFactory, EstimateOptions, Evaluator, EvaluatorStats, NoiseModel};
+use asynd_codes::StabilizerCode;
+use asynd_core::SchedulerError;
+use asynd_sim::mix_seed;
+
+use crate::{
+    AnnealingSynthesizer, BeamSearchSynthesizer, LowestDepthSynthesizer, MctsSynthesizer,
+    ScoreContext, SynthesisBudget, SynthesisOutcome, Synthesizer,
+};
+
+/// Domain-separation constant for the shared evaluation-seed salt.
+const EVAL_SALT_STREAM: u64 = 0x706f_7274_666f_6c69; // "portfoli"
+
+/// One worker slot of the race: the strategy's result and its wall time.
+type StrategySlot = Mutex<Option<(Result<SynthesisOutcome, SchedulerError>, Duration)>>;
+
+/// Configuration of a portfolio race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortfolioConfig {
+    /// Master seed: strategy RNG streams and the shared evaluation-seed
+    /// salt derive from it.
+    pub seed: u64,
+    /// Evaluation budget granted to *each* strategy (score requests).
+    pub budget_per_strategy: u64,
+    /// Monte-Carlo shots per schedule evaluation.
+    pub shots_per_evaluation: usize,
+    /// Capacity of the shared evaluation cache (`0` disables sharing —
+    /// every request recomputes, an ablation baseline).
+    pub eval_cache_capacity: usize,
+    /// Worker threads racing the strategies. `0` means one thread per
+    /// strategy, capped by the machine's parallelism. The synthesized
+    /// result is bit-identical for every value.
+    pub worker_threads: usize,
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        PortfolioConfig {
+            seed: 0,
+            budget_per_strategy: 128,
+            shots_per_evaluation: 1500,
+            eval_cache_capacity: asynd_circuit::DEFAULT_CACHE_CAPACITY,
+            worker_threads: 0,
+        }
+    }
+}
+
+impl PortfolioConfig {
+    fn validate(&self) -> Result<(), SchedulerError> {
+        if self.budget_per_strategy == 0 {
+            return Err(SchedulerError::InvalidConfig {
+                reason: "budget_per_strategy must be positive".into(),
+            });
+        }
+        if self.shots_per_evaluation == 0 {
+            return Err(SchedulerError::InvalidConfig {
+                reason: "shots_per_evaluation must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One strategy's result inside a [`PortfolioReport`].
+#[derive(Debug, Clone)]
+pub struct StrategyReport {
+    /// Strategy name.
+    pub name: String,
+    /// The strategy's best schedule, estimate and counters.
+    pub outcome: SynthesisOutcome,
+    /// Wall-clock time the strategy ran for (reporting only — never used
+    /// in winner selection, which must stay deterministic).
+    pub wall: Duration,
+}
+
+/// The result of one portfolio race.
+#[derive(Debug, Clone)]
+pub struct PortfolioReport {
+    /// Per-strategy reports, in strategy registration order.
+    pub strategies: Vec<StrategyReport>,
+    /// Index of the winning strategy in [`PortfolioReport::strategies`].
+    pub winner: usize,
+    /// Snapshot of the shared evaluator's cache counters after the race.
+    pub evaluator: EvaluatorStats,
+    /// Total wall-clock time of the race.
+    pub wall: Duration,
+}
+
+impl PortfolioReport {
+    /// The winning strategy's report.
+    pub fn winning(&self) -> &StrategyReport {
+        &self.strategies[self.winner]
+    }
+}
+
+/// A portfolio of synthesis strategies raced over one shared
+/// [`Evaluator`].
+///
+/// Worker threads pull strategies off a queue, so any thread count from 1
+/// to `N` produces the same per-strategy results (each strategy is
+/// deterministic given its seed, and shared-cache estimates are
+/// key-derived — see the crate docs). The winner is the strategy with the
+/// best estimate; ties break by strategy index, then by schedule key.
+pub struct Portfolio {
+    config: PortfolioConfig,
+    strategies: Vec<Box<dyn Synthesizer>>,
+}
+
+impl Portfolio {
+    /// Creates an empty portfolio.
+    pub fn new(config: PortfolioConfig) -> Self {
+        Portfolio { config, strategies: Vec::new() }
+    }
+
+    /// The standard four-strategy portfolio: MCTS, simulated annealing,
+    /// beam search and the lowest-depth baseline.
+    pub fn standard(config: PortfolioConfig) -> Self {
+        Portfolio::new(config)
+            .with_strategy(Box::new(MctsSynthesizer::default()))
+            .with_strategy(Box::new(AnnealingSynthesizer::default()))
+            .with_strategy(Box::new(BeamSearchSynthesizer::default()))
+            .with_strategy(Box::new(LowestDepthSynthesizer::new()))
+    }
+
+    /// Adds a strategy (builder style). Registration order is the
+    /// tie-break order of winner selection.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: Box<dyn Synthesizer>) -> Self {
+        self.strategies.push(strategy);
+        self
+    }
+
+    /// Adds a strategy in place.
+    pub fn push(&mut self, strategy: Box<dyn Synthesizer>) {
+        self.strategies.push(strategy);
+    }
+
+    /// Number of registered strategies.
+    pub fn len(&self) -> usize {
+        self.strategies.len()
+    }
+
+    /// Whether no strategy is registered.
+    pub fn is_empty(&self) -> bool {
+        self.strategies.is_empty()
+    }
+
+    /// The configuration of this portfolio.
+    pub fn config(&self) -> &PortfolioConfig {
+        &self.config
+    }
+
+    /// Races every registered strategy on `code` and returns the full
+    /// report.
+    ///
+    /// Each evaluation is capped to one estimator thread
+    /// (parallelism comes from racing strategies, not from splitting an
+    /// evaluation), and each strategy runs under seed
+    /// `mix_seed(config.seed, 1 + index)` against a scoring context
+    /// salted with `mix_seed(config.seed, EVAL_SALT_STREAM)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedulerError::InvalidConfig`] for an empty portfolio
+    /// or invalid configuration; strategy errors propagate (the
+    /// lowest-index error wins, deterministically).
+    pub fn run(
+        &self,
+        code: &StabilizerCode,
+        noise: &NoiseModel,
+        factory: Arc<dyn DecoderFactory + Send + Sync>,
+    ) -> Result<PortfolioReport, SchedulerError> {
+        self.config.validate()?;
+        if self.strategies.is_empty() {
+            return Err(SchedulerError::InvalidConfig {
+                reason: "portfolio has no strategies".into(),
+            });
+        }
+        let start = Instant::now();
+        let options = EstimateOptions { max_threads: Some(1), ..EstimateOptions::default() };
+        let evaluator = Arc::new(Evaluator::with_capacity(
+            noise.clone(),
+            factory,
+            self.config.shots_per_evaluation,
+            options,
+            self.config.eval_cache_capacity,
+        ));
+        let ctx =
+            ScoreContext::new(evaluator.clone(), mix_seed(self.config.seed, EVAL_SALT_STREAM));
+        let budget = SynthesisBudget::evaluations(self.config.budget_per_strategy);
+
+        let workers = match self.config.worker_threads {
+            0 => self.strategies.len().min(rayon::current_num_threads()).max(1),
+            n => n.min(self.strategies.len()).max(1),
+        };
+        let slots: Vec<StrategySlot> = self.strategies.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        rayon::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= self.strategies.len() {
+                        break;
+                    }
+                    let strategy = &self.strategies[index];
+                    let seed = mix_seed(self.config.seed, 1 + index as u64);
+                    let began = Instant::now();
+                    let result = strategy.synthesize(code, &ctx, budget, seed);
+                    let wall = began.elapsed();
+                    *slots[index].lock().expect("portfolio slot poisoned") = Some((result, wall));
+                });
+            }
+        });
+
+        let mut reports = Vec::with_capacity(self.strategies.len());
+        for (index, slot) in slots.into_iter().enumerate() {
+            let (result, wall) = slot
+                .into_inner()
+                .expect("portfolio slot poisoned")
+                .expect("every strategy slot is filled");
+            let outcome = result?;
+            reports.push(StrategyReport {
+                name: self.strategies[index].name().to_string(),
+                outcome,
+                wall,
+            });
+        }
+
+        // Winner: best estimate; estimate ties keep the lower
+        // registration index (strict improvement over the iteration
+        // order). The schedule-key tie-break of the documented contract
+        // is vacuous here — indices are unique — but strategies use it
+        // internally (candidate_order) for their own incumbents.
+        let mut winner = 0usize;
+        for index in 1..reports.len() {
+            let challenger = reports[index].outcome.estimate.p_overall();
+            let incumbent = reports[winner].outcome.estimate.p_overall();
+            if challenger.partial_cmp(&incumbent) == Some(std::cmp::Ordering::Less) {
+                winner = index;
+            }
+        }
+
+        Ok(PortfolioReport {
+            strategies: reports,
+            winner,
+            evaluator: evaluator.stats_snapshot(),
+            wall: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asynd_codes::steane_code;
+    use asynd_decode::UnionFindFactory;
+
+    fn quick_config() -> PortfolioConfig {
+        PortfolioConfig {
+            seed: 3,
+            budget_per_strategy: 64,
+            shots_per_evaluation: 200,
+            ..PortfolioConfig::default()
+        }
+    }
+
+    #[test]
+    fn standard_portfolio_runs_and_reports() {
+        let code = steane_code();
+        let portfolio = Portfolio::standard(quick_config());
+        assert_eq!(portfolio.len(), 4);
+        let report = portfolio
+            .run(&code, &NoiseModel::brisbane(), Arc::new(UnionFindFactory::new()))
+            .unwrap();
+        assert_eq!(report.strategies.len(), 4);
+        report.winning().outcome.schedule.validate(&code).unwrap();
+        // The winner is never worse than the lowest-depth baseline member.
+        let baseline =
+            report.strategies.iter().find(|s| s.name == "lowest-depth").expect("baseline member");
+        assert!(
+            report.winning().outcome.estimate.p_overall() <= baseline.outcome.estimate.p_overall()
+        );
+        // The shared cache saw traffic from several strategies.
+        assert!(report.evaluator.hits + report.evaluator.misses > 4);
+    }
+
+    #[test]
+    fn empty_portfolio_is_rejected() {
+        let code = steane_code();
+        let portfolio = Portfolio::new(quick_config());
+        assert!(matches!(
+            portfolio.run(&code, &NoiseModel::brisbane(), Arc::new(UnionFindFactory::new())),
+            Err(SchedulerError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_budget_is_rejected() {
+        let code = steane_code();
+        let portfolio =
+            Portfolio::standard(PortfolioConfig { budget_per_strategy: 0, ..quick_config() });
+        assert!(matches!(
+            portfolio.run(&code, &NoiseModel::brisbane(), Arc::new(UnionFindFactory::new())),
+            Err(SchedulerError::InvalidConfig { .. })
+        ));
+    }
+}

@@ -1,0 +1,68 @@
+//! Acceptance test of the portfolio racer's determinism contract: for a
+//! fixed seed the race produces a **bit-identical winning schedule** (and
+//! identical per-strategy results) for 1, 2 and 4 worker threads, and
+//! with the shared cache disabled.
+
+use std::sync::Arc;
+
+use asynd_circuit::NoiseModel;
+use asynd_codes::{rotated_surface_code, steane_code};
+use asynd_decode::UnionFindFactory;
+use asynd_portfolio::{Portfolio, PortfolioConfig, PortfolioReport};
+
+fn race(
+    code: &asynd_codes::StabilizerCode,
+    worker_threads: usize,
+    capacity: usize,
+) -> PortfolioReport {
+    let portfolio = Portfolio::standard(PortfolioConfig {
+        seed: 42,
+        budget_per_strategy: 64,
+        shots_per_evaluation: 250,
+        eval_cache_capacity: capacity,
+        worker_threads,
+    });
+    portfolio.run(code, &NoiseModel::brisbane(), Arc::new(UnionFindFactory::new())).unwrap()
+}
+
+#[test]
+fn winning_schedule_is_bit_identical_for_1_2_and_4_worker_threads() {
+    for code in [steane_code(), rotated_surface_code(3)] {
+        let serial = race(&code, 1, 1024);
+        for threads in [2usize, 4] {
+            let raced = race(&code, threads, 1024);
+            assert_eq!(raced.winner, serial.winner, "winner index differs at {threads} threads");
+            assert_eq!(
+                raced.winning().outcome.schedule,
+                serial.winning().outcome.schedule,
+                "winning schedule differs at {threads} threads"
+            );
+            assert_eq!(raced.winning().outcome.estimate, serial.winning().outcome.estimate);
+            // Not just the winner: every strategy's result is identical.
+            for (a, b) in raced.strategies.iter().zip(&serial.strategies) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.outcome.schedule, b.outcome.schedule, "{} diverged", a.name);
+                assert_eq!(a.outcome.estimate, b.outcome.estimate, "{} diverged", a.name);
+                assert_eq!(a.outcome.stats, b.outcome.stats, "{} counters diverged", a.name);
+            }
+        }
+        serial.winning().outcome.schedule.validate(&code).unwrap();
+    }
+}
+
+#[test]
+fn cache_sharing_does_not_change_results_only_cost() {
+    // Key-derived evaluation seeds make the memo value-neutral: running
+    // with the shared cache disabled (capacity 0) must reproduce the
+    // exact same schedules and estimates, just without the hits.
+    let code = steane_code();
+    let shared = race(&code, 4, 1024);
+    let unshared = race(&code, 4, 0);
+    assert_eq!(shared.winner, unshared.winner);
+    for (a, b) in shared.strategies.iter().zip(&unshared.strategies) {
+        assert_eq!(a.outcome.schedule, b.outcome.schedule, "{} diverged", a.name);
+        assert_eq!(a.outcome.estimate, b.outcome.estimate, "{} diverged", a.name);
+    }
+    assert_eq!(unshared.evaluator.hits, 0, "capacity 0 cannot hit");
+    assert!(shared.evaluator.hits > 0, "the race shares paid-for evaluations");
+}

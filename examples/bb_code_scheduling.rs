@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ibm = ibm_bb_schedule(&code)?;
     let mcts = MctsScheduler::new(
         noise.clone(),
-        &factory,
+        std::sync::Arc::new(BpOsdFactory::new()),
         MctsConfig { iterations_per_step: 16, shots_per_evaluation: 800, ..Default::default() },
     )
     .schedule(&code)?;

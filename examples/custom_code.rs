@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let baseline = LowestDepthScheduler::new().schedule(&code)?;
     let mcts = MctsScheduler::new(
         noise.clone(),
-        &factory,
+        std::sync::Arc::new(UnionFindFactory::new()),
         MctsConfig { iterations_per_step: 48, shots_per_evaluation: 2000, ..Default::default() },
     )
     .schedule(&code)?;

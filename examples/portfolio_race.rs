@@ -1,0 +1,74 @@
+//! Portfolio race: run the standard four-strategy portfolio against an
+//! MCTS-only baseline at the *same total evaluation budget* and compare
+//! the winners.
+//!
+//! Run with: `cargo run --release --example portfolio_race`
+
+use asyndrome::circuit::NoiseModel;
+use asyndrome::codes::{rotated_surface_code, steane_code, StabilizerCode};
+use asyndrome::decode::UnionFindFactory;
+use asyndrome::portfolio::{MctsSynthesizer, Portfolio, PortfolioConfig};
+use std::sync::Arc;
+
+fn race(code: &StabilizerCode, label: &str) {
+    let noise = NoiseModel::brisbane();
+    let per_strategy = 96u64;
+    let config = PortfolioConfig {
+        seed: 11,
+        budget_per_strategy: per_strategy,
+        shots_per_evaluation: 1000,
+        ..PortfolioConfig::default()
+    };
+
+    // The standard portfolio: 4 strategies x per-strategy budget.
+    let portfolio = Portfolio::standard(config);
+    let report = portfolio
+        .run(code, &noise, Arc::new(UnionFindFactory::new()))
+        .expect("portfolio race failed");
+
+    // MCTS-only at the same *total* budget (4x the per-strategy grant).
+    let mcts_only =
+        Portfolio::new(PortfolioConfig { budget_per_strategy: 4 * per_strategy, ..config })
+            .with_strategy(Box::new(MctsSynthesizer::default()));
+    let baseline = mcts_only
+        .run(code, &noise, Arc::new(UnionFindFactory::new()))
+        .expect("MCTS-only run failed");
+
+    println!("== {label} ==");
+    println!("{:<14} {:>8} {:>12} {:>8} {:>10}", "strategy", "depth", "p_overall", "evals", "wall");
+    for s in &report.strategies {
+        println!(
+            "{:<14} {:>8} {:>12.3e} {:>8} {:>8.0}ms",
+            s.name,
+            s.outcome.schedule.depth(),
+            s.outcome.estimate.p_overall(),
+            s.outcome.stats.evaluations,
+            s.wall.as_secs_f64() * 1e3,
+        );
+    }
+    let winner = report.winning();
+    let mcts = &baseline.strategies[0];
+    println!(
+        "portfolio winner: {} (p_overall {:.3e}), shared cache hit rate {:.1}%",
+        winner.name,
+        winner.outcome.estimate.p_overall(),
+        100.0 * report.evaluator.hit_rate(),
+    );
+    println!(
+        "MCTS-only at equal total budget ({} evals): p_overall {:.3e}",
+        mcts.outcome.stats.evaluations,
+        mcts.outcome.estimate.p_overall(),
+    );
+    let verdict = if winner.outcome.estimate.p_overall() <= mcts.outcome.estimate.p_overall() {
+        "portfolio <= MCTS-only"
+    } else {
+        "MCTS-only wins this seed"
+    };
+    println!("verdict: {verdict}");
+    println!();
+}
+
+fn main() {
+    race(&steane_code(), "steane [[7,1,3]]");
+    race(&rotated_surface_code(3), "rotated surface d=3");
+}

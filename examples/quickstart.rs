@@ -23,7 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. AlphaSyndrome: MCTS with the decoder in the loop.
     let config =
         MctsConfig { iterations_per_step: 64, shots_per_evaluation: 3000, ..Default::default() };
-    let scheduler = MctsScheduler::new(noise.clone(), &factory, config);
+    let scheduler =
+        MctsScheduler::new(noise.clone(), std::sync::Arc::new(BpOsdFactory::new()), config);
     let mcts = scheduler.schedule_with_progress(&code, |step| {
         if step.fixed_checks == step.total_checks {
             println!(

@@ -13,6 +13,9 @@
 //! * [`decode`] — MWPM, hypergraph union-find and BP-OSD decoders.
 //! * [`core`] — stabilizer partitioning, baseline and industry schedulers,
 //!   and the AlphaSyndrome MCTS scheduler.
+//! * [`portfolio`] — the portfolio synthesis subsystem: pluggable
+//!   synthesizer strategies (MCTS, annealing, beam search, baselines)
+//!   raced deterministically over the shared evaluation service.
 //!
 //! ## Quickstart
 //!
@@ -32,4 +35,5 @@ pub use asynd_codes as codes;
 pub use asynd_core as core;
 pub use asynd_decode as decode;
 pub use asynd_pauli as pauli;
+pub use asynd_portfolio as portfolio;
 pub use asynd_sim as sim;

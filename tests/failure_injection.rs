@@ -79,12 +79,15 @@ fn google_schedule_needs_a_layout() {
 #[test]
 fn mcts_rejects_degenerate_configurations() {
     let code = steane_code();
-    let factory = BpOsdFactory::new();
     for config in [
         MctsConfig { iterations_per_step: 0, ..MctsConfig::quick() },
         MctsConfig { shots_per_evaluation: 0, ..MctsConfig::quick() },
     ] {
-        let scheduler = MctsScheduler::new(NoiseModel::paper(), &factory, config);
+        let scheduler = MctsScheduler::new(
+            NoiseModel::paper(),
+            std::sync::Arc::new(BpOsdFactory::new()),
+            config,
+        );
         assert!(matches!(scheduler.schedule(&code), Err(SchedulerError::InvalidConfig { .. })));
     }
 }

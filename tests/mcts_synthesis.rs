@@ -15,13 +15,13 @@ fn mcts_schedules_are_valid_for_multiple_decoders() {
     let config =
         MctsConfig { iterations_per_step: 8, shots_per_evaluation: 200, ..MctsConfig::quick() };
 
-    let bposd = BpOsdFactory::new();
+    let bposd = std::sync::Arc::new(BpOsdFactory::new());
     let schedule =
-        MctsScheduler::new(noise.clone(), &bposd, config.clone()).schedule(&code).unwrap();
+        MctsScheduler::new(noise.clone(), bposd, config.clone()).schedule(&code).unwrap();
     schedule.validate(&code).unwrap();
 
-    let unionfind = UnionFindFactory::new();
-    let schedule = MctsScheduler::new(noise, &unionfind, config).schedule(&code).unwrap();
+    let unionfind = std::sync::Arc::new(UnionFindFactory::new());
+    let schedule = MctsScheduler::new(noise, unionfind, config).schedule(&code).unwrap();
     schedule.validate(&code).unwrap();
 }
 
@@ -29,10 +29,11 @@ fn mcts_schedules_are_valid_for_multiple_decoders() {
 fn mcts_covers_every_check_exactly_once() {
     let code = generalized_shor_code(3);
     let noise = NoiseModel::paper();
-    let factory = BpOsdFactory::new();
     let config =
         MctsConfig { iterations_per_step: 6, shots_per_evaluation: 150, ..MctsConfig::quick() };
-    let schedule = MctsScheduler::new(noise, &factory, config).schedule(&code).unwrap();
+    let schedule = MctsScheduler::new(noise, std::sync::Arc::new(BpOsdFactory::new()), config)
+        .schedule(&code)
+        .unwrap();
     let total_weight: usize = code.stabilizers().iter().map(|s| s.weight()).sum();
     assert_eq!(schedule.checks().len(), total_weight);
     schedule.validate(&code).unwrap();
@@ -53,7 +54,9 @@ fn mcts_is_competitive_with_the_lowest_depth_baseline() {
         seed: 3,
         ..Default::default()
     };
-    let mcts = MctsScheduler::new(noise.clone(), &factory, config).schedule(&code).unwrap();
+    let mcts = MctsScheduler::new(noise.clone(), std::sync::Arc::new(BpOsdFactory::new()), config)
+        .schedule(&code)
+        .unwrap();
     let baseline = LowestDepthScheduler::new().schedule(&code).unwrap();
 
     let shots = 40_000;
@@ -85,7 +88,9 @@ fn mcts_strictly_improves_with_a_larger_budget() {
         seed: 5,
         ..Default::default()
     };
-    let mcts = MctsScheduler::new(noise.clone(), &factory, config).schedule(&code).unwrap();
+    let mcts = MctsScheduler::new(noise.clone(), std::sync::Arc::new(BpOsdFactory::new()), config)
+        .schedule(&code)
+        .unwrap();
     let baseline = LowestDepthScheduler::new().schedule(&code).unwrap();
 
     let shots = 200_000;
@@ -105,10 +110,9 @@ fn mcts_strictly_improves_with_a_larger_budget() {
 fn mcts_progress_reports_are_complete_and_ordered() {
     let code = steane_code();
     let noise = NoiseModel::paper();
-    let factory = BpOsdFactory::new();
     let config =
         MctsConfig { iterations_per_step: 5, shots_per_evaluation: 100, ..MctsConfig::quick() };
-    let scheduler = MctsScheduler::new(noise, &factory, config);
+    let scheduler = MctsScheduler::new(noise, std::sync::Arc::new(BpOsdFactory::new()), config);
     let mut reports = Vec::new();
     scheduler.schedule_with_progress(&code, |r| reports.push(r.clone())).unwrap();
     let total_weight: usize = code.stabilizers().iter().map(|s| s.weight()).sum();
