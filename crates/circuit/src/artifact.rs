@@ -1,0 +1,360 @@
+//! JSON artifact serialization for schedules and their evaluation results.
+//!
+//! The serving layer ships synthesized schedules across process boundaries
+//! as JSON-lines, so the circuit types need a stable, self-describing wire
+//! format. This module maps [`Schedule`], [`LogicalErrorEstimate`] and
+//! [`EvaluatorStats`] to and from [`serde_json::Value`] trees, and bundles
+//! them as a [`ScheduleArtifact`] — the unit a schedule server returns for
+//! one job.
+//!
+//! Integrity: an artifact carries the schedule's canonical
+//! [`ScheduleKey`] in hex. [`ScheduleArtifact::from_json`]
+//! recomputes the key from the deserialized check list and rejects the
+//! artifact on mismatch, so a corrupted or hand-edited artifact cannot
+//! silently masquerade as the schedule it claims to be.
+//!
+//! # Example
+//!
+//! ```
+//! use asynd_circuit::{artifact, Schedule};
+//! let code = asynd_codes::steane_code();
+//! let schedule = Schedule::trivial(&code);
+//! let json = artifact::schedule_to_json(&schedule);
+//! let back = artifact::schedule_from_json(&json).unwrap();
+//! assert_eq!(back.key(), schedule.key());
+//! ```
+
+use asynd_pauli::Pauli;
+use serde_json::{Map, Value};
+
+use crate::{Check, CircuitError, EvaluatorStats, LogicalErrorEstimate, Schedule, ScheduleKey};
+
+fn invalid(reason: impl Into<String>) -> CircuitError {
+    CircuitError::InvalidParameter { reason: reason.into() }
+}
+
+/// Reads a required `u64` member of a JSON object.
+fn member_u64(value: &Value, key: &str) -> Result<u64, CircuitError> {
+    value
+        .get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| invalid(format!("artifact member `{key}` must be a non-negative integer")))
+}
+
+/// Reads a required `usize` member of a JSON object.
+fn member_usize(value: &Value, key: &str) -> Result<usize, CircuitError> {
+    usize::try_from(member_u64(value, key)?)
+        .map_err(|_| invalid(format!("artifact member `{key}` is out of range")))
+}
+
+/// Reads a required string member of a JSON object.
+fn member_str<'v>(value: &'v Value, key: &str) -> Result<&'v str, CircuitError> {
+    value
+        .get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| invalid(format!("artifact member `{key}` must be a string")))
+}
+
+/// Serializes one scheduled check.
+pub fn check_to_json(check: &Check) -> Value {
+    let mut map = Map::new();
+    map.insert("data", Value::from(check.data));
+    map.insert("stabilizer", Value::from(check.stabilizer));
+    map.insert("pauli", Value::from(check.pauli.to_char().to_string()));
+    map.insert("tick", Value::from(check.tick));
+    Value::Object(map)
+}
+
+/// Deserializes one scheduled check.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidParameter`] for missing members, a
+/// non-Pauli `pauli` letter, or an identity Pauli (never scheduled).
+pub fn check_from_json(value: &Value) -> Result<Check, CircuitError> {
+    let pauli_text = member_str(value, "pauli")?;
+    let mut chars = pauli_text.chars();
+    let pauli = match (chars.next().map(Pauli::from_char), chars.next()) {
+        (Some(Ok(p)), None) if p != Pauli::I => p,
+        _ => {
+            return Err(invalid(format!(
+                "`pauli` must be \"X\", \"Y\" or \"Z\", got {pauli_text:?}"
+            )))
+        }
+    };
+    Ok(Check {
+        data: member_usize(value, "data")?,
+        stabilizer: member_usize(value, "stabilizer")?,
+        pauli,
+        tick: member_usize(value, "tick")?,
+    })
+}
+
+/// Serializes a schedule: dimensions plus the full check list.
+pub fn schedule_to_json(schedule: &Schedule) -> Value {
+    let mut map = Map::new();
+    map.insert("num_data", Value::from(schedule.num_data()));
+    map.insert("num_stabilizers", Value::from(schedule.num_stabilizers()));
+    map.insert("checks", Value::Array(schedule.checks().iter().map(check_to_json).collect()));
+    Value::Object(map)
+}
+
+/// Deserializes a schedule.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidParameter`] when members are missing or
+/// malformed. Validation against a code is the caller's business
+/// ([`Schedule::validate`]); this only reconstructs the structure.
+pub fn schedule_from_json(value: &Value) -> Result<Schedule, CircuitError> {
+    let checks = value
+        .get("checks")
+        .and_then(Value::as_array)
+        .ok_or_else(|| invalid("artifact member `checks` must be an array"))?
+        .iter()
+        .map(check_from_json)
+        .collect::<Result<Vec<Check>, CircuitError>>()?;
+    Ok(Schedule::new(
+        member_usize(value, "num_data")?,
+        member_usize(value, "num_stabilizers")?,
+        checks,
+    ))
+}
+
+/// Serializes a logical-error estimate: the exact counts plus the derived
+/// rates (the rates are redundant but make the artifact self-explanatory to
+/// consumers that never load this crate).
+pub fn estimate_to_json(estimate: &LogicalErrorEstimate) -> Value {
+    let mut map = Map::new();
+    map.insert("shots", Value::from(estimate.shots));
+    map.insert("x_failures", Value::from(estimate.x_failures));
+    map.insert("z_failures", Value::from(estimate.z_failures));
+    map.insert("any_failures", Value::from(estimate.any_failures));
+    map.insert("p_x", Value::from(estimate.p_x()));
+    map.insert("p_z", Value::from(estimate.p_z()));
+    map.insert("p_overall", Value::from(estimate.p_overall()));
+    Value::Object(map)
+}
+
+/// Deserializes a logical-error estimate from its exact counts (the derived
+/// rate members are ignored — counts are authoritative).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidParameter`] for missing counts, zero
+/// shots, or counts exceeding the shot total.
+pub fn estimate_from_json(value: &Value) -> Result<LogicalErrorEstimate, CircuitError> {
+    let estimate = LogicalErrorEstimate {
+        shots: member_usize(value, "shots")?,
+        x_failures: member_usize(value, "x_failures")?,
+        z_failures: member_usize(value, "z_failures")?,
+        any_failures: member_usize(value, "any_failures")?,
+    };
+    if estimate.shots == 0 {
+        return Err(invalid("estimate must record at least one shot"));
+    }
+    if estimate.x_failures.max(estimate.z_failures).max(estimate.any_failures) > estimate.shots {
+        return Err(invalid("estimate failure counts exceed the shot total"));
+    }
+    Ok(estimate)
+}
+
+/// Serializes evaluator cache counters (observability payload of server
+/// responses; has no deserializer because servers only ever emit it).
+pub fn evaluator_stats_to_json(stats: &EvaluatorStats) -> Value {
+    let mut map = Map::new();
+    map.insert("hits", Value::from(stats.hits));
+    map.insert("misses", Value::from(stats.misses));
+    map.insert("speculative_hits", Value::from(stats.speculative_hits));
+    map.insert("model_reuses", Value::from(stats.model_reuses));
+    map.insert("model_builds", Value::from(stats.model_builds));
+    map.insert("evictions", Value::from(stats.evictions));
+    map.insert("hit_rate", Value::from(stats.hit_rate()));
+    Value::Object(map)
+}
+
+/// The unit of output of a schedule-synthesis job: the schedule itself, its
+/// canonical fingerprint, its depth and the estimate it was accepted on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleArtifact {
+    /// Label of the code the schedule measures (catalog display label).
+    pub code_label: String,
+    /// The synthesized schedule.
+    pub schedule: Schedule,
+    /// The shared-evaluator estimate the schedule won with.
+    pub estimate: LogicalErrorEstimate,
+}
+
+impl ScheduleArtifact {
+    /// The schedule's canonical key.
+    pub fn key(&self) -> ScheduleKey {
+        self.schedule.key()
+    }
+
+    /// Serializes the artifact (schedule, key hex, depth, estimate).
+    pub fn to_json(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("code", Value::from(self.code_label.as_str()));
+        map.insert("key", Value::from(self.schedule.key().to_hex()));
+        map.insert("depth", Value::from(self.schedule.depth()));
+        map.insert("schedule", schedule_to_json(&self.schedule));
+        map.insert("estimate", estimate_to_json(&self.estimate));
+        Value::Object(map)
+    }
+
+    /// Deserializes an artifact and verifies its integrity: the key
+    /// recomputed from the check list must equal the `key` member.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] for malformed members or
+    /// a fingerprint mismatch.
+    pub fn from_json(value: &Value) -> Result<ScheduleArtifact, CircuitError> {
+        let schedule = schedule_from_json(
+            value.get("schedule").ok_or_else(|| invalid("artifact is missing `schedule`"))?,
+        )?;
+        let claimed_hex = member_str(value, "key")?;
+        let claimed = ScheduleKey::from_hex(claimed_hex)
+            .ok_or_else(|| invalid(format!("`key` is not 32 hex digits: {claimed_hex:?}")))?;
+        let actual = schedule.key();
+        if claimed != actual {
+            return Err(invalid(format!(
+                "artifact key mismatch: claims {claimed_hex}, checks hash to {}",
+                actual.to_hex()
+            )));
+        }
+        Ok(ScheduleArtifact {
+            code_label: member_str(value, "code")?.to_string(),
+            schedule,
+            estimate: estimate_from_json(
+                value.get("estimate").ok_or_else(|| invalid("artifact is missing `estimate`"))?,
+            )?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asynd_codes::steane_code;
+
+    fn sample_artifact() -> ScheduleArtifact {
+        let code = steane_code();
+        ScheduleArtifact {
+            code_label: "steane [[7,1,3]]".to_string(),
+            schedule: Schedule::trivial(&code),
+            estimate: LogicalErrorEstimate {
+                shots: 400,
+                x_failures: 3,
+                z_failures: 5,
+                any_failures: 7,
+            },
+        }
+    }
+
+    #[test]
+    fn schedule_roundtrips_through_json_text() {
+        let code = steane_code();
+        let schedule = Schedule::trivial(&code);
+        let text = serde_json::to_string(&schedule_to_json(&schedule)).unwrap();
+        let back = schedule_from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, schedule);
+        assert_eq!(back.key(), schedule.key());
+        back.validate(&code).unwrap();
+    }
+
+    #[test]
+    fn estimate_roundtrips_and_rates_are_derived() {
+        let estimate =
+            LogicalErrorEstimate { shots: 1000, x_failures: 10, z_failures: 20, any_failures: 25 };
+        let json = estimate_to_json(&estimate);
+        assert!((json.get("p_overall").unwrap().as_f64().unwrap() - 0.025).abs() < 1e-12);
+        assert_eq!(estimate_from_json(&json).unwrap(), estimate);
+    }
+
+    #[test]
+    fn estimate_rejects_impossible_counts() {
+        let json = estimate_to_json(&LogicalErrorEstimate {
+            shots: 10,
+            x_failures: 0,
+            z_failures: 0,
+            any_failures: 0,
+        });
+        assert!(estimate_from_json(&json).is_ok());
+        let mut bad = match json {
+            Value::Object(map) => map,
+            _ => unreachable!(),
+        };
+        bad.insert("any_failures", Value::from(11u64));
+        assert!(estimate_from_json(&Value::Object(bad.clone())).is_err());
+        bad.insert("any_failures", Value::from(0u64));
+        bad.insert("shots", Value::from(0u64));
+        assert!(estimate_from_json(&Value::Object(bad)).is_err());
+    }
+
+    #[test]
+    fn artifact_roundtrips_and_verifies_key() {
+        let artifact = sample_artifact();
+        let text = serde_json::to_string(&artifact.to_json()).unwrap();
+        let back = ScheduleArtifact::from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, artifact);
+    }
+
+    #[test]
+    fn artifact_rejects_tampered_checks() {
+        let artifact = sample_artifact();
+        // Move one check to a different tick without updating the key.
+        let text = serde_json::to_string(&artifact.to_json()).unwrap();
+        let original = r#""tick":1"#;
+        assert!(text.contains(original), "serialized artifact has a tick-1 check");
+        let tampered = text.replacen(original, r#""tick":99"#, 1);
+        let parsed = serde_json::from_str(&tampered).unwrap();
+        let err = ScheduleArtifact::from_json(&parsed).unwrap_err();
+        assert!(err.to_string().contains("key mismatch"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn malformed_members_are_rejected_with_context() {
+        for (mutate, needle) in [
+            (r#""pauli":"X""#, r#""pauli":"Q""#),
+            (r#""pauli":"X""#, r#""pauli":"XZ""#),
+            (r#""pauli":"X""#, r#""pauli":"I""#),
+        ] {
+            let text = serde_json::to_string(&sample_artifact().to_json()).unwrap();
+            let bad = text.replacen(mutate, needle, 1);
+            assert_ne!(bad, text);
+            let parsed = serde_json::from_str(&bad).unwrap();
+            assert!(ScheduleArtifact::from_json(&parsed).is_err(), "accepted {needle}");
+        }
+    }
+
+    #[test]
+    fn schedule_key_hex_roundtrips() {
+        let key = Schedule::trivial(&steane_code()).key();
+        let hex = key.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(ScheduleKey::from_hex(&hex), Some(key));
+        assert_eq!(ScheduleKey::from_hex("xyz"), None);
+        assert_eq!(ScheduleKey::from_hex(&hex[..31]), None);
+        assert_eq!(ScheduleKey::from_hex(&format!("{}g", &hex[..31])), None);
+        // from_str_radix alone would admit a sign; the wire format is
+        // digits only.
+        assert_eq!(ScheduleKey::from_hex(&format!("+{}", &hex[..31])), None);
+    }
+
+    #[test]
+    fn evaluator_stats_serialize_all_counters() {
+        let stats = EvaluatorStats {
+            hits: 3,
+            misses: 1,
+            speculative_hits: 0,
+            model_reuses: 0,
+            model_builds: 1,
+            speculative_short_circuits: 0,
+            evictions: 0,
+        };
+        let json = evaluator_stats_to_json(&stats);
+        assert_eq!(json.get("hits").unwrap().as_u64(), Some(3));
+        assert!((json.get("hit_rate").unwrap().as_f64().unwrap() - 0.75).abs() < 1e-12);
+    }
+}

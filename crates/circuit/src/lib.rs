@@ -32,6 +32,10 @@
 //!   [`ScheduleKey`] → (DEM, built decoder, estimate) in a bounded LRU, so
 //!   re-evaluating a previously seen schedule costs a hash lookup instead
 //!   of a DEM rebuild and a decode run.
+//! * [`artifact`] — the JSON wire format of schedules and estimates
+//!   ([`artifact::ScheduleArtifact`]), used by the serving layer to ship
+//!   synthesized schedules across process boundaries with fingerprint
+//!   verification on deserialization.
 //!
 //! # Example
 //!
@@ -52,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 mod dem;
 mod error;
 mod evaluate;

@@ -66,6 +66,24 @@ impl ScheduleKey {
     pub fn words(self) -> [u64; 2] {
         self.0
     }
+
+    /// The key as 32 lowercase hex digits (low word first) — the wire
+    /// format schedule artifacts carry so remote consumers can verify a
+    /// deserialized schedule against its fingerprint.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.0[0], self.0[1])
+    }
+
+    /// Parses the [`ScheduleKey::to_hex`] wire format: exactly 32 hex
+    /// digits (`from_str_radix` alone would also admit a leading `+`).
+    pub fn from_hex(hex: &str) -> Option<ScheduleKey> {
+        if hex.len() != 32 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let lo = u64::from_str_radix(&hex[..16], 16).ok()?;
+        let hi = u64::from_str_radix(&hex[16..], 16).ok()?;
+        Some(ScheduleKey([lo, hi]))
+    }
 }
 
 pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;

@@ -287,6 +287,46 @@ pub fn hgp_family() -> Vec<CatalogEntry> {
         .collect()
 }
 
+/// One named family of the catalog registry: the registry name sweep
+/// drivers address it by, plus its resolved entries.
+#[derive(Debug, Clone)]
+pub struct CatalogFamily {
+    /// The registry name ([`family_names`] / [`family_by_name`]).
+    pub name: &'static str,
+    /// The family's benchmark instances, in scaling order.
+    pub entries: Vec<CatalogEntry>,
+}
+
+impl CatalogFamily {
+    /// Entries whose codes have at most `max_qubits` data qubits (the
+    /// filter sweep smoke modes use to stay within a time budget).
+    pub fn entries_within(&self, max_qubits: usize) -> impl Iterator<Item = &CatalogEntry> {
+        self.entries.iter().filter(move |entry| entry.code.num_qubits() <= max_qubits)
+    }
+}
+
+/// Every family of the registry with its entries resolved, in registry
+/// order — the iteration API catalog-wide sweeps fan out over.
+///
+/// # Example
+///
+/// ```
+/// let families = asynd_codes::catalog::families();
+/// assert!(families.len() >= 6, "the sweep surface covers many families");
+/// for family in &families {
+///     assert!(!family.entries.is_empty());
+/// }
+/// ```
+pub fn families() -> Vec<CatalogFamily> {
+    family_names()
+        .into_iter()
+        .map(|name| CatalogFamily {
+            name,
+            entries: family_by_name(name).expect("every registered name resolves"),
+        })
+        .collect()
+}
+
 /// Every named code family of the catalog, in registry order.
 ///
 /// Sweep drivers iterate this list (or resolve a single family with
@@ -395,6 +435,53 @@ mod tests {
 
         assert!(family_names().contains(&"xzzx"));
         assert!(family_names().contains(&"hgp"));
+    }
+
+    #[test]
+    fn families_iteration_matches_the_registry() {
+        let families = families();
+        assert_eq!(
+            families.iter().map(|f| f.name).collect::<Vec<_>>(),
+            family_names(),
+            "families() preserves registry order"
+        );
+        for family in &families {
+            let by_name = family_by_name(family.name).unwrap();
+            assert_eq!(by_name.len(), family.entries.len());
+            for (a, b) in family.entries.iter().zip(&by_name) {
+                assert_eq!(a.paper_label, b.paper_label);
+            }
+        }
+    }
+
+    #[test]
+    fn entries_within_filters_by_qubit_count() {
+        let families = families();
+        let bb = families.iter().find(|f| f.name == "bb").unwrap();
+        assert_eq!(bb.entries_within(71).count(), 0, "the BB code has 72 data qubits");
+        assert_eq!(bb.entries_within(72).count(), bb.entries.len());
+        let total: usize = families.iter().map(|f| f.entries_within(usize::MAX).count()).sum();
+        assert_eq!(total, families.iter().map(|f| f.entries.len()).sum::<usize>());
+    }
+
+    #[test]
+    fn family_by_name_rejects_unknown_names() {
+        for name in ["", "surface", "rotated surface", "xzzx ", " xzzx", "bb-codes"] {
+            assert!(family_by_name(name).is_none(), "{name:?} should not resolve");
+        }
+    }
+
+    #[test]
+    fn family_by_name_is_case_sensitive() {
+        // Registry names are the canonical protocol tokens; a server must
+        // treat case variants as unknown rather than silently aliasing.
+        for name in ["XZZX", "Xzzx", "HGP", "Rotated-Surface", "BB"] {
+            assert!(family_by_name(name).is_none(), "{name:?} resolved despite case mismatch");
+            assert!(
+                family_by_name(&name.to_lowercase()).is_some(),
+                "lowercase {name:?} is registered"
+            );
+        }
     }
 
     #[test]

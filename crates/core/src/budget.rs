@@ -1,0 +1,164 @@
+//! Evaluation-budget plumbing shared by the synthesis strategies and the
+//! serving layer.
+//!
+//! A search strategy promises to stay within its evaluation grant, but a
+//! *server* racing tenant workloads cannot run on promises alone: it needs
+//! an enforcement point that counts every evaluation actually issued and
+//! cuts the strategy off at the cap. [`EvaluationMeter`] is that point — a
+//! shareable atomic counter the scoring facade charges on every request.
+//!
+//! Determinism note: a meter must never be shared between *racing*
+//! strategies. Exhaustion order on a shared meter would depend on thread
+//! scheduling; one meter per strategy (each capped at that strategy's
+//! grant) keeps every strategy's behaviour a pure function of its inputs,
+//! which is the discipline the whole evaluation stack is built on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::SchedulerError;
+
+/// A capped, thread-safe evaluation counter.
+///
+/// # Example
+///
+/// ```
+/// use asynd_core::EvaluationMeter;
+///
+/// let meter = EvaluationMeter::new(2);
+/// meter.charge(1).unwrap();
+/// meter.charge(1).unwrap();
+/// assert!(meter.charge(1).is_err(), "the cap is enforced");
+/// assert_eq!(meter.spent(), 2);
+/// ```
+#[derive(Debug)]
+pub struct EvaluationMeter {
+    cap: u64,
+    spent: AtomicU64,
+}
+
+impl EvaluationMeter {
+    /// A meter allowing up to `cap` evaluations.
+    pub fn new(cap: u64) -> Self {
+        EvaluationMeter { cap, spent: AtomicU64::new(0) }
+    }
+
+    /// The grant this meter enforces.
+    pub fn cap(&self) -> u64 {
+        self.cap
+    }
+
+    /// Evaluations charged so far (never exceeds the cap).
+    pub fn spent(&self) -> u64 {
+        self.spent.load(Ordering::Relaxed)
+    }
+
+    /// Evaluations still available under the cap.
+    pub fn remaining(&self) -> u64 {
+        self.cap - self.spent()
+    }
+
+    /// Charges `amount` evaluations against the grant.
+    ///
+    /// The charge is all-or-nothing: on failure nothing is recorded, so a
+    /// caller that stops on the first error reports exactly what it spent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedulerError::BudgetExhausted`] if the charge would
+    /// exceed the cap.
+    pub fn charge(&self, amount: u64) -> Result<(), SchedulerError> {
+        let mut current = self.spent.load(Ordering::Relaxed);
+        loop {
+            let proposed = match current.checked_add(amount) {
+                Some(proposed) if proposed <= self.cap => proposed,
+                _ => {
+                    return Err(SchedulerError::BudgetExhausted {
+                        granted: self.cap,
+                        requested: amount,
+                        spent: current,
+                    })
+                }
+            };
+            match self.spent.compare_exchange_weak(
+                current,
+                proposed,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+/// Splits a total evaluation budget across `parties` equal grants
+/// (remainder dropped — grants must be identical for strategy comparisons
+/// to stay budget-fair).
+///
+/// Returns `None` when the split leaves any party without evaluations.
+pub fn split_grant(total: u64, parties: usize) -> Option<u64> {
+    if parties == 0 {
+        return None;
+    }
+    let grant = total / parties as u64;
+    (grant > 0).then_some(grant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_counts_and_enforces() {
+        let meter = EvaluationMeter::new(10);
+        assert_eq!(meter.cap(), 10);
+        meter.charge(4).unwrap();
+        meter.charge(6).unwrap();
+        assert_eq!(meter.spent(), 10);
+        assert_eq!(meter.remaining(), 0);
+        let err = meter.charge(1).unwrap_err();
+        match err {
+            SchedulerError::BudgetExhausted { granted, requested, spent } => {
+                assert_eq!((granted, requested, spent), (10, 1, 10));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        // The failed charge recorded nothing.
+        assert_eq!(meter.spent(), 10);
+    }
+
+    #[test]
+    fn overflowing_charge_is_rejected_not_wrapped() {
+        let meter = EvaluationMeter::new(u64::MAX);
+        meter.charge(u64::MAX - 1).unwrap();
+        assert!(meter.charge(u64::MAX).is_err());
+        assert_eq!(meter.spent(), u64::MAX - 1);
+    }
+
+    #[test]
+    fn concurrent_charges_never_exceed_the_cap() {
+        use std::sync::Arc;
+        let meter = Arc::new(EvaluationMeter::new(1000));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let meter = Arc::clone(&meter);
+                scope.spawn(move || {
+                    for _ in 0..300 {
+                        let _ = meter.charge(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(meter.spent(), 1000, "exactly the cap is granted under contention");
+    }
+
+    #[test]
+    fn grants_split_evenly_or_not_at_all() {
+        assert_eq!(split_grant(128, 4), Some(32));
+        assert_eq!(split_grant(130, 4), Some(32), "remainder is dropped");
+        assert_eq!(split_grant(3, 4), None);
+        assert_eq!(split_grant(0, 1), None);
+        assert_eq!(split_grant(5, 0), None);
+    }
+}

@@ -32,6 +32,16 @@ pub enum SchedulerError {
         /// Description of the violated requirement.
         reason: String,
     },
+    /// An evaluation charge would exceed the enforced budget
+    /// (see [`EvaluationMeter`](crate::EvaluationMeter)).
+    BudgetExhausted {
+        /// The evaluation cap that was granted.
+        granted: u64,
+        /// The size of the charge that was rejected.
+        requested: u64,
+        /// Evaluations already charged when the request arrived.
+        spent: u64,
+    },
 }
 
 impl fmt::Display for SchedulerError {
@@ -47,6 +57,13 @@ impl fmt::Display for SchedulerError {
             SchedulerError::Evaluation(e) => write!(f, "schedule evaluation failed: {e}"),
             SchedulerError::InvalidConfig { reason } => {
                 write!(f, "invalid configuration: {reason}")
+            }
+            SchedulerError::BudgetExhausted { granted, requested, spent } => {
+                write!(
+                    f,
+                    "evaluation budget exhausted: {spent} of {granted} spent, \
+                     {requested} more requested"
+                )
             }
         }
     }

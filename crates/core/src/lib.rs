@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod error;
 pub mod industry;
 mod lowest_depth;
@@ -48,6 +49,7 @@ mod partition;
 mod scheduler;
 pub mod spacetime;
 
+pub use budget::{split_grant, EvaluationMeter};
 pub use error::SchedulerError;
 pub use lowest_depth::LowestDepthScheduler;
 pub use mcts::{

@@ -79,7 +79,7 @@ use std::sync::Arc;
 
 use asynd_circuit::{Evaluator, LogicalErrorEstimate, Schedule};
 use asynd_codes::StabilizerCode;
-use asynd_core::{eval_seed_for, SchedulerError};
+use asynd_core::{eval_seed_for, EvaluationMeter, SchedulerError};
 
 /// How much work a synthesizer may spend: the number of score requests it
 /// may issue through its [`ScoreContext`].
@@ -134,12 +134,48 @@ pub struct SynthesisOutcome {
 pub struct ScoreContext {
     evaluator: Arc<Evaluator>,
     salt: u64,
+    meter: Option<Arc<EvaluationMeter>>,
 }
 
 impl ScoreContext {
     /// Creates a context over a (possibly shared) evaluator.
     pub fn new(evaluator: Arc<Evaluator>, salt: u64) -> Self {
-        ScoreContext { evaluator, salt }
+        ScoreContext { evaluator, salt, meter: None }
+    }
+
+    /// Attaches an enforcement meter (builder style): every score request
+    /// (and every explicit [`ScoreContext::charge`]) counts against it, and
+    /// requests beyond its cap fail with
+    /// [`SchedulerError::BudgetExhausted`].
+    ///
+    /// A meter must be private to one strategy — sharing one between
+    /// racing strategies would make exhaustion order depend on thread
+    /// scheduling (see [`asynd_core::EvaluationMeter`]).
+    #[must_use]
+    pub fn with_meter(&self, meter: Arc<EvaluationMeter>) -> Self {
+        ScoreContext { evaluator: self.evaluator.clone(), salt: self.salt, meter: Some(meter) }
+    }
+
+    /// The attached enforcement meter, if any.
+    pub fn meter(&self) -> Option<&Arc<EvaluationMeter>> {
+        self.meter.as_ref()
+    }
+
+    /// Charges `amount` evaluations against the meter (no-op without one).
+    ///
+    /// Strategies that evaluate around the scoring facade (the MCTS
+    /// adapter drives the evaluator directly) use this to keep the meter
+    /// honest about their true spend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedulerError::BudgetExhausted`] if the charge exceeds
+    /// the meter's cap.
+    pub fn charge(&self, amount: u64) -> Result<(), SchedulerError> {
+        match &self.meter {
+            Some(meter) => meter.charge(amount),
+            None => Ok(()),
+        }
     }
 
     /// The underlying evaluator (strategies needing richer access — the
@@ -154,17 +190,20 @@ impl ScoreContext {
     }
 
     /// Scores a schedule: evaluates it under its key-derived seed through
-    /// the shared cache.
+    /// the shared cache, charging one evaluation against the meter (if one
+    /// is attached).
     ///
     /// # Errors
     ///
     /// Returns [`SchedulerError::Evaluation`] when the underlying
-    /// evaluation fails (invalid schedule or options).
+    /// evaluation fails (invalid schedule or options) and
+    /// [`SchedulerError::BudgetExhausted`] when the meter's cap is spent.
     pub fn score(
         &self,
         code: &StabilizerCode,
         schedule: &Schedule,
     ) -> Result<LogicalErrorEstimate, SchedulerError> {
+        self.charge(1)?;
         let seed = eval_seed_for(self.salt, schedule.key());
         self.evaluator.evaluate(code, schedule, seed).map_err(SchedulerError::Evaluation)
     }

@@ -89,6 +89,11 @@ impl Synthesizer for MctsSynthesizer {
             config.iterations_per_step = ((remaining - 2) / total_checks).max(1) as usize;
             let (schedule, run) =
                 synthesize_with_evaluator(&config, code, ctx.evaluator(), |_| {})?;
+            // The search above evaluated around the scoring facade (one
+            // request per iteration plus the reward reference); settle
+            // those with the meter so metered and reported spend agree.
+            // `ctx.score` below charges the final re-score itself.
+            ctx.charge(run.iterations + 1)?;
             let estimate = ctx.score(code, &schedule)?;
             let spent = run.iterations + 2;
             remaining = remaining.saturating_sub(spent);

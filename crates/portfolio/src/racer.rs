@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 
 use asynd_circuit::{DecoderFactory, EstimateOptions, Evaluator, EvaluatorStats, NoiseModel};
 use asynd_codes::StabilizerCode;
-use asynd_core::SchedulerError;
+use asynd_core::{EvaluationMeter, SchedulerError};
 use asynd_sim::mix_seed;
 
 use crate::{
@@ -78,6 +78,12 @@ pub struct StrategyReport {
     /// Wall-clock time the strategy ran for (reporting only — never used
     /// in winner selection, which must stay deterministic).
     pub wall: Duration,
+    /// The evaluation grant the strategy's meter enforced.
+    pub granted: u64,
+    /// Evaluations the meter actually counted. Agrees with
+    /// `outcome.stats.evaluations` for honest strategies; serving layers
+    /// treat the metered figure as authoritative.
+    pub metered: u64,
 }
 
 /// The result of one portfolio race.
@@ -97,6 +103,16 @@ impl PortfolioReport {
     /// The winning strategy's report.
     pub fn winning(&self) -> &StrategyReport {
         &self.strategies[self.winner]
+    }
+
+    /// Total evaluation grant across all strategies.
+    pub fn total_granted(&self) -> u64 {
+        self.strategies.iter().map(|s| s.granted).sum()
+    }
+
+    /// Total metered evaluation spend across all strategies.
+    pub fn total_spent(&self) -> u64 {
+        self.strategies.iter().map(|s| s.metered).sum()
     }
 }
 
@@ -177,13 +193,6 @@ impl Portfolio {
         noise: &NoiseModel,
         factory: Arc<dyn DecoderFactory + Send + Sync>,
     ) -> Result<PortfolioReport, SchedulerError> {
-        self.config.validate()?;
-        if self.strategies.is_empty() {
-            return Err(SchedulerError::InvalidConfig {
-                reason: "portfolio has no strategies".into(),
-            });
-        }
-        let start = Instant::now();
         let options = EstimateOptions { max_threads: Some(1), ..EstimateOptions::default() };
         let evaluator = Arc::new(Evaluator::with_capacity(
             noise.clone(),
@@ -192,9 +201,47 @@ impl Portfolio {
             options,
             self.config.eval_cache_capacity,
         ));
-        let ctx =
-            ScoreContext::new(evaluator.clone(), mix_seed(self.config.seed, EVAL_SALT_STREAM));
+        self.run_with_evaluator(code, evaluator, mix_seed(self.config.seed, EVAL_SALT_STREAM))
+    }
+
+    /// Races every registered strategy over a *caller-owned* evaluator —
+    /// the entry point serving layers use to shard one evaluator per
+    /// (code, error-model) tenant and share its cache across jobs.
+    ///
+    /// The evaluator's own noise model, shot budget, estimation options
+    /// and cache capacity govern; the config's `shots_per_evaluation` and
+    /// `eval_cache_capacity` are ignored on this path. `salt` is the
+    /// evaluation-seed salt: every job sharing the evaluator must pass the
+    /// *same* salt, so cached estimates stay a pure function of the
+    /// schedule regardless of which job (or worker) computed them first.
+    ///
+    /// Each strategy runs against a private [`EvaluationMeter`] capped at
+    /// its grant, so a misbehaving strategy is cut off at the budget
+    /// rather than trusted to self-limit.
+    ///
+    /// # Errors
+    ///
+    /// As [`Portfolio::run`].
+    pub fn run_with_evaluator(
+        &self,
+        code: &StabilizerCode,
+        evaluator: Arc<Evaluator>,
+        salt: u64,
+    ) -> Result<PortfolioReport, SchedulerError> {
+        self.config.validate()?;
+        if self.strategies.is_empty() {
+            return Err(SchedulerError::InvalidConfig {
+                reason: "portfolio has no strategies".into(),
+            });
+        }
+        let start = Instant::now();
+        let ctx = ScoreContext::new(evaluator.clone(), salt);
         let budget = SynthesisBudget::evaluations(self.config.budget_per_strategy);
+        let meters: Vec<Arc<EvaluationMeter>> = self
+            .strategies
+            .iter()
+            .map(|_| Arc::new(EvaluationMeter::new(budget.evaluations)))
+            .collect();
 
         let workers = match self.config.worker_threads {
             0 => self.strategies.len().min(rayon::current_num_threads()).max(1),
@@ -210,9 +257,10 @@ impl Portfolio {
                         break;
                     }
                     let strategy = &self.strategies[index];
+                    let strategy_ctx = ctx.with_meter(meters[index].clone());
                     let seed = mix_seed(self.config.seed, 1 + index as u64);
                     let began = Instant::now();
-                    let result = strategy.synthesize(code, &ctx, budget, seed);
+                    let result = strategy.synthesize(code, &strategy_ctx, budget, seed);
                     let wall = began.elapsed();
                     *slots[index].lock().expect("portfolio slot poisoned") = Some((result, wall));
                 });
@@ -230,6 +278,8 @@ impl Portfolio {
                 name: self.strategies[index].name().to_string(),
                 outcome,
                 wall,
+                granted: budget.evaluations,
+                metered: meters[index].spent(),
             });
         }
 
@@ -281,6 +331,14 @@ mod tests {
             .unwrap();
         assert_eq!(report.strategies.len(), 4);
         report.winning().outcome.schedule.validate(&code).unwrap();
+        // The meters agree with every strategy's self-reported spend and
+        // stay within the grant.
+        for s in &report.strategies {
+            assert_eq!(s.metered, s.outcome.stats.evaluations, "{} meter disagrees", s.name);
+            assert!(s.metered <= s.granted);
+        }
+        assert_eq!(report.total_granted(), 4 * 64);
+        assert!(report.total_spent() > 0);
         // The winner is never worse than the lowest-depth baseline member.
         let baseline =
             report.strategies.iter().find(|s| s.name == "lowest-depth").expect("baseline member");

@@ -1,0 +1,277 @@
+//! `asynd` — the AlphaSyndrome synthesis serving CLI.
+//!
+//! ```text
+//! asynd serve   [--tcp ADDR] [--workers N] [--queue N] [--cache N] [--max-budget N]
+//! asynd submit  [--tcp ADDR] [--file PATH] [--workers N]
+//! asynd sweep   [--smoke] [--out PATH] [--seed N] [--rates a,b,c] [--shots N]
+//!               [--families a,b] [--budget-mult N] [--max-qubits N]
+//!               [--entries N] [--workers N] [--quiet]
+//! asynd validate FILE...
+//! ```
+//!
+//! `serve` speaks the JSON-lines protocol on stdin/stdout, or on a TCP
+//! listener with `--tcp`. `submit` sends request lines (stdin or
+//! `--file`) to a TCP server, or — without `--tcp` — runs them on an
+//! in-process server. `sweep` races the strategy portfolio over the code
+//! catalog × an error-rate grid and writes `BENCH_sweep.json`.
+//! `validate` type-checks `BENCH_*.json` trajectory documents.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use asynd_server::sweep::{run_sweep, validate_report_text, SweepConfig};
+use asynd_server::{serve_lines, serve_tcp, ScheduleServer, ServerConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((command, rest)) => (command.as_str(), rest),
+        None => ("help", &[] as &[String]),
+    };
+    let result = match command {
+        "serve" => cmd_serve(rest),
+        "submit" => cmd_submit(rest),
+        "sweep" => cmd_sweep(rest),
+        "validate" => cmd_validate(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("asynd: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+asynd — AlphaSyndrome synthesis serving CLI
+
+USAGE:
+  asynd serve   [--tcp ADDR] [--workers N] [--queue N] [--cache N] [--max-budget N]
+  asynd submit  [--tcp ADDR] [--file PATH] [--workers N]
+  asynd sweep   [--smoke] [--out PATH] [--seed N] [--rates a,b,c] [--shots N]
+                [--families a,b] [--budget-mult N] [--max-qubits N] [--entries N]
+                [--workers N] [--quiet]
+  asynd validate FILE...
+
+`serve` reads JSON-lines requests from stdin (or TCP connections) and
+writes one response line per job, in submission order. `submit` is the
+matching client; without --tcp it runs jobs on an in-process server.
+See the README's serving-layer section for the request schema.
+";
+
+/// A tiny `--flag value` argument cursor.
+struct Flags<'a> {
+    args: &'a [String],
+    index: usize,
+}
+
+impl<'a> Flags<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Flags { args, index: 0 }
+    }
+
+    fn next_flag(&mut self) -> Option<&'a str> {
+        let arg = self.args.get(self.index)?;
+        self.index += 1;
+        Some(arg.as_str())
+    }
+
+    fn value(&mut self, flag: &str) -> Result<&'a str, String> {
+        let value = self.args.get(self.index).ok_or_else(|| format!("{flag} needs a value"))?;
+        self.index += 1;
+        Ok(value.as_str())
+    }
+
+    fn parsed<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, String> {
+        let raw = self.value(flag)?;
+        raw.parse().map_err(|_| format!("{flag} got an unparsable value {raw:?}"))
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut config = ServerConfig::default();
+    let mut tcp: Option<String> = None;
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next_flag() {
+        match flag {
+            "--tcp" => tcp = Some(flags.value("--tcp")?.to_string()),
+            "--workers" => config.workers = flags.parsed("--workers")?,
+            "--queue" => config.queue_capacity = flags.parsed("--queue")?,
+            "--cache" => config.cache_capacity = flags.parsed("--cache")?,
+            "--max-budget" => config.max_budget = flags.parsed("--max-budget")?,
+            other => return Err(format!("serve: unknown flag {other:?}")),
+        }
+    }
+    let server = ScheduleServer::start(config);
+    match tcp {
+        Some(addr) => {
+            let listener =
+                TcpListener::bind(&addr).map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+            eprintln!(
+                "asynd: serving on {} with {} workers (send {{\"op\":\"shutdown\"}} to stop)",
+                listener.local_addr().map_err(|e| e.to_string())?,
+                server.workers()
+            );
+            serve_tcp(&server, listener).map_err(|e| e.to_string())?;
+        }
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_lines(stdin.lock(), stdout.lock(), &server).map_err(|e| e.to_string())?;
+        }
+    }
+    server.shutdown();
+    Ok(())
+}
+
+fn read_request_lines(file: Option<&PathBuf>) -> Result<Vec<String>, String> {
+    let text = match file {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?,
+        None => {
+            let mut buffer = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin(), &mut buffer)
+                .map_err(|e| e.to_string())?;
+            buffer
+        }
+    };
+    Ok(text.lines().map(str::to_string).filter(|line| !line.trim().is_empty()).collect())
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let mut tcp: Option<String> = None;
+    let mut file: Option<PathBuf> = None;
+    let mut workers = 0usize;
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next_flag() {
+        match flag {
+            "--tcp" => tcp = Some(flags.value("--tcp")?.to_string()),
+            "--file" => file = Some(PathBuf::from(flags.value("--file")?)),
+            "--workers" => workers = flags.parsed("--workers")?,
+            other => return Err(format!("submit: unknown flag {other:?}")),
+        }
+    }
+    let lines = read_request_lines(file.as_ref())?;
+    if lines.is_empty() {
+        return Err("no request lines to submit".to_string());
+    }
+    match tcp {
+        Some(addr) => {
+            let stream =
+                TcpStream::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+            for line in &lines {
+                writeln!(writer, "{line}").map_err(|e| e.to_string())?;
+            }
+            // Half-close so the server sees EOF and drains in order.
+            writer.flush().map_err(|e| e.to_string())?;
+            stream.shutdown(std::net::Shutdown::Write).map_err(|e| e.to_string())?;
+            let reader = BufReader::new(stream);
+            let mut stdout = std::io::stdout().lock();
+            for line in reader.lines() {
+                let line = line.map_err(|e| e.to_string())?;
+                writeln!(stdout, "{line}").map_err(|e| e.to_string())?;
+            }
+        }
+        None => {
+            let server = ScheduleServer::start(ServerConfig { workers, ..ServerConfig::default() });
+            let input = lines.join("\n");
+            let stdout = std::io::stdout();
+            serve_lines(input.as_bytes(), stdout.lock(), &server).map_err(|e| e.to_string())?;
+            server.shutdown();
+        }
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let mut config = SweepConfig::standard();
+    let mut out = PathBuf::from("BENCH_sweep.json");
+    let mut quiet = false;
+    let mut smoke = false;
+    // Explicit flags beat the --smoke preset regardless of order.
+    let mut explicit_shots: Option<usize> = None;
+    let mut explicit_mult: Option<u64> = None;
+    let mut explicit_entries: Option<usize> = None;
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next_flag() {
+        match flag {
+            "--smoke" => smoke = true,
+            "--out" => out = PathBuf::from(flags.value("--out")?),
+            "--seed" => config.seed = flags.parsed("--seed")?,
+            "--shots" => explicit_shots = Some(flags.parsed("--shots")?),
+            "--budget-mult" => explicit_mult = Some(flags.parsed("--budget-mult")?),
+            "--max-qubits" => config.max_qubits = flags.parsed("--max-qubits")?,
+            "--entries" => explicit_entries = Some(flags.parsed("--entries")?),
+            "--workers" => config.workers = flags.parsed("--workers")?,
+            "--quiet" => quiet = true,
+            "--rates" => {
+                config.error_rates = flags
+                    .value("--rates")?
+                    .split(',')
+                    .map(|raw| {
+                        raw.trim()
+                            .parse::<f64>()
+                            .map_err(|_| format!("--rates got an unparsable rate {raw:?}"))
+                    })
+                    .collect::<Result<Vec<f64>, String>>()?;
+            }
+            "--families" => {
+                config.families =
+                    flags.value("--families")?.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            other => return Err(format!("sweep: unknown flag {other:?}")),
+        }
+    }
+    if smoke {
+        let preset = SweepConfig::smoke();
+        config.entries_per_family = preset.entries_per_family;
+        config.budget_multiplier = preset.budget_multiplier;
+        config.shots = preset.shots;
+    }
+    if let Some(shots) = explicit_shots {
+        config.shots = shots;
+    }
+    if let Some(mult) = explicit_mult {
+        config.budget_multiplier = mult;
+    }
+    if let Some(entries) = explicit_entries {
+        config.entries_per_family = entries;
+    }
+    let report = run_sweep(&config).map_err(|e| e.to_string())?;
+    report.write(&config, &out).map_err(|e| e.to_string())?;
+    if !quiet {
+        print!("{}", report.render_table());
+    }
+    eprintln!(
+        "asynd: swept {} codes x {} rates ({} records) -> {}",
+        report.codes,
+        report.rates,
+        report.records.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        return Err("validate: no files given".to_string());
+    }
+    for path in args {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let summary = validate_report_text(&text).map_err(|e| format!("{path} is invalid: {e}"))?;
+        println!(
+            "{path}: ok ({} records, {} codes, {} strategies)",
+            summary.records, summary.codes, summary.strategies
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,656 @@
+//! The JSON-lines wire protocol of the schedule server.
+//!
+//! One request per line, one response per line, responses in submission
+//! order. The same frames travel over stdin/stdout (`asynd serve`) and
+//! TCP (`asynd serve --tcp`).
+//!
+//! Requests:
+//!
+//! ```json
+//! {"op":"synthesize","id":"j1","code":{"family":"xzzx","index":0},
+//!  "noise":{"kind":"scaled","p":0.003},"strategy":"portfolio",
+//!  "budget":128,"shots":400,"seed":7}
+//! {"op":"ping"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses carry the serialized schedule artifact
+//! ([`asynd_circuit::artifact::ScheduleArtifact`]), the budget accounting
+//! and a cache-stats snapshot (observability only — see the crate docs'
+//! determinism contract).
+
+use asynd_circuit::artifact::{self, ScheduleArtifact};
+use asynd_circuit::{EvaluatorStats, NoiseModel};
+use serde_json::{Map, Value};
+
+use crate::ServerError;
+
+fn protocol_error(reason: impl Into<String>) -> ServerError {
+    ServerError::Protocol { reason: reason.into() }
+}
+
+fn required<'v>(value: &'v Value, key: &str) -> Result<&'v Value, ServerError> {
+    value.get(key).ok_or_else(|| protocol_error(format!("missing member `{key}`")))
+}
+
+fn required_str<'v>(value: &'v Value, key: &str) -> Result<&'v str, ServerError> {
+    required(value, key)?
+        .as_str()
+        .ok_or_else(|| protocol_error(format!("member `{key}` must be a string")))
+}
+
+fn required_u64(value: &Value, key: &str) -> Result<u64, ServerError> {
+    required(value, key)?
+        .as_u64()
+        .ok_or_else(|| protocol_error(format!("member `{key}` must be a non-negative integer")))
+}
+
+fn required_f64(value: &Value, key: &str) -> Result<f64, ServerError> {
+    required(value, key)?
+        .as_f64()
+        .ok_or_else(|| protocol_error(format!("member `{key}` must be a number")))
+}
+
+/// The error model a job runs under, in canonical protocol form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NoiseSpec {
+    /// The IBM Brisbane-adapted model ([`NoiseModel::brisbane`]).
+    Brisbane,
+    /// The paper's §4.1 model ([`NoiseModel::paper`]).
+    Paper,
+    /// A uniform depolarizing model at one physical rate
+    /// ([`NoiseModel::scaled`]).
+    Scaled(f64),
+    /// Fully explicit uniform rates ([`NoiseModel::uniform`]).
+    Uniform {
+        /// Two-qubit gate depolarizing probability.
+        p_two_qubit: f64,
+        /// Idle depolarizing probability per tick.
+        p_idle: f64,
+        /// Readout flip probability.
+        p_measurement: f64,
+    },
+}
+
+impl NoiseSpec {
+    /// Builds the noise model this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Rejects probabilities outside `[0, 1]`.
+    pub fn to_model(&self) -> Result<NoiseModel, ServerError> {
+        let check = |name: &str, p: f64| {
+            if (0.0..=1.0).contains(&p) {
+                Ok(p)
+            } else {
+                Err(protocol_error(format!("noise `{name}` must be a probability, got {p}")))
+            }
+        };
+        Ok(match *self {
+            NoiseSpec::Brisbane => NoiseModel::brisbane(),
+            NoiseSpec::Paper => NoiseModel::paper(),
+            NoiseSpec::Scaled(p) => NoiseModel::scaled(check("p", p)?),
+            NoiseSpec::Uniform { p_two_qubit, p_idle, p_measurement } => NoiseModel::uniform(
+                check("p_two_qubit", p_two_qubit)?,
+                check("p_idle", p_idle)?,
+                check("p_measurement", p_measurement)?,
+            ),
+        })
+    }
+
+    /// The canonical text form used in tenant keys. Rates are formatted
+    /// with Rust's shortest-round-trip float `Display`, so equal rates
+    /// always produce equal keys.
+    pub fn canonical(&self) -> String {
+        match self {
+            NoiseSpec::Brisbane => "brisbane".to_string(),
+            NoiseSpec::Paper => "paper".to_string(),
+            NoiseSpec::Scaled(p) => format!("scaled({p})"),
+            NoiseSpec::Uniform { p_two_qubit, p_idle, p_measurement } => {
+                format!("uniform({p_two_qubit},{p_idle},{p_measurement})")
+            }
+        }
+    }
+
+    /// Serializes the spec.
+    pub fn to_json(&self) -> Value {
+        let mut map = Map::new();
+        match self {
+            NoiseSpec::Brisbane => {
+                map.insert("kind", Value::from("brisbane"));
+            }
+            NoiseSpec::Paper => {
+                map.insert("kind", Value::from("paper"));
+            }
+            NoiseSpec::Scaled(p) => {
+                map.insert("kind", Value::from("scaled"));
+                map.insert("p", Value::from(*p));
+            }
+            NoiseSpec::Uniform { p_two_qubit, p_idle, p_measurement } => {
+                map.insert("kind", Value::from("uniform"));
+                map.insert("p_two_qubit", Value::from(*p_two_qubit));
+                map.insert("p_idle", Value::from(*p_idle));
+                map.insert("p_measurement", Value::from(*p_measurement));
+            }
+        }
+        Value::Object(map)
+    }
+
+    /// Parses a spec: either the object form of [`NoiseSpec::to_json`] or
+    /// the shorthand strings `"brisbane"` / `"paper"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Protocol`] for unknown kinds or missing
+    /// rate members.
+    pub fn from_json(value: &Value) -> Result<NoiseSpec, ServerError> {
+        if let Some(name) = value.as_str() {
+            return match name {
+                "brisbane" => Ok(NoiseSpec::Brisbane),
+                "paper" => Ok(NoiseSpec::Paper),
+                other => Err(protocol_error(format!("unknown noise shorthand {other:?}"))),
+            };
+        }
+        match required_str(value, "kind")? {
+            "brisbane" => Ok(NoiseSpec::Brisbane),
+            "paper" => Ok(NoiseSpec::Paper),
+            "scaled" => Ok(NoiseSpec::Scaled(required_f64(value, "p")?)),
+            "uniform" => Ok(NoiseSpec::Uniform {
+                p_two_qubit: required_f64(value, "p_two_qubit")?,
+                p_idle: required_f64(value, "p_idle")?,
+                p_measurement: required_f64(value, "p_measurement")?,
+            }),
+            other => Err(protocol_error(format!("unknown noise kind {other:?}"))),
+        }
+    }
+}
+
+/// A catalog code addressed by registry family name and entry index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeRef {
+    /// Registry name (see [`asynd_codes::catalog::family_names`]).
+    pub family: String,
+    /// Index into the family's entry list (scaling order).
+    pub index: usize,
+}
+
+impl CodeRef {
+    /// Serializes the reference.
+    pub fn to_json(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("family", Value::from(self.family.as_str()));
+        map.insert("index", Value::from(self.index));
+        Value::Object(map)
+    }
+
+    /// Parses a reference (`index` defaults to 0 when absent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Protocol`] when `family` is missing.
+    pub fn from_json(value: &Value) -> Result<CodeRef, ServerError> {
+        let index =
+            match value.get("index") {
+                None => 0,
+                Some(raw) => usize::try_from(raw.as_u64().ok_or_else(|| {
+                    protocol_error("member `index` must be a non-negative integer")
+                })?)
+                .map_err(|_| protocol_error("member `index` is out of range"))?,
+            };
+        Ok(CodeRef { family: required_str(value, "family")?.to_string(), index })
+    }
+}
+
+/// Which synthesis engine a job races.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyChoice {
+    /// The standard four-strategy portfolio race.
+    Portfolio,
+    /// MCTS only.
+    Mcts,
+    /// Simulated annealing only.
+    Anneal,
+    /// Beam search only.
+    Beam,
+    /// The lowest-depth baseline only.
+    LowestDepth,
+}
+
+impl StrategyChoice {
+    /// Every protocol token, in registry order.
+    pub const ALL: [StrategyChoice; 5] = [
+        StrategyChoice::Portfolio,
+        StrategyChoice::Mcts,
+        StrategyChoice::Anneal,
+        StrategyChoice::Beam,
+        StrategyChoice::LowestDepth,
+    ];
+
+    /// The protocol token.
+    pub fn token(self) -> &'static str {
+        match self {
+            StrategyChoice::Portfolio => "portfolio",
+            StrategyChoice::Mcts => "mcts",
+            StrategyChoice::Anneal => "anneal",
+            StrategyChoice::Beam => "beam",
+            StrategyChoice::LowestDepth => "lowest-depth",
+        }
+    }
+
+    /// Parses a protocol token.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Protocol`] for unknown tokens.
+    pub fn parse(token: &str) -> Result<StrategyChoice, ServerError> {
+        StrategyChoice::ALL
+            .into_iter()
+            .find(|choice| choice.token() == token)
+            .ok_or_else(|| protocol_error(format!("unknown strategy {token:?}")))
+    }
+
+    /// Number of strategies racing under this choice (the job budget is
+    /// split evenly across them).
+    pub fn parties(self) -> usize {
+        match self {
+            StrategyChoice::Portfolio => 4,
+            _ => 1,
+        }
+    }
+}
+
+/// One synthesis job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// Caller-chosen identifier echoed on the response.
+    pub id: String,
+    /// The code to schedule.
+    pub code: CodeRef,
+    /// The error model (one tenant per distinct model).
+    pub noise: NoiseSpec,
+    /// The engine to race.
+    pub strategy: StrategyChoice,
+    /// Total evaluation budget of the job, split evenly across the racing
+    /// strategies and enforced per strategy by an
+    /// [`asynd_core::EvaluationMeter`].
+    pub budget: u64,
+    /// Monte-Carlo shots per evaluation (a tenant dimension: jobs with
+    /// different shot counts never share a cache).
+    pub shots: usize,
+    /// Strategy RNG seed. Does *not* influence evaluation seeds — those
+    /// are derived from schedule keys and the tenant salt, so jobs of one
+    /// tenant share cached estimates consistently.
+    pub seed: u64,
+}
+
+impl JobRequest {
+    /// Serializes the request line.
+    pub fn to_json(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("op", Value::from("synthesize"));
+        map.insert("id", Value::from(self.id.as_str()));
+        map.insert("code", self.code.to_json());
+        map.insert("noise", self.noise.to_json());
+        map.insert("strategy", Value::from(self.strategy.token()));
+        map.insert("budget", Value::from(self.budget));
+        map.insert("shots", Value::from(self.shots));
+        map.insert("seed", Value::from(self.seed));
+        Value::Object(map)
+    }
+
+    /// Parses a request line (defaults: `strategy` portfolio, `budget`
+    /// 128, `shots` 400, `seed` 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Protocol`] for missing/malformed members.
+    pub fn from_json(value: &Value) -> Result<JobRequest, ServerError> {
+        let strategy = match value.get("strategy") {
+            None => StrategyChoice::Portfolio,
+            Some(raw) => StrategyChoice::parse(
+                raw.as_str().ok_or_else(|| protocol_error("member `strategy` must be a string"))?,
+            )?,
+        };
+        let budget = match value.get("budget") {
+            None => 128,
+            Some(raw) => raw
+                .as_u64()
+                .ok_or_else(|| protocol_error("member `budget` must be a non-negative integer"))?,
+        };
+        let shots =
+            match value.get("shots") {
+                None => 400,
+                Some(raw) => usize::try_from(raw.as_u64().ok_or_else(|| {
+                    protocol_error("member `shots` must be a non-negative integer")
+                })?)
+                .map_err(|_| protocol_error("member `shots` is out of range"))?,
+            };
+        let seed = match value.get("seed") {
+            None => 0,
+            Some(raw) => raw
+                .as_u64()
+                .ok_or_else(|| protocol_error("member `seed` must be a non-negative integer"))?,
+        };
+        Ok(JobRequest {
+            id: required_str(value, "id")?.to_string(),
+            code: CodeRef::from_json(required(value, "code")?)?,
+            noise: NoiseSpec::from_json(required(value, "noise")?)?,
+            strategy,
+            budget,
+            shots,
+            seed,
+        })
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Synthesize a schedule.
+    Synthesize(JobRequest),
+    /// Liveness probe.
+    Ping,
+    /// Stop serving (TCP accept loop drains and exits).
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one JSON line (`op` defaults to `synthesize`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Protocol`] for malformed JSON or unknown
+    /// `op`.
+    pub fn parse(line: &str) -> Result<Request, ServerError> {
+        let value =
+            serde_json::from_str(line).map_err(|e| protocol_error(format!("invalid JSON: {e}")))?;
+        let op = match value.get("op") {
+            None => "synthesize",
+            Some(raw) => {
+                raw.as_str().ok_or_else(|| protocol_error("member `op` must be a string"))?
+            }
+        };
+        match op {
+            "synthesize" => Ok(Request::Synthesize(JobRequest::from_json(&value)?)),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(protocol_error(format!("unknown op {other:?}"))),
+        }
+    }
+}
+
+/// Per-strategy summary inside a successful response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategySummary {
+    /// Strategy name.
+    pub name: String,
+    /// The strategy's best achieved logical error rate.
+    pub p_overall: f64,
+    /// Depth of the strategy's best schedule.
+    pub depth: usize,
+    /// Canonical key of the strategy's best schedule (hex).
+    pub key: String,
+    /// Metered evaluation spend.
+    pub evaluations: u64,
+    /// Whether this strategy won the race.
+    pub winner: bool,
+}
+
+/// The payload of a successful synthesis job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Echo of the request id.
+    pub id: String,
+    /// The tenant key the job was sharded to.
+    pub tenant: String,
+    /// Name of the winning strategy.
+    pub strategy: String,
+    /// The winning schedule with its estimate.
+    pub artifact: ScheduleArtifact,
+    /// Total evaluation grant (all strategies).
+    pub granted: u64,
+    /// Total metered spend (all strategies).
+    pub spent: u64,
+    /// Per-strategy summaries, in registration order.
+    pub strategies: Vec<StrategySummary>,
+    /// Tenant cache counters after the job (observability only: under
+    /// concurrency the snapshot interleaving is scheduling-dependent).
+    pub cache: EvaluatorStats,
+    /// Wall-clock of the race in milliseconds (observability only).
+    pub wall_ms: f64,
+}
+
+/// One response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A job finished.
+    Ok(Box<JobOutcome>),
+    /// A job failed or was rejected.
+    Error {
+        /// Echo of the request id (empty when the line never parsed far
+        /// enough to know it).
+        id: String,
+        /// Human-readable failure description.
+        error: String,
+    },
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Acknowledgement of [`Request::Shutdown`].
+    ShuttingDown,
+}
+
+impl Response {
+    /// Serializes the response to its JSON tree.
+    pub fn to_json_value(&self) -> Value {
+        let mut map = Map::new();
+        match self {
+            Response::Ok(outcome) => {
+                map.insert("id", Value::from(outcome.id.as_str()));
+                map.insert("status", Value::from("ok"));
+                map.insert("tenant", Value::from(outcome.tenant.as_str()));
+                map.insert("strategy", Value::from(outcome.strategy.as_str()));
+                map.insert("artifact", outcome.artifact.to_json());
+                let mut budget = Map::new();
+                budget.insert("granted", Value::from(outcome.granted));
+                budget.insert("spent", Value::from(outcome.spent));
+                map.insert("budget", Value::Object(budget));
+                map.insert(
+                    "strategies",
+                    Value::Array(
+                        outcome
+                            .strategies
+                            .iter()
+                            .map(|s| {
+                                let mut entry = Map::new();
+                                entry.insert("name", Value::from(s.name.as_str()));
+                                entry.insert("p_overall", Value::from(s.p_overall));
+                                entry.insert("depth", Value::from(s.depth));
+                                entry.insert("key", Value::from(s.key.as_str()));
+                                entry.insert("evaluations", Value::from(s.evaluations));
+                                entry.insert("winner", Value::from(s.winner));
+                                Value::Object(entry)
+                            })
+                            .collect(),
+                    ),
+                );
+                map.insert("cache", artifact::evaluator_stats_to_json(&outcome.cache));
+                map.insert("wall_ms", Value::from(outcome.wall_ms));
+            }
+            Response::Error { id, error } => {
+                map.insert("id", Value::from(id.as_str()));
+                map.insert("status", Value::from("error"));
+                map.insert("error", Value::from(error.as_str()));
+            }
+            Response::Pong => {
+                map.insert("status", Value::from("ok"));
+                map.insert("op", Value::from("pong"));
+            }
+            Response::ShuttingDown => {
+                map.insert("status", Value::from("ok"));
+                map.insert("op", Value::from("shutdown"));
+            }
+        }
+        Value::Object(map)
+    }
+
+    /// Serializes the response as one compact JSON line (no newline).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.to_json_value()).expect("response serialization is infallible")
+    }
+
+    /// Parses a response line (what `asynd submit --tcp` does with server
+    /// output).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Protocol`] for malformed frames, including
+    /// artifacts whose schedule fails fingerprint verification.
+    pub fn parse(line: &str) -> Result<Response, ServerError> {
+        let value =
+            serde_json::from_str(line).map_err(|e| protocol_error(format!("invalid JSON: {e}")))?;
+        match required_str(&value, "status")? {
+            "error" => Ok(Response::Error {
+                id: required_str(&value, "id")?.to_string(),
+                error: required_str(&value, "error")?.to_string(),
+            }),
+            "ok" => {
+                match value.get("op").and_then(Value::as_str) {
+                    Some("pong") => return Ok(Response::Pong),
+                    Some("shutdown") => return Ok(Response::ShuttingDown),
+                    _ => {}
+                }
+                let artifact = ScheduleArtifact::from_json(required(&value, "artifact")?)
+                    .map_err(|e| protocol_error(format!("invalid artifact: {e}")))?;
+                let budget = required(&value, "budget")?;
+                let strategies = required(&value, "strategies")?
+                    .as_array()
+                    .ok_or_else(|| protocol_error("member `strategies` must be an array"))?
+                    .iter()
+                    .map(|s| {
+                        Ok(StrategySummary {
+                            name: required_str(s, "name")?.to_string(),
+                            p_overall: required_f64(s, "p_overall")?,
+                            depth: usize::try_from(required_u64(s, "depth")?)
+                                .map_err(|_| protocol_error("strategy depth out of range"))?,
+                            key: required_str(s, "key")?.to_string(),
+                            evaluations: required_u64(s, "evaluations")?,
+                            winner: required(s, "winner")?
+                                .as_bool()
+                                .ok_or_else(|| protocol_error("`winner` must be a boolean"))?,
+                        })
+                    })
+                    .collect::<Result<Vec<StrategySummary>, ServerError>>()?;
+                let cache = value.get("cache");
+                let cache_stat =
+                    |key: &str| cache.and_then(|c| c.get(key)).and_then(Value::as_u64).unwrap_or(0);
+                Ok(Response::Ok(Box::new(JobOutcome {
+                    id: required_str(&value, "id")?.to_string(),
+                    tenant: required_str(&value, "tenant")?.to_string(),
+                    strategy: required_str(&value, "strategy")?.to_string(),
+                    artifact,
+                    granted: required_u64(budget, "granted")?,
+                    spent: required_u64(budget, "spent")?,
+                    strategies,
+                    cache: EvaluatorStats {
+                        hits: cache_stat("hits"),
+                        misses: cache_stat("misses"),
+                        speculative_hits: cache_stat("speculative_hits"),
+                        model_reuses: cache_stat("model_reuses"),
+                        model_builds: cache_stat("model_builds"),
+                        speculative_short_circuits: cache_stat("speculative_short_circuits"),
+                        evictions: cache_stat("evictions"),
+                    },
+                    wall_ms: value.get("wall_ms").and_then(Value::as_f64).unwrap_or(0.0),
+                })))
+            }
+            other => Err(protocol_error(format!("unknown status {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_roundtrip() {
+        let request = JobRequest {
+            id: "job-9".into(),
+            code: CodeRef { family: "xzzx".into(), index: 2 },
+            noise: NoiseSpec::Scaled(0.003),
+            strategy: StrategyChoice::Anneal,
+            budget: 96,
+            shots: 250,
+            seed: 41,
+        };
+        let line = serde_json::to_string(&request.to_json()).unwrap();
+        match Request::parse(&line).unwrap() {
+            Request::Synthesize(parsed) => assert_eq!(parsed, request),
+            other => panic!("unexpected request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_defaults_apply() {
+        let line = r#"{"id":"j","code":{"family":"bb"},"noise":"brisbane"}"#;
+        match Request::parse(line).unwrap() {
+            Request::Synthesize(parsed) => {
+                assert_eq!(parsed.code.index, 0);
+                assert_eq!(parsed.strategy, StrategyChoice::Portfolio);
+                assert_eq!(parsed.budget, 128);
+                assert_eq!(parsed.shots, 400);
+                assert_eq!(parsed.seed, 0);
+                assert_eq!(parsed.noise, NoiseSpec::Brisbane);
+            }
+            other => panic!("unexpected request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ops_parse() {
+        assert_eq!(Request::parse(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(Request::parse(r#"{"op":"shutdown"}"#).unwrap(), Request::Shutdown);
+        assert!(Request::parse(r#"{"op":"dance"}"#).is_err());
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse(r#"{"op":"synthesize"}"#).is_err(), "id and code are required");
+    }
+
+    #[test]
+    fn noise_specs_roundtrip_and_canonicalize() {
+        for spec in [
+            NoiseSpec::Brisbane,
+            NoiseSpec::Paper,
+            NoiseSpec::Scaled(0.0074),
+            NoiseSpec::Uniform { p_two_qubit: 0.01, p_idle: 0.001, p_measurement: 0.02 },
+        ] {
+            let parsed = NoiseSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(parsed, spec);
+            assert_eq!(parsed.canonical(), spec.canonical());
+            spec.to_model().unwrap().validate().unwrap();
+        }
+        assert_eq!(NoiseSpec::Scaled(0.003).canonical(), "scaled(0.003)");
+        assert!(NoiseSpec::Scaled(1.5).to_model().is_err());
+        assert!(NoiseSpec::from_json(&Value::from("gaussian")).is_err());
+    }
+
+    #[test]
+    fn strategy_tokens_roundtrip() {
+        for choice in StrategyChoice::ALL {
+            assert_eq!(StrategyChoice::parse(choice.token()).unwrap(), choice);
+        }
+        assert!(StrategyChoice::parse("exhaustive").is_err());
+        assert_eq!(StrategyChoice::Portfolio.parties(), 4);
+        assert_eq!(StrategyChoice::Beam.parties(), 1);
+    }
+
+    #[test]
+    fn error_and_control_responses_roundtrip() {
+        let error = Response::Error { id: "j1".into(), error: "unknown family".into() };
+        assert_eq!(Response::parse(&error.to_json()).unwrap(), error);
+        assert_eq!(Response::parse(&Response::Pong.to_json()).unwrap(), Response::Pong);
+        assert_eq!(
+            Response::parse(&Response::ShuttingDown.to_json()).unwrap(),
+            Response::ShuttingDown
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! The bounded job queue underneath the schedule server.
+//!
+//! A `Mutex<VecDeque>` with two condition variables (producers waiting for
+//! space, consumers waiting for work) — deliberately boring, per
+//! McKenney's guidance that serving-layer concurrency should be as
+//! disciplined as the deterministic evaluator underneath it. The bound is
+//! the server's backpressure: a caller either blocks ([`BoundedQueue::push`])
+//! or gets an immediate refusal ([`BoundedQueue::try_push`]) instead of
+//! queueing unbounded work.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A closeable multi-producer multi-consumer FIFO with a hard capacity.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    /// Signalled when space frees up (producers wait here).
+    space: Condvar,
+    /// Signalled when work arrives or the queue closes (consumers wait
+    /// here).
+    work: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    open: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState { items: VecDeque::new(), open: true }),
+            space: Condvar::new(),
+            work: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues, blocking while the queue is full. Returns the item back
+    /// if the queue closed before space appeared.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        while state.open && state.items.len() >= self.capacity {
+            state = self.space.wait(state).expect("queue poisoned");
+        }
+        if !state.open {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.work.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues without blocking. Returns the item back when the queue is
+    /// full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if !state.open || state.items.len() >= self.capacity {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.work.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues, blocking while the queue is empty. Returns `None` once
+    /// the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.space.notify_one();
+                return Some(item);
+            }
+            if !state.open {
+                return None;
+            }
+            state = self.work.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: producers fail fast, consumers drain what is
+    /// left and then see `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").open = false;
+        self.space.notify_all();
+        self.work.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let queue = BoundedQueue::new(8);
+        for i in 0..5 {
+            queue.try_push(i).unwrap();
+        }
+        assert_eq!(queue.len(), 5);
+        for i in 0..5 {
+            assert_eq!(queue.pop(), Some(i));
+        }
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn try_push_refuses_beyond_capacity() {
+        let queue = BoundedQueue::new(2);
+        queue.try_push('a').unwrap();
+        queue.try_push('b').unwrap();
+        assert_eq!(queue.try_push('c'), Err('c'), "the bound is hard");
+        assert_eq!(queue.pop(), Some('a'));
+        queue.try_push('c').unwrap();
+        assert_eq!(queue.len(), 2);
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let queue = BoundedQueue::new(0);
+        assert_eq!(queue.capacity(), 1);
+        queue.try_push(1).unwrap();
+        assert_eq!(queue.try_push(2), Err(2));
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let queue = Arc::new(BoundedQueue::new(1));
+        queue.push(0).unwrap();
+        let producer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.push(1))
+        };
+        // The producer blocks until this pop frees the slot.
+        assert_eq!(queue.pop(), Some(0));
+        producer.join().unwrap().unwrap();
+        assert_eq!(queue.pop(), Some(1));
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let queue = BoundedQueue::new(4);
+        queue.try_push(1).unwrap();
+        queue.try_push(2).unwrap();
+        queue.close();
+        assert_eq!(queue.try_push(3), Err(3), "closed queues accept nothing");
+        assert_eq!(queue.push(4), Err(4));
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.pop(), Some(2));
+        assert_eq!(queue.pop(), None);
+        assert_eq!(queue.pop(), None, "closed + drained stays terminal");
+    }
+
+    #[test]
+    fn close_unblocks_waiting_consumers() {
+        let queue = Arc::new(BoundedQueue::<u32>::new(4));
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        // Give the consumer a moment to park, then close.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        queue.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+}

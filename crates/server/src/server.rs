@@ -1,0 +1,566 @@
+//! The multi-tenant schedule server: a bounded job queue drained by a
+//! worker thread pool, executing synthesis jobs through the portfolio
+//! engine over per-tenant shared evaluators.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use asynd_portfolio::{
+    AnnealingSynthesizer, BeamSearchSynthesizer, LowestDepthSynthesizer, MctsSynthesizer,
+    Portfolio, PortfolioConfig,
+};
+
+use crate::protocol::{JobOutcome, JobRequest, Request, Response, StrategyChoice, StrategySummary};
+use crate::queue::BoundedQueue;
+use crate::tenants::TenantMap;
+use crate::ServerError;
+
+/// Configuration of a [`ScheduleServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads draining the job queue. `0` means the machine's
+    /// available parallelism.
+    pub workers: usize,
+    /// Capacity of the bounded job queue (backpressure bound; minimum 1).
+    pub queue_capacity: usize,
+    /// Cache capacity of each tenant's evaluator (schedules).
+    pub cache_capacity: usize,
+    /// Largest per-job evaluation budget the server accepts.
+    pub max_budget: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 0,
+            queue_capacity: 64,
+            cache_capacity: asynd_circuit::DEFAULT_CACHE_CAPACITY,
+            max_budget: 1 << 20,
+        }
+    }
+}
+
+struct Shared {
+    config: ServerConfig,
+    tenants: TenantMap,
+    queue: BoundedQueue<QueuedJob>,
+}
+
+struct QueuedJob {
+    request: JobRequest,
+    tx: mpsc::Sender<Response>,
+}
+
+/// A submitted job: await its response with [`JobHandle::wait`].
+pub struct JobHandle {
+    id: String,
+    rx: mpsc::Receiver<Response>,
+}
+
+impl JobHandle {
+    /// The request id this handle tracks.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Blocks until the job's response is available.
+    pub fn wait(self) -> Response {
+        match self.rx.recv() {
+            Ok(response) => response,
+            Err(_) => Response::Error {
+                id: self.id,
+                error: "server shut down before the job ran".to_string(),
+            },
+        }
+    }
+
+    /// The response, if the job already finished (non-blocking).
+    pub fn poll(&self) -> Option<Response> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// The schedule server: see the crate docs for the determinism contract.
+pub struct ScheduleServer {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ScheduleServer {
+    /// Starts the worker pool and returns the running server.
+    pub fn start(config: ServerConfig) -> ScheduleServer {
+        let worker_count = match config.workers {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
+            n => n,
+        };
+        let shared = Arc::new(Shared {
+            config,
+            tenants: TenantMap::new(config.cache_capacity),
+            queue: BoundedQueue::new(config.queue_capacity),
+        });
+        let workers = (0..worker_count)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("asynd-worker-{index}"))
+                    .spawn(move || {
+                        while let Some(job) = shared.queue.pop() {
+                            let response = execute_job(&shared, job.request);
+                            // A dropped receiver just means the submitter
+                            // stopped caring; the work is still done and
+                            // the tenant cache keeps the result.
+                            let _ = job.tx.send(response);
+                        }
+                    })
+                    .expect("spawning a worker thread failed")
+            })
+            .collect();
+        ScheduleServer { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of live tenants.
+    pub fn tenants(&self) -> usize {
+        self.shared.tenants.len()
+    }
+
+    /// Jobs currently queued (not yet picked up by a worker).
+    pub fn queued(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Submits a job, blocking while the queue is full (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Rejected`] when the server is shutting
+    /// down.
+    pub fn submit(&self, request: JobRequest) -> Result<JobHandle, ServerError> {
+        let (tx, rx) = mpsc::channel();
+        let id = request.id.clone();
+        self.shared
+            .queue
+            .push(QueuedJob { request, tx })
+            .map_err(|_| ServerError::Rejected { reason: "server is shutting down".into() })?;
+        Ok(JobHandle { id, rx })
+    }
+
+    /// Submits a job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Rejected`] when the queue is at capacity
+    /// (the bounded-queue refusal callers retry against) or the server is
+    /// shutting down.
+    pub fn try_submit(&self, request: JobRequest) -> Result<JobHandle, ServerError> {
+        let (tx, rx) = mpsc::channel();
+        let id = request.id.clone();
+        self.shared
+            .queue
+            .try_push(QueuedJob { request, tx })
+            .map_err(|_| ServerError::Rejected { reason: "job queue is full".into() })?;
+        Ok(JobHandle { id, rx })
+    }
+
+    /// Submits a batch and waits for every response, returned in request
+    /// order (the deterministic batch entry point the sweep and the tests
+    /// build on).
+    pub fn run_batch(&self, requests: Vec<JobRequest>) -> Vec<Response> {
+        let mut pending = Vec::with_capacity(requests.len());
+        for request in requests {
+            let id = request.id.clone();
+            match self.submit(request) {
+                Ok(handle) => pending.push(Ok(handle)),
+                Err(e) => pending.push(Err(Response::Error { id, error: e.to_string() })),
+            }
+        }
+        pending
+            .into_iter()
+            .map(|entry| match entry {
+                Ok(handle) => handle.wait(),
+                Err(response) => response,
+            })
+            .collect()
+    }
+
+    /// Stops accepting jobs, drains the queue and joins the workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ScheduleServer {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Runs one job to a response. Pure in the determinism-contract sense:
+/// everything except `wall_ms` and the cache counters is a function of
+/// the request and its tenant key.
+fn execute_job(shared: &Shared, request: JobRequest) -> Response {
+    let id = request.id.clone();
+    match try_execute_job(shared, request) {
+        Ok(outcome) => Response::Ok(Box::new(outcome)),
+        Err(e) => Response::Error { id, error: e.to_string() },
+    }
+}
+
+fn try_execute_job(shared: &Shared, request: JobRequest) -> Result<JobOutcome, ServerError> {
+    if request.budget > shared.config.max_budget {
+        return Err(ServerError::Rejected {
+            reason: format!(
+                "budget {} exceeds the server cap of {}",
+                request.budget, shared.config.max_budget
+            ),
+        });
+    }
+    let parties = request.strategy.parties();
+    let grant =
+        asynd_core::split_grant(request.budget, parties).ok_or_else(|| ServerError::Rejected {
+            reason: format!(
+                "budget {} cannot grant the {} racing strategies at least one evaluation each",
+                request.budget, parties
+            ),
+        })?;
+    let tenant = shared.tenants.resolve(&request.code, &request.noise, request.shots)?;
+
+    let config = PortfolioConfig {
+        seed: request.seed,
+        budget_per_strategy: grant,
+        shots_per_evaluation: request.shots,
+        eval_cache_capacity: shared.config.cache_capacity,
+        // Strategies of one job run sequentially; the server's
+        // parallelism comes from racing *jobs* on the worker pool.
+        worker_threads: 1,
+    };
+    let portfolio = match request.strategy {
+        StrategyChoice::Portfolio => Portfolio::standard(config),
+        StrategyChoice::Mcts => {
+            Portfolio::new(config).with_strategy(Box::new(MctsSynthesizer::default()))
+        }
+        StrategyChoice::Anneal => {
+            Portfolio::new(config).with_strategy(Box::new(AnnealingSynthesizer::default()))
+        }
+        StrategyChoice::Beam => {
+            Portfolio::new(config).with_strategy(Box::new(BeamSearchSynthesizer::default()))
+        }
+        StrategyChoice::LowestDepth => {
+            Portfolio::new(config).with_strategy(Box::new(LowestDepthSynthesizer::new()))
+        }
+    };
+
+    let start = Instant::now();
+    let report =
+        portfolio.run_with_evaluator(&tenant.entry.code, tenant.evaluator.clone(), tenant.salt)?;
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let strategies = report
+        .strategies
+        .iter()
+        .enumerate()
+        .map(|(index, s)| StrategySummary {
+            name: s.name.clone(),
+            p_overall: s.outcome.estimate.p_overall(),
+            depth: s.outcome.schedule.depth(),
+            key: s.outcome.schedule.key().to_hex(),
+            evaluations: s.metered,
+            winner: index == report.winner,
+        })
+        .collect();
+    let winning = report.winning();
+    Ok(JobOutcome {
+        id: request.id,
+        tenant: tenant.key.clone(),
+        strategy: winning.name.clone(),
+        artifact: asynd_circuit::artifact::ScheduleArtifact {
+            code_label: tenant.entry.display_label(),
+            schedule: winning.outcome.schedule.clone(),
+            estimate: winning.outcome.estimate,
+        },
+        granted: report.total_granted(),
+        spent: report.total_spent(),
+        strategies,
+        cache: tenant.evaluator.stats_snapshot(),
+        wall_ms,
+    })
+}
+
+/// Speaks the JSON-lines protocol over an arbitrary reader/writer pair —
+/// the stdio transport of `asynd serve`, and the per-connection loop of
+/// the TCP transport.
+///
+/// Job responses are written in submission order (the determinism
+/// contract's framing guarantee); already-finished jobs are flushed
+/// eagerly between requests so a long-lived session streams results.
+/// `ping` is answered immediately, out of band of job ordering — it is a
+/// liveness probe, not a job.
+///
+/// Returns `true` when the peer requested shutdown.
+///
+/// # Errors
+///
+/// Returns the first transport I/O error. Protocol errors are answered
+/// on the stream instead of aborting it.
+pub fn serve_lines(
+    reader: impl BufRead,
+    mut writer: impl Write,
+    server: &ScheduleServer,
+) -> std::io::Result<bool> {
+    let mut pending: std::collections::VecDeque<JobHandle> = std::collections::VecDeque::new();
+    let mut shutdown = false;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Request::parse(&line) {
+            Ok(Request::Synthesize(request)) => {
+                let id = request.id.clone();
+                match server.submit(request) {
+                    Ok(handle) => pending.push_back(handle),
+                    Err(e) => {
+                        writeln!(
+                            writer,
+                            "{}",
+                            Response::Error { id, error: e.to_string() }.to_json()
+                        )?;
+                        writer.flush()?;
+                    }
+                }
+            }
+            Ok(Request::Ping) => {
+                writeln!(writer, "{}", Response::Pong.to_json())?;
+                writer.flush()?;
+            }
+            Ok(Request::Shutdown) => {
+                shutdown = true;
+                break;
+            }
+            Err(e) => {
+                writeln!(
+                    writer,
+                    "{}",
+                    Response::Error { id: String::new(), error: e.to_string() }.to_json()
+                )?;
+                writer.flush()?;
+            }
+        }
+        // Stream any responses that are already done, oldest first, so a
+        // long-lived session sees results without waiting for EOF.
+        while let Some(front) = pending.front() {
+            match front.poll() {
+                Some(response) => {
+                    writeln!(writer, "{}", response.to_json())?;
+                    writer.flush()?;
+                    pending.pop_front();
+                }
+                None => break,
+            }
+        }
+    }
+    let finish = move || -> std::io::Result<()> {
+        for handle in pending {
+            let response = handle.wait();
+            writeln!(writer, "{}", response.to_json())?;
+        }
+        if shutdown {
+            writeln!(writer, "{}", Response::ShuttingDown.to_json())?;
+        }
+        writer.flush()
+    };
+    match finish() {
+        Ok(()) => {}
+        // A peer that asked for shutdown and hung up before reading the
+        // ack still gets its shutdown honoured — losing the write must
+        // not lose the intent.
+        Err(_) if shutdown => {}
+        Err(e) => return Err(e),
+    }
+    Ok(shutdown)
+}
+
+/// Serves the JSON-lines protocol over TCP: one thread per connection,
+/// all connections sharing the server (and therefore its tenants).
+///
+/// Returns after a client sends `{"op":"shutdown"}` and every open
+/// connection has drained.
+///
+/// # Errors
+///
+/// Returns accept-loop I/O errors; per-connection errors only end that
+/// connection.
+pub fn serve_tcp(server: &ScheduleServer, listener: TcpListener) -> std::io::Result<()> {
+    let local = listener.local_addr()?;
+    let shutdown = AtomicBool::new(false);
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        for stream in listener.incoming() {
+            let stream = stream?;
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let shutdown = &shutdown;
+            scope.spawn(move || {
+                if let Err(e) = handle_connection(server, stream, shutdown, local) {
+                    eprintln!("asynd: connection error: {e}");
+                }
+            });
+        }
+        Ok(())
+    })
+}
+
+fn handle_connection(
+    server: &ScheduleServer,
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+    local: std::net::SocketAddr,
+) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let requested_shutdown = serve_lines(reader, &stream, server)?;
+    if requested_shutdown {
+        shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop so it observes the flag.
+        let _ = TcpStream::connect(local);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{CodeRef, NoiseSpec};
+
+    fn quick_request(id: &str, strategy: StrategyChoice, seed: u64) -> JobRequest {
+        JobRequest {
+            id: id.to_string(),
+            code: CodeRef { family: "rotated-surface".into(), index: 0 },
+            noise: NoiseSpec::Brisbane,
+            strategy,
+            budget: 24,
+            shots: 150,
+            seed,
+        }
+    }
+
+    #[test]
+    fn single_strategy_job_round_trips_through_the_pool() {
+        let server = ScheduleServer::start(ServerConfig {
+            workers: 2,
+            queue_capacity: 4,
+            ..ServerConfig::default()
+        });
+        let handle = server.submit(quick_request("j1", StrategyChoice::Anneal, 5)).unwrap();
+        match handle.wait() {
+            Response::Ok(outcome) => {
+                assert_eq!(outcome.id, "j1");
+                assert_eq!(outcome.strategy, "anneal");
+                assert_eq!(outcome.granted, 24);
+                assert!(outcome.spent > 0 && outcome.spent <= 24);
+                assert_eq!(outcome.strategies.len(), 1);
+                assert!(outcome.strategies[0].winner);
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+        assert_eq!(server.tenants(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_and_undersized_budgets_are_rejected() {
+        let server = ScheduleServer::start(ServerConfig {
+            workers: 1,
+            max_budget: 100,
+            ..ServerConfig::default()
+        });
+        let mut big = quick_request("big", StrategyChoice::Anneal, 0);
+        big.budget = 101;
+        let mut tiny = quick_request("tiny", StrategyChoice::Portfolio, 0);
+        tiny.budget = 3; // splits to 0 across 4 strategies
+        for (request, needle) in [(big, "exceeds"), (tiny, "cannot grant")] {
+            let id = request.id.clone();
+            match server.submit(request).unwrap().wait() {
+                Response::Error { id: got, error } => {
+                    assert_eq!(got, id);
+                    assert!(error.contains(needle), "error {error:?} lacks {needle:?}");
+                }
+                other => panic!("unexpected response: {other:?}"),
+            }
+        }
+        assert_eq!(server.tenants(), 0, "rejected jobs never create tenants");
+    }
+
+    #[test]
+    fn unknown_family_is_an_error_response_not_a_crash() {
+        let server = ScheduleServer::start(ServerConfig { workers: 1, ..ServerConfig::default() });
+        let mut request = quick_request("nope", StrategyChoice::LowestDepth, 0);
+        request.code.family = "no-such-family".into();
+        match server.submit(request).unwrap().wait() {
+            Response::Error { error, .. } => assert!(error.contains("unknown code family")),
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_responses_arrive_in_request_order() {
+        let server = ScheduleServer::start(ServerConfig {
+            workers: 3,
+            queue_capacity: 2,
+            ..ServerConfig::default()
+        });
+        let batch: Vec<JobRequest> = (0..6)
+            .map(|i| quick_request(&format!("j{i}"), StrategyChoice::LowestDepth, i))
+            .collect();
+        let responses = server.run_batch(batch);
+        assert_eq!(responses.len(), 6);
+        for (i, response) in responses.iter().enumerate() {
+            match response {
+                Response::Ok(outcome) => assert_eq!(outcome.id, format!("j{i}")),
+                other => panic!("unexpected response: {other:?}"),
+            }
+        }
+        // All six jobs hit one tenant and the memoised baseline schedule.
+        assert_eq!(server.tenants(), 1);
+    }
+
+    #[test]
+    fn stdio_transport_speaks_the_protocol() {
+        let server = ScheduleServer::start(ServerConfig { workers: 2, ..ServerConfig::default() });
+        let input = concat!(
+            "{\"op\":\"ping\"}\n",
+            "\n",
+            "this is not json\n",
+            "{\"id\":\"a\",\"code\":{\"family\":\"rotated-surface\"},\"noise\":\"brisbane\",",
+            "\"strategy\":\"lowest-depth\",\"budget\":8,\"shots\":120,\"seed\":3}\n",
+            "{\"op\":\"shutdown\"}\n",
+        );
+        let mut output = Vec::new();
+        let requested = serve_lines(input.as_bytes(), &mut output, &server).unwrap();
+        assert!(requested, "the peer asked for shutdown");
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "pong, parse error, job, shutdown ack: {text}");
+        assert_eq!(Response::parse(lines[0]).unwrap(), Response::Pong);
+        assert!(matches!(Response::parse(lines[1]).unwrap(), Response::Error { .. }));
+        match Response::parse(lines[2]).unwrap() {
+            Response::Ok(outcome) => assert_eq!(outcome.id, "a"),
+            other => panic!("unexpected response: {other:?}"),
+        }
+        assert_eq!(Response::parse(lines[3]).unwrap(), Response::ShuttingDown);
+    }
+}

@@ -1,0 +1,508 @@
+//! Catalog-wide scenario sweeps: every registered code family × an
+//! error-rate grid, raced through the portfolio engine and emitted as a
+//! machine-readable benchmark trajectory (`BENCH_sweep.json`, the same
+//! shape as `BENCH_portfolio.json`).
+//!
+//! The sweep fans cells out over rayon with the worker-loop pattern; each
+//! cell is pure given its derived seed, so the emitted records are
+//! bit-identical for any worker count (wall-clock members aside).
+
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use asynd_codes::catalog::{families, CatalogEntry};
+use asynd_decode::factory_for;
+use asynd_portfolio::{Portfolio, PortfolioConfig};
+use asynd_sim::mix_seed;
+use serde_json::{Map, Value};
+
+use crate::protocol::NoiseSpec;
+use crate::{fnv64, ServerError};
+
+/// Configuration of one catalog sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepConfig {
+    /// Master seed; every cell derives its own stream from it.
+    pub seed: u64,
+    /// The physical error rates of the grid (each becomes a
+    /// [`NoiseSpec::Scaled`] model).
+    pub error_rates: Vec<f64>,
+    /// Registry family names to sweep (empty = every registered family).
+    pub families: Vec<String>,
+    /// Skip codes with more data qubits than this (keeps smoke sweeps in
+    /// the minutes range).
+    pub max_qubits: usize,
+    /// Entries taken per family, in scaling order (`0` = all).
+    pub entries_per_family: usize,
+    /// Per-strategy evaluation grant as a multiple of the code's
+    /// cheapest-possible MCTS run (`total_checks + 2`), which keeps every
+    /// strategy above its budget floor on every code size.
+    pub budget_multiplier: u64,
+    /// Monte-Carlo shots per evaluation.
+    pub shots: usize,
+    /// Worker threads fanning cells out (`0` = rayon's parallelism).
+    pub workers: usize,
+}
+
+impl SweepConfig {
+    /// The standard sweep: all families, three error rates, all entries
+    /// up to 30 data qubits.
+    pub fn standard() -> SweepConfig {
+        SweepConfig {
+            seed: 2026,
+            error_rates: vec![1e-3, 3e-3, 7.4e-3],
+            families: Vec::new(),
+            max_qubits: 30,
+            entries_per_family: 0,
+            budget_multiplier: 2,
+            shots: 600,
+            workers: 0,
+        }
+    }
+
+    /// The CI smoke sweep: one (smallest) entry per family, reduced
+    /// budgets and shots. Still covers ≥ 6 distinct codes × 3 rates.
+    pub fn smoke() -> SweepConfig {
+        SweepConfig {
+            entries_per_family: 1,
+            budget_multiplier: 1,
+            shots: 240,
+            ..SweepConfig::standard()
+        }
+    }
+}
+
+/// One record of the sweep trajectory: a strategy's result on one
+/// (code, error rate) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRecord {
+    /// Registry family name.
+    pub family: String,
+    /// Display label of the code instance.
+    pub code: String,
+    /// The cell's physical error rate.
+    pub error_rate: f64,
+    /// Strategy name.
+    pub strategy: String,
+    /// Wall-clock of the strategy in milliseconds (observability only).
+    pub wall_ms: f64,
+    /// Achieved logical error rate.
+    pub p_overall: f64,
+    /// Depth of the strategy's best schedule.
+    pub depth: usize,
+    /// Canonical key of the strategy's best schedule (hex).
+    pub schedule_key: String,
+    /// Metered evaluation spend.
+    pub evaluations: u64,
+    /// Cell-level shared-cache hit rate.
+    pub cache_hit_rate: f64,
+    /// Whether the strategy won its cell.
+    pub winner: bool,
+}
+
+impl SweepRecord {
+    /// Serializes one record (same member style as the portfolio bench's
+    /// trajectory records).
+    pub fn to_json(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("family", Value::from(self.family.as_str()));
+        map.insert("code", Value::from(self.code.as_str()));
+        map.insert("error_rate", Value::from(self.error_rate));
+        map.insert("strategy", Value::from(self.strategy.as_str()));
+        map.insert("mode", Value::from("race"));
+        map.insert("wall_ms", Value::from(self.wall_ms));
+        map.insert("p_overall", Value::from(self.p_overall));
+        map.insert("depth", Value::from(self.depth));
+        map.insert("schedule_key", Value::from(self.schedule_key.as_str()));
+        map.insert("evaluations", Value::from(self.evaluations));
+        map.insert("cache_hit_rate", Value::from(self.cache_hit_rate));
+        map.insert("winner", Value::from(self.winner));
+        Value::Object(map)
+    }
+}
+
+/// The outcome of a sweep: all records plus coverage counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// One record per (cell, strategy), in deterministic cell order.
+    pub records: Vec<SweepRecord>,
+    /// Distinct code instances covered.
+    pub codes: usize,
+    /// Error rates covered.
+    pub rates: usize,
+}
+
+impl SweepReport {
+    /// Serializes the full trajectory document (the `BENCH_sweep.json`
+    /// shape: `generated_by` + `records`, like `BENCH_portfolio.json`).
+    pub fn to_json(&self, config: &SweepConfig) -> Value {
+        let mut doc = Map::new();
+        doc.insert("generated_by", Value::from("asynd sweep"));
+        let mut cfg = Map::new();
+        cfg.insert("seed", Value::from(config.seed));
+        cfg.insert("shots", Value::from(config.shots));
+        cfg.insert("budget_multiplier", Value::from(config.budget_multiplier));
+        cfg.insert("max_qubits", Value::from(config.max_qubits));
+        cfg.insert("entries_per_family", Value::from(config.entries_per_family));
+        cfg.insert(
+            "error_rates",
+            Value::Array(config.error_rates.iter().map(|&r| Value::from(r)).collect()),
+        );
+        doc.insert("config", Value::Object(cfg));
+        let mut coverage = Map::new();
+        coverage.insert("codes", Value::from(self.codes));
+        coverage.insert("error_rates", Value::from(self.rates));
+        coverage.insert("records", Value::from(self.records.len()));
+        doc.insert("coverage", Value::Object(coverage));
+        doc.insert(
+            "records",
+            Value::Array(self.records.iter().map(SweepRecord::to_json).collect()),
+        );
+        Value::Object(doc)
+    }
+
+    /// Writes the trajectory document to `path` (pretty-printed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (parent directories are created).
+    pub fn write(&self, config: &SweepConfig, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let text = serde_json::to_string_pretty(&self.to_json(config))
+            .expect("sweep serialization is infallible");
+        std::fs::write(path, text + "\n")
+    }
+
+    /// Renders the winners as a fixed-width table (one row per cell) for
+    /// terminals and EXPERIMENTS.md.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:<34} {:>9}  {:<12} {:>10} {:>6}\n",
+            "family", "code", "rate", "winner", "p_overall", "depth"
+        ));
+        for record in self.records.iter().filter(|r| r.winner) {
+            out.push_str(&format!(
+                "{:<24} {:<34} {:>9} {:<12} {:>11.3e} {:>6}\n",
+                record.family,
+                truncate(&record.code, 34),
+                format!("{}", record.error_rate),
+                record.strategy,
+                record.p_overall,
+                record.depth,
+            ));
+        }
+        out
+    }
+}
+
+fn truncate(text: &str, limit: usize) -> String {
+    if text.chars().count() <= limit {
+        text.to_string()
+    } else {
+        let head: String = text.chars().take(limit.saturating_sub(1)).collect();
+        format!("{head}…")
+    }
+}
+
+/// One fan-out slot: the (eventual) records of one cell.
+type CellSlot = Mutex<Option<Result<Vec<SweepRecord>, ServerError>>>;
+
+/// One unit of sweep work.
+struct Cell {
+    family: &'static str,
+    entry: CatalogEntry,
+    entry_index: usize,
+    rate: f64,
+}
+
+/// Runs a catalog sweep.
+///
+/// # Errors
+///
+/// Returns [`ServerError::Rejected`] for an empty grid or unknown family
+/// filters, and propagates the first cell failure (in deterministic cell
+/// order).
+pub fn run_sweep(config: &SweepConfig) -> Result<SweepReport, ServerError> {
+    if config.error_rates.is_empty() {
+        return Err(ServerError::Rejected { reason: "sweep needs at least one error rate".into() });
+    }
+    if config.budget_multiplier == 0 || config.shots == 0 {
+        return Err(ServerError::Rejected {
+            reason: "budget multiplier and shots must be positive".into(),
+        });
+    }
+    let registry = families();
+    let selected: Vec<_> = if config.families.is_empty() {
+        registry
+    } else {
+        for name in &config.families {
+            if !registry.iter().any(|family| family.name == *name) {
+                return Err(ServerError::Rejected {
+                    reason: format!("unknown sweep family {name:?}"),
+                });
+            }
+        }
+        registry
+            .into_iter()
+            .filter(|family| config.families.iter().any(|name| name == family.name))
+            .collect()
+    };
+
+    let mut cells = Vec::new();
+    for family in &selected {
+        let take =
+            if config.entries_per_family == 0 { usize::MAX } else { config.entries_per_family };
+        for (entry_index, entry) in family.entries_within(config.max_qubits).take(take).enumerate()
+        {
+            for &rate in &config.error_rates {
+                cells.push(Cell { family: family.name, entry: entry.clone(), entry_index, rate });
+            }
+        }
+    }
+    if cells.is_empty() {
+        return Err(ServerError::Rejected {
+            reason: format!("no catalog code passes the max_qubits={} filter", config.max_qubits),
+        });
+    }
+
+    // Fan out with the worker-loop pattern; each cell is pure given its
+    // derived seed, so any worker count produces identical records.
+    let slots: Vec<CellSlot> = cells.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = match config.workers {
+        0 => rayon::current_num_threads().min(cells.len()).max(1),
+        n => n.min(cells.len()).max(1),
+    };
+    rayon::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= cells.len() {
+                    break;
+                }
+                let result = run_cell(config, &cells[index]);
+                *slots[index].lock().expect("sweep slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    let mut records = Vec::with_capacity(cells.len() * 4);
+    for slot in slots {
+        let cell_records =
+            slot.into_inner().expect("sweep slot poisoned").expect("every cell slot is filled")?;
+        records.extend(cell_records);
+    }
+    let mut codes: Vec<String> = records.iter().map(|r| r.code.clone()).collect();
+    codes.sort_unstable();
+    codes.dedup();
+    Ok(SweepReport { records, codes: codes.len(), rates: config.error_rates.len() })
+}
+
+fn run_cell(config: &SweepConfig, cell: &Cell) -> Result<Vec<SweepRecord>, ServerError> {
+    let code = &cell.entry.code;
+    let total_checks: u64 = code.stabilizers().iter().map(|s| s.weight() as u64).sum();
+    let grant = (total_checks + 2) * config.budget_multiplier;
+    let cell_key = format!("{}[{}]@{}", cell.family, cell.entry_index, cell.rate);
+    let portfolio = Portfolio::standard(PortfolioConfig {
+        seed: mix_seed(config.seed, fnv64(cell_key.as_bytes())),
+        budget_per_strategy: grant,
+        shots_per_evaluation: config.shots,
+        // Cells are the parallel unit; inside a cell the race runs on one
+        // worker to avoid oversubscribing the sweep pool.
+        worker_threads: 1,
+        ..PortfolioConfig::default()
+    });
+    let noise = NoiseSpec::Scaled(cell.rate).to_model()?;
+    let report = portfolio.run(code, &noise, factory_for(cell.entry.decoder))?;
+    Ok(report
+        .strategies
+        .iter()
+        .enumerate()
+        .map(|(index, s)| SweepRecord {
+            family: cell.family.to_string(),
+            code: cell.entry.display_label(),
+            error_rate: cell.rate,
+            strategy: s.name.clone(),
+            wall_ms: s.wall.as_secs_f64() * 1e3,
+            p_overall: s.outcome.estimate.p_overall(),
+            depth: s.outcome.schedule.depth(),
+            schedule_key: s.outcome.schedule.key().to_hex(),
+            evaluations: s.metered,
+            cache_hit_rate: report.evaluator.hit_rate(),
+            winner: index == report.winner,
+        })
+        .collect())
+}
+
+/// Summary returned by [`validate_report_text`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReportSummary {
+    /// Records in the document.
+    pub records: usize,
+    /// Distinct code labels.
+    pub codes: usize,
+    /// Distinct strategies.
+    pub strategies: usize,
+}
+
+/// Validates a `BENCH_*.json` trajectory document (the Rust replacement
+/// for eyeballing with `jq`): the envelope must carry `generated_by` and
+/// a non-empty `records` array, and every record must have well-typed
+/// members with probabilities in range. Sweep-only members
+/// (`error_rate`, `schedule_key`, …) are checked when present.
+///
+/// # Errors
+///
+/// Returns [`ServerError::Protocol`] naming the first violation.
+pub fn validate_report_text(text: &str) -> Result<ReportSummary, ServerError> {
+    let bad = |reason: String| ServerError::Protocol { reason };
+    let doc =
+        serde_json::from_str(text).map_err(|e| bad(format!("report is not valid JSON: {e}")))?;
+    doc.get("generated_by")
+        .and_then(Value::as_str)
+        .ok_or_else(|| bad("report lacks a `generated_by` string".into()))?;
+    let records = doc
+        .get("records")
+        .and_then(Value::as_array)
+        .ok_or_else(|| bad("report lacks a `records` array".into()))?;
+    if records.is_empty() {
+        return Err(bad("report has zero records".into()));
+    }
+    let mut codes: Vec<&str> = Vec::new();
+    let mut strategies: Vec<&str> = Vec::new();
+    for (index, record) in records.iter().enumerate() {
+        let context = |member: &str, problem: &str| {
+            bad(format!("record {index}: member `{member}` {problem}"))
+        };
+        let code = record
+            .get("code")
+            .and_then(Value::as_str)
+            .ok_or_else(|| context("code", "must be a string"))?;
+        let strategy = record
+            .get("strategy")
+            .and_then(Value::as_str)
+            .ok_or_else(|| context("strategy", "must be a string"))?;
+        codes.push(code);
+        strategies.push(strategy);
+        for member in ["p_overall", "cache_hit_rate"] {
+            let p = record
+                .get(member)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| context(member, "must be a number"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(context(member, "must be a probability in [0, 1]"));
+            }
+        }
+        let wall = record
+            .get("wall_ms")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| context("wall_ms", "must be a number"))?;
+        if wall < 0.0 {
+            return Err(context("wall_ms", "must be non-negative"));
+        }
+        record
+            .get("evaluations")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| context("evaluations", "must be a non-negative integer"))?;
+        record
+            .get("winner")
+            .and_then(Value::as_bool)
+            .ok_or_else(|| context("winner", "must be a boolean"))?;
+        if let Some(rate) = record.get("error_rate") {
+            let rate = rate.as_f64().ok_or_else(|| context("error_rate", "must be a number"))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(context("error_rate", "must be a probability in [0, 1]"));
+            }
+        }
+        if let Some(key) = record.get("schedule_key") {
+            let key = key.as_str().ok_or_else(|| context("schedule_key", "must be a string"))?;
+            if asynd_circuit::ScheduleKey::from_hex(key).is_none() {
+                return Err(context("schedule_key", "must be 32 hex digits"));
+            }
+        }
+    }
+    codes.sort_unstable();
+    codes.dedup();
+    strategies.sort_unstable();
+    strategies.dedup();
+    Ok(ReportSummary { records: records.len(), codes: codes.len(), strategies: strategies.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> SweepConfig {
+        SweepConfig {
+            seed: 11,
+            error_rates: vec![3e-3, 7.4e-3],
+            families: vec!["rotated-surface".into(), "hexagonal-color".into()],
+            max_qubits: 9,
+            entries_per_family: 1,
+            budget_multiplier: 1,
+            shots: 120,
+            workers: 0,
+        }
+    }
+
+    #[test]
+    fn tiny_sweep_covers_the_grid_and_validates() {
+        let config = tiny_config();
+        let report = run_sweep(&config).unwrap();
+        // 2 families × 1 entry × 2 rates × 4 strategies.
+        assert_eq!(report.records.len(), 16);
+        assert_eq!(report.rates, 2);
+        assert_eq!(report.codes, 2);
+        assert_eq!(report.records.iter().filter(|r| r.winner).count(), 4, "one winner per cell");
+        let text = serde_json::to_string_pretty(&report.to_json(&config)).unwrap();
+        let summary = validate_report_text(&text).unwrap();
+        assert_eq!(summary.records, 16);
+        assert_eq!(summary.codes, 2);
+        assert_eq!(summary.strategies, 4);
+        assert!(report.render_table().lines().count() >= 5);
+    }
+
+    #[test]
+    fn unknown_family_filter_is_rejected() {
+        let config = SweepConfig {
+            families: vec!["surface".into()], // registry name is rotated-surface
+            ..tiny_config()
+        };
+        assert!(matches!(run_sweep(&config), Err(ServerError::Rejected { .. })));
+    }
+
+    #[test]
+    fn impossible_filters_are_rejected() {
+        let config = SweepConfig { max_qubits: 1, ..tiny_config() };
+        assert!(matches!(run_sweep(&config), Err(ServerError::Rejected { .. })));
+        let config = SweepConfig { error_rates: vec![], ..tiny_config() };
+        assert!(matches!(run_sweep(&config), Err(ServerError::Rejected { .. })));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_reports() {
+        for (doc, needle) in [
+            ("{}", "generated_by"),
+            (r#"{"generated_by":"x"}"#, "records"),
+            (r#"{"generated_by":"x","records":[]}"#, "zero records"),
+            (r#"{"generated_by":"x","records":[{"code":"c"}]}"#, "strategy"),
+            (
+                r#"{"generated_by":"x","records":[{"code":"c","strategy":"s","p_overall":1.5,"cache_hit_rate":0,"wall_ms":1,"evaluations":1,"winner":true}]}"#,
+                "probability",
+            ),
+            (
+                r#"{"generated_by":"x","records":[{"code":"c","strategy":"s","p_overall":0.5,"cache_hit_rate":0,"wall_ms":1,"evaluations":1,"winner":true,"schedule_key":"zz"}]}"#,
+                "hex",
+            ),
+        ] {
+            let err = validate_report_text(doc).unwrap_err();
+            assert!(err.to_string().contains(needle), "{err} lacks {needle:?}");
+        }
+    }
+}

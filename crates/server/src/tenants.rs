@@ -1,0 +1,196 @@
+//! Tenant sharding: one shared evaluator per (code, error model, shots).
+//!
+//! The server's unit of cache sharing is the *tenant*. Two jobs that
+//! schedule the same catalog code under the same error model and shot
+//! budget hit one [`Evaluator`] — and therefore one memoisation cache —
+//! no matter which connection or worker carries them. Jobs that differ in
+//! any tenant dimension never share state, so a noisy tenant cannot
+//! perturb another tenant's results.
+//!
+//! Every tenant owns a deterministic evaluation-seed *salt*, derived from
+//! the tenant key alone. All jobs of the tenant score schedules under
+//! `eval_seed_for(salt, schedule.key())`, which makes every cached
+//! estimate a pure function of the schedule — the property that lets
+//! concurrent jobs share the cache without making results depend on
+//! arrival order (see the crate docs' determinism contract).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use asynd_circuit::{EstimateOptions, Evaluator};
+use asynd_codes::catalog::{family_by_name, CatalogEntry};
+use asynd_decode::factory_for;
+use asynd_sim::mix_seed;
+
+use crate::protocol::{CodeRef, NoiseSpec};
+use crate::{fnv64, ServerError};
+
+/// Domain-separation constant mixed into tenant salts.
+const TENANT_SALT_STREAM: u64 = 0x7465_6e61_6e74_2121; // "tenant!!"
+
+/// One tenant: the resolved catalog entry plus its shared evaluator and
+/// evaluation-seed salt.
+pub struct Tenant {
+    /// The canonical tenant key (human-readable, unique).
+    pub key: String,
+    /// The resolved catalog entry (code + recommended decoder).
+    pub entry: CatalogEntry,
+    /// The tenant's shared memoising evaluator.
+    pub evaluator: Arc<Evaluator>,
+    /// The evaluation-seed salt every job of this tenant scores under.
+    pub salt: u64,
+}
+
+/// The registry of live tenants, keyed by canonical tenant key.
+pub struct TenantMap {
+    cache_capacity: usize,
+    tenants: Mutex<HashMap<String, Arc<Tenant>>>,
+}
+
+impl TenantMap {
+    /// A registry whose evaluators cache up to `cache_capacity` schedules
+    /// each.
+    pub fn new(cache_capacity: usize) -> Self {
+        TenantMap { cache_capacity, tenants: Mutex::new(HashMap::new()) }
+    }
+
+    /// Number of live tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.lock().expect("tenant map poisoned").len()
+    }
+
+    /// Whether no tenant has been created yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The canonical key of a job's tenant.
+    pub fn canonical_key(code: &CodeRef, noise: &NoiseSpec, shots: usize) -> String {
+        format!("{}[{}]|{}|shots={}", code.family, code.index, noise.canonical(), shots)
+    }
+
+    /// Resolves (or creates) the tenant of a job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Rejected`] for unknown families,
+    /// out-of-range entry indices, zero shots or invalid noise.
+    pub fn resolve(
+        &self,
+        code: &CodeRef,
+        noise: &NoiseSpec,
+        shots: usize,
+    ) -> Result<Arc<Tenant>, ServerError> {
+        let key = TenantMap::canonical_key(code, noise, shots);
+        if let Some(tenant) = self.tenants.lock().expect("tenant map poisoned").get(&key) {
+            return Ok(tenant.clone());
+        }
+        // Build outside the lock (codes and evaluators are cheap to
+        // construct relative to a job, and a racing double-create is
+        // resolved below by keeping the first insertion).
+        let tenant = Arc::new(self.build_tenant(key, code, noise, shots)?);
+        let mut tenants = self.tenants.lock().expect("tenant map poisoned");
+        Ok(tenants.entry(tenant.key.clone()).or_insert(tenant).clone())
+    }
+
+    fn build_tenant(
+        &self,
+        key: String,
+        code: &CodeRef,
+        noise: &NoiseSpec,
+        shots: usize,
+    ) -> Result<Tenant, ServerError> {
+        if shots == 0 {
+            return Err(ServerError::Rejected { reason: "shots must be positive".to_string() });
+        }
+        let entries = family_by_name(&code.family).ok_or_else(|| ServerError::Rejected {
+            reason: format!(
+                "unknown code family {:?} (families: {})",
+                code.family,
+                asynd_codes::catalog::family_names().join(", ")
+            ),
+        })?;
+        let entry = entries.into_iter().nth(code.index).ok_or_else(|| ServerError::Rejected {
+            reason: format!("family {:?} has no entry {}", code.family, code.index),
+        })?;
+        let model = noise.to_model()?;
+        model.validate().map_err(|e| ServerError::Rejected { reason: e.to_string() })?;
+        // One estimator thread per evaluation: the server's parallelism
+        // comes from racing jobs and strategies, not from splitting shots.
+        let options = EstimateOptions { max_threads: Some(1), ..EstimateOptions::default() };
+        let evaluator = Arc::new(Evaluator::with_capacity(
+            model,
+            factory_for(entry.decoder),
+            shots,
+            options,
+            self.cache_capacity,
+        ));
+        let salt = mix_seed(fnv64(key.as_bytes()), TENANT_SALT_STREAM);
+        Ok(Tenant { key, entry, evaluator, salt })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(family: &str, index: usize) -> CodeRef {
+        CodeRef { family: family.to_string(), index }
+    }
+
+    #[test]
+    fn same_job_shape_shares_a_tenant() {
+        let map = TenantMap::new(64);
+        let a = map.resolve(&code("rotated-surface", 0), &NoiseSpec::Brisbane, 300).unwrap();
+        let b = map.resolve(&code("rotated-surface", 0), &NoiseSpec::Brisbane, 300).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "identical jobs share the evaluator");
+        assert_eq!(map.len(), 1);
+        assert_eq!(a.salt, b.salt);
+    }
+
+    #[test]
+    fn tenant_dimensions_separate_state() {
+        let map = TenantMap::new(64);
+        let base = map.resolve(&code("rotated-surface", 0), &NoiseSpec::Brisbane, 300).unwrap();
+        for (c, noise, shots) in [
+            (code("rotated-surface", 1), NoiseSpec::Brisbane, 300),
+            (code("xzzx", 0), NoiseSpec::Brisbane, 300),
+            (code("rotated-surface", 0), NoiseSpec::Scaled(0.003), 300),
+            (code("rotated-surface", 0), NoiseSpec::Brisbane, 301),
+        ] {
+            let other = map.resolve(&c, &noise, shots).unwrap();
+            assert!(!Arc::ptr_eq(&base, &other));
+            assert_ne!(base.key, other.key);
+            assert_ne!(base.salt, other.salt);
+        }
+        assert_eq!(map.len(), 5);
+    }
+
+    #[test]
+    fn salts_are_reproducible_across_maps() {
+        let a =
+            TenantMap::new(64).resolve(&code("xzzx", 1), &NoiseSpec::Scaled(0.001), 200).unwrap();
+        let b =
+            TenantMap::new(64).resolve(&code("xzzx", 1), &NoiseSpec::Scaled(0.001), 200).unwrap();
+        assert_eq!(a.salt, b.salt, "the salt is a pure function of the tenant key");
+        assert_eq!(a.key, b.key);
+    }
+
+    #[test]
+    fn bad_references_are_rejected() {
+        let map = TenantMap::new(64);
+        assert!(matches!(
+            map.resolve(&code("no-such-family", 0), &NoiseSpec::Brisbane, 100),
+            Err(ServerError::Rejected { .. })
+        ));
+        assert!(matches!(
+            map.resolve(&code("bb", 99), &NoiseSpec::Brisbane, 100),
+            Err(ServerError::Rejected { .. })
+        ));
+        assert!(matches!(
+            map.resolve(&code("bb", 0), &NoiseSpec::Brisbane, 0),
+            Err(ServerError::Rejected { .. })
+        ));
+        assert!(map.is_empty(), "failed resolutions leave no tenant behind");
+    }
+}

@@ -1,0 +1,144 @@
+//! The serving layer's headline guarantee: the same job set produces
+//! bit-identical results — winning schedule keys, estimates, budget
+//! accounting — for any worker-thread count, and for repeated submission
+//! against a warm tenant cache.
+
+use asynd_server::protocol::{CodeRef, JobRequest, NoiseSpec, Response, StrategyChoice};
+use asynd_server::sweep::{run_sweep, SweepConfig};
+use asynd_server::{ScheduleServer, ServerConfig};
+
+/// A small but non-trivial batch: two code families × two error models,
+/// mixing the full portfolio race with single-strategy jobs.
+fn batch() -> Vec<JobRequest> {
+    let mut requests = Vec::new();
+    for (family, strategy, budget) in [
+        // Steane: 24 checks -> MCTS floor 26 -> portfolio budget >= 4*26.
+        ("hexagonal-color", StrategyChoice::Portfolio, 120),
+        ("rotated-surface", StrategyChoice::Anneal, 40),
+        ("xzzx", StrategyChoice::Beam, 32),
+        ("rotated-surface", StrategyChoice::LowestDepth, 4),
+    ] {
+        for (n, noise) in [NoiseSpec::Brisbane, NoiseSpec::Scaled(0.003)].into_iter().enumerate() {
+            requests.push(JobRequest {
+                id: format!("{family}/{}/{n}", strategy.token()),
+                code: CodeRef { family: family.to_string(), index: 0 },
+                noise,
+                strategy,
+                budget,
+                shots: 150,
+                seed: 0xA11CE + n as u64,
+            });
+        }
+    }
+    requests
+}
+
+/// The determinism-contract projection of a response: everything except
+/// wall-clock and cache counters.
+fn contract_view(response: &Response) -> String {
+    match response {
+        Response::Ok(outcome) => {
+            let strategies: Vec<String> = outcome
+                .strategies
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{}:{}:{}:{}:{}:{}",
+                        s.name, s.key, s.p_overall, s.depth, s.evaluations, s.winner
+                    )
+                })
+                .collect();
+            format!(
+                "id={} tenant={} winner={} key={} shots={} xf={} zf={} af={} \
+                 granted={} spent={} strategies=[{}]",
+                outcome.id,
+                outcome.tenant,
+                outcome.strategy,
+                outcome.artifact.key().to_hex(),
+                outcome.artifact.estimate.shots,
+                outcome.artifact.estimate.x_failures,
+                outcome.artifact.estimate.z_failures,
+                outcome.artifact.estimate.any_failures,
+                outcome.granted,
+                outcome.spent,
+                strategies.join(","),
+            )
+        }
+        Response::Error { id, error } => format!("id={id} error={error}"),
+        other => format!("{other:?}"),
+    }
+}
+
+#[test]
+fn results_are_identical_for_1_2_and_4_workers() {
+    let mut views: Vec<Vec<String>> = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let server = ScheduleServer::start(ServerConfig {
+            workers,
+            queue_capacity: 3, // smaller than the batch: exercises backpressure
+            ..ServerConfig::default()
+        });
+        let responses = server.run_batch(batch());
+        assert_eq!(responses.len(), 8);
+        for response in &responses {
+            assert!(
+                matches!(response, Response::Ok(_)),
+                "job failed under {workers} workers: {response:?}"
+            );
+        }
+        views.push(responses.iter().map(contract_view).collect());
+        server.shutdown();
+    }
+    assert_eq!(views[0], views[1], "1 and 2 workers disagree");
+    assert_eq!(views[0], views[2], "1 and 4 workers disagree");
+}
+
+#[test]
+fn warm_tenant_caches_do_not_change_results() {
+    let server = ScheduleServer::start(ServerConfig { workers: 2, ..ServerConfig::default() });
+    let cold: Vec<String> = server.run_batch(batch()).iter().map(contract_view).collect();
+    // Same batch again: every evaluation now hits the tenant caches.
+    let warm: Vec<String> = server.run_batch(batch()).iter().map(contract_view).collect();
+    assert_eq!(cold, warm, "memoised estimates must be what fresh ones were");
+    // Distinct tenants stayed sharded: 3 families x 2 error models
+    // (lowest-depth shares the rotated-surface tenants with anneal).
+    assert_eq!(server.tenants(), 6);
+    server.shutdown();
+}
+
+#[test]
+fn sweep_records_are_identical_for_any_worker_count() {
+    let config = |workers: usize| SweepConfig {
+        seed: 99,
+        error_rates: vec![2e-3, 6e-3],
+        families: vec!["rotated-surface".into(), "xzzx".into()],
+        max_qubits: 13,
+        entries_per_family: 1,
+        budget_multiplier: 1,
+        shots: 100,
+        workers,
+    };
+    let view = |workers: usize| -> Vec<String> {
+        run_sweep(&config(workers))
+            .unwrap()
+            .records
+            .iter()
+            .map(|r| {
+                format!(
+                    "{}|{}|{}|{}|{}|{}|{}|{}",
+                    r.family,
+                    r.code,
+                    r.error_rate,
+                    r.strategy,
+                    r.schedule_key,
+                    r.p_overall,
+                    r.evaluations,
+                    r.winner
+                )
+            })
+            .collect()
+    };
+    let serial = view(1);
+    assert_eq!(serial, view(2), "sweep differs between 1 and 2 workers");
+    assert_eq!(serial, view(4), "sweep differs between 1 and 4 workers");
+}

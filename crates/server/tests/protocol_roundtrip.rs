@@ -1,0 +1,157 @@
+//! End-to-end protocol round-trip: submit → JSON response line →
+//! deserialize → the reconstructed schedule is the schedule the server
+//! synthesized (fingerprint match + validity against the code), over both
+//! the in-process API and the TCP transport.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+use asynd_codes::catalog::family_by_name;
+use asynd_server::protocol::{CodeRef, JobRequest, NoiseSpec, Response, StrategyChoice};
+use asynd_server::{serve_tcp, ScheduleServer, ServerConfig};
+
+fn request(id: &str) -> JobRequest {
+    JobRequest {
+        id: id.to_string(),
+        code: CodeRef { family: "rotated-surface".into(), index: 0 },
+        noise: NoiseSpec::Scaled(0.004),
+        strategy: StrategyChoice::Beam,
+        budget: 24,
+        shots: 200,
+        seed: 17,
+    }
+}
+
+/// Checks a parsed response against the live outcome: same artifact, and
+/// the artifact's schedule key matches a recomputation from its checks.
+fn assert_roundtrip(line: &str, reference: &Response) {
+    let parsed = Response::parse(line).expect("response line parses");
+    let (parsed, reference) = match (parsed, reference) {
+        (Response::Ok(parsed), Response::Ok(reference)) => (parsed, reference),
+        (parsed, _) => panic!("unexpected response: {parsed:?}"),
+    };
+    assert_eq!(parsed.id, reference.id);
+    assert_eq!(parsed.tenant, reference.tenant);
+    assert_eq!(parsed.strategy, reference.strategy);
+    assert_eq!(parsed.granted, reference.granted);
+    assert_eq!(parsed.spent, reference.spent);
+    assert_eq!(parsed.strategies, reference.strategies);
+    // The artifact round-trips exactly: schedule, estimate, fingerprint.
+    assert_eq!(parsed.artifact, reference.artifact);
+    assert_eq!(parsed.artifact.key(), reference.artifact.schedule.key());
+    // The reconstructed schedule is valid for the code it claims.
+    let code = family_by_name("rotated-surface").unwrap()[0].code.clone();
+    parsed.artifact.schedule.validate(&code).expect("deserialized schedule validates");
+    assert_eq!(parsed.artifact.estimate.shots, 200, "estimate carries the tenant's shot budget");
+}
+
+#[test]
+fn in_process_submit_artifact_roundtrip() {
+    let server = ScheduleServer::start(ServerConfig { workers: 1, ..ServerConfig::default() });
+    let reference = server.submit(request("rt-1")).unwrap().wait();
+    let line = reference.to_json();
+    assert_roundtrip(&line, &reference);
+    server.shutdown();
+}
+
+#[test]
+fn tcp_transport_roundtrip_and_shutdown() {
+    let server = ScheduleServer::start(ServerConfig { workers: 2, ..ServerConfig::default() });
+    // Reference result via the in-process API (deterministic, so the TCP
+    // path must reproduce it bit-for-bit).
+    let reference = server.submit(request("rt-tcp")).unwrap().wait();
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let address = listener.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        let server = &server;
+        let acceptor = scope.spawn(move || serve_tcp(server, listener));
+
+        let stream = TcpStream::connect(address).expect("connect to the server");
+        let mut writer = stream.try_clone().unwrap();
+        let request_line = serde_json::to_string(&request("rt-tcp").to_json()).unwrap();
+        writeln!(writer, "{{\"op\":\"ping\"}}").unwrap();
+        writeln!(writer, "{request_line}").unwrap();
+        writeln!(writer, "{{\"op\":\"shutdown\"}}").unwrap();
+        writer.flush().unwrap();
+
+        let mut lines = BufReader::new(&stream).lines();
+        let pong = lines.next().expect("pong line").unwrap();
+        assert_eq!(Response::parse(&pong).unwrap(), Response::Pong);
+        let job_line = lines.next().expect("job line").unwrap();
+        assert_roundtrip(&job_line, &reference);
+        let bye = lines.next().expect("shutdown ack").unwrap();
+        assert_eq!(Response::parse(&bye).unwrap(), Response::ShuttingDown);
+
+        acceptor.join().unwrap().expect("accept loop exits cleanly");
+    });
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_from_a_peer_that_hangs_up_still_stops_the_server() {
+    let server = ScheduleServer::start(ServerConfig { workers: 1, ..ServerConfig::default() });
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let address = listener.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        let server = &server;
+        let acceptor = scope.spawn(move || serve_tcp(server, listener));
+        {
+            let stream = TcpStream::connect(address).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            writeln!(writer, "{{\"op\":\"shutdown\"}}").unwrap();
+            writer.flush().unwrap();
+            // Hang up without reading the ack: the intent must survive.
+        }
+        acceptor.join().unwrap().expect("accept loop exits despite the abrupt hangup");
+    });
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_tcp_sessions_share_tenants() {
+    let server = ScheduleServer::start(ServerConfig { workers: 2, ..ServerConfig::default() });
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let address = listener.local_addr().unwrap();
+    let session = |id: String| {
+        let stream = TcpStream::connect(address).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let line = serde_json::to_string(&request(&id).to_json()).unwrap();
+        writeln!(writer, "{line}").unwrap();
+        writer.flush().unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut lines = BufReader::new(&stream).lines();
+        let response = lines.next().expect("response line").unwrap();
+        match Response::parse(&response).unwrap() {
+            Response::Ok(outcome) => {
+                assert_eq!(outcome.id, id);
+                outcome.artifact.key().to_hex()
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    };
+    std::thread::scope(|scope| {
+        let server_ref = &server;
+        let acceptor = scope.spawn(move || serve_tcp(server_ref, listener));
+
+        let session = &session;
+        let a = scope.spawn(move || session("conn-a".into()));
+        let b = scope.spawn(move || session("conn-b".into()));
+        let (key_a, key_b) = (a.join().unwrap(), b.join().unwrap());
+        assert_eq!(key_a, key_b, "same job shape wins the same schedule on both sessions");
+
+        // Stop the accept loop, reading the ack before hanging up.
+        let stream = TcpStream::connect(address).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        writeln!(writer, "{{\"op\":\"shutdown\"}}").unwrap();
+        writer.flush().unwrap();
+        let ack = BufReader::new(&stream).lines().next().expect("shutdown ack").unwrap();
+        assert_eq!(Response::parse(&ack).unwrap(), Response::ShuttingDown);
+        drop(writer);
+        drop(stream);
+        acceptor.join().unwrap().unwrap();
+    });
+    // Both sessions landed on one tenant.
+    assert_eq!(server.tenants(), 1);
+    server.shutdown();
+}

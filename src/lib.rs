@@ -16,6 +16,9 @@
 //! * [`portfolio`] — the portfolio synthesis subsystem: pluggable
 //!   synthesizer strategies (MCTS, annealing, beam search, baselines)
 //!   raced deterministically over the shared evaluation service.
+//! * [`server`] — the serving layer: the multi-tenant schedule server,
+//!   its JSON-lines protocol (the `asynd` CLI) and catalog-wide scenario
+//!   sweeps.
 //!
 //! ## Quickstart
 //!
@@ -36,4 +39,5 @@ pub use asynd_core as core;
 pub use asynd_decode as decode;
 pub use asynd_pauli as pauli;
 pub use asynd_portfolio as portfolio;
+pub use asynd_server as server;
 pub use asynd_sim as sim;

@@ -1,0 +1,890 @@
+//! Minimal offline stand-in for `serde_json`.
+//!
+//! The real `serde_json` drives serialization through the `serde` trait
+//! machinery; the vendored `serde` stub only provides marker traits, so this
+//! crate implements the *self-describing* half of the real API instead: the
+//! [`Value`] data model (null / bool / number / string / array / object), a
+//! strict JSON parser ([`from_str`]) and compact / pretty writers
+//! ([`to_string`], [`to_string_pretty`]).
+//!
+//! Workspace code serializes by constructing `Value` trees explicitly and
+//! deserializes by pattern-matching parsed `Value`s — exactly the subset of
+//! the real crate's `Value` API surface (`get`, `as_*`, `Map` with preserved
+//! insertion order, `Display`), so swapping in the real `serde_json` (with
+//! its `preserve_order` feature) is a one-line manifest change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Maximum nesting depth the parser accepts (arrays/objects), guarding the
+/// recursive-descent parser against stack exhaustion on adversarial input.
+const MAX_DEPTH: usize = 128;
+
+/// A JSON number: an integer preserved exactly or a finite double.
+///
+/// Mirrors `serde_json::Number`: integers that fit `u64` / `i64` round-trip
+/// losslessly, everything else is stored as an `f64`. Non-finite floats are
+/// not representable ([`Number::from_f64`] returns `None` for them).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Number(Repr);
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Repr {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    /// A number from a finite float (`None` for NaN / infinities).
+    pub fn from_f64(value: f64) -> Option<Number> {
+        value.is_finite().then_some(Number(Repr::Float(value)))
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            Repr::PosInt(u) => Some(u),
+            Repr::NegInt(i) => u64::try_from(i).ok(),
+            Repr::Float(_) => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            Repr::PosInt(u) => i64::try_from(u).ok(),
+            Repr::NegInt(i) => Some(i),
+            Repr::Float(_) => None,
+        }
+    }
+
+    /// The value as an `f64` (integers convert lossily beyond 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.0 {
+            Repr::PosInt(u) => Some(u as f64),
+            Repr::NegInt(i) => Some(i as f64),
+            Repr::Float(f) => Some(f),
+        }
+    }
+
+    /// Whether the number is stored as a `u64`.
+    pub fn is_u64(&self) -> bool {
+        matches!(self.0, Repr::PosInt(_))
+    }
+
+    /// Whether the number is stored as an `f64`.
+    pub fn is_f64(&self) -> bool {
+        matches!(self.0, Repr::Float(_))
+    }
+}
+
+impl From<u64> for Number {
+    fn from(value: u64) -> Self {
+        Number(Repr::PosInt(value))
+    }
+}
+
+impl From<usize> for Number {
+    fn from(value: usize) -> Self {
+        Number(Repr::PosInt(value as u64))
+    }
+}
+
+impl From<i64> for Number {
+    fn from(value: i64) -> Self {
+        if let Ok(u) = u64::try_from(value) {
+            Number(Repr::PosInt(u))
+        } else {
+            Number(Repr::NegInt(value))
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Repr::PosInt(u) => write!(f, "{u}"),
+            Repr::NegInt(i) => write!(f, "{i}"),
+            Repr::Float(x) => {
+                // Match serde_json: floats always carry a fractional or
+                // exponent marker so they re-parse as floats.
+                let s = format!("{x}");
+                if s.contains(['.', 'e', 'E']) {
+                    f.write_str(&s)
+                } else {
+                    write!(f, "{s}.0")
+                }
+            }
+        }
+    }
+}
+
+/// A JSON object: string keys mapped to [`Value`]s, preserving insertion
+/// order (like `serde_json`'s `preserve_order` feature, which is what makes
+/// serialized artifacts byte-stable).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty object.
+    pub fn new() -> Map {
+        Map::default()
+    }
+
+    /// Inserts a key, replacing (in place) any existing entry for it.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) -> Option<Value> {
+        let key = key.into();
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// The value stored under `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the object has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterates keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+}
+
+/// A parsed JSON document, mirroring `serde_json::Value`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// Member lookup: `Some` for object members, `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// Element lookup: `Some` for in-range array elements, `None` otherwise.
+    pub fn get_index(&self, index: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a `Number`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integer `Number`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if this is an integer `Number` in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The element vector, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The member map, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
+            }
+            Value::String(s) => write_escaped(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(key, out);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        const STEP: &str = "  ";
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    for _ in 0..=indent {
+                        out.push_str(STEP);
+                    }
+                    item.write_pretty(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                for _ in 0..indent {
+                    out.push_str(STEP);
+                }
+                out.push(']');
+            }
+            Value::Object(map) if !map.is_empty() => {
+                out.push_str("{\n");
+                for (i, (key, value)) in map.iter().enumerate() {
+                    for _ in 0..=indent {
+                        out.push_str(STEP);
+                    }
+                    write_escaped(key, out);
+                    out.push_str(": ");
+                    value.write_pretty(out, indent + 1);
+                    out.push_str(if i + 1 < map.len() { ",\n" } else { "\n" });
+                }
+                for _ in 0..indent {
+                    out.push_str(STEP);
+                }
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON, like `serde_json::Value`'s `Display`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        f.write_str(&out)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(value: bool) -> Self {
+        Value::Bool(value)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(value: &str) -> Self {
+        Value::String(value.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(value: String) -> Self {
+        Value::String(value)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(value: u64) -> Self {
+        Value::Number(Number::from(value))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(value: usize) -> Self {
+        Value::Number(Number::from(value))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(value: i64) -> Self {
+        Value::Number(Number::from(value))
+    }
+}
+
+impl From<f64> for Value {
+    /// Finite floats become numbers; non-finite floats become `Null`
+    /// (`serde_json` behaves the same way).
+    fn from(value: f64) -> Self {
+        Number::from_f64(value).map_or(Value::Null, Value::Number)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(value: Vec<Value>) -> Self {
+        Value::Array(value)
+    }
+}
+
+impl From<Map> for Value {
+    fn from(value: Map) -> Self {
+        Value::Object(value)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse error: what went wrong and the byte offset it happened at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+    offset: usize,
+}
+
+impl Error {
+    /// Byte offset into the input at which parsing failed.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes a value as compact JSON.
+///
+/// # Errors
+///
+/// Infallible for [`Value`] trees (kept `Result` for signature parity with
+/// the real crate).
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_compact(&mut out);
+    Ok(out)
+}
+
+/// Serializes a value as two-space-indented JSON.
+///
+/// # Errors
+///
+/// Infallible for [`Value`] trees (kept `Result` for signature parity with
+/// the real crate).
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_pretty(&mut out, 0);
+    Ok(out)
+}
+
+/// Parses a JSON document.
+///
+/// Strict: exactly one value, trailing whitespace only, no comments, no
+/// trailing commas, strings must be valid UTF-8 with JSON escapes.
+///
+/// # Errors
+///
+/// Returns an [`Error`] with the byte offset of the first violation.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+    parser.skip_whitespace();
+    let value = parser.parse_value(0)?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> Error {
+        Error { message: message.to_string(), offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("maximum nesting depth exceeded"));
+        }
+        match self.peek() {
+            Some(b'n') => self.parse_literal("null", Value::Null),
+            Some(b't') => self.parse_literal("true", Value::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(_) => Err(self.error("unexpected character")),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_literal(&mut self, literal: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("invalid literal (expected `{literal}`)")))
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: a run of plain (unescaped, ASCII-or-UTF-8) bytes.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // The input is a &str, so the byte range is valid UTF-8 as
+                // long as it starts and ends on boundaries — it does, since
+                // the delimiters above are all ASCII.
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?,
+                );
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                // High surrogate: a \uXXXX low surrogate
+                                // must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(unit)
+                                    .ok_or_else(|| self.error("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.error("invalid escape character")),
+                    }
+                }
+                Some(_) => return Err(self.error("control character in string")),
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let mut unit = 0u32;
+        for _ in 0..4 {
+            let digit = self
+                .peek()
+                .and_then(|b| (b as char).to_digit(16))
+                .ok_or_else(|| self.error("invalid \\u escape"))?;
+            unit = unit * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(unit)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        // Integer part: `0` or a non-zero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.error("invalid number")),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("digit expected after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("digit expected in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            if negative {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Value::Number(Number::from(i)));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::from(u)));
+            }
+            // Out-of-range integers fall through to the float path.
+        }
+        let f: f64 = text.parse().map_err(|_| self.error("invalid number"))?;
+        Number::from_f64(f).map(Value::Number).ok_or_else(|| self.error("number overflows f64"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(value: &Value) -> Value {
+        from_str(&to_string(value).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for value in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::from(0u64),
+            Value::from(u64::MAX),
+            Value::from(-42i64),
+            Value::from(i64::MIN),
+            Value::from(0.25),
+            Value::from(-1.5e-9),
+            Value::from(""),
+            Value::from("plain"),
+        ] {
+            assert_eq!(roundtrip(&value), value);
+        }
+    }
+
+    #[test]
+    fn integers_preserve_exact_width() {
+        let v = from_str("18446744073709551615").unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        assert!(v.as_i64().is_none());
+        let v = from_str("-9223372036854775808").unwrap();
+        assert_eq!(v.as_i64(), Some(i64::MIN));
+    }
+
+    #[test]
+    fn floats_always_reparse_as_floats() {
+        let text = to_string(&Value::from(2.0)).unwrap();
+        assert_eq!(text, "2.0");
+        assert!(from_str(&text).unwrap().as_f64().unwrap() == 2.0);
+        assert!(matches!(from_str("1e3").unwrap(), Value::Number(n) if n.is_f64()));
+    }
+
+    #[test]
+    fn nonfinite_floats_are_null() {
+        assert_eq!(Value::from(f64::NAN), Value::Null);
+        assert_eq!(Value::from(f64::INFINITY), Value::Null);
+        assert!(Number::from_f64(f64::NEG_INFINITY).is_none());
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let tricky = "quote\" slash\\ newline\n tab\t unicode\u{1F600} control\u{0001}";
+        let value = Value::from(tricky);
+        assert_eq!(roundtrip(&value), value);
+        // Escaped input parses too, including surrogate pairs.
+        let parsed = from_str(r#""a\u0041 \uD83D\uDE00 \/ \b\f""#).unwrap();
+        assert_eq!(parsed.as_str(), Some("aA \u{1F600} / \u{0008}\u{000C}"));
+    }
+
+    #[test]
+    fn objects_preserve_insertion_order() {
+        let mut map = Map::new();
+        map.insert("zebra", Value::from(1u64));
+        map.insert("apple", Value::from(2u64));
+        map.insert("mango", Value::Null);
+        let text = to_string(&Value::Object(map.clone())).unwrap();
+        assert_eq!(text, r#"{"zebra":1,"apple":2,"mango":null}"#);
+        assert_eq!(roundtrip(&Value::Object(map.clone())), Value::Object(map.clone()));
+        // Re-inserting a key overwrites in place without reordering.
+        map.insert("apple", Value::from(9u64));
+        let keys: Vec<&String> = map.keys().collect();
+        assert_eq!(keys, ["zebra", "apple", "mango"]);
+        assert_eq!(map.get("apple").unwrap().as_u64(), Some(9));
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        let doc = r#"
+            {"records": [
+                {"p": 1.25e-3, "n": 400, "ok": true, "tags": ["a", "b"]},
+                {"p": 0.0, "n": 0, "ok": false, "tags": []}
+            ], "meta": null}
+        "#;
+        let value = from_str(doc).unwrap();
+        assert_eq!(value.get("records").unwrap().as_array().unwrap().len(), 2);
+        let first = value.get("records").unwrap().get_index(0).unwrap();
+        assert_eq!(first.get("n").unwrap().as_u64(), Some(400));
+        assert!(first.get("ok").unwrap().as_bool().unwrap());
+        assert_eq!(roundtrip(&value), value);
+    }
+
+    #[test]
+    fn pretty_output_reparses_identically() {
+        let value = from_str(r#"{"a":[1,2,{"b":"c"}],"d":{},"e":[]}"#).unwrap();
+        let pretty = to_string_pretty(&value).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(from_str(&pretty).unwrap(), value);
+    }
+
+    #[test]
+    fn strict_parsing_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "nul",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "+1",
+            "--1",
+            "\"unterminated",
+            "\"bad\\q\"",
+            "[1,]",
+            "[1 2]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a:1}",
+            "{} extra",
+            "\"\\ud800\"",
+            "\"\\ud800\\u0041\"",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted malformed input: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_is_enforced() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(from_str(&deep).is_err());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(from_str(&ok).is_ok());
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let err = from_str("[1, x]").unwrap_err();
+        assert_eq!(err.offset(), 4);
+        assert!(err.to_string().contains("byte 4"));
+    }
+}
