@@ -79,21 +79,35 @@ pub struct LogicalErrorEstimate {
 }
 
 impl LogicalErrorEstimate {
+    /// `failures / shots` with the zero-shots hazard closed off: an
+    /// estimate that recorded no shots has an observed rate of 0, not
+    /// NaN. The evaluation pipeline rejects `shots == 0` up front, but
+    /// estimates also arrive from wire artifacts and hand-rolled tests —
+    /// a NaN here would silently poison early-stop comparisons and JSON
+    /// artifacts downstream.
+    fn rate(&self, failures: usize) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
+        failures as f64 / self.shots as f64
+    }
+
     /// Empirical probability that at least one logical X error is
-    /// mispredicted.
+    /// mispredicted (0 when no shot was recorded).
     pub fn p_x(&self) -> f64 {
-        self.x_failures as f64 / self.shots as f64
+        self.rate(self.x_failures)
     }
 
     /// Empirical probability that at least one logical Z error is
-    /// mispredicted.
+    /// mispredicted (0 when no shot was recorded).
     pub fn p_z(&self) -> f64 {
-        self.z_failures as f64 / self.shots as f64
+        self.rate(self.z_failures)
     }
 
-    /// Empirical probability that any observable is mispredicted.
+    /// Empirical probability that any observable is mispredicted (0 when
+    /// no shot was recorded).
     pub fn p_overall(&self) -> f64 {
-        self.any_failures as f64 / self.shots as f64
+        self.rate(self.any_failures)
     }
 
     /// The paper's MCTS evaluation score `1 / p_overall`
@@ -349,6 +363,26 @@ mod tests {
         assert!(estimate.score() <= 1.0 / estimate.p_overall() + 1e-9);
         let (lo, hi) = estimate.wilson_overall();
         assert!(lo <= estimate.p_overall() && estimate.p_overall() <= hi);
+    }
+
+    #[test]
+    fn zero_shot_estimates_have_defined_rates_not_nan() {
+        // The pipeline refuses to *produce* such an estimate, but wire
+        // artifacts and tests can construct one; its derived views must
+        // stay finite so early-stop comparisons and JSON never see NaN.
+        let empty =
+            LogicalErrorEstimate { x_failures: 0, z_failures: 0, any_failures: 0, shots: 0 };
+        assert_eq!(empty.p_x(), 0.0);
+        assert_eq!(empty.p_z(), 0.0);
+        assert_eq!(empty.p_overall(), 0.0);
+        assert!(empty.score().is_finite());
+        assert_eq!(empty.wilson_overall(), (0.0, 1.0), "zero trials: the vacuous interval");
+        // Even an inconsistent estimate (failures without shots) must
+        // not emit NaN.
+        let bogus =
+            LogicalErrorEstimate { x_failures: 3, z_failures: 1, any_failures: 4, shots: 0 };
+        assert!(!bogus.p_overall().is_nan());
+        assert!(!bogus.wilson_overall().0.is_nan());
     }
 
     #[test]

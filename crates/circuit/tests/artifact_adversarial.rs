@@ -1,0 +1,166 @@
+//! Adversarial property tests of the wire-format parsers the registry
+//! and the serving layer trust with on-disk and network bytes:
+//! [`ScheduleKey::from_hex`] and [`ScheduleArtifact::from_json`] must
+//! reject every malformed input with a clean error — never panic, never
+//! accept.
+
+use asynd_circuit::artifact::{estimate_from_json, schedule_from_json, ScheduleArtifact};
+use asynd_circuit::{LogicalErrorEstimate, Schedule, ScheduleKey};
+use asynd_codes::steane_code;
+use proptest::prelude::*;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic "random" string drawn from an alphabet of bytes.
+fn adversarial_string(seed: u64, len: usize, alphabet: &[u8]) -> String {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..len).map(|_| alphabet[rng.gen_range(0..alphabet.len())] as char).collect()
+}
+
+fn valid_artifact() -> ScheduleArtifact {
+    let code = steane_code();
+    ScheduleArtifact {
+        code_label: "steane [[7,1,3]]".to_string(),
+        schedule: Schedule::trivial(&code),
+        estimate: LogicalErrorEstimate {
+            shots: 400,
+            x_failures: 3,
+            z_failures: 5,
+            any_failures: 7,
+        },
+    }
+}
+
+proptest! {
+    /// Round trip: every key's hex form parses back to the same key.
+    #[test]
+    fn hex_roundtrips_for_arbitrary_key_words(tick_shift in 0usize..1000) {
+        let code = steane_code();
+        let mut checks = Schedule::trivial(&code).checks().to_vec();
+        let index = tick_shift % checks.len();
+        checks[index].tick += tick_shift;
+        let key = Schedule::new(7, 6, checks).key();
+        let hex = key.to_hex();
+        prop_assert_eq!(hex.len(), 32);
+        prop_assert_eq!(ScheduleKey::from_hex(&hex), Some(key));
+    }
+
+    /// Wrong lengths never parse: truncated, overlong, odd-length, empty.
+    #[test]
+    fn wrong_length_hex_is_rejected(len in 0usize..64, seed in any::<u64>()) {
+        if len != 32 {
+            let text = adversarial_string(seed, len, b"0123456789abcdefABCDEF");
+            prop_assert_eq!(ScheduleKey::from_hex(&text), None);
+        }
+    }
+
+    /// Any non-hex byte anywhere poisons the parse, even at length 32.
+    #[test]
+    fn non_hex_bytes_are_rejected(position in 0usize..32, seed in any::<u64>()) {
+        let mut text: Vec<u8> =
+            adversarial_string(seed, 32, b"0123456789abcdef").into_bytes();
+        let poison = b"ghijkxyzGHIXYZ +-._\x00\x7f";
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5eed);
+        text[position] = poison[rng.gen_range(0..poison.len())];
+        let text = String::from_utf8_lossy(&text).into_owned();
+        prop_assert_eq!(ScheduleKey::from_hex(&text), None);
+    }
+
+    /// Arbitrary garbage strings — including ones whose byte length and
+    /// char length disagree — never panic the parser, and only exactly
+    /// 32 ASCII hex digits ever parse.
+    #[test]
+    fn arbitrary_strings_never_panic_from_hex(seed in any::<u64>(), len in 0usize..80) {
+        let alphabet = "0123456789abcdef \u{fe}\u{3b1}xyz+-";
+        let text = adversarial_string(seed, len, alphabet.as_bytes());
+        let parsed = ScheduleKey::from_hex(&text);
+        if parsed.is_some() {
+            prop_assert_eq!(text.len(), 32);
+            prop_assert!(text.bytes().all(|b| b.is_ascii_hexdigit()));
+        }
+    }
+
+    /// Deep-nested JSON near the stub parser's depth bound (128): below
+    /// the bound it parses and the artifact layer rejects it cleanly;
+    /// above it the JSON parser errors cleanly — never a stack overflow.
+    #[test]
+    fn deep_nesting_near_the_depth_bound_errors_cleanly(depth in 100usize..160) {
+        let mut text = String::new();
+        for _ in 0..depth {
+            text.push('[');
+        }
+        text.push('1');
+        for _ in 0..depth {
+            text.push(']');
+        }
+        match serde_json::from_str(&text) {
+            Ok(value) => {
+                prop_assert!(depth <= 130, "depth {depth} should exceed the parser bound");
+                prop_assert!(ScheduleArtifact::from_json(&value).is_err());
+                prop_assert!(schedule_from_json(&value).is_err());
+                prop_assert!(estimate_from_json(&value).is_err());
+            }
+            Err(e) => {
+                let message = e.to_string();
+                prop_assert!(message.contains("depth"), "unexpected error: {message}");
+            }
+        }
+    }
+
+    /// Nested *objects* hammering the artifact member paths: whatever
+    /// survives the JSON parser must be rejected by the artifact layer
+    /// with an error, never a panic.
+    #[test]
+    fn nested_objects_never_panic_artifact_parsing(depth in 1usize..130) {
+        let mut text = String::from("1");
+        for key in ["schedule", "checks", "estimate", "key", "artifact"].iter().cycle().take(depth)
+        {
+            text = format!("{{\"{key}\":{text}}}");
+        }
+        if let Ok(value) = serde_json::from_str(&text) {
+            prop_assert!(ScheduleArtifact::from_json(&value).is_err());
+            prop_assert!(schedule_from_json(&value).is_err());
+            prop_assert!(estimate_from_json(&value).is_err());
+        }
+    }
+
+    /// Single-byte corruption of a valid artifact document: the result
+    /// either fails to parse as JSON, or fails artifact verification, or
+    /// — only when the corruption touched an ignorable member (the
+    /// redundant derived rates, the code label) — parses to an artifact
+    /// whose fingerprint still verifies.
+    #[test]
+    fn corrupted_artifact_documents_never_panic(position_seed in any::<u64>(), byte_seed in any::<u64>()) {
+        let byte = (byte_seed % 256) as u8;
+        let text = serde_json::to_string(&valid_artifact().to_json()).unwrap();
+        let mut bytes = text.clone().into_bytes();
+        let position = (position_seed % bytes.len() as u64) as usize;
+        bytes[position] = byte;
+        if let Ok(corrupted) = String::from_utf8(bytes) {
+            if let Ok(value) = serde_json::from_str(&corrupted) {
+                if let Ok(artifact) = ScheduleArtifact::from_json(&value) {
+                    // Anything accepted must carry a self-consistent
+                    // fingerprint — corruption can rename the code label
+                    // or nudge redundant members, but never smuggle a
+                    // schedule that does not hash to its claimed key.
+                    prop_assert_eq!(artifact.key(), artifact.schedule.key());
+                    prop_assert!(artifact.estimate.shots > 0);
+                }
+            }
+        }
+    }
+
+    /// Truncated artifact documents (the crash-mid-write shape the
+    /// registry tolerates) always error cleanly.
+    #[test]
+    fn truncated_artifact_documents_error_cleanly(keep in 0usize..200) {
+        let text = serde_json::to_string(&valid_artifact().to_json()).unwrap();
+        if keep < text.len() {
+            let truncated: String = text.chars().take(keep).collect();
+            if let Ok(value) = serde_json::from_str(&truncated) {
+                prop_assert!(ScheduleArtifact::from_json(&value).is_err());
+            }
+        }
+    }
+}

@@ -115,6 +115,43 @@ impl MoveSpace {
         self.moves.iter().map(|m| (0..m.len()).collect()).collect()
     }
 
+    /// Recovers per-partition orderings from an existing schedule of the
+    /// same code — the inverse direction of [`MoveSpace::schedule_for`],
+    /// used to warm-start ordering searches from a previously
+    /// synthesized (e.g. registry-stored) schedule.
+    ///
+    /// Each partition's moves are sorted by the tick the schedule
+    /// assigns them (ties broken by move-list index, so the result is
+    /// deterministic). Returns `None` when the schedule does not cover
+    /// exactly this move universe — a schedule of a different code, or
+    /// one with missing/extra checks — in which case callers fall back
+    /// to their cold-start ordering.
+    ///
+    /// Re-assembling the recovered orderings does not necessarily
+    /// reproduce the input schedule tick-for-tick (greedy assembly packs
+    /// earliest), but it preserves the relative order of every pair of
+    /// checks within a partition — the state the ordering searches
+    /// explore.
+    pub fn orderings_for(&self, schedule: &Schedule) -> Option<Vec<Vec<usize>>> {
+        if schedule.checks().len() != self.total_moves() {
+            return None;
+        }
+        let mut tick_of = std::collections::HashMap::with_capacity(schedule.checks().len());
+        for check in schedule.checks() {
+            tick_of.insert((check.data, check.stabilizer), check.tick);
+        }
+        let mut orderings = Vec::with_capacity(self.moves.len());
+        for moves in &self.moves {
+            let mut keyed: Vec<(usize, usize)> = Vec::with_capacity(moves.len());
+            for (index, &(data, stabilizer, _)) in moves.iter().enumerate() {
+                keyed.push((*tick_of.get(&(data, stabilizer))?, index));
+            }
+            keyed.sort_unstable();
+            orderings.push(keyed.into_iter().map(|(_, index)| index).collect());
+        }
+        Some(orderings)
+    }
+
     /// Assembles a full-round schedule from per-partition orderings
     /// (indices into each partition's move list; empty orderings fall
     /// back to the lowest-depth placeholder).
@@ -157,6 +194,25 @@ mod tests {
         reversed.validate(&code).unwrap();
         let identity = space.schedule_for(&code, &space.identity_orderings());
         assert_ne!(reversed.key(), identity.key());
+    }
+
+    #[test]
+    fn orderings_roundtrip_through_schedules() {
+        let code = steane_code();
+        let space = MoveSpace::new(&code).unwrap();
+        let mut orderings = space.identity_orderings();
+        for ordering in &mut orderings {
+            ordering.reverse();
+        }
+        let schedule = space.schedule_for(&code, &orderings);
+        let recovered = space.orderings_for(&schedule).expect("same move universe");
+        // Re-assembling the recovered orderings reproduces the schedule:
+        // relative order within each partition is all that matters.
+        let reassembled = space.schedule_for(&code, &recovered);
+        assert_eq!(reassembled.key(), schedule.key());
+        // A schedule of a different code is rejected, not mangled.
+        let other = Schedule::trivial(&xzzx_code(3));
+        assert!(space.orderings_for(&other).is_none());
     }
 
     #[test]

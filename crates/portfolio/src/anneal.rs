@@ -5,6 +5,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use asynd_circuit::Schedule;
 use asynd_codes::StabilizerCode;
 use asynd_core::SchedulerError;
 
@@ -106,10 +107,28 @@ impl Synthesizer for AnnealingSynthesizer {
         budget: SynthesisBudget,
         seed: u64,
     ) -> Result<SynthesisOutcome, SchedulerError> {
+        self.synthesize_seeded(code, ctx, budget, seed, &[])
+    }
+
+    fn synthesize_seeded(
+        &self,
+        code: &StabilizerCode,
+        ctx: &ScoreContext,
+        budget: SynthesisBudget,
+        seed: u64,
+        warm: &[Schedule],
+    ) -> Result<SynthesisOutcome, SchedulerError> {
         self.config.validate()?;
         require_budget(budget)?;
         let space = MoveSpace::new(code)?;
-        let mut orderings = space.identity_orderings();
+        // Warm start: anneal from the first seed that maps onto this
+        // code's move space instead of the identity ordering. The seeded
+        // state is still scored below like any other — a warm start
+        // shifts where the walk begins, never what an estimate means.
+        let mut orderings = warm
+            .iter()
+            .find_map(|schedule| space.orderings_for(schedule))
+            .unwrap_or_else(|| space.identity_orderings());
         let mut stats = SynthesisStats::default();
 
         let mut current_schedule = space.schedule_for(code, &orderings);

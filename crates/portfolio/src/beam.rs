@@ -95,16 +95,45 @@ impl Synthesizer for BeamSearchSynthesizer {
         budget: SynthesisBudget,
         seed: u64,
     ) -> Result<SynthesisOutcome, SchedulerError> {
+        self.synthesize_seeded(code, ctx, budget, seed, &[])
+    }
+
+    fn synthesize_seeded(
+        &self,
+        code: &StabilizerCode,
+        ctx: &ScoreContext,
+        budget: SynthesisBudget,
+        seed: u64,
+        warm: &[Schedule],
+    ) -> Result<SynthesisOutcome, SchedulerError> {
         self.config.validate()?;
         require_budget(budget)?;
         let space = MoveSpace::new(code)?;
         let mut stats = SynthesisStats::default();
         let mut remaining = budget.evaluations;
 
+        // Warm start: the first seed that maps onto this move space is
+        // injected into the search — scored once as the initial
+        // incumbent (so the result is never worse than the seed) and
+        // kept in every frontier as an extra member (so the beam can
+        // refine rather than rediscover it). Both uses go through the
+        // scoring context and spend budget like any candidate.
+        let seeded: Option<Vec<Vec<usize>>> =
+            warm.iter().find_map(|schedule| space.orderings_for(schedule));
+        let mut best: Option<(LogicalErrorEstimate, Schedule)> = None;
+        if let Some(orderings) = &seeded {
+            let schedule = space.schedule_for(code, orderings);
+            let estimate = ctx.score(code, &schedule)?;
+            remaining -= 1;
+            stats.evaluations += 1;
+            stats.candidates += 1;
+            stats.improvements += 1;
+            best = Some((estimate, schedule));
+        }
+
         // Finalised orderings of already-searched partitions; later
         // partitions stay empty (placeholder) until reached.
         let mut finalized: Vec<Vec<usize>> = vec![Vec::new(); space.num_partitions()];
-        let mut best: Option<(LogicalErrorEstimate, Schedule)> = None;
 
         'partitions: for partition in 0..space.num_partitions() {
             let n = space.moves_in(partition);
@@ -174,6 +203,15 @@ impl Synthesizer for BeamSearchSynthesizer {
                     }
                 }
                 frontier = scored.into_iter().take(self.config.width).map(|c| c.prefix).collect();
+                // Keep the warm-start ordering alive as an extra frontier
+                // member: pruning may discard its prefix, but the next
+                // level should still be able to expand along the seed.
+                if let Some(orderings) = &seeded {
+                    let prefix = &orderings[partition][..(_level + 1).min(n)];
+                    if !frontier.iter().any(|state| state == prefix) {
+                        frontier.push(prefix.to_vec());
+                    }
+                }
                 if remaining == 0 {
                     // Finalise from the best completion and stop searching.
                     if let Some(c) = &partition_best {

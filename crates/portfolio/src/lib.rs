@@ -234,6 +234,36 @@ pub trait Synthesizer: Send + Sync {
         budget: SynthesisBudget,
         seed: u64,
     ) -> Result<SynthesisOutcome, SchedulerError>;
+
+    /// [`Synthesizer::synthesize`] with warm-start seeds: previously
+    /// synthesized schedules of the *same code* (e.g. registry-stored
+    /// winners) the strategy may use as starting points.
+    ///
+    /// Warm starts only seed the search — they never bypass evaluation:
+    /// a seeded schedule is scored through `ctx` like any candidate, so
+    /// it spends budget and the schedule-quality guarantees of the
+    /// scoring path are preserved. Strategies with no use for seeds (the
+    /// default implementation) ignore them; either way the result stays
+    /// a deterministic function of `(code, budget, seed, warm, salt)`.
+    ///
+    /// Callers must pass schedules valid for `code`; strategies fall
+    /// back to their cold start when a seed does not map onto the code's
+    /// move space.
+    ///
+    /// # Errors
+    ///
+    /// As [`Synthesizer::synthesize`].
+    fn synthesize_seeded(
+        &self,
+        code: &StabilizerCode,
+        ctx: &ScoreContext,
+        budget: SynthesisBudget,
+        seed: u64,
+        warm: &[Schedule],
+    ) -> Result<SynthesisOutcome, SchedulerError> {
+        let _ = warm;
+        self.synthesize(code, ctx, budget, seed)
+    }
 }
 
 /// Total order on candidates used by every strategy and by the racer's

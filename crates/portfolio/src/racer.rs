@@ -5,7 +5,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use asynd_circuit::{DecoderFactory, EstimateOptions, Evaluator, EvaluatorStats, NoiseModel};
+use asynd_circuit::{
+    DecoderFactory, EstimateOptions, Evaluator, EvaluatorStats, NoiseModel, Schedule,
+};
 use asynd_codes::StabilizerCode;
 use asynd_core::{EvaluationMeter, SchedulerError};
 use asynd_sim::mix_seed;
@@ -193,6 +195,24 @@ impl Portfolio {
         noise: &NoiseModel,
         factory: Arc<dyn DecoderFactory + Send + Sync>,
     ) -> Result<PortfolioReport, SchedulerError> {
+        self.run_seeded(code, noise, factory, &[])
+    }
+
+    /// [`Portfolio::run`] with warm-start seed schedules: previously
+    /// synthesized schedules of this code (e.g. registry-stored winners)
+    /// that seed-aware strategies start from instead of their cold
+    /// state. See [`Portfolio::run_with_seeds`] for the contract.
+    ///
+    /// # Errors
+    ///
+    /// As [`Portfolio::run`].
+    pub fn run_seeded(
+        &self,
+        code: &StabilizerCode,
+        noise: &NoiseModel,
+        factory: Arc<dyn DecoderFactory + Send + Sync>,
+        seeds: &[Schedule],
+    ) -> Result<PortfolioReport, SchedulerError> {
         let options = EstimateOptions { max_threads: Some(1), ..EstimateOptions::default() };
         let evaluator = Arc::new(Evaluator::with_capacity(
             noise.clone(),
@@ -201,7 +221,7 @@ impl Portfolio {
             options,
             self.config.eval_cache_capacity,
         ));
-        self.run_with_evaluator(code, evaluator, mix_seed(self.config.seed, EVAL_SALT_STREAM))
+        self.run_with_seeds(code, evaluator, mix_seed(self.config.seed, EVAL_SALT_STREAM), seeds)
     }
 
     /// Races every registered strategy over a *caller-owned* evaluator —
@@ -227,6 +247,37 @@ impl Portfolio {
         code: &StabilizerCode,
         evaluator: Arc<Evaluator>,
         salt: u64,
+    ) -> Result<PortfolioReport, SchedulerError> {
+        self.run_with_seeds(code, evaluator, salt, &[])
+    }
+
+    /// [`Portfolio::run_with_evaluator`] with warm-start seed schedules.
+    ///
+    /// Every strategy receives the same seed slice through
+    /// [`Synthesizer::synthesize_seeded`]; seed-aware strategies
+    /// (annealing starts from the seed's ordering, beam search keeps it
+    /// in its frontier) use it, the rest ignore it. Warm starts never
+    /// bypass evaluation — a seeded schedule is scored through the
+    /// strategy's metered [`ScoreContext`] like any candidate, so the
+    /// per-strategy grant is enforced unchanged — and they never touch
+    /// winner selection, which stays bit-identical for any worker-thread
+    /// count with seeds present or absent (the seeds are part of the
+    /// race's input, not of its scheduling).
+    ///
+    /// Callers should pass schedules that validate against `code`
+    /// (strategies fall back to cold starts on seeds that do not map
+    /// onto the code's move space, so a stale seed degrades to a normal
+    /// race).
+    ///
+    /// # Errors
+    ///
+    /// As [`Portfolio::run`].
+    pub fn run_with_seeds(
+        &self,
+        code: &StabilizerCode,
+        evaluator: Arc<Evaluator>,
+        salt: u64,
+        seeds: &[Schedule],
     ) -> Result<PortfolioReport, SchedulerError> {
         self.config.validate()?;
         if self.strategies.is_empty() {
@@ -260,7 +311,8 @@ impl Portfolio {
                     let strategy_ctx = ctx.with_meter(meters[index].clone());
                     let seed = mix_seed(self.config.seed, 1 + index as u64);
                     let began = Instant::now();
-                    let result = strategy.synthesize(code, &strategy_ctx, budget, seed);
+                    let result =
+                        strategy.synthesize_seeded(code, &strategy_ctx, budget, seed, seeds);
                     let wall = began.elapsed();
                     *slots[index].lock().expect("portfolio slot poisoned") = Some((result, wall));
                 });

@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use asynd_circuit::NoiseModel;
+use asynd_circuit::{NoiseModel, Schedule};
 use asynd_codes::{rotated_surface_code, steane_code};
 use asynd_decode::UnionFindFactory;
 use asynd_portfolio::{Portfolio, PortfolioConfig, PortfolioReport};
@@ -15,6 +15,15 @@ fn race(
     worker_threads: usize,
     capacity: usize,
 ) -> PortfolioReport {
+    race_seeded(code, worker_threads, capacity, &[])
+}
+
+fn race_seeded(
+    code: &asynd_codes::StabilizerCode,
+    worker_threads: usize,
+    capacity: usize,
+    seeds: &[Schedule],
+) -> PortfolioReport {
     let portfolio = Portfolio::standard(PortfolioConfig {
         seed: 42,
         budget_per_strategy: 64,
@@ -22,7 +31,9 @@ fn race(
         eval_cache_capacity: capacity,
         worker_threads,
     });
-    portfolio.run(code, &NoiseModel::brisbane(), Arc::new(UnionFindFactory::new())).unwrap()
+    portfolio
+        .run_seeded(code, &NoiseModel::brisbane(), Arc::new(UnionFindFactory::new()), seeds)
+        .unwrap()
 }
 
 #[test]
@@ -47,6 +58,61 @@ fn winning_schedule_is_bit_identical_for_1_2_and_4_worker_threads() {
             }
         }
         serial.winning().outcome.schedule.validate(&code).unwrap();
+    }
+}
+
+#[test]
+fn warm_started_races_are_bit_identical_for_1_2_and_4_worker_threads() {
+    let code = steane_code();
+    // Seed the race with a prior winner — the warm-start path the
+    // registry drives in production.
+    let seed_schedule = race(&code, 1, 1024).winning().outcome.schedule.clone();
+    let seeds = vec![seed_schedule.clone()];
+
+    let serial = race_seeded(&code, 1, 1024, &seeds);
+    for threads in [2usize, 4] {
+        let raced = race_seeded(&code, threads, 1024, &seeds);
+        assert_eq!(raced.winner, serial.winner, "warm winner differs at {threads} threads");
+        for (a, b) in raced.strategies.iter().zip(&serial.strategies) {
+            assert_eq!(a.outcome.schedule, b.outcome.schedule, "{} diverged warm", a.name);
+            assert_eq!(a.outcome.estimate, b.outcome.estimate, "{} diverged warm", a.name);
+            assert_eq!(a.outcome.stats, b.outcome.stats, "{} counters diverged warm", a.name);
+        }
+    }
+    serial.winning().outcome.schedule.validate(&code).unwrap();
+
+    // Warm starts spend through the meters like any evaluation: no
+    // strategy exceeds its grant, and the meter still matches the
+    // strategy's self-reported spend.
+    for s in &serial.strategies {
+        assert!(s.metered <= s.granted, "{} overspent warm: {} > {}", s.name, s.metered, s.granted);
+        assert_eq!(s.metered, s.outcome.stats.evaluations, "{} meter disagrees warm", s.name);
+    }
+
+    // The race with seeds is a different (deterministic) computation
+    // than the cold race — but never a worse one for the seed-aware
+    // strategies, which hold the seed as their initial incumbent.
+    let cold = race(&code, 1, 1024);
+    let winner_p = serial.winning().outcome.estimate.p_overall();
+    assert!(
+        winner_p <= cold.winning().outcome.estimate.p_overall() + 1e-12,
+        "warm start made the portfolio worse: {winner_p} vs cold"
+    );
+}
+
+#[test]
+fn unusable_seeds_fall_back_to_the_cold_race() {
+    let code = steane_code();
+    // A schedule of a different code cannot map onto this move space:
+    // every strategy must fall back to its cold start, bit-for-bit.
+    let foreign = Schedule::trivial(&rotated_surface_code(3));
+    let cold = race(&code, 2, 1024);
+    let seeded = race_seeded(&code, 2, 1024, &[foreign]);
+    assert_eq!(cold.winner, seeded.winner);
+    for (a, b) in cold.strategies.iter().zip(&seeded.strategies) {
+        assert_eq!(a.outcome.schedule, b.outcome.schedule, "{} diverged on foreign seed", a.name);
+        assert_eq!(a.outcome.estimate, b.outcome.estimate);
+        assert_eq!(a.outcome.stats, b.outcome.stats);
     }
 }
 

@@ -1,0 +1,825 @@
+//! Persistent, content-addressed registry of synthesized schedule
+//! artifacts — the tune-once-reuse-everywhere layer underneath the
+//! serving stack.
+//!
+//! The serving layer (asynd-server) synthesizes schedules from scratch:
+//! the evaluator cache and the portfolio's winning schedules die with the
+//! process, so a restarted server pays the full synthesis cost for
+//! traffic it has already served. The [`Registry`] fixes that by keeping
+//! every winning [`ScheduleArtifact`] on disk, keyed by the *tenant* that
+//! produced it (the serving layer's `(code, error model, shots)` identity
+//! string) plus the schedule's canonical
+//! [`ScheduleKey`] — a content address, so
+//! storing the same schedule twice is a no-op and distinct schedules of
+//! one tenant coexist.
+//!
+//! # Storage format
+//!
+//! A registry is a directory of append-only JSON-lines *segments*
+//! (`seg-<seq>.jsonl`). Every line is one record:
+//!
+//! ```json
+//! {"v":1,"tenant":"xzzx[0]|scaled(0.003)|shots=400","artifact":{...}}
+//! ```
+//!
+//! Writes are atomic: a record is written to a tempfile in the registry
+//! directory and `rename`d into place, so a crashed server can leave at
+//! most an orphaned tempfile behind (ignored on open), never a corrupt
+//! segment. [`Registry::compact`] merges all segments into one the same
+//! way.
+//!
+//! # Integrity
+//!
+//! The registry *never trusts its own disk*. Every read path
+//! (open, [`Registry::verify`]) re-parses records through
+//! [`ScheduleArtifact::from_json`], which recomputes the schedule
+//! fingerprint from the check list and rejects mismatches — a tampered or
+//! bit-rotted entry is skipped and reported, and can never reach a
+//! warm-start seed or a `lookup` response.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use asynd_registry::Registry;
+//!
+//! let (registry, report) = Registry::open("/var/lib/asynd/registry").unwrap();
+//! assert_eq!(report.skipped, 0, "no tampered records");
+//! if let Some(entry) = registry.lookup("xzzx[0]|scaled(0.003)|shots=400") {
+//!     println!("warm start available: {}", entry.artifact.key().to_hex());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use asynd_circuit::artifact::ScheduleArtifact;
+use asynd_circuit::ScheduleKey;
+use serde_json::{Map, Value};
+
+/// Record format version written by this crate.
+const FORMAT_VERSION: u64 = 1;
+
+/// How many per-line problem reports open/verify keep (the counts are
+/// always exact; the textual reports are capped so a rotten store cannot
+/// balloon memory).
+const MAX_REPORTS: usize = 16;
+
+/// Errors of the registry layer.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// A filesystem operation failed.
+    Io(std::io::Error),
+    /// A record or argument violated the registry's invariants.
+    Invalid {
+        /// What was malformed.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Io(e) => write!(f, "registry i/o error: {e}"),
+            RegistryError::Invalid { reason } => write!(f, "invalid registry record: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::Io(e) => Some(e),
+            RegistryError::Invalid { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RegistryError {
+    fn from(e: std::io::Error) -> Self {
+        RegistryError::Io(e)
+    }
+}
+
+/// One stored record: the owning tenant plus the verified artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegistryEntry {
+    /// The tenant identity the artifact was synthesized for.
+    pub tenant: String,
+    /// The fingerprint-verified schedule artifact.
+    pub artifact: ScheduleArtifact,
+}
+
+/// What [`Registry::store`] did with a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOutcome {
+    /// A new `(tenant, schedule)` address: the record was appended.
+    Stored,
+    /// The address existed with a different estimate: the new record was
+    /// appended and now shadows the old one.
+    Replaced,
+    /// A bit-identical record already exists: nothing was written.
+    Duplicate,
+}
+
+/// The result of opening a registry directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenReport {
+    /// Segment files scanned.
+    pub segments: usize,
+    /// Records accepted into the index (after shadowing).
+    pub entries: usize,
+    /// Records skipped: unparsable lines, fingerprint mismatches,
+    /// malformed members. Skipped records never reach lookups.
+    pub skipped: usize,
+    /// Human-readable reports of the first skipped records (capped).
+    pub reports: Vec<String>,
+}
+
+/// The result of [`Registry::verify`]: a full re-scan of the disk state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Segment files scanned.
+    pub segments: usize,
+    /// Records whose fingerprints verified.
+    pub valid: usize,
+    /// Records that failed to parse or verify.
+    pub invalid: usize,
+    /// Human-readable reports of the first invalid records (capped).
+    pub reports: Vec<String>,
+}
+
+/// The result of [`Registry::compact`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Segment files before compaction.
+    pub segments_before: usize,
+    /// Live records written into the merged segment.
+    pub entries: usize,
+    /// Old segment files removed.
+    pub removed: usize,
+}
+
+/// A point-in-time snapshot of the registry's size and traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Distinct tenants with at least one artifact.
+    pub tenants: usize,
+    /// Live `(tenant, schedule)` records.
+    pub entries: usize,
+    /// Segment files on disk.
+    pub segments: usize,
+    /// Lookup requests served since open.
+    pub lookups: u64,
+    /// Lookups that found an artifact.
+    pub hits: u64,
+    /// Records appended since open (stores + replacements).
+    pub stores: u64,
+    /// Store requests skipped as bit-identical duplicates.
+    pub duplicates: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    stores: AtomicU64,
+    duplicates: AtomicU64,
+}
+
+/// Artifacts of one tenant, indexed by schedule key, with the current
+/// best address cached.
+struct Shelf {
+    artifacts: HashMap<ScheduleKey, ScheduleArtifact>,
+    best: ScheduleKey,
+}
+
+struct State {
+    tenants: HashMap<String, Shelf>,
+    segments: Vec<PathBuf>,
+    next_seq: u64,
+    entries: usize,
+}
+
+/// Total order on artifacts used to pick a tenant's best entry: lower
+/// estimated overall logical error first, then lower depth, then the
+/// canonical schedule key — the same tie-break discipline the portfolio's
+/// winner selection uses, so "best stored" and "race winner" agree.
+fn better(challenger: &ScheduleArtifact, incumbent: &ScheduleArtifact) -> bool {
+    let a = challenger.estimate.p_overall();
+    let b = incumbent.estimate.p_overall();
+    match a.partial_cmp(&b) {
+        Some(std::cmp::Ordering::Less) => true,
+        Some(std::cmp::Ordering::Greater) => false,
+        _ => {
+            let (da, db) = (challenger.schedule.depth(), incumbent.schedule.depth());
+            da < db || (da == db && challenger.key() < incumbent.key())
+        }
+    }
+}
+
+/// A persistent, content-addressed store of schedule artifacts.
+///
+/// See the crate docs for the storage format and integrity model. All
+/// methods are safe to call from multiple threads of one process; the
+/// registry is **not** a multi-process coordination mechanism (last
+/// writer wins between processes sharing a directory, which is safe —
+/// records are self-verifying — but wasteful).
+pub struct Registry {
+    dir: PathBuf,
+    state: Mutex<State>,
+    counters: Counters,
+}
+
+impl Registry {
+    /// Opens (or creates) a registry directory, rebuilding the in-memory
+    /// index from every segment on disk.
+    ///
+    /// Records that fail to parse or whose schedule fingerprint does not
+    /// verify are *skipped and reported*, never indexed — a tampered
+    /// store degrades capacity, not correctness. Later records shadow
+    /// earlier ones at the same `(tenant, schedule)` address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::Io`] when the directory cannot be created
+    /// or a segment cannot be read. Malformed *records* are not errors.
+    pub fn open(dir: impl AsRef<Path>) -> Result<(Registry, OpenReport), RegistryError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let scan = scan_segments(&dir)?;
+        let mut state = State {
+            tenants: HashMap::new(),
+            segments: scan.segments.iter().map(|s| s.path.clone()).collect(),
+            next_seq: scan.next_seq,
+            entries: 0,
+        };
+        for (tenant, artifact) in scan.records {
+            index_record(&mut state, tenant, artifact);
+        }
+        let report = OpenReport {
+            segments: scan.segments.len(),
+            entries: state.entries,
+            skipped: scan.skipped,
+            reports: scan.reports,
+        };
+        Ok((Registry { dir, state: Mutex::new(state), counters: Counters::default() }, report))
+    }
+
+    /// The registry directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of live `(tenant, schedule)` records.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("registry state poisoned").entries
+    }
+
+    /// Whether no record is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size and traffic counters.
+    pub fn stats(&self) -> RegistryStats {
+        let state = self.state.lock().expect("registry state poisoned");
+        RegistryStats {
+            tenants: state.tenants.len(),
+            entries: state.entries,
+            segments: state.segments.len(),
+            lookups: self.counters.lookups.load(Ordering::Relaxed),
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            stores: self.counters.stores.load(Ordering::Relaxed),
+            duplicates: self.counters.duplicates.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The best stored artifact of a tenant (lowest estimated logical
+    /// error, ties by depth then schedule key), or `None` for an unknown
+    /// tenant.
+    pub fn lookup(&self, tenant: &str) -> Option<RegistryEntry> {
+        self.counters.lookups.fetch_add(1, Ordering::Relaxed);
+        let state = self.state.lock().expect("registry state poisoned");
+        let shelf = state.tenants.get(tenant)?;
+        let artifact = shelf.artifacts.get(&shelf.best)?.clone();
+        drop(state);
+        self.counters.hits.fetch_add(1, Ordering::Relaxed);
+        Some(RegistryEntry { tenant: tenant.to_string(), artifact })
+    }
+
+    /// The stored artifact at an exact `(tenant, schedule)` content
+    /// address.
+    pub fn lookup_key(&self, tenant: &str, key: ScheduleKey) -> Option<RegistryEntry> {
+        self.counters.lookups.fetch_add(1, Ordering::Relaxed);
+        let state = self.state.lock().expect("registry state poisoned");
+        let artifact = state.tenants.get(tenant)?.artifacts.get(&key)?.clone();
+        drop(state);
+        self.counters.hits.fetch_add(1, Ordering::Relaxed);
+        Some(RegistryEntry { tenant: tenant.to_string(), artifact })
+    }
+
+    /// All live records, sorted by `(tenant, schedule key)` — the
+    /// deterministic iteration order `compact` and the CLI's `stats`
+    /// output build on.
+    pub fn entries(&self) -> Vec<RegistryEntry> {
+        let state = self.state.lock().expect("registry state poisoned");
+        let mut entries: Vec<RegistryEntry> = state
+            .tenants
+            .iter()
+            .flat_map(|(tenant, shelf)| {
+                shelf.artifacts.values().map(move |artifact| RegistryEntry {
+                    tenant: tenant.clone(),
+                    artifact: artifact.clone(),
+                })
+            })
+            .collect();
+        entries.sort_by(|a, b| {
+            a.tenant.cmp(&b.tenant).then_with(|| a.artifact.key().cmp(&b.artifact.key()))
+        });
+        entries
+    }
+
+    /// Stores an artifact under a tenant identity, appending one segment
+    /// atomically (tempfile + rename).
+    ///
+    /// Content addressing makes this idempotent: a bit-identical record
+    /// is detected in memory and skipped without touching the disk; a
+    /// record whose address exists with a *different* estimate is
+    /// appended and shadows the old one (re-synthesis under changed
+    /// evaluation settings wins).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::Invalid`] for an empty tenant id or an
+    /// estimate with zero shots, and [`RegistryError::Io`] when the
+    /// segment cannot be written.
+    pub fn store(
+        &self,
+        tenant: &str,
+        artifact: &ScheduleArtifact,
+    ) -> Result<StoreOutcome, RegistryError> {
+        if tenant.is_empty() {
+            return Err(RegistryError::Invalid { reason: "tenant id must be non-empty".into() });
+        }
+        if artifact.estimate.shots == 0 {
+            return Err(RegistryError::Invalid {
+                reason: "artifact estimate must record at least one shot".into(),
+            });
+        }
+        let key = artifact.key();
+        let mut state = self.state.lock().expect("registry state poisoned");
+        if let Some(existing) = state.tenants.get(tenant).and_then(|s| s.artifacts.get(&key)) {
+            if existing == artifact {
+                self.counters.duplicates.fetch_add(1, Ordering::Relaxed);
+                return Ok(StoreOutcome::Duplicate);
+            }
+        }
+        let path = self.append_segment(&mut state, &[(tenant, artifact)])?;
+        state.segments.push(path);
+        let replaced = index_record(&mut state, tenant.to_string(), artifact.clone());
+        self.counters.stores.fetch_add(1, Ordering::Relaxed);
+        Ok(if replaced { StoreOutcome::Replaced } else { StoreOutcome::Stored })
+    }
+
+    /// Re-scans the directory and fingerprint-checks every record on
+    /// disk — the integrity audit behind `asynd registry verify`.
+    ///
+    /// Reads the filesystem fresh (not the in-memory index), so it also
+    /// catches corruption introduced *after* open by other processes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::Io`] when a segment cannot be read;
+    /// invalid records are counted, not errors.
+    pub fn verify(&self) -> Result<VerifyReport, RegistryError> {
+        let scan = scan_segments(&self.dir)?;
+        Ok(VerifyReport {
+            segments: scan.segments.len(),
+            valid: scan.records.len(),
+            invalid: scan.skipped,
+            reports: scan.reports,
+        })
+    }
+
+    /// Merges every segment into a single one (atomic tempfile + rename),
+    /// dropping shadowed and tampered records, then removes the old
+    /// segment files.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::Io`] on write or remove failures. If the
+    /// merged segment was written but an old segment could not be
+    /// removed, the store stays correct (later segments shadow earlier
+    /// ones, and the merge is written with the highest sequence number).
+    pub fn compact(&self) -> Result<CompactReport, RegistryError> {
+        let mut state = self.state.lock().expect("registry state poisoned");
+        let segments_before = state.segments.len();
+        let mut records: Vec<(String, ScheduleArtifact)> = state
+            .tenants
+            .iter()
+            .flat_map(|(tenant, shelf)| {
+                shelf.artifacts.values().map(move |a| (tenant.clone(), a.clone()))
+            })
+            .collect();
+        records.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.key().cmp(&b.1.key())));
+        let borrowed: Vec<(&str, &ScheduleArtifact)> =
+            records.iter().map(|(t, a)| (t.as_str(), a)).collect();
+        let merged = self.append_segment(&mut state, &borrowed)?;
+        let old = std::mem::replace(&mut state.segments, vec![merged]);
+        let mut removed = 0usize;
+        for path in old {
+            fs::remove_file(&path)?;
+            removed += 1;
+        }
+        Ok(CompactReport { segments_before, entries: records.len(), removed })
+    }
+
+    /// Writes `records` as one new segment file, atomically: the content
+    /// goes to a tempfile in the registry directory first and is
+    /// `rename`d to its final `seg-<seq>.jsonl` name only once complete.
+    fn append_segment(
+        &self,
+        state: &mut State,
+        records: &[(&str, &ScheduleArtifact)],
+    ) -> Result<PathBuf, RegistryError> {
+        let mut text = String::new();
+        for (tenant, artifact) in records {
+            let mut map = Map::new();
+            map.insert("v", Value::from(FORMAT_VERSION));
+            map.insert("tenant", Value::from(*tenant));
+            map.insert("artifact", artifact.to_json());
+            text.push_str(
+                &serde_json::to_string(&Value::Object(map))
+                    .expect("record serialization is infallible"),
+            );
+            text.push('\n');
+        }
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        let tmp = self.dir.join(format!(".tmp-{seq:010}"));
+        let path = self.dir.join(format!("seg-{seq:010}.jsonl"));
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(text.as_bytes())?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+}
+
+/// Inserts one verified record into the index, maintaining the tenant's
+/// best pointer. Returns whether an existing record at the same address
+/// was shadowed.
+fn index_record(state: &mut State, tenant: String, artifact: ScheduleArtifact) -> bool {
+    let key = artifact.key();
+    match state.tenants.get_mut(&tenant) {
+        None => {
+            let mut artifacts = HashMap::new();
+            artifacts.insert(key, artifact);
+            state.tenants.insert(tenant, Shelf { artifacts, best: key });
+            state.entries += 1;
+            false
+        }
+        Some(shelf) => {
+            let replaced = shelf.artifacts.insert(key, artifact).is_some();
+            if !replaced {
+                state.entries += 1;
+            }
+            // Recompute the best pointer: a replacement may have demoted
+            // the incumbent, so scan the (small) shelf instead of only
+            // comparing against the cached best.
+            let mut best = key;
+            for (&candidate, a) in shelf.artifacts.iter() {
+                if candidate != best && better(a, &shelf.artifacts[&best]) {
+                    best = candidate;
+                }
+            }
+            shelf.best = best;
+            replaced
+        }
+    }
+}
+
+struct SegmentInfo {
+    path: PathBuf,
+    name: String,
+}
+
+struct ScanOutcome {
+    segments: Vec<SegmentInfo>,
+    records: Vec<(String, ScheduleArtifact)>,
+    skipped: usize,
+    reports: Vec<String>,
+    next_seq: u64,
+}
+
+/// Reads every segment in `dir` in name order, parsing and
+/// fingerprint-verifying each line. Invalid lines are skipped and
+/// reported. Orphaned tempfiles (a crash between create and rename) are
+/// ignored entirely.
+fn scan_segments(dir: &Path) -> Result<ScanOutcome, RegistryError> {
+    let mut segments: Vec<SegmentInfo> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("seg-") && name.ends_with(".jsonl") {
+            segments.push(SegmentInfo { path: entry.path(), name });
+        }
+    }
+    segments.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut next_seq = 0u64;
+    for segment in &segments {
+        let digits = segment.name.trim_start_matches("seg-").trim_end_matches(".jsonl");
+        if let Ok(seq) = digits.parse::<u64>() {
+            next_seq = next_seq.max(seq + 1);
+        }
+    }
+    let mut records = Vec::new();
+    let mut skipped = 0usize;
+    let mut reports = Vec::new();
+    for segment in &segments {
+        // Read bytes, not text: a single non-UTF-8 byte in one record
+        // must skip that record like any other corruption, never brick
+        // the whole segment (fs::read_to_string would fail the open).
+        let bytes = fs::read(&segment.path)?;
+        for (line_no, raw) in bytes.split(|&b| b == b'\n').enumerate() {
+            let mut skip = |reason: String| {
+                skipped += 1;
+                if reports.len() < MAX_REPORTS {
+                    reports.push(format!("{} line {}: {reason}", segment.name, line_no + 1));
+                }
+            };
+            match std::str::from_utf8(raw) {
+                Ok(line) if line.trim().is_empty() => {}
+                Ok(line) => match parse_record(line) {
+                    Ok(record) => records.push(record),
+                    Err(reason) => skip(reason),
+                },
+                Err(_) => skip("line is not valid UTF-8".to_string()),
+            }
+        }
+    }
+    Ok(ScanOutcome { segments, records, skipped, reports, next_seq })
+}
+
+/// Parses and verifies one record line. The artifact parse recomputes the
+/// schedule fingerprint, so a tampered check list cannot masquerade as
+/// the schedule it claims to be.
+fn parse_record(line: &str) -> Result<(String, ScheduleArtifact), String> {
+    let value: Value = serde_json::from_str(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    match value.get("v").and_then(Value::as_u64) {
+        Some(FORMAT_VERSION) => {}
+        Some(other) => return Err(format!("unsupported record version {other}")),
+        None => return Err("missing record version".to_string()),
+    }
+    let tenant = value
+        .get("tenant")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing `tenant` string".to_string())?;
+    if tenant.is_empty() {
+        return Err("empty tenant id".to_string());
+    }
+    let artifact = value.get("artifact").ok_or_else(|| "missing `artifact`".to_string())?;
+    let artifact =
+        ScheduleArtifact::from_json(artifact).map_err(|e| format!("artifact rejected: {e}"))?;
+    Ok((tenant.to_string(), artifact))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asynd_circuit::{LogicalErrorEstimate, Schedule};
+    use asynd_codes::steane_code;
+
+    /// A unique, clean temporary directory per test.
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("asynd-registry-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn artifact(any_failures: usize) -> ScheduleArtifact {
+        let code = steane_code();
+        ScheduleArtifact {
+            code_label: "steane [[7,1,3]]".to_string(),
+            schedule: Schedule::trivial(&code),
+            estimate: LogicalErrorEstimate {
+                shots: 400,
+                x_failures: any_failures / 2,
+                z_failures: any_failures / 2,
+                any_failures,
+            },
+        }
+    }
+
+    /// A second, structurally different schedule of the same code.
+    fn other_artifact(any_failures: usize) -> ScheduleArtifact {
+        let code = steane_code();
+        let mut builder = asynd_circuit::ScheduleBuilder::new(&code);
+        for (s, stab) in code.stabilizers().iter().enumerate() {
+            let mut entries = stab.entries().to_vec();
+            entries.reverse();
+            for (q, p) in entries {
+                builder.push_earliest(q, s, p);
+            }
+        }
+        let schedule = builder.finish();
+        schedule.validate(&code).unwrap();
+        ScheduleArtifact {
+            code_label: "steane [[7,1,3]]".to_string(),
+            schedule,
+            estimate: LogicalErrorEstimate {
+                shots: 400,
+                x_failures: 0,
+                z_failures: 0,
+                any_failures,
+            },
+        }
+    }
+
+    #[test]
+    fn store_lookup_and_reopen_roundtrip() {
+        let dir = scratch("roundtrip");
+        let (registry, report) = Registry::open(&dir).unwrap();
+        assert_eq!(report.entries, 0);
+        let a = artifact(7);
+        assert_eq!(registry.store("tenant-a", &a).unwrap(), StoreOutcome::Stored);
+        let hit = registry.lookup("tenant-a").unwrap();
+        assert_eq!(hit.artifact, a);
+        assert!(registry.lookup("tenant-b").is_none());
+        drop(registry);
+
+        // A fresh process (fresh Registry) rebuilds the index from disk.
+        let (reopened, report) = Registry::open(&dir).unwrap();
+        assert_eq!(report.entries, 1);
+        assert_eq!(report.skipped, 0);
+        let hit = reopened.lookup("tenant-a").unwrap();
+        assert_eq!(hit.artifact, a, "bit-identical after reopen");
+        assert_eq!(reopened.lookup_key("tenant-a", a.key()).unwrap().artifact, a);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicates_are_skipped_and_replacements_shadow() {
+        let dir = scratch("dedup");
+        let (registry, _) = Registry::open(&dir).unwrap();
+        let a = artifact(7);
+        assert_eq!(registry.store("t", &a).unwrap(), StoreOutcome::Stored);
+        assert_eq!(registry.store("t", &a).unwrap(), StoreOutcome::Duplicate);
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.stats().segments, 1, "duplicates write nothing");
+
+        // Same schedule, different estimate: replaced, still one entry.
+        let better_estimate = artifact(2);
+        assert_eq!(registry.store("t", &better_estimate).unwrap(), StoreOutcome::Replaced);
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.lookup("t").unwrap().artifact, better_estimate);
+
+        // After reopen the later record still shadows the earlier one.
+        drop(registry);
+        let (reopened, report) = Registry::open(&dir).unwrap();
+        assert_eq!(report.entries, 1);
+        assert_eq!(reopened.lookup("t").unwrap().artifact, better_estimate);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn best_entry_tracks_the_lowest_error_rate() {
+        let dir = scratch("best");
+        let (registry, _) = Registry::open(&dir).unwrap();
+        let worse = artifact(20);
+        let best = other_artifact(1);
+        registry.store("t", &worse).unwrap();
+        registry.store("t", &best).unwrap();
+        assert_eq!(registry.len(), 2, "distinct schedules coexist");
+        assert_eq!(registry.lookup("t").unwrap().artifact, best);
+        // Exact addresses still resolve to their own records.
+        assert_eq!(registry.lookup_key("t", worse.key()).unwrap().artifact, worse);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tampered_records_are_skipped_reported_and_never_served() {
+        let dir = scratch("tamper");
+        let (registry, _) = Registry::open(&dir).unwrap();
+        registry.store("t", &artifact(7)).unwrap();
+        registry.store("u", &other_artifact(3)).unwrap();
+        drop(registry);
+
+        // Flip one tick in tenant t's stored check list without updating
+        // the fingerprint.
+        let segment = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| fs::read_to_string(p).unwrap().contains("\"t\""))
+            .expect("segment holding tenant t");
+        let text = fs::read_to_string(&segment).unwrap();
+        let tampered = text.replacen("\"tick\":1", "\"tick\":99", 1);
+        assert_ne!(text, tampered);
+        fs::write(&segment, tampered).unwrap();
+
+        let (reopened, report) = Registry::open(&dir).unwrap();
+        assert_eq!(report.skipped, 1);
+        assert_eq!(report.entries, 1);
+        assert!(report.reports[0].contains("key mismatch"), "report: {}", report.reports[0]);
+        assert!(reopened.lookup("t").is_none(), "tampered entry is never served");
+        assert!(reopened.lookup("u").is_some(), "intact entries survive");
+
+        let audit = reopened.verify().unwrap();
+        assert_eq!(audit.invalid, 1);
+        assert_eq!(audit.valid, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_lines_and_orphan_tempfiles_are_tolerated() {
+        let dir = scratch("garbage");
+        let (registry, _) = Registry::open(&dir).unwrap();
+        registry.store("t", &artifact(7)).unwrap();
+        drop(registry);
+        // A torn write: half a JSON line in its own segment, plus an
+        // orphaned tempfile from a crashed writer, plus a segment whose
+        // record was bit-rotted into invalid UTF-8.
+        fs::write(dir.join("seg-9999999997.jsonl"), "{\"v\":1,\"tenant\":\"x\",\"arti").unwrap();
+        fs::write(dir.join("seg-9999999998.jsonl"), b"{\"v\":1,\xff\xfe garbage\n").unwrap();
+        fs::write(dir.join(".tmp-9999999999"), "ignored").unwrap();
+        let (reopened, report) = Registry::open(&dir).unwrap();
+        assert_eq!(report.entries, 1);
+        assert_eq!(report.skipped, 2);
+        assert!(
+            report.reports.iter().any(|r| r.contains("not valid UTF-8")),
+            "reports: {:?}",
+            report.reports
+        );
+        assert!(reopened.lookup("t").is_some());
+        // New segments never collide with existing sequence numbers.
+        reopened.store("u", &other_artifact(1)).unwrap();
+        assert_eq!(reopened.stats().entries, 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_merges_segments_and_preserves_content() {
+        let dir = scratch("compact");
+        let (registry, _) = Registry::open(&dir).unwrap();
+        registry.store("t", &artifact(9)).unwrap();
+        registry.store("t", &other_artifact(2)).unwrap();
+        registry.store("u", &artifact(5)).unwrap();
+        assert_eq!(registry.stats().segments, 3);
+        let entries_before = registry.entries();
+
+        let report = registry.compact().unwrap();
+        assert_eq!(report.segments_before, 3);
+        assert_eq!(report.removed, 3);
+        assert_eq!(report.entries, 3);
+        assert_eq!(registry.stats().segments, 1);
+        assert_eq!(registry.entries(), entries_before);
+
+        drop(registry);
+        let (reopened, report) = Registry::open(&dir).unwrap();
+        assert_eq!(report.segments, 1);
+        assert_eq!(report.entries, 3);
+        assert_eq!(reopened.entries(), entries_before);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_stores_are_rejected() {
+        let dir = scratch("invalid");
+        let (registry, _) = Registry::open(&dir).unwrap();
+        assert!(matches!(registry.store("", &artifact(1)), Err(RegistryError::Invalid { .. })));
+        let mut zero_shots = artifact(0);
+        zero_shots.estimate.shots = 0;
+        assert!(matches!(registry.store("t", &zero_shots), Err(RegistryError::Invalid { .. })));
+        assert!(registry.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let dir = scratch("stats");
+        let (registry, _) = Registry::open(&dir).unwrap();
+        registry.store("t", &artifact(3)).unwrap();
+        registry.store("t", &artifact(3)).unwrap();
+        registry.lookup("t");
+        registry.lookup("missing");
+        let stats = registry.stats();
+        assert_eq!(stats.tenants, 1);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.stores, 1);
+        assert_eq!(stats.duplicates, 1);
+        assert_eq!(stats.lookups, 2);
+        assert_eq!(stats.hits, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,11 +1,13 @@
 //! `asynd` — the AlphaSyndrome synthesis serving CLI.
 //!
 //! ```text
-//! asynd serve   [--tcp ADDR] [--workers N] [--queue N] [--cache N] [--max-budget N]
-//! asynd submit  [--tcp ADDR] [--file PATH] [--workers N]
-//! asynd sweep   [--smoke] [--out PATH] [--seed N] [--rates a,b,c] [--shots N]
-//!               [--families a,b] [--budget-mult N] [--max-qubits N]
-//!               [--entries N] [--workers N] [--quiet]
+//! asynd serve    [--tcp ADDR] [--workers N] [--queue N] [--cache N] [--max-budget N]
+//!                [--registry DIR]
+//! asynd submit   [--tcp ADDR] [--file PATH] [--workers N] [--registry DIR]
+//! asynd sweep    [--smoke] [--out PATH] [--seed N] [--rates a,b,c] [--shots N]
+//!                [--families a,b] [--budget-mult N] [--max-qubits N]
+//!                [--entries N] [--workers N] [--registry DIR] [--quiet]
+//! asynd registry (stats|verify|compact) DIR
 //! asynd validate FILE...
 //! ```
 //!
@@ -14,14 +16,23 @@
 //! `--file`) to a TCP server, or — without `--tcp` — runs them on an
 //! in-process server. `sweep` races the strategy portfolio over the code
 //! catalog × an error-rate grid and writes `BENCH_sweep.json`.
-//! `validate` type-checks `BENCH_*.json` trajectory documents.
+//! `registry` inspects, audits or compacts a persistent schedule
+//! registry directory. `validate` type-checks `BENCH_*.json` trajectory
+//! documents.
+//!
+//! `--registry DIR` attaches a persistent schedule registry: synthesis
+//! jobs warm-start from prior winners of their tenant, winners are
+//! stored back, and the `lookup` protocol op serves cache probes without
+//! spending evaluation budget.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use asynd_server::sweep::{run_sweep, validate_report_text, SweepConfig};
+use asynd_registry::Registry;
+use asynd_server::sweep::{run_sweep_with_registry, validate_report_text, SweepConfig};
 use asynd_server::{serve_lines, serve_tcp, ScheduleServer, ServerConfig};
 
 fn main() -> ExitCode {
@@ -34,6 +45,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(rest),
         "submit" => cmd_submit(rest),
         "sweep" => cmd_sweep(rest),
+        "registry" => cmd_registry(rest),
         "validate" => cmd_validate(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -54,18 +66,38 @@ const USAGE: &str = "\
 asynd — AlphaSyndrome synthesis serving CLI
 
 USAGE:
-  asynd serve   [--tcp ADDR] [--workers N] [--queue N] [--cache N] [--max-budget N]
-  asynd submit  [--tcp ADDR] [--file PATH] [--workers N]
-  asynd sweep   [--smoke] [--out PATH] [--seed N] [--rates a,b,c] [--shots N]
-                [--families a,b] [--budget-mult N] [--max-qubits N] [--entries N]
-                [--workers N] [--quiet]
+  asynd serve    [--tcp ADDR] [--workers N] [--queue N] [--cache N] [--max-budget N]
+                 [--registry DIR]
+  asynd submit   [--tcp ADDR] [--file PATH] [--workers N] [--registry DIR]
+  asynd sweep    [--smoke] [--out PATH] [--seed N] [--rates a,b,c] [--shots N]
+                 [--families a,b] [--budget-mult N] [--max-qubits N] [--entries N]
+                 [--workers N] [--registry DIR] [--quiet]
+  asynd registry (stats|verify|compact) DIR
   asynd validate FILE...
 
 `serve` reads JSON-lines requests from stdin (or TCP connections) and
 writes one response line per job, in submission order. `submit` is the
 matching client; without --tcp it runs jobs on an in-process server.
-See the README's serving-layer section for the request schema.
+--registry DIR makes synthesis warm-start from (and store into) a
+persistent schedule registry. See the README's registry section.
 ";
+
+/// Opens a registry directory for the serving commands, reporting any
+/// records that failed fingerprint verification on stderr.
+fn open_registry(dir: &str) -> Result<Arc<Registry>, String> {
+    let (registry, report) =
+        Registry::open(dir).map_err(|e| format!("cannot open registry {dir}: {e}"))?;
+    if report.skipped > 0 {
+        eprintln!(
+            "asynd: registry {dir}: skipped {} unverifiable record(s) ({} live entries loaded)",
+            report.skipped, report.entries
+        );
+        for line in &report.reports {
+            eprintln!("asynd:   {line}");
+        }
+    }
+    Ok(Arc::new(registry))
+}
 
 /// A tiny `--flag value` argument cursor.
 struct Flags<'a> {
@@ -99,6 +131,7 @@ impl<'a> Flags<'a> {
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut config = ServerConfig::default();
     let mut tcp: Option<String> = None;
+    let mut registry: Option<String> = None;
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next_flag() {
         match flag {
@@ -107,10 +140,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--queue" => config.queue_capacity = flags.parsed("--queue")?,
             "--cache" => config.cache_capacity = flags.parsed("--cache")?,
             "--max-budget" => config.max_budget = flags.parsed("--max-budget")?,
+            "--registry" => registry = Some(flags.value("--registry")?.to_string()),
             other => return Err(format!("serve: unknown flag {other:?}")),
         }
     }
-    let server = ScheduleServer::start(config);
+    let registry = registry.as_deref().map(open_registry).transpose()?;
+    let server = ScheduleServer::start_with_registry(config, registry);
     match tcp {
         Some(addr) => {
             let listener =
@@ -150,12 +185,14 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     let mut tcp: Option<String> = None;
     let mut file: Option<PathBuf> = None;
     let mut workers = 0usize;
+    let mut registry: Option<String> = None;
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next_flag() {
         match flag {
             "--tcp" => tcp = Some(flags.value("--tcp")?.to_string()),
             "--file" => file = Some(PathBuf::from(flags.value("--file")?)),
             "--workers" => workers = flags.parsed("--workers")?,
+            "--registry" => registry = Some(flags.value("--registry")?.to_string()),
             other => return Err(format!("submit: unknown flag {other:?}")),
         }
     }
@@ -165,6 +202,11 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     }
     match tcp {
         Some(addr) => {
+            if registry.is_some() {
+                return Err("submit: --registry applies to the in-process mode only \
+                            (the TCP server owns its own registry)"
+                    .to_string());
+            }
             let stream =
                 TcpStream::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
             let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
@@ -182,7 +224,11 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
             }
         }
         None => {
-            let server = ScheduleServer::start(ServerConfig { workers, ..ServerConfig::default() });
+            let registry = registry.as_deref().map(open_registry).transpose()?;
+            let server = ScheduleServer::start_with_registry(
+                ServerConfig { workers, ..ServerConfig::default() },
+                registry,
+            );
             let input = lines.join("\n");
             let stdout = std::io::stdout();
             serve_lines(input.as_bytes(), stdout.lock(), &server).map_err(|e| e.to_string())?;
@@ -197,6 +243,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let mut out = PathBuf::from("BENCH_sweep.json");
     let mut quiet = false;
     let mut smoke = false;
+    let mut registry: Option<String> = None;
     // Explicit flags beat the --smoke preset regardless of order.
     let mut explicit_shots: Option<usize> = None;
     let mut explicit_mult: Option<u64> = None;
@@ -212,6 +259,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             "--max-qubits" => config.max_qubits = flags.parsed("--max-qubits")?,
             "--entries" => explicit_entries = Some(flags.parsed("--entries")?),
             "--workers" => config.workers = flags.parsed("--workers")?,
+            "--registry" => registry = Some(flags.value("--registry")?.to_string()),
             "--quiet" => quiet = true,
             "--rates" => {
                 config.error_rates = flags
@@ -246,7 +294,9 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     if let Some(entries) = explicit_entries {
         config.entries_per_family = entries;
     }
-    let report = run_sweep(&config).map_err(|e| e.to_string())?;
+    let registry = registry.as_deref().map(open_registry).transpose()?;
+    let report =
+        run_sweep_with_registry(&config, registry.as_deref()).map_err(|e| e.to_string())?;
     report.write(&config, &out).map_err(|e| e.to_string())?;
     if !quiet {
         print!("{}", report.render_table());
@@ -258,6 +308,65 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         report.records.len(),
         out.display()
     );
+    if let Some(registry) = &registry {
+        eprintln!(
+            "asynd: registry {}: warm-started {} of {} cells, stored {} new artifact(s)",
+            registry.dir().display(),
+            report.warm_cells,
+            report.cells,
+            report.stored,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_registry(args: &[String]) -> Result<(), String> {
+    let (action, dir) = match args {
+        [action, dir] => (action.as_str(), dir.as_str()),
+        _ => return Err("registry: usage: asynd registry (stats|verify|compact) DIR".to_string()),
+    };
+    let registry = open_registry(dir)?;
+    match action {
+        "stats" => {
+            let stats = registry.stats();
+            println!(
+                "{dir}: {} entries across {} tenants in {} segment(s)",
+                stats.entries, stats.tenants, stats.segments
+            );
+            for entry in registry.entries() {
+                println!(
+                    "  {}  {}  p_overall={:.3e} depth={}",
+                    entry.tenant,
+                    entry.artifact.key().to_hex(),
+                    entry.artifact.estimate.p_overall(),
+                    entry.artifact.schedule.depth(),
+                );
+            }
+        }
+        "verify" => {
+            let report = registry.verify().map_err(|e| e.to_string())?;
+            for line in &report.reports {
+                eprintln!("asynd: {line}");
+            }
+            println!(
+                "{dir}: {} of {} record(s) verified across {} segment(s)",
+                report.valid,
+                report.valid + report.invalid,
+                report.segments
+            );
+            if report.invalid > 0 {
+                return Err(format!("{dir}: {} record(s) failed verification", report.invalid));
+            }
+        }
+        "compact" => {
+            let report = registry.compact().map_err(|e| e.to_string())?;
+            println!(
+                "{dir}: merged {} segment(s) into one ({} live record(s))",
+                report.segments_before, report.entries
+            );
+        }
+        other => return Err(format!("registry: unknown action {other:?} (stats|verify|compact)")),
+    }
     Ok(())
 }
 

@@ -20,6 +20,13 @@
 //! * [`sweep`] — the catalog-wide scenario runner behind `asynd sweep`:
 //!   every registered code family × an error-rate grid, fanned out over
 //!   rayon, emitting a machine-readable `BENCH_sweep.json`.
+//! * Registry integration — started with
+//!   [`ScheduleServer::start_with_registry`], the server consults a
+//!   persistent [`asynd_registry::Registry`] before synthesis (jobs
+//!   warm-start from their tenant's best stored artifact), stores
+//!   winners after, and answers the `lookup` protocol op from it without
+//!   spending any evaluation budget. Sweeps share the same tenant
+//!   namespace via [`sweep::run_sweep_with_registry`].
 //!
 //! # Determinism contract
 //!

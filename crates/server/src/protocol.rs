@@ -10,9 +10,16 @@
 //! {"op":"synthesize","id":"j1","code":{"family":"xzzx","index":0},
 //!  "noise":{"kind":"scaled","p":0.003},"strategy":"portfolio",
 //!  "budget":128,"shots":400,"seed":7}
+//! {"op":"lookup","id":"l1","code":{"family":"xzzx","index":0},
+//!  "noise":{"kind":"scaled","p":0.003},"shots":400}
 //! {"op":"ping"}
 //! {"op":"shutdown"}
 //! ```
+//!
+//! `lookup` probes the server's persistent schedule registry for the
+//! job's tenant and answers immediately — it spends no evaluation budget
+//! and never triggers synthesis. Servers started without a registry
+//! answer it with an error response.
 //!
 //! Responses carry the serialized schedule artifact
 //! ([`asynd_circuit::artifact::ScheduleArtifact`]), the budget accounting
@@ -343,11 +350,64 @@ impl JobRequest {
     }
 }
 
+/// A registry probe: resolve the tenant of `(code, noise, shots)` and
+/// return its best stored artifact without spending any evaluation
+/// budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LookupRequest {
+    /// Caller-chosen identifier echoed on the response.
+    pub id: String,
+    /// The code whose tenant is probed.
+    pub code: CodeRef,
+    /// The error model of the tenant.
+    pub noise: NoiseSpec,
+    /// Monte-Carlo shots of the tenant (a tenant dimension).
+    pub shots: usize,
+}
+
+impl LookupRequest {
+    /// Serializes the request line.
+    pub fn to_json(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("op", Value::from("lookup"));
+        map.insert("id", Value::from(self.id.as_str()));
+        map.insert("code", self.code.to_json());
+        map.insert("noise", self.noise.to_json());
+        map.insert("shots", Value::from(self.shots));
+        Value::Object(map)
+    }
+
+    /// Parses a request line (`shots` defaults to 400, matching
+    /// synthesize).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Protocol`] for missing/malformed members.
+    pub fn from_json(value: &Value) -> Result<LookupRequest, ServerError> {
+        let shots =
+            match value.get("shots") {
+                None => 400,
+                Some(raw) => usize::try_from(raw.as_u64().ok_or_else(|| {
+                    protocol_error("member `shots` must be a non-negative integer")
+                })?)
+                .map_err(|_| protocol_error("member `shots` is out of range"))?,
+            };
+        Ok(LookupRequest {
+            id: required_str(value, "id")?.to_string(),
+            code: CodeRef::from_json(required(value, "code")?)?,
+            noise: NoiseSpec::from_json(required(value, "noise")?)?,
+            shots,
+        })
+    }
+}
+
 /// One parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Synthesize a schedule.
     Synthesize(JobRequest),
+    /// Probe the schedule registry (no evaluation budget spent).
+    Lookup(LookupRequest),
     /// Liveness probe.
     Ping,
     /// Stop serving (TCP accept loop drains and exits).
@@ -372,6 +432,7 @@ impl Request {
         };
         match op {
             "synthesize" => Ok(Request::Synthesize(JobRequest::from_json(&value)?)),
+            "lookup" => Ok(Request::Lookup(LookupRequest::from_json(&value)?)),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(protocol_error(format!("unknown op {other:?}"))),
@@ -416,6 +477,8 @@ pub struct JobOutcome {
     /// Tenant cache counters after the job (observability only: under
     /// concurrency the snapshot interleaving is scheduling-dependent).
     pub cache: EvaluatorStats,
+    /// Whether the race was warm-started from a registry artifact.
+    pub warm_start: bool,
     /// Wall-clock of the race in milliseconds (observability only).
     pub wall_ms: f64,
 }
@@ -425,6 +488,17 @@ pub struct JobOutcome {
 pub enum Response {
     /// A job finished.
     Ok(Box<JobOutcome>),
+    /// Reply to [`Request::Lookup`]: the registry's best artifact for
+    /// the tenant, or a recorded miss. Fingerprint-verified on both
+    /// ends (store read and response parse).
+    Lookup {
+        /// Echo of the request id.
+        id: String,
+        /// The canonical tenant key the probe resolved to.
+        tenant: String,
+        /// The best stored artifact, absent on a registry miss.
+        artifact: Option<Box<ScheduleArtifact>>,
+    },
     /// A job failed or was rejected.
     Error {
         /// Echo of the request id (empty when the line never parsed far
@@ -474,7 +548,18 @@ impl Response {
                     ),
                 );
                 map.insert("cache", artifact::evaluator_stats_to_json(&outcome.cache));
+                map.insert("warm_start", Value::from(outcome.warm_start));
                 map.insert("wall_ms", Value::from(outcome.wall_ms));
+            }
+            Response::Lookup { id, tenant, artifact } => {
+                map.insert("id", Value::from(id.as_str()));
+                map.insert("status", Value::from("ok"));
+                map.insert("op", Value::from("lookup"));
+                map.insert("tenant", Value::from(tenant.as_str()));
+                map.insert("found", Value::from(artifact.is_some()));
+                if let Some(artifact) = artifact {
+                    map.insert("artifact", artifact.to_json());
+                }
             }
             Response::Error { id, error } => {
                 map.insert("id", Value::from(id.as_str()));
@@ -517,6 +602,21 @@ impl Response {
                 match value.get("op").and_then(Value::as_str) {
                     Some("pong") => return Ok(Response::Pong),
                     Some("shutdown") => return Ok(Response::ShuttingDown),
+                    Some("lookup") => {
+                        let artifact = match value.get("artifact") {
+                            None => None,
+                            Some(raw) => {
+                                Some(Box::new(ScheduleArtifact::from_json(raw).map_err(|e| {
+                                    protocol_error(format!("invalid artifact: {e}"))
+                                })?))
+                            }
+                        };
+                        return Ok(Response::Lookup {
+                            id: required_str(&value, "id")?.to_string(),
+                            tenant: required_str(&value, "tenant")?.to_string(),
+                            artifact,
+                        });
+                    }
                     _ => {}
                 }
                 let artifact = ScheduleArtifact::from_json(required(&value, "artifact")?)
@@ -560,6 +660,7 @@ impl Response {
                         speculative_short_circuits: cache_stat("speculative_short_circuits"),
                         evictions: cache_stat("evictions"),
                     },
+                    warm_start: value.get("warm_start").and_then(Value::as_bool).unwrap_or(false),
                     wall_ms: value.get("wall_ms").and_then(Value::as_f64).unwrap_or(0.0),
                 })))
             }
@@ -641,6 +742,48 @@ mod tests {
         assert!(StrategyChoice::parse("exhaustive").is_err());
         assert_eq!(StrategyChoice::Portfolio.parties(), 4);
         assert_eq!(StrategyChoice::Beam.parties(), 1);
+    }
+
+    #[test]
+    fn lookup_requests_and_responses_roundtrip() {
+        let request = LookupRequest {
+            id: "l1".into(),
+            code: CodeRef { family: "xzzx".into(), index: 1 },
+            noise: NoiseSpec::Scaled(0.003),
+            shots: 250,
+        };
+        let line = serde_json::to_string(&request.to_json()).unwrap();
+        match Request::parse(&line).unwrap() {
+            Request::Lookup(parsed) => assert_eq!(parsed, request),
+            other => panic!("unexpected request: {other:?}"),
+        }
+        // shots defaults like synthesize.
+        let line = r#"{"op":"lookup","id":"l2","code":{"family":"bb"},"noise":"paper"}"#;
+        match Request::parse(line).unwrap() {
+            Request::Lookup(parsed) => assert_eq!(parsed.shots, 400),
+            other => panic!("unexpected request: {other:?}"),
+        }
+
+        let miss = Response::Lookup { id: "l1".into(), tenant: "t".into(), artifact: None };
+        assert_eq!(Response::parse(&miss.to_json()).unwrap(), miss);
+
+        let code = asynd_codes::steane_code();
+        let artifact = ScheduleArtifact {
+            code_label: "steane".into(),
+            schedule: asynd_circuit::Schedule::trivial(&code),
+            estimate: asynd_circuit::LogicalErrorEstimate {
+                shots: 100,
+                x_failures: 1,
+                z_failures: 2,
+                any_failures: 3,
+            },
+        };
+        let hit = Response::Lookup {
+            id: "l1".into(),
+            tenant: "t".into(),
+            artifact: Some(Box::new(artifact)),
+        };
+        assert_eq!(Response::parse(&hit.to_json()).unwrap(), hit);
     }
 
     #[test]

@@ -7,14 +7,19 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use asynd_circuit::artifact::ScheduleArtifact;
+use asynd_circuit::Schedule;
 use asynd_portfolio::{
     AnnealingSynthesizer, BeamSearchSynthesizer, LowestDepthSynthesizer, MctsSynthesizer,
     Portfolio, PortfolioConfig,
 };
+use asynd_registry::Registry;
 
-use crate::protocol::{JobOutcome, JobRequest, Request, Response, StrategyChoice, StrategySummary};
+use crate::protocol::{
+    JobOutcome, JobRequest, LookupRequest, Request, Response, StrategyChoice, StrategySummary,
+};
 use crate::queue::BoundedQueue;
 use crate::tenants::TenantMap;
 use crate::ServerError;
@@ -48,6 +53,10 @@ struct Shared {
     config: ServerConfig,
     tenants: TenantMap,
     queue: BoundedQueue<QueuedJob>,
+    /// The persistent schedule registry, when the server was started
+    /// with one: consulted for warm starts before synthesis, fed the
+    /// winning artifact afterwards, and probed by the `lookup` op.
+    registry: Option<Arc<Registry>>,
 }
 
 struct QueuedJob {
@@ -91,8 +100,32 @@ pub struct ScheduleServer {
 }
 
 impl ScheduleServer {
-    /// Starts the worker pool and returns the running server.
+    /// Starts the worker pool and returns the running server (no
+    /// persistent registry; see [`ScheduleServer::start_with_registry`]).
     pub fn start(config: ServerConfig) -> ScheduleServer {
+        ScheduleServer::start_with_registry(config, None)
+    }
+
+    /// Starts the worker pool with an optional persistent schedule
+    /// registry.
+    ///
+    /// With a registry attached, every synthesis job first looks up its
+    /// tenant's best stored artifact and warm-starts the portfolio race
+    /// from it (seeding only — estimates are still produced by the
+    /// evaluation pipeline, see
+    /// [`asynd_portfolio::Portfolio::run_with_seeds`]), and the winning
+    /// artifact is stored back afterwards. The `lookup` protocol op
+    /// serves registry probes without spending any evaluation budget.
+    ///
+    /// Determinism note: job results remain bit-identical for any worker
+    /// count *given the registry state at lookup time*. Concurrent jobs
+    /// of the *same* tenant may observe different registry states
+    /// depending on completion order; jobs of distinct tenants never
+    /// interact through the registry.
+    pub fn start_with_registry(
+        config: ServerConfig,
+        registry: Option<Arc<Registry>>,
+    ) -> ScheduleServer {
         let worker_count = match config.workers {
             0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
             n => n,
@@ -101,6 +134,7 @@ impl ScheduleServer {
             config,
             tenants: TenantMap::new(config.cache_capacity),
             queue: BoundedQueue::new(config.queue_capacity),
+            registry,
         });
         let workers = (0..worker_count)
             .map(|index| {
@@ -135,6 +169,53 @@ impl ScheduleServer {
     /// Jobs currently queued (not yet picked up by a worker).
     pub fn queued(&self) -> usize {
         self.shared.queue.len()
+    }
+
+    /// The attached schedule registry, if the server was started with
+    /// one.
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.shared.registry.as_ref()
+    }
+
+    /// Answers a registry probe: resolves the request's tenant key and
+    /// returns the best stored artifact, a recorded miss, or an error
+    /// when no registry is attached or the code reference is invalid.
+    ///
+    /// Costs a map lookup — never an evaluation, never synthesis.
+    pub fn lookup(&self, request: &LookupRequest) -> Response {
+        let registry = match &self.shared.registry {
+            Some(registry) => registry,
+            None => {
+                return Response::Error {
+                    id: request.id.clone(),
+                    error: "this server has no schedule registry (start with --registry)"
+                        .to_string(),
+                }
+            }
+        };
+        // Validate the probe like a synthesize request would be: a
+        // typo'd family, zero shots or an invalid noise model could
+        // never have stored anything, so answering found:false would be
+        // a silent miss where a clear error is owed.
+        if let Err(e) = self.shared.tenants.resolve_entry(&request.code) {
+            return Response::Error { id: request.id.clone(), error: e.to_string() };
+        }
+        if request.shots == 0 {
+            return Response::Error {
+                id: request.id.clone(),
+                error: "job rejected: shots must be positive".to_string(),
+            };
+        }
+        let model = match request.noise.to_model() {
+            Ok(model) => model,
+            Err(e) => return Response::Error { id: request.id.clone(), error: e.to_string() },
+        };
+        if let Err(e) = model.validate() {
+            return Response::Error { id: request.id.clone(), error: e.to_string() };
+        }
+        let tenant = TenantMap::canonical_key(&request.code, &request.noise, request.shots);
+        let artifact = registry.lookup(&tenant).map(|entry| Box::new(entry.artifact));
+        Response::Lookup { id: request.id.clone(), tenant, artifact }
     }
 
     /// Submits a job, blocking while the queue is full (backpressure).
@@ -265,9 +346,27 @@ fn try_execute_job(shared: &Shared, request: JobRequest) -> Result<JobOutcome, S
         }
     };
 
+    // Warm start: seed the race with the registry's best prior artifact
+    // for this tenant, when one exists and still validates against the
+    // code (a stale or foreign seed is dropped, not trusted). The seed
+    // only shifts where the searches start — every estimate is still
+    // produced by the metered evaluation pipeline.
+    let seeds: Vec<Schedule> = shared
+        .registry
+        .as_ref()
+        .and_then(|registry| registry.lookup(&tenant.key))
+        .filter(|entry| entry.artifact.schedule.validate(&tenant.entry.code).is_ok())
+        .map(|entry| vec![entry.artifact.schedule])
+        .unwrap_or_default();
+    let warm_start = !seeds.is_empty();
+
     let start = Instant::now();
-    let report =
-        portfolio.run_with_evaluator(&tenant.entry.code, tenant.evaluator.clone(), tenant.salt)?;
+    let report = portfolio.run_with_seeds(
+        &tenant.entry.code,
+        tenant.evaluator.clone(),
+        tenant.salt,
+        &seeds,
+    )?;
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
 
     let strategies = report
@@ -284,19 +383,28 @@ fn try_execute_job(shared: &Shared, request: JobRequest) -> Result<JobOutcome, S
         })
         .collect();
     let winning = report.winning();
+    let artifact = ScheduleArtifact {
+        code_label: tenant.entry.display_label(),
+        schedule: winning.outcome.schedule.clone(),
+        estimate: winning.outcome.estimate,
+    };
+    // Persist the winner. A registry write failure degrades the cache,
+    // not the job: the response still carries the artifact.
+    if let Some(registry) = &shared.registry {
+        if let Err(e) = registry.store(&tenant.key, &artifact) {
+            eprintln!("asynd: registry store failed for {}: {e}", tenant.key);
+        }
+    }
     Ok(JobOutcome {
         id: request.id,
         tenant: tenant.key.clone(),
         strategy: winning.name.clone(),
-        artifact: asynd_circuit::artifact::ScheduleArtifact {
-            code_label: tenant.entry.display_label(),
-            schedule: winning.outcome.schedule.clone(),
-            estimate: winning.outcome.estimate,
-        },
+        artifact,
         granted: report.total_granted(),
         spent: report.total_spent(),
         strategies,
         cache: tenant.evaluator.stats_snapshot(),
+        warm_start,
         wall_ms,
     })
 }
@@ -308,28 +416,47 @@ fn try_execute_job(shared: &Shared, request: JobRequest) -> Result<JobOutcome, S
 /// Job responses are written in submission order (the determinism
 /// contract's framing guarantee); already-finished jobs are flushed
 /// eagerly between requests so a long-lived session streams results.
-/// `ping` is answered immediately, out of band of job ordering — it is a
-/// liveness probe, not a job.
+/// `ping` and `lookup` are answered immediately, out of band of job
+/// ordering — they are probes, not jobs.
 ///
 /// Returns `true` when the peer requested shutdown.
 ///
 /// # Errors
 ///
-/// Returns the first transport I/O error. Protocol errors are answered
-/// on the stream instead of aborting it.
+/// Returns the first transport I/O error. *Protocol* errors — malformed
+/// JSON, unknown ops, even request lines that are not valid UTF-8 — are
+/// answered with a structured error response on the stream and never
+/// abort it, so one garbage line cannot tear down a connection and the
+/// pipelined jobs behind it.
 pub fn serve_lines(
-    reader: impl BufRead,
+    mut reader: impl BufRead,
     mut writer: impl Write,
     server: &ScheduleServer,
 ) -> std::io::Result<bool> {
     let mut pending: std::collections::VecDeque<JobHandle> = std::collections::VecDeque::new();
     let mut shutdown = false;
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+    let mut raw: Vec<u8> = Vec::new();
+    loop {
+        raw.clear();
+        if reader.read_until(b'\n', &mut raw)? == 0 {
+            break;
         }
-        match Request::parse(&line) {
+        let parsed = match std::str::from_utf8(&raw) {
+            Ok(text) => {
+                let line = text.trim_end_matches(['\n', '\r']);
+                if line.trim().is_empty() {
+                    continue;
+                }
+                Request::parse(line)
+            }
+            // `BufRead::lines` would have surfaced this as an I/O error
+            // and killed the whole connection; a byte-level read keeps
+            // the transport alive and answers in-band instead.
+            Err(_) => {
+                Err(ServerError::Protocol { reason: "request line is not valid UTF-8".to_string() })
+            }
+        };
+        match parsed {
             Ok(Request::Synthesize(request)) => {
                 let id = request.id.clone();
                 match server.submit(request) {
@@ -343,6 +470,10 @@ pub fn serve_lines(
                         writer.flush()?;
                     }
                 }
+            }
+            Ok(Request::Lookup(request)) => {
+                writeln!(writer, "{}", server.lookup(&request).to_json())?;
+                writer.flush()?;
             }
             Ok(Request::Ping) => {
                 writeln!(writer, "{}", Response::Pong.to_json())?;
@@ -395,8 +526,19 @@ pub fn serve_lines(
     Ok(shutdown)
 }
 
+/// How often the accept loop re-checks the shutdown flag while no
+/// connection is arriving.
+const ACCEPT_POLL_INTERVAL: Duration = Duration::from_millis(10);
+
 /// Serves the JSON-lines protocol over TCP: one thread per connection,
 /// all connections sharing the server (and therefore its tenants).
+///
+/// The listener runs *nonblocking* and the accept loop polls it,
+/// re-checking the shutdown flag between polls — a `shutdown` op
+/// received on any connection terminates the server within one poll
+/// interval, without waiting for another client to happen to connect.
+/// Connection threads are joined (finished ones eagerly, the rest before
+/// returning), never leaked.
 ///
 /// Returns after a client sends `{"op":"shutdown"}` and every open
 /// connection has drained.
@@ -406,20 +548,42 @@ pub fn serve_lines(
 /// Returns accept-loop I/O errors; per-connection errors only end that
 /// connection.
 pub fn serve_tcp(server: &ScheduleServer, listener: TcpListener) -> std::io::Result<()> {
-    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
     let shutdown = AtomicBool::new(false);
     std::thread::scope(|scope| -> std::io::Result<()> {
-        for stream in listener.incoming() {
-            let stream = stream?;
-            if shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let shutdown = &shutdown;
-            scope.spawn(move || {
-                if let Err(e) = handle_connection(server, stream, shutdown, local) {
-                    eprintln!("asynd: connection error: {e}");
+        let mut connections: Vec<std::thread::ScopedJoinHandle<'_, ()>> = Vec::new();
+        while !shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    // The accepted socket must block: the connection
+                    // thread reads request lines at its own pace.
+                    stream.set_nonblocking(false)?;
+                    let shutdown = &shutdown;
+                    connections.push(scope.spawn(move || {
+                        if let Err(e) = handle_connection(server, stream, shutdown) {
+                            eprintln!("asynd: connection error: {e}");
+                        }
+                    }));
                 }
-            });
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    // Reap finished connection threads while idle so a
+                    // long-lived server does not accumulate handles.
+                    let (done, live): (Vec<_>, Vec<_>) =
+                        connections.drain(..).partition(|handle| handle.is_finished());
+                    connections = live;
+                    for handle in done {
+                        let _ = handle.join();
+                    }
+                    std::thread::sleep(ACCEPT_POLL_INTERVAL);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain: every open connection finishes its pipelined work
+        // before the server returns.
+        for handle in connections {
+            let _ = handle.join();
         }
         Ok(())
     })
@@ -429,14 +593,11 @@ fn handle_connection(
     server: &ScheduleServer,
     stream: TcpStream,
     shutdown: &AtomicBool,
-    local: std::net::SocketAddr,
 ) -> std::io::Result<()> {
     let reader = BufReader::new(stream.try_clone()?);
     let requested_shutdown = serve_lines(reader, &stream, server)?;
     if requested_shutdown {
         shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept loop so it observes the flag.
-        let _ = TcpStream::connect(local);
     }
     Ok(())
 }
@@ -536,6 +697,63 @@ mod tests {
         }
         // All six jobs hit one tenant and the memoised baseline schedule.
         assert_eq!(server.tenants(), 1);
+    }
+
+    #[test]
+    fn garbage_between_pipelined_jobs_never_tears_down_the_stream() {
+        // Regression: a malformed line — including one that is not even
+        // valid UTF-8, which `BufRead::lines` would have turned into a
+        // connection-killing I/O error — must produce a structured error
+        // response and leave the remaining pipelined jobs alive.
+        let server = ScheduleServer::start(ServerConfig { workers: 2, ..ServerConfig::default() });
+        let job = |id: &str| {
+            format!(
+                "{{\"id\":{id:?},\"code\":{{\"family\":\"rotated-surface\"}},\
+                 \"noise\":\"brisbane\",\"strategy\":\"lowest-depth\",\
+                 \"budget\":8,\"shots\":120,\"seed\":3}}\n"
+            )
+        };
+        let mut input: Vec<u8> = Vec::new();
+        input.extend_from_slice(job("first").as_bytes());
+        input.extend_from_slice(b"\xff\xfe this line is not utf-8 \xff\n");
+        input.extend_from_slice(b"{\"op\":\"nope\"}\n");
+        input.extend_from_slice(job("second").as_bytes());
+        let mut output = Vec::new();
+        let requested = serve_lines(&input[..], &mut output, &server).unwrap();
+        assert!(!requested, "nobody asked for shutdown");
+        let text = String::from_utf8(output).unwrap();
+        let responses: Vec<Response> =
+            text.lines().map(|line| Response::parse(line).unwrap()).collect();
+        let errors = responses.iter().filter(|r| matches!(r, Response::Error { .. })).count();
+        assert_eq!(errors, 2, "both garbage lines got structured errors: {text}");
+        let mut ok_ids: Vec<String> = responses
+            .iter()
+            .filter_map(|r| match r {
+                Response::Ok(outcome) => Some(outcome.id.clone()),
+                _ => None,
+            })
+            .collect();
+        ok_ids.sort();
+        assert_eq!(ok_ids, ["first", "second"], "jobs around the garbage both ran");
+        server.shutdown();
+    }
+
+    #[test]
+    fn lookup_without_a_registry_is_a_structured_error() {
+        let server = ScheduleServer::start(ServerConfig { workers: 1, ..ServerConfig::default() });
+        let input = "{\"op\":\"lookup\",\"id\":\"l\",\"code\":{\"family\":\"bb\"},\
+                     \"noise\":\"brisbane\",\"shots\":100}\n";
+        let mut output = Vec::new();
+        serve_lines(input.as_bytes(), &mut output, &server).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        match Response::parse(text.lines().next().unwrap()).unwrap() {
+            Response::Error { id, error } => {
+                assert_eq!(id, "l");
+                assert!(error.contains("registry"), "error: {error}");
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+        server.shutdown();
     }
 
     #[test]

@@ -11,13 +11,17 @@ use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use asynd_circuit::artifact::ScheduleArtifact;
+use asynd_circuit::Schedule;
 use asynd_codes::catalog::{families, CatalogEntry};
 use asynd_decode::factory_for;
 use asynd_portfolio::{Portfolio, PortfolioConfig};
+use asynd_registry::Registry;
 use asynd_sim::mix_seed;
 use serde_json::{Map, Value};
 
-use crate::protocol::NoiseSpec;
+use crate::protocol::{CodeRef, NoiseSpec};
+use crate::tenants::TenantMap;
 use crate::{fnv64, ServerError};
 
 /// Configuration of one catalog sweep.
@@ -99,6 +103,9 @@ pub struct SweepRecord {
     pub cache_hit_rate: f64,
     /// Whether the strategy won its cell.
     pub winner: bool,
+    /// Whether the cell's race was warm-started from a registry
+    /// artifact.
+    pub warm_start: bool,
 }
 
 impl SweepRecord {
@@ -118,6 +125,7 @@ impl SweepRecord {
         map.insert("evaluations", Value::from(self.evaluations));
         map.insert("cache_hit_rate", Value::from(self.cache_hit_rate));
         map.insert("winner", Value::from(self.winner));
+        map.insert("warm_start", Value::from(self.warm_start));
         Value::Object(map)
     }
 }
@@ -131,6 +139,13 @@ pub struct SweepReport {
     pub codes: usize,
     /// Error rates covered.
     pub rates: usize,
+    /// Grid cells executed (one portfolio race each).
+    pub cells: usize,
+    /// Cells warm-started from a registry artifact (0 without a
+    /// registry).
+    pub warm_cells: usize,
+    /// Winning artifacts newly stored into the registry (0 without one).
+    pub stored: usize,
 }
 
 impl SweepReport {
@@ -154,6 +169,9 @@ impl SweepReport {
         coverage.insert("codes", Value::from(self.codes));
         coverage.insert("error_rates", Value::from(self.rates));
         coverage.insert("records", Value::from(self.records.len()));
+        coverage.insert("cells", Value::from(self.cells));
+        coverage.insert("warm_cells", Value::from(self.warm_cells));
+        coverage.insert("stored_artifacts", Value::from(self.stored));
         doc.insert("coverage", Value::Object(coverage));
         doc.insert(
             "records",
@@ -210,8 +228,15 @@ fn truncate(text: &str, limit: usize) -> String {
     }
 }
 
-/// One fan-out slot: the (eventual) records of one cell.
-type CellSlot = Mutex<Option<Result<Vec<SweepRecord>, ServerError>>>;
+/// What one cell produced: its records plus its registry interaction.
+struct CellOutcome {
+    records: Vec<SweepRecord>,
+    warm_start: bool,
+    stored: bool,
+}
+
+/// One fan-out slot: the (eventual) outcome of one cell.
+type CellSlot = Mutex<Option<Result<CellOutcome, ServerError>>>;
 
 /// One unit of sweep work.
 struct Cell {
@@ -221,7 +246,8 @@ struct Cell {
     rate: f64,
 }
 
-/// Runs a catalog sweep.
+/// Runs a catalog sweep without a registry (see
+/// [`run_sweep_with_registry`]).
 ///
 /// # Errors
 ///
@@ -229,6 +255,28 @@ struct Cell {
 /// filters, and propagates the first cell failure (in deterministic cell
 /// order).
 pub fn run_sweep(config: &SweepConfig) -> Result<SweepReport, ServerError> {
+    run_sweep_with_registry(config, None)
+}
+
+/// Runs a catalog sweep, optionally against a persistent schedule
+/// registry.
+///
+/// With a registry, every cell resolves the same canonical tenant key
+/// the schedule server would (`family[index]|scaled(rate)|shots=N`),
+/// warm-starts its portfolio race from the registry's best artifact for
+/// that tenant, and stores its winner back — so repeated sweeps over one
+/// registry directory reuse each other's work, and sweep artifacts are
+/// interchangeable with server-produced ones. Within one sweep all cells
+/// are distinct tenants, so the records stay bit-identical for any
+/// worker count given the registry state at sweep start.
+///
+/// # Errors
+///
+/// As [`run_sweep`].
+pub fn run_sweep_with_registry(
+    config: &SweepConfig,
+    registry: Option<&Registry>,
+) -> Result<SweepReport, ServerError> {
     if config.error_rates.is_empty() {
         return Err(ServerError::Rejected { reason: "sweep needs at least one error rate".into() });
     }
@@ -237,18 +285,18 @@ pub fn run_sweep(config: &SweepConfig) -> Result<SweepReport, ServerError> {
             reason: "budget multiplier and shots must be positive".into(),
         });
     }
-    let registry = families();
+    let catalog = families();
     let selected: Vec<_> = if config.families.is_empty() {
-        registry
+        catalog
     } else {
         for name in &config.families {
-            if !registry.iter().any(|family| family.name == *name) {
+            if !catalog.iter().any(|family| family.name == *name) {
                 return Err(ServerError::Rejected {
                     reason: format!("unknown sweep family {name:?}"),
                 });
             }
         }
-        registry
+        catalog
             .into_iter()
             .filter(|family| config.families.iter().any(|name| name == family.name))
             .collect()
@@ -286,25 +334,40 @@ pub fn run_sweep(config: &SweepConfig) -> Result<SweepReport, ServerError> {
                 if index >= cells.len() {
                     break;
                 }
-                let result = run_cell(config, &cells[index]);
+                let result = run_cell(config, &cells[index], registry);
                 *slots[index].lock().expect("sweep slot poisoned") = Some(result);
             });
         }
     });
 
     let mut records = Vec::with_capacity(cells.len() * 4);
+    let mut warm_cells = 0usize;
+    let mut stored = 0usize;
     for slot in slots {
-        let cell_records =
+        let outcome =
             slot.into_inner().expect("sweep slot poisoned").expect("every cell slot is filled")?;
-        records.extend(cell_records);
+        records.extend(outcome.records);
+        warm_cells += usize::from(outcome.warm_start);
+        stored += usize::from(outcome.stored);
     }
     let mut codes: Vec<String> = records.iter().map(|r| r.code.clone()).collect();
     codes.sort_unstable();
     codes.dedup();
-    Ok(SweepReport { records, codes: codes.len(), rates: config.error_rates.len() })
+    Ok(SweepReport {
+        records,
+        codes: codes.len(),
+        rates: config.error_rates.len(),
+        cells: cells.len(),
+        warm_cells,
+        stored,
+    })
 }
 
-fn run_cell(config: &SweepConfig, cell: &Cell) -> Result<Vec<SweepRecord>, ServerError> {
+fn run_cell(
+    config: &SweepConfig,
+    cell: &Cell,
+    registry: Option<&Registry>,
+) -> Result<CellOutcome, ServerError> {
     let code = &cell.entry.code;
     let total_checks: u64 = code.stabilizers().iter().map(|s| s.weight() as u64).sum();
     let grant = (total_checks + 2) * config.budget_multiplier;
@@ -318,9 +381,38 @@ fn run_cell(config: &SweepConfig, cell: &Cell) -> Result<Vec<SweepRecord>, Serve
         worker_threads: 1,
         ..PortfolioConfig::default()
     });
-    let noise = NoiseSpec::Scaled(cell.rate).to_model()?;
-    let report = portfolio.run(code, &noise, factory_for(cell.entry.decoder))?;
-    Ok(report
+    let spec = NoiseSpec::Scaled(cell.rate);
+    let noise = spec.to_model()?;
+
+    // The cell's tenant identity matches what the schedule server would
+    // resolve for this (code, rate, shots), so sweeps and servers share
+    // one registry namespace.
+    let code_ref = CodeRef { family: cell.family.to_string(), index: cell.entry_index };
+    let tenant = TenantMap::canonical_key(&code_ref, &spec, config.shots);
+    let seeds: Vec<Schedule> = registry
+        .and_then(|r| r.lookup(&tenant))
+        .filter(|entry| entry.artifact.schedule.validate(code).is_ok())
+        .map(|entry| vec![entry.artifact.schedule])
+        .unwrap_or_default();
+    let warm_start = !seeds.is_empty();
+
+    let report = portfolio.run_seeded(code, &noise, factory_for(cell.entry.decoder), &seeds)?;
+
+    let mut stored = false;
+    if let Some(registry) = registry {
+        let winning = report.winning();
+        let artifact = ScheduleArtifact {
+            code_label: cell.entry.display_label(),
+            schedule: winning.outcome.schedule.clone(),
+            estimate: winning.outcome.estimate,
+        };
+        match registry.store(&tenant, &artifact) {
+            Ok(outcome) => stored = outcome != asynd_registry::StoreOutcome::Duplicate,
+            Err(e) => eprintln!("asynd: registry store failed for {tenant}: {e}"),
+        }
+    }
+
+    let records = report
         .strategies
         .iter()
         .enumerate()
@@ -336,8 +428,10 @@ fn run_cell(config: &SweepConfig, cell: &Cell) -> Result<Vec<SweepRecord>, Serve
             evaluations: s.metered,
             cache_hit_rate: report.evaluator.hit_rate(),
             winner: index == report.winner,
+            warm_start,
         })
-        .collect())
+        .collect();
+    Ok(CellOutcome { records, warm_start, stored })
 }
 
 /// Summary returned by [`validate_report_text`].

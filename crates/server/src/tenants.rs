@@ -93,6 +93,27 @@ impl TenantMap {
         Ok(tenants.entry(tenant.key.clone()).or_insert(tenant).clone())
     }
 
+    /// Resolves a code reference to its catalog entry *without* creating
+    /// a tenant — the registry `lookup` path, which must not build
+    /// evaluators.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Rejected`] for unknown families or
+    /// out-of-range entry indices.
+    pub fn resolve_entry(&self, code: &CodeRef) -> Result<CatalogEntry, ServerError> {
+        let entries = family_by_name(&code.family).ok_or_else(|| ServerError::Rejected {
+            reason: format!(
+                "unknown code family {:?} (families: {})",
+                code.family,
+                asynd_codes::catalog::family_names().join(", ")
+            ),
+        })?;
+        entries.into_iter().nth(code.index).ok_or_else(|| ServerError::Rejected {
+            reason: format!("family {:?} has no entry {}", code.family, code.index),
+        })
+    }
+
     fn build_tenant(
         &self,
         key: String,
@@ -103,16 +124,7 @@ impl TenantMap {
         if shots == 0 {
             return Err(ServerError::Rejected { reason: "shots must be positive".to_string() });
         }
-        let entries = family_by_name(&code.family).ok_or_else(|| ServerError::Rejected {
-            reason: format!(
-                "unknown code family {:?} (families: {})",
-                code.family,
-                asynd_codes::catalog::family_names().join(", ")
-            ),
-        })?;
-        let entry = entries.into_iter().nth(code.index).ok_or_else(|| ServerError::Rejected {
-            reason: format!("family {:?} has no entry {}", code.family, code.index),
-        })?;
+        let entry = self.resolve_entry(code)?;
         let model = noise.to_model()?;
         model.validate().map_err(|e| ServerError::Rejected { reason: e.to_string() })?;
         // One estimator thread per evaluation: the server's parallelism

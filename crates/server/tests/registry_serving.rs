@@ -1,0 +1,285 @@
+//! End-to-end tests of the persistent schedule registry wired through
+//! the serving layer: warm starts survive process restarts, the `lookup`
+//! op serves cache hits without spending evaluation budget, warm-started
+//! batches stay bit-identical for any worker count, and sweeps reuse the
+//! registry across passes.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use asynd_registry::Registry;
+use asynd_server::protocol::{
+    CodeRef, JobRequest, LookupRequest, NoiseSpec, Response, StrategyChoice,
+};
+use asynd_server::sweep::{run_sweep_with_registry, SweepConfig};
+use asynd_server::{serve_lines, ScheduleServer, ServerConfig};
+
+/// A unique, clean temporary registry directory per test.
+fn scratch(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("asynd-server-registry-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open(dir: &PathBuf) -> Arc<Registry> {
+    let (registry, report) = Registry::open(dir).unwrap();
+    assert_eq!(report.skipped, 0, "no unverifiable records in test registries");
+    Arc::new(registry)
+}
+
+/// Jobs of pairwise-distinct tenants (the regime in which registry state
+/// is deterministic under any worker interleaving).
+fn batch() -> Vec<JobRequest> {
+    [
+        ("rotated-surface", NoiseSpec::Brisbane, 40),
+        ("xzzx", NoiseSpec::Brisbane, 32),
+        ("rotated-surface", NoiseSpec::Scaled(0.003), 40),
+        ("hexagonal-color", NoiseSpec::Brisbane, 120),
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(n, (family, noise, budget))| JobRequest {
+        id: format!("job-{n}"),
+        code: CodeRef { family: family.to_string(), index: 0 },
+        noise,
+        strategy: if budget > 100 { StrategyChoice::Portfolio } else { StrategyChoice::Anneal },
+        budget,
+        shots: 150,
+        seed: 7 + n as u64,
+    })
+    .collect()
+}
+
+/// The determinism-contract projection of a response (everything except
+/// wall-clock and cache counters).
+fn view(response: &Response) -> String {
+    match response {
+        Response::Ok(outcome) => format!(
+            "id={} tenant={} winner={} key={} spent={} warm={}",
+            outcome.id,
+            outcome.tenant,
+            outcome.strategy,
+            outcome.artifact.key().to_hex(),
+            outcome.spent,
+            outcome.warm_start,
+        ),
+        other => format!("{other:?}"),
+    }
+}
+
+#[test]
+fn restarted_servers_warm_start_from_stored_winners() {
+    let dir = scratch("restart");
+
+    // Cold pass: nothing stored yet, every job runs cold and stores its
+    // winner.
+    let cold_views: Vec<String> = {
+        let server = ScheduleServer::start_with_registry(ServerConfig::default(), Some(open(&dir)));
+        let responses = server.run_batch(batch());
+        for response in &responses {
+            match response {
+                Response::Ok(outcome) => assert!(!outcome.warm_start, "first pass is cold"),
+                other => panic!("job failed: {other:?}"),
+            }
+        }
+        let views = responses.iter().map(view).collect();
+        server.shutdown();
+        views
+    };
+    assert_eq!(open(&dir).stats().entries, 4, "every tenant stored its winner");
+
+    // Restarted server (fresh process state, same registry dir): every
+    // job warm-starts, and the result set is bit-identical for any
+    // worker count because the registry state is fixed and tenants are
+    // distinct.
+    let mut warm_views: Vec<Vec<String>> = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let server = ScheduleServer::start_with_registry(
+            ServerConfig { workers, ..ServerConfig::default() },
+            Some(open(&dir)),
+        );
+        let responses = server.run_batch(batch());
+        for response in &responses {
+            match response {
+                Response::Ok(outcome) => {
+                    assert!(outcome.warm_start, "restart must warm-start {}", outcome.id);
+                    assert!(
+                        outcome.spent <= outcome.granted,
+                        "warm start exceeded the budget meters"
+                    );
+                }
+                other => panic!("job failed under {workers} workers: {other:?}"),
+            }
+        }
+        warm_views.push(responses.iter().map(view).collect());
+        server.shutdown();
+    }
+    assert_eq!(warm_views[0], warm_views[1], "1 and 2 workers disagree warm");
+    assert_eq!(warm_views[0], warm_views[2], "1 and 4 workers disagree warm");
+
+    // Warm results are a different deterministic computation than cold
+    // ones (same ids and tenants, warm flag set).
+    assert_eq!(cold_views.len(), warm_views[0].len());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn lookup_op_serves_stored_artifacts_without_synthesis() {
+    let dir = scratch("lookup");
+    let server = ScheduleServer::start_with_registry(
+        ServerConfig { workers: 1, ..ServerConfig::default() },
+        Some(open(&dir)),
+    );
+    let probe = LookupRequest {
+        id: "probe".into(),
+        code: CodeRef { family: "rotated-surface".into(), index: 0 },
+        noise: NoiseSpec::Brisbane,
+        shots: 150,
+    };
+
+    // Miss before anything is stored.
+    match server.lookup(&probe) {
+        Response::Lookup { id, tenant, artifact } => {
+            assert_eq!(id, "probe");
+            assert!(tenant.contains("rotated-surface[0]"));
+            assert!(artifact.is_none(), "empty registry must miss");
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    // Synthesize once; the winner lands in the registry.
+    let job = JobRequest {
+        id: "fill".into(),
+        code: probe.code.clone(),
+        noise: probe.noise.clone(),
+        strategy: StrategyChoice::Anneal,
+        budget: 40,
+        shots: 150,
+        seed: 3,
+    };
+    let reference = match server.submit(job).unwrap().wait() {
+        Response::Ok(outcome) => outcome,
+        other => panic!("job failed: {other:?}"),
+    };
+
+    // Hit: the stored artifact comes back bit-identical, and no
+    // evaluation budget moves (lookup is a map read).
+    match server.lookup(&probe) {
+        Response::Lookup { artifact: Some(artifact), tenant, .. } => {
+            assert_eq!(tenant, reference.tenant);
+            assert_eq!(*artifact, reference.artifact, "lookup returns the stored winner");
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+    let registry_stats = server.registry().unwrap().stats();
+    assert_eq!(registry_stats.hits, 1);
+
+    // Probes that synthesize could never have served are clear errors,
+    // not silent misses: unknown family, zero shots, invalid noise.
+    let mut bad = probe.clone();
+    bad.code.family = "no-such-family".into();
+    match server.lookup(&bad) {
+        Response::Error { error, .. } => assert!(error.contains("unknown code family")),
+        other => panic!("unexpected response: {other:?}"),
+    }
+    let mut zero_shots = probe.clone();
+    zero_shots.shots = 0;
+    match server.lookup(&zero_shots) {
+        Response::Error { error, .. } => assert!(error.contains("shots"), "error: {error}"),
+        other => panic!("unexpected response: {other:?}"),
+    }
+    let mut bad_noise = probe.clone();
+    bad_noise.noise = NoiseSpec::Scaled(1.5);
+    match server.lookup(&bad_noise) {
+        Response::Error { .. } => {}
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    // The same probe over the wire round-trips through serve_lines.
+    let line = serde_json::to_string(&probe.to_json()).unwrap();
+    let mut output = Vec::new();
+    serve_lines(format!("{line}\n").as_bytes(), &mut output, &server).unwrap();
+    let text = String::from_utf8(output).unwrap();
+    match Response::parse(text.lines().next().unwrap()).unwrap() {
+        Response::Lookup { artifact: Some(artifact), .. } => {
+            assert_eq!(*artifact, reference.artifact, "wire lookup round-trips verified");
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    server.shutdown();
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sweeps_reuse_one_registry_across_passes() {
+    let dir = scratch("sweep");
+    let config = SweepConfig {
+        seed: 5,
+        error_rates: vec![3e-3, 7.4e-3],
+        families: vec!["rotated-surface".into(), "xzzx".into()],
+        max_qubits: 13,
+        entries_per_family: 1,
+        budget_multiplier: 1,
+        shots: 100,
+        workers: 0,
+    };
+
+    let registry = open(&dir);
+    let cold = run_sweep_with_registry(&config, Some(&registry)).unwrap();
+    let cells = cold.cells;
+    assert_eq!(cells, 4, "2 families x 1 entry x 2 rates");
+    assert_eq!(cold.warm_cells, 0, "first pass has nothing to warm from");
+    assert_eq!(cold.stored, cells, "every cell stored its winner");
+    assert!(cold.records.iter().all(|r| !r.warm_start));
+    drop(registry);
+
+    // Snapshot the registry so warm determinism can be checked from two
+    // *identical* starting states (a warm pass may store new winners, so
+    // back-to-back passes over one live directory are allowed to
+    // differ).
+    let snapshot = scratch("sweep-snapshot");
+    fs::create_dir_all(&snapshot).unwrap();
+    for entry in fs::read_dir(&dir).unwrap() {
+        let entry = entry.unwrap();
+        fs::copy(entry.path(), snapshot.join(entry.file_name())).unwrap();
+    }
+
+    // Second pass, fresh registry handle over the same directory: every
+    // repeated (code, rate) cell warm-starts.
+    let registry = open(&dir);
+    let warm = run_sweep_with_registry(&config, Some(&registry)).unwrap();
+    assert_eq!(warm.warm_cells, cells, "every repeated cell warm-started");
+    assert!(warm.records.iter().all(|r| r.warm_start));
+
+    // Warm passes are deterministic: identical registry state in, the
+    // same records out (the snapshot pass also runs with a different
+    // worker count to pin thread-count independence).
+    let twin = run_sweep_with_registry(
+        &SweepConfig { workers: 2, ..config.clone() },
+        Some(&open(&snapshot)),
+    )
+    .unwrap();
+    let key = |report: &asynd_server::sweep::SweepReport| -> Vec<String> {
+        report
+            .records
+            .iter()
+            .map(|r| {
+                format!(
+                    "{}|{}|{}|{}|{}",
+                    r.code, r.error_rate, r.strategy, r.schedule_key, r.p_overall
+                )
+            })
+            .collect()
+    };
+    assert_eq!(key(&warm), key(&twin), "identical registry states give identical warm sweeps");
+
+    // The registry still verifies end-to-end after both passes.
+    let audit = registry.verify().unwrap();
+    assert_eq!(audit.invalid, 0);
+    assert!(audit.valid >= cells);
+    fs::remove_dir_all(&dir).unwrap();
+    fs::remove_dir_all(&snapshot).unwrap();
+}

@@ -86,19 +86,30 @@ pub struct BatchEstimate {
 }
 
 impl BatchEstimate {
-    /// Empirical logical X error rate.
+    /// `failures / shots`, defined as 0 at zero shots (the same
+    /// zero-trials discipline as [`wilson_interval`]: estimation always
+    /// takes at least one shot, but derived views of an empty estimate
+    /// must not produce NaN).
+    fn rate(&self, failures: usize) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
+        failures as f64 / self.shots as f64
+    }
+
+    /// Empirical logical X error rate (0 at zero shots).
     pub fn p_x(&self) -> f64 {
-        self.x_failures as f64 / self.shots as f64
+        self.rate(self.x_failures)
     }
 
-    /// Empirical logical Z error rate.
+    /// Empirical logical Z error rate (0 at zero shots).
     pub fn p_z(&self) -> f64 {
-        self.z_failures as f64 / self.shots as f64
+        self.rate(self.z_failures)
     }
 
-    /// Empirical overall logical error rate.
+    /// Empirical overall logical error rate (0 at zero shots).
     pub fn p_overall(&self) -> f64 {
-        self.any_failures as f64 / self.shots as f64
+        self.rate(self.any_failures)
     }
 
     /// Wilson confidence interval of the overall error rate.
@@ -448,6 +459,20 @@ mod tests {
         assert_eq!(estimate.x_failures, 250);
         assert_eq!(estimate.z_failures, 0);
         assert_eq!(estimate.any_failures, 250);
+    }
+
+    #[test]
+    fn zero_trials_never_produce_nan() {
+        // Zero trials yield the vacuous interval — even with nonzero
+        // "successes", which a buggy caller could hand in.
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+        assert_eq!(wilson_interval(7, 0, 1.96), (0.0, 1.0));
+        let empty =
+            BatchEstimate { shots: 0, x_failures: 0, z_failures: 0, any_failures: 0, z: 1.96 };
+        assert_eq!(empty.p_x(), 0.0);
+        assert_eq!(empty.p_z(), 0.0);
+        assert_eq!(empty.p_overall(), 0.0);
+        assert_eq!(empty.wilson_overall(), (0.0, 1.0));
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! * [`portfolio`] — the portfolio synthesis subsystem: pluggable
 //!   synthesizer strategies (MCTS, annealing, beam search, baselines)
 //!   raced deterministically over the shared evaluation service.
+//! * [`registry`] — the persistent, content-addressed store of
+//!   synthesized schedule artifacts: append-only JSON-lines segments,
+//!   fingerprint verification on every read, warm-start seeds for the
+//!   portfolio and the serving layer.
 //! * [`server`] — the serving layer: the multi-tenant schedule server,
 //!   its JSON-lines protocol (the `asynd` CLI) and catalog-wide scenario
 //!   sweeps.
@@ -39,5 +43,6 @@ pub use asynd_core as core;
 pub use asynd_decode as decode;
 pub use asynd_pauli as pauli;
 pub use asynd_portfolio as portfolio;
+pub use asynd_registry as registry;
 pub use asynd_server as server;
 pub use asynd_sim as sim;
