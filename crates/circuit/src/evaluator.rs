@@ -31,10 +31,12 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 use asynd_codes::StabilizerCode;
 use asynd_sim::FrameErrorModel;
+use asynd_telemetry::{labeled, Counter, Histogram, MetricsRegistry};
 
 use crate::evaluate::run_estimate;
 use crate::{
@@ -118,6 +120,45 @@ impl AtomicStats {
 /// Relaxed increment helper for the stats counters.
 fn bump(counter: &AtomicU64) {
     counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Pre-resolved telemetry handles mirroring [`EvaluatorStats`], plus the
+/// model-build and sampling latency histograms.
+///
+/// Resolved once (taking the registry mutex once per handle) and then
+/// recorded through lock-free shard atomics, so instrumentation adds no
+/// contention to the evaluation hot path. The serving layer registers one
+/// of these per tenant, labeled `tenant="<key>"`.
+pub struct EvaluatorMetrics {
+    hits: Counter,
+    misses: Counter,
+    speculative_hits: Counter,
+    model_reuses: Counter,
+    model_builds: Counter,
+    speculative_short_circuits: Counter,
+    evictions: Counter,
+    build_us: Histogram,
+    sample_us: Histogram,
+}
+
+impl EvaluatorMetrics {
+    /// Resolves the evaluator metric family in `registry`, under the
+    /// given labels (e.g. `[("tenant", key)]`; empty for a process-global
+    /// evaluator).
+    pub fn register(registry: &MetricsRegistry, labels: &[(&str, &str)]) -> EvaluatorMetrics {
+        let counter = |name: &str| registry.counter(&labeled(name, labels));
+        EvaluatorMetrics {
+            hits: counter("asynd_eval_cache_hits_total"),
+            misses: counter("asynd_eval_cache_misses_total"),
+            speculative_hits: counter("asynd_eval_speculative_hits_total"),
+            model_reuses: counter("asynd_eval_model_reuses_total"),
+            model_builds: counter("asynd_eval_model_builds_total"),
+            speculative_short_circuits: counter("asynd_eval_speculative_short_circuits_total"),
+            evictions: counter("asynd_eval_cache_evictions_total"),
+            build_us: registry.histogram(&labeled("asynd_eval_model_build_us", labels)),
+            sample_us: registry.histogram(&labeled("asynd_eval_sample_us", labels)),
+        }
+    }
 }
 
 /// The immutable, shareable artifacts of one schedule: its detector error
@@ -249,6 +290,7 @@ pub struct Evaluator {
     capacity: usize,
     cache: Mutex<Cache>,
     stats: AtomicStats,
+    metrics: OnceLock<EvaluatorMetrics>,
 }
 
 impl Evaluator {
@@ -286,6 +328,22 @@ impl Evaluator {
             capacity,
             cache: Mutex::new(Cache { entries: HashMap::new(), clock: 0 }),
             stats: AtomicStats::default(),
+            metrics: OnceLock::new(),
+        }
+    }
+
+    /// Attaches pre-resolved telemetry handles; every [`EvaluatorStats`]
+    /// counter is mirrored into them and model-build / sampling latencies
+    /// are recorded. A second attachment is ignored (the first wins) —
+    /// metrics identity is fixed at instrumentation time.
+    pub fn set_metrics(&self, metrics: EvaluatorMetrics) {
+        let _ = self.metrics.set(metrics);
+    }
+
+    /// Runs `f` over the attached telemetry handles, if any.
+    fn metric(&self, f: impl FnOnce(&EvaluatorMetrics)) {
+        if let Some(metrics) = self.metrics.get() {
+            f(metrics);
         }
     }
 
@@ -314,14 +372,6 @@ impl Evaluator {
         self.len() == 0
     }
 
-    /// A snapshot of the cache counters.
-    ///
-    /// Alias of [`Evaluator::stats_snapshot`]; kept for callers that
-    /// predate the lock-free counters.
-    pub fn stats(&self) -> EvaluatorStats {
-        self.stats_snapshot()
-    }
-
     /// A lock-free snapshot of the cache counters.
     ///
     /// The counters live in atomics outside the cache mutex, so concurrent
@@ -330,8 +380,14 @@ impl Evaluator {
     /// and monotonic; a snapshot taken while writers are active may be
     /// torn *across* counters (e.g. a miss counted whose model build is
     /// not yet).
-    pub fn stats_snapshot(&self) -> EvaluatorStats {
+    pub fn stats(&self) -> EvaluatorStats {
         self.stats.snapshot()
+    }
+
+    /// A lock-free snapshot of the cache counters.
+    #[deprecated(note = "use `Evaluator::stats` — one accessor, one shape")]
+    pub fn stats_snapshot(&self) -> EvaluatorStats {
+        self.stats()
     }
 
     /// Authoritative evaluation: returns the memoised estimate for this
@@ -389,6 +445,7 @@ impl Evaluator {
             if let Some(entry) = cache.entries.get_mut(&key) {
                 entry.last_used = clock;
                 bump(&self.stats.hits);
+                self.metric(|m| m.hits.inc());
                 return Ok(entry.estimate);
             }
         }
@@ -401,13 +458,16 @@ impl Evaluator {
         // whichever commits last changes nothing (single-threaded cache
         // evolution is untouched either way).
         bump(&self.stats.misses);
+        self.metric(|m| m.misses.inc());
         let model = match hint {
             Some(h) if h.cache_key == key => {
                 bump(&self.stats.model_reuses);
+                self.metric(|m| m.model_reuses.inc());
                 h.model.clone()
             }
             _ => {
                 bump(&self.stats.model_builds);
+                self.metric(|m| m.model_builds.inc());
                 self.build_model(code, schedule)?
             }
         };
@@ -427,6 +487,7 @@ impl Evaluator {
                     .expect("cache is non-empty above capacity");
                 cache.entries.remove(&victim);
                 bump(&self.stats.evictions);
+                self.metric(|m| m.evictions.inc());
             }
         }
         Ok(estimate)
@@ -457,10 +518,40 @@ impl Evaluator {
         };
         if let Some((model, estimate)) = peeked {
             bump(&self.stats.speculative_short_circuits);
+            self.metric(|m| m.speculative_short_circuits.inc());
             return Ok(Evaluation { cache_key: key, seed, computed: false, model, estimate });
         }
         let model = self.build_model(code, schedule)?;
         bump(&self.stats.model_builds);
+        self.metric(|m| m.model_builds.inc());
+        let estimate = self.sample(code, &model, seed)?;
+        Ok(Evaluation { cache_key: key, seed, computed: true, model, estimate })
+    }
+
+    /// Builds the model artifacts (DEM, frame view, decoder) for a
+    /// schedule, recording the build latency when instrumented.
+    fn build_model(
+        &self,
+        code: &StabilizerCode,
+        schedule: &Schedule,
+    ) -> Result<Model, CircuitError> {
+        let start = Instant::now();
+        let dem = DetectorErrorModel::build(code, schedule, &self.noise)?;
+        let frame = Arc::new(dem.to_frame_model());
+        let decoder: Arc<dyn ObservableDecoder + Send + Sync> = Arc::from(self.factory.build(&dem));
+        self.metric(|m| m.build_us.record_duration(start.elapsed()));
+        Ok(Model { dem: Arc::new(dem), frame, decoder })
+    }
+
+    /// Samples an estimate for a built model, recording the sampling
+    /// latency when instrumented.
+    fn sample(
+        &self,
+        code: &StabilizerCode,
+        model: &Model,
+        seed: u64,
+    ) -> Result<LogicalErrorEstimate, CircuitError> {
+        let start = Instant::now();
         let estimate = run_estimate(
             &model.frame,
             model.decoder.as_ref(),
@@ -469,20 +560,8 @@ impl Evaluator {
             &self.options,
             seed,
         )?;
-        Ok(Evaluation { cache_key: key, seed, computed: true, model, estimate })
-    }
-
-    /// Builds the model artifacts (DEM, frame view, decoder) for a
-    /// schedule.
-    fn build_model(
-        &self,
-        code: &StabilizerCode,
-        schedule: &Schedule,
-    ) -> Result<Model, CircuitError> {
-        let dem = DetectorErrorModel::build(code, schedule, &self.noise)?;
-        let frame = Arc::new(dem.to_frame_model());
-        let decoder: Arc<dyn ObservableDecoder + Send + Sync> = Arc::from(self.factory.build(&dem));
-        Ok(Model { dem: Arc::new(dem), frame, decoder })
+        self.metric(|m| m.sample_us.record_duration(start.elapsed()));
+        Ok(estimate)
     }
 
     /// Produces the authoritative estimate for `(key, seed)`: takes a
@@ -498,17 +577,11 @@ impl Evaluator {
         if let Some(h) = hint {
             if h.computed && h.cache_key == key && h.seed == seed {
                 bump(&self.stats.speculative_hits);
+                self.metric(|m| m.speculative_hits.inc());
                 return Ok(h.estimate);
             }
         }
-        run_estimate(
-            &model.frame,
-            model.decoder.as_ref(),
-            code.num_logicals(),
-            self.shots,
-            &self.options,
-            seed,
-        )
+        self.sample(code, model, seed)
     }
 
     /// The detector error model of a schedule, built (or fetched) through

@@ -72,7 +72,9 @@ pub use evaluate::{
     estimate_logical_error, estimate_logical_error_scalar, estimate_logical_error_with,
     DecoderFactory, EstimateOptions, LogicalErrorEstimate, ObservableDecoder,
 };
-pub use evaluator::{Evaluation, Evaluator, EvaluatorStats, DEFAULT_CACHE_CAPACITY};
+pub use evaluator::{
+    Evaluation, Evaluator, EvaluatorMetrics, EvaluatorStats, DEFAULT_CACHE_CAPACITY,
+};
 pub use noise::NoiseModel;
 pub use propagate::{propagate_fault, FaultSite, RoundCircuit};
 pub use sampler::{Sampler, Shot};

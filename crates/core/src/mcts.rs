@@ -513,7 +513,7 @@ pub fn synthesize_with_evaluator(
 
     let schedule = assemble_schedule(code, partitions, &committed, partition_checks);
     schedule.validate(code)?;
-    stats.evaluator = evaluator.stats_snapshot();
+    stats.evaluator = evaluator.stats();
     Ok((schedule, stats))
 }
 

@@ -80,6 +80,7 @@ use std::sync::Arc;
 use asynd_circuit::{Evaluator, LogicalErrorEstimate, Schedule};
 use asynd_codes::StabilizerCode;
 use asynd_core::{eval_seed_for, EvaluationMeter, SchedulerError};
+use asynd_telemetry::{labeled, Counter, Histogram, MetricsRegistry};
 
 /// How much work a synthesizer may spend: the number of score requests it
 /// may issue through its [`ScoreContext`].
@@ -124,6 +125,36 @@ pub struct SynthesisOutcome {
     pub stats: SynthesisStats,
 }
 
+/// Pre-resolved telemetry handles of one strategy's scoring traffic.
+///
+/// The evaluation counter is incremented by every *successful*
+/// [`ScoreContext::charge`] — the same events the strategy's
+/// [`EvaluationMeter`] counts — so the telemetry-recorded spend equals
+/// the metered spend by construction, bulk charges (the MCTS adapter)
+/// included. The latency histogram covers facade evaluations
+/// ([`ScoreContext::score`]) only.
+#[derive(Clone)]
+pub struct ScoreMetrics {
+    evals: Counter,
+    eval_us: Histogram,
+}
+
+impl ScoreMetrics {
+    /// Resolves the strategy scoring metric family in `registry` under
+    /// the given labels (the racer uses `[("strategy", name)]`).
+    pub fn register(registry: &MetricsRegistry, labels: &[(&str, &str)]) -> ScoreMetrics {
+        ScoreMetrics {
+            evals: registry.counter(&labeled("asynd_strategy_evals_total", labels)),
+            eval_us: registry.histogram(&labeled("asynd_strategy_eval_us", labels)),
+        }
+    }
+
+    /// Current value of the evaluation counter (shared with every clone).
+    pub fn evaluations(&self) -> u64 {
+        self.evals.value()
+    }
+}
+
 /// The scoring facade every synthesizer evaluates candidates through.
 ///
 /// Wraps a shared [`Evaluator`] and a salt; [`ScoreContext::score`]
@@ -135,12 +166,13 @@ pub struct ScoreContext {
     evaluator: Arc<Evaluator>,
     salt: u64,
     meter: Option<Arc<EvaluationMeter>>,
+    metrics: Option<ScoreMetrics>,
 }
 
 impl ScoreContext {
     /// Creates a context over a (possibly shared) evaluator.
     pub fn new(evaluator: Arc<Evaluator>, salt: u64) -> Self {
-        ScoreContext { evaluator, salt, meter: None }
+        ScoreContext { evaluator, salt, meter: None, metrics: None }
     }
 
     /// Attaches an enforcement meter (builder style): every score request
@@ -153,7 +185,25 @@ impl ScoreContext {
     /// scheduling (see [`asynd_core::EvaluationMeter`]).
     #[must_use]
     pub fn with_meter(&self, meter: Arc<EvaluationMeter>) -> Self {
-        ScoreContext { evaluator: self.evaluator.clone(), salt: self.salt, meter: Some(meter) }
+        ScoreContext {
+            evaluator: self.evaluator.clone(),
+            salt: self.salt,
+            meter: Some(meter),
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// Attaches telemetry handles (builder style): successful charges
+    /// count into the evaluation counter, facade evaluations record their
+    /// latency. Recording never perturbs scores, seeds or budgets.
+    #[must_use]
+    pub fn with_metrics(&self, metrics: ScoreMetrics) -> Self {
+        ScoreContext {
+            evaluator: self.evaluator.clone(),
+            salt: self.salt,
+            meter: self.meter.clone(),
+            metrics: Some(metrics),
+        }
     }
 
     /// The attached enforcement meter, if any.
@@ -172,10 +222,15 @@ impl ScoreContext {
     /// Returns [`SchedulerError::BudgetExhausted`] if the charge exceeds
     /// the meter's cap.
     pub fn charge(&self, amount: u64) -> Result<(), SchedulerError> {
-        match &self.meter {
-            Some(meter) => meter.charge(amount),
-            None => Ok(()),
+        if let Some(meter) = &self.meter {
+            meter.charge(amount)?;
         }
+        // Count only charges the meter accepted, so the telemetry spend
+        // equals the metered spend by construction.
+        if let Some(metrics) = &self.metrics {
+            metrics.evals.add(amount);
+        }
+        Ok(())
     }
 
     /// The underlying evaluator (strategies needing richer access — the
@@ -205,7 +260,13 @@ impl ScoreContext {
     ) -> Result<LogicalErrorEstimate, SchedulerError> {
         self.charge(1)?;
         let seed = eval_seed_for(self.salt, schedule.key());
-        self.evaluator.evaluate(code, schedule, seed).map_err(SchedulerError::Evaluation)
+        let start = std::time::Instant::now();
+        let estimate =
+            self.evaluator.evaluate(code, schedule, seed).map_err(SchedulerError::Evaluation)?;
+        if let Some(metrics) = &self.metrics {
+            metrics.eval_us.record_duration(start.elapsed());
+        }
+        Ok(estimate)
     }
 }
 

@@ -11,10 +11,11 @@ use asynd_circuit::{
 use asynd_codes::StabilizerCode;
 use asynd_core::{EvaluationMeter, SchedulerError};
 use asynd_sim::mix_seed;
+use asynd_telemetry::{labeled, Histogram, MetricsRegistry};
 
 use crate::{
     AnnealingSynthesizer, BeamSearchSynthesizer, LowestDepthSynthesizer, MctsSynthesizer,
-    ScoreContext, SynthesisBudget, SynthesisOutcome, Synthesizer,
+    ScoreContext, ScoreMetrics, SynthesisBudget, SynthesisOutcome, Synthesizer,
 };
 
 /// Domain-separation constant for the shared evaluation-seed salt.
@@ -129,12 +130,27 @@ impl PortfolioReport {
 pub struct Portfolio {
     config: PortfolioConfig,
     strategies: Vec<Box<dyn Synthesizer>>,
+    registry: Arc<MetricsRegistry>,
 }
 
 impl Portfolio {
-    /// Creates an empty portfolio.
+    /// Creates an empty portfolio recording into the process-wide
+    /// metrics registry ([`asynd_telemetry::global`]).
     pub fn new(config: PortfolioConfig) -> Self {
-        Portfolio { config, strategies: Vec::new() }
+        Portfolio {
+            config,
+            strategies: Vec::new(),
+            registry: Arc::clone(asynd_telemetry::global()),
+        }
+    }
+
+    /// Redirects this portfolio's telemetry into an explicit registry
+    /// (builder style) — servers inject theirs, tests isolate counts.
+    /// Recording never perturbs race results, seeds or budgets.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.registry = registry;
+        self
     }
 
     /// The standard four-strategy portfolio: MCTS, simulated annealing,
@@ -293,6 +309,19 @@ impl Portfolio {
             .iter()
             .map(|_| Arc::new(EvaluationMeter::new(budget.evaluations)))
             .collect();
+        // Per-strategy telemetry: resolved up front (handle resolution
+        // locks the registry; the race itself records lock-free).
+        let strategy_metrics: Vec<(ScoreMetrics, Histogram)> = self
+            .strategies
+            .iter()
+            .map(|s| {
+                let labels = [("strategy", s.name())];
+                (
+                    ScoreMetrics::register(&self.registry, &labels),
+                    self.registry.histogram(&labeled("asynd_strategy_wall_us", &labels)),
+                )
+            })
+            .collect();
 
         let workers = match self.config.worker_threads {
             0 => self.strategies.len().min(rayon::current_num_threads()).max(1),
@@ -308,12 +337,15 @@ impl Portfolio {
                         break;
                     }
                     let strategy = &self.strategies[index];
-                    let strategy_ctx = ctx.with_meter(meters[index].clone());
+                    let strategy_ctx = ctx
+                        .with_meter(meters[index].clone())
+                        .with_metrics(strategy_metrics[index].0.clone());
                     let seed = mix_seed(self.config.seed, 1 + index as u64);
                     let began = Instant::now();
                     let result =
                         strategy.synthesize_seeded(code, &strategy_ctx, budget, seed, seeds);
                     let wall = began.elapsed();
+                    strategy_metrics[index].1.record_duration(wall);
                     *slots[index].lock().expect("portfolio slot poisoned") = Some((result, wall));
                 });
             }
@@ -349,12 +381,25 @@ impl Portfolio {
             }
         }
 
-        Ok(PortfolioReport {
-            strategies: reports,
-            winner,
-            evaluator: evaluator.stats_snapshot(),
-            wall: start.elapsed(),
-        })
+        let wall = start.elapsed();
+        self.registry.counter("asynd_races_total").inc();
+        self.registry.histogram("asynd_race_wall_us").record_duration(wall);
+        self.registry
+            .counter(&labeled(
+                "asynd_strategy_wins_total",
+                &[("strategy", self.strategies[winner].name())],
+            ))
+            .inc();
+        for report in &reports {
+            self.registry
+                .counter(&labeled(
+                    "asynd_strategy_budget_spent_total",
+                    &[("strategy", report.name.as_str())],
+                ))
+                .add(report.metered);
+        }
+
+        Ok(PortfolioReport { strategies: reports, winner, evaluator: evaluator.stats(), wall })
     }
 }
 
@@ -399,6 +444,33 @@ mod tests {
         );
         // The shared cache saw traffic from several strategies.
         assert!(report.evaluator.hits + report.evaluator.misses > 4);
+    }
+
+    #[test]
+    fn telemetry_spend_equals_metered_spend() {
+        let code = steane_code();
+        let registry = Arc::new(MetricsRegistry::new());
+        let portfolio = Portfolio::standard(quick_config()).with_metrics(registry.clone());
+        let report = portfolio
+            .run(&code, &NoiseModel::brisbane(), Arc::new(UnionFindFactory::new()))
+            .unwrap();
+        let snapshot = registry.snapshot();
+        for s in &report.strategies {
+            let labels = [("strategy", s.name.as_str())];
+            // The histogram-backed evaluation counter, the spend counter
+            // and the meter all agree — bulk charges (MCTS) included.
+            let evals = labeled("asynd_strategy_evals_total", &labels);
+            assert_eq!(snapshot.counters[&evals], s.metered, "{} drifted", s.name);
+            let spent = labeled("asynd_strategy_budget_spent_total", &labels);
+            assert_eq!(snapshot.counters[&spent], s.metered);
+            let wall = labeled("asynd_strategy_wall_us", &labels);
+            assert_eq!(snapshot.histograms[&wall].count, 1);
+        }
+        assert_eq!(snapshot.counters["asynd_races_total"], 1);
+        assert_eq!(snapshot.histograms["asynd_race_wall_us"].count, 1);
+        let winner_wins =
+            labeled("asynd_strategy_wins_total", &[("strategy", report.winning().name.as_str())]);
+        assert_eq!(snapshot.counters[&winner_wins], 1);
     }
 
     #[test]

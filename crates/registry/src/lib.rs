@@ -62,6 +62,7 @@ use std::sync::Mutex;
 
 use asynd_circuit::artifact::ScheduleArtifact;
 use asynd_circuit::ScheduleKey;
+use asynd_telemetry::{Counter, Span};
 use serde_json::{Map, Value};
 
 /// Record format version written by this crate.
@@ -194,6 +195,29 @@ struct Counters {
     duplicates: AtomicU64,
 }
 
+/// Pre-resolved process-wide telemetry handles mirroring the traffic
+/// counters, plus the corrupt-record count every disk scan feeds.
+struct Telemetry {
+    lookups: Counter,
+    hits: Counter,
+    stores: Counter,
+    duplicates: Counter,
+    corrupt: Counter,
+}
+
+impl Telemetry {
+    fn resolve() -> Telemetry {
+        let registry = asynd_telemetry::global();
+        Telemetry {
+            lookups: registry.counter("asynd_registry_lookups_total"),
+            hits: registry.counter("asynd_registry_hits_total"),
+            stores: registry.counter("asynd_registry_stores_total"),
+            duplicates: registry.counter("asynd_registry_duplicates_total"),
+            corrupt: registry.counter("asynd_registry_corrupt_records_total"),
+        }
+    }
+}
+
 /// Artifacts of one tenant, indexed by schedule key, with the current
 /// best address cached.
 struct Shelf {
@@ -236,6 +260,7 @@ pub struct Registry {
     dir: PathBuf,
     state: Mutex<State>,
     counters: Counters,
+    telemetry: Telemetry,
 }
 
 impl Registry {
@@ -252,9 +277,12 @@ impl Registry {
     /// Returns [`RegistryError::Io`] when the directory cannot be created
     /// or a segment cannot be read. Malformed *records* are not errors.
     pub fn open(dir: impl AsRef<Path>) -> Result<(Registry, OpenReport), RegistryError> {
+        let _span = Span::enter("asynd_registry_open");
+        let telemetry = Telemetry::resolve();
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
         let scan = scan_segments(&dir)?;
+        telemetry.corrupt.add(scan.skipped as u64);
         let mut state = State {
             tenants: HashMap::new(),
             segments: scan.segments.iter().map(|s| s.path.clone()).collect(),
@@ -270,7 +298,9 @@ impl Registry {
             skipped: scan.skipped,
             reports: scan.reports,
         };
-        Ok((Registry { dir, state: Mutex::new(state), counters: Counters::default() }, report))
+        let registry =
+            Registry { dir, state: Mutex::new(state), counters: Counters::default(), telemetry };
+        Ok((registry, report))
     }
 
     /// The registry directory.
@@ -307,11 +337,13 @@ impl Registry {
     /// tenant.
     pub fn lookup(&self, tenant: &str) -> Option<RegistryEntry> {
         self.counters.lookups.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.lookups.inc();
         let state = self.state.lock().expect("registry state poisoned");
         let shelf = state.tenants.get(tenant)?;
         let artifact = shelf.artifacts.get(&shelf.best)?.clone();
         drop(state);
         self.counters.hits.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.hits.inc();
         Some(RegistryEntry { tenant: tenant.to_string(), artifact })
     }
 
@@ -319,10 +351,12 @@ impl Registry {
     /// address.
     pub fn lookup_key(&self, tenant: &str, key: ScheduleKey) -> Option<RegistryEntry> {
         self.counters.lookups.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.lookups.inc();
         let state = self.state.lock().expect("registry state poisoned");
         let artifact = state.tenants.get(tenant)?.artifacts.get(&key)?.clone();
         drop(state);
         self.counters.hits.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.hits.inc();
         Some(RegistryEntry { tenant: tenant.to_string(), artifact })
     }
 
@@ -379,6 +413,7 @@ impl Registry {
         if let Some(existing) = state.tenants.get(tenant).and_then(|s| s.artifacts.get(&key)) {
             if existing == artifact {
                 self.counters.duplicates.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.duplicates.inc();
                 return Ok(StoreOutcome::Duplicate);
             }
         }
@@ -386,6 +421,7 @@ impl Registry {
         state.segments.push(path);
         let replaced = index_record(&mut state, tenant.to_string(), artifact.clone());
         self.counters.stores.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.stores.inc();
         Ok(if replaced { StoreOutcome::Replaced } else { StoreOutcome::Stored })
     }
 
@@ -400,7 +436,9 @@ impl Registry {
     /// Returns [`RegistryError::Io`] when a segment cannot be read;
     /// invalid records are counted, not errors.
     pub fn verify(&self) -> Result<VerifyReport, RegistryError> {
+        let _span = Span::enter("asynd_registry_verify");
         let scan = scan_segments(&self.dir)?;
+        self.telemetry.corrupt.add(scan.skipped as u64);
         Ok(VerifyReport {
             segments: scan.segments.len(),
             valid: scan.records.len(),
@@ -420,6 +458,7 @@ impl Registry {
     /// removed, the store stays correct (later segments shadow earlier
     /// ones, and the merge is written with the highest sequence number).
     pub fn compact(&self) -> Result<CompactReport, RegistryError> {
+        let _span = Span::enter("asynd_registry_compact");
         let mut state = self.state.lock().expect("registry state poisoned");
         let segments_before = state.segments.len();
         let mut records: Vec<(String, ScheduleArtifact)> = state

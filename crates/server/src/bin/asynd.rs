@@ -2,38 +2,46 @@
 //!
 //! ```text
 //! asynd serve    [--tcp ADDR] [--workers N] [--queue N] [--cache N] [--max-budget N]
-//!                [--registry DIR]
+//!                [--registry DIR] [--events DIR]
 //! asynd submit   [--tcp ADDR] [--file PATH] [--workers N] [--registry DIR]
+//! asynd metrics  --tcp ADDR [--text] [--watch] [--interval SECS]
 //! asynd sweep    [--smoke] [--out PATH] [--seed N] [--rates a,b,c] [--shots N]
 //!                [--families a,b] [--budget-mult N] [--max-qubits N]
 //!                [--entries N] [--workers N] [--registry DIR] [--quiet]
 //! asynd registry (stats|verify|compact) DIR
-//! asynd validate FILE...
+//! asynd validate [--metrics] FILE...
 //! ```
 //!
 //! `serve` speaks the JSON-lines protocol on stdin/stdout, or on a TCP
 //! listener with `--tcp`. `submit` sends request lines (stdin or
 //! `--file`) to a TCP server, or — without `--tcp` — runs them on an
-//! in-process server. `sweep` races the strategy portfolio over the code
-//! catalog × an error-rate grid and writes `BENCH_sweep.json`.
-//! `registry` inspects, audits or compacts a persistent schedule
-//! registry directory. `validate` type-checks `BENCH_*.json` trajectory
-//! documents.
+//! in-process server. `metrics` scrapes a live server's telemetry
+//! snapshot over the `metrics` protocol op (JSON by default, Prometheus
+//! text exposition with `--text`, repeatedly with `--watch`). `sweep`
+//! races the strategy portfolio over the code catalog × an error-rate
+//! grid and writes `BENCH_sweep.json`. `registry` inspects, audits or
+//! compacts a persistent schedule registry directory. `validate`
+//! type-checks `BENCH_*.json` trajectory documents, or — with
+//! `--metrics` — Prometheus text expositions.
 //!
 //! `--registry DIR` attaches a persistent schedule registry: synthesis
 //! jobs warm-start from prior winners of their tenant, winners are
 //! stored back, and the `lookup` protocol op serves cache probes without
-//! spending evaluation budget.
+//! spending evaluation budget. `--events DIR` additionally appends a
+//! JSON-lines span/event log (flushed into atomic segments on shutdown).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use asynd_registry::Registry;
+use asynd_server::protocol::Response;
 use asynd_server::sweep::{run_sweep_with_registry, validate_report_text, SweepConfig};
 use asynd_server::{serve_lines, serve_tcp, ScheduleServer, ServerConfig};
+use asynd_telemetry::EventLog;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,6 +52,7 @@ fn main() -> ExitCode {
     let result = match command {
         "serve" => cmd_serve(rest),
         "submit" => cmd_submit(rest),
+        "metrics" => cmd_metrics(rest),
         "sweep" => cmd_sweep(rest),
         "registry" => cmd_registry(rest),
         "validate" => cmd_validate(rest),
@@ -67,19 +76,23 @@ asynd — AlphaSyndrome synthesis serving CLI
 
 USAGE:
   asynd serve    [--tcp ADDR] [--workers N] [--queue N] [--cache N] [--max-budget N]
-                 [--registry DIR]
+                 [--registry DIR] [--events DIR]
   asynd submit   [--tcp ADDR] [--file PATH] [--workers N] [--registry DIR]
+  asynd metrics  --tcp ADDR [--text] [--watch] [--interval SECS]
   asynd sweep    [--smoke] [--out PATH] [--seed N] [--rates a,b,c] [--shots N]
                  [--families a,b] [--budget-mult N] [--max-qubits N] [--entries N]
                  [--workers N] [--registry DIR] [--quiet]
   asynd registry (stats|verify|compact) DIR
-  asynd validate FILE...
+  asynd validate [--metrics] FILE...
 
 `serve` reads JSON-lines requests from stdin (or TCP connections) and
 writes one response line per job, in submission order. `submit` is the
 matching client; without --tcp it runs jobs on an in-process server.
---registry DIR makes synthesis warm-start from (and store into) a
-persistent schedule registry. See the README's registry section.
+`metrics` scrapes a live server's telemetry snapshot (JSON, or
+Prometheus text exposition with --text; --watch re-scrapes every
+--interval seconds). --registry DIR makes synthesis warm-start from
+(and store into) a persistent schedule registry; --events DIR appends
+a JSON-lines span/event log. See the README's observability section.
 ";
 
 /// Opens a registry directory for the serving commands, reporting any
@@ -132,6 +145,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut config = ServerConfig::default();
     let mut tcp: Option<String> = None;
     let mut registry: Option<String> = None;
+    let mut events: Option<String> = None;
     let mut flags = Flags::new(args);
     while let Some(flag) = flags.next_flag() {
         match flag {
@@ -141,10 +155,28 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--cache" => config.cache_capacity = flags.parsed("--cache")?,
             "--max-budget" => config.max_budget = flags.parsed("--max-budget")?,
             "--registry" => registry = Some(flags.value("--registry")?.to_string()),
+            "--events" => events = Some(flags.value("--events")?.to_string()),
             other => return Err(format!("serve: unknown flag {other:?}")),
         }
     }
     let registry = registry.as_deref().map(open_registry).transpose()?;
+    let event_log = events
+        .map(|dir| {
+            let (log, report) =
+                EventLog::open(&dir).map_err(|e| format!("cannot open event log {dir}: {e}"))?;
+            if report.skipped > 0 {
+                eprintln!(
+                    "asynd: event log {dir}: skipped {} corrupt line(s) ({} events recovered)",
+                    report.skipped, report.events
+                );
+            }
+            Ok::<Arc<EventLog>, String>(Arc::new(log))
+        })
+        .transpose()?;
+    if let Some(log) = &event_log {
+        asynd_telemetry::global().attach_events(Arc::clone(log));
+    }
+    let started = Instant::now();
     let server = ScheduleServer::start_with_registry(config, registry);
     match tcp {
         Some(addr) => {
@@ -163,8 +195,102 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             serve_lines(stdin.lock(), stdout.lock(), &server).map_err(|e| e.to_string())?;
         }
     }
+    let snapshot = server.metrics_snapshot();
     server.shutdown();
+    let completed = snapshot.counters.get("asynd_jobs_completed_total").copied().unwrap_or(0);
+    let failed = snapshot.counters.get("asynd_jobs_failed_total").copied().unwrap_or(0);
+    eprintln!(
+        "asynd: served {} job(s) ({} failed) in {:.1}s",
+        completed + failed,
+        failed,
+        started.elapsed().as_secs_f64()
+    );
+    if let Some(log) = &event_log {
+        let flushed = log.flush().map_err(|e| format!("event log flush failed: {e}"))?;
+        eprintln!("asynd: event log {}: flushed {flushed} event(s)", log.dir().display());
+    }
     Ok(())
+}
+
+/// One scrape of a live server's `metrics` op: connect, send the probe,
+/// read the single response line.
+fn scrape_metrics(addr: &str) -> Result<Response, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    writeln!(writer, "{{\"op\":\"metrics\",\"id\":\"asynd-metrics\"}}")
+        .map_err(|e| e.to_string())?;
+    writer.flush().map_err(|e| e.to_string())?;
+    stream.shutdown(std::net::Shutdown::Write).map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    Response::parse(line.trim_end()).map_err(|e| e.to_string())
+}
+
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let mut tcp: Option<String> = None;
+    let mut text = false;
+    let mut watch = false;
+    let mut interval = 2.0f64;
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next_flag() {
+        match flag {
+            "--tcp" => tcp = Some(flags.value("--tcp")?.to_string()),
+            "--text" => text = true,
+            "--watch" => watch = true,
+            "--interval" => interval = flags.parsed("--interval")?,
+            other => return Err(format!("metrics: unknown flag {other:?}")),
+        }
+    }
+    let addr = tcp.ok_or("metrics: needs --tcp ADDR (a live `asynd serve --tcp` to scrape)")?;
+    if !interval.is_finite() || interval <= 0.0 {
+        return Err("metrics: --interval must be positive".to_string());
+    }
+    loop {
+        let response = scrape_metrics(&addr)?;
+        let (snapshot, tenants) = match response {
+            Response::Metrics { snapshot, tenants, .. } => (snapshot, tenants),
+            Response::Error { error, .. } => return Err(format!("metrics: server said: {error}")),
+            other => return Err(format!("metrics: unexpected response: {other:?}")),
+        };
+        let mut stdout = std::io::stdout().lock();
+        if watch {
+            // Clear and home, like watch(1), so the exposition repaints
+            // in place.
+            write!(stdout, "\x1b[2J\x1b[H").map_err(|e| e.to_string())?;
+        }
+        if text {
+            write!(stdout, "{}", snapshot.render_text()).map_err(|e| e.to_string())?;
+        } else {
+            let mut doc = serde_json::Map::new();
+            doc.insert("metrics", snapshot.to_json());
+            doc.insert(
+                "tenants",
+                serde_json::Value::Array(
+                    tenants
+                        .iter()
+                        .map(|(key, stats)| {
+                            let mut entry = serde_json::Map::new();
+                            entry.insert("tenant", serde_json::Value::from(key.as_str()));
+                            entry.insert(
+                                "cache",
+                                asynd_circuit::artifact::evaluator_stats_to_json(stats),
+                            );
+                            serde_json::Value::Object(entry)
+                        })
+                        .collect(),
+                ),
+            );
+            let rendered = serde_json::to_string_pretty(&serde_json::Value::Object(doc))
+                .expect("metrics serialization is infallible");
+            writeln!(stdout, "{rendered}").map_err(|e| e.to_string())?;
+        }
+        stdout.flush().map_err(|e| e.to_string())?;
+        if !watch {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_secs_f64(interval));
+    }
 }
 
 fn read_request_lines(file: Option<&PathBuf>) -> Result<Vec<String>, String> {
@@ -295,17 +421,29 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         config.entries_per_family = entries;
     }
     let registry = registry.as_deref().map(open_registry).transpose()?;
+    let started = Instant::now();
     let report =
         run_sweep_with_registry(&config, registry.as_deref()).map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed();
     report.write(&config, &out).map_err(|e| e.to_string())?;
     if !quiet {
         print!("{}", report.render_table());
     }
+    // Per-cell wall-time is elapsed time, not a sum of strategy walls —
+    // the summary reports both the sweep's elapsed clock and the mean
+    // cell, so the two are comparable at a glance.
+    let mean_cell_ms = if report.phases.is_empty() {
+        0.0
+    } else {
+        report.phases.iter().map(|p| p.wall_ms).sum::<f64>() / report.phases.len() as f64
+    };
     eprintln!(
-        "asynd: swept {} codes x {} rates ({} records) -> {}",
+        "asynd: swept {} codes x {} rates ({} records) in {:.1}s ({:.0} ms/cell) -> {}",
         report.codes,
         report.rates,
         report.records.len(),
+        elapsed.as_secs_f64(),
+        mean_cell_ms,
         out.display()
     );
     if let Some(registry) = &registry {
@@ -371,16 +509,30 @@ fn cmd_registry(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_validate(args: &[String]) -> Result<(), String> {
-    if args.is_empty() {
+    let (metrics_mode, files) = match args.split_first() {
+        Some((first, rest)) if first == "--metrics" => (true, rest),
+        _ => (false, args),
+    };
+    if files.is_empty() {
         return Err("validate: no files given".to_string());
     }
-    for path in args {
+    for path in files {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let summary = validate_report_text(&text).map_err(|e| format!("{path} is invalid: {e}"))?;
-        println!(
-            "{path}: ok ({} records, {} codes, {} strategies)",
-            summary.records, summary.codes, summary.strategies
-        );
+        if metrics_mode {
+            let report = asynd_telemetry::validate_text(&text)
+                .map_err(|e| format!("{path} is invalid: {e}"))?;
+            println!(
+                "{path}: ok ({} samples, {} histograms, {} lines)",
+                report.samples, report.histograms, report.lines
+            );
+        } else {
+            let summary =
+                validate_report_text(&text).map_err(|e| format!("{path} is invalid: {e}"))?;
+            println!(
+                "{path}: ok ({} records, {} codes, {} strategies)",
+                summary.records, summary.codes, summary.strategies
+            );
+        }
     }
     Ok(())
 }

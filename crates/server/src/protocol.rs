@@ -12,6 +12,7 @@
 //!  "budget":128,"shots":400,"seed":7}
 //! {"op":"lookup","id":"l1","code":{"family":"xzzx","index":0},
 //!  "noise":{"kind":"scaled","p":0.003},"shots":400}
+//! {"op":"metrics","id":"m1"}
 //! {"op":"ping"}
 //! {"op":"shutdown"}
 //! ```
@@ -21,6 +22,12 @@
 //! and never triggers synthesis. Servers started without a registry
 //! answer it with an error response.
 //!
+//! `metrics` snapshots the server's telemetry registry (job-lifecycle
+//! counters, gauges and latency histograms plus per-tenant cache
+//! counters) and answers immediately, also without spending any
+//! evaluation budget — it is the live observability endpoint behind
+//! `asynd metrics`.
+//!
 //! Responses carry the serialized schedule artifact
 //! ([`asynd_circuit::artifact::ScheduleArtifact`]), the budget accounting
 //! and a cache-stats snapshot (observability only — see the crate docs'
@@ -28,12 +35,29 @@
 
 use asynd_circuit::artifact::{self, ScheduleArtifact};
 use asynd_circuit::{EvaluatorStats, NoiseModel};
+use asynd_telemetry::MetricsSnapshot;
 use serde_json::{Map, Value};
 
 use crate::ServerError;
 
 fn protocol_error(reason: impl Into<String>) -> ServerError {
     ServerError::Protocol { reason: reason.into() }
+}
+
+/// Reads a cache-counter object back into [`EvaluatorStats`] (missing
+/// members read as zero — the counters are observability data, not part
+/// of the determinism contract).
+fn evaluator_stats_from_json(value: Option<&Value>) -> EvaluatorStats {
+    let stat = |key: &str| value.and_then(|c| c.get(key)).and_then(Value::as_u64).unwrap_or(0);
+    EvaluatorStats {
+        hits: stat("hits"),
+        misses: stat("misses"),
+        speculative_hits: stat("speculative_hits"),
+        model_reuses: stat("model_reuses"),
+        model_builds: stat("model_builds"),
+        speculative_short_circuits: stat("speculative_short_circuits"),
+        evictions: stat("evictions"),
+    }
 }
 
 fn required<'v>(value: &'v Value, key: &str) -> Result<&'v Value, ServerError> {
@@ -408,6 +432,10 @@ pub enum Request {
     Synthesize(JobRequest),
     /// Probe the schedule registry (no evaluation budget spent).
     Lookup(LookupRequest),
+    /// Snapshot the server's telemetry registry (no evaluation budget
+    /// spent, answered out of band of job ordering). The string is the
+    /// caller-chosen id echoed on the response (empty when absent).
+    Metrics(String),
     /// Liveness probe.
     Ping,
     /// Stop serving (TCP accept loop drains and exits).
@@ -433,6 +461,9 @@ impl Request {
         match op {
             "synthesize" => Ok(Request::Synthesize(JobRequest::from_json(&value)?)),
             "lookup" => Ok(Request::Lookup(LookupRequest::from_json(&value)?)),
+            "metrics" => Ok(Request::Metrics(
+                value.get("id").and_then(Value::as_str).unwrap_or_default().to_string(),
+            )),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(protocol_error(format!("unknown op {other:?}"))),
@@ -499,6 +530,16 @@ pub enum Response {
         /// The best stored artifact, absent on a registry miss.
         artifact: Option<Box<ScheduleArtifact>>,
     },
+    /// Reply to [`Request::Metrics`]: a deterministic snapshot of the
+    /// server's telemetry registry plus per-tenant cache counters.
+    Metrics {
+        /// Echo of the request id.
+        id: String,
+        /// The merged metrics snapshot (counters, gauges, histograms).
+        snapshot: MetricsSnapshot,
+        /// Cache counters of every live tenant, sorted by tenant key.
+        tenants: Vec<(String, EvaluatorStats)>,
+    },
     /// A job failed or was rejected.
     Error {
         /// Echo of the request id (empty when the line never parsed far
@@ -561,6 +602,26 @@ impl Response {
                     map.insert("artifact", artifact.to_json());
                 }
             }
+            Response::Metrics { id, snapshot, tenants } => {
+                map.insert("id", Value::from(id.as_str()));
+                map.insert("status", Value::from("ok"));
+                map.insert("op", Value::from("metrics"));
+                map.insert("metrics", snapshot.to_json());
+                map.insert(
+                    "tenants",
+                    Value::Array(
+                        tenants
+                            .iter()
+                            .map(|(key, stats)| {
+                                let mut entry = Map::new();
+                                entry.insert("tenant", Value::from(key.as_str()));
+                                entry.insert("cache", artifact::evaluator_stats_to_json(stats));
+                                Value::Object(entry)
+                            })
+                            .collect(),
+                    ),
+                );
+            }
             Response::Error { id, error } => {
                 map.insert("id", Value::from(id.as_str()));
                 map.insert("status", Value::from("error"));
@@ -617,6 +678,32 @@ impl Response {
                             artifact,
                         });
                     }
+                    Some("metrics") => {
+                        let snapshot = MetricsSnapshot::from_json(required(&value, "metrics")?)
+                            .map_err(|e| {
+                                protocol_error(format!("invalid metrics snapshot: {e}"))
+                            })?;
+                        let tenants = required(&value, "tenants")?
+                            .as_array()
+                            .ok_or_else(|| protocol_error("member `tenants` must be an array"))?
+                            .iter()
+                            .map(|entry| {
+                                Ok((
+                                    required_str(entry, "tenant")?.to_string(),
+                                    evaluator_stats_from_json(entry.get("cache")),
+                                ))
+                            })
+                            .collect::<Result<Vec<(String, EvaluatorStats)>, ServerError>>()?;
+                        return Ok(Response::Metrics {
+                            id: value
+                                .get("id")
+                                .and_then(Value::as_str)
+                                .unwrap_or_default()
+                                .to_string(),
+                            snapshot,
+                            tenants,
+                        });
+                    }
                     _ => {}
                 }
                 let artifact = ScheduleArtifact::from_json(required(&value, "artifact")?)
@@ -640,9 +727,6 @@ impl Response {
                         })
                     })
                     .collect::<Result<Vec<StrategySummary>, ServerError>>()?;
-                let cache = value.get("cache");
-                let cache_stat =
-                    |key: &str| cache.and_then(|c| c.get(key)).and_then(Value::as_u64).unwrap_or(0);
                 Ok(Response::Ok(Box::new(JobOutcome {
                     id: required_str(&value, "id")?.to_string(),
                     tenant: required_str(&value, "tenant")?.to_string(),
@@ -651,15 +735,7 @@ impl Response {
                     granted: required_u64(budget, "granted")?,
                     spent: required_u64(budget, "spent")?,
                     strategies,
-                    cache: EvaluatorStats {
-                        hits: cache_stat("hits"),
-                        misses: cache_stat("misses"),
-                        speculative_hits: cache_stat("speculative_hits"),
-                        model_reuses: cache_stat("model_reuses"),
-                        model_builds: cache_stat("model_builds"),
-                        speculative_short_circuits: cache_stat("speculative_short_circuits"),
-                        evictions: cache_stat("evictions"),
-                    },
+                    cache: evaluator_stats_from_json(value.get("cache")),
                     warm_start: value.get("warm_start").and_then(Value::as_bool).unwrap_or(false),
                     wall_ms: value.get("wall_ms").and_then(Value::as_f64).unwrap_or(0.0),
                 })))
@@ -784,6 +860,37 @@ mod tests {
             artifact: Some(Box::new(artifact)),
         };
         assert_eq!(Response::parse(&hit.to_json()).unwrap(), hit);
+    }
+
+    #[test]
+    fn metrics_requests_and_responses_roundtrip() {
+        assert_eq!(
+            Request::parse(r#"{"op":"metrics","id":"m1"}"#).unwrap(),
+            Request::Metrics("m1".into())
+        );
+        assert_eq!(Request::parse(r#"{"op":"metrics"}"#).unwrap(), Request::Metrics(String::new()));
+
+        let registry = asynd_telemetry::MetricsRegistry::new();
+        registry.counter("asynd_jobs_completed_total").add(3);
+        registry.gauge("asynd_queue_depth").set(2);
+        registry.histogram("asynd_job_wall_us").record(1_500);
+        let response = Response::Metrics {
+            id: "m1".into(),
+            snapshot: registry.snapshot(),
+            tenants: vec![(
+                "bb[0]|brisbane|shots=100".into(),
+                EvaluatorStats { hits: 5, misses: 2, ..EvaluatorStats::default() },
+            )],
+        };
+        let parsed = Response::parse(&response.to_json()).unwrap();
+        assert_eq!(parsed, response);
+        match parsed {
+            Response::Metrics { snapshot, tenants, .. } => {
+                assert_eq!(snapshot.counters["asynd_jobs_completed_total"], 3);
+                assert_eq!(tenants[0].1.hits, 5);
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
     }
 
     #[test]

@@ -16,6 +16,8 @@ use asynd_portfolio::{
     Portfolio, PortfolioConfig,
 };
 use asynd_registry::Registry;
+use asynd_telemetry::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, Span};
+use serde_json::Value;
 
 use crate::protocol::{
     JobOutcome, JobRequest, LookupRequest, Request, Response, StrategyChoice, StrategySummary,
@@ -49,6 +51,39 @@ impl Default for ServerConfig {
     }
 }
 
+/// The server's job-lifecycle telemetry: the counters, gauges and the
+/// queue-wait histogram the worker pool records into, resolved once at
+/// startup so the hot path never touches the registry's name map. The
+/// per-phase latency histograms (`asynd_job_synthesis_us`,
+/// `asynd_job_registry_lookup_us`, `asynd_job_registry_store_us`,
+/// `asynd_job_wall_us`) are recorded through [`Span`]s instead, so each
+/// phase also lands in the event log when one is attached.
+struct ServerMetrics {
+    jobs_submitted: Counter,
+    jobs_completed: Counter,
+    jobs_failed: Counter,
+    jobs_rejected: Counter,
+    warm_starts: Counter,
+    queue_depth: Gauge,
+    jobs_inflight: Gauge,
+    queue_wait_us: Histogram,
+}
+
+impl ServerMetrics {
+    fn register(registry: &MetricsRegistry) -> ServerMetrics {
+        ServerMetrics {
+            jobs_submitted: registry.counter("asynd_jobs_submitted_total"),
+            jobs_completed: registry.counter("asynd_jobs_completed_total"),
+            jobs_failed: registry.counter("asynd_jobs_failed_total"),
+            jobs_rejected: registry.counter("asynd_jobs_rejected_total"),
+            warm_starts: registry.counter("asynd_warm_starts_total"),
+            queue_depth: registry.gauge("asynd_queue_depth"),
+            jobs_inflight: registry.gauge("asynd_jobs_inflight"),
+            queue_wait_us: registry.histogram("asynd_job_queue_wait_us"),
+        }
+    }
+}
+
 struct Shared {
     config: ServerConfig,
     tenants: TenantMap,
@@ -57,11 +92,17 @@ struct Shared {
     /// with one: consulted for warm starts before synthesis, fed the
     /// winning artifact afterwards, and probed by the `lookup` op.
     registry: Option<Arc<Registry>>,
+    /// The telemetry registry every layer of this server reports into
+    /// (the process-wide one unless a private one was injected).
+    telemetry: Arc<MetricsRegistry>,
+    metrics: ServerMetrics,
 }
 
 struct QueuedJob {
     request: JobRequest,
     tx: mpsc::Sender<Response>,
+    /// When the job entered the queue (queue-wait histogram input).
+    enqueued: Instant,
 }
 
 /// A submitted job: await its response with [`JobHandle::wait`].
@@ -126,15 +167,31 @@ impl ScheduleServer {
         config: ServerConfig,
         registry: Option<Arc<Registry>>,
     ) -> ScheduleServer {
+        ScheduleServer::start_with(config, registry, Arc::clone(asynd_telemetry::global()))
+    }
+
+    /// Starts the worker pool reporting into a caller-owned telemetry
+    /// registry instead of the process-wide one — what tests use to
+    /// assert on counters without cross-talk from other servers in the
+    /// process. Telemetry is observability only: it never influences job
+    /// results (see the crate docs' determinism contract).
+    pub fn start_with(
+        config: ServerConfig,
+        registry: Option<Arc<Registry>>,
+        telemetry: Arc<MetricsRegistry>,
+    ) -> ScheduleServer {
         let worker_count = match config.workers {
             0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
             n => n,
         };
+        let metrics = ServerMetrics::register(&telemetry);
         let shared = Arc::new(Shared {
             config,
-            tenants: TenantMap::new(config.cache_capacity),
+            tenants: TenantMap::with_metrics(config.cache_capacity, Arc::clone(&telemetry)),
             queue: BoundedQueue::new(config.queue_capacity),
             registry,
+            telemetry,
+            metrics,
         });
         let workers = (0..worker_count)
             .map(|index| {
@@ -143,7 +200,19 @@ impl ScheduleServer {
                     .name(format!("asynd-worker-{index}"))
                     .spawn(move || {
                         while let Some(job) = shared.queue.pop() {
+                            let metrics = &shared.metrics;
+                            metrics.queue_depth.sub(1);
+                            metrics.queue_wait_us.record_duration(job.enqueued.elapsed());
+                            metrics.jobs_inflight.add(1);
+                            let span = Span::enter_in(&shared.telemetry, "asynd_job_wall")
+                                .with_field("id", Value::from(job.request.id.as_str()));
                             let response = execute_job(&shared, job.request);
+                            span.finish();
+                            metrics.jobs_inflight.sub(1);
+                            match &response {
+                                Response::Ok(_) => metrics.jobs_completed.inc(),
+                                _ => metrics.jobs_failed.inc(),
+                            }
                             // A dropped receiver just means the submitter
                             // stopped caring; the work is still done and
                             // the tenant cache keeps the result.
@@ -218,6 +287,25 @@ impl ScheduleServer {
         Response::Lookup { id: request.id.clone(), tenant, artifact }
     }
 
+    /// A deterministic snapshot of the server's telemetry registry —
+    /// counters, gauges and latency histograms across the evaluator,
+    /// portfolio, registry and job-lifecycle layers.
+    ///
+    /// Costs a shard merge; never an evaluation, never synthesis.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.telemetry.snapshot()
+    }
+
+    /// Answers a `metrics` protocol op: the telemetry snapshot plus
+    /// per-tenant cache counters, sorted by tenant key.
+    pub fn metrics(&self, id: &str) -> Response {
+        Response::Metrics {
+            id: id.to_string(),
+            snapshot: self.metrics_snapshot(),
+            tenants: self.shared.tenants.cache_stats(),
+        }
+    }
+
     /// Submits a job, blocking while the queue is full (backpressure).
     ///
     /// # Errors
@@ -227,10 +315,14 @@ impl ScheduleServer {
     pub fn submit(&self, request: JobRequest) -> Result<JobHandle, ServerError> {
         let (tx, rx) = mpsc::channel();
         let id = request.id.clone();
-        self.shared
-            .queue
-            .push(QueuedJob { request, tx })
-            .map_err(|_| ServerError::Rejected { reason: "server is shutting down".into() })?;
+        self.shared.queue.push(QueuedJob { request, tx, enqueued: Instant::now() }).map_err(
+            |_| {
+                self.shared.metrics.jobs_rejected.inc();
+                ServerError::Rejected { reason: "server is shutting down".into() }
+            },
+        )?;
+        self.shared.metrics.jobs_submitted.inc();
+        self.shared.metrics.queue_depth.add(1);
         Ok(JobHandle { id, rx })
     }
 
@@ -244,10 +336,14 @@ impl ScheduleServer {
     pub fn try_submit(&self, request: JobRequest) -> Result<JobHandle, ServerError> {
         let (tx, rx) = mpsc::channel();
         let id = request.id.clone();
-        self.shared
-            .queue
-            .try_push(QueuedJob { request, tx })
-            .map_err(|_| ServerError::Rejected { reason: "job queue is full".into() })?;
+        self.shared.queue.try_push(QueuedJob { request, tx, enqueued: Instant::now() }).map_err(
+            |_| {
+                self.shared.metrics.jobs_rejected.inc();
+                ServerError::Rejected { reason: "job queue is full".into() }
+            },
+        )?;
+        self.shared.metrics.jobs_submitted.inc();
+        self.shared.metrics.queue_depth.add(1);
         Ok(JobHandle { id, rx })
     }
 
@@ -345,29 +441,45 @@ fn try_execute_job(shared: &Shared, request: JobRequest) -> Result<JobOutcome, S
             Portfolio::new(config).with_strategy(Box::new(LowestDepthSynthesizer::new()))
         }
     };
+    // Strategy-level telemetry lands in the same registry as the
+    // server's own, so one `metrics` snapshot covers both layers.
+    let portfolio = portfolio.with_metrics(Arc::clone(&shared.telemetry));
 
     // Warm start: seed the race with the registry's best prior artifact
     // for this tenant, when one exists and still validates against the
     // code (a stale or foreign seed is dropped, not trusted). The seed
     // only shifts where the searches start — every estimate is still
     // produced by the metered evaluation pipeline.
-    let seeds: Vec<Schedule> = shared
-        .registry
-        .as_ref()
-        .and_then(|registry| registry.lookup(&tenant.key))
-        .filter(|entry| entry.artifact.schedule.validate(&tenant.entry.code).is_ok())
-        .map(|entry| vec![entry.artifact.schedule])
-        .unwrap_or_default();
+    let seeds: Vec<Schedule> = {
+        // The span exists only when a registry does — servers without
+        // one report no lookup phase at all.
+        let _span = shared.registry.as_ref().map(|_| {
+            Span::enter_in(&shared.telemetry, "asynd_job_registry_lookup")
+                .with_field("tenant", Value::from(tenant.key.as_str()))
+        });
+        shared
+            .registry
+            .as_ref()
+            .and_then(|registry| registry.lookup(&tenant.key))
+            .filter(|entry| entry.artifact.schedule.validate(&tenant.entry.code).is_ok())
+            .map(|entry| vec![entry.artifact.schedule])
+            .unwrap_or_default()
+    };
     let warm_start = !seeds.is_empty();
+    if warm_start {
+        shared.metrics.warm_starts.inc();
+    }
 
-    let start = Instant::now();
+    let span = Span::enter_in(&shared.telemetry, "asynd_job_synthesis")
+        .with_field("id", Value::from(request.id.as_str()))
+        .with_field("tenant", Value::from(tenant.key.as_str()));
     let report = portfolio.run_with_seeds(
         &tenant.entry.code,
         tenant.evaluator.clone(),
         tenant.salt,
         &seeds,
     )?;
-    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let wall_ms = span.finish() as f64 / 1e3;
 
     let strategies = report
         .strategies
@@ -391,6 +503,8 @@ fn try_execute_job(shared: &Shared, request: JobRequest) -> Result<JobOutcome, S
     // Persist the winner. A registry write failure degrades the cache,
     // not the job: the response still carries the artifact.
     if let Some(registry) = &shared.registry {
+        let _span = Span::enter_in(&shared.telemetry, "asynd_job_registry_store")
+            .with_field("tenant", Value::from(tenant.key.as_str()));
         if let Err(e) = registry.store(&tenant.key, &artifact) {
             eprintln!("asynd: registry store failed for {}: {e}", tenant.key);
         }
@@ -403,7 +517,7 @@ fn try_execute_job(shared: &Shared, request: JobRequest) -> Result<JobOutcome, S
         granted: report.total_granted(),
         spent: report.total_spent(),
         strategies,
-        cache: tenant.evaluator.stats_snapshot(),
+        cache: tenant.evaluator.stats(),
         warm_start,
         wall_ms,
     })
@@ -416,8 +530,8 @@ fn try_execute_job(shared: &Shared, request: JobRequest) -> Result<JobOutcome, S
 /// Job responses are written in submission order (the determinism
 /// contract's framing guarantee); already-finished jobs are flushed
 /// eagerly between requests so a long-lived session streams results.
-/// `ping` and `lookup` are answered immediately, out of band of job
-/// ordering — they are probes, not jobs.
+/// `ping`, `lookup` and `metrics` are answered immediately, out of band
+/// of job ordering — they are probes, not jobs.
 ///
 /// Returns `true` when the peer requested shutdown.
 ///
@@ -473,6 +587,10 @@ pub fn serve_lines(
             }
             Ok(Request::Lookup(request)) => {
                 writeln!(writer, "{}", server.lookup(&request).to_json())?;
+                writer.flush()?;
+            }
+            Ok(Request::Metrics(id)) => {
+                writeln!(writer, "{}", server.metrics(&id).to_json())?;
                 writer.flush()?;
             }
             Ok(Request::Ping) => {
@@ -735,6 +853,56 @@ mod tests {
             .collect();
         ok_ids.sort();
         assert_eq!(ok_ids, ["first", "second"], "jobs around the garbage both ran");
+        server.shutdown();
+    }
+
+    #[test]
+    fn job_lifecycle_telemetry_matches_jobs_run() {
+        let telemetry = Arc::new(MetricsRegistry::new());
+        let server = ScheduleServer::start_with(
+            ServerConfig { workers: 2, ..ServerConfig::default() },
+            None,
+            Arc::clone(&telemetry),
+        );
+        let batch: Vec<JobRequest> =
+            (0..4).map(|i| quick_request(&format!("j{i}"), StrategyChoice::Anneal, i)).collect();
+        let responses = server.run_batch(batch);
+        assert!(responses.iter().all(|r| matches!(r, Response::Ok(_))));
+        let mut bad = quick_request("bad", StrategyChoice::Anneal, 0);
+        bad.code.family = "no-such-family".into();
+        assert!(matches!(server.submit(bad).unwrap().wait(), Response::Error { .. }));
+
+        let snapshot = server.metrics_snapshot();
+        assert_eq!(snapshot.counters["asynd_jobs_submitted_total"], 5);
+        assert_eq!(snapshot.counters["asynd_jobs_completed_total"], 4);
+        assert_eq!(snapshot.counters["asynd_jobs_failed_total"], 1);
+        for name in ["asynd_job_queue_wait_us", "asynd_job_wall_us"] {
+            assert_eq!(snapshot.histograms[name].count, 5, "{name} counts every job");
+        }
+        assert_eq!(
+            snapshot.histograms["asynd_job_synthesis_us"].count, 4,
+            "rejected jobs never reach synthesis"
+        );
+        assert_eq!(snapshot.gauges["asynd_queue_depth"], 0, "drained queue reads zero");
+        assert_eq!(snapshot.gauges["asynd_jobs_inflight"], 0, "idle pool reads zero");
+        // The tenant's evaluator and the racing strategy report into the
+        // same registry, labelled.
+        let tenant_misses = asynd_telemetry::labeled(
+            "asynd_eval_cache_misses_total",
+            &[("tenant", "rotated-surface[0]|brisbane|shots=150")],
+        );
+        assert!(snapshot.counters[&tenant_misses] > 0, "tenant evaluator counters registered");
+        let anneal_evals =
+            asynd_telemetry::labeled("asynd_strategy_evals_total", &[("strategy", "anneal")]);
+        assert!(snapshot.counters[&anneal_evals] > 0, "strategy spend lands in server telemetry");
+        match server.metrics("m1") {
+            Response::Metrics { id, tenants, .. } => {
+                assert_eq!(id, "m1");
+                assert_eq!(tenants.len(), 1);
+                assert!(tenants[0].1.misses > 0);
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
         server.shutdown();
     }
 

@@ -10,6 +10,7 @@
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use asynd_circuit::artifact::ScheduleArtifact;
 use asynd_circuit::Schedule;
@@ -18,6 +19,7 @@ use asynd_decode::factory_for;
 use asynd_portfolio::{Portfolio, PortfolioConfig};
 use asynd_registry::Registry;
 use asynd_sim::mix_seed;
+use asynd_telemetry::Histogram;
 use serde_json::{Map, Value};
 
 use crate::protocol::{CodeRef, NoiseSpec};
@@ -130,11 +132,52 @@ impl SweepRecord {
     }
 }
 
+/// Per-cell wall-clock phase breakdown: where one grid cell's time went
+/// (observability only — all timings are outside the determinism
+/// contract).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellPhases {
+    /// Registry family name of the cell.
+    pub family: String,
+    /// Display label of the cell's code instance.
+    pub code: String,
+    /// The cell's physical error rate.
+    pub error_rate: f64,
+    /// Registry warm-start lookup, in milliseconds (0 without a
+    /// registry).
+    pub lookup_ms: f64,
+    /// The portfolio race itself, in milliseconds.
+    pub race_ms: f64,
+    /// Registry store of the winner, in milliseconds (0 without a
+    /// registry).
+    pub store_ms: f64,
+    /// Elapsed wall-time of the whole cell, in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl CellPhases {
+    /// Serializes one phase-breakdown entry.
+    pub fn to_json(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("family", Value::from(self.family.as_str()));
+        map.insert("code", Value::from(self.code.as_str()));
+        map.insert("error_rate", Value::from(self.error_rate));
+        map.insert("lookup_ms", Value::from(self.lookup_ms));
+        map.insert("race_ms", Value::from(self.race_ms));
+        map.insert("store_ms", Value::from(self.store_ms));
+        map.insert("wall_ms", Value::from(self.wall_ms));
+        Value::Object(map)
+    }
+}
+
 /// The outcome of a sweep: all records plus coverage counters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
     /// One record per (cell, strategy), in deterministic cell order.
     pub records: Vec<SweepRecord>,
+    /// Per-cell phase breakdowns, in the same cell order as `records`
+    /// (one entry per cell; each cell contributes four records).
+    pub phases: Vec<CellPhases>,
     /// Distinct code instances covered.
     pub codes: usize,
     /// Error rates covered.
@@ -177,6 +220,7 @@ impl SweepReport {
             "records",
             Value::Array(self.records.iter().map(SweepRecord::to_json).collect()),
         );
+        doc.insert("phases", Value::Array(self.phases.iter().map(CellPhases::to_json).collect()));
         Value::Object(doc)
     }
 
@@ -201,18 +245,21 @@ impl SweepReport {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<24} {:<34} {:>9}  {:<12} {:>10} {:>6}\n",
-            "family", "code", "rate", "winner", "p_overall", "depth"
+            "{:<24} {:<34} {:>9}  {:<12} {:>10} {:>6} {:>9}\n",
+            "family", "code", "rate", "winner", "p_overall", "depth", "wall_ms"
         ));
-        for record in self.records.iter().filter(|r| r.winner) {
+        // Winners come one per cell, in cell order — aligned with the
+        // phase breakdowns, whose wall-time the summary rows report.
+        for (record, phases) in self.records.iter().filter(|r| r.winner).zip(&self.phases) {
             out.push_str(&format!(
-                "{:<24} {:<34} {:>9} {:<12} {:>11.3e} {:>6}\n",
+                "{:<24} {:<34} {:>9} {:<12} {:>11.3e} {:>6} {:>9.1}\n",
                 record.family,
                 truncate(&record.code, 34),
                 format!("{}", record.error_rate),
                 record.strategy,
                 record.p_overall,
                 record.depth,
+                phases.wall_ms,
             ));
         }
         out
@@ -228,11 +275,38 @@ fn truncate(text: &str, limit: usize) -> String {
     }
 }
 
-/// What one cell produced: its records plus its registry interaction.
+/// What one cell produced: its records plus its registry interaction
+/// and where its wall-time went (identity-free; the report assembly
+/// attaches family/code/rate).
 struct CellOutcome {
     records: Vec<SweepRecord>,
     warm_start: bool,
     stored: bool,
+    lookup_ms: f64,
+    race_ms: f64,
+    store_ms: f64,
+    wall_ms: f64,
+}
+
+/// The sweep's latency histograms, resolved once from the process-wide
+/// telemetry registry so `asynd metrics` sees sweep phases too.
+struct SweepTelemetry {
+    lookup_us: Histogram,
+    race_us: Histogram,
+    store_us: Histogram,
+    cell_wall_us: Histogram,
+}
+
+impl SweepTelemetry {
+    fn resolve() -> SweepTelemetry {
+        let registry = asynd_telemetry::global();
+        SweepTelemetry {
+            lookup_us: registry.histogram("asynd_sweep_lookup_us"),
+            race_us: registry.histogram("asynd_sweep_race_us"),
+            store_us: registry.histogram("asynd_sweep_store_us"),
+            cell_wall_us: registry.histogram("asynd_sweep_cell_wall_us"),
+        }
+    }
 }
 
 /// One fan-out slot: the (eventual) outcome of one cell.
@@ -321,6 +395,7 @@ pub fn run_sweep_with_registry(
 
     // Fan out with the worker-loop pattern; each cell is pure given its
     // derived seed, so any worker count produces identical records.
+    let telemetry = SweepTelemetry::resolve();
     let slots: Vec<CellSlot> = cells.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let workers = match config.workers {
@@ -334,18 +409,28 @@ pub fn run_sweep_with_registry(
                 if index >= cells.len() {
                     break;
                 }
-                let result = run_cell(config, &cells[index], registry);
+                let result = run_cell(config, &cells[index], registry, &telemetry);
                 *slots[index].lock().expect("sweep slot poisoned") = Some(result);
             });
         }
     });
 
     let mut records = Vec::with_capacity(cells.len() * 4);
+    let mut phases = Vec::with_capacity(cells.len());
     let mut warm_cells = 0usize;
     let mut stored = 0usize;
-    for slot in slots {
+    for (cell, slot) in cells.iter().zip(slots) {
         let outcome =
             slot.into_inner().expect("sweep slot poisoned").expect("every cell slot is filled")?;
+        phases.push(CellPhases {
+            family: cell.family.to_string(),
+            code: cell.entry.display_label(),
+            error_rate: cell.rate,
+            lookup_ms: outcome.lookup_ms,
+            race_ms: outcome.race_ms,
+            store_ms: outcome.store_ms,
+            wall_ms: outcome.wall_ms,
+        });
         records.extend(outcome.records);
         warm_cells += usize::from(outcome.warm_start);
         stored += usize::from(outcome.stored);
@@ -355,6 +440,7 @@ pub fn run_sweep_with_registry(
     codes.dedup();
     Ok(SweepReport {
         records,
+        phases,
         codes: codes.len(),
         rates: config.error_rates.len(),
         cells: cells.len(),
@@ -367,7 +453,9 @@ fn run_cell(
     config: &SweepConfig,
     cell: &Cell,
     registry: Option<&Registry>,
+    telemetry: &SweepTelemetry,
 ) -> Result<CellOutcome, ServerError> {
+    let cell_started = Instant::now();
     let code = &cell.entry.code;
     let total_checks: u64 = code.stabilizers().iter().map(|s| s.weight() as u64).sum();
     let grant = (total_checks + 2) * config.budget_multiplier;
@@ -389,16 +477,28 @@ fn run_cell(
     // one registry namespace.
     let code_ref = CodeRef { family: cell.family.to_string(), index: cell.entry_index };
     let tenant = TenantMap::canonical_key(&code_ref, &spec, config.shots);
+    let lookup_started = Instant::now();
     let seeds: Vec<Schedule> = registry
         .and_then(|r| r.lookup(&tenant))
         .filter(|entry| entry.artifact.schedule.validate(code).is_ok())
         .map(|entry| vec![entry.artifact.schedule])
         .unwrap_or_default();
+    // Without a registry there is no lookup phase — the breakdown
+    // reports 0 rather than the cost of the no-op closure above.
+    let lookup_elapsed =
+        if registry.is_some() { lookup_started.elapsed() } else { std::time::Duration::ZERO };
+    if registry.is_some() {
+        telemetry.lookup_us.record_duration(lookup_elapsed);
+    }
     let warm_start = !seeds.is_empty();
 
+    let race_started = Instant::now();
     let report = portfolio.run_seeded(code, &noise, factory_for(cell.entry.decoder), &seeds)?;
+    let race_elapsed = race_started.elapsed();
+    telemetry.race_us.record_duration(race_elapsed);
 
     let mut stored = false;
+    let mut store_elapsed = std::time::Duration::ZERO;
     if let Some(registry) = registry {
         let winning = report.winning();
         let artifact = ScheduleArtifact {
@@ -406,10 +506,13 @@ fn run_cell(
             schedule: winning.outcome.schedule.clone(),
             estimate: winning.outcome.estimate,
         };
+        let store_started = Instant::now();
         match registry.store(&tenant, &artifact) {
             Ok(outcome) => stored = outcome != asynd_registry::StoreOutcome::Duplicate,
             Err(e) => eprintln!("asynd: registry store failed for {tenant}: {e}"),
         }
+        store_elapsed = store_started.elapsed();
+        telemetry.store_us.record_duration(store_elapsed);
     }
 
     let records = report
@@ -431,7 +534,17 @@ fn run_cell(
             warm_start,
         })
         .collect();
-    Ok(CellOutcome { records, warm_start, stored })
+    let wall_elapsed = cell_started.elapsed();
+    telemetry.cell_wall_us.record_duration(wall_elapsed);
+    Ok(CellOutcome {
+        records,
+        warm_start,
+        stored,
+        lookup_ms: lookup_elapsed.as_secs_f64() * 1e3,
+        race_ms: race_elapsed.as_secs_f64() * 1e3,
+        store_ms: store_elapsed.as_secs_f64() * 1e3,
+        wall_ms: wall_elapsed.as_secs_f64() * 1e3,
+    })
 }
 
 /// Summary returned by [`validate_report_text`].
@@ -449,7 +562,8 @@ pub struct ReportSummary {
 /// for eyeballing with `jq`): the envelope must carry `generated_by` and
 /// a non-empty `records` array, and every record must have well-typed
 /// members with probabilities in range. Sweep-only members
-/// (`error_rate`, `schedule_key`, …) are checked when present.
+/// (`error_rate`, `schedule_key`, the per-cell `phases` array, …) are
+/// checked when present.
 ///
 /// # Errors
 ///
@@ -521,6 +635,22 @@ pub fn validate_report_text(text: &str) -> Result<ReportSummary, ServerError> {
             }
         }
     }
+    if let Some(phases) = doc.get("phases") {
+        let phases =
+            phases.as_array().ok_or_else(|| bad("member `phases` must be an array".into()))?;
+        for (index, entry) in phases.iter().enumerate() {
+            for member in ["lookup_ms", "race_ms", "store_ms", "wall_ms"] {
+                let timing = entry.get(member).and_then(Value::as_f64).ok_or_else(|| {
+                    bad(format!("phase entry {index}: member `{member}` must be a number"))
+                })?;
+                if timing < 0.0 {
+                    return Err(bad(format!(
+                        "phase entry {index}: member `{member}` must be non-negative"
+                    )));
+                }
+            }
+        }
+    }
     codes.sort_unstable();
     codes.dedup();
     strategies.sort_unstable();
@@ -554,6 +684,12 @@ mod tests {
         assert_eq!(report.rates, 2);
         assert_eq!(report.codes, 2);
         assert_eq!(report.records.iter().filter(|r| r.winner).count(), 4, "one winner per cell");
+        assert_eq!(report.phases.len(), report.cells, "one phase breakdown per cell");
+        for phases in &report.phases {
+            assert!(phases.wall_ms > 0.0, "cell wall-time is elapsed, not zero");
+            assert!(phases.race_ms <= phases.wall_ms, "the race is part of the cell's wall");
+            assert_eq!(phases.lookup_ms, 0.0, "no registry, no lookup time");
+        }
         let text = serde_json::to_string_pretty(&report.to_json(&config)).unwrap();
         let summary = validate_report_text(&text).unwrap();
         assert_eq!(summary.records, 16);
@@ -593,6 +729,10 @@ mod tests {
             (
                 r#"{"generated_by":"x","records":[{"code":"c","strategy":"s","p_overall":0.5,"cache_hit_rate":0,"wall_ms":1,"evaluations":1,"winner":true,"schedule_key":"zz"}]}"#,
                 "hex",
+            ),
+            (
+                r#"{"generated_by":"x","records":[{"code":"c","strategy":"s","p_overall":0.5,"cache_hit_rate":0,"wall_ms":1,"evaluations":1,"winner":true}],"phases":[{"lookup_ms":-1,"race_ms":0,"store_ms":0,"wall_ms":1}]}"#,
+                "non-negative",
             ),
         ] {
             let err = validate_report_text(doc).unwrap_err();

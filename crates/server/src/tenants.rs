@@ -17,10 +17,11 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use asynd_circuit::{EstimateOptions, Evaluator};
+use asynd_circuit::{EstimateOptions, Evaluator, EvaluatorMetrics, EvaluatorStats};
 use asynd_codes::catalog::{family_by_name, CatalogEntry};
 use asynd_decode::factory_for;
 use asynd_sim::mix_seed;
+use asynd_telemetry::MetricsRegistry;
 
 use crate::protocol::{CodeRef, NoiseSpec};
 use crate::{fnv64, ServerError};
@@ -45,13 +46,20 @@ pub struct Tenant {
 pub struct TenantMap {
     cache_capacity: usize,
     tenants: Mutex<HashMap<String, Arc<Tenant>>>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl TenantMap {
     /// A registry whose evaluators cache up to `cache_capacity` schedules
-    /// each.
+    /// each, reporting into the process-wide telemetry registry.
     pub fn new(cache_capacity: usize) -> Self {
-        TenantMap { cache_capacity, tenants: Mutex::new(HashMap::new()) }
+        TenantMap::with_metrics(cache_capacity, Arc::clone(asynd_telemetry::global()))
+    }
+
+    /// As [`TenantMap::new`], but reporting into a caller-owned telemetry
+    /// registry (what the server injects so tests can isolate counters).
+    pub fn with_metrics(cache_capacity: usize, metrics: Arc<MetricsRegistry>) -> Self {
+        TenantMap { cache_capacity, tenants: Mutex::new(HashMap::new()), metrics }
     }
 
     /// Number of live tenants.
@@ -67,6 +75,20 @@ impl TenantMap {
     /// The canonical key of a job's tenant.
     pub fn canonical_key(code: &CodeRef, noise: &NoiseSpec, shots: usize) -> String {
         format!("{}[{}]|{}|shots={}", code.family, code.index, noise.canonical(), shots)
+    }
+
+    /// Cache counters of every live tenant, sorted by tenant key (the
+    /// deterministic order the `metrics` protocol op reports in).
+    pub fn cache_stats(&self) -> Vec<(String, EvaluatorStats)> {
+        let mut stats: Vec<(String, EvaluatorStats)> = self
+            .tenants
+            .lock()
+            .expect("tenant map poisoned")
+            .iter()
+            .map(|(key, tenant)| (key.clone(), tenant.evaluator.stats()))
+            .collect();
+        stats.sort_by(|a, b| a.0.cmp(&b.0));
+        stats
     }
 
     /// Resolves (or creates) the tenant of a job.
@@ -137,6 +159,10 @@ impl TenantMap {
             options,
             self.cache_capacity,
         ));
+        // Per-tenant cache telemetry: one labelled counter family per
+        // tenant, attached before the evaluator sees any traffic. A
+        // racing double-create registers the same (idempotent) handles.
+        evaluator.set_metrics(EvaluatorMetrics::register(&self.metrics, &[("tenant", &key)]));
         let salt = mix_seed(fnv64(key.as_bytes()), TENANT_SALT_STREAM);
         Ok(Tenant { key, entry, evaluator, salt })
     }

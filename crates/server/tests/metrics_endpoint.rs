@@ -1,0 +1,128 @@
+//! The live `metrics` protocol op, end to end over TCP: run real jobs
+//! through a served instance, scrape `{"op":"metrics"}` as a client
+//! would, and check the job-lifecycle histograms in the parsed snapshot
+//! account for exactly the jobs submitted.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use asynd_server::protocol::{CodeRef, JobRequest, NoiseSpec, Response, StrategyChoice};
+use asynd_server::{serve_tcp, ScheduleServer, ServerConfig};
+use asynd_telemetry::MetricsRegistry;
+
+fn request(id: &str, seed: u64) -> JobRequest {
+    JobRequest {
+        id: id.to_string(),
+        code: CodeRef { family: "rotated-surface".into(), index: 0 },
+        noise: NoiseSpec::Scaled(0.004),
+        strategy: StrategyChoice::Beam,
+        budget: 16,
+        shots: 100,
+        seed,
+    }
+}
+
+#[test]
+fn metrics_op_over_tcp_reports_the_jobs_that_ran() {
+    // A private registry keeps the counts hermetic: nothing else in the
+    // process can inflate them.
+    let telemetry = Arc::new(MetricsRegistry::new());
+    let server = ScheduleServer::start_with(
+        ServerConfig { workers: 2, ..ServerConfig::default() },
+        None,
+        Arc::clone(&telemetry),
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let address = listener.local_addr().unwrap();
+    let jobs = 3usize;
+
+    std::thread::scope(|scope| {
+        let server_ref = &server;
+        let acceptor = scope.spawn(move || serve_tcp(server_ref, listener));
+
+        // Session 1: submit the jobs and drain every response, so the
+        // lifecycle histograms are settled before the scrape.
+        {
+            let stream = TcpStream::connect(address).unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            for job in 0..jobs {
+                let line =
+                    serde_json::to_string(&request(&format!("m-{job}"), 17 + job as u64).to_json())
+                        .unwrap();
+                writeln!(writer, "{line}").unwrap();
+            }
+            writer.flush().unwrap();
+            stream.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut completed = 0usize;
+            for line in BufReader::new(&stream).lines() {
+                match Response::parse(&line.unwrap()).unwrap() {
+                    Response::Ok(outcome) => {
+                        assert!(outcome.id.starts_with("m-"));
+                        completed += 1;
+                    }
+                    other => panic!("unexpected response: {other:?}"),
+                }
+            }
+            assert_eq!(completed, jobs);
+        }
+
+        // Session 2: scrape the metrics op exactly as `asynd metrics`
+        // does — one request line, half-close, one response line.
+        let stream = TcpStream::connect(address).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        writeln!(writer, "{{\"op\":\"metrics\",\"id\":\"scrape-1\"}}").unwrap();
+        writer.flush().unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let line = BufReader::new(&stream).lines().next().expect("metrics line").unwrap();
+        let (id, snapshot, tenants) = match Response::parse(&line).expect("metrics parses") {
+            Response::Metrics { id, snapshot, tenants } => (id, snapshot, tenants),
+            other => panic!("unexpected response: {other:?}"),
+        };
+        assert_eq!(id, "scrape-1");
+
+        // Job-lifecycle accounting: every submitted job shows up once in
+        // the queue-wait and wall histograms, and every one synthesized.
+        assert_eq!(snapshot.counters["asynd_jobs_submitted_total"], jobs as u64);
+        assert_eq!(snapshot.counters["asynd_jobs_completed_total"], jobs as u64);
+        assert_eq!(snapshot.counters.get("asynd_jobs_failed_total").copied().unwrap_or(0), 0);
+        assert_eq!(snapshot.histograms["asynd_job_queue_wait_us"].count, jobs as u64);
+        assert_eq!(snapshot.histograms["asynd_job_wall_us"].count, jobs as u64);
+        assert_eq!(snapshot.histograms["asynd_job_synthesis_us"].count, jobs as u64);
+        // All three jobs share one tenant shape, and the snapshot carries
+        // its evaluator cache stats.
+        assert_eq!(snapshot.gauges["asynd_queue_depth"], 0);
+        assert_eq!(snapshot.gauges["asynd_jobs_inflight"], 0);
+        assert_eq!(tenants.len(), 1);
+        let (tenant, cache) = &tenants[0];
+        assert!(tenant.contains("rotated-surface"), "tenant key names the code: {tenant}");
+        assert!(cache.misses > 0, "synthesis evaluated fresh schedules");
+        // The portfolio metered every evaluation it charged.
+        let beam_evals = snapshot
+            .counters
+            .get("asynd_strategy_evals_total{strategy=\"beam\"}")
+            .copied()
+            .unwrap_or(0);
+        assert!(beam_evals > 0, "beam strategy evaluations are metered");
+
+        // A scrape is read-only: a second one sees identical job counts.
+        let stream = TcpStream::connect(address).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        writeln!(writer, "{{\"op\":\"metrics\",\"id\":\"scrape-2\"}}").unwrap();
+        writeln!(writer, "{{\"op\":\"shutdown\"}}").unwrap();
+        writer.flush().unwrap();
+        let mut lines = BufReader::new(&stream).lines();
+        let second = lines.next().expect("second metrics line").unwrap();
+        match Response::parse(&second).expect("second scrape parses") {
+            Response::Metrics { snapshot: again, .. } => {
+                assert_eq!(again.counters["asynd_jobs_submitted_total"], jobs as u64);
+                assert_eq!(again.histograms["asynd_job_wall_us"].count, jobs as u64);
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+        let ack = lines.next().expect("shutdown ack").unwrap();
+        assert_eq!(Response::parse(&ack).unwrap(), Response::ShuttingDown);
+        acceptor.join().unwrap().expect("accept loop exits cleanly");
+    });
+    server.shutdown();
+}

@@ -1,0 +1,288 @@
+//! Unified telemetry for the AlphaSyndrome workspace: a process-wide
+//! metrics registry, RAII span timing, and a crash-tolerant JSON-lines
+//! event log.
+//!
+//! The serving stack (evaluator, portfolio racer, schedule server,
+//! registry, sweeps) records everything it knows about where time and
+//! budget go into one [`MetricsRegistry`] — by default the shared
+//! [`global`] one — and a running server exposes a deterministic
+//! [`MetricsSnapshot`] over its protocol (`asynd metrics`).
+//!
+//! Three design rules, inherited from the workspace's determinism
+//! discipline:
+//!
+//! 1. **Hot paths never lock.** Handles ([`Counter`], [`Gauge`],
+//!    [`Histogram`]) are resolved once per instrumentation site; records
+//!    go to per-shard atomics. Only handle resolution and
+//!    [`MetricsRegistry::snapshot`] take the registry mutex.
+//! 2. **Snapshots are deterministic.** Counter and histogram-bucket adds
+//!    commute, and shards are merged in fixed index order — the same
+//!    recorded multiset of values produces a bit-identical snapshot for
+//!    any shard count or thread interleaving.
+//! 3. **Recording never perturbs results.** Telemetry draws no RNG, holds
+//!    no evaluation budget, and takes no lock a synthesis path waits on;
+//!    the race/server determinism suites run with it enabled.
+//!
+//! # Example
+//!
+//! ```
+//! use asynd_telemetry::{MetricsRegistry, Span};
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(MetricsRegistry::new());
+//! let jobs = registry.counter("jobs_total");
+//! {
+//!     let _span = Span::enter_in(&registry, "job_synthesis");
+//!     jobs.inc(); // ... do the work ...
+//! }
+//! let snapshot = registry.snapshot();
+//! assert_eq!(snapshot.counters["jobs_total"], 1);
+//! assert_eq!(snapshot.histograms["job_synthesis_us"].count, 1);
+//! print!("{}", snapshot.render_text());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod events;
+mod metrics;
+mod span;
+
+pub use events::{Event, EventLog, EventLogReport};
+pub use metrics::{
+    labeled, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    DEFAULT_LATENCY_BOUNDS_US, DEFAULT_SHARDS,
+};
+pub use span::Span;
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// The process-wide metrics registry every layer records into unless
+/// handed an explicit one.
+pub fn global() -> &'static Arc<MetricsRegistry> {
+    static GLOBAL: OnceLock<Arc<MetricsRegistry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(MetricsRegistry::new()))
+}
+
+/// Statistics of a validated text exposition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TextReport {
+    /// Non-empty lines examined.
+    pub lines: usize,
+    /// Metric sample lines accepted.
+    pub samples: usize,
+    /// Histograms whose `_count` was cross-checked against their `+Inf`
+    /// bucket.
+    pub histograms: usize,
+}
+
+/// Validates a Prometheus-style text exposition: every line must be a
+/// comment or a well-formed `name{labels} value` sample, and every
+/// histogram's `_count` must equal its `+Inf` bucket.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line or inconsistent
+/// histogram.
+pub fn validate_text(text: &str) -> Result<TextReport, String> {
+    let mut report = TextReport::default();
+    // (base, labels-without-le) -> value, for the histogram cross-check.
+    let mut inf_buckets: HashMap<(String, String), f64> = HashMap::new();
+    let mut counts: HashMap<(String, String), f64> = HashMap::new();
+    for (index, line) in text.lines().enumerate() {
+        let line_no = index + 1;
+        let line = line.trim_end();
+        if line.trim().is_empty() {
+            continue;
+        }
+        report.lines += 1;
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut words = comment.split_whitespace();
+            if words.next() == Some("TYPE") {
+                let name = words.next().ok_or(format!("line {line_no}: # TYPE without name"))?;
+                validate_name(name).map_err(|e| format!("line {line_no}: {e}"))?;
+                match words.next() {
+                    Some("counter" | "gauge" | "histogram" | "summary" | "untyped") => {}
+                    other => {
+                        return Err(format!("line {line_no}: bad # TYPE kind {other:?}"));
+                    }
+                }
+            }
+            continue;
+        }
+        let (name, labels, value) =
+            parse_sample(line).map_err(|e| format!("line {line_no}: {e}"))?;
+        report.samples += 1;
+        if let Some(base) = name.strip_suffix("_bucket") {
+            let le = labels.iter().find(|(k, _)| k == "le");
+            let le = le
+                .map(|(_, v)| v.as_str())
+                .ok_or(format!("line {line_no}: histogram bucket sample without an `le` label"))?;
+            if le == "+Inf" {
+                let rest = canonical_labels(&labels, Some("le"));
+                inf_buckets.insert((base.to_string(), rest), value);
+            }
+        } else if let Some(base) = name.strip_suffix("_count") {
+            counts.insert((base.to_string(), canonical_labels(&labels, None)), value);
+        }
+    }
+    for (key, &count) in &counts {
+        if let Some(&inf) = inf_buckets.get(key) {
+            report.histograms += 1;
+            if (inf - count).abs() > 0.0 {
+                return Err(format!("histogram {:?}: +Inf bucket {inf} != count {count}", key.0));
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn validate_name(name: &str) -> Result<(), String> {
+    let mut chars = name.chars();
+    let ok_first = chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+    if !ok_first || !chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    Ok(())
+}
+
+/// One parsed sample line: `(name, labels, value)`.
+type Sample = (String, Vec<(String, String)>, f64);
+
+/// Parses one sample line into `(name, labels, value)`.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let name_end = line
+        .find(|c: char| c == '{' || c.is_whitespace())
+        .ok_or_else(|| format!("sample without value: {line:?}"))?;
+    let name = &line[..name_end];
+    validate_name(name)?;
+    let mut labels = Vec::new();
+    let rest = if line[name_end..].starts_with('{') {
+        let body_start = name_end + 1;
+        let mut chars = line[body_start..].char_indices().peekable();
+        let mut labels_end = None;
+        'outer: while let Some(&(i, c)) = chars.peek() {
+            if c == '}' {
+                labels_end = Some(body_start + i);
+                chars.next();
+                break;
+            }
+            // key
+            let key_start = body_start + i;
+            let mut key_end = key_start;
+            while let Some(&(j, c)) = chars.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    chars.next();
+                    key_end = body_start + j + c.len_utf8();
+                } else {
+                    break;
+                }
+            }
+            if key_end == key_start {
+                return Err(format!("empty label name in {line:?}"));
+            }
+            match chars.next() {
+                Some((_, '=')) => {}
+                _ => return Err(format!("label without `=` in {line:?}")),
+            }
+            match chars.next() {
+                Some((_, '"')) => {}
+                _ => return Err(format!("unquoted label value in {line:?}")),
+            }
+            let mut value = String::new();
+            loop {
+                match chars.next() {
+                    Some((_, '\\')) => match chars.next() {
+                        Some((_, 'n')) => value.push('\n'),
+                        Some((_, c @ ('\\' | '"'))) => value.push(c),
+                        _ => return Err(format!("bad escape in label value in {line:?}")),
+                    },
+                    Some((_, '"')) => break,
+                    Some((_, c)) => value.push(c),
+                    None => return Err(format!("unterminated label value in {line:?}")),
+                }
+            }
+            labels.push((line[key_start..key_end].to_string(), value));
+            match chars.peek() {
+                Some(&(_, ',')) => {
+                    chars.next();
+                }
+                Some(&(_, '}')) => continue 'outer,
+                _ => return Err(format!("malformed label block in {line:?}")),
+            }
+        }
+        let labels_end =
+            labels_end.ok_or_else(|| format!("unterminated label block in {line:?}"))?;
+        &line[labels_end + 1..]
+    } else {
+        &line[name_end..]
+    };
+    let value_text = rest.trim();
+    if value_text.is_empty() {
+        return Err(format!("sample without value: {line:?}"));
+    }
+    let value = if value_text == "+Inf" {
+        f64::INFINITY
+    } else {
+        value_text.parse::<f64>().map_err(|_| format!("unparseable sample value {value_text:?}"))?
+    };
+    if value.is_nan() {
+        return Err(format!("NaN sample value in {line:?}"));
+    }
+    Ok((name.to_string(), labels, value))
+}
+
+/// Canonical `k="v"` form of a label set (sorted), optionally dropping
+/// one key — used to match `_bucket{...,le="+Inf"}` lines against their
+/// `_count{...}` line.
+fn canonical_labels(labels: &[(String, String)], drop: Option<&str>) -> String {
+    let mut pairs: Vec<&(String, String)> =
+        labels.iter().filter(|(k, _)| Some(k.as_str()) != drop).collect();
+    pairs.sort();
+    pairs.iter().map(|(k, v)| format!("{k}={v:?}")).collect::<Vec<_>>().join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_a_rendered_snapshot() {
+        let registry = MetricsRegistry::new();
+        registry.counter("jobs_total").add(3);
+        registry.counter(&labeled("evals_total", &[("strategy", "beam")])).add(9);
+        registry.gauge("queue_depth").set(2);
+        registry.histogram("job_wall_us").record(1234);
+        let text = registry.snapshot().render_text();
+        let report = validate_text(&text).unwrap();
+        assert!(report.samples > 3);
+        assert_eq!(report.histograms, 1, "the _count/+Inf cross-check ran");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_lines() {
+        assert!(validate_text("jobs_total\n").is_err(), "missing value");
+        assert!(validate_text("1bad_name 3\n").is_err(), "bad name");
+        assert!(validate_text("x{k=unquoted} 3\n").is_err(), "unquoted label");
+        assert!(validate_text("x{k=\"v\" 3\n").is_err(), "unterminated block");
+        assert!(validate_text("x nope\n").is_err(), "unparseable value");
+        assert!(validate_text("# TYPE x wat\n").is_err(), "bad TYPE kind");
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_histograms() {
+        let text = "h_bucket{le=\"+Inf\"} 4\nh_sum 10\nh_count 5\n";
+        let err = validate_text(text).unwrap_err();
+        assert!(err.contains("+Inf bucket 4 != count 5"), "{err}");
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let a = global().counter("telemetry_selftest_total");
+        let b = global().counter("telemetry_selftest_total");
+        a.inc();
+        b.inc();
+        assert!(b.value() >= 2);
+    }
+}

@@ -1,0 +1,656 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! latency histograms, recorded through per-shard atomics.
+//!
+//! Recording is lock-free: a handle ([`Counter`], [`Gauge`],
+//! [`Histogram`]) is resolved once — taking the registry mutex — and then
+//! records straight into shard-local atomics. Shards are merged only at
+//! [`MetricsRegistry::snapshot`] time, in fixed index order, so the same
+//! recorded multiset of values produces a bit-identical snapshot no
+//! matter how many shards or threads carried the traffic.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use serde_json::{Map, Value};
+
+use crate::events::EventLog;
+
+/// Default number of shards behind every counter and histogram — enough
+/// to keep the worker pools of this workspace from bouncing one cache
+/// line, small enough that snapshots stay trivial to merge.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Default latency bucket upper bounds, in microseconds: a 1-2.5-5 ladder
+/// from 10µs to 60s. An implicit `+Inf` bucket follows the last bound.
+pub const DEFAULT_LATENCY_BOUNDS_US: &[u64] = &[
+    10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
+    500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000, 30_000_000, 60_000_000,
+];
+
+/// Round-robin source of per-thread shard hints.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// The shard index this thread writes to (assigned round-robin on
+    /// first use, stable for the thread's lifetime).
+    static SHARD_HINT: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed);
+}
+
+fn shard_for(shards: usize) -> usize {
+    SHARD_HINT.with(|hint| *hint) % shards.max(1)
+}
+
+/// Builds the canonical registered name of a labeled metric:
+/// `name{k="v",k2="v2"}` with keys sorted and values escaped. An empty
+/// label set returns the bare name, so `labeled(n, &[])` and `n` address
+/// the same metric.
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut pairs: Vec<(&str, &str)> = labels.to_vec();
+    pairs.sort_by(|a, b| a.0.cmp(b.0));
+    let mut out = String::with_capacity(name.len() + 16);
+    out.push_str(name);
+    out.push('{');
+    for (i, (key, value)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(key);
+        out.push_str("=\"");
+        for c in value.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// A monotonically increasing event count. Cheap to clone; all clones
+/// share the underlying shards.
+#[derive(Clone)]
+pub struct Counter(Arc<CounterInner>);
+
+struct CounterInner {
+    shards: Box<[AtomicU64]>,
+}
+
+impl Counter {
+    fn new(shards: usize) -> Counter {
+        Counter(Arc::new(CounterInner {
+            shards: (0..shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
+        }))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.shards[shard_for(self.0.shards.len())].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total, merged over shards in index order.
+    pub fn value(&self) -> u64 {
+        self.0.shards.iter().fold(0u64, |acc, s| acc.wrapping_add(s.load(Ordering::Relaxed)))
+    }
+}
+
+/// A signed instantaneous value (queue depth, jobs in flight). Gauges see
+/// far less traffic than counters, so a single atomic suffices.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    fn new() -> Gauge {
+        Gauge(Arc::new(AtomicI64::new(0)))
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Subtracts `delta`.
+    pub fn sub(&self, delta: i64) {
+        self.0.fetch_sub(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram of `u64` observations (latencies in
+/// microseconds, by convention). Cheap to clone; clones share shards.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+struct HistogramInner {
+    /// Bucket upper bounds (inclusive), strictly increasing. One extra
+    /// `+Inf` bucket follows the last bound.
+    bounds: Arc<Vec<u64>>,
+    shards: Box<[HistogramShard]>,
+}
+
+struct HistogramShard {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new(shards: usize, bounds: Arc<Vec<u64>>) -> Histogram {
+        let buckets = bounds.len() + 1;
+        Histogram(Arc::new(HistogramInner {
+            bounds,
+            shards: (0..shards.max(1))
+                .map(|_| HistogramShard {
+                    buckets: (0..buckets).map(|_| AtomicU64::new(0)).collect(),
+                    sum: AtomicU64::new(0),
+                })
+                .collect(),
+        }))
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        let index = self.0.bounds.partition_point(|&bound| bound < value);
+        let shard = &self.0.shards[shard_for(self.0.shards.len())];
+        shard.buckets[index].fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration, in whole microseconds (saturating).
+    pub fn record_duration(&self, duration: Duration) {
+        self.record(u64::try_from(duration.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Total observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.0
+            .shards
+            .iter()
+            .flat_map(|s| s.buckets.iter())
+            .fold(0u64, |acc, b| acc.wrapping_add(b.load(Ordering::Relaxed)))
+    }
+
+    fn merge(&self) -> HistogramSnapshot {
+        let mut counts = vec![0u64; self.0.bounds.len() + 1];
+        let mut sum = 0u64;
+        for shard in self.0.shards.iter() {
+            for (merged, bucket) in counts.iter_mut().zip(shard.buckets.iter()) {
+                *merged = merged.wrapping_add(bucket.load(Ordering::Relaxed));
+            }
+            sum = sum.wrapping_add(shard.sum.load(Ordering::Relaxed));
+        }
+        let count = counts.iter().fold(0u64, |acc, &c| acc.wrapping_add(c));
+        HistogramSnapshot { bounds: self.0.bounds.as_ref().clone(), counts, count, sum }
+    }
+}
+
+enum MetricHandle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl MetricHandle {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricHandle::Counter(_) => "counter",
+            MetricHandle::Gauge(_) => "gauge",
+            MetricHandle::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The process-wide (or test-local) registry of named metrics.
+///
+/// Handle resolution (`counter`, `gauge`, `histogram*`) takes a mutex and
+/// is meant to happen once per instrumentation site; recording through a
+/// resolved handle never locks. Use [`crate::global`] for the shared
+/// process registry or construct private registries in tests.
+pub struct MetricsRegistry {
+    shards: usize,
+    metrics: Mutex<BTreeMap<String, MetricHandle>>,
+    events: Mutex<Option<Arc<EventLog>>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// A registry with [`DEFAULT_SHARDS`] shards per metric.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// A registry with an explicit shard count (minimum 1). Shard count
+    /// affects contention only — never snapshot values.
+    pub fn with_shards(shards: usize) -> MetricsRegistry {
+        MetricsRegistry {
+            shards: shards.max(1),
+            metrics: Mutex::new(BTreeMap::new()),
+            events: Mutex::new(None),
+        }
+    }
+
+    /// Resolves (or creates) the counter `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind —
+    /// an instrumentation bug, not a runtime condition.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let handle = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| MetricHandle::Counter(Counter::new(self.shards)));
+        match handle {
+            MetricHandle::Counter(c) => c.clone(),
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Resolves (or creates) the gauge `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let handle =
+            metrics.entry(name.to_string()).or_insert_with(|| MetricHandle::Gauge(Gauge::new()));
+        match handle {
+            MetricHandle::Gauge(g) => g.clone(),
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Resolves (or creates) the histogram `name` with the default
+    /// latency buckets ([`DEFAULT_LATENCY_BOUNDS_US`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a metric-kind mismatch, like [`MetricsRegistry::counter`].
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, DEFAULT_LATENCY_BOUNDS_US)
+    }
+
+    /// Resolves (or creates) the histogram `name` with explicit bucket
+    /// upper bounds (must be strictly increasing and non-empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty or non-increasing `bounds`, on a metric-kind
+    /// mismatch, and on re-registration with different bounds.
+    pub fn histogram_with(&self, name: &str, bounds: &[u64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram {name:?} needs at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram {name:?} bounds must be strictly increasing"
+        );
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let handle = metrics.entry(name.to_string()).or_insert_with(|| {
+            MetricHandle::Histogram(Histogram::new(self.shards, Arc::new(bounds.to_vec())))
+        });
+        match handle {
+            MetricHandle::Histogram(h) => {
+                assert!(
+                    h.0.bounds.as_slice() == bounds,
+                    "histogram {name:?} re-registered with different bounds"
+                );
+                h.clone()
+            }
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Attaches a JSON-lines event log; spans entered through this
+    /// registry will append one event per span on drop.
+    pub fn attach_events(&self, log: Arc<EventLog>) {
+        *self.events.lock().expect("metrics registry poisoned") = Some(log);
+    }
+
+    /// The attached event log, if any.
+    pub fn event_log(&self) -> Option<Arc<EventLog>> {
+        self.events.lock().expect("metrics registry poisoned").clone()
+    }
+
+    /// A deterministic point-in-time snapshot: shards merged in index
+    /// order, metrics sorted by name. The same recorded multiset of
+    /// values yields a bit-identical snapshot for any shard or thread
+    /// count.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let mut snapshot = MetricsSnapshot::default();
+        for (name, handle) in metrics.iter() {
+            match handle {
+                MetricHandle::Counter(c) => {
+                    snapshot.counters.insert(name.clone(), c.value());
+                }
+                MetricHandle::Gauge(g) => {
+                    snapshot.gauges.insert(name.clone(), g.value());
+                }
+                MetricHandle::Histogram(h) => {
+                    snapshot.histograms.insert(name.clone(), h.merge());
+                }
+            }
+        }
+        snapshot
+    }
+}
+
+/// Merged, immutable state of one histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (inclusive); an implicit `+Inf` bucket follows.
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts, `bounds.len() + 1` entries (the
+    /// last one is the `+Inf` bucket). *Not* cumulative.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The upper bound of the bucket containing the `q`-quantile
+    /// (`0.0..=1.0`), or 0.0 when empty. Observations in the `+Inf`
+    /// bucket report the last finite bound — a conservative floor.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(count);
+            if seen >= rank {
+                let bounded = index.min(self.bounds.len().saturating_sub(1));
+                return self.bounds.get(bounded).copied().unwrap_or(0) as f64;
+            }
+        }
+        self.bounds.last().copied().unwrap_or(0) as f64
+    }
+}
+
+/// A deterministic point-in-time snapshot of a whole registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counters by canonical name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by canonical name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histograms by canonical name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Serializes the snapshot to its JSON document.
+    pub fn to_json(&self) -> Value {
+        let mut counters = Map::new();
+        for (name, value) in &self.counters {
+            counters.insert(name.clone(), Value::from(*value));
+        }
+        let mut gauges = Map::new();
+        for (name, value) in &self.gauges {
+            gauges.insert(name.clone(), Value::from(*value));
+        }
+        let mut histograms = Map::new();
+        for (name, h) in &self.histograms {
+            let mut doc = Map::new();
+            doc.insert(
+                "bounds",
+                Value::from(h.bounds.iter().map(|&b| Value::from(b)).collect::<Vec<_>>()),
+            );
+            doc.insert(
+                "counts",
+                Value::from(h.counts.iter().map(|&c| Value::from(c)).collect::<Vec<_>>()),
+            );
+            doc.insert("count", Value::from(h.count));
+            doc.insert("sum", Value::from(h.sum));
+            histograms.insert(name.clone(), Value::Object(doc));
+        }
+        let mut root = Map::new();
+        root.insert("counters", Value::Object(counters));
+        root.insert("gauges", Value::Object(gauges));
+        root.insert("histograms", Value::Object(histograms));
+        Value::Object(root)
+    }
+
+    /// Parses a snapshot back from its JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed member.
+    pub fn from_json(value: &Value) -> Result<MetricsSnapshot, String> {
+        let mut snapshot = MetricsSnapshot::default();
+        let counters = value
+            .get("counters")
+            .and_then(Value::as_object)
+            .ok_or_else(|| "missing `counters` object".to_string())?;
+        for (name, v) in counters.iter() {
+            let v = v.as_u64().ok_or_else(|| format!("counter {name:?} is not a u64"))?;
+            snapshot.counters.insert(name.clone(), v);
+        }
+        let gauges = value
+            .get("gauges")
+            .and_then(Value::as_object)
+            .ok_or_else(|| "missing `gauges` object".to_string())?;
+        for (name, v) in gauges.iter() {
+            let v = v.as_i64().ok_or_else(|| format!("gauge {name:?} is not an i64"))?;
+            snapshot.gauges.insert(name.clone(), v);
+        }
+        let histograms = value
+            .get("histograms")
+            .and_then(Value::as_object)
+            .ok_or_else(|| "missing `histograms` object".to_string())?;
+        for (name, doc) in histograms.iter() {
+            let u64s = |member: &str| -> Result<Vec<u64>, String> {
+                doc.get(member)
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| format!("histogram {name:?} missing `{member}` array"))?
+                    .iter()
+                    .map(|v| {
+                        v.as_u64().ok_or_else(|| format!("histogram {name:?} {member}: not a u64"))
+                    })
+                    .collect()
+            };
+            let bounds = u64s("bounds")?;
+            let counts = u64s("counts")?;
+            if counts.len() != bounds.len() + 1 {
+                return Err(format!(
+                    "histogram {name:?} has {} counts for {} bounds",
+                    counts.len(),
+                    bounds.len()
+                ));
+            }
+            let count = doc
+                .get("count")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("histogram {name:?} missing `count`"))?;
+            let sum = doc
+                .get("sum")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("histogram {name:?} missing `sum`"))?;
+            snapshot
+                .histograms
+                .insert(name.clone(), HistogramSnapshot { bounds, counts, count, sum });
+        }
+        Ok(snapshot)
+    }
+
+    /// Renders the snapshot as a Prometheus-style text exposition:
+    /// `# TYPE` comments, `name{labels} value` samples, and cumulative
+    /// `_bucket`/`_sum`/`_count` lines for histograms.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let mut last_typed = String::new();
+        let mut type_line = |out: &mut String, base: &str, kind: &str| {
+            if last_typed != base {
+                out.push_str(&format!("# TYPE {base} {kind}\n"));
+                last_typed = base.to_string();
+            }
+        };
+        for (name, value) in &self.counters {
+            let (base, labels) = split_labels(name);
+            type_line(&mut out, base, "counter");
+            out.push_str(&format!("{base}{labels} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            let (base, labels) = split_labels(name);
+            type_line(&mut out, base, "gauge");
+            out.push_str(&format!("{base}{labels} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let (base, labels) = split_labels(name);
+            type_line(&mut out, base, "histogram");
+            let mut cumulative = 0u64;
+            for (index, &count) in h.counts.iter().enumerate() {
+                cumulative = cumulative.wrapping_add(count);
+                let le = match h.bounds.get(index) {
+                    Some(bound) => bound.to_string(),
+                    None => "+Inf".to_string(),
+                };
+                out.push_str(&format!(
+                    "{base}_bucket{} {cumulative}\n",
+                    merge_label(&labels, &format!("le=\"{le}\""))
+                ));
+            }
+            out.push_str(&format!("{base}_sum{labels} {}\n", h.sum));
+            out.push_str(&format!("{base}_count{labels} {}\n", h.count));
+        }
+        out
+    }
+}
+
+/// Splits a canonical metric name into `(base, "{labels}" | "")`.
+fn split_labels(name: &str) -> (&str, String) {
+    match name.find('{') {
+        Some(index) => (&name[..index], name[index..].to_string()),
+        None => (name, String::new()),
+    }
+}
+
+/// Appends one `k="v"` pair to a (possibly empty) `{...}` label block.
+fn merge_label(labels: &str, extra: &str) -> String {
+    if labels.is_empty() {
+        format!("{{{extra}}}")
+    } else {
+        format!("{},{extra}}}", &labels[..labels.len() - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let registry = MetricsRegistry::new();
+        let jobs = registry.counter("jobs_total");
+        jobs.inc();
+        jobs.add(4);
+        let depth = registry.gauge("queue_depth");
+        depth.set(3);
+        depth.sub(1);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counters["jobs_total"], 5);
+        assert_eq!(snapshot.gauges["queue_depth"], 2);
+        // Handles are shared: a second resolution sees the same state.
+        assert_eq!(registry.counter("jobs_total").value(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_count_observations() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram_with("lat_us", &[10, 100, 1000]);
+        for v in [1, 10, 11, 99, 100, 5000] {
+            h.record(v);
+        }
+        let snapshot = registry.snapshot().histograms["lat_us"].clone();
+        assert_eq!(snapshot.counts, vec![2, 3, 0, 1], "bounds are inclusive upper bounds");
+        assert_eq!(snapshot.count, 6);
+        assert_eq!(snapshot.sum, 1 + 10 + 11 + 99 + 100 + 5000);
+        assert_eq!(snapshot.quantile(0.5), 100.0);
+        assert!(snapshot.mean() > 0.0);
+    }
+
+    #[test]
+    fn labeled_names_are_canonical() {
+        assert_eq!(labeled("evals", &[]), "evals");
+        assert_eq!(
+            labeled("evals", &[("strategy", "mcts"), ("code", "xzzx")]),
+            "evals{code=\"xzzx\",strategy=\"mcts\"}"
+        );
+        assert_eq!(labeled("x", &[("k", "a\"b\\c")]), "x{k=\"a\\\"b\\\\c\"}");
+    }
+
+    #[test]
+    fn snapshot_json_roundtrips() {
+        let registry = MetricsRegistry::new();
+        registry.counter("a_total").add(7);
+        registry.gauge("g").set(-2);
+        registry.histogram_with("h_us", &[1, 2]).record(2);
+        let snapshot = registry.snapshot();
+        let parsed = MetricsSnapshot::from_json(&snapshot.to_json()).unwrap();
+        assert_eq!(parsed, snapshot);
+    }
+
+    #[test]
+    fn render_text_is_prometheus_shaped() {
+        let registry = MetricsRegistry::new();
+        registry.counter(&labeled("evals_total", &[("strategy", "mcts")])).add(3);
+        registry.gauge("depth").set(1);
+        registry.histogram_with("wall_us", &[10, 100]).record(50);
+        let text = registry.snapshot().render_text();
+        assert!(text.contains("# TYPE evals_total counter"), "{text}");
+        assert!(text.contains("evals_total{strategy=\"mcts\"} 3"), "{text}");
+        assert!(text.contains("# TYPE wall_us histogram"), "{text}");
+        assert!(text.contains("wall_us_bucket{le=\"10\"} 0"), "{text}");
+        assert!(text.contains("wall_us_bucket{le=\"100\"} 1"), "{text}");
+        assert!(text.contains("wall_us_bucket{le=\"+Inf\"} 1"), "{text}");
+        assert!(text.contains("wall_us_sum 50"), "{text}");
+        assert!(text.contains("wall_us_count 1"), "{text}");
+        crate::validate_text(&text).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let registry = MetricsRegistry::new();
+        registry.gauge("x");
+        registry.counter("x");
+    }
+}

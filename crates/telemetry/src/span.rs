@@ -1,0 +1,135 @@
+//! RAII span timing: `Span::enter(name)` starts a clock; dropping the
+//! span records the elapsed microseconds into the histogram `{name}_us`
+//! and, when the registry has an event log attached, appends one event
+//! to the timeline.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde_json::{Map, Value};
+
+use crate::metrics::{Histogram, MetricsRegistry};
+
+/// A live timing span. Created by [`Span::enter`] (global registry) or
+/// [`Span::enter_in`]; the measurement is recorded on drop (or
+/// explicitly via [`Span::finish`]).
+///
+/// Entering a span resolves its histogram through the registry mutex, so
+/// spans belong on job- and phase-granularity paths; per-evaluation hot
+/// paths should use pre-resolved [`Histogram`] handles instead.
+pub struct Span {
+    name: String,
+    histogram: Histogram,
+    registry: Arc<MetricsRegistry>,
+    fields: Option<Value>,
+    start: Instant,
+    recorded: bool,
+}
+
+impl Span {
+    /// Enters a span on the process-wide registry ([`crate::global`]).
+    pub fn enter(name: &str) -> Span {
+        Span::enter_in(crate::global(), name)
+    }
+
+    /// Enters a span on an explicit registry.
+    pub fn enter_in(registry: &Arc<MetricsRegistry>, name: &str) -> Span {
+        Span {
+            name: name.to_string(),
+            histogram: registry.histogram(&format!("{name}_us")),
+            registry: Arc::clone(registry),
+            fields: None,
+            start: Instant::now(),
+            recorded: false,
+        }
+    }
+
+    /// Attaches a JSON payload to the event this span will emit (ignored
+    /// when the registry has no event log attached).
+    pub fn with_field(mut self, key: &str, value: Value) -> Span {
+        let mut map = match self.fields.take() {
+            Some(Value::Object(map)) => map,
+            _ => Map::new(),
+        };
+        map.insert(key, value);
+        self.fields = Some(Value::Object(map));
+        self
+    }
+
+    /// Microseconds elapsed since the span was entered.
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Ends the span now, recording the measurement, and returns the
+    /// elapsed microseconds.
+    pub fn finish(mut self) -> u64 {
+        self.record()
+    }
+
+    fn record(&mut self) -> u64 {
+        let elapsed = self.elapsed_us();
+        if !self.recorded {
+            self.recorded = true;
+            self.histogram.record(elapsed);
+            if let Some(log) = self.registry.event_log() {
+                let mut fields = match self.fields.take() {
+                    Some(Value::Object(map)) => map,
+                    _ => Map::new(),
+                };
+                fields.insert("us", Value::from(elapsed));
+                log.record(&self.name, Value::Object(fields));
+            }
+        }
+        elapsed
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventLog;
+
+    #[test]
+    fn span_drop_records_into_the_named_histogram() {
+        let registry = Arc::new(MetricsRegistry::new());
+        {
+            let _span = Span::enter_in(&registry, "phase");
+        }
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.histograms["phase_us"].count, 1);
+    }
+
+    #[test]
+    fn finish_records_exactly_once() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let span = Span::enter_in(&registry, "phase");
+        span.finish();
+        assert_eq!(registry.snapshot().histograms["phase_us"].count, 1);
+    }
+
+    #[test]
+    fn spans_append_events_when_a_log_is_attached() {
+        let dir = std::env::temp_dir().join(format!("asynd-span-events-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry = Arc::new(MetricsRegistry::new());
+        let (log, _) = EventLog::open(&dir).unwrap();
+        registry.attach_events(Arc::new(log));
+        {
+            let _span = Span::enter_in(&registry, "job").with_field("id", Value::from("job-1"));
+        }
+        let log = registry.event_log().unwrap();
+        let events = log.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "job");
+        assert_eq!(events[0].fields.get("id").and_then(Value::as_str), Some("job-1"));
+        assert!(events[0].fields.get("us").and_then(Value::as_u64).is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

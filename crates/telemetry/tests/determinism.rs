@@ -1,0 +1,87 @@
+//! The telemetry determinism contract: a snapshot is a pure function of
+//! the recorded multiset of measurements — the shard count, the thread
+//! count and the interleaving must all be invisible in the merged
+//! output, down to the serialized byte.
+
+use std::sync::Arc;
+
+use asynd_telemetry::{MetricsRegistry, MetricsSnapshot};
+
+/// The measurement workload every configuration records: a fixed
+/// multiset of histogram values, counter bumps and gauge sets.
+fn workload() -> Vec<u64> {
+    // Values straddling several default buckets, including the exact
+    // bucket bounds (inclusive upper edges) and the overflow bucket.
+    let mut values = Vec::new();
+    for round in 0..50u64 {
+        values.push(round * 37 % 1_500);
+        values.push(10); // exactly the first bound
+        values.push(25_000); // exactly a middle bound
+        values.push(99_000_000); // +Inf bucket
+    }
+    values
+}
+
+/// Records the workload into a fresh registry using `threads` worker
+/// threads over a registry with `shards` shards, partitioning the
+/// workload round-robin.
+fn record(shards: usize, threads: usize) -> MetricsSnapshot {
+    let registry = Arc::new(MetricsRegistry::with_shards(shards));
+    let values = workload();
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let registry = Arc::clone(&registry);
+            let chunk: Vec<u64> = values.iter().copied().skip(worker).step_by(threads).collect();
+            scope.spawn(move || {
+                let histogram = registry.histogram("latency_us");
+                let counter = registry.counter("events_total");
+                for value in chunk {
+                    histogram.record(value);
+                    counter.add(value % 7);
+                }
+            });
+        }
+    });
+    // The gauge is last-writer-wins, so it is set once, outside the race.
+    registry.gauge("depth").set(42);
+    registry.snapshot()
+}
+
+#[test]
+fn snapshots_are_bit_identical_for_any_shard_and_thread_count() {
+    let reference = record(1, 1);
+    let reference_json = serde_json::to_string(&reference.to_json()).expect("snapshot serializes");
+    assert_eq!(reference.histograms["latency_us"].count, workload().len() as u64);
+    for shards in [1, 2, 4, 8, 16] {
+        for threads in [1, 2, 4] {
+            let snapshot = record(shards, threads);
+            assert_eq!(
+                snapshot, reference,
+                "snapshot differs at shards={shards} threads={threads}"
+            );
+            let json = serde_json::to_string(&snapshot.to_json()).expect("snapshot serializes");
+            assert_eq!(
+                json, reference_json,
+                "serialized snapshot differs at shards={shards} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn text_exposition_is_deterministic_and_validates() {
+    let a = record(2, 4).render_text();
+    let b = record(8, 2).render_text();
+    assert_eq!(a, b, "text exposition is independent of sharding");
+    let report = asynd_telemetry::validate_text(&a).expect("exposition validates");
+    assert!(report.samples > 0);
+    assert_eq!(report.histograms, 1);
+}
+
+#[test]
+fn snapshot_json_roundtrips() {
+    let snapshot = record(4, 2);
+    let value = snapshot.to_json();
+    let parsed = MetricsSnapshot::from_json(&value).expect("snapshot parses back");
+    assert_eq!(parsed, snapshot);
+}

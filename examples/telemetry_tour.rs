@@ -1,0 +1,128 @@
+//! A tour of the unified telemetry layer: run a small multi-tenant batch
+//! through the schedule server with a private metrics registry and an
+//! attached event log, then read back what observability saw — the
+//! Prometheus-style snapshot and a per-job span timeline.
+//!
+//! Run with: `cargo run --release --example telemetry_tour`
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use asyndrome::server::protocol::{CodeRef, JobRequest, NoiseSpec, Response, StrategyChoice};
+use asyndrome::server::{ScheduleServer, ServerConfig};
+use asyndrome::telemetry::{EventLog, MetricsRegistry};
+
+fn main() {
+    // A private registry keeps this tour hermetic; production code can
+    // simply use `asynd_telemetry::global()` (which `ScheduleServer::start`
+    // wires up by default). The event log turns every finished span into
+    // one JSON line under `events_dir`.
+    let telemetry = Arc::new(MetricsRegistry::new());
+    let events_dir = std::env::temp_dir().join(format!("asynd-tour-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&events_dir);
+    let (event_log, _) = EventLog::open(&events_dir).expect("open event log");
+    let event_log = Arc::new(event_log);
+    telemetry.attach_events(Arc::clone(&event_log));
+
+    let server = ScheduleServer::start_with(
+        ServerConfig { workers: 2, queue_capacity: 8, ..ServerConfig::default() },
+        None,
+        Arc::clone(&telemetry),
+    );
+
+    // A small race: two tenants, three jobs, mixed strategies.
+    let jobs = vec![
+        JobRequest {
+            id: "tour-surface".into(),
+            code: CodeRef { family: "rotated-surface".into(), index: 0 },
+            noise: NoiseSpec::Scaled(0.004),
+            strategy: StrategyChoice::Portfolio,
+            budget: 128,
+            shots: 300,
+            seed: 11,
+        },
+        JobRequest {
+            id: "tour-xzzx".into(),
+            code: CodeRef { family: "xzzx".into(), index: 0 },
+            noise: NoiseSpec::Scaled(0.004),
+            strategy: StrategyChoice::Anneal,
+            budget: 32,
+            shots: 300,
+            seed: 11,
+        },
+        JobRequest {
+            id: "tour-surface-2".into(),
+            code: CodeRef { family: "rotated-surface".into(), index: 0 },
+            noise: NoiseSpec::Scaled(0.004),
+            strategy: StrategyChoice::Beam,
+            budget: 32,
+            shots: 300,
+            seed: 12,
+        },
+    ];
+    println!("racing {} jobs on {} workers...\n", jobs.len(), server.workers());
+    for response in server.run_batch(jobs) {
+        match response {
+            Response::Ok(outcome) => println!(
+                "  {:<16} won by {:<10} p_overall={:.3e} spent {}/{}",
+                outcome.id,
+                outcome.strategy,
+                outcome.artifact.estimate.p_overall(),
+                outcome.spent,
+                outcome.granted,
+            ),
+            other => println!("  unexpected response: {other:?}"),
+        }
+    }
+
+    // The snapshot merges every layer the server touched: job lifecycle
+    // counters, queue gauges, per-tenant evaluator caches, per-strategy
+    // meter spend — one coherent view, zero locks on the hot paths.
+    let snapshot = telemetry.snapshot();
+    println!("\n=== metrics snapshot ({} counters) ===", snapshot.counters.len());
+    for (name, value) in &snapshot.counters {
+        if name.starts_with("asynd_jobs") || name.starts_with("asynd_strategy") {
+            println!("  {name} = {value}");
+        }
+    }
+    for (name, histogram) in &snapshot.histograms {
+        if name.starts_with("asynd_job") {
+            println!(
+                "  {name}: count={} sum={}us max_bucket_le={:?}",
+                histogram.count,
+                histogram.sum,
+                histogram.bounds.last()
+            );
+        }
+    }
+
+    // The same snapshot, as `asynd metrics --text` would render it.
+    let text = snapshot.render_text();
+    println!("\n=== text exposition (first lines) ===");
+    for line in text.lines().take(8) {
+        println!("  {line}");
+    }
+
+    // The event log is the trace: one line per finished span, with the
+    // job id it belonged to. Group by job to reconstruct each timeline.
+    let mut timelines: BTreeMap<String, Vec<(String, u64)>> = BTreeMap::new();
+    for event in event_log.events() {
+        let id = event.fields.get("id").and_then(|v| v.as_str()).unwrap_or("(server)").to_string();
+        let us = event.fields.get("us").and_then(|v| v.as_u64()).unwrap_or(0);
+        timelines.entry(id).or_default().push((event.name.clone(), us));
+    }
+    println!("\n=== span timelines ===");
+    for (job, spans) in &timelines {
+        print!("  {job:<16}");
+        for (name, us) in spans {
+            print!(" {}={us}us", name.trim_start_matches("asynd_job_"));
+        }
+        println!();
+    }
+
+    let flushed = event_log.flush().expect("flush event log");
+    println!("\nflushed {flushed} events to {}", events_dir.display());
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&events_dir);
+}

@@ -23,6 +23,10 @@
 //! * [`server`] — the serving layer: the multi-tenant schedule server,
 //!   its JSON-lines protocol (the `asynd` CLI) and catalog-wide scenario
 //!   sweeps.
+//! * [`telemetry`] — the unified observability layer: the sharded
+//!   metrics registry (counters, gauges, latency histograms), span-based
+//!   job-lifecycle tracing, the crash-tolerant JSON-lines event log and
+//!   the Prometheus-style text exposition served by `asynd metrics`.
 //!
 //! ## Quickstart
 //!
@@ -46,3 +50,4 @@ pub use asynd_portfolio as portfolio;
 pub use asynd_registry as registry;
 pub use asynd_server as server;
 pub use asynd_sim as sim;
+pub use asynd_telemetry as telemetry;
