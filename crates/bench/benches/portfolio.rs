@@ -20,7 +20,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use asynd_circuit::NoiseModel;
+use asynd_circuit::{estimate_logical_error_timed, EstimateOptions, NoiseModel, Schedule};
 use asynd_codes::{rotated_surface_code, steane_code, StabilizerCode};
 use asynd_decode::UnionFindFactory;
 use asynd_portfolio::{
@@ -28,6 +28,8 @@ use asynd_portfolio::{
     Portfolio, PortfolioConfig, Synthesizer,
 };
 use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
 
 /// Reduced-budget CI mode (`ASYND_BENCH_SMOKE=1`).
@@ -131,6 +133,54 @@ fn collect_records(code: &StabilizerCode, label: &str, records: &mut Vec<Record>
     );
 }
 
+/// One entry of the report's `phases` array: the sample/decode/score
+/// wall-time split of the word-parallel estimation pipeline on one code
+/// (union-find decoder, trivial schedule — the evaluator's inner loop).
+struct PhaseRecord {
+    code: String,
+    sample_ms: f64,
+    decode_ms: f64,
+    score_ms: f64,
+    wall_ms: f64,
+}
+
+impl PhaseRecord {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"code\": \"{}\", \"sample_ms\": {:.3}, \"decode_ms\": {:.3}, \
+             \"score_ms\": {:.3}, \"wall_ms\": {:.3}}}",
+            self.code, self.sample_ms, self.decode_ms, self.score_ms, self.wall_ms,
+        )
+    }
+}
+
+/// Times one word-parallel estimation run per code and records its phase
+/// split, so the decode-phase win the batch pipeline buys is tracked in
+/// the same trajectory file as the synthesis numbers.
+fn collect_phases(code: &StabilizerCode, label: &str, phases: &mut Vec<PhaseRecord>) {
+    let schedule = Schedule::trivial(code);
+    let shots = if smoke() { 256 } else { 1024 };
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let start = std::time::Instant::now();
+    let (_, timings) = estimate_logical_error_timed(
+        code,
+        &schedule,
+        &NoiseModel::brisbane(),
+        &UnionFindFactory::new(),
+        shots,
+        &EstimateOptions::default(),
+        &mut rng,
+    )
+    .expect("phase probe failed");
+    phases.push(PhaseRecord {
+        code: label.to_string(),
+        sample_ms: timings.sample_ms(),
+        decode_ms: timings.decode_ms(),
+        score_ms: timings.score_ms(),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    });
+}
+
 /// Where trajectory reports go: `$ASYND_BENCH_REPORT_DIR` when set (CI
 /// points it at its artifact directory; pointing it at the repo root
 /// refreshes the tracked copy), `target/bench-reports/` otherwise — never
@@ -142,11 +192,16 @@ fn report_dir() -> PathBuf {
     }
 }
 
-fn write_trajectory(records: &[Record]) {
+fn write_trajectory(records: &[Record], phases: &[PhaseRecord]) {
     let mut json = String::from("{\n  \"generated_by\": \"cargo bench -p asynd-bench --bench portfolio\",\n  \"records\": [\n");
     for (i, record) in records.iter().enumerate() {
         let _ = write!(json, "    {}", record.to_json());
         json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"phases\": [\n");
+    for (i, phase) in phases.iter().enumerate() {
+        let _ = write!(json, "    {}", phase.to_json());
+        json.push_str(if i + 1 < phases.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");
     let dir = report_dir();
@@ -158,9 +213,13 @@ fn write_trajectory(records: &[Record]) {
 
 fn bench_portfolio(c: &mut Criterion) {
     let mut records = Vec::new();
+    let mut phases = Vec::new();
     collect_records(&steane_code(), "steane", &mut records);
     collect_records(&rotated_surface_code(3), "surface-d3", &mut records);
-    write_trajectory(&records);
+    collect_phases(&steane_code(), "steane", &mut phases);
+    collect_phases(&rotated_surface_code(3), "surface-d3", &mut phases);
+    collect_phases(&rotated_surface_code(5), "surface-d5", &mut phases);
+    write_trajectory(&records, &phases);
 
     let mut group = c.benchmark_group("portfolio-steane");
     group.sample_size(if smoke() { 2 } else { 10 });

@@ -13,7 +13,9 @@
 
 use asynd_codes::StabilizerCode;
 use asynd_pauli::BitVec;
-use asynd_sim::{BatchDecoder, EstimatorConfig, ParallelEstimator};
+use asynd_sim::{
+    BatchDecoder, BatchShots, BitMatrix, EstimatorConfig, ParallelEstimator, PhaseTimings,
+};
 use rand::Rng;
 
 use crate::{CircuitError, DetectorErrorModel, NoiseModel, Sampler, Schedule};
@@ -33,6 +35,32 @@ pub trait ObservableDecoder {
     fn decode(&self, detectors: &BitVec) -> BitVec;
 }
 
+/// A decoder that handles both the scalar and the word-parallel batch
+/// entry points — the object type the evaluation pipeline actually drives.
+///
+/// Implemented automatically (blanket impl) for every type that is both an
+/// [`ObservableDecoder`] and an [`asynd_sim::BatchDecoder`], which covers
+/// all concrete decoders in `asynd-decode`. The two methods must agree:
+/// `decode_batch` must be bit-identical to decoding every shot column
+/// through `decode` (the scalar oracle).
+pub trait BatchObservableDecoder: Send + Sync {
+    /// Predicts the observable flips for one shot's detector outcomes.
+    fn decode(&self, detectors: &BitVec) -> BitVec;
+
+    /// Decodes a packed batch; one prediction bit-column per shot.
+    fn decode_batch(&self, shots: &BatchShots) -> BitMatrix;
+}
+
+impl<T: ObservableDecoder + BatchDecoder + Send + Sync> BatchObservableDecoder for T {
+    fn decode(&self, detectors: &BitVec) -> BitVec {
+        ObservableDecoder::decode(self, detectors)
+    }
+
+    fn decode_batch(&self, shots: &BatchShots) -> BitMatrix {
+        BatchDecoder::decode_batch(self, shots)
+    }
+}
+
 /// A factory that builds a decoder for a given detector error model.
 ///
 /// The MCTS scheduler re-builds the decoder for every candidate schedule
@@ -44,15 +72,46 @@ pub trait DecoderFactory {
 
     /// Builds a decoder specialised to `dem`.
     fn build(&self, dem: &DetectorErrorModel) -> Box<dyn ObservableDecoder + Send + Sync>;
+
+    /// Builds a batch-capable decoder specialised to `dem`.
+    ///
+    /// The default wraps [`Self::build`]'s scalar decoder in a shot-wise
+    /// adapter (one `decode` call per shot). Factories whose decoders have
+    /// genuinely word-parallel `decode_batch` implementations override
+    /// this to hand the concrete type through, keeping its fast path.
+    fn build_batch(&self, dem: &DetectorErrorModel) -> Box<dyn BatchObservableDecoder> {
+        Box::new(ShotwiseAdapter(self.build(dem)))
+    }
 }
 
-/// Adapts any [`ObservableDecoder`] to the simulator's batch interface
+/// Adapts an owned scalar [`ObservableDecoder`] to the batch interface
 /// (per-shot unpack via the default `decode_batch`).
-struct ShotwiseAdapter<'a>(&'a (dyn ObservableDecoder + Send + Sync));
+struct ShotwiseAdapter(Box<dyn ObservableDecoder + Send + Sync>);
 
-impl BatchDecoder for ShotwiseAdapter<'_> {
+impl BatchDecoder for ShotwiseAdapter {
     fn decode_shot(&self, detectors: &BitVec) -> BitVec {
         self.0.decode(detectors)
+    }
+}
+
+impl ObservableDecoder for ShotwiseAdapter {
+    fn decode(&self, detectors: &BitVec) -> BitVec {
+        self.0.decode(detectors)
+    }
+}
+
+/// Borrowed view adapting a [`BatchObservableDecoder`] trait object to the
+/// simulator's [`BatchDecoder`], forwarding *both* methods so a
+/// word-parallel `decode_batch` override is never silently dropped.
+struct AsBatch<'a>(&'a dyn BatchObservableDecoder);
+
+impl BatchDecoder for AsBatch<'_> {
+    fn decode_shot(&self, detectors: &BitVec) -> BitVec {
+        self.0.decode(detectors)
+    }
+
+    fn decode_batch(&self, shots: &BatchShots) -> BitMatrix {
+        self.0.decode_batch(shots)
     }
 }
 
@@ -204,8 +263,31 @@ pub fn estimate_logical_error_with<R: Rng + ?Sized>(
     options: &EstimateOptions,
     rng: &mut R,
 ) -> Result<LogicalErrorEstimate, CircuitError> {
+    estimate_logical_error_timed(code, schedule, noise, factory, shots, options, rng)
+        .map(|(estimate, _)| estimate)
+}
+
+/// [`estimate_logical_error_with`] plus the pipeline's per-phase
+/// sample/decode/score wall-clock totals (summed across worker threads —
+/// see [`PhaseTimings`]).
+///
+/// The estimate is bit-identical to the untimed entry points.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidParameter`] if `shots == 0` or the noise
+/// model is invalid.
+pub fn estimate_logical_error_timed<R: Rng + ?Sized>(
+    code: &StabilizerCode,
+    schedule: &Schedule,
+    noise: &NoiseModel,
+    factory: &dyn DecoderFactory,
+    shots: usize,
+    options: &EstimateOptions,
+    rng: &mut R,
+) -> Result<(LogicalErrorEstimate, PhaseTimings), CircuitError> {
     let dem = DetectorErrorModel::build(code, schedule, noise)?;
-    let decoder = factory.build(&dem);
+    let decoder = factory.build_batch(&dem);
     let model = dem.to_frame_model();
     run_estimate(&model, decoder.as_ref(), code.num_logicals(), shots, options, rng.gen::<u64>())
 }
@@ -217,12 +299,12 @@ pub fn estimate_logical_error_with<R: Rng + ?Sized>(
 /// of `(frame, decoder, master_seed)`.
 pub(crate) fn run_estimate(
     frame: &asynd_sim::FrameErrorModel,
-    decoder: &(dyn ObservableDecoder + Send + Sync),
+    decoder: &dyn BatchObservableDecoder,
     split_x: usize,
     shots: usize,
     options: &EstimateOptions,
     master_seed: u64,
-) -> Result<LogicalErrorEstimate, CircuitError> {
+) -> Result<(LogicalErrorEstimate, PhaseTimings), CircuitError> {
     if shots == 0 {
         return Err(CircuitError::InvalidParameter { reason: "shots must be positive".into() });
     }
@@ -237,14 +319,17 @@ pub(crate) fn run_estimate(
         max_threads: options.max_threads,
         ..EstimatorConfig::default()
     });
-    let estimate =
-        estimator.estimate(frame, &ShotwiseAdapter(decoder), split_x, shots, master_seed);
-    Ok(LogicalErrorEstimate {
-        x_failures: estimate.x_failures,
-        z_failures: estimate.z_failures,
-        any_failures: estimate.any_failures,
-        shots: estimate.shots,
-    })
+    let (estimate, timings) =
+        estimator.estimate_timed(frame, &AsBatch(decoder), split_x, shots, master_seed);
+    Ok((
+        LogicalErrorEstimate {
+            x_failures: estimate.x_failures,
+            z_failures: estimate.z_failures,
+            any_failures: estimate.any_failures,
+            shots: estimate.shots,
+        },
+        timings,
+    ))
 }
 
 /// The historical scalar estimation loop: samples and decodes one shot at a

@@ -40,8 +40,8 @@ use asynd_telemetry::{labeled, Counter, Histogram, MetricsRegistry};
 
 use crate::evaluate::run_estimate;
 use crate::{
-    CircuitError, DecoderFactory, DetectorErrorModel, EstimateOptions, LogicalErrorEstimate,
-    NoiseModel, ObservableDecoder, Schedule, ScheduleKey,
+    BatchObservableDecoder, CircuitError, DecoderFactory, DetectorErrorModel, EstimateOptions,
+    LogicalErrorEstimate, NoiseModel, Schedule, ScheduleKey,
 };
 
 /// Default number of schedules kept in the [`Evaluator`]'s LRU cache.
@@ -139,6 +139,7 @@ pub struct EvaluatorMetrics {
     evictions: Counter,
     build_us: Histogram,
     sample_us: Histogram,
+    decode_us: Histogram,
 }
 
 impl EvaluatorMetrics {
@@ -157,6 +158,7 @@ impl EvaluatorMetrics {
             evictions: counter("asynd_eval_cache_evictions_total"),
             build_us: registry.histogram(&labeled("asynd_eval_model_build_us", labels)),
             sample_us: registry.histogram(&labeled("asynd_eval_sample_us", labels)),
+            decode_us: registry.histogram(&labeled("asynd_eval_decode_us", labels)),
         }
     }
 }
@@ -167,7 +169,7 @@ impl EvaluatorMetrics {
 struct Model {
     dem: Arc<DetectorErrorModel>,
     frame: Arc<FrameErrorModel>,
-    decoder: Arc<dyn ObservableDecoder + Send + Sync>,
+    decoder: Arc<dyn BatchObservableDecoder>,
 }
 
 /// The full memoisation key: a fingerprint of the code (stabilizers and
@@ -384,12 +386,6 @@ impl Evaluator {
         self.stats.snapshot()
     }
 
-    /// A lock-free snapshot of the cache counters.
-    #[deprecated(note = "use `Evaluator::stats` — one accessor, one shape")]
-    pub fn stats_snapshot(&self) -> EvaluatorStats {
-        self.stats()
-    }
-
     /// Authoritative evaluation: returns the memoised estimate for this
     /// schedule if one exists, otherwise computes it under `seed` and
     /// memoises it.
@@ -538,7 +534,7 @@ impl Evaluator {
         let start = Instant::now();
         let dem = DetectorErrorModel::build(code, schedule, &self.noise)?;
         let frame = Arc::new(dem.to_frame_model());
-        let decoder: Arc<dyn ObservableDecoder + Send + Sync> = Arc::from(self.factory.build(&dem));
+        let decoder: Arc<dyn BatchObservableDecoder> = Arc::from(self.factory.build_batch(&dem));
         self.metric(|m| m.build_us.record_duration(start.elapsed()));
         Ok(Model { dem: Arc::new(dem), frame, decoder })
     }
@@ -552,7 +548,7 @@ impl Evaluator {
         seed: u64,
     ) -> Result<LogicalErrorEstimate, CircuitError> {
         let start = Instant::now();
-        let estimate = run_estimate(
+        let (estimate, timings) = run_estimate(
             &model.frame,
             model.decoder.as_ref(),
             code.num_logicals(),
@@ -560,7 +556,10 @@ impl Evaluator {
             &self.options,
             seed,
         )?;
-        self.metric(|m| m.sample_us.record_duration(start.elapsed()));
+        self.metric(|m| {
+            m.sample_us.record_duration(start.elapsed());
+            m.decode_us.record_duration(std::time::Duration::from_nanos(timings.decode_ns));
+        });
         Ok(estimate)
     }
 
@@ -609,6 +608,7 @@ impl Evaluator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ObservableDecoder;
     use asynd_codes::steane_code;
     use asynd_pauli::BitVec;
 

@@ -69,8 +69,9 @@ mod schedule;
 pub use dem::{DemError, DetectorErrorModel};
 pub use error::CircuitError;
 pub use evaluate::{
-    estimate_logical_error, estimate_logical_error_scalar, estimate_logical_error_with,
-    DecoderFactory, EstimateOptions, LogicalErrorEstimate, ObservableDecoder,
+    estimate_logical_error, estimate_logical_error_scalar, estimate_logical_error_timed,
+    estimate_logical_error_with, BatchObservableDecoder, DecoderFactory, EstimateOptions,
+    LogicalErrorEstimate, ObservableDecoder,
 };
 pub use evaluator::{
     Evaluation, Evaluator, EvaluatorMetrics, EvaluatorStats, DEFAULT_CACHE_CAPACITY,

@@ -218,6 +218,216 @@ impl ObservableDecoder for BpOsdDecoder {
     }
 }
 
+impl crate::batch::ResidualDecoder for BpOsdDecoder {
+    /// Lane-batched min-sum BP: up to 64 hard shots run as SIMD-style
+    /// lanes, so every edge of the Tanner graph is traversed once per
+    /// iteration for the whole lane group instead of once per shot.
+    ///
+    /// Per lane, the floating-point operation sequence is identical to
+    /// the scalar `belief_propagation` pass (same message order, same
+    /// posterior accumulation order), so results are bit-identical to that
+    /// path. A lane that converges is recorded immediately — exactly where
+    /// the scalar loop would have returned — and later iterations never
+    /// overwrite it. Lanes that exhaust the iteration budget fall back to
+    /// the scalar OSD stage with their lane-extracted posteriors.
+    fn decode_residual(
+        &self,
+        transposed: &asynd_sim::BitMatrix,
+        shot_indices: &[usize],
+        predictions: &mut asynd_sim::BitMatrix,
+    ) {
+        const LANES: usize = 64;
+        let m = &self.matrix;
+        let num_errors = m.num_errors();
+        let num_detectors = m.num_detectors();
+        if num_errors == 0 {
+            // The scalar path converges immediately to the empty error
+            // set; the prediction rows stay zero.
+            return;
+        }
+        let priors: Vec<f64> = (0..num_errors).map(|j| m.prior_llr(j)).collect();
+        let record = |predictions: &mut asynd_sim::BitMatrix, shot: usize, obs_mask: u64| {
+            for o in 0..m.num_observables() {
+                if (obs_mask >> o) & 1 == 1 {
+                    predictions.set(o, shot, true);
+                }
+            }
+        };
+        for group in shot_indices.chunks(LANES) {
+            let lane_all: u64 =
+                if group.len() == LANES { u64::MAX } else { (1u64 << group.len()) - 1 };
+            // Per-detector lane mask of the group's syndromes: bit `l` of
+            // `det_mask[d]` is detector d of lane l's shot.
+            let mut det_mask = vec![0u64; num_detectors];
+            for (lane, &s) in group.iter().enumerate() {
+                let words = transposed.row_words(s);
+                for d in 0..num_detectors {
+                    if (words[d / 64] >> (d % 64)) & 1 == 1 {
+                        det_mask[d] |= 1 << lane;
+                    }
+                }
+            }
+            // Messages indexed by (detector, position-in-row, lane).
+            let mut var_to_check: Vec<Vec<f64>> = (0..num_detectors)
+                .map(|d| {
+                    let row = m.row(d);
+                    let mut v = vec![0.0; row.len() * LANES];
+                    for (i, &j) in row.iter().enumerate() {
+                        v[i * LANES..(i + 1) * LANES].fill(priors[j]);
+                    }
+                    v
+                })
+                .collect();
+            let mut check_to_var: Vec<Vec<f64>> =
+                (0..num_detectors).map(|d| vec![0.0; m.row(d).len() * LANES]).collect();
+            let mut posteriors = vec![0.0f64; num_errors * LANES];
+            for (j, &p) in priors.iter().enumerate() {
+                posteriors[j * LANES..(j + 1) * LANES].fill(p);
+            }
+            let mut decided = vec![0u64; num_errors];
+            let mut active = lane_all;
+            // Lanes still iterating. Frozen (converged) lanes are skipped
+            // by every floating-point loop below: their result is already
+            // recorded, so their messages are dead values — skipping them
+            // keeps the per-iteration cost proportional to the unconverged
+            // shots instead of the group width.
+            let mut live: Vec<usize> = (0..group.len()).collect();
+
+            for _ in 0..self.max_iterations {
+                // Check update (normalized min-sum), all live lanes per
+                // edge.
+                for d in 0..num_detectors {
+                    let row_len = m.row(d).len();
+                    let incoming = &var_to_check[d];
+                    let outgoing = &mut check_to_var[d];
+                    for i in 0..row_len {
+                        let mut sign = det_mask[d]; // bit set ⇒ negative
+                        let mut min_abs = [f64::INFINITY; LANES];
+                        for i2 in 0..row_len {
+                            if i2 == i {
+                                continue;
+                            }
+                            let msgs = &incoming[i2 * LANES..(i2 + 1) * LANES];
+                            for &l in &live {
+                                let msg = msgs[l];
+                                if msg < 0.0 {
+                                    sign ^= 1 << l;
+                                }
+                                let a = msg.abs();
+                                if a < min_abs[l] {
+                                    min_abs[l] = a;
+                                }
+                            }
+                        }
+                        let out = &mut outgoing[i * LANES..(i + 1) * LANES];
+                        for &l in &live {
+                            let mut v = min_abs[l];
+                            if v.is_infinite() {
+                                v = 0.0;
+                            }
+                            v *= self.scale;
+                            out[l] = if (sign >> l) & 1 == 1 { -v } else { v };
+                        }
+                    }
+                }
+                // Variable update and posteriors (same accumulation order
+                // as the scalar pass: zero, add messages by ascending
+                // (detector, position), then add priors).
+                for j in 0..num_errors {
+                    let post = &mut posteriors[j * LANES..(j + 1) * LANES];
+                    for &l in &live {
+                        post[l] = 0.0;
+                    }
+                }
+                for (d, c2v_row) in check_to_var.iter().enumerate() {
+                    for (i, &j) in m.row(d).iter().enumerate() {
+                        let msgs = &c2v_row[i * LANES..(i + 1) * LANES];
+                        let post = &mut posteriors[j * LANES..(j + 1) * LANES];
+                        for &l in &live {
+                            post[l] += msgs[l];
+                        }
+                    }
+                }
+                for (j, &p) in priors.iter().enumerate() {
+                    let post = &mut posteriors[j * LANES..(j + 1) * LANES];
+                    for &l in &live {
+                        post[l] += p;
+                    }
+                }
+                for d in 0..num_detectors {
+                    for (i, &j) in m.row(d).iter().enumerate() {
+                        let post = &posteriors[j * LANES..(j + 1) * LANES];
+                        let c2v = &check_to_var[d][i * LANES..(i + 1) * LANES];
+                        let v2c = &mut var_to_check[d][i * LANES..(i + 1) * LANES];
+                        for &l in &live {
+                            v2c[l] = post[l] - c2v[l];
+                        }
+                    }
+                }
+                // Hard decision and word-parallel convergence check: lane
+                // l converged iff its decided errors reproduce its
+                // syndrome on every detector. Frozen lanes keep their
+                // stale decision bits; `active` masks them out below.
+                for (j, mask) in decided.iter_mut().enumerate() {
+                    let post = &posteriors[j * LANES..(j + 1) * LANES];
+                    let mut m64 = *mask;
+                    for &l in &live {
+                        if post[l] < 0.0 {
+                            m64 |= 1 << l;
+                        } else {
+                            m64 &= !(1 << l);
+                        }
+                    }
+                    *mask = m64;
+                }
+                let mut mismatch = 0u64;
+                for (d, &dm) in det_mask.iter().enumerate() {
+                    let mut acc = 0u64;
+                    for &j in m.row(d) {
+                        acc ^= decided[j];
+                    }
+                    mismatch |= acc ^ dm;
+                }
+                let newly = active & !mismatch;
+                if newly != 0 {
+                    let mut bits = newly;
+                    while bits != 0 {
+                        let lane = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let mut obs_mask = 0u64;
+                        for (j, &mask) in decided.iter().enumerate() {
+                            if (mask >> lane) & 1 == 1 {
+                                obs_mask ^= m.observable_mask(j);
+                            }
+                        }
+                        record(predictions, group[lane], obs_mask);
+                    }
+                    active &= !newly;
+                    live = (0..group.len()).filter(|l| (active >> l) & 1 == 1).collect();
+                }
+                if active == 0 {
+                    break;
+                }
+            }
+            // Scalar OSD fallback for the lanes BP never settled, with
+            // their last-iteration posteriors — identical inputs to the
+            // scalar path's OSD stage.
+            let mut bits = active;
+            while bits != 0 {
+                let lane = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let s = group[lane];
+                let syndrome =
+                    BitVec::from_words(transposed.row_words(s).to_vec(), transposed.cols());
+                let lane_posteriors: Vec<f64> =
+                    (0..num_errors).map(|j| posteriors[j * LANES + lane]).collect();
+                let errors = self.osd(&syndrome, &lane_posteriors);
+                record(predictions, s, m.observables_of(&errors));
+            }
+        }
+    }
+}
+
 /// Factory for [`BpOsdDecoder`] (wrapped in a memoisation cache).
 #[derive(Debug, Clone)]
 pub struct BpOsdFactory {
@@ -250,6 +460,13 @@ impl DecoderFactory for BpOsdFactory {
     }
 
     fn build(&self, dem: &DetectorErrorModel) -> Box<dyn ObservableDecoder + Send + Sync> {
+        Box::new(CachedDecoder::new(BpOsdDecoder::new(dem, self.max_iterations, self.osd_order)))
+    }
+
+    fn build_batch(
+        &self,
+        dem: &DetectorErrorModel,
+    ) -> Box<dyn asynd_circuit::BatchObservableDecoder> {
         Box::new(CachedDecoder::new(BpOsdDecoder::new(dem, self.max_iterations, self.osd_order)))
     }
 }

@@ -8,14 +8,15 @@ use crate::common::{CachedDecoder, DecodeMatrix};
 /// Hypergraph union-find decoder.
 ///
 /// Clusters grow on the DEM's Tanner graph starting from the detection
-/// events: in each growth round every invalid cluster absorbs all error
-/// mechanisms adjacent to its detectors together with those mechanisms'
-/// other detectors, merging clusters that touch (tracked with a union-find
-/// structure). A cluster is *valid* when the error mechanisms fully
-/// contained in it can reproduce the cluster's internal syndrome, which is
-/// checked (and later solved) by GF(2) elimination on the cluster-local
-/// matrix — the standard generalisation of union-find to hypergraph error
-/// models used for LDPC codes.
+/// events: in each growth round every *invalid* cluster absorbs the error
+/// mechanisms incident to its frontier detectors together with those
+/// mechanisms' other detectors, merging clusters that touch. A cluster is
+/// *valid* when the error mechanisms fully contained in it can reproduce
+/// the cluster's internal syndrome, which is checked (and solved) by GF(2)
+/// elimination on the cluster-local matrix — the standard generalisation
+/// of union-find to hypergraph error models used for LDPC codes. Valid
+/// clusters freeze — they stop growing and their solve result is memoised
+/// — so per-round work tracks only the clusters that are still unexplained.
 ///
 /// # Example
 ///
@@ -35,31 +36,18 @@ pub struct UnionFindDecoder {
     matrix: DecodeMatrix,
 }
 
-/// Plain union-find over detector indices.
-struct DisjointSet {
-    parent: Vec<usize>,
-}
-
-impl DisjointSet {
-    fn new(n: usize) -> Self {
-        DisjointSet { parent: (0..n).collect() }
-    }
-
-    fn find(&mut self, x: usize) -> usize {
-        if self.parent[x] != x {
-            let root = self.find(self.parent[x]);
-            self.parent[x] = root;
-        }
-        self.parent[x]
-    }
-
-    fn union(&mut self, a: usize, b: usize) {
-        let ra = self.find(a);
-        let rb = self.find(b);
-        if ra != rb {
-            self.parent[ra] = rb;
-        }
-    }
+/// One growing cluster: its detectors and absorbed errors, plus the
+/// memoised solve result. `valid_mask` is `Some(observable mask)` once the
+/// contained errors explain the internal syndrome; `dirty` marks clusters
+/// whose membership changed since the last solve. A merged-away cluster is
+/// left as the (dead) default.
+#[derive(Default)]
+struct Cluster {
+    detectors: Vec<usize>,
+    errors: Vec<usize>,
+    valid_mask: Option<u64>,
+    dirty: bool,
+    live: bool,
 }
 
 impl UnionFindDecoder {
@@ -87,12 +75,17 @@ impl UnionFindDecoder {
             return if cluster_detectors.iter().any(|&d| syndrome.get(d)) { None } else { Some(0) };
         }
         // Local system: rows = cluster detectors, columns = cluster errors.
-        let detector_position: std::collections::HashMap<usize, usize> =
-            cluster_detectors.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+        // Dense scatter table instead of a HashMap: clusters are re-solved
+        // many times per decode and the detector count is small.
+        let mut detector_position = vec![usize::MAX; self.matrix.num_detectors()];
+        for (i, &d) in cluster_detectors.iter().enumerate() {
+            detector_position[d] = i;
+        }
         let mut rows = vec![Vec::new(); cluster_detectors.len()];
         for (col, &j) in cluster_errors.iter().enumerate() {
             for &d in self.matrix.column(j) {
-                if let Some(&row) = detector_position.get(&d) {
+                let row = detector_position[d];
+                if row != usize::MAX {
                     rows[row].push(col);
                 }
             }
@@ -112,60 +105,115 @@ impl UnionFindDecoder {
         let local = BinMatrix::from_row_supports(cluster_errors.len(), &permuted_rows);
         let rhs = BitVec::from_bools(cluster_detectors.iter().map(|&d| syndrome.get(d)));
         let particular_permuted = local.solve(&rhs).ok()?;
-        let mut particular = BitVec::zeros(cluster_errors.len());
-        for pos in particular_permuted.ones() {
-            particular.set(order[pos], true);
-        }
+        let kernel_permuted = local.kernel_basis();
         // Among the consistent explanations inside the cluster, refine
         // towards the most likely one: exhaustively for small kernels,
         // greedily otherwise.
-        let kernel: Vec<BitVec> = local
-            .kernel_basis()
-            .into_iter()
-            .map(|k| {
+        let chosen: Vec<usize> = if cluster_errors.len() <= 64 {
+            // Word fast path: candidate sets fit one u64, so refinement
+            // runs in registers with no allocation per candidate. The
+            // trailing-zeros cost loop visits columns in the same
+            // ascending order as `BitVec::ones`, so floating-point sums
+            // match the wide path exactly.
+            let unpermute =
+                |v: &BitVec| -> u64 { v.ones().fold(0u64, |m, pos| m | (1u64 << order[pos])) };
+            let particular = unpermute(&particular_permuted);
+            let kernel: Vec<u64> = kernel_permuted.iter().map(unpermute).collect();
+            let cost = |mut x: u64| -> f64 {
+                let mut total = 0.0;
+                while x != 0 {
+                    total += llrs[x.trailing_zeros() as usize];
+                    x &= x - 1;
+                }
+                total
+            };
+            let mut best = particular;
+            let mut best_cost = cost(best);
+            if kernel.len() <= 12 {
+                for bits in 1usize..(1 << kernel.len()) {
+                    let mut candidate = particular;
+                    for (i, &k) in kernel.iter().enumerate() {
+                        if bits & (1 << i) != 0 {
+                            candidate ^= k;
+                        }
+                    }
+                    let c = cost(candidate);
+                    if c < best_cost {
+                        best_cost = c;
+                        best = candidate;
+                    }
+                }
+            } else {
+                for _sweep in 0..3 {
+                    let mut improved = false;
+                    for &k in &kernel {
+                        let candidate = best ^ k;
+                        let c = cost(candidate);
+                        if c < best_cost {
+                            best_cost = c;
+                            best = candidate;
+                            improved = true;
+                        }
+                    }
+                    if !improved {
+                        break;
+                    }
+                }
+            }
+            let mut chosen = Vec::new();
+            let mut x = best;
+            while x != 0 {
+                chosen.push(cluster_errors[x.trailing_zeros() as usize]);
+                x &= x - 1;
+            }
+            chosen
+        } else {
+            let unpermute = |v: &BitVec| -> BitVec {
                 let mut unpermuted = BitVec::zeros(cluster_errors.len());
-                for pos in k.ones() {
+                for pos in v.ones() {
                     unpermuted.set(order[pos], true);
                 }
                 unpermuted
-            })
-            .collect();
-        let cost = |x: &BitVec| -> f64 { x.ones().map(|col| llrs[col]).sum() };
-        let mut best = particular.clone();
-        let mut best_cost = cost(&best);
-        if kernel.len() <= 12 {
-            for bits in 1usize..(1 << kernel.len()) {
-                let mut candidate = particular.clone();
-                for (i, k) in kernel.iter().enumerate() {
-                    if bits & (1 << i) != 0 {
-                        candidate.xor_with(k);
+            };
+            let particular = unpermute(&particular_permuted);
+            let kernel: Vec<BitVec> = kernel_permuted.iter().map(unpermute).collect();
+            let cost = |x: &BitVec| -> f64 { x.ones().map(|col| llrs[col]).sum() };
+            let mut best = particular.clone();
+            let mut best_cost = cost(&best);
+            if kernel.len() <= 12 {
+                for bits in 1usize..(1 << kernel.len()) {
+                    let mut candidate = particular.clone();
+                    for (i, k) in kernel.iter().enumerate() {
+                        if bits & (1 << i) != 0 {
+                            candidate.xor_with(k);
+                        }
                     }
-                }
-                let c = cost(&candidate);
-                if c < best_cost {
-                    best_cost = c;
-                    best = candidate;
-                }
-            }
-        } else {
-            for _sweep in 0..3 {
-                let mut improved = false;
-                for k in &kernel {
-                    let mut candidate = best.clone();
-                    candidate.xor_with(k);
                     let c = cost(&candidate);
                     if c < best_cost {
                         best_cost = c;
                         best = candidate;
-                        improved = true;
                     }
                 }
-                if !improved {
-                    break;
+            } else {
+                for _sweep in 0..3 {
+                    let mut improved = false;
+                    for k in &kernel {
+                        let mut candidate = best.clone();
+                        candidate.xor_with(k);
+                        let c = cost(&candidate);
+                        if c < best_cost {
+                            best_cost = c;
+                            best = candidate;
+                            improved = true;
+                        }
+                    }
+                    if !improved {
+                        break;
+                    }
                 }
             }
-        }
-        let chosen: Vec<usize> = best.ones().map(|col| cluster_errors[col]).collect();
+            best.ones().map(|col| cluster_errors[col]).collect()
+        };
         Some(self.matrix.observables_of(&chosen))
     }
 }
@@ -176,72 +224,96 @@ impl ObservableDecoder for UnionFindDecoder {
         if !detectors.any() || m.num_errors() == 0 {
             return BitVec::zeros(m.num_observables());
         }
-        let num_detectors = m.num_detectors();
-        let mut dsu = DisjointSet::new(num_detectors);
-        // in_cluster[d]: whether detector d currently belongs to any cluster.
-        let mut in_cluster = vec![false; num_detectors];
-        for d in detectors.ones() {
-            in_cluster[d] = true;
-        }
-        // error_in[j]: whether error j has been absorbed into the clusters.
+        // One singleton cluster per detection event. Clusters that reach a
+        // valid explanation freeze: they neither grow nor re-solve unless
+        // an invalid neighbour grows into them (then the merged cluster is
+        // marked dirty and solved afresh). This keeps clusters local and
+        // the per-round work proportional to what actually changed.
+        let mut cluster_of = vec![usize::MAX; m.num_detectors()];
+        let mut scanned = vec![false; m.num_detectors()];
         let mut error_absorbed = vec![false; m.num_errors()];
-
-        let mut result_mask = 0u64;
-        for _round in 0..=num_detectors {
-            // Collect current clusters.
-            let mut clusters: std::collections::HashMap<usize, (Vec<usize>, Vec<usize>)> =
-                std::collections::HashMap::new();
-            for (d, &in_c) in in_cluster.iter().enumerate() {
-                if in_c {
-                    let root = dsu.find(d);
-                    clusters.entry(root).or_default().0.push(d);
-                }
-            }
-            for (j, &absorbed) in error_absorbed.iter().enumerate() {
-                if absorbed {
-                    // An absorbed error's detectors are all in one cluster.
-                    let root = dsu.find(m.column(j)[0]);
-                    clusters.entry(root).or_default().1.push(j);
-                }
-            }
-            // Check validity of every cluster that contains a detection event.
+        let mut clusters: Vec<Cluster> = Vec::new();
+        for d in detectors.ones() {
+            cluster_of[d] = clusters.len();
+            clusters.push(Cluster {
+                detectors: vec![d],
+                errors: Vec::new(),
+                valid_mask: None,
+                dirty: true,
+                live: true,
+            });
+        }
+        loop {
+            // Solve phase: re-solve only the clusters whose membership
+            // changed since the last round.
             let mut all_valid = true;
-            result_mask = 0;
-            for (cluster_detectors, cluster_errors) in clusters.values() {
-                if let Some(mask) = self.solve_cluster(cluster_detectors, cluster_errors, detectors)
-                {
-                    result_mask ^= mask;
-                } else {
+            for cluster in &mut clusters {
+                if !cluster.live {
+                    continue;
+                }
+                if cluster.dirty {
+                    cluster.detectors.sort_unstable();
+                    cluster.errors.sort_unstable();
+                    let mask = self.solve_cluster(&cluster.detectors, &cluster.errors, detectors);
+                    cluster.valid_mask = mask;
+                    cluster.dirty = false;
+                }
+                if cluster.valid_mask.is_none() {
                     all_valid = false;
                 }
             }
             if all_valid {
                 break;
             }
-            // Growth: absorb every error adjacent to an in-cluster detector,
-            // merging the clusters it touches.
-            let mut grew = false;
-            for (j, absorbed) in error_absorbed.iter_mut().enumerate() {
-                if *absorbed {
+            // Growth phase: every invalid cluster scans its not-yet-scanned
+            // detectors once (one frontier layer per round), absorbing each
+            // incident error together with that error's other detectors.
+            // Touching a foreign cluster merges it into the grower.
+            let mut progressed = false;
+            for ci in 0..clusters.len() {
+                if !clusters[ci].live || clusters[ci].valid_mask.is_some() {
                     continue;
                 }
-                let column = m.column(j);
-                if column.is_empty() {
-                    continue;
-                }
-                if column.iter().any(|&d| in_cluster[d]) {
-                    *absorbed = true;
-                    grew = true;
-                    let first = column[0];
-                    for &d in column {
-                        in_cluster[d] = true;
-                        dsu.union(first, d);
+                let frontier: Vec<usize> =
+                    clusters[ci].detectors.iter().copied().filter(|&d| !scanned[d]).collect();
+                for d in frontier {
+                    scanned[d] = true;
+                    progressed = true;
+                    for &j in m.row(d) {
+                        if error_absorbed[j] {
+                            continue;
+                        }
+                        error_absorbed[j] = true;
+                        clusters[ci].errors.push(j);
+                        clusters[ci].dirty = true;
+                        for &dd in m.column(j) {
+                            let prev = cluster_of[dd];
+                            if prev == usize::MAX {
+                                cluster_of[dd] = ci;
+                                clusters[ci].detectors.push(dd);
+                            } else if prev != ci {
+                                let mut other = std::mem::take(&mut clusters[prev]);
+                                for &od in &other.detectors {
+                                    cluster_of[od] = ci;
+                                }
+                                clusters[ci].detectors.append(&mut other.detectors);
+                                clusters[ci].errors.append(&mut other.errors);
+                                clusters[ci].dirty = true;
+                            }
+                        }
                     }
                 }
             }
-            if !grew {
-                // Nothing left to absorb; give up with the best effort so far.
+            if !progressed {
+                // Every invalid cluster has exhausted its neighbourhood;
+                // give up with the valid clusters' best effort.
                 break;
+            }
+        }
+        let mut result_mask = 0u64;
+        for c in &clusters {
+            if c.live {
+                result_mask ^= c.valid_mask.unwrap_or(0);
             }
         }
         m.mask_to_bitvec(result_mask)
@@ -267,6 +339,13 @@ impl DecoderFactory for UnionFindFactory {
     }
 
     fn build(&self, dem: &DetectorErrorModel) -> Box<dyn ObservableDecoder + Send + Sync> {
+        Box::new(CachedDecoder::new(UnionFindDecoder::new(dem)))
+    }
+
+    fn build_batch(
+        &self,
+        dem: &DetectorErrorModel,
+    ) -> Box<dyn asynd_circuit::BatchObservableDecoder> {
         Box::new(CachedDecoder::new(UnionFindDecoder::new(dem)))
     }
 }

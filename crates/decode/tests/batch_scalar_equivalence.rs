@@ -1,0 +1,100 @@
+//! Batch-vs-scalar equivalence fuzzing.
+//!
+//! The word-parallel `decode_batch` paths (zero-/single-defect bulk
+//! serving, lane-batched BP, cache-hit scans) must be bit-identical to the
+//! scalar `ObservableDecoder::decode` oracle for every decoder in the
+//! crate. This suite fuzzes that contract across random detector error
+//! models and shot counts straddling the 64-shot word boundary.
+
+use asynd_circuit::{DemError, DetectorErrorModel};
+use asynd_decode::{BpOsdDecoder, CachedDecoder, MwpmDecoder, UnionFindDecoder};
+use asynd_sim::{BatchDecoder, BatchSampler};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A random DEM with `num_detectors` detectors and `num_observables`
+/// observables: each mechanism touches 1–3 distinct detectors and flips an
+/// arbitrary subset of observables, with probabilities high enough that
+/// sampled batches exercise single- and multi-defect shots.
+fn random_dem(num_detectors: usize, num_observables: usize, seed: u64) -> DetectorErrorModel {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let num_errors = rng.gen_range(1..3 * num_detectors + 2);
+    let errors = (0..num_errors)
+        .map(|_| {
+            let weight = rng.gen_range(1..4usize).min(num_detectors);
+            let mut detectors: Vec<usize> =
+                (0..weight).map(|_| rng.gen_range(0..num_detectors)).collect();
+            detectors.sort_unstable();
+            detectors.dedup();
+            let observables: Vec<usize> =
+                (0..num_observables).filter(|_| rng.gen_range(0..2u32) == 1).collect();
+            let probability = 0.02 + 0.2 * (rng.gen_range(0..1000u32) as f64 / 1000.0);
+            DemError { probability, detectors, observables }
+        })
+        .collect();
+    DetectorErrorModel::from_parts(num_detectors, num_observables, errors)
+}
+
+/// Shot counts pinned to the word-boundary edge cases plus arbitrary sizes.
+fn arb_shots() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(1usize), Just(63usize), Just(64usize), Just(65usize), 2usize..130]
+}
+
+fn assert_batch_matches_scalar(
+    decoder: &dyn BatchDecoder,
+    dem: &DetectorErrorModel,
+    shots: usize,
+    seed: u64,
+) {
+    let model = dem.to_frame_model();
+    let sampler = BatchSampler::new(&model);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let batch = sampler.sample(shots, &mut rng);
+    let predictions = decoder.decode_batch(&batch);
+    assert_eq!(predictions.rows(), dem.num_observables());
+    assert_eq!(predictions.cols(), shots);
+    for s in 0..shots {
+        let scalar = decoder.decode_shot(&batch.shot_detectors(s));
+        assert_eq!(predictions.column(s), scalar, "shot {s} diverges from the scalar oracle");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mwpm_batch_matches_scalar(nd in 1usize..12, no in 1usize..4, dem_seed in any::<u64>(),
+                                 shots in arb_shots(), shot_seed in any::<u64>()) {
+        let dem = random_dem(nd, no, dem_seed);
+        assert_batch_matches_scalar(&MwpmDecoder::new(&dem), &dem, shots, shot_seed);
+    }
+
+    #[test]
+    fn unionfind_batch_matches_scalar(nd in 1usize..12, no in 1usize..4, dem_seed in any::<u64>(),
+                                      shots in arb_shots(), shot_seed in any::<u64>()) {
+        let dem = random_dem(nd, no, dem_seed);
+        assert_batch_matches_scalar(&UnionFindDecoder::new(&dem), &dem, shots, shot_seed);
+    }
+
+    #[test]
+    fn bposd_batch_matches_scalar(nd in 1usize..12, no in 1usize..4, dem_seed in any::<u64>(),
+                                  shots in arb_shots(), shot_seed in any::<u64>()) {
+        // The lane-batched BP message pass must replay the scalar
+        // floating-point schedule exactly, so equality here is bit-level,
+        // not approximate.
+        let dem = random_dem(nd, no, dem_seed);
+        assert_batch_matches_scalar(&BpOsdDecoder::new(&dem, 10, 0), &dem, shots, shot_seed);
+    }
+
+    #[test]
+    fn cached_batch_matches_scalar(nd in 1usize..12, no in 1usize..4, dem_seed in any::<u64>(),
+                                   shots in arb_shots(), shot_seed in any::<u64>()) {
+        let dem = random_dem(nd, no, dem_seed);
+        let cached = CachedDecoder::new(UnionFindDecoder::new(&dem));
+        assert_batch_matches_scalar(&cached, &dem, shots, shot_seed);
+        // A second pass over the same batch is served from a warm cache and
+        // must still agree.
+        assert_batch_matches_scalar(&cached, &dem, shots, shot_seed);
+    }
+}

@@ -49,6 +49,31 @@ impl BitVec {
         v
     }
 
+    /// Builds a bit vector of length `len` directly from packed words,
+    /// without copying — the inverse of [`BitVec::words`].
+    ///
+    /// This is the zero-cost bridge from word-packed shot matrices (a
+    /// transposed shot-major row has exactly this layout) to the syndrome
+    /// type the decoders consume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != len.div_ceil(64)` or any padding bit past
+    /// `len` is set (every other constructor maintains that invariant, and
+    /// word-parallel reductions rely on it).
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        assert_eq!(words.len(), len.div_ceil(WORD_BITS), "word count mismatch for length {len}");
+        if !len.is_multiple_of(WORD_BITS) {
+            let tail = words.last().copied().unwrap_or(0);
+            assert_eq!(
+                tail & !((1u64 << (len % WORD_BITS)) - 1),
+                0,
+                "padding bits past length {len} must be zero"
+            );
+        }
+        BitVec { words, len }
+    }
+
     /// Creates a bit vector of length `len` with ones at `indices`.
     ///
     /// # Panics

@@ -634,12 +634,44 @@ pub fn validate_report_text(text: &str) -> Result<ReportSummary, ServerError> {
                 return Err(context("schedule_key", "must be 32 hex digits"));
             }
         }
+        // Decoder-bench members (`BENCH_decoders.json`): the decode path
+        // tag and the per-phase timing split.
+        if let Some(path) = record.get("path") {
+            let path = path.as_str().ok_or_else(|| context("path", "must be a string"))?;
+            if path != "scalar" && path != "word-parallel" {
+                return Err(context("path", "must be `scalar` or `word-parallel`"));
+            }
+        }
+        if let Some(shots) = record.get("shots") {
+            let shots =
+                shots.as_u64().ok_or_else(|| context("shots", "must be a non-negative integer"))?;
+            if shots == 0 {
+                return Err(context("shots", "must be positive"));
+            }
+        }
+        for member in ["sample_ms", "decode_ms", "score_ms"] {
+            if let Some(timing) = record.get(member) {
+                let timing = timing.as_f64().ok_or_else(|| context(member, "must be a number"))?;
+                if timing < 0.0 {
+                    return Err(context(member, "must be non-negative"));
+                }
+            }
+        }
     }
     if let Some(phases) = doc.get("phases") {
         let phases =
             phases.as_array().ok_or_else(|| bad("member `phases` must be an array".into()))?;
         for (index, entry) in phases.iter().enumerate() {
-            for member in ["lookup_ms", "race_ms", "store_ms", "wall_ms"] {
+            // Two phase-entry shapes exist: sweep-cell timings
+            // (lookup/race/store) and estimation-pipeline timings
+            // (sample/decode/score). Either trio must be complete, and
+            // `wall_ms` is always required.
+            let members: &[&str] = if entry.get("sample_ms").is_some() {
+                &["sample_ms", "decode_ms", "score_ms", "wall_ms"]
+            } else {
+                &["lookup_ms", "race_ms", "store_ms", "wall_ms"]
+            };
+            for member in members {
                 let timing = entry.get(member).and_then(Value::as_f64).ok_or_else(|| {
                     bad(format!("phase entry {index}: member `{member}` must be a number"))
                 })?;
@@ -734,9 +766,51 @@ mod tests {
                 r#"{"generated_by":"x","records":[{"code":"c","strategy":"s","p_overall":0.5,"cache_hit_rate":0,"wall_ms":1,"evaluations":1,"winner":true}],"phases":[{"lookup_ms":-1,"race_ms":0,"store_ms":0,"wall_ms":1}]}"#,
                 "non-negative",
             ),
+            (
+                r#"{"generated_by":"x","records":[{"code":"c","strategy":"s","p_overall":0.5,"cache_hit_rate":0,"wall_ms":1,"evaluations":1,"winner":true,"path":"sideways"}]}"#,
+                "word-parallel",
+            ),
+            (
+                r#"{"generated_by":"x","records":[{"code":"c","strategy":"s","p_overall":0.5,"cache_hit_rate":0,"wall_ms":1,"evaluations":1,"winner":true,"shots":0}]}"#,
+                "positive",
+            ),
+            (
+                r#"{"generated_by":"x","records":[{"code":"c","strategy":"s","p_overall":0.5,"cache_hit_rate":0,"wall_ms":1,"evaluations":1,"winner":true,"decode_ms":-2}]}"#,
+                "non-negative",
+            ),
+            (
+                r#"{"generated_by":"x","records":[{"code":"c","strategy":"s","p_overall":0.5,"cache_hit_rate":0,"wall_ms":1,"evaluations":1,"winner":true}],"phases":[{"sample_ms":1,"decode_ms":2,"wall_ms":3}]}"#,
+                "score_ms",
+            ),
         ] {
             let err = validate_report_text(doc).unwrap_err();
             assert!(err.to_string().contains(needle), "{err} lacks {needle:?}");
         }
+    }
+
+    #[test]
+    fn validator_accepts_decoder_bench_reports() {
+        // The shape `cargo bench --bench decoders` emits: decode-phase
+        // record members plus a sample/decode/score phases array.
+        let text = r#"{
+            "generated_by": "cargo bench -p asynd-bench --bench decoders",
+            "records": [
+                {"code": "surface-d5", "strategy": "unionfind/scalar", "decoder": "unionfind",
+                 "path": "scalar", "shots": 1024, "wall_ms": 274.55,
+                 "sample_ms": 0.0, "decode_ms": 0.0, "score_ms": 0.0,
+                 "p_overall": 0.052, "cache_hit_rate": 0.0, "evaluations": 1024, "winner": false},
+                {"code": "surface-d5", "strategy": "unionfind/word-parallel", "decoder": "unionfind",
+                 "path": "word-parallel", "shots": 1024, "wall_ms": 70.1,
+                 "sample_ms": 4.2, "decode_ms": 61.4, "score_ms": 0.8,
+                 "p_overall": 0.052, "cache_hit_rate": 0.0, "evaluations": 1024, "winner": true}
+            ],
+            "phases": [
+                {"code": "surface-d5", "sample_ms": 4.2, "decode_ms": 61.4, "score_ms": 0.8, "wall_ms": 70.1}
+            ]
+        }"#;
+        let summary = validate_report_text(text).unwrap();
+        assert_eq!(summary.records, 2);
+        assert_eq!(summary.codes, 1);
+        assert_eq!(summary.strategies, 2);
     }
 }

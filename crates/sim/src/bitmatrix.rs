@@ -167,6 +167,82 @@ impl BitMatrix {
             self.set(r, c, bit);
         }
     }
+
+    /// Transposes the matrix: returns a `cols × rows` matrix whose bit
+    /// `(c, r)` equals this matrix's bit `(r, c)`.
+    ///
+    /// The kernel is blocked: 64 row-words are gathered into a 64×64 bit
+    /// block (one cache line sweep per block column), transposed in
+    /// registers by recursive quadrant swaps, and scattered to the output.
+    /// Ragged edges — row or column counts not divisible by 64 — ride
+    /// through as zero-padded partial blocks: input padding bits are zero
+    /// by invariant, so output padding bits come out zero without masking.
+    ///
+    /// This is the shot-major ⇄ detector-major bridge of the batch decode
+    /// path: a transposed shot row has the exact word layout of a
+    /// detector-length `BitVec`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use asynd_sim::BitMatrix;
+    ///
+    /// let mut m = BitMatrix::zeros(3, 100);
+    /// m.set(2, 99, true);
+    /// let t = m.transpose();
+    /// assert_eq!((t.rows(), t.cols()), (100, 3));
+    /// assert!(t.get(99, 2));
+    /// assert_eq!(t.transpose(), m);
+    /// ```
+    pub fn transpose(&self) -> BitMatrix {
+        let mut out = BitMatrix::zeros(self.cols, self.rows);
+        if self.rows == 0 || self.cols == 0 {
+            return out;
+        }
+        let out_words_per_row = out.words_per_row;
+        let mut block = [0u64; WORD_BITS];
+        for row_block in 0..self.rows.div_ceil(WORD_BITS) {
+            let r0 = row_block * WORD_BITS;
+            let rows_here = (self.rows - r0).min(WORD_BITS);
+            for col_word in 0..self.words_per_row {
+                for (i, slot) in block.iter_mut().enumerate().take(rows_here) {
+                    *slot = self.words[(r0 + i) * self.words_per_row + col_word];
+                }
+                for slot in block.iter_mut().skip(rows_here) {
+                    *slot = 0;
+                }
+                transpose64(&mut block);
+                let c0 = col_word * WORD_BITS;
+                let cols_here = (self.cols - c0).min(WORD_BITS);
+                for (j, &word) in block.iter().enumerate().take(cols_here) {
+                    out.words[(c0 + j) * out_words_per_row + row_block] = word;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// In-place transpose of a 64×64 bit block (`a[i]` bit `j` ⇄ `a[j]` bit
+/// `i`): log₂(64) rounds of quadrant swaps at shrinking granularity, the
+/// LSB-first form of the Hacker's Delight §7-3 kernel.
+fn transpose64(a: &mut [u64; WORD_BITS]) {
+    let mut j = WORD_BITS / 2;
+    let mut m: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        for k in 0..WORD_BITS {
+            if k & j != 0 {
+                continue;
+            }
+            // Swap the (rows without bit j, columns with bit j) quadrant
+            // with its mirror using the three-XOR exchange.
+            let t = ((a[k] >> j) ^ a[k | j]) & m;
+            a[k] ^= t << j;
+            a[k | j] ^= t;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
 }
 
 #[cfg(test)]
@@ -218,5 +294,64 @@ mod tests {
     fn get_out_of_range_panics() {
         let m = BitMatrix::zeros(2, 10);
         let _ = m.get(0, 10);
+    }
+
+    fn pseudo_random_matrix(rows: usize, cols: usize, seed: u64) -> BitMatrix {
+        // SplitMix64 stream, tail-masked to preserve the padding invariant.
+        let mut m = BitMatrix::zeros(rows, cols);
+        let mut state = seed;
+        let tail = m.tail_mask();
+        let words_per_row = m.words_per_row();
+        for r in 0..rows {
+            for w in 0..words_per_row {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                let mask = if w + 1 == words_per_row { z & tail } else { z };
+                m.xor_row_word(r, w, mask);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn transpose_swaps_every_bit() {
+        for &(rows, cols) in &[(1, 1), (3, 100), (64, 64), (65, 129), (48, 1024), (130, 7)] {
+            let m = pseudo_random_matrix(rows, cols, (rows * 1000 + cols) as u64);
+            let t = m.transpose();
+            assert_eq!((t.rows(), t.cols()), (cols, rows));
+            for r in 0..rows {
+                for c in 0..cols {
+                    assert_eq!(m.get(r, c), t.get(c, r), "bit ({r}, {c}) of {rows}x{cols}");
+                }
+            }
+            assert_eq!(t.transpose(), m, "roundtrip of {rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn transpose_preserves_padding_invariant() {
+        let m = pseudo_random_matrix(70, 70, 42);
+        let t = m.transpose();
+        assert_eq!(t.row_words(3)[1] & !t.tail_mask(), 0, "padding bits must stay zero");
+    }
+
+    #[test]
+    fn transpose_empty_dimensions() {
+        assert_eq!(BitMatrix::zeros(0, 5).transpose(), BitMatrix::zeros(5, 0));
+        assert_eq!(BitMatrix::zeros(5, 0).transpose(), BitMatrix::zeros(0, 5));
+    }
+
+    #[test]
+    fn transposed_row_matches_column_words() {
+        // The load-bearing property of the batch decode path: a transposed
+        // shot row has the same packed words as a column() gather.
+        let m = pseudo_random_matrix(48, 300, 7);
+        let t = m.transpose();
+        for c in [0, 63, 64, 299] {
+            assert_eq!(t.row_words(c), m.column(c).words());
+        }
     }
 }

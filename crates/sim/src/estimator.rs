@@ -118,15 +118,66 @@ impl BatchEstimate {
     }
 }
 
-/// Per-chunk failure counts (summed across chunks, so aggregation is
-/// order-independent and the estimate is deterministic under any thread
-/// interleaving).
+/// Wall-clock nanoseconds spent in each phase of the estimation pipeline,
+/// summed across chunks (and therefore across threads: on `N` workers the
+/// totals can exceed the elapsed wall time by up to `N×`).
+///
+/// Returned by [`ParallelEstimator::estimate_timed`]; kept separate from
+/// [`BatchEstimate`] so the estimate itself stays a pure, comparable
+/// function of `(model, decoder, seed)` — timings vary run to run, the
+/// counts never do.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// Nanoseconds spent sampling packed shots.
+    pub sample_ns: u64,
+    /// Nanoseconds spent in `decode_batch`.
+    pub decode_ns: u64,
+    /// Nanoseconds spent scoring predictions against the truth rows.
+    pub score_ns: u64,
+}
+
+impl PhaseTimings {
+    /// Sampling time in milliseconds.
+    pub fn sample_ms(&self) -> f64 {
+        self.sample_ns as f64 / 1e6
+    }
+
+    /// Decode time in milliseconds.
+    pub fn decode_ms(&self) -> f64 {
+        self.decode_ns as f64 / 1e6
+    }
+
+    /// Scoring time in milliseconds.
+    pub fn score_ms(&self) -> f64 {
+        self.score_ns as f64 / 1e6
+    }
+}
+
+/// Per-chunk failure counts and phase timings (summed across chunks, so
+/// aggregation is order-independent and the estimate is deterministic
+/// under any thread interleaving; the timing fields ride along and are
+/// reported separately).
 #[derive(Debug, Clone, Copy, Default)]
 struct ChunkCounts {
     shots: usize,
     x_failures: usize,
     z_failures: usize,
     any_failures: usize,
+    sample_ns: u64,
+    decode_ns: u64,
+    score_ns: u64,
+}
+
+impl ChunkCounts {
+    fn add(&mut self, other: ChunkCounts) {
+        self.shots += other.shots;
+        self.x_failures += other.x_failures;
+        self.z_failures += other.z_failures;
+        self.any_failures += other.any_failures;
+        self.sample_ns += other.sample_ns;
+        self.decode_ns += other.decode_ns;
+        self.score_ns += other.score_ns;
+    }
 }
 
 /// Streams chunks of packed shots through a [`BatchDecoder`] in parallel
@@ -209,6 +260,30 @@ impl ParallelEstimator {
     where
         D: BatchDecoder + Sync + ?Sized,
     {
+        self.estimate_timed(model, decoder, split_x, shots, seed).0
+    }
+
+    /// Like [`Self::estimate`], but also reports the per-phase
+    /// sample/decode/score wall-clock totals (see [`PhaseTimings`]).
+    ///
+    /// The returned estimate is bit-identical to [`Self::estimate`]'s:
+    /// timing instrumentation never influences chunking, seeding or
+    /// accumulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots == 0`.
+    pub fn estimate_timed<D>(
+        &self,
+        model: &FrameErrorModel,
+        decoder: &D,
+        split_x: usize,
+        shots: usize,
+        seed: u64,
+    ) -> (BatchEstimate, PhaseTimings)
+    where
+        D: BatchDecoder + Sync + ?Sized,
+    {
         assert!(shots > 0, "shots must be positive");
         let sampler = BatchSampler::new(model);
         let chunk_shots = self.config.chunk_shots;
@@ -218,9 +293,18 @@ impl ParallelEstimator {
         let run_chunk = |chunk: usize| -> ChunkCounts {
             let chunk_shots = if chunk + 1 == num_chunks { last_chunk_shots } else { chunk_shots };
             let mut rng = ChaCha8Rng::seed_from_u64(mix_seed(seed, chunk as u64));
+            let t = std::time::Instant::now();
             let batch = sampler.sample(chunk_shots, &mut rng);
+            let sample_ns = t.elapsed().as_nanos() as u64;
+            let t = std::time::Instant::now();
             let predictions = decoder.decode_batch(&batch);
-            score_chunk(&batch, &predictions, split_x, chunk_shots)
+            let decode_ns = t.elapsed().as_nanos() as u64;
+            let t = std::time::Instant::now();
+            let mut counts = score_chunk(&batch, &predictions, split_x, chunk_shots);
+            counts.sample_ns = sample_ns;
+            counts.decode_ns = decode_ns;
+            counts.score_ns = t.elapsed().as_nanos() as u64;
+            counts
         };
 
         let threads =
@@ -229,11 +313,7 @@ impl ParallelEstimator {
         let mut next_wave_start = 0usize;
         while next_wave_start < num_chunks {
             let wave_end = (next_wave_start + self.config.chunks_per_wave).min(num_chunks);
-            let wave = run_wave(next_wave_start, wave_end, threads, &run_chunk);
-            total.shots += wave.shots;
-            total.x_failures += wave.x_failures;
-            total.z_failures += wave.z_failures;
-            total.any_failures += wave.any_failures;
+            total.add(run_wave(next_wave_start, wave_end, threads, &run_chunk));
             next_wave_start = wave_end;
             if let Some(target) = self.config.relative_half_width {
                 let (lo, hi) = wilson_interval(total.any_failures, total.shots, self.config.z);
@@ -244,13 +324,20 @@ impl ParallelEstimator {
                 }
             }
         }
-        BatchEstimate {
-            shots: total.shots,
-            x_failures: total.x_failures,
-            z_failures: total.z_failures,
-            any_failures: total.any_failures,
-            z: self.config.z,
-        }
+        (
+            BatchEstimate {
+                shots: total.shots,
+                x_failures: total.x_failures,
+                z_failures: total.z_failures,
+                any_failures: total.any_failures,
+                z: self.config.z,
+            },
+            PhaseTimings {
+                sample_ns: total.sample_ns,
+                decode_ns: total.decode_ns,
+                score_ns: total.score_ns,
+            },
+        )
     }
 }
 
@@ -289,11 +376,7 @@ where
     if workers <= 1 {
         let mut total = ChunkCounts::default();
         for chunk in start..end {
-            let counts = run_chunk(chunk);
-            total.shots += counts.shots;
-            total.x_failures += counts.x_failures;
-            total.z_failures += counts.z_failures;
-            total.any_failures += counts.any_failures;
+            total.add(run_chunk(chunk));
         }
         return total;
     }
@@ -308,17 +391,9 @@ where
                     if chunk >= end {
                         break;
                     }
-                    let counts = run_chunk(chunk);
-                    local.shots += counts.shots;
-                    local.x_failures += counts.x_failures;
-                    local.z_failures += counts.z_failures;
-                    local.any_failures += counts.any_failures;
+                    local.add(run_chunk(chunk));
                 }
-                let mut total = total.lock().expect("estimator accumulator poisoned");
-                total.shots += local.shots;
-                total.x_failures += local.x_failures;
-                total.z_failures += local.z_failures;
-                total.any_failures += local.any_failures;
+                total.lock().expect("estimator accumulator poisoned").add(local);
             });
         }
     });

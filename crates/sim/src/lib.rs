@@ -65,6 +65,8 @@ mod sampler;
 
 pub use bitmatrix::{BitMatrix, WORD_BITS};
 pub use decoder::BatchDecoder;
-pub use estimator::{mix_seed, wilson_interval, BatchEstimate, EstimatorConfig, ParallelEstimator};
+pub use estimator::{
+    mix_seed, wilson_interval, BatchEstimate, EstimatorConfig, ParallelEstimator, PhaseTimings,
+};
 pub use model::{FrameErrorModel, Mechanism, ModelError};
 pub use sampler::{BatchSampler, BatchShots, BERNOULLI_BITS, GEOMETRIC_THRESHOLD};

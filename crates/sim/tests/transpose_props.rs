@@ -1,0 +1,124 @@
+//! Property-based tests for the blocked bit-transpose kernel.
+//!
+//! The kernel is the foundation of the word-parallel batch decoding path:
+//! `BatchShots` matrices are shot-major (rows = detectors, bit-columns =
+//! shots) and the residual decoders read the transposed, detector-major
+//! layout. Everything downstream assumes the transpose is an exact bit
+//! permutation that preserves the zero-padding invariant, so those are the
+//! properties fuzzed here — including the ragged shapes (widths not a
+//! multiple of 64, single row, single column) where blocked kernels
+//! typically go wrong.
+
+use asynd_sim::BitMatrix;
+use proptest::prelude::*;
+
+/// Dimensions concentrated on the 64-bit word boundaries where blocked
+/// kernels typically go wrong, plus arbitrary in-between sizes.
+fn arb_dim() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(1usize),
+        2usize..64,
+        Just(64usize),
+        65usize..128,
+        Just(128usize),
+        129usize..141,
+    ]
+}
+
+/// Deterministic pseudo-random fill (SplitMix64) so a whole matrix is
+/// reproducible from (rows, cols, seed) without a quadratic strategy.
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> BitMatrix {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut m = BitMatrix::zeros(rows, cols);
+    for r in 0..rows {
+        let mut word = 0u64;
+        for c in 0..cols {
+            if c % 64 == 0 {
+                word = next();
+            }
+            m.set(r, c, word >> (c % 64) & 1 == 1);
+        }
+    }
+    m
+}
+
+proptest! {
+    #[test]
+    fn transpose_swaps_every_bit(rows in arb_dim(), cols in arb_dim(), seed in any::<u64>()) {
+        let m = random_matrix(rows, cols, seed);
+        let t = m.transpose();
+        prop_assert_eq!(t.rows(), cols);
+        prop_assert_eq!(t.cols(), rows);
+        for r in 0..rows {
+            for c in 0..cols {
+                prop_assert_eq!(t.get(c, r), m.get(r, c), "bit ({}, {})", r, c);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip_is_identity(rows in arb_dim(), cols in arb_dim(), seed in any::<u64>()) {
+        let m = random_matrix(rows, cols, seed);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_preserves_padding_invariant(rows in arb_dim(), cols in arb_dim(), seed in any::<u64>()) {
+        // Bits past `cols` in the last word of every row must stay zero —
+        // the batch pipeline reduces whole words without masking.
+        let t = random_matrix(rows, cols, seed).transpose();
+        let tail = t.tail_mask();
+        for r in 0..t.rows() {
+            let words = t.row_words(r);
+            prop_assert_eq!(words.last().copied().unwrap_or(0) & !tail, 0, "row {}", r);
+        }
+    }
+
+    #[test]
+    fn transposed_rows_are_column_words(rows in arb_dim(), cols in arb_dim(), seed in any::<u64>()) {
+        // The property the residual decoders rely on: a transposed row has
+        // the exact packed-word layout of the original column as a BitVec.
+        let m = random_matrix(rows, cols, seed);
+        let t = m.transpose();
+        for c in 0..cols {
+            prop_assert_eq!(t.row_words(c), m.column(c).words(), "column {}", c);
+        }
+    }
+
+    #[test]
+    fn single_row_transposes_to_single_column(bits in prop::collection::vec(any::<bool>(), 1..200)) {
+        let mut m = BitMatrix::zeros(1, bits.len());
+        for (c, &bit) in bits.iter().enumerate() {
+            m.set(0, c, bit);
+        }
+        let t = m.transpose();
+        prop_assert_eq!(t.rows(), bits.len());
+        prop_assert_eq!(t.cols(), 1);
+        for (r, &bit) in bits.iter().enumerate() {
+            prop_assert_eq!(t.get(r, 0), bit);
+        }
+        prop_assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn single_column_transposes_to_single_row(bits in prop::collection::vec(any::<bool>(), 1..200)) {
+        let mut m = BitMatrix::zeros(bits.len(), 1);
+        for (r, &bit) in bits.iter().enumerate() {
+            m.set(r, 0, bit);
+        }
+        let t = m.transpose();
+        prop_assert_eq!(t.rows(), 1);
+        prop_assert_eq!(t.cols(), bits.len());
+        for (c, &bit) in bits.iter().enumerate() {
+            prop_assert_eq!(t.get(0, c), bit);
+        }
+        prop_assert_eq!(t.transpose(), m);
+    }
+}
