@@ -1,0 +1,240 @@
+//! A buffered nonblocking TCP connection.
+//!
+//! The reactor owns many of these and a [`PollSet`](crate::PollSet):
+//! readable events call [`Connection::fill`] to append whatever the
+//! socket has into the inbound buffer (protocol parsing happens there,
+//! in place), writable events call [`Connection::flush`] to drain the
+//! outbound buffer. The outbound buffer size is the reactor's write
+//! backpressure signal: past a high-water mark the reactor stops
+//! *reading* from the connection, so a slow consumer throttles its own
+//! request stream instead of ballooning server memory.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::io::{AsRawFd, RawFd};
+
+/// How much one `fill` pass will read at most, so a single firehose
+/// connection cannot starve the rest of the reactor's round.
+const MAX_FILL_PER_PASS: usize = 256 * 1024;
+
+/// Read chunk granularity.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// A nonblocking stream plus its inbound/outbound buffers.
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+    /// Bytes received but not yet consumed by the protocol parser.
+    rbuf: Vec<u8>,
+    /// Bytes queued for the peer but not yet accepted by the socket.
+    wbuf: Vec<u8>,
+    /// Cursor into `wbuf` (compacted opportunistically).
+    wpos: usize,
+    read_closed: bool,
+}
+
+impl Connection {
+    /// Adopts `stream`, switching it to nonblocking mode with Nagle
+    /// disabled (the protocol is request/response; latency beats
+    /// batching).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `set_nonblocking`/`set_nodelay` failures.
+    pub fn new(stream: TcpStream) -> std::io::Result<Connection> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(Connection { stream, rbuf: Vec::new(), wbuf: Vec::new(), wpos: 0, read_closed: false })
+    }
+
+    /// The underlying stream (for peer-address logging).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Reads until the socket would block, EOF, or the per-pass cap.
+    /// Returns the bytes appended this pass. EOF is recorded (see
+    /// [`Connection::read_closed`]); it is not an error — protocol data
+    /// already buffered stays parseable, and half-closed peers still
+    /// receive their pending responses.
+    ///
+    /// # Errors
+    ///
+    /// Returns hard socket errors (connection reset). The connection
+    /// should be dropped; buffered outbound data is undeliverable.
+    pub fn fill(&mut self) -> std::io::Result<usize> {
+        let mut appended = 0usize;
+        let mut chunk = [0u8; READ_CHUNK];
+        while appended < MAX_FILL_PER_PASS {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.read_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                    appended += n;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(appended)
+    }
+
+    /// The inbound buffer, for in-place protocol parsing. Consume from
+    /// the front with `drain(..n)`.
+    pub fn rbuf(&mut self) -> &mut Vec<u8> {
+        &mut self.rbuf
+    }
+
+    /// Bytes currently buffered inbound.
+    pub fn buffered_in(&self) -> usize {
+        self.rbuf.len()
+    }
+
+    /// Whether the peer half-closed its sending side (EOF seen).
+    pub fn read_closed(&self) -> bool {
+        self.read_closed
+    }
+
+    /// Queues bytes for the peer (does not write to the socket; call
+    /// [`Connection::flush`]).
+    pub fn queue(&mut self, bytes: &[u8]) {
+        self.wbuf.extend_from_slice(bytes);
+    }
+
+    /// Writes queued bytes until drained or the socket would block.
+    /// Returns `true` when the outbound buffer is empty afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns hard socket errors (broken pipe); the connection should
+    /// be dropped.
+    pub fn flush(&mut self) -> std::io::Result<bool> {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Compact once the cursor clears half the buffer, so long-lived
+        // connections do not accrete a dead prefix.
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        } else if self.wpos > self.wbuf.len() / 2 {
+            self.wbuf.drain(..self.wpos);
+            self.wpos = 0;
+        }
+        Ok(!self.wants_write())
+    }
+
+    /// Bytes queued outbound but not yet accepted by the socket — the
+    /// write backpressure signal.
+    pub fn buffered_out(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// Whether a flush is still owed.
+    pub fn wants_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+}
+
+impl AsRawFd for Connection {
+    fn as_raw_fd(&self) -> RawFd {
+        self.stream.as_raw_fd()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (Connection, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let peer = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (ours, _) = listener.accept().unwrap();
+        (Connection::new(ours).unwrap(), peer)
+    }
+
+    #[test]
+    fn fill_is_nonblocking_and_accumulates() {
+        let (mut conn, mut peer) = pair();
+        assert_eq!(conn.fill().unwrap(), 0, "nothing to read yet");
+        assert!(!conn.read_closed());
+
+        peer.write_all(b"hello ").unwrap();
+        peer.write_all(b"world").unwrap();
+        peer.flush().unwrap();
+        // Wait for delivery (loopback is fast but asynchronous).
+        let mut got = 0;
+        for _ in 0..200 {
+            got += conn.fill().unwrap();
+            if got >= 11 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(&conn.rbuf()[..], b"hello world");
+        conn.rbuf().drain(..6);
+        assert_eq!(&conn.rbuf()[..], b"world");
+    }
+
+    #[test]
+    fn eof_is_recorded_not_errored() {
+        let (mut conn, peer) = pair();
+        drop(peer);
+        for _ in 0..200 {
+            conn.fill().unwrap();
+            if conn.read_closed() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(conn.read_closed());
+    }
+
+    #[test]
+    fn queue_flush_delivers_and_compacts() {
+        let (mut conn, mut peer) = pair();
+        conn.queue(b"abc");
+        conn.queue(b"def");
+        assert_eq!(conn.buffered_out(), 6);
+        assert!(conn.flush().unwrap(), "loopback drains immediately");
+        assert_eq!(conn.buffered_out(), 0);
+        assert!(!conn.wants_write());
+
+        let mut got = [0u8; 6];
+        std::io::Read::read_exact(&mut peer, &mut got).unwrap();
+        assert_eq!(&got, b"abcdef");
+    }
+
+    #[test]
+    fn backpressure_builds_when_the_peer_stops_reading() {
+        let (mut conn, _peer) = pair();
+        // Queue far more than socket buffers hold while the peer never
+        // reads: flush must park on WouldBlock with the rest buffered,
+        // never block or error.
+        let blob = vec![0x5au8; 256 * 1024];
+        let mut drained = true;
+        for _ in 0..64 {
+            conn.queue(&blob);
+            drained = conn.flush().unwrap();
+        }
+        assert!(!drained, "16 MiB cannot fit in socket buffers");
+        assert!(conn.buffered_out() > 0);
+        assert!(conn.wants_write());
+    }
+}

@@ -1,0 +1,349 @@
+//! The protocol v2 frame codec.
+//!
+//! Protocol v1 is JSON lines; v2 wraps the same JSON documents in
+//! length-prefixed binary frames so responses can be streamed out of
+//! order (job-id-keyed), progress can interleave with results, and a
+//! client can cancel a specific in-flight job. The frame header is six
+//! bytes:
+//!
+//! ```text
+//! offset 0   u8   magic (0xA5 — never a valid first byte of a v1 JSON
+//!                 line, which is how the server autodetects protocol)
+//! offset 1   u8   frame kind
+//! offset 2   u32  payload length, little endian
+//! offset 6   ...  payload (a JSON document, kind-specific)
+//! ```
+//!
+//! Kinds 0x01–0x7f travel client→server, 0x81–0xff server→client:
+//!
+//! | kind | direction | payload |
+//! |------|-----------|---------|
+//! | 0x01 `Request`  | c→s | a v1 request object (`synthesize`, `lookup`, `metrics`, `ping`, `shutdown`) |
+//! | 0x02 `Cancel`   | c→s | `{"id": "..."}` — cancel that job if still possible |
+//! | 0x81 `Response` | s→c | a v1 response object, delivered when *that job* finishes |
+//! | 0x82 `Progress` | s→c | `{"id","stage",...}` job lifecycle / partial results |
+//! | 0x83 `Goodbye`  | s→c | final frame before server-initiated close (shutdown ack or fatal protocol error) |
+//!
+//! The [`FrameDecoder`] is incremental (feed bytes as they arrive, take
+//! frames as they complete) and fails closed: bad magic, unknown kinds
+//! and oversized declared lengths are hard errors — the connection is
+//! beyond resynchronization and must be dropped after a `Goodbye`.
+
+use std::fmt;
+
+/// First byte of every v2 frame.
+pub const FRAME_MAGIC: u8 = 0xA5;
+
+/// Bytes before the payload.
+pub const FRAME_HEADER_LEN: usize = 6;
+
+/// Default cap on declared payload lengths. Generous: the largest real
+/// payload is a schedule artifact response, well under a megabyte.
+pub const MAX_FRAME_PAYLOAD: usize = 4 * 1024 * 1024;
+
+/// What a frame carries (see the module docs table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Client→server: a v1 request object.
+    Request = 0x01,
+    /// Client→server: cancel the job named in the payload.
+    Cancel = 0x02,
+    /// Server→client: a job's final response (job-id-keyed; arrival
+    /// order is completion order, not submission order).
+    Response = 0x81,
+    /// Server→client: a job lifecycle/progress event, possibly carrying
+    /// a partial result.
+    Progress = 0x82,
+    /// Server→client: the last frame before the server closes the
+    /// connection.
+    Goodbye = 0x83,
+}
+
+impl FrameKind {
+    /// Decodes a kind byte.
+    pub fn from_u8(byte: u8) -> Option<FrameKind> {
+        match byte {
+            0x01 => Some(FrameKind::Request),
+            0x02 => Some(FrameKind::Cancel),
+            0x81 => Some(FrameKind::Response),
+            0x82 => Some(FrameKind::Progress),
+            0x83 => Some(FrameKind::Goodbye),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The kind byte.
+    pub kind: FrameKind,
+    /// The raw payload (a JSON document; this crate never parses it).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A frame over owned payload bytes.
+    pub fn new(kind: FrameKind, payload: Vec<u8>) -> Frame {
+        Frame { kind, payload }
+    }
+
+    /// Total encoded size.
+    pub fn encoded_len(&self) -> usize {
+        FRAME_HEADER_LEN + self.payload.len()
+    }
+
+    /// Appends the encoded frame to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.encoded_len());
+        out.push(FRAME_MAGIC);
+        out.push(self.kind as u8);
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+    }
+
+    /// The encoded frame as a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+}
+
+/// Why a byte stream stopped being a valid frame sequence. All variants
+/// are fatal for the connection: framing has no resynchronization point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first byte of a frame was not [`FRAME_MAGIC`].
+    BadMagic(u8),
+    /// The kind byte is not a known [`FrameKind`].
+    UnknownKind(u8),
+    /// The declared payload length exceeds the decoder's cap.
+    Oversized {
+        /// The length the header declared.
+        declared: u32,
+        /// The decoder's cap.
+        max: usize,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic(byte) => {
+                write!(f, "bad frame magic 0x{byte:02x} (expected 0x{FRAME_MAGIC:02x})")
+            }
+            FrameError::UnknownKind(byte) => write!(f, "unknown frame kind 0x{byte:02x}"),
+            FrameError::Oversized { declared, max } => {
+                write!(f, "declared payload length {declared} exceeds the {max}-byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// An incremental frame decoder over an internal byte buffer.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix (compacted opportunistically).
+    pos: usize,
+    max_payload: usize,
+    /// A detected framing error is sticky: the stream cannot recover.
+    poisoned: Option<FrameError>,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        FrameDecoder::new()
+    }
+}
+
+impl FrameDecoder {
+    /// A decoder with the default [`MAX_FRAME_PAYLOAD`] cap.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::with_max_payload(MAX_FRAME_PAYLOAD)
+    }
+
+    /// A decoder with an explicit payload cap (tests and memory-tight
+    /// deployments).
+    pub fn with_max_payload(max_payload: usize) -> FrameDecoder {
+        FrameDecoder { buf: Vec::new(), pos: 0, max_payload, poisoned: None }
+    }
+
+    /// Appends raw bytes from the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded (partial frame in flight).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes the next complete frame, `Ok(None)` while the buffer holds
+    /// only a partial frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns (and keeps returning — the error is sticky) the first
+    /// framing violation: bad magic, unknown kind, oversized length.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        if let Some(error) = self.poisoned {
+            return Err(error);
+        }
+        let avail = self.buf.len() - self.pos;
+        if avail < FRAME_HEADER_LEN {
+            self.compact();
+            return Ok(None);
+        }
+        let header = &self.buf[self.pos..self.pos + FRAME_HEADER_LEN];
+        if header[0] != FRAME_MAGIC {
+            return Err(self.poison(FrameError::BadMagic(header[0])));
+        }
+        let kind = match FrameKind::from_u8(header[1]) {
+            Some(kind) => kind,
+            None => return Err(self.poison(FrameError::UnknownKind(header[1]))),
+        };
+        let declared = u32::from_le_bytes([header[2], header[3], header[4], header[5]]);
+        if declared as usize > self.max_payload {
+            return Err(self.poison(FrameError::Oversized { declared, max: self.max_payload }));
+        }
+        let total = FRAME_HEADER_LEN + declared as usize;
+        if avail < total {
+            self.compact();
+            return Ok(None);
+        }
+        let start = self.pos + FRAME_HEADER_LEN;
+        let payload = self.buf[start..start + declared as usize].to_vec();
+        self.pos += total;
+        self.compact();
+        Ok(Some(Frame { kind, payload }))
+    }
+
+    fn poison(&mut self, error: FrameError) -> FrameError {
+        self.poisoned = Some(error);
+        error
+    }
+
+    fn compact(&mut self) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > 4096 && self.pos > self.buf.len() / 2 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        for kind in [
+            FrameKind::Request,
+            FrameKind::Cancel,
+            FrameKind::Response,
+            FrameKind::Progress,
+            FrameKind::Goodbye,
+        ] {
+            let frame = Frame::new(kind, br#"{"op":"ping"}"#.to_vec());
+            let mut decoder = FrameDecoder::new();
+            decoder.feed(&frame.encode());
+            assert_eq!(decoder.next_frame().unwrap().unwrap(), frame);
+            assert_eq!(decoder.next_frame().unwrap(), None);
+            assert_eq!(decoder.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time_feeding_decodes_identically() {
+        let frames = [
+            Frame::new(FrameKind::Request, b"{}".to_vec()),
+            Frame::new(FrameKind::Cancel, br#"{"id":"j1"}"#.to_vec()),
+            Frame::new(FrameKind::Response, vec![]),
+        ];
+        let mut wire = Vec::new();
+        for frame in &frames {
+            frame.encode_into(&mut wire);
+        }
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        for &byte in &wire {
+            decoder.feed(&[byte]);
+            while let Some(frame) = decoder.next_frame().unwrap() {
+                decoded.push(frame);
+            }
+        }
+        assert_eq!(decoded, frames);
+    }
+
+    #[test]
+    fn truncated_frame_waits_instead_of_erroring() {
+        let frame = Frame::new(FrameKind::Request, vec![b'x'; 100]);
+        let wire = frame.encode();
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&wire[..wire.len() - 1]);
+        assert_eq!(decoder.next_frame().unwrap(), None, "incomplete payload is not an error");
+        assert_eq!(decoder.buffered(), wire.len() - 1);
+        decoder.feed(&wire[wire.len() - 1..]);
+        assert_eq!(decoder.next_frame().unwrap().unwrap(), frame);
+    }
+
+    #[test]
+    fn bad_magic_is_fatal_and_sticky() {
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(b"{\"op\":\"ping\"}\n");
+        assert_eq!(decoder.next_frame(), Err(FrameError::BadMagic(b'{')));
+        // Feeding a perfectly valid frame afterwards cannot resurrect
+        // the stream.
+        decoder.feed(&Frame::new(FrameKind::Request, vec![]).encode());
+        assert_eq!(decoder.next_frame(), Err(FrameError::BadMagic(b'{')));
+    }
+
+    #[test]
+    fn unknown_kind_is_fatal() {
+        let mut wire = Frame::new(FrameKind::Request, vec![]).encode();
+        wire[1] = 0x7e;
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&wire);
+        assert_eq!(decoder.next_frame(), Err(FrameError::UnknownKind(0x7e)));
+    }
+
+    #[test]
+    fn oversized_declared_length_never_allocates() {
+        let mut decoder = FrameDecoder::with_max_payload(1024);
+        let mut header = vec![FRAME_MAGIC, FrameKind::Request as u8];
+        header.extend_from_slice(&u32::MAX.to_le_bytes());
+        decoder.feed(&header);
+        assert_eq!(
+            decoder.next_frame(),
+            Err(FrameError::Oversized { declared: u32::MAX, max: 1024 })
+        );
+        assert!(decoder.buffered() <= FRAME_HEADER_LEN, "no payload buffering happened");
+    }
+
+    #[test]
+    fn exactly_max_payload_is_accepted() {
+        let frame = Frame::new(FrameKind::Progress, vec![7u8; 64]);
+        let mut decoder = FrameDecoder::with_max_payload(64);
+        decoder.feed(&frame.encode());
+        assert_eq!(decoder.next_frame().unwrap().unwrap(), frame);
+    }
+
+    #[test]
+    fn long_streams_compact_the_consumed_prefix() {
+        let frame = Frame::new(FrameKind::Progress, vec![1u8; 512]);
+        let mut decoder = FrameDecoder::new();
+        for _ in 0..100 {
+            decoder.feed(&frame.encode());
+            assert_eq!(decoder.next_frame().unwrap().unwrap(), frame);
+        }
+        assert_eq!(decoder.buffered(), 0);
+    }
+}

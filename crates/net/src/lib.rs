@@ -1,0 +1,42 @@
+//! Nonblocking networking primitives for the reactor serving layer.
+//!
+//! This crate is the I/O substrate underneath `asynd-server`'s reactor
+//! event loop and the `asynd loadgen` client: everything needed to
+//! multiplex thousands of connections on a handful of threads without an
+//! async runtime, built directly on `std::net` and one `poll(2)` call.
+//!
+//! * [`PollSet`] — a stateless readiness poller over raw file
+//!   descriptors (the only `unsafe` in the workspace, a single
+//!   tightly-scoped `poll(2)` FFI binding in the private `sys` module).
+//! * [`wake_pair`] — a cross-thread wakeup channel built from a loopback
+//!   socket pair, so worker threads can interrupt a parked reactor
+//!   without any further FFI surface.
+//! * [`Connection`] — a buffered nonblocking TCP connection: reads
+//!   accumulate into an inbound buffer, writes drain from an outbound
+//!   buffer, and the outbound high-water mark is the reactor's write
+//!   backpressure signal.
+//! * [`frame`] — the protocol v2 frame codec: length-prefixed binary
+//!   frames (magic, kind, `u32` payload length) carrying JSON payloads,
+//!   with an incremental decoder hardened against truncation, garbage
+//!   and oversized declared lengths.
+//!
+//! The crate is transport only: it never parses JSON and knows nothing
+//! about jobs, tenants or schedules. Protocol semantics live in
+//! `asynd-server`.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(not(unix))]
+compile_error!("asynd-net drives sockets through poll(2) and requires a Unix target");
+
+pub mod frame;
+
+mod conn;
+mod poll;
+mod sys;
+mod wake;
+
+pub use conn::Connection;
+pub use poll::{Interest, PollEvent, PollSet};
+pub use wake::{wake_pair, WakeReceiver, Waker};

@@ -1,0 +1,183 @@
+//! A stateless readiness poller over raw file descriptors.
+//!
+//! `poll(2)` takes the full interest set on every call, so the natural
+//! Rust shape is rebuild-per-iteration: the reactor clears the set,
+//! registers whatever it currently cares about, polls, and walks the
+//! ready events. No registration handles, no epoll-style bookkeeping to
+//! fall out of sync with connection state.
+
+use std::io;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::time::Duration;
+
+use crate::sys;
+
+/// What a registered descriptor is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the descriptor becomes readable.
+    pub readable: bool,
+    /// Wake when the descriptor becomes writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read readiness only.
+    pub const READABLE: Interest = Interest { readable: true, writable: false };
+    /// Write readiness only.
+    pub const WRITABLE: Interest = Interest { readable: false, writable: true };
+    /// Both directions.
+    pub const BOTH: Interest = Interest { readable: true, writable: true };
+}
+
+/// One readiness event out of [`PollSet::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollEvent {
+    /// The token the descriptor was registered under.
+    pub token: u64,
+    /// The descriptor is readable (or has pending data before EOF).
+    pub readable: bool,
+    /// The descriptor is writable.
+    pub writable: bool,
+    /// The peer hung up or the descriptor is in an error state
+    /// (`POLLERR`/`POLLHUP`/`POLLNVAL`); the owner should read to EOF
+    /// and drop it.
+    pub closed: bool,
+}
+
+/// A reusable `poll(2)` interest set mapping descriptors to caller
+/// tokens.
+#[derive(Debug, Default)]
+pub struct PollSet {
+    fds: Vec<sys::PollFd>,
+    tokens: Vec<u64>,
+}
+
+impl PollSet {
+    /// An empty set.
+    pub fn new() -> PollSet {
+        PollSet::default()
+    }
+
+    /// Empties the set (keeps allocations for the next iteration).
+    pub fn clear(&mut self) {
+        self.fds.clear();
+        self.tokens.clear();
+    }
+
+    /// Number of registered descriptors.
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// Whether nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// Registers `source` under `token` for this poll round.
+    pub fn register(&mut self, source: &impl AsRawFd, token: u64, interest: Interest) {
+        self.register_fd(source.as_raw_fd(), token, interest);
+    }
+
+    /// As [`PollSet::register`], from a raw descriptor.
+    pub fn register_fd(&mut self, fd: RawFd, token: u64, interest: Interest) {
+        let mut events = 0i16;
+        if interest.readable {
+            events |= sys::POLL_IN;
+        }
+        if interest.writable {
+            events |= sys::POLL_OUT;
+        }
+        self.fds.push(sys::PollFd { fd, events, revents: 0 });
+        self.tokens.push(token);
+    }
+
+    /// Blocks until at least one registered descriptor is ready or the
+    /// timeout elapses (`None` waits indefinitely). Returns the number
+    /// of ready descriptors; read them with [`PollSet::events`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates `poll(2)` failures (`EINTR` is retried internally).
+    pub fn poll(&mut self, timeout: Option<Duration>) -> io::Result<usize> {
+        for fd in &mut self.fds {
+            fd.revents = 0;
+        }
+        sys::poll_fds(&mut self.fds, timeout)
+    }
+
+    /// The events of the last [`PollSet::poll`] round.
+    pub fn events(&self) -> impl Iterator<Item = PollEvent> + '_ {
+        self.fds.iter().zip(&self.tokens).filter(|(fd, _)| fd.revents != 0).map(|(fd, &token)| {
+            PollEvent {
+                token,
+                readable: fd.revents & (sys::POLL_IN | sys::POLL_HUP) != 0,
+                writable: fd.revents & sys::POLL_OUT != 0,
+                closed: fd.revents & (sys::POLL_ERR | sys::POLL_HUP | sys::POLL_NVAL) != 0,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+
+    fn loopback_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn readable_only_after_data_arrives() {
+        let (mut client, server) = loopback_pair();
+        let mut set = PollSet::new();
+        set.register(&server, 7, Interest::READABLE);
+        assert_eq!(set.poll(Some(Duration::ZERO)).unwrap(), 0, "no data yet");
+
+        client.write_all(b"x").unwrap();
+        client.flush().unwrap();
+        assert!(set.poll(Some(Duration::from_secs(5))).unwrap() >= 1);
+        let event = set.events().next().unwrap();
+        assert_eq!(event.token, 7);
+        assert!(event.readable);
+        assert!(!event.closed);
+    }
+
+    #[test]
+    fn hangup_reports_closed() {
+        let (client, server) = loopback_pair();
+        drop(client);
+        let mut set = PollSet::new();
+        set.register(&server, 3, Interest::READABLE);
+        assert!(set.poll(Some(Duration::from_secs(5))).unwrap() >= 1);
+        let event = set.events().next().unwrap();
+        assert!(event.readable, "EOF is reported as readable (read returns 0)");
+    }
+
+    #[test]
+    fn idle_sockets_are_writable() {
+        let (_client, server) = loopback_pair();
+        let mut set = PollSet::new();
+        set.register(&server, 1, Interest::BOTH);
+        assert!(set.poll(Some(Duration::from_secs(5))).unwrap() >= 1);
+        assert!(set.events().next().unwrap().writable);
+    }
+
+    #[test]
+    fn clear_resets_between_rounds() {
+        let (_client, server) = loopback_pair();
+        let mut set = PollSet::new();
+        set.register(&server, 1, Interest::WRITABLE);
+        assert!(set.poll(Some(Duration::from_secs(5))).unwrap() >= 1);
+        set.clear();
+        assert!(set.is_empty());
+        assert_eq!(set.poll(Some(Duration::ZERO)).unwrap(), 0);
+        assert_eq!(set.events().count(), 0);
+    }
+}

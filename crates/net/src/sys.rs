@@ -1,0 +1,93 @@
+//! The `poll(2)` FFI binding — the only unsafe code in the workspace.
+//!
+//! `std` exposes nonblocking sockets but no readiness notification, and
+//! the container vendors no `libc`/`mio`; declaring the one symbol we
+//! need keeps the reactor free of busy-wait sweeps. The binding is
+//! wrapped by the safe [`poll`] function below, whose only obligation is
+//! passing a valid `pollfd` slice — upheld by construction.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::time::Duration;
+
+/// One entry of the `poll(2)` fd set (the C `struct pollfd` layout,
+/// identical across the Unix targets we build for).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PollFd {
+    /// The file descriptor to watch (< 0 entries are ignored by the
+    /// kernel, which `poll(2)` documents as the way to skip a slot).
+    pub fd: i32,
+    /// Requested events (`POLL_IN` / `POLL_OUT`).
+    pub events: i16,
+    /// Returned events (filled by the kernel).
+    pub revents: i16,
+}
+
+pub(crate) const POLL_IN: i16 = 0x001;
+pub(crate) const POLL_OUT: i16 = 0x004;
+pub(crate) const POLL_ERR: i16 = 0x008;
+pub(crate) const POLL_HUP: i16 = 0x010;
+pub(crate) const POLL_NVAL: i16 = 0x020;
+
+#[cfg(target_os = "linux")]
+type NfdsT = u64;
+#[cfg(not(target_os = "linux"))]
+type NfdsT = u32;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: i32) -> i32;
+}
+
+/// Waits for readiness on `fds`, blocking up to `timeout` (`None` waits
+/// forever). Returns the number of entries with non-zero `revents`.
+/// `EINTR` is retried transparently.
+///
+/// # Errors
+///
+/// Propagates the OS error (`EINVAL` for an oversized set, `ENOMEM`).
+pub(crate) fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    let timeout_ms: i32 = match timeout {
+        None => -1,
+        // Round up so a 0 < t < 1ms timeout still sleeps instead of
+        // spinning; saturate far beyond any sane reactor tick.
+        Some(t) => i32::try_from(t.as_millis().max(u128::from(u32::from(!t.is_zero()))))
+            .unwrap_or(i32::MAX),
+    };
+    loop {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // `#[repr(C)]` pollfd entries; the kernel writes only `revents`
+        // within its bounds.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_timeout_on_empty_set_returns_immediately() {
+        let mut fds: Vec<PollFd> = Vec::new();
+        assert_eq!(poll_fds(&mut fds, Some(Duration::ZERO)).unwrap(), 0);
+    }
+
+    #[test]
+    fn sub_millisecond_timeouts_round_up_not_down() {
+        // A 100µs timeout must not become a busy-spin 0ms poll.
+        let started = std::time::Instant::now();
+        let mut fds: Vec<PollFd> = Vec::new();
+        for _ in 0..3 {
+            poll_fds(&mut fds, Some(Duration::from_micros(100))).unwrap();
+        }
+        assert!(started.elapsed() >= Duration::from_millis(2));
+    }
+}

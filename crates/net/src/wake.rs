@@ -1,0 +1,136 @@
+//! Cross-thread reactor wakeups without extra FFI.
+//!
+//! A reactor parked in `poll(2)` must be interruptible by worker threads
+//! delivering job completions. The classic mechanism is a self-pipe; to
+//! keep the crate's unsafe surface at exactly one symbol, the pipe is
+//! built from a connected loopback TCP pair instead — one socket is the
+//! write end ([`Waker`]), the other the read end ([`WakeReceiver`])
+//! registered in the reactor's [`PollSet`](crate::PollSet).
+//!
+//! Wakeups are level-coalescing: writing into an already-full socket
+//! buffer means a wake is still pending, so [`Waker::wake`] treats
+//! `WouldBlock` (and every other error — the receiver going away just
+//! means the loop is exiting) as success.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
+
+/// The write end of a wakeup channel. Cheap to share behind an `Arc`;
+/// `wake` takes `&self` and never blocks.
+#[derive(Debug)]
+pub struct Waker {
+    tx: TcpStream,
+}
+
+impl Waker {
+    /// Interrupts the receiver's current (or next) poll. Never blocks,
+    /// never fails: a full buffer already guarantees a pending wakeup,
+    /// and a vanished receiver means nobody is left to wake.
+    pub fn wake(&self) {
+        let _ = (&self.tx).write(&[1u8]);
+    }
+}
+
+/// The read end of a wakeup channel: register it readable in a poll set
+/// and [`drain`](WakeReceiver::drain) it on every wakeup.
+#[derive(Debug)]
+pub struct WakeReceiver {
+    rx: TcpStream,
+}
+
+impl WakeReceiver {
+    /// Consumes all pending wakeup bytes (they carry no data, only
+    /// readiness). Returns how many wakeup writes were coalesced.
+    pub fn drain(&mut self) -> usize {
+        let mut total = 0usize;
+        let mut buf = [0u8; 256];
+        loop {
+            match self.rx.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => total += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+        total
+    }
+}
+
+impl AsRawFd for WakeReceiver {
+    fn as_raw_fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+}
+
+/// Builds a connected wakeup channel over loopback.
+///
+/// # Errors
+///
+/// Propagates socket errors (no loopback interface, fd exhaustion).
+pub fn wake_pair() -> std::io::Result<(Waker, WakeReceiver)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let tx = TcpStream::connect(listener.local_addr()?)?;
+    let (rx, _) = listener.accept()?;
+    tx.set_nodelay(true)?;
+    tx.set_nonblocking(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((Waker { tx }, WakeReceiver { rx }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Interest, PollSet};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn wake_interrupts_a_poll_and_drains_clean() {
+        let (waker, mut receiver) = wake_pair().unwrap();
+        let mut set = PollSet::new();
+        set.register(&receiver, 0, Interest::READABLE);
+        assert_eq!(set.poll(Some(Duration::ZERO)).unwrap(), 0, "quiet before any wake");
+
+        waker.wake();
+        waker.wake();
+        assert!(set.poll(Some(Duration::from_secs(5))).unwrap() >= 1);
+        assert!(receiver.drain() >= 1, "coalesced wakes drain as at least one byte");
+        assert_eq!(set.poll(Some(Duration::ZERO)).unwrap(), 0, "drained channel is quiet");
+    }
+
+    #[test]
+    fn waking_from_another_thread_unparks_an_indefinite_poll() {
+        let (waker, receiver) = wake_pair().unwrap();
+        let waker = Arc::new(waker);
+        let remote = Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            remote.wake();
+        });
+        let mut set = PollSet::new();
+        set.register(&receiver, 9, Interest::READABLE);
+        // Indefinite poll: only the wake can end it.
+        assert!(set.poll(None).unwrap() >= 1);
+        assert_eq!(set.events().next().unwrap().token, 9);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn wake_survives_a_dropped_receiver() {
+        let (waker, receiver) = wake_pair().unwrap();
+        drop(receiver);
+        waker.wake(); // must not panic or error
+        waker.wake();
+    }
+
+    #[test]
+    fn wake_never_blocks_even_when_the_buffer_fills() {
+        let (waker, _receiver) = wake_pair().unwrap();
+        // Far more wakes than any socket buffer holds in bytes.
+        for _ in 0..1_000_000 {
+            waker.wake();
+        }
+    }
+}

@@ -1,10 +1,13 @@
 //! `asynd` — the AlphaSyndrome synthesis serving CLI.
 //!
 //! ```text
-//! asynd serve    [--tcp ADDR] [--workers N] [--queue N] [--cache N] [--max-budget N]
-//!                [--registry DIR] [--events DIR]
+//! asynd serve    [--tcp ADDR] [--reactors N] [--workers N] [--queue N] [--cache N]
+//!                [--max-budget N] [--registry DIR] [--events DIR]
 //! asynd submit   [--tcp ADDR] [--file PATH] [--workers N] [--registry DIR]
 //! asynd metrics  --tcp ADDR [--text] [--watch] [--interval SECS]
+//! asynd loadgen  --tcp ADDR [--mode open|closed] [--conns a,b,c] [--requests N]
+//!                [--rate R] [--duration SECS] [--pipeline N] [--proto v1|v2]
+//!                [--workload ping|synthesize] [--out PATH] [--smoke] [--quiet]
 //! asynd sweep    [--smoke] [--out PATH] [--seed N] [--rates a,b,c] [--shots N]
 //!                [--families a,b] [--budget-mult N] [--max-qubits N]
 //!                [--entries N] [--workers N] [--registry DIR] [--quiet]
@@ -38,9 +41,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use asynd_registry::Registry;
+use asynd_server::loadgen::{self, LoadgenConfig, Mode, WireProtocol, Workload};
 use asynd_server::protocol::Response;
 use asynd_server::sweep::{run_sweep_with_registry, validate_report_text, SweepConfig};
-use asynd_server::{serve_lines, serve_tcp, ScheduleServer, ServerConfig};
+use asynd_server::{
+    serve_lines, serve_tcp_with, MetricsClient, ReactorOptions, ScheduleServer, ServerConfig,
+};
 use asynd_telemetry::EventLog;
 
 fn main() -> ExitCode {
@@ -53,6 +59,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(rest),
         "submit" => cmd_submit(rest),
         "metrics" => cmd_metrics(rest),
+        "loadgen" => cmd_loadgen(rest),
         "sweep" => cmd_sweep(rest),
         "registry" => cmd_registry(rest),
         "validate" => cmd_validate(rest),
@@ -75,10 +82,13 @@ const USAGE: &str = "\
 asynd — AlphaSyndrome synthesis serving CLI
 
 USAGE:
-  asynd serve    [--tcp ADDR] [--workers N] [--queue N] [--cache N] [--max-budget N]
-                 [--registry DIR] [--events DIR]
+  asynd serve    [--tcp ADDR] [--reactors N] [--workers N] [--queue N] [--cache N]
+                 [--max-budget N] [--registry DIR] [--events DIR]
   asynd submit   [--tcp ADDR] [--file PATH] [--workers N] [--registry DIR]
   asynd metrics  --tcp ADDR [--text] [--watch] [--interval SECS]
+  asynd loadgen  --tcp ADDR [--mode open|closed] [--conns a,b,c] [--requests N]
+                 [--rate R] [--duration SECS] [--pipeline N] [--proto v1|v2]
+                 [--workload ping|synthesize] [--out PATH] [--smoke] [--quiet]
   asynd sweep    [--smoke] [--out PATH] [--seed N] [--rates a,b,c] [--shots N]
                  [--families a,b] [--budget-mult N] [--max-qubits N] [--entries N]
                  [--workers N] [--registry DIR] [--quiet]
@@ -86,7 +96,12 @@ USAGE:
   asynd validate [--metrics] FILE...
 
 `serve` reads JSON-lines requests from stdin (or TCP connections) and
-writes one response line per job, in submission order. `submit` is the
+writes one response line per job, in submission order. With --tcp it
+runs a poll(2) reactor event loop (--reactors N spreads connections
+over N loops) speaking both v1 JSON lines and framed protocol v2,
+autodetected per connection. `loadgen` drives a live server with
+open- or closed-loop load over a connection ramp and writes
+BENCH_serving.json. `submit` is the
 matching client; without --tcp it runs jobs on an in-process server.
 `metrics` scrapes a live server's telemetry snapshot (JSON, or
 Prometheus text exposition with --text; --watch re-scrapes every
@@ -143,6 +158,7 @@ impl<'a> Flags<'a> {
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut config = ServerConfig::default();
+    let mut reactors = ReactorOptions::default();
     let mut tcp: Option<String> = None;
     let mut registry: Option<String> = None;
     let mut events: Option<String> = None;
@@ -150,6 +166,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     while let Some(flag) = flags.next_flag() {
         match flag {
             "--tcp" => tcp = Some(flags.value("--tcp")?.to_string()),
+            "--reactors" => reactors.reactors = flags.parsed("--reactors")?,
             "--workers" => config.workers = flags.parsed("--workers")?,
             "--queue" => config.queue_capacity = flags.parsed("--queue")?,
             "--cache" => config.cache_capacity = flags.parsed("--cache")?,
@@ -183,11 +200,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             let listener =
                 TcpListener::bind(&addr).map_err(|e| format!("cannot listen on {addr}: {e}"))?;
             eprintln!(
-                "asynd: serving on {} with {} workers (send {{\"op\":\"shutdown\"}} to stop)",
+                "asynd: serving on {} with {} reactor(s), {} workers \
+                 (send {{\"op\":\"shutdown\"}} to stop)",
                 listener.local_addr().map_err(|e| e.to_string())?,
+                reactors.reactors.max(1),
                 server.workers()
             );
-            serve_tcp(&server, listener).map_err(|e| e.to_string())?;
+            serve_tcp_with(&server, listener, reactors).map_err(|e| e.to_string())?;
         }
         None => {
             let stdin = std::io::stdin();
@@ -212,21 +231,6 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// One scrape of a live server's `metrics` op: connect, send the probe,
-/// read the single response line.
-fn scrape_metrics(addr: &str) -> Result<Response, String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
-    writeln!(writer, "{{\"op\":\"metrics\",\"id\":\"asynd-metrics\"}}")
-        .map_err(|e| e.to_string())?;
-    writer.flush().map_err(|e| e.to_string())?;
-    stream.shutdown(std::net::Shutdown::Write).map_err(|e| e.to_string())?;
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    reader.read_line(&mut line).map_err(|e| e.to_string())?;
-    Response::parse(line.trim_end()).map_err(|e| e.to_string())
-}
-
 fn cmd_metrics(args: &[String]) -> Result<(), String> {
     let mut tcp: Option<String> = None;
     let mut text = false;
@@ -246,8 +250,21 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
     if !interval.is_finite() || interval <= 0.0 {
         return Err("metrics: --interval must be positive".to_string());
     }
+    // One connection for the whole watch: the client reconnects only
+    // after a reported failure, not on every poll.
+    let mut client = MetricsClient::new(addr);
     loop {
-        let response = scrape_metrics(&addr)?;
+        let response = match client.scrape() {
+            Ok(response) => response,
+            // In watch mode a lost server is a condition to report and
+            // retry, not a reason to tear the watch down.
+            Err(message) if watch => {
+                eprintln!("asynd: metrics: {message}");
+                std::thread::sleep(Duration::from_secs_f64(interval));
+                continue;
+            }
+            Err(message) => return Err(format!("metrics: {message}")),
+        };
         let (snapshot, tenants) = match response {
             Response::Metrics { snapshot, tenants, .. } => (snapshot, tenants),
             Response::Error { error, .. } => return Err(format!("metrics: server said: {error}")),
@@ -291,6 +308,119 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
         }
         std::thread::sleep(Duration::from_secs_f64(interval));
     }
+}
+
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    let mut config = LoadgenConfig::default();
+    let mut tcp: Option<String> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut mode = "closed".to_string();
+    let mut rate = 2000.0f64;
+    let mut pipeline = 1usize;
+    let mut smoke = false;
+    let mut quiet = false;
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next_flag() {
+        match flag {
+            "--tcp" => tcp = Some(flags.value("--tcp")?.to_string()),
+            "--mode" => mode = flags.value("--mode")?.to_string(),
+            "--conns" => {
+                config.connections = flags
+                    .value("--conns")?
+                    .split(',')
+                    .map(|part| {
+                        part.trim()
+                            .parse::<usize>()
+                            .map_err(|_| format!("--conns got an unparsable count {part:?}"))
+                    })
+                    .collect::<Result<Vec<usize>, String>>()?;
+            }
+            "--requests" => config.requests_per_conn = flags.parsed("--requests")?,
+            "--rate" => rate = flags.parsed("--rate")?,
+            "--duration" => config.duration = Duration::from_secs_f64(flags.parsed("--duration")?),
+            "--pipeline" => pipeline = flags.parsed("--pipeline")?,
+            "--proto" => {
+                config.protocol = match flags.value("--proto")? {
+                    "v1" => WireProtocol::V1,
+                    "v2" => WireProtocol::V2,
+                    other => return Err(format!("--proto must be v1 or v2, got {other:?}")),
+                }
+            }
+            "--workload" => {
+                config.workload = match flags.value("--workload")? {
+                    "ping" => Workload::Ping,
+                    "synthesize" => Workload::Synthesize,
+                    other => {
+                        return Err(format!("--workload must be ping or synthesize, got {other:?}"))
+                    }
+                }
+            }
+            "--out" => out = Some(PathBuf::from(flags.value("--out")?)),
+            "--smoke" => smoke = true,
+            "--quiet" => quiet = true,
+            other => return Err(format!("loadgen: unknown flag {other:?}")),
+        }
+    }
+    config.addr = tcp.ok_or("loadgen: needs --tcp ADDR (a live `asynd serve --tcp`)")?;
+    config.mode = match mode.as_str() {
+        "closed" => Mode::Closed { pipeline },
+        "open" => {
+            if !rate.is_finite() || rate <= 0.0 {
+                return Err("loadgen: --rate must be positive".to_string());
+            }
+            Mode::Open { rate_rps: rate }
+        }
+        other => return Err(format!("loadgen: --mode must be open or closed, got {other:?}")),
+    };
+    if smoke {
+        // A seconds-scale CI pass: small ramp, few requests, short drain.
+        config.connections = vec![8, 64];
+        config.requests_per_conn = 25;
+        config.duration = Duration::from_secs(2);
+        config.drain = Duration::from_secs(5);
+        if let Mode::Open { rate_rps } = &mut config.mode {
+            *rate_rps = (*rate_rps).min(500.0);
+        }
+    }
+    let results = loadgen::run(&config)?;
+    if !quiet {
+        eprintln!(
+            "{:>8}  {:>6}  {:>5}  {:>10}  {:>8}  {:>12}  {:>9}  {:>9}  {:>9}",
+            "conns", "mode", "proto", "workload", "requests", "rps", "p50_us", "p99_us", "max_us"
+        );
+        for stage in &results {
+            eprintln!(
+                "{:>8}  {:>6}  {:>5}  {:>10}  {:>8}  {:>12.1}  {:>9}  {:>9}  {:>9}",
+                stage.connections,
+                stage.mode,
+                stage.protocol,
+                stage.workload,
+                stage.requests,
+                stage.throughput_rps,
+                stage.p50_us,
+                stage.p99_us,
+                stage.max_us
+            );
+            if stage.errors > 0 {
+                eprintln!(
+                    "asynd: loadgen: stage {} had {} error(s)",
+                    stage.connections, stage.errors
+                );
+            }
+        }
+    }
+    let document = loadgen::report_to_json(&config, &results);
+    let rendered =
+        serde_json::to_string_pretty(&document).expect("loadgen serialization is infallible");
+    match out {
+        Some(path) => {
+            std::fs::write(&path, rendered.as_bytes())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!("asynd: wrote {} ({} stage(s))", path.display(), results.len());
+        }
+        None => println!("{rendered}"),
+    }
+    Ok(())
 }
 
 fn read_request_lines(file: Option<&PathBuf>) -> Result<Vec<String>, String> {
@@ -524,6 +654,21 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
             println!(
                 "{path}: ok ({} samples, {} histograms, {} lines)",
                 report.samples, report.histograms, report.lines
+            );
+        } else if serde_json::from_str(&text)
+            .ok()
+            .and_then(|doc: serde_json::Value| {
+                doc.get("kind").and_then(serde_json::Value::as_str).map(str::to_string)
+            })
+            .as_deref()
+            == Some("serving")
+        {
+            // Serving benchmarks (`asynd loadgen`) have their own shape.
+            let summary = loadgen::validate_serving_text(&text)
+                .map_err(|e| format!("{path} is invalid: {e}"))?;
+            println!(
+                "{path}: ok ({} stage(s), up to {} connections, {} requests)",
+                summary.records, summary.max_connections, summary.requests_total
             );
         } else {
             let summary =

@@ -1,0 +1,72 @@
+//! Thin client helpers for talking to a live `asynd serve --tcp`
+//! process: today a persistent metrics scraper (`asynd metrics
+//! --watch`), kept in the library so the reuse behaviour is testable.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use crate::protocol::Response;
+
+/// A metrics scraper that keeps one TCP connection across polls.
+///
+/// The watch loop of `asynd metrics --watch` used to open (and
+/// half-close) a fresh connection per scrape, which both spams the
+/// server's accept path and hides connection problems until the next
+/// poll. This client connects lazily, reuses the connection for every
+/// scrape, and on any transport error drops it and reports — the next
+/// scrape transparently reconnects.
+pub struct MetricsClient {
+    addr: String,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl MetricsClient {
+    /// A client for the server at `addr` (`host:port`). Nothing
+    /// connects until the first [`MetricsClient::scrape`].
+    pub fn new(addr: impl Into<String>) -> MetricsClient {
+        MetricsClient { addr: addr.into(), conn: None }
+    }
+
+    /// Whether a connection is currently established.
+    pub fn connected(&self) -> bool {
+        self.conn.is_some()
+    }
+
+    /// One scrape: sends a `metrics` probe and reads the response line,
+    /// reusing the existing connection when there is one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on connect failure, transport error, or a
+    /// server-side close; the broken connection is dropped so the next
+    /// call reconnects.
+    pub fn scrape(&mut self) -> Result<Response, String> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr)
+                .map_err(|e| format!("cannot connect to {}: {e}", self.addr))?;
+            self.conn = Some(BufReader::new(stream));
+        }
+        let reader = self.conn.as_mut().expect("connection was just established");
+        match exchange(reader) {
+            Ok(line) => Response::parse(line.trim_end()).map_err(|e| e.to_string()),
+            Err(e) => {
+                self.conn = None;
+                Err(format!("metrics connection to {} lost: {e} (will reconnect)", self.addr))
+            }
+        }
+    }
+}
+
+/// One probe/response exchange on an established connection.
+fn exchange(reader: &mut BufReader<TcpStream>) -> std::io::Result<String> {
+    writeln!(reader.get_mut(), "{{\"op\":\"metrics\",\"id\":\"asynd-metrics\"}}")?;
+    reader.get_mut().flush()?;
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the metrics connection",
+        ));
+    }
+    Ok(line)
+}

@@ -63,13 +63,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod client;
+pub mod loadgen;
 pub mod protocol;
 mod queue;
+pub mod reactor;
 mod server;
 pub mod sweep;
 mod tenants;
 
-pub use queue::BoundedQueue;
+pub use client::MetricsClient;
+pub use queue::{BoundedQueue, ShardedQueue, WakeupStats};
+pub use reactor::{serve_tcp_with, ReactorOptions};
 pub use server::{serve_lines, serve_tcp, JobHandle, ScheduleServer, ServerConfig};
 pub use tenants::{Tenant, TenantMap};
 

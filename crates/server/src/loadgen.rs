@@ -1,0 +1,724 @@
+//! The serving-layer load generator behind `asynd loadgen`: a
+//! single-threaded client event loop that drives hundreds to thousands
+//! of concurrent connections against a live `asynd serve --tcp` reactor
+//! and measures per-request latency and aggregate throughput.
+//!
+//! Two injection modes:
+//!
+//! * **closed-loop** — every connection keeps a fixed number of requests
+//!   outstanding (`pipeline`) and fires the next one the moment a
+//!   response lands, until its per-connection quota is spent. Measures
+//!   the server's capacity under self-throttling clients.
+//! * **open-loop** — requests are injected on a wall-clock schedule at a
+//!   target aggregate rate, regardless of responses. Latency then
+//!   includes queueing delay, which is what a real arrival process sees
+//!   (the coordinated-omission-free number).
+//!
+//! Each stage of the `connections` ramp opens a fresh set of
+//! connections, runs one measurement, and reports exact percentiles
+//! computed from every recorded sample — no reservoir, no
+//! interpolation. Results serialize into the tracked
+//! `BENCH_serving.json` (`kind: "serving"`), which `asynd validate`
+//! checks structurally.
+//!
+//! The generator speaks both wire protocols: v1 JSON lines (responses
+//! matched to requests in submission order, as the protocol guarantees)
+//! and framed v2 (synthesize responses matched by job id; probes by
+//! order). It reuses the same [`asynd_net`] primitives as the server's
+//! reactor, so a stage with 1000+ connections still runs on one thread
+//! and one `poll(2)` set.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use asynd_net::frame::{Frame, FrameDecoder, FrameKind};
+use asynd_net::{Connection, Interest, PollSet};
+use serde_json::{Map, Value};
+
+/// Which wire protocol the generator speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireProtocol {
+    /// v1 JSON lines.
+    V1,
+    /// Framed protocol v2.
+    V2,
+}
+
+impl WireProtocol {
+    /// The tag recorded in benchmark records.
+    pub fn tag(self) -> &'static str {
+        match self {
+            WireProtocol::V1 => "v1",
+            WireProtocol::V2 => "v2",
+        }
+    }
+}
+
+/// Request injection discipline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mode {
+    /// Keep `pipeline` requests outstanding per connection; each
+    /// connection sends `requests_per_conn` requests total.
+    Closed {
+        /// Outstanding requests per connection.
+        pipeline: usize,
+    },
+    /// Inject at `rate_rps` aggregate requests/second for the stage
+    /// duration, round-robin across connections, regardless of
+    /// responses.
+    Open {
+        /// Target aggregate injection rate (requests per second).
+        rate_rps: f64,
+    },
+}
+
+impl Mode {
+    /// The tag recorded in benchmark records.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Mode::Closed { .. } => "closed",
+            Mode::Open { .. } => "open",
+        }
+    }
+}
+
+/// What each request asks the server to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// `{"op":"ping"}` probes: measures the serving layer itself
+    /// (parsing, event loop, scheduling) with no synthesis behind it.
+    Ping,
+    /// Small synthesize jobs (lowest-depth strategy, shared tenant):
+    /// measures the full request→queue→worker→response path.
+    Synthesize,
+}
+
+impl Workload {
+    /// The tag recorded in benchmark records.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Workload::Ping => "ping",
+            Workload::Synthesize => "synthesize",
+        }
+    }
+}
+
+/// One load-generation run: a ramp of stages over `connections`.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Connection counts, one measurement stage each.
+    pub connections: Vec<usize>,
+    /// Injection discipline.
+    pub mode: Mode,
+    /// Wire protocol.
+    pub protocol: WireProtocol,
+    /// Request workload.
+    pub workload: Workload,
+    /// Closed-loop: requests per connection per stage.
+    pub requests_per_conn: usize,
+    /// Open-loop: stage duration. Also the closed-loop safety cap — a
+    /// stage that exceeds twice this duration stops and reports what it
+    /// has.
+    pub duration: Duration,
+    /// How long to wait for outstanding responses after injection ends.
+    pub drain: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7070".to_string(),
+            connections: vec![10, 100, 1000],
+            mode: Mode::Closed { pipeline: 1 },
+            protocol: WireProtocol::V1,
+            workload: Workload::Ping,
+            requests_per_conn: 50,
+            duration: Duration::from_secs(10),
+            drain: Duration::from_secs(10),
+        }
+    }
+}
+
+/// One measured ramp stage.
+#[derive(Debug, Clone)]
+pub struct StageResult {
+    /// Connections the stage ran with.
+    pub connections: usize,
+    /// Injection mode tag (`open`/`closed`).
+    pub mode: String,
+    /// Wire protocol tag (`v1`/`v2`).
+    pub protocol: String,
+    /// Workload tag (`ping`/`synthesize`).
+    pub workload: String,
+    /// Responses successfully received and timed.
+    pub requests: u64,
+    /// Error responses, parse failures, dead connections and
+    /// still-outstanding requests at drain timeout.
+    pub errors: u64,
+    /// Stage wall time (first injection to last response), seconds.
+    pub duration_s: f64,
+    /// Aggregate responses/second over the stage.
+    pub throughput_rps: f64,
+    /// Exact latency percentiles over every sample, microseconds.
+    pub p50_us: u64,
+    /// 90th percentile latency, microseconds.
+    pub p90_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Worst observed latency, microseconds.
+    pub max_us: u64,
+}
+
+/// Client-side state of one loadgen connection.
+struct ClientConn {
+    io: Connection,
+    /// v2 frame reassembly (unused for v1).
+    decoder: FrameDecoder,
+    /// Send timestamps of in-order-matched requests (v1, and v2 pings).
+    fifo: VecDeque<Instant>,
+    /// Send timestamps of id-matched requests (v2 synthesize).
+    by_id: HashMap<String, Instant>,
+    /// Requests this connection has injected.
+    sent: u64,
+    /// Responses still owed.
+    outstanding: u64,
+    /// Transport died; excluded from further polling.
+    broken: bool,
+}
+
+impl ClientConn {
+    fn connect(addr: &str) -> Result<ClientConn, String> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| format!("loadgen: cannot connect to {addr}: {e}"))?;
+        let io = Connection::new(stream)
+            .map_err(|e| format!("loadgen: cannot prepare connection: {e}"))?;
+        Ok(ClientConn {
+            io,
+            decoder: FrameDecoder::new(),
+            fifo: VecDeque::new(),
+            by_id: HashMap::new(),
+            sent: 0,
+            outstanding: 0,
+            broken: false,
+        })
+    }
+}
+
+/// Runs the full ramp. Stages run sequentially; each opens its own
+/// connections and closes them when done.
+///
+/// # Errors
+///
+/// Returns an error when a stage cannot open its connections; per
+/// request failures are counted in [`StageResult::errors`] instead.
+pub fn run(config: &LoadgenConfig) -> Result<Vec<StageResult>, String> {
+    let mut results = Vec::with_capacity(config.connections.len());
+    for &connections in &config.connections {
+        if connections == 0 {
+            return Err("loadgen: stages need at least one connection".to_string());
+        }
+        results.push(run_stage(config, connections)?);
+    }
+    Ok(results)
+}
+
+fn run_stage(config: &LoadgenConfig, connections: usize) -> Result<StageResult, String> {
+    let mut conns = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        conns.push(ClientConn::connect(&config.addr)?);
+    }
+    let total_target: u64 = match config.mode {
+        Mode::Closed { .. } => (config.requests_per_conn * connections) as u64,
+        // Open loop: the schedule decides; this is just the cap.
+        Mode::Open { rate_rps } => (rate_rps * config.duration.as_secs_f64()).ceil() as u64,
+    };
+
+    let mut latencies_us: Vec<u64> = Vec::new();
+    let mut errors: u64 = 0;
+    let mut sent_total: u64 = 0;
+    let mut next_conn = 0usize; // open-loop round-robin cursor
+    let started = Instant::now();
+    let hard_stop = config.duration * 2 + config.drain;
+    let mut set = PollSet::new();
+
+    // Closed-loop: prime every connection's pipeline.
+    if let Mode::Closed { pipeline } = config.mode {
+        let prime = pipeline.max(1);
+        for conn in conns.iter_mut() {
+            for _ in 0..prime {
+                if conn.sent < config.requests_per_conn as u64 {
+                    inject(conn, config, &mut sent_total);
+                }
+            }
+        }
+    }
+
+    loop {
+        let elapsed = started.elapsed();
+        // Open-loop schedule: inject every request whose arrival time
+        // has passed, round-robin across connections.
+        if let Mode::Open { rate_rps } = config.mode {
+            if elapsed < config.duration {
+                let due = (rate_rps * elapsed.as_secs_f64()).floor() as u64;
+                while sent_total < due.min(total_target) {
+                    let slot = next_conn % conns.len();
+                    let conn = &mut conns[slot];
+                    next_conn += 1;
+                    if !conn.broken {
+                        inject(conn, config, &mut sent_total);
+                    } else {
+                        sent_total += 1; // schedule slot burned on a dead conn
+                        errors += 1;
+                    }
+                }
+            }
+        }
+
+        let injecting = match config.mode {
+            Mode::Closed { .. } => sent_total < total_target,
+            Mode::Open { .. } => elapsed < config.duration && sent_total < total_target,
+        };
+        let outstanding: u64 = conns.iter().map(|c| c.outstanding).sum();
+        if !injecting && outstanding == 0 {
+            break;
+        }
+        if !injecting && elapsed > config.duration + config.drain {
+            errors += outstanding; // drain timeout: the rest never came
+            break;
+        }
+        if elapsed > hard_stop {
+            errors += outstanding;
+            break;
+        }
+
+        set.clear();
+        for (index, conn) in conns.iter().enumerate() {
+            if conn.broken {
+                continue;
+            }
+            let interest =
+                Interest { readable: conn.outstanding > 0, writable: conn.io.wants_write() };
+            set.register(&conn.io, index as u64, interest);
+        }
+        if set.is_empty() {
+            // Everything broke; nothing will ever arrive.
+            errors += outstanding;
+            break;
+        }
+        let timeout = match config.mode {
+            Mode::Open { .. } => Duration::from_millis(2),
+            Mode::Closed { .. } => Duration::from_millis(20),
+        };
+        set.poll(Some(timeout)).map_err(|e| format!("loadgen: poll failed: {e}"))?;
+        let events: Vec<_> = set.events().collect();
+        for event in events {
+            let conn = &mut conns[event.token as usize];
+            if event.readable || event.closed {
+                match conn.io.fill() {
+                    Ok(_) => {
+                        drain_responses(conn, config, &mut latencies_us, &mut errors);
+                        if conn.io.read_closed() && conn.outstanding > 0 {
+                            errors += conn.outstanding;
+                            conn.outstanding = 0;
+                            conn.broken = true;
+                        }
+                    }
+                    Err(_) => {
+                        errors += conn.outstanding;
+                        conn.outstanding = 0;
+                        conn.broken = true;
+                        continue;
+                    }
+                }
+            }
+            if conn.io.wants_write() && conn.io.flush().is_err() {
+                errors += conn.outstanding;
+                conn.outstanding = 0;
+                conn.broken = true;
+            }
+            // Closed-loop refill: responses free pipeline slots.
+            if let Mode::Closed { pipeline } = config.mode {
+                let pipeline = pipeline.max(1) as u64;
+                while !conn.broken
+                    && conn.outstanding < pipeline
+                    && conn.sent < config.requests_per_conn as u64
+                {
+                    inject(conn, config, &mut sent_total);
+                }
+            }
+        }
+    }
+
+    let duration_s = started.elapsed().as_secs_f64().max(1e-9);
+    latencies_us.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies_us.is_empty() {
+            return 0;
+        }
+        let rank = ((latencies_us.len() as f64) * p).ceil() as usize;
+        latencies_us[rank.clamp(1, latencies_us.len()) - 1]
+    };
+    Ok(StageResult {
+        connections,
+        mode: config.mode.tag().to_string(),
+        protocol: config.protocol.tag().to_string(),
+        workload: config.workload.tag().to_string(),
+        requests: latencies_us.len() as u64,
+        errors,
+        duration_s,
+        throughput_rps: latencies_us.len() as f64 / duration_s,
+        p50_us: pct(0.50),
+        p90_us: pct(0.90),
+        p99_us: pct(0.99),
+        max_us: latencies_us.last().copied().unwrap_or(0),
+    })
+}
+
+/// Queues one request on `conn` and records its send timestamp.
+fn inject(conn: &mut ClientConn, config: &LoadgenConfig, sent_total: &mut u64) {
+    let id = format!("lg-{}", conn.sent);
+    let payload = match config.workload {
+        Workload::Ping => "{\"op\":\"ping\"}".to_string(),
+        Workload::Synthesize => format!(
+            "{{\"id\":{id:?},\"code\":{{\"family\":\"rotated-surface\"}},\
+             \"noise\":\"brisbane\",\"strategy\":\"lowest-depth\",\
+             \"budget\":8,\"shots\":120,\"seed\":1,\"progress\":false}}"
+        ),
+    };
+    let now = Instant::now();
+    match config.protocol {
+        WireProtocol::V1 => {
+            conn.io.queue(payload.as_bytes());
+            conn.io.queue(b"\n");
+            conn.fifo.push_back(now);
+        }
+        WireProtocol::V2 => {
+            conn.io.queue(&Frame::new(FrameKind::Request, payload.into_bytes()).encode());
+            match config.workload {
+                // Probes are answered in request order even on v2.
+                Workload::Ping => conn.fifo.push_back(now),
+                // Synthesize responses arrive in completion order.
+                Workload::Synthesize => drop(conn.by_id.insert(id, now)),
+            }
+        }
+    }
+    conn.sent += 1;
+    conn.outstanding += 1;
+    *sent_total += 1;
+}
+
+/// Consumes every complete response buffered on `conn`, recording
+/// latency samples.
+fn drain_responses(
+    conn: &mut ClientConn,
+    config: &LoadgenConfig,
+    latencies_us: &mut Vec<u64>,
+    errors: &mut u64,
+) {
+    let now = Instant::now();
+    match config.protocol {
+        WireProtocol::V1 => loop {
+            let Some(pos) = conn.io.rbuf().iter().position(|&b| b == b'\n') else { return };
+            let line: Vec<u8> = conn.io.rbuf().drain(..=pos).collect();
+            record_v1_line(conn, &line, now, latencies_us, errors);
+        },
+        WireProtocol::V2 => {
+            let bytes = std::mem::take(conn.io.rbuf());
+            conn.decoder.feed(&bytes);
+            loop {
+                match conn.decoder.next_frame() {
+                    Ok(Some(frame)) => record_v2_frame(conn, &frame, now, latencies_us, errors),
+                    Ok(None) => return,
+                    Err(_) => {
+                        *errors += conn.outstanding;
+                        conn.outstanding = 0;
+                        conn.broken = true;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn record_v1_line(
+    conn: &mut ClientConn,
+    line: &[u8],
+    now: Instant,
+    latencies_us: &mut Vec<u64>,
+    errors: &mut u64,
+) {
+    let Some(sent) = conn.fifo.pop_front() else { return };
+    conn.outstanding = conn.outstanding.saturating_sub(1);
+    let is_error = std::str::from_utf8(line)
+        .ok()
+        .and_then(|text| serde_json::from_str(text.trim()).ok())
+        .map(|v: Value| v.get("error").is_some())
+        .unwrap_or(true);
+    if is_error {
+        *errors += 1;
+    } else {
+        latencies_us.push(now.duration_since(sent).as_micros() as u64);
+    }
+}
+
+fn record_v2_frame(
+    conn: &mut ClientConn,
+    frame: &Frame,
+    now: Instant,
+    latencies_us: &mut Vec<u64>,
+    errors: &mut u64,
+) {
+    match frame.kind {
+        FrameKind::Response => {}
+        // Progress is opted out of per request; Goodbye carries no
+        // response. Neither settles a request.
+        _ => return,
+    }
+    let payload: Option<Value> =
+        std::str::from_utf8(&frame.payload).ok().and_then(|t| serde_json::from_str(t).ok());
+    let sent = match config_matching(conn, payload.as_ref()) {
+        Some(sent) => sent,
+        None => return,
+    };
+    conn.outstanding = conn.outstanding.saturating_sub(1);
+    let is_error = payload.as_ref().map(|v| v.get("error").is_some()).unwrap_or(true);
+    if is_error {
+        *errors += 1;
+    } else {
+        latencies_us.push(now.duration_since(sent).as_micros() as u64);
+    }
+}
+
+/// Matches a v2 response to its send timestamp: by id when the payload
+/// names one we tracked, by order otherwise (probes).
+fn config_matching(conn: &mut ClientConn, payload: Option<&Value>) -> Option<Instant> {
+    if let Some(id) = payload.and_then(|v| v.get("id")).and_then(Value::as_str) {
+        if let Some(sent) = conn.by_id.remove(id) {
+            return Some(sent);
+        }
+    }
+    conn.fifo.pop_front()
+}
+
+/// Serializes a run into the tracked `BENCH_serving.json` document
+/// (`kind: "serving"`; validated by `asynd validate`).
+pub fn report_to_json(config: &LoadgenConfig, results: &[StageResult]) -> Value {
+    let mut doc = Map::new();
+    doc.insert("generated_by", Value::from("asynd loadgen"));
+    doc.insert("kind", Value::from("serving"));
+    let mut cfg = Map::new();
+    cfg.insert("mode", Value::from(config.mode.tag()));
+    cfg.insert("protocol", Value::from(config.protocol.tag()));
+    cfg.insert("workload", Value::from(config.workload.tag()));
+    match config.mode {
+        Mode::Closed { pipeline } => {
+            cfg.insert("pipeline", Value::from(pipeline as u64));
+            cfg.insert("requests_per_conn", Value::from(config.requests_per_conn as u64));
+        }
+        Mode::Open { rate_rps } => {
+            cfg.insert("rate_rps", Value::from(rate_rps));
+            cfg.insert("duration_s", Value::from(config.duration.as_secs_f64()));
+        }
+    }
+    doc.insert("config", Value::Object(cfg));
+    let records: Vec<Value> = results
+        .iter()
+        .map(|stage| {
+            let mut record = Map::new();
+            record.insert("connections", Value::from(stage.connections as u64));
+            record.insert("mode", Value::from(stage.mode.as_str()));
+            record.insert("protocol", Value::from(stage.protocol.as_str()));
+            record.insert("workload", Value::from(stage.workload.as_str()));
+            record.insert("requests", Value::from(stage.requests));
+            record.insert("errors", Value::from(stage.errors));
+            record.insert("duration_s", Value::from(stage.duration_s));
+            record.insert("throughput_rps", Value::from(stage.throughput_rps));
+            record.insert("p50_us", Value::from(stage.p50_us));
+            record.insert("p90_us", Value::from(stage.p90_us));
+            record.insert("p99_us", Value::from(stage.p99_us));
+            record.insert("max_us", Value::from(stage.max_us));
+            Value::Object(record)
+        })
+        .collect();
+    doc.insert("records", Value::Array(records));
+    Value::Object(doc)
+}
+
+/// Validates a `BENCH_serving.json` document: the envelope must carry
+/// `generated_by`, `kind: "serving"` and a non-empty `records` array
+/// whose members are well-typed with ordered percentiles.
+///
+/// # Errors
+///
+/// Returns a message naming the first violation.
+pub fn validate_serving_text(text: &str) -> Result<ServingSummary, String> {
+    let doc: Value =
+        serde_json::from_str(text).map_err(|e| format!("report is not valid JSON: {e}"))?;
+    doc.get("generated_by")
+        .and_then(Value::as_str)
+        .ok_or("report lacks a `generated_by` string")?;
+    if doc.get("kind").and_then(Value::as_str) != Some("serving") {
+        return Err("report lacks `kind: \"serving\"`".to_string());
+    }
+    let records =
+        doc.get("records").and_then(Value::as_array).ok_or("report lacks a `records` array")?;
+    if records.is_empty() {
+        return Err("report has zero records".to_string());
+    }
+    let mut max_connections = 0u64;
+    let mut requests_total = 0u64;
+    for (index, record) in records.iter().enumerate() {
+        let context =
+            |member: &str, problem: &str| format!("record {index}: member `{member}` {problem}");
+        let connections = record
+            .get("connections")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| context("connections", "must be a positive integer"))?;
+        if connections == 0 {
+            return Err(context("connections", "must be positive"));
+        }
+        max_connections = max_connections.max(connections);
+        let mode = record
+            .get("mode")
+            .and_then(Value::as_str)
+            .ok_or_else(|| context("mode", "must be a string"))?;
+        if mode != "open" && mode != "closed" {
+            return Err(context("mode", "must be `open` or `closed`"));
+        }
+        let protocol = record
+            .get("protocol")
+            .and_then(Value::as_str)
+            .ok_or_else(|| context("protocol", "must be a string"))?;
+        if protocol != "v1" && protocol != "v2" {
+            return Err(context("protocol", "must be `v1` or `v2`"));
+        }
+        requests_total += record
+            .get("requests")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| context("requests", "must be a non-negative integer"))?;
+        record
+            .get("errors")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| context("errors", "must be a non-negative integer"))?;
+        for member in ["duration_s", "throughput_rps"] {
+            let number = record
+                .get(member)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| context(member, "must be a number"))?;
+            if number < 0.0 {
+                return Err(context(member, "must be non-negative"));
+            }
+        }
+        let mut last = 0u64;
+        for member in ["p50_us", "p90_us", "p99_us", "max_us"] {
+            let value = record
+                .get(member)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| context(member, "must be a non-negative integer"))?;
+            if value < last {
+                return Err(context(member, "must be ordered (p50 ≤ p90 ≤ p99 ≤ max)"));
+            }
+            last = value;
+        }
+    }
+    Ok(ServingSummary { records: records.len(), max_connections, requests_total })
+}
+
+/// Summary returned by [`validate_serving_text`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServingSummary {
+    /// Ramp stages in the document.
+    pub records: usize,
+    /// Largest connection count across stages.
+    pub max_connections: u64,
+    /// Total timed requests across stages.
+    pub requests_total: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Value {
+        let config = LoadgenConfig::default();
+        let results = vec![
+            StageResult {
+                connections: 10,
+                mode: "closed".into(),
+                protocol: "v1".into(),
+                workload: "ping".into(),
+                requests: 500,
+                errors: 0,
+                duration_s: 0.5,
+                throughput_rps: 1000.0,
+                p50_us: 120,
+                p90_us: 300,
+                p99_us: 800,
+                max_us: 1500,
+            },
+            StageResult {
+                connections: 1000,
+                mode: "closed".into(),
+                protocol: "v1".into(),
+                workload: "ping".into(),
+                requests: 50_000,
+                errors: 2,
+                duration_s: 5.0,
+                throughput_rps: 10_000.0,
+                p50_us: 400,
+                p90_us: 900,
+                p99_us: 2500,
+                max_us: 9000,
+            },
+        ];
+        report_to_json(&config, &results)
+    }
+
+    #[test]
+    fn report_roundtrips_through_the_validator() {
+        let text = serde_json::to_string(&sample_report()).unwrap();
+        let summary = validate_serving_text(&text).unwrap();
+        assert_eq!(summary.records, 2);
+        assert_eq!(summary.max_connections, 1000);
+        assert_eq!(summary.requests_total, 50_500);
+    }
+
+    #[test]
+    fn validator_rejects_structural_violations() {
+        for (mutation, needle) in
+            [("kind", "kind"), ("records", "records"), ("generated_by", "generated_by")]
+        {
+            let report = sample_report();
+            let mut doc = Map::new();
+            for (key, value) in report.as_object().unwrap().iter() {
+                if key != mutation {
+                    doc.insert(key.as_str(), value.clone());
+                }
+            }
+            let text = serde_json::to_string(&Value::Object(doc)).unwrap();
+            let err = validate_serving_text(&text).unwrap_err();
+            assert!(err.contains(needle), "dropping {mutation}: {err}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_disordered_percentiles() {
+        let report = sample_report();
+        let text = serde_json::to_string(&report).unwrap();
+        // p99 below p50 must fail.
+        let broken = text.replace("\"p99_us\":800", "\"p99_us\":10");
+        assert_ne!(text, broken, "mutation must apply");
+        let err = validate_serving_text(&broken).unwrap_err();
+        assert!(err.contains("ordered"), "got: {err}");
+    }
+
+    #[test]
+    fn zero_connection_stages_are_rejected_up_front() {
+        let config = LoadgenConfig { connections: vec![0], ..LoadgenConfig::default() };
+        assert!(run(&config).unwrap_err().contains("at least one connection"));
+    }
+}

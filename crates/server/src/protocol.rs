@@ -745,9 +745,127 @@ impl Response {
     }
 }
 
+/// A protocol-v2 cancellation: the payload of a `Cancel` frame, naming
+/// the in-flight job to abandon. Cancellation is best-effort — a job
+/// still queued is dropped before it runs; a job already running
+/// completes normally (the server never kills synthesis mid-race, which
+/// would leave tenant caches half-warmed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CancelRequest {
+    /// Id of the job to cancel (the `id` of an earlier synthesize
+    /// request on the same connection).
+    pub id: String,
+}
+
+impl CancelRequest {
+    /// Serializes the cancel payload.
+    pub fn to_json(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("op", Value::from("cancel"));
+        map.insert("id", Value::from(self.id.as_str()));
+        Value::Object(map)
+    }
+
+    /// Parses a cancel payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Protocol`] when `id` is missing.
+    pub fn parse(payload: &[u8]) -> Result<CancelRequest, ServerError> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| protocol_error("cancel payload is not valid UTF-8"))?;
+        let value =
+            serde_json::from_str(text).map_err(|e| protocol_error(format!("invalid JSON: {e}")))?;
+        Ok(CancelRequest { id: required_str(&value, "id")?.to_string() })
+    }
+}
+
+/// A protocol-v2 progress event: the payload of a `Progress` frame,
+/// streamed while a job moves through its lifecycle. Stages, in order:
+/// `queued` (accepted into the job queue), `started` (claimed by a
+/// worker), `warm-start` (a registry artifact seeds the race),
+/// `synthesized` (the race finished — `key` and `p_overall` carry the
+/// winning schedule as a partial result, before the registry store and
+/// the full response), and the cancellation acks `cancelled` /
+/// `cancel-too-late` / `cancel-unknown`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressUpdate {
+    /// Id of the job the event belongs to.
+    pub id: String,
+    /// Lifecycle stage (see the type docs).
+    pub stage: String,
+    /// Canonical key (hex) of the winning schedule, on `synthesized`.
+    pub key: Option<String>,
+    /// Logical error rate of the winning schedule, on `synthesized`.
+    pub p_overall: Option<f64>,
+}
+
+impl ProgressUpdate {
+    /// A bare stage event.
+    pub fn stage(id: impl Into<String>, stage: impl Into<String>) -> ProgressUpdate {
+        ProgressUpdate { id: id.into(), stage: stage.into(), key: None, p_overall: None }
+    }
+
+    /// Serializes the progress payload.
+    pub fn to_json(&self) -> Value {
+        let mut map = Map::new();
+        map.insert("op", Value::from("progress"));
+        map.insert("id", Value::from(self.id.as_str()));
+        map.insert("stage", Value::from(self.stage.as_str()));
+        if let Some(key) = &self.key {
+            map.insert("key", Value::from(key.as_str()));
+        }
+        if let Some(p_overall) = self.p_overall {
+            map.insert("p_overall", Value::from(p_overall));
+        }
+        Value::Object(map)
+    }
+
+    /// Parses a progress payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Protocol`] for missing `id`/`stage`.
+    pub fn parse(payload: &[u8]) -> Result<ProgressUpdate, ServerError> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| protocol_error("progress payload is not valid UTF-8"))?;
+        let value =
+            serde_json::from_str(text).map_err(|e| protocol_error(format!("invalid JSON: {e}")))?;
+        Ok(ProgressUpdate {
+            id: required_str(&value, "id")?.to_string(),
+            stage: required_str(&value, "stage")?.to_string(),
+            key: value.get("key").and_then(Value::as_str).map(str::to_string),
+            p_overall: value.get("p_overall").and_then(Value::as_f64),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cancel_and_progress_payloads_roundtrip() {
+        let cancel = CancelRequest { id: "j7".into() };
+        let bytes = serde_json::to_string(&cancel.to_json()).unwrap().into_bytes();
+        assert_eq!(CancelRequest::parse(&bytes).unwrap(), cancel);
+        assert!(CancelRequest::parse(b"{}").is_err(), "id is required");
+        assert!(CancelRequest::parse(b"\xff\xfe").is_err(), "non-UTF-8 fails closed");
+
+        let bare = ProgressUpdate::stage("j7", "started");
+        let bytes = serde_json::to_string(&bare.to_json()).unwrap().into_bytes();
+        assert_eq!(ProgressUpdate::parse(&bytes).unwrap(), bare);
+
+        let partial = ProgressUpdate {
+            id: "j7".into(),
+            stage: "synthesized".into(),
+            key: Some("ab12".into()),
+            p_overall: Some(0.0125),
+        };
+        let bytes = serde_json::to_string(&partial.to_json()).unwrap().into_bytes();
+        assert_eq!(ProgressUpdate::parse(&bytes).unwrap(), partial);
+        assert!(ProgressUpdate::parse(b"{\"id\":\"x\"}").is_err(), "stage is required");
+    }
 
     #[test]
     fn request_lines_roundtrip() {

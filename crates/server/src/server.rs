@@ -1,13 +1,13 @@
-//! The multi-tenant schedule server: a bounded job queue drained by a
-//! worker thread pool, executing synthesis jobs through the portfolio
-//! engine over per-tenant shared evaluators.
+//! The multi-tenant schedule server: a sharded bounded job queue drained
+//! by a worker thread pool, executing synthesis jobs through the
+//! portfolio engine over per-tenant shared evaluators.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::io::{BufRead, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use asynd_circuit::artifact::ScheduleArtifact;
 use asynd_circuit::Schedule;
@@ -20,9 +20,11 @@ use asynd_telemetry::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapsho
 use serde_json::Value;
 
 use crate::protocol::{
-    JobOutcome, JobRequest, LookupRequest, Request, Response, StrategyChoice, StrategySummary,
+    JobOutcome, JobRequest, LookupRequest, ProgressUpdate, Request, Response, StrategyChoice,
+    StrategySummary,
 };
-use crate::queue::BoundedQueue;
+use crate::queue::ShardedQueue;
+use crate::reactor::{serve_tcp_with, ReactorOptions, ReactorSink};
 use crate::tenants::TenantMap;
 use crate::ServerError;
 
@@ -58,13 +60,14 @@ impl Default for ServerConfig {
 /// `asynd_job_registry_lookup_us`, `asynd_job_registry_store_us`,
 /// `asynd_job_wall_us`) are recorded through [`Span`]s instead, so each
 /// phase also lands in the event log when one is attached.
-struct ServerMetrics {
-    jobs_submitted: Counter,
+pub(crate) struct ServerMetrics {
+    pub(crate) jobs_submitted: Counter,
     jobs_completed: Counter,
     jobs_failed: Counter,
-    jobs_rejected: Counter,
+    pub(crate) jobs_rejected: Counter,
+    pub(crate) jobs_cancelled: Counter,
     warm_starts: Counter,
-    queue_depth: Gauge,
+    pub(crate) queue_depth: Gauge,
     jobs_inflight: Gauge,
     queue_wait_us: Histogram,
 }
@@ -76,6 +79,7 @@ impl ServerMetrics {
             jobs_completed: registry.counter("asynd_jobs_completed_total"),
             jobs_failed: registry.counter("asynd_jobs_failed_total"),
             jobs_rejected: registry.counter("asynd_jobs_rejected_total"),
+            jobs_cancelled: registry.counter("asynd_jobs_cancelled_total"),
             warm_starts: registry.counter("asynd_warm_starts_total"),
             queue_depth: registry.gauge("asynd_queue_depth"),
             jobs_inflight: registry.gauge("asynd_jobs_inflight"),
@@ -84,10 +88,10 @@ impl ServerMetrics {
     }
 }
 
-struct Shared {
+pub(crate) struct Shared {
     config: ServerConfig,
     tenants: TenantMap,
-    queue: BoundedQueue<QueuedJob>,
+    queue: ShardedQueue<QueuedJob>,
     /// The persistent schedule registry, when the server was started
     /// with one: consulted for warm starts before synthesis, fed the
     /// winning artifact afterwards, and probed by the `lookup` op.
@@ -98,11 +102,64 @@ struct Shared {
     metrics: ServerMetrics,
 }
 
-struct QueuedJob {
-    request: JobRequest,
-    tx: mpsc::Sender<Response>,
+/// Job lifecycle states, held in a shared [`AtomicU8`] so a reactor can
+/// cancel a queued job without touching the queue itself.
+pub(crate) const JOB_QUEUED: u8 = 0;
+/// Claimed by a worker; too late to cancel.
+pub(crate) const JOB_RUNNING: u8 = 1;
+/// Terminal: the response was produced.
+pub(crate) const JOB_DONE: u8 = 2;
+/// Terminal: cancelled while still queued; the worker skips it.
+pub(crate) const JOB_CANCELLED: u8 = 3;
+
+/// Where a finished job's response (and optional progress stream) goes.
+pub(crate) enum JobSink {
+    /// The in-process API path: [`JobHandle`] holds the receiver.
+    /// Progress events are dropped — the handle models one final answer.
+    Channel(mpsc::Sender<Response>),
+    /// The reactor path: events land in the owning reactor's completion
+    /// queue and wake its poll loop.
+    Reactor(ReactorSink),
+}
+
+impl JobSink {
+    fn done(&self, response: Response) {
+        match self {
+            // A dropped receiver just means the submitter stopped
+            // caring; the work is still done and the tenant cache keeps
+            // the result.
+            JobSink::Channel(tx) => drop(tx.send(response)),
+            JobSink::Reactor(sink) => sink.done(response),
+        }
+    }
+
+    fn progress(&self, update: ProgressUpdate) {
+        match self {
+            JobSink::Channel(_) => {}
+            JobSink::Reactor(sink) => sink.progress(update),
+        }
+    }
+}
+
+pub(crate) struct QueuedJob {
+    pub(crate) request: JobRequest,
+    pub(crate) sink: JobSink,
+    /// Shared lifecycle state ([`JOB_QUEUED`] → …); the cancellation
+    /// rendezvous between reactors and workers.
+    pub(crate) state: Arc<AtomicU8>,
     /// When the job entered the queue (queue-wait histogram input).
-    enqueued: Instant,
+    pub(crate) enqueued: Instant,
+}
+
+impl QueuedJob {
+    pub(crate) fn new(request: JobRequest, sink: JobSink) -> QueuedJob {
+        QueuedJob {
+            request,
+            sink,
+            state: Arc::new(AtomicU8::new(JOB_QUEUED)),
+            enqueued: Instant::now(),
+        }
+    }
 }
 
 /// A submitted job: await its response with [`JobHandle::wait`].
@@ -188,7 +245,10 @@ impl ScheduleServer {
         let shared = Arc::new(Shared {
             config,
             tenants: TenantMap::with_metrics(config.cache_capacity, Arc::clone(&telemetry)),
-            queue: BoundedQueue::new(config.queue_capacity),
+            // One queue shard per worker: each worker drains its home
+            // shard first and steals outward, so reactors that pin a
+            // shard keep submissions and executions cache-adjacent.
+            queue: ShardedQueue::new(worker_count, config.queue_capacity),
             registry,
             telemetry,
             metrics,
@@ -199,24 +259,44 @@ impl ScheduleServer {
                 std::thread::Builder::new()
                     .name(format!("asynd-worker-{index}"))
                     .spawn(move || {
-                        while let Some(job) = shared.queue.pop() {
+                        while let Some(job) = shared.queue.pop(index) {
                             let metrics = &shared.metrics;
                             metrics.queue_depth.sub(1);
                             metrics.queue_wait_us.record_duration(job.enqueued.elapsed());
+                            // Claim the job. Losing the race means a
+                            // reactor cancelled it while it sat queued:
+                            // answer cheaply, never synthesize.
+                            if job
+                                .state
+                                .compare_exchange(
+                                    JOB_QUEUED,
+                                    JOB_RUNNING,
+                                    Ordering::SeqCst,
+                                    Ordering::SeqCst,
+                                )
+                                .is_err()
+                            {
+                                metrics.jobs_cancelled.inc();
+                                job.sink.done(Response::Error {
+                                    id: job.request.id.clone(),
+                                    error: "job cancelled by client before it ran".to_string(),
+                                });
+                                continue;
+                            }
                             metrics.jobs_inflight.add(1);
+                            job.sink.progress(ProgressUpdate::stage(&job.request.id, "started"));
                             let span = Span::enter_in(&shared.telemetry, "asynd_job_wall")
                                 .with_field("id", Value::from(job.request.id.as_str()));
-                            let response = execute_job(&shared, job.request);
+                            let response =
+                                execute_job(&shared, job.request, &|u| job.sink.progress(u));
                             span.finish();
                             metrics.jobs_inflight.sub(1);
                             match &response {
                                 Response::Ok(_) => metrics.jobs_completed.inc(),
                                 _ => metrics.jobs_failed.inc(),
                             }
-                            // A dropped receiver just means the submitter
-                            // stopped caring; the work is still done and
-                            // the tenant cache keeps the result.
-                            let _ = job.tx.send(response);
+                            job.state.store(JOB_DONE, Ordering::SeqCst);
+                            job.sink.done(response);
                         }
                     })
                     .expect("spawning a worker thread failed")
@@ -315,12 +395,10 @@ impl ScheduleServer {
     pub fn submit(&self, request: JobRequest) -> Result<JobHandle, ServerError> {
         let (tx, rx) = mpsc::channel();
         let id = request.id.clone();
-        self.shared.queue.push(QueuedJob { request, tx, enqueued: Instant::now() }).map_err(
-            |_| {
-                self.shared.metrics.jobs_rejected.inc();
-                ServerError::Rejected { reason: "server is shutting down".into() }
-            },
-        )?;
+        self.shared.queue.push(QueuedJob::new(request, JobSink::Channel(tx))).map_err(|_| {
+            self.shared.metrics.jobs_rejected.inc();
+            ServerError::Rejected { reason: "server is shutting down".into() }
+        })?;
         self.shared.metrics.jobs_submitted.inc();
         self.shared.metrics.queue_depth.add(1);
         Ok(JobHandle { id, rx })
@@ -336,7 +414,7 @@ impl ScheduleServer {
     pub fn try_submit(&self, request: JobRequest) -> Result<JobHandle, ServerError> {
         let (tx, rx) = mpsc::channel();
         let id = request.id.clone();
-        self.shared.queue.try_push(QueuedJob { request, tx, enqueued: Instant::now() }).map_err(
+        self.shared.queue.try_push(QueuedJob::new(request, JobSink::Channel(tx))).map_err(
             |_| {
                 self.shared.metrics.jobs_rejected.inc();
                 ServerError::Rejected { reason: "job queue is full".into() }
@@ -345,6 +423,33 @@ impl ScheduleServer {
         self.shared.metrics.jobs_submitted.inc();
         self.shared.metrics.queue_depth.add(1);
         Ok(JobHandle { id, rx })
+    }
+
+    /// Enqueues a reactor-built job on `shard` without blocking — the
+    /// reactor path, which must never park its event loop on a full
+    /// queue. The reactor defers the job and retries instead of
+    /// rejecting, so no `jobs_rejected` tick here.
+    ///
+    /// `Err` hands the whole job back by design — the caller owns it
+    /// again and re-queues it later; boxing would buy nothing.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn try_enqueue(&self, shard: usize, job: QueuedJob) -> Result<(), QueuedJob> {
+        self.shared.queue.try_push_to(shard, job)?;
+        self.shared.metrics.jobs_submitted.inc();
+        self.shared.metrics.queue_depth.add(1);
+        Ok(())
+    }
+
+    /// The telemetry registry this server reports into (reactor metrics
+    /// land in the same place).
+    pub(crate) fn telemetry(&self) -> &Arc<MetricsRegistry> {
+        &self.shared.telemetry
+    }
+
+    /// The server's cancellation counter (ticked by reactors that cancel
+    /// deferred jobs before they ever reach the queue).
+    pub(crate) fn metrics_handles(&self) -> &ServerMetrics {
+        &self.shared.metrics
     }
 
     /// Submits a batch and waits for every response, returned in request
@@ -389,16 +494,26 @@ impl Drop for ScheduleServer {
 
 /// Runs one job to a response. Pure in the determinism-contract sense:
 /// everything except `wall_ms` and the cache counters is a function of
-/// the request and its tenant key.
-fn execute_job(shared: &Shared, request: JobRequest) -> Response {
+/// the request and its tenant key. `progress` receives lifecycle events
+/// (`warm-start`, `synthesized`) for sinks that stream them; the events
+/// are observability only and never influence the result.
+fn execute_job(
+    shared: &Shared,
+    request: JobRequest,
+    progress: &dyn Fn(ProgressUpdate),
+) -> Response {
     let id = request.id.clone();
-    match try_execute_job(shared, request) {
+    match try_execute_job(shared, request, progress) {
         Ok(outcome) => Response::Ok(Box::new(outcome)),
         Err(e) => Response::Error { id, error: e.to_string() },
     }
 }
 
-fn try_execute_job(shared: &Shared, request: JobRequest) -> Result<JobOutcome, ServerError> {
+fn try_execute_job(
+    shared: &Shared,
+    request: JobRequest,
+    progress: &dyn Fn(ProgressUpdate),
+) -> Result<JobOutcome, ServerError> {
     if request.budget > shared.config.max_budget {
         return Err(ServerError::Rejected {
             reason: format!(
@@ -468,6 +583,7 @@ fn try_execute_job(shared: &Shared, request: JobRequest) -> Result<JobOutcome, S
     let warm_start = !seeds.is_empty();
     if warm_start {
         shared.metrics.warm_starts.inc();
+        progress(ProgressUpdate::stage(&request.id, "warm-start"));
     }
 
     let span = Span::enter_in(&shared.telemetry, "asynd_job_synthesis")
@@ -495,6 +611,14 @@ fn try_execute_job(shared: &Shared, request: JobRequest) -> Result<JobOutcome, S
         })
         .collect();
     let winning = report.winning();
+    // Partial result ahead of the full response (and the registry
+    // store): the winning key and rate are already final here.
+    progress(ProgressUpdate {
+        id: request.id.clone(),
+        stage: "synthesized".to_string(),
+        key: Some(winning.outcome.schedule.key().to_hex()),
+        p_overall: Some(winning.outcome.estimate.p_overall()),
+    });
     let artifact = ScheduleArtifact {
         code_label: tenant.entry.display_label(),
         schedule: winning.outcome.schedule.clone(),
@@ -644,80 +768,21 @@ pub fn serve_lines(
     Ok(shutdown)
 }
 
-/// How often the accept loop re-checks the shutdown flag while no
-/// connection is arriving.
-const ACCEPT_POLL_INTERVAL: Duration = Duration::from_millis(10);
-
-/// Serves the JSON-lines protocol over TCP: one thread per connection,
-/// all connections sharing the server (and therefore its tenants).
+/// Serves both wire protocols over TCP on a single-reactor event loop —
+/// v1 JSON-lines and framed v2, autodetected per connection from the
+/// first byte (see [`crate::reactor`]). Equivalent to
+/// [`serve_tcp_with`] with [`ReactorOptions::default`]; use that entry
+/// point to run more reactors.
 ///
-/// The listener runs *nonblocking* and the accept loop polls it,
-/// re-checking the shutdown flag between polls — a `shutdown` op
-/// received on any connection terminates the server within one poll
-/// interval, without waiting for another client to happen to connect.
-/// Connection threads are joined (finished ones eagerly, the rest before
-/// returning), never leaked.
-///
-/// Returns after a client sends `{"op":"shutdown"}` and every open
-/// connection has drained.
+/// Returns after a client sends `{"op":"shutdown"}` (or the v2
+/// equivalent) and every open connection has drained.
 ///
 /// # Errors
 ///
-/// Returns accept-loop I/O errors; per-connection errors only end that
+/// Returns reactor-loop I/O errors; per-connection errors only end that
 /// connection.
 pub fn serve_tcp(server: &ScheduleServer, listener: TcpListener) -> std::io::Result<()> {
-    listener.set_nonblocking(true)?;
-    let shutdown = AtomicBool::new(false);
-    std::thread::scope(|scope| -> std::io::Result<()> {
-        let mut connections: Vec<std::thread::ScopedJoinHandle<'_, ()>> = Vec::new();
-        while !shutdown.load(Ordering::SeqCst) {
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    // The accepted socket must block: the connection
-                    // thread reads request lines at its own pace.
-                    stream.set_nonblocking(false)?;
-                    let shutdown = &shutdown;
-                    connections.push(scope.spawn(move || {
-                        if let Err(e) = handle_connection(server, stream, shutdown) {
-                            eprintln!("asynd: connection error: {e}");
-                        }
-                    }));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    // Reap finished connection threads while idle so a
-                    // long-lived server does not accumulate handles.
-                    let (done, live): (Vec<_>, Vec<_>) =
-                        connections.drain(..).partition(|handle| handle.is_finished());
-                    connections = live;
-                    for handle in done {
-                        let _ = handle.join();
-                    }
-                    std::thread::sleep(ACCEPT_POLL_INTERVAL);
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
-            }
-        }
-        // Drain: every open connection finishes its pipelined work
-        // before the server returns.
-        for handle in connections {
-            let _ = handle.join();
-        }
-        Ok(())
-    })
-}
-
-fn handle_connection(
-    server: &ScheduleServer,
-    stream: TcpStream,
-    shutdown: &AtomicBool,
-) -> std::io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
-    let requested_shutdown = serve_lines(reader, &stream, server)?;
-    if requested_shutdown {
-        shutdown.store(true, Ordering::SeqCst);
-    }
-    Ok(())
+    serve_tcp_with(server, listener, ReactorOptions::default())
 }
 
 #[cfg(test)]

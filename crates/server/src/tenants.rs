@@ -29,6 +29,12 @@ use crate::{fnv64, ServerError};
 /// Domain-separation constant mixed into tenant salts.
 const TENANT_SALT_STREAM: u64 = 0x7465_6e61_6e74_2121; // "tenant!!"
 
+/// How many independently locked shards the tenant registry spreads
+/// over. Sixteen keeps the per-shard maps tiny while letting every
+/// reactor/worker thread of a large server resolve tenants without
+/// queueing on one global lock.
+const TENANT_SHARDS: usize = 16;
+
 /// One tenant: the resolved catalog entry plus its shared evaluator and
 /// evaluation-seed salt.
 pub struct Tenant {
@@ -43,9 +49,14 @@ pub struct Tenant {
 }
 
 /// The registry of live tenants, keyed by canonical tenant key.
+///
+/// Internally sharded (`TENANT_SHARDS` independently locked maps,
+/// shard chosen by FNV-1a of the canonical key) so concurrent
+/// resolutions from many reactor and worker threads only contend when
+/// they actually touch the same slice of the key space.
 pub struct TenantMap {
     cache_capacity: usize,
-    tenants: Mutex<HashMap<String, Arc<Tenant>>>,
+    shards: Vec<Mutex<HashMap<String, Arc<Tenant>>>>,
     metrics: Arc<MetricsRegistry>,
 }
 
@@ -59,12 +70,21 @@ impl TenantMap {
     /// As [`TenantMap::new`], but reporting into a caller-owned telemetry
     /// registry (what the server injects so tests can isolate counters).
     pub fn with_metrics(cache_capacity: usize, metrics: Arc<MetricsRegistry>) -> Self {
-        TenantMap { cache_capacity, tenants: Mutex::new(HashMap::new()), metrics }
+        TenantMap {
+            cache_capacity,
+            shards: (0..TENANT_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            metrics,
+        }
     }
 
     /// Number of live tenants.
     pub fn len(&self) -> usize {
-        self.tenants.lock().expect("tenant map poisoned").len()
+        self.shards.iter().map(|s| s.lock().expect("tenant map poisoned").len()).sum()
+    }
+
+    /// The shard holding `key`.
+    fn shard_for(&self, key: &str) -> &Mutex<HashMap<String, Arc<Tenant>>> {
+        &self.shards[(fnv64(key.as_bytes()) as usize) % self.shards.len()]
     }
 
     /// Whether no tenant has been created yet.
@@ -81,11 +101,16 @@ impl TenantMap {
     /// deterministic order the `metrics` protocol op reports in).
     pub fn cache_stats(&self) -> Vec<(String, EvaluatorStats)> {
         let mut stats: Vec<(String, EvaluatorStats)> = self
-            .tenants
-            .lock()
-            .expect("tenant map poisoned")
+            .shards
             .iter()
-            .map(|(key, tenant)| (key.clone(), tenant.evaluator.stats()))
+            .flat_map(|shard| {
+                shard
+                    .lock()
+                    .expect("tenant map poisoned")
+                    .iter()
+                    .map(|(key, tenant)| (key.clone(), tenant.evaluator.stats()))
+                    .collect::<Vec<_>>()
+            })
             .collect();
         stats.sort_by(|a, b| a.0.cmp(&b.0));
         stats
@@ -104,14 +129,14 @@ impl TenantMap {
         shots: usize,
     ) -> Result<Arc<Tenant>, ServerError> {
         let key = TenantMap::canonical_key(code, noise, shots);
-        if let Some(tenant) = self.tenants.lock().expect("tenant map poisoned").get(&key) {
+        if let Some(tenant) = self.shard_for(&key).lock().expect("tenant map poisoned").get(&key) {
             return Ok(tenant.clone());
         }
         // Build outside the lock (codes and evaluators are cheap to
         // construct relative to a job, and a racing double-create is
         // resolved below by keeping the first insertion).
         let tenant = Arc::new(self.build_tenant(key, code, noise, shots)?);
-        let mut tenants = self.tenants.lock().expect("tenant map poisoned");
+        let mut tenants = self.shard_for(&tenant.key).lock().expect("tenant map poisoned");
         Ok(tenants.entry(tenant.key.clone()).or_insert(tenant).clone())
     }
 

@@ -1,0 +1,126 @@
+//! The reactor extends the serving layer's determinism contract to its
+//! event-loop deployment: the same jobs, submitted over TCP by several
+//! concurrent connections, produce bit-identical results whether the
+//! listener is served by 1, 2 or 4 reactor threads.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+use asynd_server::protocol::{CodeRef, JobRequest, NoiseSpec, Response, StrategyChoice};
+use asynd_server::{serve_tcp_with, ReactorOptions, ScheduleServer, ServerConfig};
+
+/// Three connections' worth of jobs: enough concurrency that a
+/// multi-reactor server actually spreads connections across threads, with
+/// shared tenants so cache racing is exercised too.
+fn sessions() -> Vec<Vec<JobRequest>> {
+    let mut sessions = Vec::new();
+    for session in 0..3u64 {
+        let mut jobs = Vec::new();
+        for (slot, (family, strategy, budget)) in [
+            ("rotated-surface", StrategyChoice::Beam, 24),
+            ("xzzx", StrategyChoice::Anneal, 20),
+            ("rotated-surface", StrategyChoice::LowestDepth, 4),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            jobs.push(JobRequest {
+                id: format!("s{session}-j{slot}"),
+                code: CodeRef { family: family.to_string(), index: 0 },
+                noise: NoiseSpec::Scaled(0.002 + 0.001 * session as f64),
+                strategy,
+                budget,
+                shots: 120,
+                seed: 0xD5 + slot as u64, // same seeds across sessions: shared tenants
+            });
+        }
+        sessions.push(jobs);
+    }
+    sessions
+}
+
+/// The determinism-contract projection: everything except wall-clock and
+/// cache counters (observability data, explicitly outside the contract).
+fn contract_view(response: &Response) -> String {
+    match response {
+        Response::Ok(outcome) => format!(
+            "id={} tenant={} winner={} key={} p={} granted={} spent={}",
+            outcome.id,
+            outcome.tenant,
+            outcome.strategy,
+            outcome.artifact.key().to_hex(),
+            outcome.artifact.estimate.any_failures,
+            outcome.granted,
+            outcome.spent,
+        ),
+        other => format!("{other:?}"),
+    }
+}
+
+/// Runs every session against a freshly served instance with `reactors`
+/// reactor threads and returns `(job id, contract view)` pairs sorted by
+/// id (sessions run concurrently, so only per-id comparison is meaningful).
+fn run_with_reactors(reactors: usize) -> Vec<(String, String)> {
+    let server = ScheduleServer::start(ServerConfig { workers: 2, ..ServerConfig::default() });
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let address = listener.local_addr().unwrap();
+
+    let mut views = std::thread::scope(|scope| {
+        let server_ref = &server;
+        let acceptor =
+            scope.spawn(move || serve_tcp_with(server_ref, listener, ReactorOptions { reactors }));
+
+        let clients: Vec<_> = sessions()
+            .into_iter()
+            .map(|jobs| {
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(address).unwrap();
+                    let mut writer = stream.try_clone().unwrap();
+                    for job in &jobs {
+                        writeln!(writer, "{}", serde_json::to_string(&job.to_json()).unwrap())
+                            .unwrap();
+                    }
+                    writer.flush().unwrap();
+                    stream.shutdown(std::net::Shutdown::Write).unwrap();
+                    let mut views = Vec::new();
+                    for line in BufReader::new(&stream).lines() {
+                        let response = Response::parse(&line.unwrap()).unwrap();
+                        let id = match &response {
+                            Response::Ok(outcome) => outcome.id.clone(),
+                            other => panic!("job failed under {reactors} reactors: {other:?}"),
+                        };
+                        views.push((id, contract_view(&response)));
+                    }
+                    assert_eq!(views.len(), jobs.len(), "missing responses");
+                    views
+                })
+            })
+            .collect();
+        let views: Vec<(String, String)> =
+            clients.into_iter().flat_map(|c| c.join().unwrap()).collect();
+
+        // All sessions drained: stop the server via the protocol.
+        let stream = TcpStream::connect(address).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        writeln!(writer, "{{\"op\":\"shutdown\"}}").unwrap();
+        writer.flush().unwrap();
+        let mut ack = String::new();
+        BufReader::new(&stream).read_line(&mut ack).unwrap();
+        assert!(ack.contains("\"op\":\"shutdown\""), "no shutdown ack: {ack:?}");
+        acceptor.join().unwrap().expect("reactor loop failed");
+        views
+    });
+    server.shutdown();
+    views.sort();
+    views
+}
+
+#[test]
+fn results_are_identical_for_1_2_and_4_reactors() {
+    let one = run_with_reactors(1);
+    assert_eq!(one.len(), 9);
+    let two = run_with_reactors(2);
+    let four = run_with_reactors(4);
+    assert_eq!(one, two, "1 and 2 reactors disagree");
+    assert_eq!(one, four, "1 and 4 reactors disagree");
+}

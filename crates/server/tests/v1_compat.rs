@@ -1,0 +1,95 @@
+//! Protocol v1 compatibility: a JSON-lines client talking to the reactor
+//! (`serve_tcp`) must receive byte-identical response lines, in the same
+//! order, as the same script run through the reference implementation
+//! (`serve_lines`) — modulo the explicitly-volatile observability fields
+//! (`wall_ms`, `cache`).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+use asynd_server::{serve_lines, serve_tcp, ScheduleServer, ServerConfig};
+use serde_json::{Map, Value};
+
+/// A session exercising every v1 shape: probes, a pipelined pair of jobs,
+/// a parse error mid-stream, a lookup miss, and a final shutdown.
+fn script() -> String {
+    let job = |id: &str, seed: u64| {
+        format!(
+            "{{\"id\":\"{id}\",\"code\":{{\"family\":\"rotated-surface\",\"index\":0}},\
+             \"noise\":{{\"kind\":\"scaled\",\"p\":0.004}},\"strategy\":\"beam\",\"budget\":12,\
+             \"shots\":100,\"seed\":{seed}}}"
+        )
+    };
+    [
+        "{\"op\":\"ping\"}".to_string(),
+        job("compat-1", 11),
+        "this is not json".to_string(),
+        job("compat-2", 12),
+        "{\"op\":\"lookup\",\"id\":\"probe\",\"code\":{\"family\":\"rotated-surface\",\
+         \"index\":0},\"noise\":{\"kind\":\"scaled\",\"p\":0.004},\"shots\":100}"
+            .to_string(),
+        "{\"op\":\"shutdown\"}".to_string(),
+    ]
+    .join("\n")
+        + "\n"
+}
+
+/// Re-serializes a response line with the volatile fields removed. The
+/// vendored `serde_json` preserves insertion order, so everything else —
+/// key order included — must match byte for byte.
+fn normalize(line: &str) -> String {
+    fn strip(value: &Value) -> Value {
+        match value {
+            Value::Object(map) => {
+                let mut out = Map::new();
+                for (key, entry) in map.iter() {
+                    if key == "wall_ms" || key == "cache" {
+                        continue;
+                    }
+                    out.insert(key.as_str(), strip(entry));
+                }
+                Value::Object(out)
+            }
+            other => other.clone(),
+        }
+    }
+    let parsed = serde_json::from_str(line).expect("response line must be valid JSON");
+    serde_json::to_string(&strip(&parsed)).unwrap()
+}
+
+fn run_through_serve_lines() -> Vec<String> {
+    let server = ScheduleServer::start(ServerConfig { workers: 2, ..ServerConfig::default() });
+    let mut output: Vec<u8> = Vec::new();
+    serve_lines(script().as_bytes(), &mut output, &server).expect("serve_lines failed");
+    server.shutdown();
+    String::from_utf8(output).unwrap().lines().map(normalize).collect()
+}
+
+fn run_through_reactor() -> Vec<String> {
+    let server = ScheduleServer::start(ServerConfig { workers: 2, ..ServerConfig::default() });
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let address = listener.local_addr().unwrap();
+    let lines = std::thread::scope(|scope| {
+        let server_ref = &server;
+        let acceptor = scope.spawn(move || serve_tcp(server_ref, listener));
+        let stream = TcpStream::connect(address).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        writer.write_all(script().as_bytes()).unwrap();
+        writer.flush().unwrap();
+        let lines: Vec<String> =
+            BufReader::new(&stream).lines().map(|line| normalize(&line.unwrap())).collect();
+        acceptor.join().unwrap().expect("reactor loop failed");
+        lines
+    });
+    server.shutdown();
+    lines
+}
+
+#[test]
+fn v1_clients_get_byte_identical_responses_from_the_reactor() {
+    let reference = run_through_serve_lines();
+    let reactor = run_through_reactor();
+    // 2 probes + 2 jobs + 1 parse error + 1 shutdown ack.
+    assert_eq!(reference.len(), 6, "reference session shape changed: {reference:?}");
+    assert_eq!(reactor, reference, "reactor v1 responses diverge from serve_lines");
+}

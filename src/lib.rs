@@ -20,9 +20,12 @@
 //!   synthesized schedule artifacts: append-only JSON-lines segments,
 //!   fingerprint verification on every read, warm-start seeds for the
 //!   portfolio and the serving layer.
+//! * [`net`] — the dependency-free reactor toolkit: poll(2) readiness
+//!   sets, nonblocking buffered connections, self-pipe wakers and the
+//!   framed protocol-v2 codec the serving layer runs on.
 //! * [`server`] — the serving layer: the multi-tenant schedule server,
-//!   its JSON-lines protocol (the `asynd` CLI) and catalog-wide scenario
-//!   sweeps.
+//!   its JSON-lines and framed-v2 protocols (the `asynd` CLI),
+//!   catalog-wide scenario sweeps and the serving load generator.
 //! * [`telemetry`] — the unified observability layer: the sharded
 //!   metrics registry (counters, gauges, latency histograms), span-based
 //!   job-lifecycle tracing, the crash-tolerant JSON-lines event log and
@@ -45,6 +48,7 @@ pub use asynd_circuit as circuit;
 pub use asynd_codes as codes;
 pub use asynd_core as core;
 pub use asynd_decode as decode;
+pub use asynd_net as net;
 pub use asynd_pauli as pauli;
 pub use asynd_portfolio as portfolio;
 pub use asynd_registry as registry;
