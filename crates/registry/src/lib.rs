@@ -65,6 +65,10 @@ use asynd_circuit::ScheduleKey;
 use asynd_telemetry::{Counter, Span};
 use serde_json::{Map, Value};
 
+mod tenant;
+
+pub use tenant::TenantId;
+
 /// Record format version written by this crate.
 const FORMAT_VERSION: u64 = 1;
 
@@ -154,6 +158,23 @@ pub struct VerifyReport {
     /// Records that failed to parse or verify.
     pub invalid: usize,
     /// Human-readable reports of the first invalid records (capped).
+    pub reports: Vec<String>,
+}
+
+/// The result of [`Registry::import_records`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ImportReport {
+    /// Lines that parsed and fingerprint-verified.
+    pub records: usize,
+    /// Records appended as new `(tenant, schedule)` addresses.
+    pub stored: usize,
+    /// Records that shadowed an existing address.
+    pub replaced: usize,
+    /// Bit-identical records skipped without writing.
+    pub duplicates: usize,
+    /// Lines rejected: unparsable, fingerprint mismatch, malformed.
+    pub skipped: usize,
+    /// Human-readable reports of the first rejected lines (capped).
     pub reports: Vec<String>,
 }
 
@@ -423,6 +444,77 @@ impl Registry {
         self.counters.stores.fetch_add(1, Ordering::Relaxed);
         self.telemetry.stores.inc();
         Ok(if replaced { StoreOutcome::Replaced } else { StoreOutcome::Stored })
+    }
+
+    /// Serializes live records as portable JSON-lines text — the
+    /// artifact-shipping format of the distributed sweep fleet.
+    ///
+    /// With `filter: Some(prefix)` only tenants whose canonical id
+    /// starts with `prefix` are exported (an exact tenant id exports one
+    /// tenant's artifact set; a family prefix such as `"xzzx["` exports
+    /// a family). Records are emitted in the deterministic
+    /// `(tenant, schedule key)` order of [`Registry::entries`], each
+    /// line byte-identical to the on-disk segment format, so an export
+    /// is also a valid segment file.
+    pub fn export_records(&self, filter: Option<&str>) -> String {
+        let mut text = String::new();
+        for entry in self.entries() {
+            if let Some(prefix) = filter {
+                if !entry.tenant.starts_with(prefix) {
+                    continue;
+                }
+            }
+            let mut map = Map::new();
+            map.insert("v", Value::from(FORMAT_VERSION));
+            map.insert("tenant", Value::from(entry.tenant.as_str()));
+            map.insert("artifact", entry.artifact.to_json());
+            text.push_str(
+                &serde_json::to_string(&Value::Object(map))
+                    .expect("record serialization is infallible"),
+            );
+            text.push('\n');
+        }
+        text
+    }
+
+    /// Imports JSON-lines text produced by [`Registry::export_records`]
+    /// (or any registry segment), storing every record that parses and
+    /// fingerprint-verifies.
+    ///
+    /// Tampered or malformed lines are *skipped and reported*, exactly
+    /// like a disk scan — an untrusted export degrades capacity, never
+    /// correctness. Accepted records go through [`Registry::store`], so
+    /// duplicates are detected and replacements shadow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::Io`] when an accepted record cannot be
+    /// appended to disk. Rejected lines are counted, not errors.
+    pub fn import_records(&self, text: &str) -> Result<ImportReport, RegistryError> {
+        let mut report = ImportReport::default();
+        for (line_no, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_record(line) {
+                Ok((tenant, artifact)) => {
+                    report.records += 1;
+                    match self.store(&tenant, &artifact)? {
+                        StoreOutcome::Stored => report.stored += 1,
+                        StoreOutcome::Replaced => report.replaced += 1,
+                        StoreOutcome::Duplicate => report.duplicates += 1,
+                    }
+                }
+                Err(reason) => {
+                    report.skipped += 1;
+                    self.telemetry.corrupt.inc();
+                    if report.reports.len() < MAX_REPORTS {
+                        report.reports.push(format!("line {}: {reason}", line_no + 1));
+                    }
+                }
+            }
+        }
+        Ok(report)
     }
 
     /// Re-scans the directory and fingerprint-checks every record on
@@ -842,6 +934,54 @@ mod tests {
         assert!(matches!(registry.store("t", &zero_shots), Err(RegistryError::Invalid { .. })));
         assert!(registry.is_empty());
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn export_import_round_trips_and_filters() {
+        let dir = scratch("export");
+        let (registry, _) = Registry::open(&dir).unwrap();
+        registry.store("t[0]|brisbane|shots=400", &artifact(9)).unwrap();
+        registry.store("t[0]|brisbane|shots=400", &other_artifact(2)).unwrap();
+        registry.store("u[1]|paper|shots=200", &artifact(5)).unwrap();
+
+        let full = registry.export_records(None);
+        assert_eq!(full.lines().count(), 3);
+        let one_tenant = registry.export_records(Some("u[1]|paper|shots=200"));
+        assert_eq!(one_tenant.lines().count(), 1);
+        assert_eq!(registry.export_records(Some("nope")), "");
+
+        // Import into a fresh registry reproduces the full content.
+        let dir2 = scratch("export-dest");
+        let (dest, _) = Registry::open(&dir2).unwrap();
+        let report = dest.import_records(&full).unwrap();
+        assert_eq!(report.records, 3);
+        assert_eq!(report.stored, 3);
+        assert_eq!(report.skipped, 0);
+        assert_eq!(dest.entries(), registry.entries());
+        // Re-import is a no-op (content addressing).
+        let again = dest.import_records(&full).unwrap();
+        assert_eq!(again.duplicates, 3);
+        assert_eq!(again.stored, 0);
+        fs::remove_dir_all(&dir).unwrap();
+        fs::remove_dir_all(&dir2).unwrap();
+    }
+
+    #[test]
+    fn import_rejects_tampered_lines() {
+        let dir = scratch("import-tamper");
+        let (registry, _) = Registry::open(&dir).unwrap();
+        registry.store("t", &artifact(7)).unwrap();
+        let tampered = registry.export_records(None).replacen("\"tick\":1", "\"tick\":99", 1);
+
+        let dir2 = scratch("import-tamper-dest");
+        let (dest, _) = Registry::open(&dir2).unwrap();
+        let report = dest.import_records(&format!("{tampered}not json\n")).unwrap();
+        assert_eq!(report.records, 0);
+        assert_eq!(report.skipped, 2);
+        assert!(report.reports[0].contains("key mismatch"), "{:?}", report.reports);
+        assert!(dest.is_empty(), "tampered imports never reach the index");
+        fs::remove_dir_all(&dir).unwrap();
+        fs::remove_dir_all(&dir2).unwrap();
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! The canonical tenant identity shared by the serving layer and the
+//! registry.
+//!
+//! A *tenant* is the unit of cache and artifact sharing: one `(code,
+//! error model, shots)` triple. Its canonical text form,
+//! `family[index]|noise|shots=N`, is the key under which the serving
+//! layer shards evaluators and the registry addresses artifacts — and,
+//! with the distributed sweep fleet, the identity that crosses machine
+//! boundaries inside job requests and exported artifact sets. One
+//! constructor ([`TenantId`]) owns that format so the producers can
+//! never drift apart; [`TenantId::parse`] is the exact inverse of
+//! [`TenantId::canonical`].
+
+use std::fmt;
+
+/// The canonical identity of a serving tenant.
+///
+/// ```
+/// use asynd_registry::TenantId;
+///
+/// let id = TenantId::new("rotated-surface", 2, "scaled(0.003)", 600);
+/// assert_eq!(id.canonical(), "rotated-surface[2]|scaled(0.003)|shots=600");
+/// assert_eq!(TenantId::parse(&id.canonical()).unwrap(), id);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TenantId {
+    /// Catalog family name (e.g. `rotated-surface`).
+    pub family: String,
+    /// Entry index within the family.
+    pub index: usize,
+    /// Canonical noise-spec text (e.g. `brisbane`, `scaled(0.003)`).
+    pub noise: String,
+    /// Shots per evaluation.
+    pub shots: usize,
+}
+
+impl TenantId {
+    /// Builds a tenant identity from its four dimensions.
+    pub fn new(
+        family: impl Into<String>,
+        index: usize,
+        noise: impl Into<String>,
+        shots: usize,
+    ) -> TenantId {
+        TenantId { family: family.into(), index, noise: noise.into(), shots }
+    }
+
+    /// The canonical text form, `family[index]|noise|shots=N`.
+    pub fn canonical(&self) -> String {
+        self.to_string()
+    }
+
+    /// Parses a canonical tenant id back into its dimensions — the exact
+    /// inverse of [`TenantId::canonical`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when `text` is not a canonical
+    /// tenant id (wrong field count, malformed `family[index]`, empty
+    /// noise, malformed or zero `shots=N`, or a form that would not
+    /// round-trip byte-identically).
+    pub fn parse(text: &str) -> Result<TenantId, String> {
+        let mut fields = text.split('|');
+        let (code, noise, shots) =
+            match (fields.next(), fields.next(), fields.next(), fields.next()) {
+                (Some(code), Some(noise), Some(shots), None) => (code, noise, shots),
+                _ => return Err(format!("expected family[index]|noise|shots=N, got {text:?}")),
+            };
+        let open =
+            code.rfind('[').ok_or_else(|| format!("missing [index] in code field {code:?}"))?;
+        let family = &code[..open];
+        let index = code[open + 1..]
+            .strip_suffix(']')
+            .and_then(parse_canonical_usize)
+            .ok_or_else(|| format!("malformed [index] in code field {code:?}"))?;
+        if family.is_empty() {
+            return Err(format!("empty family name in code field {code:?}"));
+        }
+        if noise.is_empty() {
+            return Err(format!("empty noise field in {text:?}"));
+        }
+        let shots = shots
+            .strip_prefix("shots=")
+            .and_then(parse_canonical_usize)
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("malformed shots field {shots:?} (want shots=N, N > 0)"))?;
+        Ok(TenantId::new(family, index, noise, shots))
+    }
+}
+
+/// Parses a decimal `usize` rejecting non-canonical spellings (leading
+/// zeros, signs, whitespace) so parse∘canonical stays the identity.
+fn parse_canonical_usize(digits: &str) -> Option<usize> {
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    if digits.len() > 1 && digits.starts_with('0') {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]|{}|shots={}", self.family, self.index, self.noise, self.shots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_and_parse_round_trip() {
+        for id in [
+            TenantId::new("rotated-surface", 0, "brisbane", 400),
+            TenantId::new("hexagonal-color", 3, "scaled(0.0074)", 600),
+            TenantId::new("xzzx", 12, "paper", 1),
+            TenantId::new("bb", 0, "uniform(0.001,0.002,0.003)", 120),
+        ] {
+            let text = id.canonical();
+            let parsed = TenantId::parse(&text).expect(&text);
+            assert_eq!(parsed, id);
+            assert_eq!(parsed.canonical(), text, "parse∘canonical is the identity");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_exactly_the_serving_layer_format() {
+        let id = TenantId::parse("rotated-surface[2]|scaled(0.003)|shots=600").unwrap();
+        assert_eq!(id.family, "rotated-surface");
+        assert_eq!(id.index, 2);
+        assert_eq!(id.noise, "scaled(0.003)");
+        assert_eq!(id.shots, 600);
+    }
+
+    #[test]
+    fn malformed_ids_are_rejected() {
+        for bad in [
+            "",
+            "rotated-surface|brisbane|shots=400", // no [index]
+            "rotated-surface[2]|brisbane",        // missing shots field
+            "rotated-surface[2]|brisbane|shots=400|x", // extra field
+            "rotated-surface[2]||shots=400",      // empty noise
+            "[2]|brisbane|shots=400",             // empty family
+            "rotated-surface[two]|brisbane|shots=400", // non-numeric index
+            "rotated-surface[02]|brisbane|shots=400", // leading zero: not canonical
+            "rotated-surface[2]|brisbane|shots=0", // zero shots
+            "rotated-surface[2]|brisbane|shots=-4", // signed shots
+            "rotated-surface[2]|brisbane|shots= 4", // whitespace
+        ] {
+            assert!(TenantId::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn brackets_inside_family_resolve_to_the_last_index() {
+        // Catalog names never contain '[', but parse must still be
+        // unambiguous: the *last* bracket group is the index.
+        let id = TenantId::parse("weird[0]name[7]|brisbane|shots=10").unwrap();
+        assert_eq!(id.family, "weird[0]name");
+        assert_eq!(id.index, 7);
+        assert_eq!(id.canonical(), "weird[0]name[7]|brisbane|shots=10");
+    }
+}

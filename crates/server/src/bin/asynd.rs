@@ -10,9 +10,14 @@
 //!                [--workload ping|synthesize] [--out PATH] [--smoke] [--quiet]
 //! asynd sweep    [--smoke] [--out PATH] [--seed N] [--rates a,b,c] [--shots N]
 //!                [--families a,b] [--budget-mult N] [--max-qubits N]
-//!                [--entries N] [--workers N] [--registry DIR] [--quiet]
+//!                [--entries N] [--workers N|addr1,addr2,...] [--registry DIR]
+//!                [--quiet]
+//! asynd fleetbench [--smoke] [--counts 1,2,4] [--out PATH] [--seed N] [--quiet]
 //! asynd registry (stats|verify|compact) DIR
+//! asynd registry export DIR FILE [PREFIX]
+//! asynd registry import DIR FILE
 //! asynd validate [--metrics] FILE...
+//! asynd validate --equal A B
 //! ```
 //!
 //! `serve` speaks the JSON-lines protocol on stdin/stdout, or on a TCP
@@ -22,10 +27,16 @@
 //! snapshot over the `metrics` protocol op (JSON by default, Prometheus
 //! text exposition with `--text`, repeatedly with `--watch`). `sweep`
 //! races the strategy portfolio over the code catalog × an error-rate
-//! grid and writes `BENCH_sweep.json`. `registry` inspects, audits or
-//! compacts a persistent schedule registry directory. `validate`
-//! type-checks `BENCH_*.json` trajectory documents, or — with
-//! `--metrics` — Prometheus text expositions.
+//! grid and writes `BENCH_sweep.json`; when `--workers` is a list of
+//! `host:port` addresses, cells are fanned out to remote `asynd serve`
+//! workers over protocol v2 (the distributed fleet — the merged report
+//! is bit-identical to an in-process sweep). `fleetbench` measures
+//! fleet scaling over local workers and writes `BENCH_fleet.json`.
+//! `registry` inspects, audits, compacts, exports or imports a
+//! persistent schedule registry directory. `validate` type-checks
+//! `BENCH_*.json` trajectory documents, compares two sweep reports for
+//! canonical equality with `--equal`, or — with `--metrics` —
+//! Prometheus text expositions.
 //!
 //! `--registry DIR` attaches a persistent schedule registry: synthesis
 //! jobs warm-start from prior winners of their tenant, winners are
@@ -33,19 +44,25 @@
 //! spending evaluation budget. `--events DIR` additionally appends a
 //! JSON-lines span/event log (flushed into atomic segments on shutdown).
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::io::Write;
+use std::net::TcpListener;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use asynd_registry::Registry;
+use asynd_server::fleet::{
+    fleet_report_to_json, validate_fleet_text, FleetBenchRecord, LocalWorker,
+};
 use asynd_server::loadgen::{self, LoadgenConfig, Mode, WireProtocol, Workload};
-use asynd_server::protocol::Response;
-use asynd_server::sweep::{run_sweep_with_registry, validate_report_text, SweepConfig};
+use asynd_server::protocol::{Request, Response};
+use asynd_server::sweep::{
+    canonical_report_value, validate_report_text, SweepConfig, SweepOptions,
+};
 use asynd_server::{
-    serve_lines, serve_tcp_with, MetricsClient, ReactorOptions, ScheduleServer, ServerConfig,
+    serve_lines, serve_tcp_with, Client, MetricsClient, ReactorOptions, ScheduleServer,
+    ServerConfig,
 };
 use asynd_telemetry::EventLog;
 
@@ -61,6 +78,7 @@ fn main() -> ExitCode {
         "metrics" => cmd_metrics(rest),
         "loadgen" => cmd_loadgen(rest),
         "sweep" => cmd_sweep(rest),
+        "fleetbench" => cmd_fleetbench(rest),
         "registry" => cmd_registry(rest),
         "validate" => cmd_validate(rest),
         "help" | "--help" | "-h" => {
@@ -91,9 +109,13 @@ USAGE:
                  [--workload ping|synthesize] [--out PATH] [--smoke] [--quiet]
   asynd sweep    [--smoke] [--out PATH] [--seed N] [--rates a,b,c] [--shots N]
                  [--families a,b] [--budget-mult N] [--max-qubits N] [--entries N]
-                 [--workers N] [--registry DIR] [--quiet]
+                 [--workers N|addr1,addr2,...] [--registry DIR] [--quiet]
+  asynd fleetbench [--smoke] [--counts 1,2,4] [--out PATH] [--seed N] [--quiet]
   asynd registry (stats|verify|compact) DIR
+  asynd registry export DIR FILE [PREFIX]
+  asynd registry import DIR FILE
   asynd validate [--metrics] FILE...
+  asynd validate --equal A B
 
 `serve` reads JSON-lines requests from stdin (or TCP connections) and
 writes one response line per job, in submission order. With --tcp it
@@ -108,6 +130,18 @@ Prometheus text exposition with --text; --watch re-scrapes every
 --interval seconds). --registry DIR makes synthesis warm-start from
 (and store into) a persistent schedule registry; --events DIR appends
 a JSON-lines span/event log. See the README's observability section.
+
+`sweep --workers` takes either a rayon thread count (an integer) or a
+comma-separated list of host:port addresses of `asynd serve --tcp`
+workers; with addresses, cells are distributed over the fleet and the
+merged BENCH_sweep.json is bit-identical to an in-process sweep (see
+the README's distributed-sweep section; fleet workers must run without
+their own --registry). `fleetbench` runs the sweep grid through 0
+(in-process baseline) then --counts local workers and writes the
+scaling study to BENCH_fleet.json. `registry export` writes a tenant's
+(or every tenant's) records as portable JSON lines; `registry import`
+merges such a file back in. `validate --equal` compares two sweep
+reports after canonicalisation (wall-clock stripped).
 ";
 
 /// Opens a registry directory for the serving commands, reporting any
@@ -463,20 +497,38 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
                             (the TCP server owns its own registry)"
                     .to_string());
             }
-            let stream =
-                TcpStream::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-            let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
-            for line in &lines {
-                writeln!(writer, "{line}").map_err(|e| e.to_string())?;
+            // Parse up front: a malformed line is the operator's
+            // mistake, caught before anything reaches the server.
+            let mut requests = Vec::with_capacity(lines.len());
+            for (index, line) in lines.iter().enumerate() {
+                let request = Request::parse(line)
+                    .map_err(|e| format!("submit: request line {}: {e}", index + 1))?;
+                requests.push(request);
             }
-            // Half-close so the server sees EOF and drains in order.
-            writer.flush().map_err(|e| e.to_string())?;
-            stream.shutdown(std::net::Shutdown::Write).map_err(|e| e.to_string())?;
-            let reader = BufReader::new(stream);
+            let mut client = Client::new(&addr);
+            let mut remaining = 0usize;
+            for request in &requests {
+                client.send(request).map_err(|e| format!("submit: {e}"))?;
+                remaining += 1;
+            }
             let mut stdout = std::io::stdout().lock();
-            for line in reader.lines() {
-                let line = line.map_err(|e| e.to_string())?;
-                writeln!(stdout, "{line}").map_err(|e| e.to_string())?;
+            let mut shutting_down = false;
+            while remaining > 0 {
+                match client.recv() {
+                    Ok((_, response)) => {
+                        writeln!(stdout, "{}", response.to_json()).map_err(|e| e.to_string())?;
+                        remaining -= 1;
+                        if matches!(response, Response::ShuttingDown) {
+                            // The server closes after the ack; anything
+                            // still queued behind it will never answer.
+                            shutting_down = true;
+                        }
+                    }
+                    // A close right after the shutdown ack is the
+                    // protocol working as designed, not a failure.
+                    Err(_) if shutting_down => break,
+                    Err(e) => return Err(format!("submit: {e}")),
+                }
             }
         }
         None => {
@@ -500,6 +552,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let mut quiet = false;
     let mut smoke = false;
     let mut registry: Option<String> = None;
+    let mut fleet: Vec<String> = Vec::new();
     // Explicit flags beat the --smoke preset regardless of order.
     let mut explicit_shots: Option<usize> = None;
     let mut explicit_mult: Option<u64> = None;
@@ -514,7 +567,26 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             "--budget-mult" => explicit_mult = Some(flags.parsed("--budget-mult")?),
             "--max-qubits" => config.max_qubits = flags.parsed("--max-qubits")?,
             "--entries" => explicit_entries = Some(flags.parsed("--entries")?),
-            "--workers" => config.workers = flags.parsed("--workers")?,
+            // An integer is the rayon thread count (the historical
+            // meaning); anything with a ':' is a fleet address list.
+            "--workers" => {
+                let raw = flags.value("--workers")?;
+                if let Ok(count) = raw.parse::<usize>() {
+                    config.workers = count;
+                } else {
+                    fleet = raw
+                        .split(',')
+                        .map(|addr| addr.trim().to_string())
+                        .filter(|addr| !addr.is_empty())
+                        .collect();
+                    if fleet.is_empty() || fleet.iter().any(|addr| !addr.contains(':')) {
+                        return Err(format!(
+                            "--workers expects a thread count or a comma-separated \
+                             list of host:port worker addresses, got {raw:?}"
+                        ));
+                    }
+                }
+            }
             "--registry" => registry = Some(flags.value("--registry")?.to_string()),
             "--quiet" => quiet = true,
             "--rates" => {
@@ -552,8 +624,11 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     }
     let registry = registry.as_deref().map(open_registry).transpose()?;
     let started = Instant::now();
-    let report =
-        run_sweep_with_registry(&config, registry.as_deref()).map_err(|e| e.to_string())?;
+    let mut options = SweepOptions::with_config(config.clone()).fleet(fleet);
+    if let Some(registry) = registry.as_deref() {
+        options = options.registry(registry);
+    }
+    let report = options.run().map_err(|e| e.to_string())?;
     let elapsed = started.elapsed();
     report.write(&config, &out).map_err(|e| e.to_string())?;
     if !quiet {
@@ -588,12 +663,168 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_fleetbench(args: &[String]) -> Result<(), String> {
+    let mut config = SweepConfig::smoke();
+    let mut counts: Vec<usize> = vec![1, 2, 4];
+    let mut out = PathBuf::from("BENCH_fleet.json");
+    let mut quiet = false;
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next_flag() {
+        match flag {
+            // A reduced grid for CI: two families, tiny codes, few shots.
+            "--smoke" => {
+                config.families =
+                    vec!["rotated-surface".to_string(), "hexagonal-color".to_string()];
+                config.error_rates = vec![3e-3, 7.4e-3];
+                config.max_qubits = 9;
+                config.shots = 120;
+            }
+            "--counts" => {
+                counts = flags
+                    .value("--counts")?
+                    .split(',')
+                    .map(|raw| {
+                        raw.trim()
+                            .parse::<usize>()
+                            .map_err(|_| format!("--counts got an unparsable count {raw:?}"))
+                    })
+                    .collect::<Result<Vec<usize>, String>>()?;
+                if counts.is_empty() || counts.contains(&0) {
+                    return Err("--counts needs positive worker counts".to_string());
+                }
+            }
+            "--out" => out = PathBuf::from(flags.value("--out")?),
+            "--seed" => config.seed = flags.parsed("--seed")?,
+            "--quiet" => quiet = true,
+            other => return Err(format!("fleetbench: unknown flag {other:?}")),
+        }
+    }
+    // In-process baseline: the canonical report every fleet size must
+    // reproduce bit-for-bit, and the throughput reference the smallest
+    // fleet's efficiency is normalised against.
+    eprintln!("asynd: fleetbench baseline (in-process)...");
+    let started = Instant::now();
+    let baseline = SweepOptions::with_config(config.clone()).run().map_err(|e| e.to_string())?;
+    let baseline_elapsed = started.elapsed().as_secs_f64();
+    let baseline_doc = canonical_report_value(&baseline.to_json(&config));
+    let cells = baseline.cells;
+    eprintln!("asynd: baseline swept {cells} cell(s) in {baseline_elapsed:.1}s");
+    let mut records: Vec<FleetBenchRecord> = Vec::new();
+    let mut reference: Option<f64> = None;
+    for &count in &counts {
+        let workers = (0..count)
+            .map(|_| LocalWorker::spawn().map_err(|e| format!("cannot spawn worker: {e}")))
+            .collect::<Result<Vec<LocalWorker>, String>>()?;
+        let addrs: Vec<String> = workers.iter().map(|w| w.addr().to_string()).collect();
+        let started = Instant::now();
+        let report = SweepOptions::with_config(config.clone())
+            .fleet(addrs)
+            .run()
+            .map_err(|e| e.to_string())?;
+        let elapsed_s = started.elapsed().as_secs_f64().max(1e-9);
+        for worker in workers {
+            worker.shutdown();
+        }
+        let merged_identical = canonical_report_value(&report.to_json(&config)) == baseline_doc;
+        let cells_per_hour = cells as f64 * 3600.0 / elapsed_s;
+        let per_worker = cells_per_hour / count as f64;
+        let reference = *reference.get_or_insert(per_worker);
+        let efficiency = per_worker / reference;
+        eprintln!(
+            "asynd: fleet of {count}: {cells} cell(s) in {elapsed_s:.1}s \
+             ({cells_per_hour:.0} cells/h, efficiency {efficiency:.2}, \
+             identical: {merged_identical})"
+        );
+        records.push(FleetBenchRecord {
+            workers: count,
+            cells,
+            elapsed_s,
+            cells_per_hour,
+            efficiency,
+            merged_identical,
+        });
+    }
+    let doc = fleet_report_to_json(&config, &records);
+    if let Some(parent) = out.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+        }
+    }
+    let mut text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+    text.push('\n');
+    std::fs::write(&out, text).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    if !quiet {
+        println!(
+            "{:>8} {:>7} {:>10} {:>15} {:>11} {:>10}",
+            "workers", "cells", "elapsed_s", "cells_per_hour", "efficiency", "identical"
+        );
+        for record in &records {
+            println!(
+                "{:>8} {:>7} {:>10.1} {:>15.0} {:>11.2} {:>10}",
+                record.workers,
+                record.cells,
+                record.elapsed_s,
+                record.cells_per_hour,
+                record.efficiency,
+                record.merged_identical
+            );
+        }
+    }
+    eprintln!("asynd: fleet scaling study -> {}", out.display());
+    if records.iter().any(|record| !record.merged_identical) {
+        return Err("fleet merge diverged from the in-process baseline".to_string());
+    }
+    Ok(())
+}
+
 fn cmd_registry(args: &[String]) -> Result<(), String> {
-    let (action, dir) = match args {
-        [action, dir] => (action.as_str(), dir.as_str()),
-        _ => return Err("registry: usage: asynd registry (stats|verify|compact) DIR".to_string()),
+    const REGISTRY_USAGE: &str = "registry: usage: asynd registry (stats|verify|compact) DIR \
+                                  | export DIR FILE [PREFIX] | import DIR FILE";
+    let (action, dir) = match args.first().zip(args.get(1)) {
+        Some((action, dir)) => (action.as_str(), dir.as_str()),
+        None => return Err(REGISTRY_USAGE.to_string()),
     };
     let registry = open_registry(dir)?;
+    match action {
+        "export" => {
+            let file = args.get(2).ok_or(REGISTRY_USAGE)?;
+            let prefix = args.get(3).map(String::as_str);
+            if args.len() > 4 {
+                return Err(REGISTRY_USAGE.to_string());
+            }
+            let text = registry.export_records(prefix);
+            let records = text.lines().count();
+            std::fs::write(file, &text).map_err(|e| format!("cannot write {file}: {e}"))?;
+            println!(
+                "{dir}: exported {records} record(s){} -> {file}",
+                prefix.map(|p| format!(" matching {p:?}")).unwrap_or_default()
+            );
+            return Ok(());
+        }
+        "import" => {
+            let file = args.get(2).ok_or(REGISTRY_USAGE)?;
+            if args.len() > 3 {
+                return Err(REGISTRY_USAGE.to_string());
+            }
+            let text =
+                std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+            let report = registry.import_records(&text).map_err(|e| e.to_string())?;
+            for line in &report.reports {
+                eprintln!("asynd: {line}");
+            }
+            println!(
+                "{dir}: imported {} record(s) from {file} \
+                 ({} stored, {} replaced, {} duplicate(s), {} rejected)",
+                report.records, report.stored, report.replaced, report.duplicates, report.skipped
+            );
+            if report.skipped > 0 {
+                return Err(format!("{dir}: {} record(s) failed verification", report.skipped));
+            }
+            return Ok(());
+        }
+        _ if args.len() != 2 => return Err(REGISTRY_USAGE.to_string()),
+        _ => {}
+    }
     match action {
         "stats" => {
             let stats = registry.stats();
@@ -633,12 +864,35 @@ fn cmd_registry(args: &[String]) -> Result<(), String> {
                 report.segments_before, report.entries
             );
         }
-        other => return Err(format!("registry: unknown action {other:?} (stats|verify|compact)")),
+        other => {
+            return Err(format!(
+                "registry: unknown action {other:?} (stats|verify|compact|export|import)"
+            ))
+        }
     }
     Ok(())
 }
 
 fn cmd_validate(args: &[String]) -> Result<(), String> {
+    if args.first().map(String::as_str) == Some("--equal") {
+        let [a, b] = match &args[1..] {
+            [a, b] => [a, b],
+            _ => return Err("validate: --equal needs exactly two report files".to_string()),
+        };
+        let docs = [a, b].map(|path| -> Result<serde_json::Value, String> {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let doc = serde_json::from_str(&text)
+                .map_err(|e| format!("{path} is not valid JSON: {e}"))?;
+            Ok(canonical_report_value(&doc))
+        });
+        let [doc_a, doc_b] = docs;
+        if doc_a? != doc_b? {
+            return Err(format!("{a} and {b} differ after canonicalisation"));
+        }
+        println!("{a} == {b} (canonical forms are identical)");
+        return Ok(());
+    }
     let (metrics_mode, files) = match args.split_first() {
         Some((first, rest)) if first == "--metrics" => (true, rest),
         _ => (false, args),
@@ -655,21 +909,28 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
                 "{path}: ok ({} samples, {} histograms, {} lines)",
                 report.samples, report.histograms, report.lines
             );
-        } else if serde_json::from_str(&text)
-            .ok()
-            .and_then(|doc: serde_json::Value| {
-                doc.get("kind").and_then(serde_json::Value::as_str).map(str::to_string)
-            })
-            .as_deref()
-            == Some("serving")
-        {
-            // Serving benchmarks (`asynd loadgen`) have their own shape.
-            let summary = loadgen::validate_serving_text(&text)
-                .map_err(|e| format!("{path} is invalid: {e}"))?;
-            println!(
-                "{path}: ok ({} stage(s), up to {} connections, {} requests)",
-                summary.records, summary.max_connections, summary.requests_total
-            );
+        } else if let Some(kind) = benchmark_kind(&text) {
+            match kind.as_str() {
+                // Serving benchmarks (`asynd loadgen`) have their own shape.
+                "serving" => {
+                    let summary = loadgen::validate_serving_text(&text)
+                        .map_err(|e| format!("{path} is invalid: {e}"))?;
+                    println!(
+                        "{path}: ok ({} stage(s), up to {} connections, {} requests)",
+                        summary.records, summary.max_connections, summary.requests_total
+                    );
+                }
+                // Fleet scaling studies (`asynd fleetbench`) likewise.
+                "fleet" => {
+                    let summary = validate_fleet_text(&text)
+                        .map_err(|e| format!("{path} is invalid: {e}"))?;
+                    println!(
+                        "{path}: ok ({} scaling record(s), up to {} worker(s), merges identical)",
+                        summary.records, summary.max_workers
+                    );
+                }
+                other => return Err(format!("{path} has unknown benchmark kind {other:?}")),
+            }
         } else {
             let summary =
                 validate_report_text(&text).map_err(|e| format!("{path} is invalid: {e}"))?;
@@ -680,4 +941,11 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// The `kind` member of a benchmark document, if it declares one.
+/// Sweep reports predate the member and validate as the default shape.
+fn benchmark_kind(text: &str) -> Option<String> {
+    let doc: serde_json::Value = serde_json::from_str(text).ok()?;
+    doc.get("kind").and_then(serde_json::Value::as_str).map(str::to_string)
 }

@@ -1,0 +1,598 @@
+//! The distributed sweep fleet: a coordinator that fans sweep cells out
+//! to remote `asynd serve` workers over the framed v2 protocol.
+//!
+//! `asynd sweep --workers addr1,addr2,…` builds one [`crate::Client`]
+//! per worker address and assigns (code, error-rate) cells to them with
+//! the same work-stealing discipline as the local rayon fan-out: a
+//! shared cursor over the deterministic cell list, plus a retry pool
+//! for cells bounced off failed workers. Each assignment is one v2
+//! `synthesize` request whose id is the cell key; the coordinator ships
+//! a `warm_seed` artifact from *its* registry with the request, and
+//! stores the fingerprint-verified winner back when the response lands.
+//!
+//! # Determinism contract
+//!
+//! The merged report is **bit-identical** (wall-clock members aside, see
+//! [`crate::sweep::canonical_report_value`]) to an in-process sweep of
+//! the same config, for any worker count, assignment interleaving or
+//! response arrival order:
+//!
+//! * a cell's request reproduces the in-process race exactly — same
+//!   portfolio seed, per-strategy grant, shots, and (via the canonical
+//!   tenant key) the same evaluation-seed salt;
+//! * results are merged by *cell index*, never by arrival order, through
+//!   the same `sweep::assemble_report` path as the local
+//!   fan-out, so the winner tie-break (best `p_overall`, then strategy
+//!   index, then schedule key) is whatever the racer already decided
+//!   inside each cell;
+//! * workers must run **without** their own `--registry` — warm starts
+//!   come exclusively from the coordinator's shipped `warm_seed`, so a
+//!   worker's private state can never leak into results.
+//!
+//! # Fault handling
+//!
+//! A transport failure mid-cell requeues the cell for the surviving
+//! workers and reconnects (bounded attempts); a worker that cannot be
+//! reached again is dropped. A *protocol* failure — a tampered artifact
+//! (fingerprint mismatch at response parse), a response for the wrong
+//! cell, an invalid schedule — means the worker cannot be trusted: the
+//! cell is re-raced in-process and the worker is struck, three strikes
+//! dropping it. When every worker is gone, the coordinator finishes the
+//! remaining cells in-process — a fleet sweep degrades to a local sweep,
+//! never to a lost one.
+
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use asynd_registry::Registry;
+use serde_json::{Map, Value};
+
+use crate::client::{Client, ClientError, ClientOptions, WireProtocol};
+use crate::sweep::{
+    assemble_report, outcome_from_job, run_cell, Cell, CellOutcome, CellSlot, SweepConfig,
+    SweepReport, SweepTelemetry,
+};
+use crate::{serve_tcp_with, ReactorOptions, ScheduleServer, ServerConfig, ServerError};
+
+/// Reconnect attempts after a transport failure before a worker is
+/// declared dead.
+const RECONNECT_ATTEMPTS: usize = 3;
+/// Pause between reconnect attempts.
+const RECONNECT_BACKOFF: Duration = Duration::from_millis(100);
+/// Protocol failures tolerated per worker before it is dropped.
+const MAX_STRIKES: usize = 3;
+/// Idle poll interval while cells are in flight on other workers.
+const IDLE_WAIT: Duration = Duration::from_millis(10);
+/// Per-response read timeout: a worker silent this long mid-cell is
+/// treated as a transport failure (the cell is re-assigned; tenant
+/// determinism makes the re-run identical wherever it lands).
+const RESPONSE_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Why a remote cell attempt failed.
+enum CellFailure {
+    /// The transport died (or timed out): the cell is requeued and the
+    /// worker gets bounded reconnect attempts.
+    Transport(String),
+    /// The worker answered, but the answer cannot be trusted: the cell
+    /// is re-raced in-process and the worker is struck.
+    Distrust(String),
+}
+
+/// Coordinator state shared by the per-worker threads.
+struct Dispatch<'a> {
+    config: &'a SweepConfig,
+    cells: &'a [Cell],
+    registry: Option<&'a Registry>,
+    slots: &'a [CellSlot],
+    telemetry: &'a SweepTelemetry,
+    /// Cursor over never-assigned cells.
+    next: AtomicUsize,
+    /// Cells bounced off failed workers, awaiting reassignment.
+    retries: Mutex<Vec<usize>>,
+    /// Slots filled so far (remote or local re-race).
+    done: AtomicUsize,
+    /// Cells completed on remote workers.
+    remote: AtomicUsize,
+    /// Cells re-raced in-process after a distrusted response.
+    reraced: AtomicUsize,
+    /// Cell reassignments after transport failures.
+    reassigned: AtomicUsize,
+    /// Workers dropped before the sweep finished.
+    dead_workers: AtomicUsize,
+}
+
+impl Dispatch<'_> {
+    /// Claims the next cell: bounced cells first, then the cursor.
+    fn claim(&self) -> Option<usize> {
+        if let Some(index) = self.retries.lock().expect("fleet retry pool poisoned").pop() {
+            return Some(index);
+        }
+        let index = self.next.fetch_add(1, Ordering::Relaxed);
+        (index < self.cells.len()).then_some(index)
+    }
+
+    /// Returns a claimed cell to the pool for another worker.
+    fn requeue(&self, index: usize) {
+        self.retries.lock().expect("fleet retry pool poisoned").push(index);
+        self.reassigned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fills a cell's slot and advances the completion counter.
+    fn fill(&self, index: usize, result: Result<CellOutcome, ServerError>) {
+        *self.slots[index].lock().expect("fleet slot poisoned") = Some(result);
+        self.done.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn finished(&self) -> bool {
+        self.done.load(Ordering::Acquire) >= self.cells.len()
+    }
+}
+
+/// Runs the fleet coordinator over `workers` (non-empty). Called by
+/// [`crate::sweep::SweepOptions::run`].
+pub(crate) fn run_fleet(
+    config: &SweepConfig,
+    cells: &[Cell],
+    registry: Option<&Registry>,
+    workers: &[String],
+) -> Result<SweepReport, ServerError> {
+    let telemetry = SweepTelemetry::resolve();
+    let slots: Vec<CellSlot> = cells.iter().map(|_| Mutex::new(None)).collect();
+    let dispatch = Dispatch {
+        config,
+        cells,
+        registry,
+        slots: &slots,
+        telemetry: &telemetry,
+        next: AtomicUsize::new(0),
+        retries: Mutex::new(Vec::new()),
+        done: AtomicUsize::new(0),
+        remote: AtomicUsize::new(0),
+        reraced: AtomicUsize::new(0),
+        reassigned: AtomicUsize::new(0),
+        dead_workers: AtomicUsize::new(0),
+    };
+    thread::scope(|scope| {
+        for addr in workers {
+            let dispatch = &dispatch;
+            scope.spawn(move || worker_loop(dispatch, addr));
+        }
+    });
+
+    // Every worker has exited. Whatever is still unfilled (all workers
+    // died early) runs in-process — the sweep completes regardless.
+    let mut local_fallback = 0usize;
+    for (index, slot) in slots.iter().enumerate() {
+        let pending = slot.lock().expect("fleet slot poisoned").is_none();
+        if pending {
+            let result = run_cell(config, &cells[index], registry, &telemetry);
+            *slot.lock().expect("fleet slot poisoned") = Some(result);
+            local_fallback += 1;
+        }
+    }
+
+    eprintln!(
+        "asynd: fleet: {} cells over {} workers ({} remote, {} re-raced, {} local fallback, \
+         {} reassignments, {} workers lost)",
+        cells.len(),
+        workers.len(),
+        dispatch.remote.load(Ordering::Relaxed),
+        dispatch.reraced.load(Ordering::Relaxed),
+        local_fallback,
+        dispatch.reassigned.load(Ordering::Relaxed),
+        dispatch.dead_workers.load(Ordering::Relaxed),
+    );
+    assemble_report(config, cells, slots)
+}
+
+/// One worker's assignment loop: claim, ship, verify, store, repeat.
+fn worker_loop(dispatch: &Dispatch<'_>, addr: &str) {
+    let mut client = Client::with_options(
+        addr,
+        ClientOptions { protocol: WireProtocol::V2, read_timeout: Some(RESPONSE_TIMEOUT) },
+    );
+    let mut strikes = 0usize;
+    loop {
+        if dispatch.finished() {
+            return;
+        }
+        let Some(index) = dispatch.claim() else {
+            // Cells are in flight on other workers; they either finish
+            // or bounce back into the retry pool.
+            thread::sleep(IDLE_WAIT);
+            continue;
+        };
+        match run_remote_cell(dispatch, &mut client, index) {
+            Ok(outcome) => {
+                dispatch.remote.fetch_add(1, Ordering::Relaxed);
+                dispatch.fill(index, Ok(outcome));
+            }
+            Err(CellFailure::Transport(reason)) => {
+                eprintln!(
+                    "asynd: fleet: worker {addr}: {reason}; reassigning {}",
+                    cell_name(dispatch, index)
+                );
+                dispatch.requeue(index);
+                if !reconnect(&mut client) {
+                    dispatch.dead_workers.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("asynd: fleet: worker {addr} is unreachable; dropping it");
+                    return;
+                }
+            }
+            Err(CellFailure::Distrust(reason)) => {
+                eprintln!(
+                    "asynd: fleet: worker {addr}: distrusted response for {} ({reason}); \
+                     re-racing in-process",
+                    cell_name(dispatch, index)
+                );
+                let result = run_cell(
+                    dispatch.config,
+                    &dispatch.cells[index],
+                    dispatch.registry,
+                    dispatch.telemetry,
+                );
+                dispatch.reraced.fetch_add(1, Ordering::Relaxed);
+                dispatch.fill(index, result);
+                strikes += 1;
+                if strikes >= MAX_STRIKES {
+                    dispatch.dead_workers.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("asynd: fleet: worker {addr} struck out; dropping it");
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn cell_name(dispatch: &Dispatch<'_>, index: usize) -> String {
+    dispatch.cells[index].key()
+}
+
+/// Bounded reconnect: the worker gets [`RECONNECT_ATTEMPTS`] pings with
+/// backoff before the coordinator gives up on it.
+fn reconnect(client: &mut Client) -> bool {
+    for _ in 0..RECONNECT_ATTEMPTS {
+        thread::sleep(RECONNECT_BACKOFF);
+        if client.ping().is_ok() {
+            return true;
+        }
+    }
+    false
+}
+
+/// Ships one cell to the worker and converts the response into the
+/// outcome shape the merge consumes.
+fn run_remote_cell(
+    dispatch: &Dispatch<'_>,
+    client: &mut Client,
+    index: usize,
+) -> Result<CellOutcome, CellFailure> {
+    let cell = &dispatch.cells[index];
+    let config = dispatch.config;
+    let tenant = cell.tenant(config);
+    let cell_started = Instant::now();
+
+    // Warm-start seed from the coordinator's registry: the same lookup
+    // an in-process cell would do, shipped with the assignment so the
+    // worker races from the same artifact.
+    let lookup_started = Instant::now();
+    let warm_seed = dispatch
+        .registry
+        .and_then(|r| r.lookup(&tenant))
+        .filter(|entry| entry.artifact.schedule.validate(&cell.entry.code).is_ok())
+        .map(|entry| Box::new(entry.artifact));
+    let lookup_elapsed =
+        if dispatch.registry.is_some() { lookup_started.elapsed() } else { Duration::ZERO };
+    if dispatch.registry.is_some() {
+        dispatch.telemetry.lookup_us.record_duration(lookup_elapsed);
+    }
+
+    let job = match client.synthesize(cell.request(config, warm_seed)) {
+        Ok(job) => job,
+        Err(ClientError::Transport(reason)) => return Err(CellFailure::Transport(reason)),
+        Err(ClientError::Timeout) => {
+            // The connection may still deliver the stale response later;
+            // drop it so the retry starts clean.
+            client.disconnect();
+            return Err(CellFailure::Transport("response timed out".to_string()));
+        }
+        Err(ClientError::Protocol(reason)) => return Err(CellFailure::Distrust(reason)),
+        Err(ClientError::Server { error, .. }) => {
+            return Err(CellFailure::Distrust(format!("server error: {error}")))
+        }
+    };
+
+    // The artifact's fingerprint was already verified during response
+    // parsing; what remains is whether it answers *this* cell.
+    if job.id != cell.key() || job.tenant != tenant {
+        return Err(CellFailure::Distrust(format!(
+            "response names {} / {}, expected {} / {}",
+            job.id,
+            job.tenant,
+            cell.key(),
+            tenant
+        )));
+    }
+    if job.artifact.schedule.validate(&cell.entry.code).is_err() {
+        return Err(CellFailure::Distrust("winning schedule is invalid for the code".to_string()));
+    }
+
+    // Store the winner into the coordinator's registry — same flow as
+    // an in-process cell, so fleet and local sweeps are registry-
+    // interchangeable.
+    let mut stored = false;
+    let mut store_elapsed = Duration::ZERO;
+    if let Some(registry) = dispatch.registry {
+        let store_started = Instant::now();
+        match registry.store(&tenant, &job.artifact) {
+            Ok(outcome) => stored = outcome != asynd_registry::StoreOutcome::Duplicate,
+            Err(e) => eprintln!("asynd: registry store failed for {tenant}: {e}"),
+        }
+        store_elapsed = store_started.elapsed();
+        dispatch.telemetry.store_us.record_duration(store_elapsed);
+    }
+
+    let wall_elapsed = cell_started.elapsed();
+    dispatch.telemetry.cell_wall_us.record_duration(wall_elapsed);
+    Ok(outcome_from_job(
+        cell,
+        &job,
+        lookup_elapsed.as_secs_f64() * 1e3,
+        store_elapsed.as_secs_f64() * 1e3,
+        stored,
+        wall_elapsed.as_secs_f64() * 1e3,
+    ))
+}
+
+/// An in-process `asynd serve` worker on an ephemeral port: the harness
+/// fleet tests and `asynd fleetbench` spawn their worker pools from.
+///
+/// Each worker is a real [`ScheduleServer`] behind a real v2 reactor on
+/// a real TCP socket (`127.0.0.1:0`) — the coordinator cannot tell it
+/// from a remote `asynd serve --reactors 1`.
+pub struct LocalWorker {
+    addr: String,
+    server: Option<Arc<ScheduleServer>>,
+    handle: Option<thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl LocalWorker {
+    /// Starts a worker (one queue worker, one reactor) on an ephemeral
+    /// port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn spawn() -> std::io::Result<LocalWorker> {
+        let server =
+            Arc::new(ScheduleServer::start(ServerConfig { workers: 1, ..ServerConfig::default() }));
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?.to_string();
+        let handle = {
+            let server = Arc::clone(&server);
+            thread::spawn(move || serve_tcp_with(&server, listener, ReactorOptions { reactors: 1 }))
+        };
+        Ok(LocalWorker { addr, server: Some(server), handle: Some(handle) })
+    }
+
+    /// The worker's `host:port`.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Stops the worker: shutdown op, reactor join, server teardown.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let mut client = Client::with_options(
+                &self.addr,
+                ClientOptions {
+                    protocol: WireProtocol::V2,
+                    read_timeout: Some(Duration::from_secs(10)),
+                },
+            );
+            let _ = client.shutdown_server();
+            let _ = handle.join();
+        }
+        if let Some(server) = self.server.take() {
+            if let Ok(server) = Arc::try_unwrap(server) {
+                server.shutdown();
+            }
+        }
+    }
+}
+
+impl Drop for LocalWorker {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One fleet-scaling measurement: the smoke grid swept through `workers`
+/// local workers (`asynd fleetbench`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetBenchRecord {
+    /// Fleet size the sweep ran with.
+    pub workers: usize,
+    /// Grid cells executed.
+    pub cells: usize,
+    /// Sweep wall time, seconds.
+    pub elapsed_s: f64,
+    /// Aggregate throughput: cells per hour.
+    pub cells_per_hour: f64,
+    /// Per-worker throughput relative to the smallest fleet (1.0 =
+    /// perfect scaling).
+    pub efficiency: f64,
+    /// Whether the merged report was canonically identical to the
+    /// in-process baseline (the determinism contract, checked live).
+    pub merged_identical: bool,
+}
+
+/// Serializes a fleet scaling study into the tracked `BENCH_fleet.json`
+/// document (`kind: "fleet"`; validated by `asynd validate`).
+pub fn fleet_report_to_json(config: &SweepConfig, records: &[FleetBenchRecord]) -> Value {
+    let mut doc = Map::new();
+    doc.insert("generated_by", Value::from("asynd fleetbench"));
+    doc.insert("kind", Value::from("fleet"));
+    let mut cfg = Map::new();
+    cfg.insert("seed", Value::from(config.seed));
+    cfg.insert("shots", Value::from(config.shots));
+    cfg.insert("budget_multiplier", Value::from(config.budget_multiplier));
+    cfg.insert("max_qubits", Value::from(config.max_qubits));
+    cfg.insert("entries_per_family", Value::from(config.entries_per_family));
+    cfg.insert(
+        "error_rates",
+        Value::Array(config.error_rates.iter().map(|&r| Value::from(r)).collect()),
+    );
+    doc.insert("config", Value::Object(cfg));
+    let records: Vec<Value> = records
+        .iter()
+        .map(|record| {
+            let mut map = Map::new();
+            map.insert("workers", Value::from(record.workers as u64));
+            map.insert("cells", Value::from(record.cells as u64));
+            map.insert("elapsed_s", Value::from(record.elapsed_s));
+            map.insert("cells_per_hour", Value::from(record.cells_per_hour));
+            map.insert("efficiency", Value::from(record.efficiency));
+            map.insert("merged_identical", Value::from(record.merged_identical));
+            Value::Object(map)
+        })
+        .collect();
+    doc.insert("records", Value::Array(records));
+    Value::Object(doc)
+}
+
+/// Summary returned by [`validate_fleet_text`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetSummary {
+    /// Scaling records in the document.
+    pub records: usize,
+    /// Largest fleet size measured.
+    pub max_workers: u64,
+}
+
+/// Validates a `BENCH_fleet.json` document: the envelope must carry
+/// `generated_by`, `kind: "fleet"` and a non-empty `records` array of
+/// well-typed scaling records — and every record's `merged_identical`
+/// must be `true` (a scaling number from a divergent merge is not a
+/// benchmark, it is a bug report).
+///
+/// # Errors
+///
+/// Returns a message naming the first violation.
+pub fn validate_fleet_text(text: &str) -> Result<FleetSummary, String> {
+    let doc: Value =
+        serde_json::from_str(text).map_err(|e| format!("report is not valid JSON: {e}"))?;
+    doc.get("generated_by")
+        .and_then(Value::as_str)
+        .ok_or("report lacks a `generated_by` string")?;
+    if doc.get("kind").and_then(Value::as_str) != Some("fleet") {
+        return Err("report lacks `kind: \"fleet\"`".to_string());
+    }
+    let records =
+        doc.get("records").and_then(Value::as_array).ok_or("report lacks a `records` array")?;
+    if records.is_empty() {
+        return Err("report has zero records".to_string());
+    }
+    let mut max_workers = 0u64;
+    for (index, record) in records.iter().enumerate() {
+        let context =
+            |member: &str, problem: &str| format!("record {index}: member `{member}` {problem}");
+        let workers = record
+            .get("workers")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| context("workers", "must be a positive integer"))?;
+        if workers == 0 {
+            return Err(context("workers", "must be positive"));
+        }
+        max_workers = max_workers.max(workers);
+        let cells = record
+            .get("cells")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| context("cells", "must be a positive integer"))?;
+        if cells == 0 {
+            return Err(context("cells", "must be positive"));
+        }
+        for member in ["elapsed_s", "cells_per_hour", "efficiency"] {
+            let number = record
+                .get(member)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| context(member, "must be a number"))?;
+            if number < 0.0 {
+                return Err(context(member, "must be non-negative"));
+            }
+        }
+        let identical = record
+            .get("merged_identical")
+            .and_then(Value::as_bool)
+            .ok_or_else(|| context("merged_identical", "must be a boolean"))?;
+        if !identical {
+            return Err(context("merged_identical", "must be true (determinism contract)"));
+        }
+    }
+    Ok(FleetSummary { records: records.len(), max_workers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Value {
+        let records = vec![
+            FleetBenchRecord {
+                workers: 1,
+                cells: 4,
+                elapsed_s: 10.0,
+                cells_per_hour: 1440.0,
+                efficiency: 1.0,
+                merged_identical: true,
+            },
+            FleetBenchRecord {
+                workers: 2,
+                cells: 4,
+                elapsed_s: 6.0,
+                cells_per_hour: 2400.0,
+                efficiency: 0.83,
+                merged_identical: true,
+            },
+        ];
+        fleet_report_to_json(&SweepConfig::smoke(), &records)
+    }
+
+    #[test]
+    fn fleet_report_roundtrips_through_the_validator() {
+        let text = serde_json::to_string(&sample_report()).unwrap();
+        let summary = validate_fleet_text(&text).unwrap();
+        assert_eq!(summary.records, 2);
+        assert_eq!(summary.max_workers, 2);
+    }
+
+    #[test]
+    fn fleet_validator_rejects_divergent_merges_and_bad_shapes() {
+        let text = serde_json::to_string(&sample_report()).unwrap();
+        let divergent = text.replace("\"merged_identical\":true", "\"merged_identical\":false");
+        assert_ne!(text, divergent, "mutation must apply");
+        let err = validate_fleet_text(&divergent).unwrap_err();
+        assert!(err.contains("determinism"), "got: {err}");
+
+        for (doc, needle) in [
+            ("{}", "generated_by"),
+            (r#"{"generated_by":"x"}"#, "kind"),
+            (r#"{"generated_by":"x","kind":"fleet"}"#, "records"),
+            (r#"{"generated_by":"x","kind":"fleet","records":[]}"#, "zero records"),
+            (
+                r#"{"generated_by":"x","kind":"fleet","records":[{"workers":0,"cells":1,"elapsed_s":1,"cells_per_hour":1,"efficiency":1,"merged_identical":true}]}"#,
+                "positive",
+            ),
+        ] {
+            let err = validate_fleet_text(doc).unwrap_err();
+            assert!(err.contains(needle), "{err} lacks {needle:?}");
+        }
+    }
+}

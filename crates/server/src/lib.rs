@@ -54,6 +54,7 @@
 //!     budget: 128,
 //!     shots: 400,
 //!     seed: 7,
+//!     warm_seed: None,
 //! };
 //! let handle = server.submit(request).unwrap();
 //! println!("{}", handle.wait().to_json());
@@ -63,7 +64,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod client;
+pub mod client;
+pub mod fleet;
 pub mod loadgen;
 pub mod protocol;
 mod queue;
@@ -72,11 +74,11 @@ mod server;
 pub mod sweep;
 mod tenants;
 
-pub use client::MetricsClient;
+pub use client::{Client, ClientError, ClientOptions, MetricsClient, WireProtocol};
 pub use queue::{BoundedQueue, ShardedQueue, WakeupStats};
 pub use reactor::{serve_tcp_with, ReactorOptions};
 pub use server::{serve_lines, serve_tcp, JobHandle, ScheduleServer, ServerConfig};
-pub use tenants::{Tenant, TenantMap};
+pub use tenants::{tenant_salt, Tenant, TenantMap};
 
 use std::fmt;
 

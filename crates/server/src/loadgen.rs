@@ -28,32 +28,14 @@
 //! reactor, so a stage with 1000+ connections still runs on one thread
 //! and one `poll(2)` set.
 
-use std::collections::{HashMap, VecDeque};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-use asynd_net::frame::{Frame, FrameDecoder, FrameKind};
 use asynd_net::{Connection, Interest, PollSet};
 use serde_json::{Map, Value};
 
-/// Which wire protocol the generator speaks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum WireProtocol {
-    /// v1 JSON lines.
-    V1,
-    /// Framed protocol v2.
-    V2,
-}
-
-impl WireProtocol {
-    /// The tag recorded in benchmark records.
-    pub fn tag(self) -> &'static str {
-        match self {
-            WireProtocol::V1 => "v1",
-            WireProtocol::V2 => "v2",
-        }
-    }
-}
+pub use crate::client::WireProtocol;
+use crate::client::{encode_request, Correlation, Correlator, ResponseStream, WireEvent};
 
 /// Request injection discipline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -175,12 +157,11 @@ pub struct StageResult {
 /// Client-side state of one loadgen connection.
 struct ClientConn {
     io: Connection,
-    /// v2 frame reassembly (unused for v1).
-    decoder: FrameDecoder,
-    /// Send timestamps of in-order-matched requests (v1, and v2 pings).
-    fifo: VecDeque<Instant>,
-    /// Send timestamps of id-matched requests (v2 synthesize).
-    by_id: HashMap<String, Instant>,
+    /// Protocol-aware response splitter (shared with [`crate::client`]).
+    events: ResponseStream,
+    /// Send timestamps of requests awaiting responses (id-matched for
+    /// v2 synthesize, in submission order for everything else).
+    pending: Correlator<Instant>,
     /// Requests this connection has injected.
     sent: u64,
     /// Responses still owed.
@@ -190,16 +171,15 @@ struct ClientConn {
 }
 
 impl ClientConn {
-    fn connect(addr: &str) -> Result<ClientConn, String> {
+    fn connect(addr: &str, protocol: WireProtocol) -> Result<ClientConn, String> {
         let stream = TcpStream::connect(addr)
             .map_err(|e| format!("loadgen: cannot connect to {addr}: {e}"))?;
         let io = Connection::new(stream)
             .map_err(|e| format!("loadgen: cannot prepare connection: {e}"))?;
         Ok(ClientConn {
             io,
-            decoder: FrameDecoder::new(),
-            fifo: VecDeque::new(),
-            by_id: HashMap::new(),
+            events: ResponseStream::new(protocol),
+            pending: Correlator::new(),
             sent: 0,
             outstanding: 0,
             broken: false,
@@ -228,7 +208,7 @@ pub fn run(config: &LoadgenConfig) -> Result<Vec<StageResult>, String> {
 fn run_stage(config: &LoadgenConfig, connections: usize) -> Result<StageResult, String> {
     let mut conns = Vec::with_capacity(connections);
     for _ in 0..connections {
-        conns.push(ClientConn::connect(&config.addr)?);
+        conns.push(ClientConn::connect(&config.addr, config.protocol)?);
     }
     let total_target: u64 = match config.mode {
         Mode::Closed { .. } => (config.requests_per_conn * connections) as u64,
@@ -319,7 +299,7 @@ fn run_stage(config: &LoadgenConfig, connections: usize) -> Result<StageResult, 
             if event.readable || event.closed {
                 match conn.io.fill() {
                     Ok(_) => {
-                        drain_responses(conn, config, &mut latencies_us, &mut errors);
+                        drain_responses(conn, &mut latencies_us, &mut errors);
                         if conn.io.read_closed() && conn.outstanding > 0 {
                             errors += conn.outstanding;
                             conn.outstanding = 0;
@@ -389,22 +369,14 @@ fn inject(conn: &mut ClientConn, config: &LoadgenConfig, sent_total: &mut u64) {
         ),
     };
     let now = Instant::now();
-    match config.protocol {
-        WireProtocol::V1 => {
-            conn.io.queue(payload.as_bytes());
-            conn.io.queue(b"\n");
-            conn.fifo.push_back(now);
-        }
-        WireProtocol::V2 => {
-            conn.io.queue(&Frame::new(FrameKind::Request, payload.into_bytes()).encode());
-            match config.workload {
-                // Probes are answered in request order even on v2.
-                Workload::Ping => conn.fifo.push_back(now),
-                // Synthesize responses arrive in completion order.
-                Workload::Synthesize => drop(conn.by_id.insert(id, now)),
-            }
-        }
-    }
+    conn.io.queue(&encode_request(config.protocol, &payload));
+    let correlation = match (config.protocol, config.workload) {
+        // Synthesize responses arrive in completion order on v2; every
+        // other (protocol, workload) pair answers in request order.
+        (WireProtocol::V2, Workload::Synthesize) => Correlation::ById(id),
+        _ => Correlation::Ordered,
+    };
+    conn.pending.track(correlation, now);
     conn.sent += 1;
     conn.outstanding += 1;
     *sent_total += 1;
@@ -412,96 +384,47 @@ fn inject(conn: &mut ClientConn, config: &LoadgenConfig, sent_total: &mut u64) {
 
 /// Consumes every complete response buffered on `conn`, recording
 /// latency samples.
-fn drain_responses(
-    conn: &mut ClientConn,
-    config: &LoadgenConfig,
-    latencies_us: &mut Vec<u64>,
-    errors: &mut u64,
-) {
+fn drain_responses(conn: &mut ClientConn, latencies_us: &mut Vec<u64>, errors: &mut u64) {
     let now = Instant::now();
-    match config.protocol {
-        WireProtocol::V1 => loop {
-            let Some(pos) = conn.io.rbuf().iter().position(|&b| b == b'\n') else { return };
-            let line: Vec<u8> = conn.io.rbuf().drain(..=pos).collect();
-            record_v1_line(conn, &line, now, latencies_us, errors);
-        },
-        WireProtocol::V2 => {
-            let bytes = std::mem::take(conn.io.rbuf());
-            conn.decoder.feed(&bytes);
-            loop {
-                match conn.decoder.next_frame() {
-                    Ok(Some(frame)) => record_v2_frame(conn, &frame, now, latencies_us, errors),
-                    Ok(None) => return,
-                    Err(_) => {
-                        *errors += conn.outstanding;
-                        conn.outstanding = 0;
-                        conn.broken = true;
-                        return;
-                    }
-                }
+    let bytes = std::mem::take(conn.io.rbuf());
+    conn.events.feed(&bytes);
+    loop {
+        match conn.events.next_event() {
+            Ok(Some(WireEvent::Response(payload))) => {
+                record_response(conn, &payload, now, latencies_us, errors);
+            }
+            // Progress is opted out of per request; Goodbye carries no
+            // response. Neither settles a request.
+            Ok(Some(WireEvent::Progress(_) | WireEvent::Goodbye(_))) => {}
+            Ok(None) => return,
+            Err(_) => {
+                *errors += conn.outstanding;
+                conn.outstanding = 0;
+                conn.broken = true;
+                return;
             }
         }
     }
 }
 
-fn record_v1_line(
+fn record_response(
     conn: &mut ClientConn,
-    line: &[u8],
+    payload: &[u8],
     now: Instant,
     latencies_us: &mut Vec<u64>,
     errors: &mut u64,
 ) {
-    let Some(sent) = conn.fifo.pop_front() else { return };
+    let parsed: Option<Value> =
+        std::str::from_utf8(payload).ok().and_then(|t| serde_json::from_str(t.trim()).ok());
+    let id = parsed.as_ref().and_then(|v| v.get("id")).and_then(Value::as_str);
+    let Some(sent) = conn.pending.settle(id) else { return };
     conn.outstanding = conn.outstanding.saturating_sub(1);
-    let is_error = std::str::from_utf8(line)
-        .ok()
-        .and_then(|text| serde_json::from_str(text.trim()).ok())
-        .map(|v: Value| v.get("error").is_some())
-        .unwrap_or(true);
+    let is_error = parsed.as_ref().map(|v| v.get("error").is_some()).unwrap_or(true);
     if is_error {
         *errors += 1;
     } else {
         latencies_us.push(now.duration_since(sent).as_micros() as u64);
     }
-}
-
-fn record_v2_frame(
-    conn: &mut ClientConn,
-    frame: &Frame,
-    now: Instant,
-    latencies_us: &mut Vec<u64>,
-    errors: &mut u64,
-) {
-    match frame.kind {
-        FrameKind::Response => {}
-        // Progress is opted out of per request; Goodbye carries no
-        // response. Neither settles a request.
-        _ => return,
-    }
-    let payload: Option<Value> =
-        std::str::from_utf8(&frame.payload).ok().and_then(|t| serde_json::from_str(t).ok());
-    let sent = match config_matching(conn, payload.as_ref()) {
-        Some(sent) => sent,
-        None => return,
-    };
-    conn.outstanding = conn.outstanding.saturating_sub(1);
-    let is_error = payload.as_ref().map(|v| v.get("error").is_some()).unwrap_or(true);
-    if is_error {
-        *errors += 1;
-    } else {
-        latencies_us.push(now.duration_since(sent).as_micros() as u64);
-    }
-}
-
-/// Matches a v2 response to its send timestamp: by id when the payload
-/// names one we tracked, by order otherwise (probes).
-fn config_matching(conn: &mut ClientConn, payload: Option<&Value>) -> Option<Instant> {
-    if let Some(id) = payload.and_then(|v| v.get("id")).and_then(Value::as_str) {
-        if let Some(sent) = conn.by_id.remove(id) {
-            return Some(sent);
-        }
-    }
-    conn.fifo.pop_front()
 }
 
 /// Serializes a run into the tracked `BENCH_serving.json` document

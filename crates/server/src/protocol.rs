@@ -312,6 +312,13 @@ pub struct JobRequest {
     /// are derived from schedule keys and the tenant salt, so jobs of one
     /// tenant share cached estimates consistently.
     pub seed: u64,
+    /// Optional caller-shipped warm-start seed: a fingerprint-verified
+    /// schedule artifact the strategies start from. When present it
+    /// *overrides* the server's own registry lookup — the distributed
+    /// sweep coordinator uses this to ship its registry's best artifact
+    /// out with each assignment, so a fleet worker warm-starts exactly
+    /// like the coordinator would in-process.
+    pub warm_seed: Option<Box<ScheduleArtifact>>,
 }
 
 impl JobRequest {
@@ -326,11 +333,14 @@ impl JobRequest {
         map.insert("budget", Value::from(self.budget));
         map.insert("shots", Value::from(self.shots));
         map.insert("seed", Value::from(self.seed));
+        if let Some(artifact) = &self.warm_seed {
+            map.insert("warm_seed", artifact.to_json());
+        }
         Value::Object(map)
     }
 
     /// Parses a request line (defaults: `strategy` portfolio, `budget`
-    /// 128, `shots` 400, `seed` 0).
+    /// 128, `shots` 400, `seed` 0, no `warm_seed`).
     ///
     /// # Errors
     ///
@@ -362,6 +372,16 @@ impl JobRequest {
                 .as_u64()
                 .ok_or_else(|| protocol_error("member `seed` must be a non-negative integer"))?,
         };
+        // The warm-start seed is parsed through `ScheduleArtifact::from_json`,
+        // which recomputes the schedule fingerprint — a tampered seed is a
+        // protocol error, never a silent bad warm start.
+        let warm_seed = match value.get("warm_seed") {
+            None => None,
+            Some(raw) => Some(Box::new(
+                ScheduleArtifact::from_json(raw)
+                    .map_err(|e| protocol_error(format!("member `warm_seed` rejected: {e}")))?,
+            )),
+        };
         Ok(JobRequest {
             id: required_str(value, "id")?.to_string(),
             code: CodeRef::from_json(required(value, "code")?)?,
@@ -370,6 +390,7 @@ impl JobRequest {
             budget,
             shots,
             seed,
+            warm_seed,
         })
     }
 }
@@ -877,12 +898,48 @@ mod tests {
             budget: 96,
             shots: 250,
             seed: 41,
+            warm_seed: None,
         };
         let line = serde_json::to_string(&request.to_json()).unwrap();
         match Request::parse(&line).unwrap() {
             Request::Synthesize(parsed) => assert_eq!(parsed, request),
             other => panic!("unexpected request: {other:?}"),
         }
+    }
+
+    #[test]
+    fn warm_seed_roundtrips_and_tampering_is_rejected() {
+        let code = asynd_codes::steane_code();
+        let seed = ScheduleArtifact {
+            code_label: "steane".into(),
+            schedule: asynd_circuit::Schedule::trivial(&code),
+            estimate: asynd_circuit::LogicalErrorEstimate {
+                shots: 100,
+                x_failures: 1,
+                z_failures: 2,
+                any_failures: 3,
+            },
+        };
+        let request = JobRequest {
+            id: "job-w".into(),
+            code: CodeRef { family: "rotated-surface".into(), index: 0 },
+            noise: NoiseSpec::Brisbane,
+            strategy: StrategyChoice::Portfolio,
+            budget: 64,
+            shots: 100,
+            seed: 5,
+            warm_seed: Some(Box::new(seed)),
+        };
+        let line = serde_json::to_string(&request.to_json()).unwrap();
+        match Request::parse(&line).unwrap() {
+            Request::Synthesize(parsed) => assert_eq!(parsed, request),
+            other => panic!("unexpected request: {other:?}"),
+        }
+        // Flipping one tick breaks the fingerprint: the request is
+        // rejected at parse, before any strategy sees the seed.
+        let tampered = line.replacen("\"tick\":1", "\"tick\":99", 1);
+        assert_ne!(line, tampered);
+        assert!(Request::parse(&tampered).is_err(), "tampered warm_seed must not parse");
     }
 
     #[test]

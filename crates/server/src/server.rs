@@ -560,12 +560,19 @@ fn try_execute_job(
     // server's own, so one `metrics` snapshot covers both layers.
     let portfolio = portfolio.with_metrics(Arc::clone(&shared.telemetry));
 
-    // Warm start: seed the race with the registry's best prior artifact
-    // for this tenant, when one exists and still validates against the
-    // code (a stale or foreign seed is dropped, not trusted). The seed
+    // Warm start: seed the race with the request's shipped `warm_seed`
+    // when present (the fleet coordinator distributing its registry's
+    // best artifact), else with the registry's best prior artifact for
+    // this tenant. Either way the seed must still validate against the
+    // code (a stale or foreign seed is dropped, not trusted), and it
     // only shifts where the searches start — every estimate is still
     // produced by the metered evaluation pipeline.
-    let seeds: Vec<Schedule> = {
+    let seeds: Vec<Schedule> = if let Some(shipped) = &request.warm_seed {
+        Some(shipped.as_ref())
+            .filter(|artifact| artifact.schedule.validate(&tenant.entry.code).is_ok())
+            .map(|artifact| vec![artifact.schedule.clone()])
+            .unwrap_or_default()
+    } else {
         // The span exists only when a registry does — servers without
         // one report no lookup phase at all.
         let _span = shared.registry.as_ref().map(|_| {
@@ -799,6 +806,7 @@ mod tests {
             budget: 24,
             shots: 150,
             seed,
+            warm_seed: None,
         }
     }
 
@@ -822,6 +830,45 @@ mod tests {
             other => panic!("unexpected response: {other:?}"),
         }
         assert_eq!(server.tenants(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shipped_warm_seed_warm_starts_without_a_registry() {
+        let server = ScheduleServer::start(ServerConfig { workers: 1, ..ServerConfig::default() });
+        let cold =
+            match server.submit(quick_request("cold", StrategyChoice::Anneal, 9)).unwrap().wait() {
+                Response::Ok(outcome) => outcome,
+                other => panic!("unexpected response: {other:?}"),
+            };
+        assert!(!cold.warm_start);
+
+        // Shipping the artifact back warm-starts the race, registry or not.
+        let mut warm = quick_request("warm", StrategyChoice::Anneal, 9);
+        warm.warm_seed = Some(Box::new(cold.artifact.clone()));
+        match server.submit(warm).unwrap().wait() {
+            Response::Ok(outcome) => assert!(outcome.warm_start, "shipped seed must warm-start"),
+            other => panic!("unexpected response: {other:?}"),
+        }
+
+        // A seed that does not validate against the job's code is
+        // dropped, not trusted: the job still runs, cold.
+        let foreign = asynd_circuit::artifact::ScheduleArtifact {
+            code_label: "steane".into(),
+            schedule: Schedule::trivial(&asynd_codes::steane_code()),
+            estimate: asynd_circuit::LogicalErrorEstimate {
+                shots: 10,
+                x_failures: 0,
+                z_failures: 0,
+                any_failures: 0,
+            },
+        };
+        let mut mismatched = quick_request("mismatched", StrategyChoice::Anneal, 9);
+        mismatched.warm_seed = Some(Box::new(foreign));
+        match server.submit(mismatched).unwrap().wait() {
+            Response::Ok(outcome) => assert!(!outcome.warm_start, "foreign seed must be dropped"),
+            other => panic!("unexpected response: {other:?}"),
+        }
         server.shutdown();
     }
 

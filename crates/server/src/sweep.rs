@@ -3,17 +3,24 @@
 //! machine-readable benchmark trajectory (`BENCH_sweep.json`, the same
 //! shape as `BENCH_portfolio.json`).
 //!
-//! The sweep fans cells out over rayon with the worker-loop pattern; each
-//! cell is pure given its derived seed, so the emitted records are
-//! bit-identical for any worker count (wall-clock members aside).
+//! One entry point, [`SweepOptions`]: grid config plus the optional
+//! extras (a persistent registry, fleet worker addresses, local worker
+//! count) as builder methods. Zero fleet workers fans cells out over
+//! rayon with the worker-loop pattern; with worker addresses the
+//! [`crate::fleet`] coordinator distributes cells to remote
+//! `asynd serve` processes over the framed v2 protocol. Either way each
+//! cell evaluates under its *tenant's* salt — the exact salt a schedule
+//! server resolves for the same (code, noise, shots) — so the emitted
+//! records are bit-identical for any worker count, local or remote
+//! (wall-clock members aside; see [`canonical_report_value`]).
 
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use asynd_circuit::artifact::ScheduleArtifact;
-use asynd_circuit::Schedule;
+use asynd_circuit::{EstimateOptions, Evaluator, Schedule, DEFAULT_CACHE_CAPACITY};
 use asynd_codes::catalog::{families, CatalogEntry};
 use asynd_decode::factory_for;
 use asynd_portfolio::{Portfolio, PortfolioConfig};
@@ -22,8 +29,8 @@ use asynd_sim::mix_seed;
 use asynd_telemetry::Histogram;
 use serde_json::{Map, Value};
 
-use crate::protocol::{CodeRef, NoiseSpec};
-use crate::tenants::TenantMap;
+use crate::protocol::{CodeRef, JobOutcome, JobRequest, NoiseSpec, StrategyChoice};
+use crate::tenants::{tenant_salt, TenantMap};
 use crate::{fnv64, ServerError};
 
 /// Configuration of one catalog sweep.
@@ -278,27 +285,27 @@ fn truncate(text: &str, limit: usize) -> String {
 /// What one cell produced: its records plus its registry interaction
 /// and where its wall-time went (identity-free; the report assembly
 /// attaches family/code/rate).
-struct CellOutcome {
-    records: Vec<SweepRecord>,
-    warm_start: bool,
-    stored: bool,
-    lookup_ms: f64,
-    race_ms: f64,
-    store_ms: f64,
-    wall_ms: f64,
+pub(crate) struct CellOutcome {
+    pub(crate) records: Vec<SweepRecord>,
+    pub(crate) warm_start: bool,
+    pub(crate) stored: bool,
+    pub(crate) lookup_ms: f64,
+    pub(crate) race_ms: f64,
+    pub(crate) store_ms: f64,
+    pub(crate) wall_ms: f64,
 }
 
 /// The sweep's latency histograms, resolved once from the process-wide
 /// telemetry registry so `asynd metrics` sees sweep phases too.
-struct SweepTelemetry {
-    lookup_us: Histogram,
+pub(crate) struct SweepTelemetry {
+    pub(crate) lookup_us: Histogram,
     race_us: Histogram,
-    store_us: Histogram,
-    cell_wall_us: Histogram,
+    pub(crate) store_us: Histogram,
+    pub(crate) cell_wall_us: Histogram,
 }
 
 impl SweepTelemetry {
-    fn resolve() -> SweepTelemetry {
+    pub(crate) fn resolve() -> SweepTelemetry {
         let registry = asynd_telemetry::global();
         SweepTelemetry {
             lookup_us: registry.histogram("asynd_sweep_lookup_us"),
@@ -310,47 +317,189 @@ impl SweepTelemetry {
 }
 
 /// One fan-out slot: the (eventual) outcome of one cell.
-type CellSlot = Mutex<Option<Result<CellOutcome, ServerError>>>;
+pub(crate) type CellSlot = Mutex<Option<Result<CellOutcome, ServerError>>>;
 
 /// One unit of sweep work.
-struct Cell {
-    family: &'static str,
-    entry: CatalogEntry,
-    entry_index: usize,
-    rate: f64,
+pub(crate) struct Cell {
+    pub(crate) family: &'static str,
+    pub(crate) entry: CatalogEntry,
+    pub(crate) entry_index: usize,
+    pub(crate) rate: f64,
 }
 
-/// Runs a catalog sweep without a registry (see
-/// [`run_sweep_with_registry`]).
+impl Cell {
+    /// The cell's stable identity: the job id on the wire, and the
+    /// stream every cell-local seed derives from.
+    pub(crate) fn key(&self) -> String {
+        format!("{}[{}]@{}", self.family, self.entry_index, self.rate)
+    }
+
+    /// The canonical tenant key a schedule server would resolve for
+    /// this cell — the namespace sweeps, servers and registries share.
+    pub(crate) fn tenant(&self, config: &SweepConfig) -> String {
+        let code_ref = CodeRef { family: self.family.to_string(), index: self.entry_index };
+        TenantMap::canonical_key(&code_ref, &NoiseSpec::Scaled(self.rate), config.shots)
+    }
+
+    /// Per-strategy evaluation grant for this cell's code.
+    pub(crate) fn grant(&self, config: &SweepConfig) -> u64 {
+        let total_checks: u64 =
+            self.entry.code.stabilizers().iter().map(|s| s.weight() as u64).sum();
+        (total_checks + 2) * config.budget_multiplier
+    }
+
+    /// The v2 job request a fleet coordinator ships for this cell,
+    /// optionally carrying a warm-start seed from its registry. The
+    /// request reproduces the in-process race exactly: same portfolio
+    /// seed (derived from the cell key), same per-strategy grant
+    /// (`budget` is the grant re-multiplied by the portfolio's party
+    /// count, which the server's `split_grant` divides back), same
+    /// shots — so a remote worker and a local rayon worker return
+    /// bit-identical results.
+    pub(crate) fn request(
+        &self,
+        config: &SweepConfig,
+        warm_seed: Option<Box<ScheduleArtifact>>,
+    ) -> JobRequest {
+        let key = self.key();
+        JobRequest {
+            id: key.clone(),
+            code: CodeRef { family: self.family.to_string(), index: self.entry_index },
+            noise: NoiseSpec::Scaled(self.rate),
+            strategy: StrategyChoice::Portfolio,
+            budget: self.grant(config) * StrategyChoice::Portfolio.parties() as u64,
+            shots: config.shots,
+            seed: mix_seed(config.seed, fnv64(key.as_bytes())),
+            warm_seed,
+        }
+    }
+}
+
+/// A catalog sweep being configured: the grid plus optional extras,
+/// resolved by [`SweepOptions::run`].
+///
+/// ```no_run
+/// use asynd_server::sweep::{SweepConfig, SweepOptions};
+///
+/// // The CI smoke grid, distributed over two workers.
+/// let report = SweepOptions::with_config(SweepConfig::smoke())
+///     .fleet(["127.0.0.1:7271", "127.0.0.1:7272"])
+///     .run()
+///     .unwrap();
+/// # let _ = report;
+/// ```
+pub struct SweepOptions<'a> {
+    config: SweepConfig,
+    registry: Option<&'a Registry>,
+    workers: Vec<String>,
+}
+
+impl Default for SweepOptions<'_> {
+    fn default() -> Self {
+        SweepOptions::new()
+    }
+}
+
+impl<'a> SweepOptions<'a> {
+    /// The standard sweep grid with no extras.
+    pub fn new() -> SweepOptions<'a> {
+        SweepOptions::with_config(SweepConfig::standard())
+    }
+
+    /// The CI smoke grid with no extras.
+    pub fn smoke() -> SweepOptions<'a> {
+        SweepOptions::with_config(SweepConfig::smoke())
+    }
+
+    /// A sweep over an explicit grid config.
+    pub fn with_config(config: SweepConfig) -> SweepOptions<'a> {
+        SweepOptions { config, registry: None, workers: Vec::new() }
+    }
+
+    /// The grid this sweep will run.
+    pub fn config(&self) -> &SweepConfig {
+        &self.config
+    }
+
+    /// Attaches a persistent schedule registry. Every cell resolves the
+    /// same canonical tenant key the schedule server would
+    /// (`family[index]|scaled(rate)|shots=N`), warm-starts its race
+    /// from the registry's best artifact for that tenant, and stores
+    /// its winner back — so repeated sweeps over one registry directory
+    /// reuse each other's work, and sweep artifacts are interchangeable
+    /// with server-produced ones. Within one sweep all cells are
+    /// distinct tenants, so the records stay bit-identical for any
+    /// worker count given the registry state at sweep start.
+    pub fn registry(mut self, registry: &'a Registry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Distributes cells to remote `asynd serve` workers at these
+    /// addresses instead of local rayon workers (empty = stay local).
+    /// See [`crate::fleet`] for the coordinator's contract.
+    pub fn fleet(mut self, workers: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        self.workers = workers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Local worker-thread cap for the rayon fan-out (`0` = rayon's
+    /// parallelism). Ignored when a fleet is attached.
+    pub fn local_workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Runs the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Rejected`] for an empty grid or unknown
+    /// family filters, and propagates the first cell failure (in
+    /// deterministic cell order). A fleet run fails only when *every*
+    /// worker dies and the local fallback fails too.
+    pub fn run(&self) -> Result<SweepReport, ServerError> {
+        let cells = enumerate_cells(&self.config)?;
+        if self.workers.is_empty() {
+            run_local(&self.config, &cells, self.registry)
+        } else {
+            crate::fleet::run_fleet(&self.config, &cells, self.registry, &self.workers)
+        }
+    }
+}
+
+/// Runs a catalog sweep without a registry.
 ///
 /// # Errors
 ///
-/// Returns [`ServerError::Rejected`] for an empty grid or unknown family
-/// filters, and propagates the first cell failure (in deterministic cell
-/// order).
+/// As [`SweepOptions::run`].
+#[deprecated(note = "use `SweepOptions::with_config(config.clone()).run()`")]
 pub fn run_sweep(config: &SweepConfig) -> Result<SweepReport, ServerError> {
-    run_sweep_with_registry(config, None)
+    SweepOptions::with_config(config.clone()).run()
 }
 
 /// Runs a catalog sweep, optionally against a persistent schedule
 /// registry.
 ///
-/// With a registry, every cell resolves the same canonical tenant key
-/// the schedule server would (`family[index]|scaled(rate)|shots=N`),
-/// warm-starts its portfolio race from the registry's best artifact for
-/// that tenant, and stores its winner back — so repeated sweeps over one
-/// registry directory reuse each other's work, and sweep artifacts are
-/// interchangeable with server-produced ones. Within one sweep all cells
-/// are distinct tenants, so the records stay bit-identical for any
-/// worker count given the registry state at sweep start.
-///
 /// # Errors
 ///
-/// As [`run_sweep`].
+/// As [`SweepOptions::run`].
+#[deprecated(note = "use `SweepOptions::with_config(config.clone()).registry(registry).run()`")]
 pub fn run_sweep_with_registry(
     config: &SweepConfig,
     registry: Option<&Registry>,
 ) -> Result<SweepReport, ServerError> {
+    let options = SweepOptions::with_config(config.clone());
+    let options = match registry {
+        Some(registry) => options.registry(registry),
+        None => options,
+    };
+    options.run()
+}
+
+/// Expands a sweep config into its deterministic cell list (family
+/// order × entry order × rate order), validating the grid.
+pub(crate) fn enumerate_cells(config: &SweepConfig) -> Result<Vec<Cell>, ServerError> {
     if config.error_rates.is_empty() {
         return Err(ServerError::Rejected { reason: "sweep needs at least one error rate".into() });
     }
@@ -392,9 +541,17 @@ pub fn run_sweep_with_registry(
             reason: format!("no catalog code passes the max_qubits={} filter", config.max_qubits),
         });
     }
+    Ok(cells)
+}
 
-    // Fan out with the worker-loop pattern; each cell is pure given its
-    // derived seed, so any worker count produces identical records.
+/// The local fan-out: cells over rayon with the worker-loop pattern.
+fn run_local(
+    config: &SweepConfig,
+    cells: &[Cell],
+    registry: Option<&Registry>,
+) -> Result<SweepReport, ServerError> {
+    // Each cell is pure given its derived seed, so any worker count
+    // produces identical records.
     let telemetry = SweepTelemetry::resolve();
     let slots: Vec<CellSlot> = cells.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
@@ -414,7 +571,18 @@ pub fn run_sweep_with_registry(
             });
         }
     });
+    assemble_report(config, cells, slots)
+}
 
+/// Assembles the final report from filled cell slots, in deterministic
+/// cell order — the single merge path shared by the local fan-out and
+/// the fleet coordinator, which is what makes the merged report
+/// independent of worker count, topology and arrival order.
+pub(crate) fn assemble_report(
+    config: &SweepConfig,
+    cells: &[Cell],
+    slots: Vec<CellSlot>,
+) -> Result<SweepReport, ServerError> {
     let mut records = Vec::with_capacity(cells.len() * 4);
     let mut phases = Vec::with_capacity(cells.len());
     let mut warm_cells = 0usize;
@@ -449,7 +617,7 @@ pub fn run_sweep_with_registry(
     })
 }
 
-fn run_cell(
+pub(crate) fn run_cell(
     config: &SweepConfig,
     cell: &Cell,
     registry: Option<&Registry>,
@@ -457,12 +625,10 @@ fn run_cell(
 ) -> Result<CellOutcome, ServerError> {
     let cell_started = Instant::now();
     let code = &cell.entry.code;
-    let total_checks: u64 = code.stabilizers().iter().map(|s| s.weight() as u64).sum();
-    let grant = (total_checks + 2) * config.budget_multiplier;
-    let cell_key = format!("{}[{}]@{}", cell.family, cell.entry_index, cell.rate);
+    let cell_key = cell.key();
     let portfolio = Portfolio::standard(PortfolioConfig {
         seed: mix_seed(config.seed, fnv64(cell_key.as_bytes())),
-        budget_per_strategy: grant,
+        budget_per_strategy: cell.grant(config),
         shots_per_evaluation: config.shots,
         // Cells are the parallel unit; inside a cell the race runs on one
         // worker to avoid oversubscribing the sweep pool.
@@ -475,8 +641,7 @@ fn run_cell(
     // The cell's tenant identity matches what the schedule server would
     // resolve for this (code, rate, shots), so sweeps and servers share
     // one registry namespace.
-    let code_ref = CodeRef { family: cell.family.to_string(), index: cell.entry_index };
-    let tenant = TenantMap::canonical_key(&code_ref, &spec, config.shots);
+    let tenant = cell.tenant(config);
     let lookup_started = Instant::now();
     let seeds: Vec<Schedule> = registry
         .and_then(|r| r.lookup(&tenant))
@@ -492,8 +657,20 @@ fn run_cell(
     }
     let warm_start = !seeds.is_empty();
 
+    // The cell races over a fresh evaluator under its *tenant's* salt —
+    // the same evaluation-seed stream a schedule server would use for
+    // this (code, rate, shots) — so a cell's records are bit-identical
+    // whether it runs here or on a fleet worker's fresh tenant.
+    let options = EstimateOptions { max_threads: Some(1), ..EstimateOptions::default() };
+    let evaluator = Arc::new(Evaluator::with_capacity(
+        noise.clone(),
+        factory_for(cell.entry.decoder),
+        config.shots,
+        options,
+        DEFAULT_CACHE_CAPACITY,
+    ));
     let race_started = Instant::now();
-    let report = portfolio.run_seeded(code, &noise, factory_for(cell.entry.decoder), &seeds)?;
+    let report = portfolio.run_with_seeds(code, evaluator, tenant_salt(&tenant), &seeds)?;
     let race_elapsed = race_started.elapsed();
     telemetry.race_us.record_duration(race_elapsed);
 
@@ -545,6 +722,90 @@ fn run_cell(
         store_ms: store_elapsed.as_secs_f64() * 1e3,
         wall_ms: wall_elapsed.as_secs_f64() * 1e3,
     })
+}
+
+/// Builds a cell's outcome from a fleet worker's job response. The
+/// per-strategy records carry the wire's summaries verbatim; wall-clock
+/// members the wire does not carry per strategy report `0` (they are
+/// observability data outside the determinism contract, zeroed anyway
+/// by [`canonical_report_value`]).
+pub(crate) fn outcome_from_job(
+    cell: &Cell,
+    job: &JobOutcome,
+    lookup_ms: f64,
+    store_ms: f64,
+    stored: bool,
+    wall_ms: f64,
+) -> CellOutcome {
+    let records = job
+        .strategies
+        .iter()
+        .map(|s| SweepRecord {
+            family: cell.family.to_string(),
+            code: cell.entry.display_label(),
+            error_rate: cell.rate,
+            strategy: s.name.clone(),
+            wall_ms: 0.0,
+            p_overall: s.p_overall,
+            depth: s.depth,
+            schedule_key: s.key.clone(),
+            evaluations: s.evaluations,
+            cache_hit_rate: job.cache.hit_rate(),
+            winner: s.winner,
+            warm_start: job.warm_start,
+        })
+        .collect();
+    CellOutcome {
+        records,
+        warm_start: job.warm_start,
+        stored,
+        lookup_ms,
+        race_ms: job.wall_ms,
+        store_ms,
+        wall_ms,
+    }
+}
+
+/// The canonical (timing-free) form of a sweep report document: the
+/// `phases` array dropped and every record's `wall_ms` zeroed. Two
+/// sweep runs are equivalent iff their canonical forms are equal — the
+/// determinism contract for any local worker count or fleet topology
+/// (wall-clock is the *only* member allowed to differ).
+pub fn canonical_report_value(doc: &Value) -> Value {
+    let Some(object) = doc.as_object() else { return doc.clone() };
+    let mut out = Map::new();
+    for (key, value) in object.iter() {
+        match key.as_str() {
+            "phases" => {}
+            "records" => {
+                let records = value
+                    .as_array()
+                    .map(|records| {
+                        records
+                            .iter()
+                            .map(|record| match record.as_object() {
+                                Some(record) => {
+                                    let mut clean = Map::new();
+                                    for (member, v) in record.iter() {
+                                        if member == "wall_ms" {
+                                            clean.insert("wall_ms", Value::from(0.0));
+                                        } else {
+                                            clean.insert(member.as_str(), v.clone());
+                                        }
+                                    }
+                                    Value::Object(clean)
+                                }
+                                None => record.clone(),
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                out.insert("records", Value::Array(records));
+            }
+            _ => drop(out.insert(key.as_str(), value.clone())),
+        }
+    }
+    Value::Object(out)
 }
 
 /// Summary returned by [`validate_report_text`].
@@ -710,7 +971,7 @@ mod tests {
     #[test]
     fn tiny_sweep_covers_the_grid_and_validates() {
         let config = tiny_config();
-        let report = run_sweep(&config).unwrap();
+        let report = SweepOptions::with_config(config.clone()).run().unwrap();
         // 2 families × 1 entry × 2 rates × 4 strategies.
         assert_eq!(report.records.len(), 16);
         assert_eq!(report.rates, 2);
@@ -736,15 +997,61 @@ mod tests {
             families: vec!["surface".into()], // registry name is rotated-surface
             ..tiny_config()
         };
-        assert!(matches!(run_sweep(&config), Err(ServerError::Rejected { .. })));
+        assert!(matches!(
+            SweepOptions::with_config(config).run(),
+            Err(ServerError::Rejected { .. })
+        ));
     }
 
     #[test]
     fn impossible_filters_are_rejected() {
         let config = SweepConfig { max_qubits: 1, ..tiny_config() };
-        assert!(matches!(run_sweep(&config), Err(ServerError::Rejected { .. })));
+        assert!(matches!(
+            SweepOptions::with_config(config).run(),
+            Err(ServerError::Rejected { .. })
+        ));
         let config = SweepConfig { error_rates: vec![], ..tiny_config() };
-        assert!(matches!(run_sweep(&config), Err(ServerError::Rejected { .. })));
+        assert!(matches!(
+            SweepOptions::with_config(config).run(),
+            Err(ServerError::Rejected { .. })
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_run_a_sweep() {
+        // One release of back-compat: the free functions must keep
+        // producing the same report as the builder they forward to.
+        let config = tiny_config();
+        let via_shim = run_sweep(&config).unwrap();
+        let via_builder = SweepOptions::with_config(config.clone()).run().unwrap();
+        assert_eq!(
+            canonical_report_value(&via_shim.to_json(&config)),
+            canonical_report_value(&via_builder.to_json(&config)),
+        );
+    }
+
+    #[test]
+    fn canonical_form_strips_wall_clock_but_nothing_else() {
+        let config = tiny_config();
+        let report = SweepOptions::with_config(config.clone()).run().unwrap();
+        let doc = report.to_json(&config);
+        let canonical = canonical_report_value(&doc);
+        assert!(canonical.get("phases").is_none(), "phase timings are observability data");
+        let records = canonical.get("records").and_then(Value::as_array).unwrap();
+        assert_eq!(records.len(), report.records.len());
+        for record in records {
+            assert_eq!(record.get("wall_ms").and_then(Value::as_f64), Some(0.0));
+            assert!(record.get("p_overall").is_some(), "result members survive");
+            assert!(record.get("schedule_key").is_some());
+        }
+        // Canonicalisation is idempotent and insensitive to wall noise.
+        assert_eq!(canonical_report_value(&canonical), canonical);
+        let mut noisy = report;
+        for record in &mut noisy.records {
+            record.wall_ms += 123.456;
+        }
+        assert_eq!(canonical_report_value(&noisy.to_json(&config)), canonical);
     }
 
     #[test]

@@ -92,9 +92,12 @@ impl TenantMap {
         self.len() == 0
     }
 
-    /// The canonical key of a job's tenant.
+    /// The canonical key of a job's tenant — the shared
+    /// [`TenantId`](asynd_registry::TenantId) format, so the serving
+    /// layer and the registry can never drift apart.
     pub fn canonical_key(code: &CodeRef, noise: &NoiseSpec, shots: usize) -> String {
-        format!("{}[{}]|{}|shots={}", code.family, code.index, noise.canonical(), shots)
+        asynd_registry::TenantId::new(&code.family, code.index, noise.canonical(), shots)
+            .canonical()
     }
 
     /// Cache counters of every live tenant, sorted by tenant key (the
@@ -188,9 +191,17 @@ impl TenantMap {
         // tenant, attached before the evaluator sees any traffic. A
         // racing double-create registers the same (idempotent) handles.
         evaluator.set_metrics(EvaluatorMetrics::register(&self.metrics, &[("tenant", &key)]));
-        let salt = mix_seed(fnv64(key.as_bytes()), TENANT_SALT_STREAM);
+        let salt = tenant_salt(&key);
         Ok(Tenant { key, entry, evaluator, salt })
     }
+}
+
+/// The evaluation-seed salt of a tenant key — the salt every job of
+/// that tenant evaluates under, public so out-of-server race paths
+/// (sweep cells, the fleet's local fallback) can produce results
+/// bit-identical to a server job of the same tenant.
+pub fn tenant_salt(key: &str) -> u64 {
+    mix_seed(fnv64(key.as_bytes()), TENANT_SALT_STREAM)
 }
 
 #[cfg(test)]
@@ -237,6 +248,19 @@ mod tests {
             TenantMap::new(64).resolve(&code("xzzx", 1), &NoiseSpec::Scaled(0.001), 200).unwrap();
         assert_eq!(a.salt, b.salt, "the salt is a pure function of the tenant key");
         assert_eq!(a.key, b.key);
+    }
+
+    #[test]
+    fn canonical_key_round_trips_through_the_shared_constructor() {
+        let key =
+            TenantMap::canonical_key(&code("rotated-surface", 2), &NoiseSpec::Scaled(0.003), 600);
+        assert_eq!(key, "rotated-surface[2]|scaled(0.003)|shots=600");
+        let id = asynd_registry::TenantId::parse(&key).unwrap();
+        assert_eq!(id.family, "rotated-surface");
+        assert_eq!(id.index, 2);
+        assert_eq!(id.noise, "scaled(0.003)");
+        assert_eq!(id.shots, 600);
+        assert_eq!(id.canonical(), key);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! against a warm tenant cache.
 
 use asynd_server::protocol::{CodeRef, JobRequest, NoiseSpec, Response, StrategyChoice};
-use asynd_server::sweep::{run_sweep, SweepConfig};
+use asynd_server::sweep::{SweepConfig, SweepOptions};
 use asynd_server::{ScheduleServer, ServerConfig};
 
 /// A small but non-trivial batch: two code families × two error models,
@@ -27,6 +27,7 @@ fn batch() -> Vec<JobRequest> {
                 budget,
                 shots: 150,
                 seed: 0xA11CE + n as u64,
+                warm_seed: None,
             });
         }
     }
@@ -119,7 +120,8 @@ fn sweep_records_are_identical_for_any_worker_count() {
         workers,
     };
     let view = |workers: usize| -> Vec<String> {
-        run_sweep(&config(workers))
+        SweepOptions::with_config(config(workers))
+            .run()
             .unwrap()
             .records
             .iter()

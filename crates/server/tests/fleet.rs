@@ -1,0 +1,267 @@
+//! End-to-end tests of the distributed sweep fleet: the merged report is
+//! bit-identical (canonical form) to an in-process sweep for any worker
+//! count, a worker killed mid-cell loses no work, a tampered artifact is
+//! rejected and re-raced, an unreachable fleet degrades to a local
+//! sweep, and the coordinator's registry ships warm-start seeds to
+//! registry-free workers.
+
+use std::fs;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+
+use asynd_net::frame::{Frame, FrameDecoder, FrameKind};
+use asynd_registry::Registry;
+use asynd_server::fleet::LocalWorker;
+use asynd_server::sweep::{canonical_report_value, SweepConfig, SweepOptions, SweepReport};
+
+/// The fault-test grid: 2 families × 1 entry × 2 rates = 4 cells.
+fn tiny_config() -> SweepConfig {
+    SweepConfig {
+        seed: 11,
+        error_rates: vec![3e-3, 7.4e-3],
+        families: vec!["rotated-surface".into(), "hexagonal-color".into()],
+        max_qubits: 9,
+        entries_per_family: 1,
+        budget_multiplier: 1,
+        shots: 120,
+        workers: 0,
+    }
+}
+
+/// A report's canonical form (wall-clock stripped) — the fleet
+/// determinism contract's equivalence class.
+fn canonical(report: &SweepReport, config: &SweepConfig) -> serde_json::Value {
+    canonical_report_value(&report.to_json(config))
+}
+
+fn spawn_workers(count: usize) -> (Vec<LocalWorker>, Vec<String>) {
+    let workers: Vec<LocalWorker> =
+        (0..count).map(|_| LocalWorker::spawn().expect("spawn local worker")).collect();
+    let addrs = workers.iter().map(|w| w.addr().to_string()).collect();
+    (workers, addrs)
+}
+
+#[test]
+fn fleet_merge_is_bit_identical_across_worker_counts() {
+    let config = tiny_config();
+    let baseline = SweepOptions::with_config(config.clone()).run().unwrap();
+    let want = canonical(&baseline, &config);
+    assert_eq!(baseline.cells, 4);
+
+    for count in [1usize, 4] {
+        let (workers, addrs) = spawn_workers(count);
+        let report = SweepOptions::with_config(config.clone()).fleet(addrs).run().unwrap();
+        for worker in workers {
+            worker.shutdown();
+        }
+        assert_eq!(
+            canonical(&report, &config),
+            want,
+            "fleet of {count} diverged from the in-process sweep"
+        );
+        // The records really came over the wire: remote per-strategy
+        // walls are not measured (0.0), local ones always are.
+        assert!(
+            report.records.iter().all(|r| r.wall_ms == 0.0),
+            "fleet records carry no per-strategy wall"
+        );
+        assert!(baseline.records.iter().all(|r| r.wall_ms > 0.0));
+    }
+}
+
+#[test]
+fn fleet_survives_a_worker_killed_mid_cell() {
+    // A "worker" that accepts the coordinator, reads the start of its
+    // first request, and dies — listener first, so the coordinator's
+    // reconnect probes are refused instead of hanging in a dead backlog.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let killed_addr = listener.local_addr().unwrap().to_string();
+    let killer = thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        drop(listener);
+        let mut buf = [0u8; 64];
+        let _ = stream.read(&mut buf);
+    });
+
+    let config = tiny_config();
+    let want = canonical(&SweepOptions::with_config(config.clone()).run().unwrap(), &config);
+    let (workers, mut addrs) = spawn_workers(1);
+    addrs.insert(0, killed_addr);
+    let report = SweepOptions::with_config(config.clone()).fleet(addrs).run().unwrap();
+    for worker in workers {
+        worker.shutdown();
+    }
+    killer.join().unwrap();
+    assert_eq!(report.cells, 4, "the killed worker's cell was reassigned and completed");
+    assert_eq!(canonical(&report, &config), want, "reassignment left no trace in the report");
+}
+
+/// A tampering man-in-the-middle: forwards the coordinator's bytes to a
+/// real worker verbatim, but corrupts one hex digit of every artifact
+/// `key` fingerprint in the worker's response frames.
+fn tamper_proxy(upstream: String) -> (String, thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let handle = thread::spawn(move || {
+        let (client_side, _) = listener.accept().unwrap();
+        drop(listener);
+        let server_side = TcpStream::connect(&upstream).unwrap();
+        let mut c2s_src = client_side.try_clone().unwrap();
+        let mut c2s_dst = server_side.try_clone().unwrap();
+        let forward = thread::spawn(move || {
+            let mut buf = [0u8; 4096];
+            loop {
+                match c2s_src.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        if c2s_dst.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+            // The coordinator hung up: close the worker-side socket too
+            // (clones share it — dropping is not closing), so the worker
+            // can drain its connections and shut down.
+            let _ = c2s_dst.shutdown(std::net::Shutdown::Both);
+        });
+        let mut decoder = FrameDecoder::new();
+        let mut from_server = server_side;
+        let mut to_client = client_side;
+        let mut buf = [0u8; 4096];
+        'proxy: loop {
+            let n = match from_server.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => n,
+            };
+            decoder.feed(&buf[..n]);
+            while let Ok(Some(frame)) = decoder.next_frame() {
+                let mut payload = frame.payload;
+                if frame.kind == FrameKind::Response {
+                    let text = String::from_utf8(payload).expect("response frames are JSON");
+                    payload = tamper_keys(&text).into_bytes();
+                }
+                if to_client.write_all(&Frame::new(frame.kind, payload).encode()).is_err() {
+                    break 'proxy;
+                }
+            }
+        }
+        let _ = to_client.shutdown(std::net::Shutdown::Both);
+        let _ = from_server.shutdown(std::net::Shutdown::Both);
+        let _ = forward.join();
+    });
+    (addr, handle)
+}
+
+/// Flips the first hex digit after every `"key":"` member, leaving the
+/// JSON well-formed but the artifact fingerprint unverifiable.
+fn tamper_keys(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(at) = rest.find("\"key\":\"") {
+        let split = at + "\"key\":\"".len();
+        out.push_str(&rest[..split]);
+        rest = &rest[split..];
+        if let Some(digit) = rest.chars().next() {
+            out.push(if digit == '0' { '1' } else { '0' });
+            rest = &rest[digit.len_utf8()..];
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[test]
+fn fleet_rejects_tampered_artifacts_and_reraces() {
+    let config = tiny_config();
+    let want = canonical(&SweepOptions::with_config(config.clone()).run().unwrap(), &config);
+    let (workers, addrs) = spawn_workers(1);
+    let (proxy_addr, proxy) = tamper_proxy(addrs[0].clone());
+    // The only fleet worker lies about every artifact: each response is
+    // rejected at fingerprint verification, the cell re-raced
+    // in-process, and after three strikes the remaining cells fall back
+    // to the coordinator itself.
+    let report = SweepOptions::with_config(config.clone()).fleet([proxy_addr]).run().unwrap();
+    for worker in workers {
+        worker.shutdown();
+    }
+    proxy.join().unwrap();
+    assert_eq!(report.cells, 4);
+    assert_eq!(canonical(&report, &config), want, "no tampered artifact reached the report");
+}
+
+#[test]
+fn fleet_of_unreachable_workers_degrades_to_a_local_sweep() {
+    // Bind-then-drop reserves a port nobody listens on.
+    let port = {
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        probe.local_addr().unwrap().port()
+    };
+    let config = tiny_config();
+    let want = canonical(&SweepOptions::with_config(config.clone()).run().unwrap(), &config);
+    let report = SweepOptions::with_config(config.clone())
+        .fleet([format!("127.0.0.1:{port}")])
+        .run()
+        .unwrap();
+    assert_eq!(canonical(&report, &config), want, "the local fallback completed the sweep");
+}
+
+/// A unique, clean temporary registry directory per test.
+fn scratch(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("asynd-server-fleet-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open(dir: &PathBuf) -> Arc<Registry> {
+    let (registry, report) = Registry::open(dir).unwrap();
+    assert_eq!(report.skipped, 0, "no unverifiable records in test registries");
+    Arc::new(registry)
+}
+
+#[test]
+fn coordinator_registry_ships_warm_seeds_to_registry_free_workers() {
+    let config = tiny_config();
+    let local_dir = scratch("local");
+    let fleet_dir = scratch("fleet");
+
+    // Seed both registries identically with a cold local pass each.
+    let local_registry = open(&local_dir);
+    let cold = SweepOptions::with_config(config.clone()).registry(&local_registry).run().unwrap();
+    assert_eq!(cold.stored, cold.cells, "every cold cell stored its winner");
+    let fleet_registry = open(&fleet_dir);
+    let cold_twin =
+        SweepOptions::with_config(config.clone()).registry(&fleet_registry).run().unwrap();
+    assert_eq!(canonical(&cold_twin, &config), canonical(&cold, &config));
+
+    // Warm reference: a second local pass over the seeded registry.
+    let warm_local =
+        SweepOptions::with_config(config.clone()).registry(&local_registry).run().unwrap();
+    assert_eq!(warm_local.warm_cells, warm_local.cells);
+
+    // Warm fleet pass: the worker has no registry of its own — every
+    // warm start below travelled as a `warm_seed` on the wire.
+    let (workers, addrs) = spawn_workers(1);
+    let warm_fleet = SweepOptions::with_config(config.clone())
+        .registry(&fleet_registry)
+        .fleet(addrs)
+        .run()
+        .unwrap();
+    for worker in workers {
+        worker.shutdown();
+    }
+    assert_eq!(warm_fleet.warm_cells, warm_fleet.cells, "every cell warm-started remotely");
+    assert!(warm_fleet.records.iter().all(|r| r.warm_start));
+    assert_eq!(
+        canonical(&warm_fleet, &config),
+        canonical(&warm_local, &config),
+        "shipped warm seeds reproduce the local warm pass exactly"
+    );
+
+    fs::remove_dir_all(&local_dir).unwrap();
+    fs::remove_dir_all(&fleet_dir).unwrap();
+}

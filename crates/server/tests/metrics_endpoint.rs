@@ -20,6 +20,7 @@ fn request(id: &str, seed: u64) -> JobRequest {
         budget: 16,
         shots: 100,
         seed,
+        warm_seed: None,
     }
 }
 

@@ -19,6 +19,7 @@ fn request(id: &str) -> JobRequest {
         budget: 24,
         shots: 200,
         seed: 17,
+        warm_seed: None,
     }
 }
 

@@ -31,7 +31,8 @@ fn sessions() -> Vec<Vec<JobRequest>> {
                 strategy,
                 budget,
                 shots: 120,
-                seed: 0xD5 + slot as u64, // same seeds across sessions: shared tenants
+                seed: 0xD5 + slot as u64, // same seeds across sessions: shared tenants,
+                warm_seed: None,
             });
         }
         sessions.push(jobs);

@@ -12,7 +12,7 @@ use asynd_registry::Registry;
 use asynd_server::protocol::{
     CodeRef, JobRequest, LookupRequest, NoiseSpec, Response, StrategyChoice,
 };
-use asynd_server::sweep::{run_sweep_with_registry, SweepConfig};
+use asynd_server::sweep::{SweepConfig, SweepOptions};
 use asynd_server::{serve_lines, ScheduleServer, ServerConfig};
 
 /// A unique, clean temporary registry directory per test.
@@ -48,6 +48,7 @@ fn batch() -> Vec<JobRequest> {
         budget,
         shots: 150,
         seed: 7 + n as u64,
+        warm_seed: None,
     })
     .collect()
 }
@@ -158,6 +159,7 @@ fn lookup_op_serves_stored_artifacts_without_synthesis() {
         budget: 40,
         shots: 150,
         seed: 3,
+        warm_seed: None,
     };
     let reference = match server.submit(job).unwrap().wait() {
         Response::Ok(outcome) => outcome,
@@ -228,7 +230,7 @@ fn sweeps_reuse_one_registry_across_passes() {
     };
 
     let registry = open(&dir);
-    let cold = run_sweep_with_registry(&config, Some(&registry)).unwrap();
+    let cold = SweepOptions::with_config(config.clone()).registry(&registry).run().unwrap();
     let cells = cold.cells;
     assert_eq!(cells, 4, "2 families x 1 entry x 2 rates");
     assert_eq!(cold.warm_cells, 0, "first pass has nothing to warm from");
@@ -250,18 +252,18 @@ fn sweeps_reuse_one_registry_across_passes() {
     // Second pass, fresh registry handle over the same directory: every
     // repeated (code, rate) cell warm-starts.
     let registry = open(&dir);
-    let warm = run_sweep_with_registry(&config, Some(&registry)).unwrap();
+    let warm = SweepOptions::with_config(config.clone()).registry(&registry).run().unwrap();
     assert_eq!(warm.warm_cells, cells, "every repeated cell warm-started");
     assert!(warm.records.iter().all(|r| r.warm_start));
 
     // Warm passes are deterministic: identical registry state in, the
     // same records out (the snapshot pass also runs with a different
     // worker count to pin thread-count independence).
-    let twin = run_sweep_with_registry(
-        &SweepConfig { workers: 2, ..config.clone() },
-        Some(&open(&snapshot)),
-    )
-    .unwrap();
+    let snapshot_registry = open(&snapshot);
+    let twin = SweepOptions::with_config(SweepConfig { workers: 2, ..config.clone() })
+        .registry(&snapshot_registry)
+        .run()
+        .unwrap();
     let key = |report: &asynd_server::sweep::SweepReport| -> Vec<String> {
         report
             .records

@@ -25,6 +25,7 @@ fn jobs() -> Vec<JobRequest> {
             budget: 48,
             shots: 400,
             seed: 7 + n as u64,
+            warm_seed: None,
         })
         .collect()
 }

@@ -25,6 +25,7 @@ fn main() {
             budget: 128,
             shots: 500,
             seed: 7,
+            warm_seed: None,
         },
         JobRequest {
             id: "xzzx-brisbane".into(),
@@ -34,6 +35,7 @@ fn main() {
             budget: 48,
             shots: 500,
             seed: 7,
+            warm_seed: None,
         },
         JobRequest {
             id: "surface-scaled".into(),
@@ -43,6 +45,7 @@ fn main() {
             budget: 48,
             shots: 500,
             seed: 7,
+            warm_seed: None,
         },
     ];
 

@@ -40,6 +40,7 @@ fn main() {
             budget: 128,
             shots: 300,
             seed: 11,
+            warm_seed: None,
         },
         JobRequest {
             id: "tour-xzzx".into(),
@@ -49,6 +50,7 @@ fn main() {
             budget: 32,
             shots: 300,
             seed: 11,
+            warm_seed: None,
         },
         JobRequest {
             id: "tour-surface-2".into(),
@@ -58,6 +60,7 @@ fn main() {
             budget: 32,
             shots: 300,
             seed: 12,
+            warm_seed: None,
         },
     ];
     println!("racing {} jobs on {} workers...\n", jobs.len(), server.workers());
