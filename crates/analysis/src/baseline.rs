@@ -1,0 +1,143 @@
+//! The findings baseline: explicitly-granted legacy debt.
+//!
+//! A baseline entry is a *budget*: up to `count` findings of `rule` in
+//! `file`'s `function` are waived. Keying on (rule, file, function)
+//! rather than line numbers keeps the baseline stable across unrelated
+//! edits; budgets mean a waived site cannot quietly multiply. The
+//! shipped baseline is empty — the workspace is dogfooded clean — but
+//! the mechanism is what lets CI fail on *new* findings only, so debt
+//! can be granted deliberately instead of blocking an urgent change.
+
+use crate::rules::Finding;
+use serde_json::{Map, Value};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// The baseline's budgets, keyed by (rule, file, function).
+#[derive(Debug, Default)]
+pub struct Baseline {
+    budgets: BTreeMap<(String, String, String), u64>,
+}
+
+impl Baseline {
+    /// An empty baseline: every finding is new.
+    pub fn empty() -> Baseline {
+        Baseline::default()
+    }
+
+    /// Loads a baseline file. A missing file is an empty baseline (the
+    /// strictest interpretation); a malformed one is an error.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        if !path.exists() {
+            return Ok(Baseline::empty());
+        }
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("read {}: {}", path.display(), e))?;
+        let doc =
+            serde_json::from_str(&text).map_err(|e| format!("parse {}: {}", path.display(), e))?;
+        Baseline::from_json(&doc).map_err(|e| format!("{}: {}", path.display(), e))
+    }
+
+    /// Parses the JSON document form.
+    pub fn from_json(doc: &Value) -> Result<Baseline, String> {
+        if doc.get("version").and_then(Value::as_u64) != Some(1) {
+            return Err("baseline version must be 1".to_string());
+        }
+        let entries = doc
+            .get("entries")
+            .and_then(Value::as_array)
+            .ok_or_else(|| "baseline needs an `entries` array".to_string())?;
+        let mut budgets = BTreeMap::new();
+        for (i, entry) in entries.iter().enumerate() {
+            let field = |key: &str| {
+                entry
+                    .get(key)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("entry {} missing string `{}`", i, key))
+            };
+            let count = entry
+                .get("count")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("entry {} missing numeric `count`", i))?;
+            budgets.insert((field("rule")?, field("file")?, field("function")?), count);
+        }
+        Ok(Baseline { budgets })
+    }
+
+    /// Builds a baseline granting exactly the given findings
+    /// (unsuppressed ones only — suppressed findings are already
+    /// waived in source).
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut budgets: BTreeMap<(String, String, String), u64> = BTreeMap::new();
+        for f in findings.iter().filter(|f| f.suppressed.is_none()) {
+            *budgets
+                .entry((f.rule.to_string(), f.file.clone(), f.function.clone()))
+                .or_insert(0) += 1;
+        }
+        Baseline { budgets }
+    }
+
+    /// Serializes to the document form (sorted, so the file is
+    /// byte-stable across regenerations).
+    pub fn to_json(&self) -> Value {
+        let mut entries = Vec::new();
+        for ((rule, file, function), count) in &self.budgets {
+            let mut entry = Map::new();
+            entry.insert("rule", Value::from(rule.as_str()));
+            entry.insert("file", Value::from(file.as_str()));
+            entry.insert("function", Value::from(function.as_str()));
+            entry.insert("count", Value::from(*count));
+            entries.push(Value::from(entry));
+        }
+        let mut doc = Map::new();
+        doc.insert("version", Value::from(1u64));
+        doc.insert("tool", Value::from("asynd-lint"));
+        doc.insert("entries", Value::from(entries));
+        Value::from(doc)
+    }
+
+    /// Marks findings covered by budgets: walks findings in order and
+    /// sets `baselined` on the first `count` matches of each key.
+    /// Returns how many were waived.
+    pub fn apply(&self, findings: &mut [Finding]) -> usize {
+        let mut remaining = self.budgets.clone();
+        let mut waived = 0usize;
+        for f in findings.iter_mut() {
+            if f.suppressed.is_some() {
+                continue;
+            }
+            let key = (f.rule.to_string(), f.file.clone(), f.function.clone());
+            if let Some(budget) = remaining.get_mut(&key) {
+                if *budget > 0 {
+                    *budget -= 1;
+                    f.baselined = true;
+                    waived += 1;
+                }
+            }
+        }
+        waived
+    }
+
+    /// Number of budget entries.
+    pub fn len(&self) -> usize {
+        self.budgets.len()
+    }
+
+    /// Whether the baseline waives nothing.
+    pub fn is_empty(&self) -> bool {
+        self.budgets.is_empty()
+    }
+
+    /// Budget entries restricted to files under `prefix`.
+    pub fn entries_under(&self, prefix: &str) -> Vec<(&str, &str, &str, u64)> {
+        self.budgets
+            .iter()
+            .filter(|((_, file, _), _)| file.starts_with(prefix))
+            .map(|((rule, file, function), count)| {
+                (rule.as_str(), file.as_str(), function.as_str(), *count)
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,439 @@
+//! A small, self-contained Rust lexer.
+//!
+//! The analyzer does not need an AST: every rule it carries is a
+//! statement about token *sequences* (iteration calls, nested `.lock()`
+//! scopes, `as` casts, `unsafe` keywords) plus brace/paren nesting. What
+//! it absolutely must get right is *what is code and what is not*:
+//! string literals, raw strings, byte strings, char literals, lifetimes
+//! and (nested) comments must never leak tokens, or a rule would fire on
+//! the word `HashMap` inside a doc string. That discrimination is this
+//! module's whole job.
+//!
+//! Comments are not discarded: they come back in a side list with line
+//! spans, because two rules read them (`// SAFETY:` justifications and
+//! `// asynd-lint: allow(...)` suppressions).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unsafe`, `HashMap`, …).
+    Ident,
+    /// A lifetime (`'a`) — *not* a char literal.
+    Lifetime,
+    /// A string / raw string / byte string / char literal. The payload
+    /// is intentionally opaque: rules must never match inside it.
+    Literal,
+    /// A numeric literal (including suffixes: `4usize`, `0xA5`).
+    Number,
+    /// A single punctuation character that is not a delimiter.
+    Punct,
+    /// `{` `}` `(` `)` `[` `]`, with nesting tracked by the lexer.
+    Open(Delim),
+    /// Closing counterpart of [`TokenKind::Open`].
+    Close(Delim),
+}
+
+/// A delimiter family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    /// `{` / `}`.
+    Brace,
+    /// `(` / `)`.
+    Paren,
+    /// `[` / `]`.
+    Bracket,
+}
+
+/// One lexed token with its source position and nesting depths.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token's class.
+    pub kind: TokenKind,
+    /// The raw text (for [`TokenKind::Literal`], the opening quote run
+    /// only — rules must not see literal payloads).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (byte offset within the line).
+    pub col: u32,
+    /// Brace nesting depth *outside* this token (an `Open(Brace)` at
+    /// top level has depth 0; so does its `Close`).
+    pub brace_depth: u32,
+    /// Paren nesting depth outside this token.
+    pub paren_depth: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `text`.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A comment with its line span (block comments span several lines).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// The comment text including its `//` / `/*` introducer.
+    pub text: String,
+    /// 1-based first line.
+    pub line: u32,
+    /// 1-based last line.
+    pub end_line: u32,
+    /// Whether source code precedes the comment on its first line (a
+    /// trailing comment annotates *its own* line; a standalone comment
+    /// annotates the code below it).
+    pub trailing: bool,
+}
+
+/// The lexer's output: the token stream plus the comment side list.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source. Unterminated literals or comments are tolerated
+/// (the rest of the file is swallowed into the literal) — the analyzer
+/// must degrade, not crash, on code mid-edit.
+pub fn lex(source: &str) -> Lexed {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    /// Byte offset where the current line starts.
+    line_start: usize,
+    /// Whether a non-whitespace, non-comment byte occurred on this line.
+    code_on_line: bool,
+    brace_depth: u32,
+    paren_depth: u32,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            line_start: 0,
+            code_on_line: false,
+            brace_depth: 0,
+            paren_depth: 0,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        self.src.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let byte = self.peek(0);
+        self.pos += 1;
+        if byte == b'\n' {
+            self.line += 1;
+            self.line_start = self.pos;
+            self.code_on_line = false;
+        }
+        byte
+    }
+
+    fn col(&self) -> u32 {
+        (self.pos - self.line_start + 1) as u32
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+            brace_depth: self.brace_depth,
+            paren_depth: self.paren_depth,
+        });
+    }
+
+    fn run(mut self) -> Lexed {
+        while self.pos < self.src.len() {
+            let byte = self.peek(0);
+            match byte {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => self.string_literal(0, false),
+                b'\'' => self.quote(),
+                b'b' if self.peek(1) == b'"' => self.string_literal(1, false),
+                b'r' | b'b' if self.raw_string_ahead() => self.raw_string(),
+                _ if byte == b'_' || byte.is_ascii_alphabetic() => self.ident(),
+                _ if byte.is_ascii_digit() => self.number(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let (line, start) = (self.line, self.pos);
+        let trailing = self.code_on_line;
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.comments.push(Comment { text, line, end_line: line, trailing });
+    }
+
+    fn block_comment(&mut self) {
+        let (line, start) = (self.line, self.pos);
+        let trailing = self.code_on_line;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                self.bump();
+                self.bump();
+                depth -= 1;
+            } else {
+                self.bump();
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.comments.push(Comment { text, line, end_line: self.line, trailing });
+    }
+
+    /// `"…"` and `b"…"` with escape handling. `prefix` skips the `b`.
+    fn string_literal(&mut self, prefix: usize, raw: bool) {
+        let (line, col) = (self.line, self.col());
+        self.code_on_line = true;
+        for _ in 0..prefix {
+            self.bump();
+        }
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' if !raw => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        self.push(TokenKind::Literal, "\"".to_string(), line, col);
+    }
+
+    /// Whether `r"`, `r#`, `br"` or `br#` starts here.
+    fn raw_string_ahead(&self) -> bool {
+        let after = if self.peek(0) == b'b' { 1 } else { 0 };
+        if self.peek(after) != b'r' {
+            return false;
+        }
+        let mut i = after + 1;
+        while self.peek(i) == b'#' {
+            i += 1;
+        }
+        self.peek(i) == b'"'
+    }
+
+    /// `r#"…"#` with any number of hashes (and `br…` variants): the
+    /// closing quote must be followed by the same number of hashes.
+    fn raw_string(&mut self) {
+        let (line, col) = (self.line, self.col());
+        self.code_on_line = true;
+        if self.peek(0) == b'b' {
+            self.bump();
+        }
+        self.bump(); // r
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            self.bump();
+            hashes += 1;
+        }
+        self.bump(); // opening quote
+        'scan: while self.pos < self.src.len() {
+            if self.bump() == b'"' {
+                for i in 0..hashes {
+                    if self.peek(i) != b'#' {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokenKind::Literal, "r\"".to_string(), line, col);
+    }
+
+    /// A `'`: either a lifetime (`'a`, `'static`) or a char literal
+    /// (`'x'`, `'\n'`, `'\u{1F980}'`). The discriminator: a lifetime is
+    /// `'` + ident characters *not* followed by a closing `'`.
+    fn quote(&mut self) {
+        let (line, col) = (self.line, self.col());
+        self.code_on_line = true;
+        let next = self.peek(1);
+        if (next == b'_' || next.is_ascii_alphabetic()) && next != b'\\' {
+            // Scan the ident run after the quote.
+            let mut i = 2;
+            while self.peek(i) == b'_' || self.peek(i).is_ascii_alphanumeric() {
+                i += 1;
+            }
+            if self.peek(i) != b'\'' {
+                // Lifetime: consume quote + ident.
+                self.bump();
+                let start = self.pos;
+                while self.peek(0) == b'_' || self.peek(0).is_ascii_alphanumeric() {
+                    self.bump();
+                }
+                let name = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                self.push(TokenKind::Lifetime, name, line, col);
+                return;
+            }
+        }
+        // Char literal.
+        self.bump(); // opening quote
+        if self.peek(0) == b'\\' {
+            self.bump();
+            self.bump();
+            // `\u{…}` spans to the closing brace.
+            while self.pos < self.src.len() && self.peek(0) != b'\'' {
+                self.bump();
+            }
+        } else {
+            self.bump();
+            // Multi-byte UTF-8 scalar: skip to the closing quote.
+            while self.pos < self.src.len() && self.peek(0) != b'\'' {
+                self.bump();
+            }
+        }
+        self.bump(); // closing quote
+        self.push(TokenKind::Literal, "'".to_string(), line, col);
+    }
+
+    fn ident(&mut self) {
+        let (line, col, start) = (self.line, self.col(), self.pos);
+        self.code_on_line = true;
+        // Raw identifier prefix `r#ident`.
+        if self.peek(0) == b'r' && self.peek(1) == b'#' && self.peek(2).is_ascii_alphabetic() {
+            self.bump();
+            self.bump();
+        }
+        while self.peek(0) == b'_' || self.peek(0).is_ascii_alphanumeric() {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        let text = text.strip_prefix("r#").unwrap_or(&text).to_string();
+        self.push(TokenKind::Ident, text, line, col);
+    }
+
+    fn number(&mut self) {
+        let (line, col, start) = (self.line, self.col(), self.pos);
+        self.code_on_line = true;
+        while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+            self.bump();
+        }
+        // A fraction only if a digit follows the dot — `0..10` must stay
+        // a range, not a float.
+        if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            self.bump();
+            while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokenKind::Number, text, line, col);
+    }
+
+    fn punct(&mut self) {
+        let (line, col) = (self.line, self.col());
+        self.code_on_line = true;
+        let byte = self.bump();
+        let c = byte as char;
+        match byte {
+            b'{' => {
+                self.push(TokenKind::Open(Delim::Brace), c.to_string(), line, col);
+                self.brace_depth += 1;
+            }
+            b'}' => {
+                self.brace_depth = self.brace_depth.saturating_sub(1);
+                self.push(TokenKind::Close(Delim::Brace), c.to_string(), line, col);
+            }
+            b'(' => {
+                self.push(TokenKind::Open(Delim::Paren), c.to_string(), line, col);
+                self.paren_depth += 1;
+            }
+            b')' => {
+                self.paren_depth = self.paren_depth.saturating_sub(1);
+                self.push(TokenKind::Close(Delim::Paren), c.to_string(), line, col);
+            }
+            b'[' => self.push(TokenKind::Open(Delim::Bracket), c.to_string(), line, col),
+            b']' => self.push(TokenKind::Close(Delim::Bracket), c.to_string(), line, col),
+            _ => self.push(TokenKind::Punct, c.to_string(), line, col),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(source: &str) -> Vec<String> {
+        lex(source)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_do_not_leak_idents() {
+        let src = r#"let x = "for HashMap in .lock() unsafe"; call(x);"#;
+        let ids = idents(src);
+        assert_eq!(ids, ["let", "x", "call", "x"]);
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> =
+            lexed.tokens.iter().filter(|t| t.kind == TokenKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "a"));
+        let chars = lexed.tokens.iter().filter(|t| t.kind == TokenKind::Literal).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* outer /* inner */ still comment */ fn real() {}";
+        let ids = idents(src);
+        assert_eq!(ids, ["fn", "real"]);
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner"));
+    }
+}

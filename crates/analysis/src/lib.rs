@@ -1,0 +1,324 @@
+//! `asynd-analysis` — the workspace's determinism & concurrency-
+//! discipline static analyzer.
+//!
+//! Everything this repository claims rests on bit-identical output
+//! across thread counts, machines, and runs — and on lock-based
+//! concurrency staying disciplined as the codebase grows. The compiler
+//! checks neither: a `HashMap` iteration feeding a canonical report, a
+//! wall-clock read upstream of a fingerprint, or an inverted lock order
+//! all compile clean and fail probabilistically. This crate is the
+//! mechanical backstop: six rules over a token-level Rust lexer (no
+//! AST, no rustc internals, no external parser), run as `asynd lint`.
+//!
+//! The pipeline: [`scan_workspace`] lexes and structures every
+//! first-party source file, [`analyze`] runs the rules and applies
+//! in-source suppressions, a [`baseline::Baseline`] waives explicitly
+//! granted legacy findings, and what survives fails the build. The
+//! analyzer dogfoods itself: this crate is part of the workspace it
+//! scans, and the shipped baseline is empty.
+
+pub mod baseline;
+pub mod lexer;
+pub mod model;
+pub mod rules;
+
+pub use baseline::Baseline;
+pub use model::{scan_workspace, SourceFile};
+pub use rules::{Finding, Severity};
+
+use serde_json::{Map, Value};
+use std::collections::BTreeMap;
+
+/// The rule names, in registry order.
+pub fn rule_names() -> Vec<&'static str> {
+    rules::all_rules().iter().map(|r| r.name()).collect()
+}
+
+/// Runs every rule over `files`, applies in-source suppressions, and
+/// returns findings sorted by (file, line, col, rule). Baselines are
+/// *not* applied here — callers decide whether legacy debt is waived.
+pub fn analyze(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for rule in rules::all_rules() {
+        rule.check(files, &mut findings);
+    }
+    let by_path: BTreeMap<&str, &SourceFile> = files.iter().map(|f| (f.path.as_str(), f)).collect();
+    for finding in &mut findings {
+        if let Some(file) = by_path.get(finding.file.as_str()) {
+            if let Some(s) = file.suppressed(finding.rule, finding.line) {
+                finding.suppressed = Some(s.reason.clone());
+            }
+        }
+    }
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    findings.dedup_by(|a, b| {
+        a.file == b.file && a.line == b.line && a.col == b.col && a.rule == b.rule
+    });
+    findings
+}
+
+/// Renders findings rustc-style. Suppressed and baselined findings are
+/// summarized but not itemized unless `verbose`.
+pub fn render_text(findings: &[Finding], verbose: bool) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let waived = f.suppressed.is_some() || f.baselined;
+        if waived && !verbose {
+            continue;
+        }
+        let status = if f.suppressed.is_some() {
+            " (suppressed)"
+        } else if f.baselined {
+            " (baselined)"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "{}[{}]{}: {}\n  --> {}:{}:{} (in `{}`)\n",
+            f.severity.label(),
+            f.rule,
+            status,
+            f.message,
+            f.file,
+            f.line,
+            f.col,
+            f.function
+        ));
+        if let Some(note) = &f.note {
+            out.push_str(&format!("  note: {}\n", note));
+        }
+        if let Some(reason) = &f.suppressed {
+            out.push_str(&format!("  allowed: {}\n", reason));
+        }
+    }
+    let total = findings.len();
+    let suppressed = findings.iter().filter(|f| f.suppressed.is_some()).count();
+    let baselined = findings.iter().filter(|f| f.baselined).count();
+    let new = total - suppressed - baselined;
+    out.push_str(&format!(
+        "lint: {} finding{} ({} suppressed, {} baselined, {} new)\n",
+        total,
+        if total == 1 { "" } else { "s" },
+        suppressed,
+        baselined,
+        new
+    ));
+    out
+}
+
+/// The machine-readable findings document (what `--json` emits and
+/// `asynd validate --lints` checks).
+pub fn findings_to_json(findings: &[Finding]) -> Value {
+    let mut items = Vec::new();
+    let mut by_rule: BTreeMap<&str, u64> = BTreeMap::new();
+    for f in findings {
+        *by_rule.entry(f.rule).or_insert(0) += 1;
+        let mut item = Map::new();
+        item.insert("rule", Value::from(f.rule));
+        item.insert("severity", Value::from(f.severity.label()));
+        item.insert("file", Value::from(f.file.as_str()));
+        item.insert("line", Value::from(u64::from(f.line)));
+        item.insert("col", Value::from(u64::from(f.col)));
+        item.insert("function", Value::from(f.function.as_str()));
+        item.insert("message", Value::from(f.message.as_str()));
+        match &f.note {
+            Some(note) => item.insert("note", Value::from(note.as_str())),
+            None => item.insert("note", Value::Null),
+        };
+        match &f.suppressed {
+            Some(reason) => item.insert("suppressed", Value::from(reason.as_str())),
+            None => item.insert("suppressed", Value::Null),
+        };
+        item.insert("baselined", Value::from(f.baselined));
+        items.push(Value::from(item));
+    }
+    let total = findings.len() as u64;
+    let suppressed = findings.iter().filter(|f| f.suppressed.is_some()).count() as u64;
+    let baselined = findings.iter().filter(|f| f.baselined).count() as u64;
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error && f.suppressed.is_none() && !f.baselined)
+        .count() as u64;
+    let warnings = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Warning && f.suppressed.is_none() && !f.baselined)
+        .count() as u64;
+    let mut rule_counts = Map::new();
+    for (rule, count) in by_rule {
+        rule_counts.insert(rule, Value::from(count));
+    }
+    let mut summary = Map::new();
+    summary.insert("total", Value::from(total));
+    summary.insert("suppressed", Value::from(suppressed));
+    summary.insert("baselined", Value::from(baselined));
+    summary.insert("new", Value::from(total - suppressed - baselined));
+    summary.insert("errors", Value::from(errors));
+    summary.insert("warnings", Value::from(warnings));
+    summary.insert("by_rule", Value::from(rule_counts));
+    let mut doc = Map::new();
+    doc.insert("version", Value::from(1u64));
+    doc.insert("tool", Value::from("asynd-lint"));
+    doc.insert("rules", Value::from(rule_names().into_iter().map(Value::from).collect::<Vec<_>>()));
+    doc.insert("findings", Value::from(items));
+    doc.insert("summary", Value::from(summary));
+    Value::from(doc)
+}
+
+/// Validates a findings document: schema, rule names, ordering, and a
+/// summary that matches a recount. Returns a one-line description on
+/// success, the list of problems on failure.
+pub fn validate_lints(doc: &Value) -> Result<String, Vec<String>> {
+    let mut problems = Vec::new();
+    if doc.get("version").and_then(Value::as_u64) != Some(1) {
+        problems.push("version must be 1".to_string());
+    }
+    if doc.get("tool").and_then(Value::as_str) != Some("asynd-lint") {
+        problems.push("tool must be \"asynd-lint\"".to_string());
+    }
+    let known = rule_names();
+    match doc.get("rules").and_then(Value::as_array) {
+        Some(rules) => {
+            let listed: Vec<&str> = rules.iter().filter_map(Value::as_str).collect();
+            for rule in &known {
+                if !listed.contains(rule) {
+                    problems.push(format!("rules[] is missing `{}`", rule));
+                }
+            }
+        }
+        None => problems.push("missing rules[] array".to_string()),
+    }
+    let empty = Vec::new();
+    let findings = match doc.get("findings").and_then(Value::as_array) {
+        Some(f) => f,
+        None => {
+            problems.push("missing findings[] array".to_string());
+            &empty
+        }
+    };
+    let mut prev_key: Option<(String, u64, u64, String)> = None;
+    let (mut suppressed, mut baselined) = (0u64, 0u64);
+    for (i, item) in findings.iter().enumerate() {
+        let rule = item.get("rule").and_then(Value::as_str).unwrap_or("");
+        if !known.contains(&rule) {
+            problems.push(format!("finding {}: unknown rule `{}`", i, rule));
+        }
+        match item.get("severity").and_then(Value::as_str) {
+            Some("warning") | Some("error") => {}
+            other => problems.push(format!("finding {}: bad severity {:?}", i, other)),
+        }
+        let file = item.get("file").and_then(Value::as_str).unwrap_or("").to_string();
+        if file.is_empty() {
+            problems.push(format!("finding {}: missing file", i));
+        }
+        let line = item.get("line").and_then(Value::as_u64).unwrap_or(0);
+        let col = item.get("col").and_then(Value::as_u64).unwrap_or(0);
+        if line == 0 || col == 0 {
+            problems.push(format!("finding {}: line/col must be >= 1", i));
+        }
+        if item.get("message").and_then(Value::as_str).map(str::is_empty).unwrap_or(true) {
+            problems.push(format!("finding {}: missing message", i));
+        }
+        let key = (file, line, col, rule.to_string());
+        if let Some(prev) = &prev_key {
+            if *prev > key {
+                problems.push(format!(
+                    "finding {}: out of order (findings must sort by file,line,col,rule)",
+                    i
+                ));
+            }
+        }
+        prev_key = Some(key);
+        if item.get("suppressed").map(|v| !v.is_null()).unwrap_or(false) {
+            suppressed += 1;
+        }
+        if item.get("baselined").and_then(Value::as_bool).unwrap_or(false) {
+            baselined += 1;
+        }
+    }
+    let total = findings.len() as u64;
+    if let Some(summary) = doc.get("summary") {
+        let check = |key: &str, want: u64| -> Option<String> {
+            let got = summary.get(key).and_then(Value::as_u64);
+            (got != Some(want))
+                .then(|| format!("summary.{} is {:?}, recount says {}", key, got, want))
+        };
+        problems.extend(check("total", total));
+        problems.extend(check("suppressed", suppressed));
+        problems.extend(check("baselined", baselined));
+        problems.extend(check("new", total - suppressed - baselined));
+    } else {
+        problems.push("missing summary".to_string());
+    }
+    if problems.is_empty() {
+        Ok(format!(
+            "lints document ok: {} findings, {} suppressed, {} baselined, {} new",
+            total,
+            suppressed,
+            baselined,
+            total - suppressed - baselined
+        ))
+    } else {
+        Err(problems)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_validates() {
+        let findings = vec![Finding {
+            rule: "panic-in-hot-path",
+            severity: Severity::Error,
+            file: "crates/net/src/frame.rs".to_string(),
+            line: 10,
+            col: 5,
+            function: "decode".to_string(),
+            message: "`.unwrap()` in a hot path".to_string(),
+            note: None,
+            suppressed: None,
+            baselined: false,
+        }];
+        let doc = findings_to_json(&findings);
+        let text = serde_json::to_string_pretty(&doc).unwrap();
+        let parsed = serde_json::from_str(&text).unwrap();
+        let verdict = validate_lints(&parsed).expect("document must validate");
+        assert!(verdict.contains("1 findings"), "{}", verdict);
+    }
+
+    #[test]
+    fn validate_rejects_unsorted_and_bad_summary() {
+        let findings = vec![
+            Finding {
+                rule: "cast-truncation",
+                severity: Severity::Warning,
+                file: "b.rs".to_string(),
+                line: 1,
+                col: 1,
+                function: "f".to_string(),
+                message: "m".to_string(),
+                note: None,
+                suppressed: None,
+                baselined: false,
+            },
+            Finding {
+                rule: "cast-truncation",
+                severity: Severity::Warning,
+                file: "a.rs".to_string(),
+                line: 1,
+                col: 1,
+                function: "f".to_string(),
+                message: "m".to_string(),
+                note: None,
+                suppressed: None,
+                baselined: false,
+            },
+        ];
+        let doc = findings_to_json(&findings);
+        let errs = validate_lints(&doc).expect_err("unsorted findings must fail");
+        assert!(errs.iter().any(|e| e.contains("out of order")), "{:?}", errs);
+    }
+}

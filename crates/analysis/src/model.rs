@@ -1,0 +1,449 @@
+//! The analyzer's view of a source file and of the workspace.
+//!
+//! On top of the raw token stream this module recovers just enough
+//! structure for the rules: function boundaries (name + body token
+//! range), which functions are test code, what each function calls, and
+//! which lines carry an `// asynd-lint: allow(<rule>) -- <reason>`
+//! suppression. No types, no name resolution — rules that need
+//! reachability merge functions by name across the workspace, which is
+//! deliberately conservative.
+
+use crate::lexer::{self, Comment, Delim, Token, TokenKind};
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+/// Rust keywords that look like calls when followed by `(`.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "fn", "let",
+    "mut", "pub", "use", "mod", "struct", "enum", "impl", "trait", "where", "move", "ref", "in",
+    "as", "const", "static", "unsafe", "dyn", "crate", "super", "self", "Self", "type", "async",
+    "await", "extern",
+];
+
+/// One function (or method) with its body located in the token stream.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// The function's bare name (no path, no generics).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the body, *inside* the braces (the range
+    /// excludes the `{` and `}` tokens themselves). Empty for bodyless
+    /// trait-method declarations.
+    pub body: Range<usize>,
+    /// Names this function calls (idents followed by `(` or `!`),
+    /// deduplicated, in sorted order.
+    pub calls: Vec<String>,
+    /// Whether the function is test code: inside a `#[cfg(test)] mod`,
+    /// or directly annotated `#[test]` / `#[cfg(test)]`.
+    pub is_test: bool,
+}
+
+/// One parsed `// asynd-lint: allow(<rule>) -- <reason>` marker.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// The rule name inside `allow(...)`.
+    pub rule: String,
+    /// The source line the suppression covers: its own line for a
+    /// trailing comment, the next code line for a standalone one.
+    pub covers_line: u32,
+    /// The mandatory justification after `--`. Markers without a reason
+    /// are ignored (the finding still fires, prompting the author).
+    pub reason: String,
+}
+
+/// A lexed + structured source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// The owning crate's directory name (`server`, `net`, …); the
+    /// workspace root's own `src/` maps to `asyndrome`.
+    pub crate_name: String,
+    /// The full token stream.
+    pub tokens: Vec<Token>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+    /// Extracted functions, in source order.
+    pub functions: Vec<Function>,
+    /// Valid suppressions found in comments.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl SourceFile {
+    /// Lexes and structures `source` under the given workspace-relative
+    /// path. Public (rather than file-system-only) so rule fixture tests
+    /// can feed synthetic files through the exact production path.
+    pub fn parse(path: &str, crate_name: &str, source: &str) -> SourceFile {
+        let lexer::Lexed { tokens, comments } = lexer::lex(source);
+        let functions = extract_functions(&tokens);
+        let suppressions = extract_suppressions(&comments, &tokens);
+        SourceFile {
+            path: path.to_string(),
+            crate_name: crate_name.to_string(),
+            tokens,
+            comments,
+            functions,
+            suppressions,
+        }
+    }
+
+    /// Whether a finding on `line` is suppressed for `rule`.
+    pub fn suppressed(&self, rule: &str, line: u32) -> Option<&Suppression> {
+        self.suppressions.iter().find(|s| s.rule == rule && s.covers_line == line)
+    }
+
+    /// The innermost function whose body contains token index `idx`.
+    pub fn enclosing_function(&self, idx: usize) -> Option<&Function> {
+        self.functions
+            .iter()
+            .filter(|f| f.body.contains(&idx))
+            .min_by_key(|f| f.body.end - f.body.start)
+    }
+}
+
+/// Finds the token index of the `}` matching the `{` at `open`.
+pub fn matching_close(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, tok) in tokens.iter().enumerate().skip(open) {
+        match tok.kind {
+            TokenKind::Open(Delim::Brace) => depth += 1,
+            TokenKind::Close(Delim::Brace) => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len()
+}
+
+/// Token-index ranges (inside braces) of `#[cfg(test)] mod` bodies.
+fn test_mod_regions(tokens: &[Token]) -> Vec<Range<usize>> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            // Skip past this attribute (and any further ones) to the item.
+            let mut j = skip_attr(tokens, i);
+            while tokens.get(j).map(|t| t.is_punct('#')).unwrap_or(false) {
+                j = skip_attr(tokens, j);
+            }
+            if tokens.get(j).map(|t| t.is_ident("mod")).unwrap_or(false) {
+                // `mod name {` — find the open brace.
+                let mut k = j;
+                while k < tokens.len() && tokens[k].kind != TokenKind::Open(Delim::Brace) {
+                    if tokens[k].is_punct(';') {
+                        break; // out-of-line `mod name;`
+                    }
+                    k += 1;
+                }
+                if k < tokens.len() && tokens[k].kind == TokenKind::Open(Delim::Brace) {
+                    regions.push(k + 1..matching_close(tokens, k));
+                }
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    regions
+}
+
+/// Whether `#[cfg(test)]` or `#[cfg(all(test, …))]` starts at `i`.
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    if !tokens[i].is_punct('#') {
+        return false;
+    }
+    let inner = &tokens[i + 1..];
+    if inner.first().map(|t| t.kind) != Some(TokenKind::Open(Delim::Bracket)) {
+        return false;
+    }
+    if !inner.get(1).map(|t| t.is_ident("cfg")).unwrap_or(false) {
+        return false;
+    }
+    // Any `test` ident inside the attribute's parens qualifies.
+    inner.iter().take(12).any(|t| t.is_ident("test"))
+}
+
+/// Whether `#[test]` (or `#[tokio::test]`-style) starts at `i`.
+fn is_test_attr(tokens: &[Token], i: usize) -> bool {
+    if !tokens[i].is_punct('#') {
+        return false;
+    }
+    let inner = &tokens[i + 1..];
+    inner.first().map(|t| t.kind) == Some(TokenKind::Open(Delim::Bracket))
+        && inner.iter().take(6).any(|t| t.is_ident("test"))
+}
+
+/// Returns the token index just past the attribute starting at `i`
+/// (which must be a `#`).
+fn skip_attr(tokens: &[Token], i: usize) -> usize {
+    let mut j = i + 1;
+    if tokens.get(j).map(|t| t.kind) == Some(TokenKind::Open(Delim::Bracket)) {
+        let mut depth = 0usize;
+        while j < tokens.len() {
+            match tokens[j].kind {
+                TokenKind::Open(Delim::Bracket) => depth += 1,
+                TokenKind::Close(Delim::Bracket) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    j
+}
+
+fn extract_functions(tokens: &[Token]) -> Vec<Function> {
+    let test_regions = test_mod_regions(tokens);
+    let mut functions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        // `fn` must introduce a named item — a following ident. `fn`
+        // pointer types (`fn(u32) -> u32`) have `(` next instead.
+        let Some(name_tok) = tokens.get(i + 1) else { break };
+        if name_tok.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = name_tok.text.clone();
+        let line = tokens[i].line;
+
+        // Was this fn annotated `#[test]` / `#[cfg(test)]`? Walk
+        // backwards over qualifiers and contiguous attributes.
+        let mut attr_test = false;
+        let mut back = i;
+        while back > 0 {
+            let prev = &tokens[back - 1];
+            if prev.kind == TokenKind::Ident
+                && matches!(prev.text.as_str(), "pub" | "unsafe" | "const" | "async" | "extern")
+            {
+                back -= 1;
+                continue;
+            }
+            if prev.kind == TokenKind::Close(Delim::Bracket) {
+                // Find the attribute's `#` by walking to the matching `[`.
+                let mut depth = 0usize;
+                let mut k = back - 1;
+                loop {
+                    match tokens[k].kind {
+                        TokenKind::Close(Delim::Bracket) => depth += 1,
+                        TokenKind::Open(Delim::Bracket) => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if k == 0 {
+                        break;
+                    }
+                    k -= 1;
+                }
+                if k > 0 && tokens[k - 1].is_punct('#') {
+                    if is_test_attr(tokens, k - 1) || is_cfg_test_attr(tokens, k - 1) {
+                        attr_test = true;
+                    }
+                    back = k - 1;
+                    continue;
+                }
+            }
+            break;
+        }
+
+        // Find the body `{`, stopping at `;` (trait declaration). The
+        // signature cannot contain braces, so the first `{` is the body.
+        let mut j = i + 2;
+        let mut body = 0..0;
+        while j < tokens.len() {
+            match tokens[j].kind {
+                TokenKind::Open(Delim::Brace) => {
+                    body = j + 1..matching_close(tokens, j);
+                    break;
+                }
+                TokenKind::Punct if tokens[j].is_punct(';') && tokens[j].paren_depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+
+        let in_test_mod = test_regions.iter().any(|r| r.contains(&i));
+        let mut calls = BTreeSet::new();
+        let mut k = body.start;
+        while k < body.end {
+            let tok = &tokens[k];
+            if tok.kind == TokenKind::Ident && !KEYWORDS.contains(&tok.text.as_str()) {
+                if let Some(next) = tokens.get(k + 1) {
+                    if next.kind == TokenKind::Open(Delim::Paren) || next.is_punct('!') {
+                        calls.insert(tok.text.clone());
+                    }
+                }
+            }
+            k += 1;
+        }
+
+        functions.push(Function {
+            name,
+            line,
+            body: body.clone(),
+            calls: calls.into_iter().collect(),
+            is_test: in_test_mod || attr_test,
+        });
+        // Nested fns are extracted on their own pass — continue from the
+        // name, not past the body, so inner `fn` keywords are seen.
+        i += 2;
+    }
+    functions
+}
+
+fn extract_suppressions(comments: &[Comment], tokens: &[Token]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for comment in comments {
+        let Some(at) = comment.text.find("asynd-lint:") else { continue };
+        let rest = &comment.text[at + "asynd-lint:".len()..];
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else { continue };
+        let Some(close) = rest.find(')') else { continue };
+        let rule = rest[..close].trim().to_string();
+        if rule.is_empty() {
+            continue;
+        }
+        // The reason after `--` is mandatory; a bare marker is inert.
+        let tail = &rest[close + 1..];
+        let Some(dash) = tail.find("--") else { continue };
+        let reason = tail[dash + 2..].trim().to_string();
+        if reason.is_empty() {
+            continue;
+        }
+        let covers_line = if comment.trailing {
+            comment.line
+        } else {
+            // Standalone: the first code line below the comment.
+            tokens
+                .iter()
+                .map(|t| t.line)
+                .find(|&l| l > comment.end_line)
+                .unwrap_or(comment.end_line)
+        };
+        out.push(Suppression { rule, covers_line, reason });
+    }
+    out
+}
+
+/// Scans the workspace's first-party source trees: `src/**` at the root
+/// plus `crates/*/src/**`, in sorted order. `third_party/`, `target/`
+/// and test/fixture trees are never scanned — the rules reason about
+/// shipped code, and fixtures *intentionally* contain violations.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    let mut roots: Vec<(String, PathBuf)> = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        roots.push(("asyndrome".to_string(), root_src));
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let src = dir.join("src");
+            if src.is_dir() {
+                let name =
+                    dir.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+                roots.push((name, src));
+            }
+        }
+    }
+    for (crate_name, src_root) in roots {
+        let mut paths = Vec::new();
+        collect_rs(&src_root, &mut paths)?;
+        paths.sort();
+        for path in paths {
+            let source = fs::read_to_string(&path)?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace(std::path::MAIN_SEPARATOR, "/");
+            files.push(SourceFile::parse(&rel, &crate_name, &source));
+        }
+    }
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functions_and_test_regions() {
+        let src = r#"
+            pub fn ship(x: u32) -> u32 { helper(x) }
+            fn helper(x: u32) -> u32 { x + 1 }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn covered() { super::ship(1); }
+            }
+        "#;
+        let file = SourceFile::parse("lib.rs", "demo", src);
+        let names: Vec<_> = file.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["ship", "helper", "covered"]);
+        assert!(!file.functions[0].is_test);
+        assert!(file.functions[2].is_test);
+        assert_eq!(file.functions[0].calls, ["helper"]);
+    }
+
+    #[test]
+    fn test_attr_without_mod() {
+        let src = "#[test]\nfn standalone() { target(); }\nfn normal() {}";
+        let file = SourceFile::parse("lib.rs", "demo", src);
+        assert!(file.functions[0].is_test);
+        assert!(!file.functions[1].is_test);
+    }
+
+    #[test]
+    fn suppressions_trailing_and_standalone() {
+        let src = "\
+let a = m.lock(); // asynd-lint: allow(lock-order) -- held briefly\n\
+// asynd-lint: allow(panic-in-hot-path) -- startup only\n\
+let b = q.lock();\n\
+// asynd-lint: allow(cast-truncation)\n\
+let c = x as u8;\n";
+        let file = SourceFile::parse("lib.rs", "demo", src);
+        assert_eq!(file.suppressions.len(), 2, "reasonless marker must be inert");
+        assert!(file.suppressed("lock-order", 1).is_some());
+        assert!(file.suppressed("panic-in-hot-path", 3).is_some());
+        assert!(file.suppressed("cast-truncation", 5).is_none());
+    }
+}

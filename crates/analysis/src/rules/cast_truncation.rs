@@ -1,0 +1,77 @@
+//! Rule 6 — `cast-truncation`.
+//!
+//! The frame codec serializes payload lengths into a `len u32` field;
+//! an unchecked `payload.len() as u32` silently wraps past 4 GiB and
+//! produces a frame whose declared length disagrees with its body —
+//! corrupting the stream for every later frame. The rule flags `as
+//! u32`/`as u16`/`as u8` casts whose source expression mentions a
+//! length (`len`, `*_len`, `length` within a small lookback window).
+//! Severity is warning: many such casts are locally bounds-checked in
+//! ways tokens cannot see, but each deserves either a `try_from` or a
+//! suppression stating the bound.
+
+use super::{function_at, in_nontest_function, Finding, Rule, Severity};
+use crate::lexer::TokenKind;
+use crate::model::SourceFile;
+
+/// How many tokens before the `as` to scan for a length mention.
+const LOOKBACK: usize = 6;
+
+pub struct CastTruncation;
+
+impl Rule for CastTruncation {
+    fn name(&self) -> &'static str {
+        "cast-truncation"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+
+    fn check(&self, files: &[SourceFile], out: &mut Vec<Finding>) {
+        for file in files {
+            let toks = &file.tokens;
+            for i in 0..toks.len() {
+                if !toks[i].is_ident("as") {
+                    continue;
+                }
+                let Some(target) = toks.get(i + 1) else { continue };
+                if !(target.is_ident("u8") || target.is_ident("u16") || target.is_ident("u32")) {
+                    continue;
+                }
+                if !in_nontest_function(file, i) {
+                    continue;
+                }
+                let window = &toks[i.saturating_sub(LOOKBACK)..i];
+                let length_like = window.iter().any(|t| {
+                    t.kind == TokenKind::Ident
+                        && (t.text == "len"
+                            || t.text == "length"
+                            || t.text.ends_with("_len")
+                            || t.text.ends_with("_length"))
+                });
+                if !length_like {
+                    continue;
+                }
+                out.push(Finding {
+                    rule: self.name(),
+                    severity: self.severity(),
+                    file: file.path.clone(),
+                    line: toks[i].line,
+                    col: toks[i].col,
+                    function: function_at(file, i),
+                    message: format!(
+                        "unchecked `as {}` on a length expression can truncate silently",
+                        target.text
+                    ),
+                    note: Some(
+                        "use `u32::try_from(..)` (or check against the codec's max) so oversized lengths fail loudly"
+                            .to_string(),
+                    ),
+                    suppressed: None,
+                    baselined: false,
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Rule 3 — `lock-order`.
+//!
+//! Deadlock freedom with plain mutexes is a *global* property: every
+//! thread must acquire any pair of locks in the same order. The rule
+//! recovers nested acquisitions from token streams: each `.lock()` call
+//! opens a guard whose lifetime follows Rust's temporary rules —
+//! statement-scoped when the call is a bare expression statement,
+//! block-scoped when bound by `let`/`if`/`while`/`match` — and any
+//! second `.lock()` inside that scope records an ordered pair
+//! (first-receiver, second-receiver). Pairs aggregate per crate into a
+//! digraph; the rule flags (a) pairs acquired in both orders at
+//! different sites and (b) longer cycles. Receivers are merged by their
+//! source chain (`self.slots`, `POOL`, `shards[_]`), so two sites
+//! naming the same chain are assumed to name the same lock — and two
+//! indexes into one array are indistinguishable, which is why
+//! same-chain nesting is not flagged (index-ordered array locking is a
+//! legitimate discipline the token level cannot check).
+
+use super::{function_at, in_nontest_function, receiver_chain, Finding, Rule, Severity};
+use crate::lexer::{Delim, Token, TokenKind};
+use crate::model::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct LockOrder;
+
+/// One `.lock()` acquisition site.
+struct Acquisition {
+    /// Merged receiver chain naming the lock.
+    name: String,
+    /// Index of the `.` token.
+    dot: usize,
+    /// Token index where the guard's scope ends (exclusive).
+    scope_end: usize,
+    line: u32,
+    col: u32,
+}
+
+/// One nested-acquisition site: (file, line, col, function).
+type EdgeSite = (String, u32, u32, String);
+
+impl Rule for LockOrder {
+    fn name(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn check(&self, files: &[SourceFile], out: &mut Vec<Finding>) {
+        // Group file indices by crate: the acquisition graph is per
+        // crate (locks do not cross crate boundaries by name).
+        let mut crates: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (idx, file) in files.iter().enumerate() {
+            crates.entry(&file.crate_name).or_default().push(idx);
+        }
+        for (_crate_name, file_idxs) in crates {
+            // (first, second) -> nested-acquisition sites.
+            let mut edges: BTreeMap<(String, String), Vec<EdgeSite>> = BTreeMap::new();
+            for &fi in &file_idxs {
+                let file = &files[fi];
+                let acquisitions = find_acquisitions(file);
+                for (a_idx, a) in acquisitions.iter().enumerate() {
+                    for b in &acquisitions[a_idx + 1..] {
+                        if b.dot >= a.scope_end {
+                            break;
+                        }
+                        if a.name == b.name {
+                            continue;
+                        }
+                        edges.entry((a.name.clone(), b.name.clone())).or_default().push((
+                            file.path.clone(),
+                            b.line,
+                            b.col,
+                            function_at(file, b.dot),
+                        ));
+                    }
+                }
+            }
+
+            // (a) Inconsistent pair orderings: both (A,B) and (B,A)
+            // seen. Flag every site of the minority direction (tie:
+            // the lexicographically larger first-lock loses).
+            let mut flagged_pairs: BTreeSet<(String, String)> = BTreeSet::new();
+            for ((a, b), sites) in &edges {
+                if a >= b {
+                    continue; // visit each unordered pair once, from (min,max)
+                }
+                let Some(rev_sites) = edges.get(&(b.clone(), a.clone())) else { continue };
+                let (loser, loser_sites, witness) = if rev_sites.len() < sites.len() {
+                    ((b.clone(), a.clone()), rev_sites, &sites[0])
+                } else {
+                    ((a.clone(), b.clone()), sites, &rev_sites[0])
+                };
+                flagged_pairs.insert((a.clone(), b.clone()));
+                for (file, line, col, function) in loser_sites {
+                    out.push(Finding {
+                        rule: self.name(),
+                        severity: self.severity(),
+                        file: file.clone(),
+                        line: *line,
+                        col: *col,
+                        function: function.clone(),
+                        message: format!(
+                            "locks `{}` then `{}` — the opposite of the order used elsewhere in this crate",
+                            loser.0, loser.1
+                        ),
+                        note: Some(format!(
+                            "conflicting order at {}:{} (in `{}`); pick one order for this pair crate-wide",
+                            witness.0, witness.1, witness.3
+                        )),
+                        suppressed: None,
+                        baselined: false,
+                    });
+                }
+            }
+
+            // (b) Longer cycles in the acquisition digraph.
+            let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+            for (a, b) in edges.keys() {
+                adj.entry(a.as_str()).or_default().insert(b.as_str());
+            }
+            for cycle in find_cycles(&adj) {
+                if cycle.len() == 2 {
+                    let pair = (
+                        cycle[0].clone().min(cycle[1].clone()),
+                        cycle[0].clone().max(cycle[1].clone()),
+                    );
+                    if flagged_pairs.contains(&pair) {
+                        continue; // already reported as an inconsistent pair
+                    }
+                }
+                let first_edge = (cycle[0].clone(), cycle[1 % cycle.len()].clone());
+                let Some(sites) = edges.get(&first_edge) else { continue };
+                let (file, line, col, function) = &sites[0];
+                let mut path = cycle.join(" -> ");
+                path.push_str(" -> ");
+                path.push_str(&cycle[0]);
+                out.push(Finding {
+                    rule: self.name(),
+                    severity: self.severity(),
+                    file: file.clone(),
+                    line: *line,
+                    col: *col,
+                    function: function.clone(),
+                    message: format!("lock acquisition cycle: {}", path),
+                    note: Some(
+                        "a cycle in the acquisition graph means two threads can deadlock; break it by reordering or narrowing a guard scope"
+                            .to_string(),
+                    ),
+                    suppressed: None,
+                    baselined: false,
+                });
+            }
+        }
+    }
+}
+
+/// Finds `.lock()` sites in non-test code with their guard scopes.
+fn find_acquisitions(file: &SourceFile) -> Vec<Acquisition> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_punct('.') {
+            continue;
+        }
+        if !toks.get(i + 1).map(|t| t.is_ident("lock")).unwrap_or(false)
+            || toks.get(i + 2).map(|t| t.kind) != Some(TokenKind::Open(Delim::Paren))
+        {
+            continue;
+        }
+        if !in_nontest_function(file, i) {
+            continue;
+        }
+        let name = receiver_chain(toks, i);
+        if name.is_empty() {
+            continue;
+        }
+        out.push(Acquisition {
+            name,
+            dot: i,
+            scope_end: guard_scope_end(toks, i),
+            line: toks[i + 1].line,
+            col: toks[i + 1].col,
+        });
+    }
+    out
+}
+
+/// Where the guard born at the `.lock()` at `dot` dies (token index,
+/// exclusive). A statement opened by `let`/`if`/`while`/`match`/`for`
+/// binds the guard into the surrounding block; a bare expression
+/// statement drops its temporaries at the `;`.
+fn guard_scope_end(toks: &[Token], dot: usize) -> usize {
+    let depth = toks[dot].brace_depth;
+    // Find the statement keyword: walk back to the statement start —
+    // just past the previous `;` at this depth or the enclosing `{`.
+    let mut start = dot;
+    while start > 0 {
+        let prev = &toks[start - 1];
+        if prev.brace_depth < depth {
+            break; // enclosing `{` (its depth is recorded outside)
+        }
+        if (prev.is_punct(';') || prev.kind == TokenKind::Close(Delim::Brace))
+            && prev.brace_depth == depth
+        {
+            break;
+        }
+        start -= 1;
+    }
+    let binding = toks
+        .get(start)
+        .map(|t| {
+            t.kind == TokenKind::Ident
+                && matches!(t.text.as_str(), "let" | "if" | "while" | "match" | "for")
+        })
+        .unwrap_or(false);
+    if binding {
+        // Block-scoped: to the `}` that closes the current block.
+        for (j, tok) in toks.iter().enumerate().skip(dot) {
+            if tok.kind == TokenKind::Close(Delim::Brace) && tok.brace_depth < depth {
+                return j;
+            }
+        }
+        toks.len()
+    } else {
+        // Statement-scoped: to the next `;` at this depth (or the block
+        // end if the statement is the block's tail expression).
+        for (j, tok) in toks.iter().enumerate().skip(dot) {
+            if tok.is_punct(';') && tok.brace_depth == depth {
+                return j + 1;
+            }
+            if tok.kind == TokenKind::Close(Delim::Brace) && tok.brace_depth < depth {
+                return j;
+            }
+        }
+        toks.len()
+    }
+}
+
+/// Enumerates simple cycles in a small digraph, each rotated so its
+/// lexicographically-smallest node comes first, deduplicated, in
+/// deterministic order.
+fn find_cycles<'a>(adj: &BTreeMap<&'a str, BTreeSet<&'a str>>) -> Vec<Vec<String>> {
+    let mut cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    for &root in adj.keys() {
+        // DFS from each root; only record cycles that return to it.
+        let mut stack: Vec<(&str, Vec<&str>)> = vec![(root, vec![root])];
+        let mut steps = 0usize;
+        while let Some((node, path)) = stack.pop() {
+            steps += 1;
+            if steps > 10_000 {
+                break; // degenerate graph; findings elsewhere will surface it
+            }
+            let Some(nexts) = adj.get(node) else { continue };
+            for &next in nexts {
+                if next == root && path.len() >= 2 {
+                    let mut cycle: Vec<String> = path.iter().map(|s| s.to_string()).collect();
+                    // Rotate the smallest node to the front.
+                    let min_pos = cycle
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| a.1.cmp(b.1))
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    cycle.rotate_left(min_pos);
+                    cycles.insert(cycle);
+                } else if !path.contains(&next) {
+                    let mut next_path = path.clone();
+                    next_path.push(next);
+                    stack.push((next, next_path));
+                }
+            }
+        }
+    }
+    cycles.into_iter().collect()
+}

@@ -1,0 +1,350 @@
+//! The rule registry and the analyses the rules share.
+//!
+//! Each rule lives in its own module and implements [`Rule`]: it walks
+//! the structured token streams and pushes [`Finding`]s. Rules never see
+//! suppressions or baselines — those are applied by the driver in
+//! `lib.rs`, so a rule module stays a pure detector.
+
+pub mod cast_truncation;
+pub mod lock_order;
+pub mod nondet_iteration;
+pub mod panic_path;
+pub mod unsafe_safety;
+pub mod wall_clock;
+
+use crate::lexer::{Delim, Token, TokenKind};
+use crate::model::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How bad a finding is. The exit policy does not distinguish — any
+/// unsuppressed, non-baselined finding fails the lint run — but the
+/// rendering and JSON do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Suspicious; worth a look.
+    Warning,
+    /// A determinism or concurrency-discipline violation.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase label used in diagnostics and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The rule's kebab-case name.
+    pub rule: &'static str,
+    /// The rule's severity.
+    pub severity: Severity,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// The enclosing function's name, or `<file>` outside any function.
+    pub function: String,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// Optional `note:` line with extra context (the other lock site,
+    /// the canonical root that makes a path hot, …).
+    pub note: Option<String>,
+    /// The suppression reason, if an `asynd-lint: allow` covers this
+    /// finding. Filled in by the driver, never by rules.
+    pub suppressed: Option<String>,
+    /// Whether a baseline budget waives this finding. Filled in by the
+    /// driver, never by rules.
+    pub baselined: bool,
+}
+
+/// A detector over the whole workspace.
+pub trait Rule {
+    /// The rule's kebab-case name (used in `allow(...)` and baselines).
+    fn name(&self) -> &'static str;
+    /// The rule's severity.
+    fn severity(&self) -> Severity;
+    /// Scans `files` and appends findings.
+    fn check(&self, files: &[SourceFile], out: &mut Vec<Finding>);
+}
+
+/// All rules, in a fixed order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(nondet_iteration::NondetIteration),
+        Box::new(wall_clock::WallClockInCanonical),
+        Box::new(lock_order::LockOrder),
+        Box::new(unsafe_safety::UnsafeWithoutSafety),
+        Box::new(panic_path::PanicInHotPath),
+        Box::new(cast_truncation::CastTruncation),
+    ]
+}
+
+/// Names that are too generic to traverse through when computing call
+/// closures: `new`, `len`, `get`, … are defined by half the workspace
+/// and by the standard library, so following them merges unrelated call
+/// graphs into one giant blob. Calls *to* them are ignored.
+const OPAQUE_NAMES: &[&str] = &[
+    // Container / conversion vocabulary.
+    "new",
+    "default",
+    "clone",
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "fmt",
+    "drop",
+    "next",
+    "iter",
+    "write",
+    "read",
+    "from",
+    "into",
+    "to_string",
+    "clear",
+    "contains",
+    "contains_key",
+    "extend",
+    "as_str",
+    "as_bytes",
+    "unwrap",
+    "expect",
+    "ok",
+    "err",
+    "map",
+    "and_then",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "lock",
+    "send",
+    "recv",
+    // Generic single-verb names: a dozen unrelated `run`/`parse`/`start`
+    // functions exist across the workspace, and merging them would wire
+    // every call graph into one blob (a `parse` inside a canonical root
+    // must not drag in the CLI's `parse`, the lexer's, and the frame
+    // decoder's at once).
+    "parse",
+    "run",
+    "start",
+    "stop",
+    "spawn",
+    "join",
+    "poll",
+    "wait",
+    "init",
+    "open",
+    "close",
+    "load",
+    "save",
+    "reset",
+    "update",
+    "apply",
+    "process",
+    "handle",
+    "flush",
+    "step",
+    "tick",
+    "build",
+    "lex",
+    "call",
+    "execute",
+    "main",
+];
+
+/// Computes the set of function names reachable from root functions via
+/// the (name-merged, test-free) workspace call graph. `is_root` selects
+/// the roots by name. The result contains the roots themselves.
+pub fn closure_from_roots(
+    files: &[SourceFile],
+    is_root: &dyn Fn(&str) -> bool,
+) -> BTreeSet<String> {
+    let mut calls_by_name: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for file in files {
+        for func in file.functions.iter().filter(|f| !f.is_test) {
+            let entry = calls_by_name.entry(func.name.as_str()).or_default();
+            for call in &func.calls {
+                if !OPAQUE_NAMES.contains(&call.as_str()) {
+                    entry.insert(call.as_str());
+                }
+            }
+        }
+    }
+    let mut reached: BTreeSet<String> = BTreeSet::new();
+    let mut frontier: Vec<&str> =
+        calls_by_name.keys().copied().filter(|name| is_root(name)).collect();
+    while let Some(name) = frontier.pop() {
+        if !reached.insert(name.to_string()) {
+            continue;
+        }
+        if let Some(callees) = calls_by_name.get(name) {
+            for callee in callees {
+                if !reached.contains(*callee) {
+                    frontier.push(callee);
+                }
+            }
+        }
+    }
+    reached
+}
+
+/// Collects, per crate, the binding/field names declared with a
+/// `HashMap`/`HashSet` type or initialized from `HashMap::new()` /
+/// `HashSet::new()`. This is the nondet-iteration rule's stand-in for
+/// type inference: a name is "hash-typed" if any declaration in the
+/// crate says so.
+pub fn hash_bindings_by_crate(files: &[SourceFile]) -> BTreeMap<String, BTreeSet<String>> {
+    let mut out: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for file in files {
+        let set = out.entry(file.crate_name.clone()).or_default();
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if !(toks[i].is_ident("HashMap") || toks[i].is_ident("HashSet")) {
+                continue;
+            }
+            // `let [mut] name = HashMap::new()` — the name sits just
+            // before the `=`.
+            if i >= 2 && toks[i - 1].is_punct('=') && toks[i - 2].kind == TokenKind::Ident {
+                set.insert(toks[i - 2].text.clone());
+                continue;
+            }
+            // `name: [&..] [path::]HashMap<..>` — a field, parameter or
+            // annotated let. Walk back over the path prefix, then over
+            // `&`, `mut` and lifetimes, to the `name :`.
+            let mut k = i;
+            while k >= 3
+                && toks[k - 1].is_punct(':')
+                && toks[k - 2].is_punct(':')
+                && toks[k - 3].kind == TokenKind::Ident
+            {
+                k -= 3; // path segment `seg ::`
+            }
+            let mut j = k;
+            while j >= 1 {
+                let prev = &toks[j - 1];
+                if prev.is_punct('&') || prev.is_ident("mut") || prev.kind == TokenKind::Lifetime {
+                    j -= 1;
+                } else {
+                    break;
+                }
+            }
+            if j >= 2 && toks[j - 1].is_punct(':') && toks[j - 2].kind == TokenKind::Ident {
+                let name = &toks[j - 2];
+                if !name.is_ident("mut") {
+                    set.insert(name.text.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Walks backwards from the `.` of a method call at `dot` and renders
+/// the receiver chain (`self.inner`, `GLOBAL`, `self.shards[_]`). Index
+/// expressions collapse to `[_]` — two different indexes into the same
+/// field are indistinguishable, which matters for lock-order.
+pub fn receiver_chain(tokens: &[Token], dot: usize) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut k = dot; // index of the `.`
+    loop {
+        if k == 0 {
+            break;
+        }
+        let prev = &tokens[k - 1];
+        match prev.kind {
+            TokenKind::Ident => {
+                parts.push(prev.text.clone());
+                k -= 1;
+                // A further `name.` or `name::` continues the chain.
+                if k >= 1 && tokens[k - 1].is_punct('.') {
+                    k -= 1;
+                    continue;
+                }
+                if k >= 2 && tokens[k - 1].is_punct(':') && tokens[k - 2].is_punct(':') {
+                    k -= 2;
+                    continue;
+                }
+                break;
+            }
+            TokenKind::Close(Delim::Bracket) => {
+                // Skip the `[...]` and keep walking the chain.
+                let mut depth = 0usize;
+                while k >= 1 {
+                    match tokens[k - 1].kind {
+                        TokenKind::Close(Delim::Bracket) => depth += 1,
+                        TokenKind::Open(Delim::Bracket) => {
+                            depth -= 1;
+                            if depth == 0 {
+                                k -= 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k -= 1;
+                }
+                parts.push("[_]".to_string());
+                continue;
+            }
+            TokenKind::Close(Delim::Paren) => {
+                // A call result receiver (`make().lock()`): skip the
+                // parens and take the callee name.
+                let mut depth = 0usize;
+                while k >= 1 {
+                    match tokens[k - 1].kind {
+                        TokenKind::Close(Delim::Paren) => depth += 1,
+                        TokenKind::Open(Delim::Paren) => {
+                            depth -= 1;
+                            if depth == 0 {
+                                k -= 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k -= 1;
+                }
+                parts.push("()".to_string());
+                continue;
+            }
+            _ => break,
+        }
+    }
+    parts.reverse();
+    let mut name = String::new();
+    for part in parts {
+        if part == "[_]" || part == "()" {
+            name.push_str(&part);
+        } else {
+            if !name.is_empty() {
+                name.push('.');
+            }
+            name.push_str(&part);
+        }
+    }
+    name
+}
+
+/// The function name for a finding at token `idx`, or `<file>`.
+pub fn function_at(file: &SourceFile, idx: usize) -> String {
+    file.enclosing_function(idx).map(|f| f.name.clone()).unwrap_or_else(|| "<file>".to_string())
+}
+
+/// Whether token `idx` lies inside any non-test function body. Tokens
+/// in test functions (or outside functions entirely, for rules that
+/// only reason about executable code) are skipped by most rules.
+pub fn in_nontest_function(file: &SourceFile, idx: usize) -> bool {
+    file.enclosing_function(idx).map(|f| !f.is_test).unwrap_or(false)
+}

@@ -1,0 +1,209 @@
+//! Rule 1 — `nondet-iteration`.
+//!
+//! `HashMap`/`HashSet` iteration order varies run to run (and with the
+//! hasher's random seed), so iterating one inside any function that
+//! feeds serialized or canonical output — report assembly, fingerprint
+//! computation, JSON/artifact writers — silently breaks bit-identical
+//! determinism. The rule computes the call closure of canonical-output
+//! roots (by name pattern) and flags hash-typed iteration inside it,
+//! unless the surrounding code visibly imposes an order afterwards
+//! (a `sort*` call later in the function, or collecting straight into a
+//! `BTreeMap`/`BTreeSet`).
+
+use super::{
+    closure_from_roots, function_at, hash_bindings_by_crate, receiver_chain, Finding, Rule,
+    Severity,
+};
+use crate::lexer::{Delim, TokenKind};
+use crate::model::SourceFile;
+
+/// Method names that enumerate a collection in storage order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Whether a function name marks a canonical/serialized-output root.
+pub fn is_canonical_root(name: &str) -> bool {
+    name == "key"
+        || name == "to_hex"
+        || name.contains("to_json")
+        || name.contains("fingerprint")
+        || name.contains("canonical")
+        || name.starts_with("render")
+        || name.starts_with("snapshot")
+        || name.starts_with("export")
+        || name.starts_with("assemble")
+        || name.starts_with("serialize")
+}
+
+pub struct NondetIteration;
+
+impl Rule for NondetIteration {
+    fn name(&self) -> &'static str {
+        "nondet-iteration"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn check(&self, files: &[SourceFile], out: &mut Vec<Finding>) {
+        let closure = closure_from_roots(files, &is_canonical_root);
+        let hash_bindings = hash_bindings_by_crate(files);
+        for file in files {
+            let Some(bindings) = hash_bindings.get(&file.crate_name) else { continue };
+            if bindings.is_empty() {
+                continue;
+            }
+            let toks = &file.tokens;
+            for func in file.functions.iter().filter(|f| !f.is_test) {
+                if !closure.contains(&func.name) {
+                    continue;
+                }
+                for i in func.body.clone() {
+                    // `for pat in &recv { … }` — iterating the map itself.
+                    if toks[i].kind == TokenKind::Ident
+                        && bindings.contains(&toks[i].text)
+                        && inside_for_header(toks, i, func.body.start)
+                        && chain_ends_at_loop_body(toks, i)
+                        && !order_imposed_after(toks, i, func.body.end)
+                    {
+                        out.push(Finding {
+                            rule: self.name(),
+                            severity: self.severity(),
+                            file: file.path.clone(),
+                            line: toks[i].line,
+                            col: toks[i].col,
+                            function: function_at(file, i),
+                            message: format!(
+                                "`for` iteration over hash-ordered `{}` inside `{}`, which feeds canonical/serialized output",
+                                toks[i].text, func.name
+                            ),
+                            note: Some(
+                                "hash iteration order is nondeterministic; collect into a BTreeMap/Vec+sort or change the field type"
+                                    .to_string(),
+                            ),
+                            suppressed: None,
+                            baselined: false,
+                        });
+                        continue;
+                    }
+                    // `recv.iter()` / `recv.keys()` / …
+                    if !toks[i].is_punct('.') {
+                        continue;
+                    }
+                    let Some(method) = toks.get(i + 1) else { continue };
+                    if method.kind != TokenKind::Ident
+                        || !ITER_METHODS.contains(&method.text.as_str())
+                        || toks.get(i + 2).map(|t| t.kind) != Some(TokenKind::Open(Delim::Paren))
+                    {
+                        continue;
+                    }
+                    let chain = receiver_chain(toks, i);
+                    let leaf = chain.rsplit('.').next().unwrap_or(&chain);
+                    let leaf = leaf.trim_end_matches("[_]");
+                    if leaf.is_empty() || !bindings.contains(leaf) {
+                        continue;
+                    }
+                    if order_imposed_after(toks, i, func.body.end) {
+                        continue;
+                    }
+                    out.push(Finding {
+                        rule: self.name(),
+                        severity: self.severity(),
+                        file: file.path.clone(),
+                        line: toks[i + 1].line,
+                        col: toks[i + 1].col,
+                        function: function_at(file, i),
+                        message: format!(
+                            "iteration over hash-ordered `{}` inside `{}`, which feeds canonical/serialized output",
+                            chain, func.name
+                        ),
+                        note: Some(
+                            "hash iteration order is nondeterministic; collect into a BTreeMap/Vec+sort or change the field type"
+                                .to_string(),
+                        ),
+                        suppressed: None,
+                        baselined: false,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Whether token `i` sits in a `for … in <expr>` header: a `for`
+/// keyword precedes it (after the previous statement boundary) with an
+/// `in` between them and no `{` yet.
+fn inside_for_header(toks: &[crate::lexer::Token], i: usize, body_start: usize) -> bool {
+    let mut saw_in = false;
+    let mut k = i;
+    while k > body_start {
+        k -= 1;
+        let tok = &toks[k];
+        match tok.kind {
+            TokenKind::Open(Delim::Brace) | TokenKind::Close(Delim::Brace) => return false,
+            TokenKind::Ident if tok.text == "in" => saw_in = true,
+            TokenKind::Ident if tok.text == "for" => return saw_in,
+            TokenKind::Punct if tok.is_punct(';') => return false,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Whether the receiver chain starting at ident `i` runs straight into
+/// the loop body's `{` — i.e. the map itself is the iterated expression
+/// (`for x in &self.map {`), not a call on it (`for i in 0..map.len()`).
+fn chain_ends_at_loop_body(toks: &[crate::lexer::Token], i: usize) -> bool {
+    let mut k = i + 1;
+    while k + 1 < toks.len() && toks[k].is_punct('.') && toks[k + 1].kind == TokenKind::Ident {
+        k += 2;
+    }
+    toks.get(k).map(|t| t.kind) == Some(TokenKind::Open(Delim::Brace))
+}
+
+/// Whether the code after the iteration visibly restores determinism:
+/// a `sort*` call later in the same function, or a collect into a
+/// `BTreeMap`/`BTreeSet` within the same statement.
+fn order_imposed_after(toks: &[crate::lexer::Token], site: usize, body_end: usize) -> bool {
+    let depth = toks[site].brace_depth;
+    let mut k = site;
+    while k < body_end {
+        let tok = &toks[k];
+        if tok.kind == TokenKind::Ident
+            && tok.text.starts_with("sort")
+            && toks.get(k + 1).map(|t| t.kind) == Some(TokenKind::Open(Delim::Paren))
+        {
+            return true;
+        }
+        // Statement boundary: BTree collection only counts before it.
+        if tok.is_punct(';') && tok.brace_depth <= depth {
+            break;
+        }
+        if tok.is_ident("BTreeMap") || tok.is_ident("BTreeSet") {
+            return true;
+        }
+        k += 1;
+    }
+    // Past the statement: still accept a later sort in the function.
+    while k < body_end {
+        let tok = &toks[k];
+        if tok.kind == TokenKind::Ident
+            && tok.text.starts_with("sort")
+            && toks.get(k + 1).map(|t| t.kind) == Some(TokenKind::Open(Delim::Paren))
+        {
+            return true;
+        }
+        k += 1;
+    }
+    false
+}

@@ -1,0 +1,90 @@
+//! Rule 4 — `unsafe-without-safety`.
+//!
+//! Every `unsafe` block, function, or impl must carry an adjacent
+//! comment justifying why the invariants hold: a `// SAFETY: …` line
+//! directly above (or trailing on the same line), or a doc comment with
+//! a `# Safety` section for `unsafe fn` declarations. Unlike the other
+//! rules this one applies to test code too — an unjustified `unsafe`
+//! in a test is still an unjustified `unsafe`.
+
+use super::{function_at, Finding, Rule, Severity};
+use crate::lexer::TokenKind;
+use crate::model::SourceFile;
+
+pub struct UnsafeWithoutSafety;
+
+/// A run of contiguous comments (a multi-line `//` justification is
+/// lexed one line at a time; adjacency must see the whole block).
+struct CommentRun {
+    line: u32,
+    end_line: u32,
+    trailing: bool,
+    has_safety: bool,
+}
+
+fn comment_runs(file: &SourceFile) -> Vec<CommentRun> {
+    let mut runs: Vec<CommentRun> = Vec::new();
+    for c in &file.comments {
+        let has_safety = c.text.contains("SAFETY:") || c.text.contains("# Safety");
+        match runs.last_mut() {
+            // A standalone comment directly below the previous run
+            // continues it.
+            Some(run) if !c.trailing && c.line == run.end_line + 1 => {
+                run.end_line = c.end_line;
+                run.has_safety |= has_safety;
+            }
+            _ => runs.push(CommentRun {
+                line: c.line,
+                end_line: c.end_line,
+                trailing: c.trailing,
+                has_safety,
+            }),
+        }
+    }
+    runs
+}
+
+impl Rule for UnsafeWithoutSafety {
+    fn name(&self) -> &'static str {
+        "unsafe-without-safety"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn check(&self, files: &[SourceFile], out: &mut Vec<Finding>) {
+        for file in files {
+            let runs = comment_runs(file);
+            for (i, tok) in file.tokens.iter().enumerate() {
+                if tok.kind != TokenKind::Ident || tok.text != "unsafe" {
+                    continue;
+                }
+                let justified = runs.iter().any(|run| {
+                    // Trailing on the unsafe line, or a run ending
+                    // directly above it (multi-line arguments included).
+                    run.has_safety
+                        && ((run.trailing && run.line == tok.line) || run.end_line + 1 == tok.line)
+                });
+                if justified {
+                    continue;
+                }
+                out.push(Finding {
+                    rule: self.name(),
+                    severity: self.severity(),
+                    file: file.path.clone(),
+                    line: tok.line,
+                    col: tok.col,
+                    function: function_at(file, i),
+                    message: "`unsafe` without an adjacent `// SAFETY:` justification".to_string(),
+                    note: Some(
+                        "state the invariant that makes this sound in a `// SAFETY:` comment directly above"
+                            .to_string(),
+                    ),
+                    suppressed: None,
+                    baselined: false,
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Rule 2 — `wall-clock-in-canonical`.
+//!
+//! Canonical reports and fingerprints must hash/compare bit-identically
+//! across runs and machines, so nothing in their call closure may read
+//! the wall clock or a monotonic timer. This is exactly the bug class
+//! `canonical_report_value` exists to strip after the fact — the rule
+//! stops new reads from being introduced upstream of it. Roots are
+//! fingerprint/canonical/report-named functions; the closure is the
+//! same name-merged reachability the nondet-iteration rule uses.
+
+use super::{closure_from_roots, Finding, Rule, Severity};
+use crate::lexer::{Delim, TokenKind};
+use crate::model::SourceFile;
+
+/// Whether a function name marks a canonical-report / fingerprint root.
+///
+/// Deliberately narrower than the nondet-iteration roots: benchmark
+/// reports *measure* wall time by design, and `canonical_report_value`
+/// strips those fields before comparison. What must never read a clock
+/// is the canonicalisation and fingerprinting machinery itself — the
+/// code whose output is hashed or compared bit-for-bit.
+pub fn is_canonical_report_root(name: &str) -> bool {
+    name.contains("fingerprint") || name.contains("canonical")
+}
+
+pub struct WallClockInCanonical;
+
+impl Rule for WallClockInCanonical {
+    fn name(&self) -> &'static str {
+        "wall-clock-in-canonical"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    fn check(&self, files: &[SourceFile], out: &mut Vec<Finding>) {
+        let closure = closure_from_roots(files, &is_canonical_report_root);
+        for file in files {
+            let toks = &file.tokens;
+            for func in file.functions.iter().filter(|f| !f.is_test) {
+                if !closure.contains(&func.name) {
+                    continue;
+                }
+                for i in func.body.clone() {
+                    let tok = &toks[i];
+                    if tok.kind != TokenKind::Ident {
+                        continue;
+                    }
+                    // `Instant::now(` / `SystemTime::now(` — the type
+                    // name followed by `::now(`.
+                    let clock_type = tok.is_ident("Instant") || tok.is_ident("SystemTime");
+                    let source = if clock_type
+                        && toks.get(i + 1).map(|t| t.is_punct(':')).unwrap_or(false)
+                        && toks.get(i + 2).map(|t| t.is_punct(':')).unwrap_or(false)
+                        && toks.get(i + 3).map(|t| t.is_ident("now")).unwrap_or(false)
+                    {
+                        format!("{}::now()", tok.text)
+                    } else if tok.is_ident("UNIX_EPOCH")
+                        || (tok.is_ident("duration_since")
+                            && toks.get(i + 1).map(|t| t.kind)
+                                == Some(TokenKind::Open(Delim::Paren)))
+                    {
+                        tok.text.clone()
+                    } else {
+                        continue;
+                    };
+                    out.push(Finding {
+                        rule: self.name(),
+                        severity: self.severity(),
+                        file: file.path.clone(),
+                        line: tok.line,
+                        col: tok.col,
+                        function: func.name.clone(),
+                        message: format!(
+                            "wall-clock read `{}` inside `{}`, which is reachable from a canonical-report/fingerprint root",
+                            source, func.name
+                        ),
+                        note: Some(
+                            "canonical output must be time-independent; take timestamps outside the canonical path and strip them before hashing"
+                                .to_string(),
+                        ),
+                        suppressed: None,
+                        baselined: false,
+                    });
+                }
+            }
+        }
+    }
+}

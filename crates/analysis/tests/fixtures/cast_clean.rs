@@ -1,0 +1,13 @@
+// Fixture: narrowing that is fine — checked conversion for lengths, and
+// raw `as` casts on values that are not lengths.
+
+pub fn encode_header(payload: &[u8], out: &mut Vec<u8>) -> Result<(), ()> {
+    out.push(0xA5);
+    let declared = u32::try_from(payload.len()).map_err(|_| ())?;
+    out.extend_from_slice(&declared.to_le_bytes());
+    Ok(())
+}
+
+pub fn kind_byte(kind: u64) -> u8 {
+    (kind & 0xff) as u8
+}

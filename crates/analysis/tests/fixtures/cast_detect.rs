@@ -1,0 +1,7 @@
+// Fixture: an unchecked narrowing cast of a length near frame encoding.
+
+pub fn encode_header(payload: &[u8], out: &mut Vec<u8>) {
+    out.push(0xA5);
+    let declared = payload.len() as u32;
+    out.extend_from_slice(&declared.to_le_bytes());
+}

@@ -1,0 +1,21 @@
+// Fixture: the same pair of mutexes, always acquired in the same order.
+use std::sync::Mutex;
+
+pub struct Shared {
+    alpha: Mutex<Vec<u64>>,
+    beta: Mutex<Vec<u64>>,
+}
+
+impl Shared {
+    pub fn transfer(&self) {
+        let src = self.alpha.lock().expect("poisoned");
+        let dst = self.beta.lock().expect("poisoned");
+        drop((src, dst));
+    }
+
+    pub fn reconcile(&self) {
+        let src = self.alpha.lock().expect("poisoned");
+        let dst = self.beta.lock().expect("poisoned");
+        drop((src, dst));
+    }
+}

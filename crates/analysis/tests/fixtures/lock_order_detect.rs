@@ -1,0 +1,22 @@
+// Fixture: two functions acquire the same pair of mutexes in opposite
+// orders — the classic deadlock recipe.
+use std::sync::Mutex;
+
+pub struct Shared {
+    alpha: Mutex<Vec<u64>>,
+    beta: Mutex<Vec<u64>>,
+}
+
+impl Shared {
+    pub fn transfer(&self) {
+        let src = self.alpha.lock().expect("poisoned");
+        let dst = self.beta.lock().expect("poisoned");
+        drop((src, dst));
+    }
+
+    pub fn reconcile(&self) {
+        let dst = self.beta.lock().expect("poisoned");
+        let src = self.alpha.lock().expect("poisoned");
+        drop((dst, src));
+    }
+}

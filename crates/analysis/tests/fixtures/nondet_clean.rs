@@ -1,0 +1,26 @@
+// Fixture: hash iteration that is fine — either outside any canonical
+// root, or visibly re-ordered before it can leak into output.
+use std::collections::HashMap;
+
+pub struct Tally {
+    entries: HashMap<String, u64>,
+}
+
+impl Tally {
+    // Not a canonical root and not reachable from one: iteration order
+    // never leaves the function.
+    pub fn total(&self) -> u64 {
+        let mut sum = 0;
+        for (_, count) in &self.entries {
+            sum += count;
+        }
+        sum
+    }
+
+    // A canonical root, but the iteration is sorted before use.
+    pub fn canonical_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.entries.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: HashMap iteration inside a canonical-output root.
+use std::collections::HashMap;
+
+pub struct Report {
+    entries: HashMap<String, u64>,
+}
+
+impl Report {
+    pub fn canonical_report(&self) -> String {
+        let mut out = String::new();
+        for (name, count) in &self.entries {
+            out.push_str(name);
+            out.push_str(&count.to_string());
+        }
+        out
+    }
+}

@@ -1,0 +1,22 @@
+// Fixture: hot-path code that handles peer input gracefully — `.get()`
+// access, combinator fallbacks, a reasoned suppression, and indexing on
+// a local (non-protocol) name.
+
+pub fn parse_header(payload: &[u8]) -> Option<(u8, u8)> {
+    let kind = payload.first().copied()?;
+    let flags = payload.get(1).copied().unwrap_or_default();
+    Some((kind, flags))
+}
+
+pub fn checksum(payload: &[u8]) -> u8 {
+    let table = [0u8, 1, 2, 3];
+    let mut acc = 0u8;
+    for &b in payload {
+        acc ^= table[(b & 3) as usize];
+    }
+    acc
+}
+
+pub fn first_settled(payload: &[u8]) -> u8 {
+    payload.first().copied().unwrap() // asynd-lint: allow(panic-in-hot-path) -- caller length-checked this buffer one line up
+}

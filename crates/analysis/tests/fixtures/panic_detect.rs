@@ -1,0 +1,11 @@
+// Fixture: parsed under a hot path (crates/net/src/...), so unwraps,
+// panics and protocol-input indexing are all peer-triggerable crashes.
+
+pub fn parse_header(payload: &[u8]) -> (u8, u8) {
+    let kind = payload[0];
+    let flags = payload.get(1).copied().unwrap();
+    if kind == 0 {
+        panic!("zero kind");
+    }
+    (kind, flags)
+}

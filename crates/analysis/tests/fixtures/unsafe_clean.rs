@@ -1,0 +1,12 @@
+// Fixture: justified unsafe — a multi-line SAFETY comment directly
+// above, and a trailing one on the same line.
+
+pub fn peek(bytes: &[u8]) -> u8 {
+    // SAFETY: callers guarantee `bytes` is non-empty, so the pointer
+    // read stays within the allocation.
+    unsafe { *bytes.as_ptr() }
+}
+
+pub fn peek_trailing(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() } // SAFETY: checked non-empty by the caller
+}

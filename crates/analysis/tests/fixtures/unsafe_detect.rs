@@ -1,0 +1,5 @@
+// Fixture: an unsafe block with no justification anywhere near it.
+
+pub fn peek(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}

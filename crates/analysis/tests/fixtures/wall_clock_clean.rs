@@ -1,0 +1,20 @@
+// Fixture: wall-clock reads in benchmark timing are fine — they never
+// reach a canonical/fingerprint path.
+use std::time::Instant;
+
+pub fn measure_latency(iterations: u32) -> f64 {
+    let started = Instant::now();
+    let mut x = 0u64;
+    for i in 0..iterations {
+        x = x.wrapping_add(i as u64);
+    }
+    started.elapsed().as_secs_f64()
+}
+
+pub fn fingerprint_data(data: &[u8]) -> u64 {
+    let mut acc = 0xcbf29ce484222325;
+    for &b in data {
+        acc = (acc ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    acc
+}

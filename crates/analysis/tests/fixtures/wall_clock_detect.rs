@@ -1,0 +1,11 @@
+// Fixture: a wall-clock read inside a fingerprint computation.
+use std::time::Instant;
+
+pub fn fingerprint_run(data: &[u8]) -> u64 {
+    let stamp = Instant::now();
+    let mut acc = stamp.elapsed().as_nanos() as u64;
+    for &b in data {
+        acc = acc.wrapping_mul(31).wrapping_add(b as u64);
+    }
+    acc
+}

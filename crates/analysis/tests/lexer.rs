@@ -1,0 +1,116 @@
+//! Lexer unit tests: strings, raw strings, comments, lifetimes, depth
+//! tracking — the edge cases a token-level analyzer lives or dies by.
+
+use asynd_analysis::lexer::{lex, Delim, TokenKind};
+
+fn idents(source: &str) -> Vec<String> {
+    lex(source).tokens.into_iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text).collect()
+}
+
+#[test]
+fn strings_hide_their_contents_from_the_token_stream() {
+    // Nothing inside a string literal may surface as an identifier —
+    // otherwise every diagnostic message mentioning `unwrap` would trip
+    // the panic rule.
+    let src = r#"fn f() { let s = "unwrap panic! HashMap .lock()"; }"#;
+    let names = idents(src);
+    assert!(names.contains(&"f".to_string()));
+    assert!(!names.contains(&"unwrap".to_string()));
+    assert!(!names.contains(&"HashMap".to_string()));
+}
+
+#[test]
+fn escaped_quotes_do_not_end_the_string() {
+    let src = r#"let a = "say \"unwrap\" twice"; let b = unwrap;"#;
+    let names = idents(src);
+    assert_eq!(names.iter().filter(|n| *n == "unwrap").count(), 1, "only the real ident counts");
+}
+
+#[test]
+fn raw_strings_with_hashes_are_opaque() {
+    let src = r###"let re = r#"lock() "quoted" unwrap()"#; let x = after;"###;
+    let names = idents(src);
+    assert!(!names.contains(&"lock".to_string()));
+    assert!(names.contains(&"after".to_string()));
+}
+
+#[test]
+fn char_literals_are_not_lifetimes() {
+    let src = "fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }";
+    let lexed = lex(src);
+    let lifetimes: Vec<&str> = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(lifetimes, ["a", "a"], "only the generic lifetime, not the chars");
+}
+
+#[test]
+fn line_and_block_comments_are_collected_separately() {
+    let src = "// first\n// second\nfn f() { /* inner\nblock */ let x = 1; } // trailing\n";
+    let lexed = lex(src);
+    assert_eq!(lexed.comments.len(), 4);
+    assert!(!lexed.tokens.iter().any(|t| t.is_ident("first")), "comment text is not tokens");
+    // Both the inline block comment and the end-of-line comment sit
+    // after code on their line, so both count as trailing.
+    let trailing: Vec<_> = lexed.comments.iter().filter(|c| c.trailing).collect();
+    assert_eq!(trailing.len(), 2);
+    assert!(trailing.iter().any(|c| c.text.contains("trailing")));
+    let block = lexed.comments.iter().find(|c| c.text.contains("block")).unwrap();
+    assert_eq!((block.line, block.end_line), (3, 4), "block comments span lines");
+}
+
+#[test]
+fn nested_block_comments_terminate_correctly() {
+    let src = "/* outer /* inner */ still comment */ fn real() {}";
+    let names = idents(src);
+    assert_eq!(names, ["fn", "real"].map(String::from).to_vec());
+}
+
+#[test]
+fn brace_and_paren_depths_nest() {
+    let src = "fn f() { if x { g(h(1)); } }";
+    let lexed = lex(src);
+    let g = lexed.tokens.iter().find(|t| t.is_ident("g")).unwrap();
+    let h = lexed.tokens.iter().find(|t| t.is_ident("h")).unwrap();
+    assert_eq!(g.brace_depth, 2, "inside fn body and if body");
+    assert_eq!(g.paren_depth, 0);
+    assert_eq!(h.paren_depth, 1, "inside g's argument list");
+    let closes: Vec<_> =
+        lexed.tokens.iter().filter(|t| t.kind == TokenKind::Close(Delim::Brace)).collect();
+    assert_eq!(closes.last().unwrap().brace_depth, 0, "final close returns to top level");
+}
+
+#[test]
+fn nested_generics_are_plain_puncts_not_shifts() {
+    let src = "let m: HashMap<String, Vec<Option<u8>>> = HashMap::new();";
+    let lexed = lex(src);
+    assert!(lexed.tokens.iter().any(|t| t.is_ident("HashMap")));
+    assert!(lexed.tokens.iter().any(|t| t.is_ident("Option")));
+    // `>>` must lex as two puncts (or equivalent), never swallow the
+    // following `=`.
+    assert!(lexed.tokens.iter().any(|t| t.is_punct('=')));
+}
+
+#[test]
+fn number_ranges_do_not_merge() {
+    let src = "for i in 0..10 { }";
+    let lexed = lex(src);
+    let numbers: Vec<&str> = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Number)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(numbers, ["0", "10"]);
+}
+
+#[test]
+fn line_and_col_are_one_based_and_accurate() {
+    let src = "fn a() {}\nfn bee() {}\n";
+    let lexed = lex(src);
+    let bee = lexed.tokens.iter().find(|t| t.is_ident("bee")).unwrap();
+    assert_eq!((bee.line, bee.col), (2, 4));
+}

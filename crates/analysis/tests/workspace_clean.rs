@@ -1,0 +1,26 @@
+//! The dogfood gate as a test: the real workspace this crate ships in
+//! must lint clean — zero unsuppressed findings, and zero baseline
+//! reliance in the serving crates the paper's claims rest on.
+
+use asynd_analysis::{analyze, scan_workspace, Baseline};
+
+#[test]
+fn workspace_lints_clean_with_an_empty_baseline() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = scan_workspace(&root).expect("workspace scan");
+    assert!(files.len() > 10, "sanity: the scan found the workspace");
+    let findings = analyze(&files);
+    let fresh: Vec<_> = findings.iter().filter(|f| f.suppressed.is_none()).collect();
+    assert!(
+        fresh.is_empty(),
+        "unsuppressed findings crept in:\n{}",
+        asynd_analysis::render_text(&findings, false)
+    );
+    // The checked-in baseline stays empty: no crate gets legacy debt.
+    let baseline = Baseline::load(&root.join("lint-baseline.json")).expect("baseline parses");
+    assert!(baseline.is_empty(), "the shipped baseline must stay empty");
+    for prefix in ["crates/server/", "crates/net/", "crates/telemetry/", "crates/registry/"] {
+        let granted = baseline.entries_under(prefix);
+        assert!(granted.is_empty(), "zero-baseline contract broken for {prefix}: {granted:?}");
+    }
+}

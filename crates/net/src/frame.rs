@@ -95,19 +95,39 @@ impl Frame {
     }
 
     /// Appends the encoded frame to `out`.
-    pub fn encode_into(&self, out: &mut Vec<u8>) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::PayloadTooLarge`] when the payload exceeds
+    /// [`MAX_FRAME_PAYLOAD`] — the encoder enforces the same cap the
+    /// decoder does, so every frame it produces is decodable by a peer
+    /// (an unchecked `len as u32` would instead wrap past 4 GiB and
+    /// desynchronize the stream for every later frame).
+    pub fn encode_into(&self, out: &mut Vec<u8>) -> Result<(), FrameError> {
+        let declared = u32::try_from(self.payload.len())
+            .ok()
+            .filter(|&len| len as usize <= MAX_FRAME_PAYLOAD)
+            .ok_or(FrameError::PayloadTooLarge {
+                len: self.payload.len(),
+                max: MAX_FRAME_PAYLOAD,
+            })?;
         out.reserve(self.encoded_len());
         out.push(FRAME_MAGIC);
         out.push(self.kind as u8);
-        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&declared.to_le_bytes());
         out.extend_from_slice(&self.payload);
+        Ok(())
     }
 
     /// The encoded frame as a fresh buffer.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// See [`Frame::encode_into`].
+    pub fn encode(&self) -> Result<Vec<u8>, FrameError> {
         let mut out = Vec::with_capacity(self.encoded_len());
-        self.encode_into(&mut out);
-        out
+        self.encode_into(&mut out)?;
+        Ok(out)
     }
 }
 
@@ -126,6 +146,14 @@ pub enum FrameError {
         /// The decoder's cap.
         max: usize,
     },
+    /// An outgoing payload exceeds the encoder's cap (the same
+    /// [`MAX_FRAME_PAYLOAD`] the peer's decoder enforces).
+    PayloadTooLarge {
+        /// The payload's actual length.
+        len: usize,
+        /// The encoder's cap.
+        max: usize,
+    },
 }
 
 impl fmt::Display for FrameError {
@@ -137,6 +165,9 @@ impl fmt::Display for FrameError {
             FrameError::UnknownKind(byte) => write!(f, "unknown frame kind 0x{byte:02x}"),
             FrameError::Oversized { declared, max } => {
                 write!(f, "declared payload length {declared} exceeds the {max}-byte cap")
+            }
+            FrameError::PayloadTooLarge { len, max } => {
+                write!(f, "outgoing payload of {len} bytes exceeds the {max}-byte frame cap")
             }
         }
     }
@@ -194,31 +225,33 @@ impl FrameDecoder {
         if let Some(error) = self.poisoned {
             return Err(error);
         }
-        let avail = self.buf.len() - self.pos;
-        if avail < FRAME_HEADER_LEN {
+        // Peer-controlled bytes are only ever touched through `.get()`:
+        // a header or payload that has not fully arrived yields `None`
+        // here rather than a slice-index panic.
+        let Some(&[magic, kind_byte, l0, l1, l2, l3]) =
+            self.buf.get(self.pos..self.pos + FRAME_HEADER_LEN)
+        else {
             self.compact();
             return Ok(None);
-        }
-        let header = &self.buf[self.pos..self.pos + FRAME_HEADER_LEN];
-        if header[0] != FRAME_MAGIC {
-            return Err(self.poison(FrameError::BadMagic(header[0])));
-        }
-        let kind = match FrameKind::from_u8(header[1]) {
-            Some(kind) => kind,
-            None => return Err(self.poison(FrameError::UnknownKind(header[1]))),
         };
-        let declared = u32::from_le_bytes([header[2], header[3], header[4], header[5]]);
+        if magic != FRAME_MAGIC {
+            return Err(self.poison(FrameError::BadMagic(magic)));
+        }
+        let kind = match FrameKind::from_u8(kind_byte) {
+            Some(kind) => kind,
+            None => return Err(self.poison(FrameError::UnknownKind(kind_byte))),
+        };
+        let declared = u32::from_le_bytes([l0, l1, l2, l3]);
         if declared as usize > self.max_payload {
             return Err(self.poison(FrameError::Oversized { declared, max: self.max_payload }));
         }
-        let total = FRAME_HEADER_LEN + declared as usize;
-        if avail < total {
+        let start = self.pos + FRAME_HEADER_LEN;
+        let Some(payload) = self.buf.get(start..start + declared as usize) else {
             self.compact();
             return Ok(None);
-        }
-        let start = self.pos + FRAME_HEADER_LEN;
-        let payload = self.buf[start..start + declared as usize].to_vec();
-        self.pos += total;
+        };
+        let payload = payload.to_vec();
+        self.pos = start + declared as usize;
         self.compact();
         Ok(Some(Frame { kind, payload }))
     }
@@ -254,7 +287,7 @@ mod tests {
         ] {
             let frame = Frame::new(kind, br#"{"op":"ping"}"#.to_vec());
             let mut decoder = FrameDecoder::new();
-            decoder.feed(&frame.encode());
+            decoder.feed(&frame.encode().unwrap());
             assert_eq!(decoder.next_frame().unwrap().unwrap(), frame);
             assert_eq!(decoder.next_frame().unwrap(), None);
             assert_eq!(decoder.buffered(), 0);
@@ -270,7 +303,7 @@ mod tests {
         ];
         let mut wire = Vec::new();
         for frame in &frames {
-            frame.encode_into(&mut wire);
+            frame.encode_into(&mut wire).unwrap();
         }
         let mut decoder = FrameDecoder::new();
         let mut decoded = Vec::new();
@@ -286,7 +319,7 @@ mod tests {
     #[test]
     fn truncated_frame_waits_instead_of_erroring() {
         let frame = Frame::new(FrameKind::Request, vec![b'x'; 100]);
-        let wire = frame.encode();
+        let wire = frame.encode().unwrap();
         let mut decoder = FrameDecoder::new();
         decoder.feed(&wire[..wire.len() - 1]);
         assert_eq!(decoder.next_frame().unwrap(), None, "incomplete payload is not an error");
@@ -302,13 +335,13 @@ mod tests {
         assert_eq!(decoder.next_frame(), Err(FrameError::BadMagic(b'{')));
         // Feeding a perfectly valid frame afterwards cannot resurrect
         // the stream.
-        decoder.feed(&Frame::new(FrameKind::Request, vec![]).encode());
+        decoder.feed(&Frame::new(FrameKind::Request, vec![]).encode().unwrap());
         assert_eq!(decoder.next_frame(), Err(FrameError::BadMagic(b'{')));
     }
 
     #[test]
     fn unknown_kind_is_fatal() {
-        let mut wire = Frame::new(FrameKind::Request, vec![]).encode();
+        let mut wire = Frame::new(FrameKind::Request, vec![]).encode().unwrap();
         wire[1] = 0x7e;
         let mut decoder = FrameDecoder::new();
         decoder.feed(&wire);
@@ -332,8 +365,21 @@ mod tests {
     fn exactly_max_payload_is_accepted() {
         let frame = Frame::new(FrameKind::Progress, vec![7u8; 64]);
         let mut decoder = FrameDecoder::with_max_payload(64);
-        decoder.feed(&frame.encode());
+        decoder.feed(&frame.encode().unwrap());
         assert_eq!(decoder.next_frame().unwrap().unwrap(), frame);
+    }
+
+    #[test]
+    fn oversized_outgoing_payload_is_rejected_at_encode_time() {
+        let frame = Frame::new(FrameKind::Response, vec![0u8; MAX_FRAME_PAYLOAD + 1]);
+        let mut out = vec![0xAAu8];
+        let err = frame.encode_into(&mut out).unwrap_err();
+        assert_eq!(
+            err,
+            FrameError::PayloadTooLarge { len: MAX_FRAME_PAYLOAD + 1, max: MAX_FRAME_PAYLOAD }
+        );
+        assert_eq!(out, vec![0xAAu8], "failed encode leaves the buffer untouched");
+        assert!(frame.encode().is_err());
     }
 
     #[test]
@@ -341,7 +387,7 @@ mod tests {
         let frame = Frame::new(FrameKind::Progress, vec![1u8; 512]);
         let mut decoder = FrameDecoder::new();
         for _ in 0..100 {
-            decoder.feed(&frame.encode());
+            decoder.feed(&frame.encode().unwrap());
             assert_eq!(decoder.next_frame().unwrap().unwrap(), frame);
         }
         assert_eq!(decoder.buffered(), 0);

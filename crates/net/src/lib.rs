@@ -26,6 +26,7 @@
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 #[cfg(not(unix))]
 compile_error!("asynd-net drives sockets through poll(2) and requires a Unix target");

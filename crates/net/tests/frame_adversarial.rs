@@ -57,7 +57,7 @@ proptest! {
             .collect();
         let mut wire = Vec::new();
         for frame in &frames {
-            frame.encode_into(&mut wire);
+            frame.encode_into(&mut wire).unwrap();
         }
         let mut decoder = FrameDecoder::new();
         let mut decoded = Vec::new();
@@ -78,8 +78,8 @@ proptest! {
     fn every_truncation_offset_is_clean(cut in 0usize..400, payload_len in 0usize..120) {
         let frame = Frame::new(FrameKind::Request, vec![0xabu8; payload_len]);
         let mut wire = Vec::new();
-        frame.encode_into(&mut wire);
-        frame.encode_into(&mut wire);
+        frame.encode_into(&mut wire).unwrap();
+        frame.encode_into(&mut wire).unwrap();
         let cut = cut.min(wire.len());
         let mut decoder = FrameDecoder::new();
         decoder.feed(&wire[..cut]);
@@ -98,9 +98,9 @@ proptest! {
         // Map the one non-corrupting value onto a corrupting one.
         let wrong = if wrong == FRAME_MAGIC { !FRAME_MAGIC } else { wrong };
         let frame = Frame::new(FrameKind::Progress, vec![3u8; len]);
-        let mut wire = frame.encode();
+        let mut wire = frame.encode().unwrap();
         let second_start = wire.len();
-        frame.encode_into(&mut wire);
+        frame.encode_into(&mut wire).unwrap();
         wire[second_start] = wrong;
         let mut decoder = FrameDecoder::new();
         decoder.feed(&wire);

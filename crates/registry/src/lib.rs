@@ -52,7 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::io::Write;
@@ -240,14 +240,17 @@ impl Telemetry {
 }
 
 /// Artifacts of one tenant, indexed by schedule key, with the current
-/// best address cached.
+/// best address cached. Ordered maps (here and in [`State::tenants`])
+/// keep every scan — best-pointer recomputation, `entries`, `dump` —
+/// in one canonical order run to run, so exports and tie-breaks never
+/// depend on hash-seed luck.
 struct Shelf {
-    artifacts: HashMap<ScheduleKey, ScheduleArtifact>,
+    artifacts: BTreeMap<ScheduleKey, ScheduleArtifact>,
     best: ScheduleKey,
 }
 
 struct State {
-    tenants: HashMap<String, Shelf>,
+    tenants: BTreeMap<String, Shelf>,
     segments: Vec<PathBuf>,
     next_seq: u64,
     entries: usize,
@@ -305,7 +308,7 @@ impl Registry {
         let scan = scan_segments(&dir)?;
         telemetry.corrupt.add(scan.skipped as u64);
         let mut state = State {
-            tenants: HashMap::new(),
+            tenants: BTreeMap::new(),
             segments: scan.segments.iter().map(|s| s.path.clone()).collect(),
             next_seq: scan.next_seq,
             entries: 0,
@@ -614,7 +617,7 @@ fn index_record(state: &mut State, tenant: String, artifact: ScheduleArtifact) -
     let key = artifact.key();
     match state.tenants.get_mut(&tenant) {
         None => {
-            let mut artifacts = HashMap::new();
+            let mut artifacts = BTreeMap::new();
             artifacts.insert(key, artifact);
             state.tenants.insert(tenant, Shelf { artifacts, best: key });
             state.entries += 1;

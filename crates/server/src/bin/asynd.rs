@@ -80,6 +80,7 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(rest),
         "fleetbench" => cmd_fleetbench(rest),
         "registry" => cmd_registry(rest),
+        "lint" => cmd_lint(rest),
         "validate" => cmd_validate(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -114,7 +115,9 @@ USAGE:
   asynd registry (stats|verify|compact) DIR
   asynd registry export DIR FILE [PREFIX]
   asynd registry import DIR FILE
-  asynd validate [--metrics] FILE...
+  asynd lint     [--json] [--fix-baseline] [--root DIR] [--baseline FILE]
+                 [--out FILE] [--verbose]
+  asynd validate [--metrics|--lints] FILE...
   asynd validate --equal A B
 
 `serve` reads JSON-lines requests from stdin (or TCP connections) and
@@ -142,6 +145,14 @@ scaling study to BENCH_fleet.json. `registry export` writes a tenant's
 (or every tenant's) records as portable JSON lines; `registry import`
 merges such a file back in. `validate --equal` compares two sweep
 reports after canonicalisation (wall-clock stripped).
+
+`lint` runs the workspace's own static analyzer (determinism &
+concurrency-discipline rules — see the README's static-analysis
+section) over the first-party crates and fails on any finding that is
+neither suppressed in-source (`// asynd-lint: allow(<rule>) -- reason`)
+nor granted by the checked-in `lint-baseline.json`; `--fix-baseline`
+regenerates that file, `--out` writes the findings JSON for CI, and
+`validate --lints` checks such a findings document.
 ";
 
 /// Opens a registry directory for the serving commands, reporting any
@@ -873,6 +884,78 @@ fn cmd_registry(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let mut json = false;
+    let mut fix_baseline = false;
+    let mut verbose = false;
+    let mut root = ".".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut flags = Flags::new(args);
+    while let Some(flag) = flags.next_flag() {
+        match flag {
+            "--json" => json = true,
+            "--fix-baseline" => fix_baseline = true,
+            "--verbose" => verbose = true,
+            "--root" => root = flags.value("--root")?.to_string(),
+            "--baseline" => baseline_path = Some(flags.value("--baseline")?.to_string()),
+            "--out" => out_path = Some(flags.value("--out")?.to_string()),
+            other => return Err(format!("lint: unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    let root_path = std::path::Path::new(&root);
+    let files = asynd_analysis::scan_workspace(root_path)
+        .map_err(|e| format!("lint: scanning {root}: {e}"))?;
+    if files.is_empty() {
+        return Err(format!("lint: no first-party sources under {root} (wrong --root?)"));
+    }
+    let mut findings = asynd_analysis::analyze(&files);
+    let baseline_file = baseline_path
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| root_path.join("lint-baseline.json"));
+
+    if fix_baseline {
+        let baseline = asynd_analysis::Baseline::from_findings(&findings);
+        let text = serde_json::to_string_pretty(&baseline.to_json())
+            .map_err(|e| format!("lint: serializing baseline: {e}"))?;
+        std::fs::write(&baseline_file, text + "\n")
+            .map_err(|e| format!("lint: writing {}: {e}", baseline_file.display()))?;
+        println!(
+            "lint: wrote {} baseline entr{} to {}",
+            baseline.len(),
+            if baseline.len() == 1 { "y" } else { "ies" },
+            baseline_file.display()
+        );
+        return Ok(());
+    }
+
+    let baseline =
+        asynd_analysis::Baseline::load(&baseline_file).map_err(|e| format!("lint: {e}"))?;
+    baseline.apply(&mut findings);
+    let doc = asynd_analysis::findings_to_json(&findings);
+    if let Some(out) = &out_path {
+        let text = serde_json::to_string_pretty(&doc)
+            .map_err(|e| format!("lint: serializing findings: {e}"))?;
+        std::fs::write(out, text + "\n").map_err(|e| format!("lint: writing {out}: {e}"))?;
+    }
+    if json {
+        let text = serde_json::to_string_pretty(&doc)
+            .map_err(|e| format!("lint: serializing findings: {e}"))?;
+        println!("{text}");
+    } else {
+        print!("{}", asynd_analysis::render_text(&findings, verbose));
+    }
+    let new = findings.iter().filter(|f| f.suppressed.is_none() && !f.baselined).count();
+    if new > 0 {
+        Err(format!(
+            "lint: {new} new finding(s) — fix them, suppress with \
+             `// asynd-lint: allow(<rule>) -- <reason>`, or grant with --fix-baseline"
+        ))
+    } else {
+        Ok(())
+    }
+}
+
 fn cmd_validate(args: &[String]) -> Result<(), String> {
     if args.first().map(String::as_str) == Some("--equal") {
         let [a, b] = match &args[1..] {
@@ -893,16 +976,26 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
         println!("{a} == {b} (canonical forms are identical)");
         return Ok(());
     }
-    let (metrics_mode, files) = match args.split_first() {
-        Some((first, rest)) if first == "--metrics" => (true, rest),
-        _ => (false, args),
+    let (metrics_mode, lints_mode, files) = match args.split_first() {
+        Some((first, rest)) if first == "--metrics" => (true, false, rest),
+        Some((first, rest)) if first == "--lints" => (false, true, rest),
+        _ => (false, false, args),
     };
     if files.is_empty() {
         return Err("validate: no files given".to_string());
     }
     for path in files {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        if metrics_mode {
+        if lints_mode {
+            let doc: serde_json::Value = serde_json::from_str(&text)
+                .map_err(|e| format!("{path} is not valid JSON: {e}"))?;
+            match asynd_analysis::validate_lints(&doc) {
+                Ok(verdict) => println!("{path}: {verdict}"),
+                Err(problems) => {
+                    return Err(format!("{path} is invalid:\n  {}", problems.join("\n  ")));
+                }
+            }
+        } else if metrics_mode {
             let report = asynd_telemetry::validate_text(&text)
                 .map_err(|e| format!("{path} is invalid: {e}"))?;
             println!(

@@ -29,7 +29,7 @@ use std::time::Duration;
 
 use asynd_circuit::artifact::ScheduleArtifact;
 use asynd_circuit::EvaluatorStats;
-use asynd_net::frame::{Frame, FrameDecoder, FrameKind};
+use asynd_net::frame::{Frame, FrameDecoder, FrameError, FrameKind};
 use asynd_telemetry::MetricsSnapshot;
 use serde_json::Value;
 
@@ -57,13 +57,18 @@ impl WireProtocol {
 
 /// Encodes one request payload for the wire: a newline-terminated line
 /// on v1, a request frame on v2.
-pub fn encode_request(protocol: WireProtocol, payload: &str) -> Vec<u8> {
+///
+/// # Errors
+///
+/// On v2, [`FrameError::PayloadTooLarge`] when the payload exceeds the
+/// frame cap (v1 lines have no length prefix and cannot fail).
+pub fn encode_request(protocol: WireProtocol, payload: &str) -> Result<Vec<u8>, FrameError> {
     match protocol {
         WireProtocol::V1 => {
             let mut bytes = Vec::with_capacity(payload.len() + 1);
             bytes.extend_from_slice(payload.as_bytes());
             bytes.push(b'\n');
-            bytes
+            Ok(bytes)
         }
         WireProtocol::V2 => Frame::new(FrameKind::Request, payload.as_bytes().to_vec()).encode(),
     }
@@ -335,7 +340,9 @@ impl Client {
                 pending: Correlator::new(),
             });
         }
-        Ok(self.wire.as_mut().expect("connection was just established"))
+        self.wire
+            .as_mut()
+            .ok_or_else(|| ClientError::Transport(format!("cannot connect to {}", self.addr)))
     }
 
     /// Sends one request without waiting for its response (pipelining).
@@ -349,7 +356,8 @@ impl Client {
         let (payload, correlation) = payload_for(request, self.options.protocol);
         let token = self.next_token;
         self.next_token += 1;
-        let encoded = encode_request(self.options.protocol, &payload);
+        let encoded = encode_request(self.options.protocol, &payload)
+            .map_err(|e| ClientError::Protocol(format!("cannot encode request: {e}")))?;
         let wire = self.ensure_wire()?;
         if let Err(e) = wire.stream.write_all(&encoded).and_then(|()| wire.stream.flush()) {
             self.wire = None;
@@ -550,13 +558,12 @@ fn payload_for(request: &Request, protocol: WireProtocol) -> (String, Correlatio
                     map.insert("progress", Value::from(false));
                 }
             }
-            let payload =
-                serde_json::to_string(&value).expect("request serialization is infallible");
+            let payload = serde_json::to_string(&value).expect("serialization is infallible"); // asynd-lint: allow(panic-in-hot-path) -- client-built Value, no peer input
             (payload, Correlation::ById(job.id.clone()))
         }
         Request::Lookup(lookup) => {
-            let payload = serde_json::to_string(&lookup.to_json())
-                .expect("request serialization is infallible");
+            let payload =
+                serde_json::to_string(&lookup.to_json()).expect("serialization is infallible"); // asynd-lint: allow(panic-in-hot-path) -- client-built Value, no peer input
             (payload, Correlation::ById(lookup.id.clone()))
         }
         Request::Metrics(id) => {
@@ -630,8 +637,11 @@ mod tests {
 
     #[test]
     fn encode_request_matches_both_wire_formats() {
-        assert_eq!(encode_request(WireProtocol::V1, "{\"op\":\"ping\"}"), b"{\"op\":\"ping\"}\n");
-        let framed = encode_request(WireProtocol::V2, "{\"op\":\"ping\"}");
+        assert_eq!(
+            encode_request(WireProtocol::V1, "{\"op\":\"ping\"}").unwrap(),
+            b"{\"op\":\"ping\"}\n"
+        );
+        let framed = encode_request(WireProtocol::V2, "{\"op\":\"ping\"}").unwrap();
         let mut decoder = FrameDecoder::new();
         decoder.feed(&framed);
         let frame = decoder.next_frame().unwrap().unwrap();
@@ -658,9 +668,9 @@ mod tests {
     #[test]
     fn v2_stream_classifies_frames_and_poisons_on_garbage() {
         let mut stream = ResponseStream::new(WireProtocol::V2);
-        stream.feed(&Frame::new(FrameKind::Progress, b"p".to_vec()).encode());
-        stream.feed(&Frame::new(FrameKind::Response, b"r".to_vec()).encode());
-        stream.feed(&Frame::new(FrameKind::Goodbye, b"g".to_vec()).encode());
+        stream.feed(&Frame::new(FrameKind::Progress, b"p".to_vec()).encode().unwrap());
+        stream.feed(&Frame::new(FrameKind::Response, b"r".to_vec()).encode().unwrap());
+        stream.feed(&Frame::new(FrameKind::Goodbye, b"g".to_vec()).encode().unwrap());
         assert_eq!(stream.next_event().unwrap(), Some(WireEvent::Progress(b"p".to_vec())));
         assert_eq!(stream.next_event().unwrap(), Some(WireEvent::Response(b"r".to_vec())));
         assert_eq!(stream.next_event().unwrap(), Some(WireEvent::Goodbye(b"g".to_vec())));

@@ -51,6 +51,7 @@ use asynd_registry::Registry;
 use serde_json::{Map, Value};
 
 use crate::client::{Client, ClientError, ClientOptions, WireProtocol};
+use crate::lock_unpoisoned;
 use crate::sweep::{
     assemble_report, outcome_from_job, run_cell, Cell, CellOutcome, CellSlot, SweepConfig,
     SweepReport, SweepTelemetry,
@@ -107,7 +108,7 @@ struct Dispatch<'a> {
 impl Dispatch<'_> {
     /// Claims the next cell: bounced cells first, then the cursor.
     fn claim(&self) -> Option<usize> {
-        if let Some(index) = self.retries.lock().expect("fleet retry pool poisoned").pop() {
+        if let Some(index) = lock_unpoisoned(&self.retries).pop() {
             return Some(index);
         }
         let index = self.next.fetch_add(1, Ordering::Relaxed);
@@ -116,13 +117,13 @@ impl Dispatch<'_> {
 
     /// Returns a claimed cell to the pool for another worker.
     fn requeue(&self, index: usize) {
-        self.retries.lock().expect("fleet retry pool poisoned").push(index);
+        lock_unpoisoned(&self.retries).push(index);
         self.reassigned.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Fills a cell's slot and advances the completion counter.
     fn fill(&self, index: usize, result: Result<CellOutcome, ServerError>) {
-        *self.slots[index].lock().expect("fleet slot poisoned") = Some(result);
+        *lock_unpoisoned(&self.slots[index]) = Some(result);
         self.done.fetch_add(1, Ordering::AcqRel);
     }
 
@@ -166,10 +167,10 @@ pub(crate) fn run_fleet(
     // died early) runs in-process — the sweep completes regardless.
     let mut local_fallback = 0usize;
     for (index, slot) in slots.iter().enumerate() {
-        let pending = slot.lock().expect("fleet slot poisoned").is_none();
+        let pending = lock_unpoisoned(slot).is_none();
         if pending {
             let result = run_cell(config, &cells[index], registry, &telemetry);
-            *slot.lock().expect("fleet slot poisoned") = Some(result);
+            *lock_unpoisoned(slot) = Some(result);
             local_fallback += 1;
         }
     }

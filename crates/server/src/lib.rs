@@ -63,6 +63,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod client;
 pub mod fleet;
@@ -135,6 +136,17 @@ impl From<std::io::Error> for ServerError {
     fn from(e: std::io::Error) -> Self {
         ServerError::Io(e)
     }
+}
+
+/// Locks a mutex, recovering the guard from a poisoned lock.
+///
+/// The serving layer's shared state (connection tables, worker pools,
+/// metrics) stays structurally valid even if a holder panicked: every
+/// mutation is a single insert/remove/increment, never a multi-step
+/// invariant. Propagating poison would turn one worker's panic into a
+/// reactor-wide crash, which is strictly worse for availability.
+pub(crate) fn lock_unpoisoned<T>(mutex: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// FNV-1a over a byte string (the serving layer's deterministic

@@ -369,7 +369,9 @@ fn inject(conn: &mut ClientConn, config: &LoadgenConfig, sent_total: &mut u64) {
         ),
     };
     let now = Instant::now();
-    conn.io.queue(&encode_request(config.protocol, &payload));
+    let encoded = encode_request(config.protocol, &payload)
+        .expect("loadgen request payloads are fixed strings far below the frame cap");
+    conn.io.queue(&encoded);
     let correlation = match (config.protocol, config.workload) {
         // Synthesize responses arrive in completion order on v2; every
         // other (protocol, workload) pair answers in request order.

@@ -59,6 +59,7 @@ use asynd_net::{wake_pair, Connection, Interest, PollEvent, PollSet, WakeReceive
 use asynd_telemetry::{labeled, Counter, Gauge, MetricsRegistry};
 use serde_json::{Map, Value};
 
+use crate::lock_unpoisoned;
 use crate::protocol::{CancelRequest, ProgressUpdate, Request, Response};
 use crate::server::{JobSink, QueuedJob, ScheduleServer, JOB_CANCELLED, JOB_QUEUED};
 use crate::ServerError;
@@ -123,7 +124,7 @@ impl ReactorSink {
     pub(crate) fn done(&self, response: Response) {
         let event =
             JobEvent::Done { conn: self.conn, seq: self.seq, id: self.id.clone(), response };
-        self.events.lock().expect("reactor event queue poisoned").push_back(event);
+        lock_unpoisoned(&self.events).push_back(event);
         self.waker.wake();
     }
 
@@ -132,7 +133,7 @@ impl ReactorSink {
             return;
         }
         let event = JobEvent::Progress { conn: self.conn, update };
-        self.events.lock().expect("reactor event queue poisoned").push_back(event);
+        lock_unpoisoned(&self.events).push_back(event);
         self.waker.wake();
     }
 }
@@ -220,14 +221,14 @@ pub fn serve_tcp_with(
                     },
                     wake_rx,
                     listener: if index == 0 { listener.take() } else { None },
-                    conns: HashMap::new(),
+                    conns: BTreeMap::new(),
                     next_token: FIRST_CONN_TOKEN,
                     next_assign: 0,
                 };
                 std::thread::Builder::new()
                     .name(format!("asynd-reactor-{index}"))
                     .spawn_scoped(scope, move || reactor.run())
-                    .expect("spawning a reactor thread failed")
+                    .expect("spawning a reactor thread failed") // asynd-lint: allow(panic-in-hot-path) -- startup-time OS failure, not peer input; nothing is serving yet
             })
             .collect();
         let mut first_err = None;
@@ -251,7 +252,9 @@ struct Reactor<'s> {
     ctx: Ctx<'s>,
     wake_rx: WakeReceiver,
     listener: Option<TcpListener>,
-    conns: HashMap<u64, Conn>,
+    /// Owned connections by token. A `BTreeMap` so poll registration
+    /// and sweep visit connections in a stable (token) order run to run.
+    conns: BTreeMap<u64, Conn>,
     next_token: u64,
     /// Round-robin cursor for distributing accepted connections.
     next_assign: usize,
@@ -266,8 +269,7 @@ impl Reactor<'_> {
                 // Stop accepting; serve the connections that remain
                 // until they drain, then exit.
                 self.listener = None;
-                let inbox_empty =
-                    self.ctx.inboxes[self.ctx.index].lock().expect("inbox poisoned").is_empty();
+                let inbox_empty = lock_unpoisoned(&self.ctx.inboxes[self.ctx.index]).is_empty();
                 if self.conns.is_empty() && inbox_empty {
                     return Ok(());
                 }
@@ -321,7 +323,7 @@ impl Reactor<'_> {
                     if target == self.ctx.index {
                         self.adopt(stream);
                     } else {
-                        self.ctx.inboxes[target].lock().expect("inbox poisoned").push_back(stream);
+                        lock_unpoisoned(&self.ctx.inboxes[target]).push_back(stream);
                         self.ctx.all_wakers[target].wake();
                     }
                 }
@@ -336,8 +338,7 @@ impl Reactor<'_> {
     /// behalf.
     fn adopt_pending(&mut self) {
         loop {
-            let stream =
-                self.ctx.inboxes[self.ctx.index].lock().expect("inbox poisoned").pop_front();
+            let stream = lock_unpoisoned(&self.ctx.inboxes[self.ctx.index]).pop_front();
             match stream {
                 Some(stream) => self.adopt(stream),
                 None => return,
@@ -367,7 +368,7 @@ impl Reactor<'_> {
     /// Routes queued worker completions to their connections.
     fn drain_events(&mut self) {
         loop {
-            let event = self.ctx.events.lock().expect("reactor event queue poisoned").pop_front();
+            let event = lock_unpoisoned(&self.ctx.events).pop_front();
             let Some(event) = event else { return };
             match event {
                 JobEvent::Done { conn, seq, id, response } => {
@@ -510,6 +511,25 @@ impl Conn {
         }
     }
 
+    /// The v1 protocol state, when this connection negotiated v1.
+    /// `None` on a v2 or undecided connection — callers bail out rather
+    /// than assert, so a protocol-state mixup degrades to a dropped
+    /// message instead of a reactor panic.
+    fn v1_mut(&mut self) -> Option<&mut V1State> {
+        match &mut self.proto {
+            Proto::V1(v1) => Some(v1),
+            Proto::Unknown | Proto::V2(_) => None,
+        }
+    }
+
+    /// The v2 protocol state, when this connection negotiated v2.
+    fn v2_mut(&mut self) -> Option<&mut V2State> {
+        match &mut self.proto {
+            Proto::V2(v2) => Some(v2),
+            Proto::Unknown | Proto::V1(_) => None,
+        }
+    }
+
     /// Whether reads are paused (backpressure or endgame).
     fn paused(&self) -> bool {
         self.paused_write
@@ -571,7 +591,7 @@ impl Conn {
         match parsed {
             Ok(Request::Synthesize(request)) => {
                 let seq = {
-                    let Proto::V1(v1) = &mut self.proto else { unreachable!() };
+                    let Some(v1) = self.v1_mut() else { return };
                     let seq = v1.next_seq;
                     v1.next_seq += 1;
                     seq
@@ -592,8 +612,9 @@ impl Conn {
             Ok(Request::Metrics(id)) => queue_line(&mut self.io, &ctx.server.metrics(&id)),
             Ok(Request::Ping) => queue_line(&mut self.io, &Response::Pong),
             Ok(Request::Shutdown) => {
-                let Proto::V1(v1) = &mut self.proto else { unreachable!() };
-                v1.shutdown_requested = true;
+                if let Some(v1) = self.v1_mut() {
+                    v1.shutdown_requested = true;
+                }
             }
             Err(e) => queue_line(
                 &mut self.io,
@@ -607,12 +628,12 @@ impl Conn {
     fn process_v2(&mut self, token: u64, ctx: &Ctx) {
         let bytes = std::mem::take(self.io.rbuf());
         {
-            let Proto::V2(v2) = &mut self.proto else { unreachable!() };
+            let Some(v2) = self.v2_mut() else { return };
             v2.decoder.feed(&bytes);
         }
         loop {
             let frame = {
-                let Proto::V2(v2) = &mut self.proto else { unreachable!() };
+                let Some(v2) = self.v2_mut() else { return };
                 if v2.goodbye_sent || v2.peer_goodbye {
                     return;
                 }
@@ -640,8 +661,9 @@ impl Conn {
             FrameKind::Request => self.handle_v2_request(&frame.payload, token, ctx),
             FrameKind::Cancel => self.handle_v2_cancel(&frame.payload, ctx),
             FrameKind::Goodbye => {
-                let Proto::V2(v2) = &mut self.proto else { unreachable!() };
-                v2.peer_goodbye = true;
+                if let Some(v2) = self.v2_mut() {
+                    v2.peer_goodbye = true;
+                }
             }
             // Response and Progress only travel server→client.
             FrameKind::Response | FrameKind::Progress => {
@@ -679,7 +701,7 @@ impl Conn {
                 let id = request.id.clone();
                 let job = QueuedJob::new(request, JobSink::Reactor(sink));
                 self.states.push(Arc::clone(&job.state));
-                let Proto::V2(v2) = &mut self.proto else { unreachable!() };
+                let Some(v2) = self.v2_mut() else { return };
                 v2.jobs.insert(id, Arc::clone(&job.state));
                 self.submit_or_defer(job, ctx);
             }
@@ -687,8 +709,9 @@ impl Conn {
             Ok(Request::Metrics(id)) => self.queue_response_frame(&ctx.server.metrics(&id)),
             Ok(Request::Ping) => self.queue_response_frame(&Response::Pong),
             Ok(Request::Shutdown) => {
-                let Proto::V2(v2) = &mut self.proto else { unreachable!() };
-                v2.shutdown_requested = true;
+                if let Some(v2) = self.v2_mut() {
+                    v2.shutdown_requested = true;
+                }
             }
             Err(e) => self
                 .queue_response_frame(&Response::Error { id: String::new(), error: e.to_string() }),
@@ -709,11 +732,12 @@ impl Conn {
         // A deferred job never reached the queue; the reactor answers
         // for it directly.
         if let Some(pos) = self.deferred.iter().position(|job| job.request.id == cancel.id) {
-            let job = self.deferred.remove(pos).expect("position came from iter");
+            let Some(job) = self.deferred.remove(pos) else { return };
             job.state.store(JOB_CANCELLED, Ordering::SeqCst);
             ctx.server.metrics_handles().jobs_cancelled.inc();
-            let Proto::V2(v2) = &mut self.proto else { unreachable!() };
-            v2.jobs.remove(&cancel.id);
+            if let Some(v2) = self.v2_mut() {
+                v2.jobs.remove(&cancel.id);
+            }
             self.queue_progress_frame(&ProgressUpdate::stage(&cancel.id, "cancelled"));
             self.queue_response_frame(&Response::Error {
                 id: cancel.id,
@@ -721,10 +745,7 @@ impl Conn {
             });
             return;
         }
-        let state = {
-            let Proto::V2(v2) = &mut self.proto else { unreachable!() };
-            v2.jobs.get(&cancel.id).cloned()
-        };
+        let state = self.v2_mut().and_then(|v2| v2.jobs.get(&cancel.id).cloned());
         let stage = match state {
             None => "cancel-unknown",
             Some(state) => match state.compare_exchange(
@@ -935,10 +956,24 @@ fn queue_line(io: &mut Connection, response: &Response) {
     io.queue(b"\n");
 }
 
-/// Queues one v2 frame with a JSON payload.
+/// Queues one v2 frame with a JSON payload. A payload that cannot be
+/// framed (past the frame cap) is replaced with a small `Goodbye` —
+/// sending nothing would leave the peer waiting forever, and truncating
+/// would desynchronize the stream.
 fn queue_frame(io: &mut Connection, kind: FrameKind, payload: &Value) {
-    let payload = serde_json::to_string(payload).expect("JSON serialization is infallible");
-    io.queue(&Frame::new(kind, payload.into_bytes()).encode());
+    let encoded = serde_json::to_string(payload)
+        .ok()
+        .and_then(|text| Frame::new(kind, text.into_bytes()).encode().ok());
+    if let Some(bytes) = encoded {
+        io.queue(&bytes);
+        return;
+    }
+    let fallback = serde_json::to_string(&goodbye_error("response exceeds the frame payload cap"))
+        .ok()
+        .and_then(|text| Frame::new(FrameKind::Goodbye, text.into_bytes()).encode().ok());
+    if let Some(bytes) = fallback {
+        io.queue(&bytes);
+    }
 }
 
 /// A `Goodbye` payload explaining why the server is hanging up.

@@ -299,7 +299,7 @@ impl ScheduleServer {
                             job.sink.done(response);
                         }
                     })
-                    .expect("spawning a worker thread failed")
+                    .expect("spawning a worker thread failed") // asynd-lint: allow(panic-in-hot-path) -- startup-time OS failure, not peer input; nothing is serving yet
             })
             .collect();
         ScheduleServer { shared, workers }

@@ -144,7 +144,8 @@ fn tamper_proxy(upstream: String) -> (String, thread::JoinHandle<()>) {
                     let text = String::from_utf8(payload).expect("response frames are JSON");
                     payload = tamper_keys(&text).into_bytes();
                 }
-                if to_client.write_all(&Frame::new(frame.kind, payload).encode()).is_err() {
+                if to_client.write_all(&Frame::new(frame.kind, payload).encode().unwrap()).is_err()
+                {
                     break 'proxy;
                 }
             }

@@ -32,7 +32,7 @@ fn with_server(workers: usize, session: impl FnOnce(std::net::SocketAddr)) {
 }
 
 fn request_frame(json: &str) -> Vec<u8> {
-    Frame::new(FrameKind::Request, json.as_bytes().to_vec()).encode()
+    Frame::new(FrameKind::Request, json.as_bytes().to_vec()).encode().unwrap()
 }
 
 fn synthesize_json(id: &str, budget: u64) -> String {
@@ -67,7 +67,7 @@ fn read_frames_to_eof(stream: &mut TcpStream) -> Vec<Frame> {
 fn assert_still_serving(address: std::net::SocketAddr) {
     let mut stream = TcpStream::connect(address).unwrap();
     stream.write_all(&request_frame("{\"op\":\"ping\"}")).unwrap();
-    stream.write_all(&Frame::new(FrameKind::Goodbye, b"{}".to_vec()).encode()).unwrap();
+    stream.write_all(&Frame::new(FrameKind::Goodbye, b"{}".to_vec()).encode().unwrap()).unwrap();
     let frames = read_frames_to_eof(&mut stream);
     assert_eq!(frames.len(), 1, "expected exactly the pong: {frames:?}");
     assert!(matches!(
@@ -119,7 +119,9 @@ fn bad_magic_mid_stream_gets_a_goodbye_and_a_close() {
 fn client_sent_server_frame_kinds_are_rejected() {
     with_server(1, |address| {
         let mut stream = TcpStream::connect(address).unwrap();
-        stream.write_all(&Frame::new(FrameKind::Progress, b"{}".to_vec()).encode()).unwrap();
+        stream
+            .write_all(&Frame::new(FrameKind::Progress, b"{}".to_vec()).encode().unwrap())
+            .unwrap();
         let frames = read_frames_to_eof(&mut stream);
         assert_eq!(frames.len(), 1, "expected exactly one Goodbye: {frames:?}");
         let detail = goodbye_detail(&frames[0]);
@@ -158,7 +160,9 @@ fn mid_stream_disconnect_leaves_other_connections_serving() {
         // Connection B's session is unaffected.
         let mut stream = TcpStream::connect(address).unwrap();
         stream.write_all(&request_frame(&synthesize_json("survivor", 8))).unwrap();
-        stream.write_all(&Frame::new(FrameKind::Goodbye, b"{}".to_vec()).encode()).unwrap();
+        stream
+            .write_all(&Frame::new(FrameKind::Goodbye, b"{}".to_vec()).encode().unwrap())
+            .unwrap();
         let frames = read_frames_to_eof(&mut stream);
         let response = frames
             .iter()
@@ -187,7 +191,7 @@ fn cancellation_interleaves_with_pipelined_jobs() {
         let cancel = |id: &str| {
             let payload =
                 serde_json::to_string(&CancelRequest { id: id.into() }.to_json()).unwrap();
-            Frame::new(FrameKind::Cancel, payload.into_bytes()).encode()
+            Frame::new(FrameKind::Cancel, payload.into_bytes()).encode().unwrap()
         };
         bytes.extend_from_slice(&cancel("c-3"));
         bytes.extend_from_slice(&cancel("nobody"));
@@ -278,7 +282,9 @@ fn cancellation_interleaves_with_pipelined_jobs() {
                 }
             }
         }
-        stream.write_all(&Frame::new(FrameKind::Goodbye, b"{}".to_vec()).encode()).unwrap();
+        stream
+            .write_all(&Frame::new(FrameKind::Goodbye, b"{}".to_vec()).encode().unwrap())
+            .unwrap();
         let rest = read_frames_to_eof(&mut stream);
         assert!(rest.is_empty(), "frames after the goodbye: {rest:?}");
     });

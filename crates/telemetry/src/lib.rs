@@ -89,7 +89,7 @@ pub fn validate_text(text: &str) -> Result<TextReport, String> {
     let mut report = TextReport::default();
     // (base, labels-without-le) -> value, for the histogram cross-check.
     let mut inf_buckets: HashMap<(String, String), f64> = HashMap::new();
-    let mut counts: HashMap<(String, String), f64> = HashMap::new();
+    let mut count_samples: HashMap<(String, String), f64> = HashMap::new();
     for (index, line) in text.lines().enumerate() {
         let line_no = index + 1;
         let line = line.trim_end();
@@ -124,10 +124,10 @@ pub fn validate_text(text: &str) -> Result<TextReport, String> {
                 inf_buckets.insert((base.to_string(), rest), value);
             }
         } else if let Some(base) = name.strip_suffix("_count") {
-            counts.insert((base.to_string(), canonical_labels(&labels, None)), value);
+            count_samples.insert((base.to_string(), canonical_labels(&labels, None)), value);
         }
     }
-    for (key, &count) in &counts {
+    for (key, &count) in &count_samples {
         if let Some(&inf) = inf_buckets.get(key) {
             report.histograms += 1;
             if (inf - count).abs() > 0.0 {

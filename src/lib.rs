@@ -30,6 +30,9 @@
 //!   metrics registry (counters, gauges, latency histograms), span-based
 //!   job-lifecycle tracing, the crash-tolerant JSON-lines event log and
 //!   the Prometheus-style text exposition served by `asynd metrics`.
+//! * [`analysis`] — the workspace's own static analyzer (`asynd lint`):
+//!   six determinism & concurrency-discipline rules over a token-level
+//!   Rust lexer, with in-source suppressions and a findings baseline.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +47,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use asynd_analysis as analysis;
 pub use asynd_circuit as circuit;
 pub use asynd_codes as codes;
 pub use asynd_core as core;
